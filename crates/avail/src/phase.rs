@@ -1,0 +1,308 @@
+//! Non-exponential repair times via phase-type expansion (Sec. 5.1).
+//!
+//! The paper: "non-exponential failure or repair rates (e.g., anticipated
+//! periodic downtimes for software maintenance) can be accommodated as
+//! well, by refining the corresponding state into a (reasonably small)
+//! set of exponential states. This kind of expansion can be done
+//! automatically once the distributions of the non-exponential states
+//! are specified."
+//!
+//! This module performs that expansion for **repair/downtime durations**
+//! under the single-repairman-per-type policy (where the distribution
+//! actually matters; under independent repair — and for a single replica
+//! — the stationary availability depends on the repair time only through
+//! its mean, by the renewal-reward theorem, which the tests verify).
+//! Time-to-failure stays exponential.
+//!
+//! Because the per-type failure/repair processes are mutually
+//! independent, the *system* availability is the product of the per-type
+//! marginal availabilities; each marginal chain is tiny
+//! (`1 + Y · stages` states), so this route also scales to replication
+//! degrees far beyond the joint CTMC.
+
+use wfms_markov::ctmc::{Ctmc, SteadyStateMethod};
+use wfms_markov::linalg::Matrix;
+use wfms_markov::PhaseType;
+use wfms_statechart::{Configuration, ServerTypeRegistry};
+
+use crate::error::AvailError;
+
+/// Stage rates of a phase-type repair distribution, plus how a fresh
+/// repair chooses its first stage.
+fn stage_rates(repair: &PhaseType) -> Vec<f64> {
+    match *repair {
+        PhaseType::Exponential { rate } => vec![rate],
+        PhaseType::Erlang { k, rate } => vec![rate; k],
+        PhaseType::Hyperexponential { rate1, rate2, .. } => vec![rate1, rate2],
+    }
+}
+
+/// `(stage, probability)` pairs a fresh repair starts in.
+fn initial_stages(repair: &PhaseType) -> Vec<(usize, f64)> {
+    match *repair {
+        PhaseType::Exponential { .. } | PhaseType::Erlang { .. } => vec![(0, 1.0)],
+        PhaseType::Hyperexponential { p, .. } => vec![(0, p), (1, 1.0 - p)],
+    }
+}
+
+/// Where stage `s` goes on its event: `Some(next_stage)` continues the
+/// same repair, `None` completes it.
+fn stage_successor(repair: &PhaseType, s: usize) -> Option<usize> {
+    match *repair {
+        PhaseType::Exponential { .. } | PhaseType::Hyperexponential { .. } => None,
+        PhaseType::Erlang { k, .. } => {
+            if s + 1 < k {
+                Some(s + 1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Stationary unavailability of ONE server type with `replicas` replicas,
+/// exponential failures at `failure_rate` per replica, a single repair
+/// crew, and a phase-type repair-time distribution.
+///
+/// The type is unavailable exactly when all `replicas` replicas are down.
+///
+/// # Errors
+/// [`AvailError`] on invalid parameters or solver failure.
+pub fn single_repairman_type_unavailability(
+    replicas: usize,
+    failure_rate: f64,
+    repair: &PhaseType,
+) -> Result<f64, AvailError> {
+    if replicas == 0 || !(failure_rate.is_finite() && failure_rate > 0.0) {
+        return Err(AvailError::Arch(wfms_statechart::ArchError::InvalidParameter {
+            what: "failure rate / replicas",
+            server_type: "phase-type marginal".into(),
+            value: failure_rate,
+        }));
+    }
+    let rates = stage_rates(repair);
+    let stages = rates.len();
+    // State 0: all up. State 1 + (n-1)*stages + s: n down, repair in stage s.
+    let n_states = 1 + replicas * stages;
+    let id = |n_down: usize, s: usize| 1 + (n_down - 1) * stages + s;
+
+    let mut q = Matrix::zeros(n_states, n_states);
+    // All-up state: one of the replicas fails, repair starts.
+    for (s0, p0) in initial_stages(repair) {
+        q[(0, id(1, s0))] += replicas as f64 * failure_rate * p0;
+    }
+    for n in 1..=replicas {
+        for s in 0..stages {
+            let from = id(n, s);
+            // Further failures (replicas still up keep failing).
+            if n < replicas {
+                q[(from, id(n + 1, s))] += (replicas - n) as f64 * failure_rate;
+            }
+            // Repair-stage event.
+            let rate = rates[s];
+            match stage_successor(repair, s) {
+                Some(next) => q[(from, id(n, next))] += rate,
+                None => {
+                    // Repair completes: one replica returns; if others are
+                    // still down the crew immediately starts the next one.
+                    if n == 1 {
+                        q[(from, 0)] += rate;
+                    } else {
+                        for (s0, p0) in initial_stages(repair) {
+                            q[(from, id(n - 1, s0))] += rate * p0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Diagonal.
+    for i in 0..n_states {
+        let row_sum: f64 = (0..n_states).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+        q[(i, i)] = -row_sum;
+    }
+
+    let ctmc = Ctmc::from_generator(&q)?;
+    let pi = ctmc.steady_state(SteadyStateMethod::Lu)?;
+    // Unavailable = all replicas down, any repair stage.
+    let mut u = 0.0;
+    for s in 0..stages {
+        u += pi[id(replicas, s)];
+    }
+    Ok(u)
+}
+
+/// System unavailability when every server type has a single repair crew
+/// and its own phase-type repair distribution (`repairs[x]`, one per
+/// registered type): `1 - Π_x (1 - U_x)`, exact by independence of the
+/// per-type processes.
+///
+/// # Errors
+/// [`AvailError`] on length mismatches or marginal-solve failures.
+pub fn system_unavailability_with_repair_phases(
+    registry: &ServerTypeRegistry,
+    config: &Configuration,
+    repairs: &[PhaseType],
+) -> Result<f64, AvailError> {
+    if repairs.len() != registry.len() || config.k() != registry.len() {
+        return Err(AvailError::LengthMismatch {
+            expected: registry.len(),
+            actual: repairs.len(),
+        });
+    }
+    let mut availability = 1.0;
+    for (id, server_type) in registry.iter() {
+        let u = single_repairman_type_unavailability(
+            config.replicas(id)?,
+            server_type.failure_rate,
+            &repairs[id.0],
+        )?;
+        availability *= 1.0 - u;
+    }
+    Ok(1.0 - availability)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AvailabilityModel, RepairPolicy};
+    use wfms_statechart::{paper_section52_registry, ServerType, ServerTypeKind};
+
+    /// Marginal unavailability of one type from the joint CTMC model.
+    fn joint_single_type_unavailability(
+        y: usize,
+        failure_rate: f64,
+        repair_rate: f64,
+        policy: RepairPolicy,
+    ) -> f64 {
+        let mut reg = ServerTypeRegistry::new();
+        reg.register(ServerType::with_exponential_service(
+            "t",
+            ServerTypeKind::WorkflowEngine,
+            failure_rate,
+            repair_rate,
+            0.01,
+        ))
+        .unwrap();
+        let config = Configuration::new(&reg, vec![y]).unwrap();
+        let model = AvailabilityModel::with_policy(&reg, &config, policy).unwrap();
+        let pi = model.steady_state(SteadyStateMethod::Lu).unwrap();
+        model.unavailability(&pi).unwrap()
+    }
+
+    #[test]
+    fn exponential_repair_matches_the_joint_single_repairman_model() {
+        for y in [1usize, 2, 3, 4] {
+            let lambda = 1.0 / 500.0;
+            let mu = 1.0 / 20.0;
+            let expect =
+                joint_single_type_unavailability(y, lambda, mu, RepairPolicy::SingleRepairmanPerType);
+            let repair = PhaseType::Exponential { rate: mu };
+            let got = single_repairman_type_unavailability(y, lambda, &repair).unwrap();
+            assert!(
+                (got - expect).abs() < 1e-10 + 1e-6 * expect,
+                "Y={y}: phase {got:e} vs joint {expect:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_replica_availability_is_insensitive_to_repair_distribution() {
+        // Alternating renewal: U = E[R] / (E[F] + E[R]) for Y = 1, whatever
+        // the repair-time distribution.
+        let lambda = 1.0 / 300.0;
+        let mean_repair = 15.0;
+        let expect = mean_repair / (300.0 + mean_repair);
+        for scv in [0.1, 0.25, 1.0, 4.0, 9.0] {
+            let repair = PhaseType::fit(mean_repair, scv).unwrap();
+            let got = single_repairman_type_unavailability(1, lambda, &repair).unwrap();
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "scv={scv}: {got} vs renewal-reward {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_variance_repair_improves_multi_replica_availability() {
+        // With a single crew and Y = 2, repair-time variability hurts: a
+        // long repair leaves a window where the second failure takes the
+        // type down. Deterministic-ish (Erlang) repairs beat exponential,
+        // which beats hyperexponential, at equal means.
+        let lambda = 1.0 / 200.0;
+        let mean_repair = 30.0;
+        let u_erlang = single_repairman_type_unavailability(
+            2,
+            lambda,
+            &PhaseType::fit(mean_repair, 0.125).unwrap(),
+        )
+        .unwrap();
+        let u_exp = single_repairman_type_unavailability(
+            2,
+            lambda,
+            &PhaseType::Exponential { rate: 1.0 / mean_repair },
+        )
+        .unwrap();
+        let u_hyper = single_repairman_type_unavailability(
+            2,
+            lambda,
+            &PhaseType::fit(mean_repair, 8.0).unwrap(),
+        )
+        .unwrap();
+        assert!(u_erlang < u_exp, "Erlang {u_erlang:e} !< exponential {u_exp:e}");
+        assert!(u_exp < u_hyper, "exponential {u_exp:e} !< hyper {u_hyper:e}");
+    }
+
+    #[test]
+    fn system_product_matches_joint_model_for_exponential_repairs() {
+        let reg = paper_section52_registry();
+        let config = Configuration::new(&reg, vec![2, 2, 3]).unwrap();
+        let repairs: Vec<PhaseType> = reg
+            .iter()
+            .map(|(_, t)| PhaseType::Exponential { rate: t.repair_rate })
+            .collect();
+        let product =
+            system_unavailability_with_repair_phases(&reg, &config, &repairs).unwrap();
+        let joint = AvailabilityModel::with_policy(
+            &reg,
+            &config,
+            RepairPolicy::SingleRepairmanPerType,
+        )
+        .unwrap();
+        let pi = joint.steady_state(SteadyStateMethod::Lu).unwrap();
+        let expect = joint.unavailability(&pi).unwrap();
+        assert!(
+            (product - expect).abs() < 1e-10 + 1e-6 * expect,
+            "product {product:e} vs joint {expect:e}"
+        );
+    }
+
+    #[test]
+    fn maintenance_window_scenario() {
+        // "Anticipated periodic downtimes for software maintenance": nearly
+        // deterministic 30-minute windows (Erlang-10), one crew, weekly
+        // per-replica failures. Three replicas keep unavailability tiny.
+        let lambda = 1.0 / 10_080.0;
+        let repair = PhaseType::fit(30.0, 0.1).unwrap();
+        let u1 = single_repairman_type_unavailability(1, lambda, &repair).unwrap();
+        let u2 = single_repairman_type_unavailability(2, lambda, &repair).unwrap();
+        let u3 = single_repairman_type_unavailability(3, lambda, &repair).unwrap();
+        assert!(u1 > u2 && u2 > u3);
+        assert!(u1 > 1e-3, "single replica: ~30 min/week down");
+        assert!(u3 < 1e-7, "3 replicas: virtually always up, got {u3:e}");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let repair = PhaseType::Exponential { rate: 0.1 };
+        assert!(single_repairman_type_unavailability(0, 0.01, &repair).is_err());
+        assert!(single_repairman_type_unavailability(2, 0.0, &repair).is_err());
+        assert!(single_repairman_type_unavailability(2, f64::NAN, &repair).is_err());
+        let reg = paper_section52_registry();
+        let config = Configuration::minimal(&reg);
+        assert!(matches!(
+            system_unavailability_with_repair_phases(&reg, &config, &[repair]),
+            Err(AvailError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,55 @@
+//! Availability-model scaling: CTMC assembly + solve versus the closed
+//! form, as the state space `Π (Y_x + 1)` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wfms_avail::{closed_form_unavailability, AvailabilityModel};
+use wfms_markov::ctmc::SteadyStateMethod;
+use wfms_statechart::{Configuration, ServerType, ServerTypeKind, ServerTypeRegistry};
+
+fn registry(k: usize) -> ServerTypeRegistry {
+    let mut reg = ServerTypeRegistry::new();
+    for i in 0..k {
+        reg.register(ServerType::with_exponential_service(
+            format!("t{i}"),
+            ServerTypeKind::ApplicationServer,
+            1.0 / 1_440.0,
+            0.1,
+            0.01,
+        ))
+        .expect("valid");
+    }
+    reg
+}
+
+fn bench_model_build_and_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("availability_end_to_end");
+    group.sample_size(10);
+    for (k, y) in [(3usize, 2usize), (3, 5), (4, 4), (5, 3), (6, 2)] {
+        let reg = registry(k);
+        let config = Configuration::uniform(&reg, y).expect("valid");
+        let states: usize = (y + 1).pow(k as u32);
+        group.bench_with_input(
+            BenchmarkId::new("ctmc", format!("k{k}_y{y}_{states}states")),
+            &(reg.clone(), config.clone()),
+            |b, (reg, config)| {
+                b.iter(|| {
+                    let model = AvailabilityModel::new(reg, config).expect("builds");
+                    let pi = model.steady_state(SteadyStateMethod::Lu).expect("solves");
+                    model.unavailability(&pi).expect("lengths")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("closed_form", format!("k{k}_y{y}")),
+            &(reg, config),
+            |b, (reg, config)| {
+                b.iter(|| closed_form_unavailability(reg, config).expect("computes"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_build_and_solve);
+criterion_main!(benches);

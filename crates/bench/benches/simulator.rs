@@ -1,0 +1,34 @@
+//! Simulator throughput: wall-clock cost per simulated workflow instance
+//! (EP, with and without failure injection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wfms_sim::{run, SimOptions};
+use wfms_statechart::{paper_section52_registry, Configuration};
+use wfms_workloads::ep_workflow;
+
+fn bench_simulation(c: &mut Criterion) {
+    let reg = paper_section52_registry();
+    let spec = ep_workflow();
+    let config = Configuration::uniform(&reg, 2).expect("valid");
+    let mut group = c.benchmark_group("simulate_ep_5000_minutes");
+    group.sample_size(10);
+    for failures in [false, true] {
+        let opts = SimOptions {
+            duration_minutes: 5_000.0,
+            warmup_minutes: 500.0,
+            seed: 9,
+            failures_enabled: failures,
+            ..SimOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("failures", failures),
+            &opts,
+            |b, opts| b.iter(|| run(&reg, &config, &[(&spec, 0.5)], opts).expect("simulates")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! EXP-B1 — performability (Sec. 6): expected waiting time with
+//! failure-induced degradation versus the failure-blind performance
+//! model, across configurations, with the degraded-state breakdown.
+
+use wfms_bench::Table;
+use wfms_perf::{aggregate_load, analyze_workflow, waiting_times, AnalysisOptions, WorkloadItem};
+use wfms_performability::{evaluate, DegradedPolicy};
+use wfms_statechart::{paper_section52_registry, Configuration};
+use wfms_workloads::ep_workflow;
+
+fn main() {
+    let registry = paper_section52_registry();
+    // Load the system heavily enough that losing a replica hurts:
+    // ξ chosen so the engine type runs at ~85 % on two replicas.
+    let analysis =
+        analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
+    let b_engine = registry.get(wfms_statechart::ServerTypeId(1)).expect("id").service_time_mean;
+    let xi = 2.0 * 0.85 / (analysis.expected_requests[1] * b_engine);
+    let load = aggregate_load(
+        &[WorkloadItem { analysis, arrival_rate: xi }],
+        &registry,
+    )
+    .expect("aggregates");
+
+    println!("EXP-B1: performability W^Y vs failure-blind waiting (EP at ξ = {xi:.1}/min)\n");
+    let mut table = Table::new(&[
+        "Y",
+        "blind worst wait (s)",
+        "performability W (s)",
+        "inflation",
+        "P(saturated)",
+        "P(down)",
+    ]);
+    for replicas in [vec![2, 2, 2], vec![2, 3, 2], vec![3, 3, 3], vec![3, 4, 3], vec![4, 4, 4]] {
+        let config = Configuration::new(&registry, replicas).expect("valid");
+        let blind = waiting_times(&load, &registry, config.as_slice()).expect("computes");
+        let blind_worst = blind
+            .iter()
+            .filter_map(|o| o.waiting_time())
+            .fold(f64::NAN, f64::max);
+        match evaluate(&registry, &config, &load, DegradedPolicy::Conditional) {
+            Ok(report) => {
+                let w = report.max_expected_waiting();
+                table.row(vec![
+                    format!("{config}"),
+                    format!("{:.3}", blind_worst * 60.0),
+                    format!("{:.3}", w * 60.0),
+                    format!("{:+.1}%", 100.0 * (w - blind_worst) / blind_worst),
+                    format!("{:.2e}", report.probability_saturated),
+                    format!("{:.2e}", report.probability_down),
+                ]);
+            }
+            Err(e) => table.row(vec![
+                format!("{config}"),
+                format!("{:.3}", blind_worst * 60.0),
+                format!("{e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    table.print();
+    println!(
+        "\nReading: at this load a lost engine replica saturates the survivor, so\n\
+         under the conditional policy the Y(2,2,2) degradation shows up as\n\
+         P(saturated) ≈ 1.6e-2 (about 23 minutes per day of saturated operation)\n\
+         rather than as a higher finite wait; with three or more replicas the\n\
+         degraded states stay stable and appear as the percent-level inflation."
+    );
+
+    // Breakdown for Y(2,2,2): which degraded states carry the inflation.
+    let config = Configuration::uniform(&registry, 2).expect("valid");
+    let report = evaluate(&registry, &config, &load, DegradedPolicy::Conditional).expect("evaluates");
+    println!("\nDegraded-state contributions for {config} (top engine-relevant states):");
+    let mut detail = Table::new(&["state X", "probability", "engine wait (s)"]);
+    let mut rows: Vec<_> = report
+        .details
+        .iter()
+        .filter(|d| d.probability > 1e-9)
+        .collect();
+    rows.sort_by(|a, b| b.probability.total_cmp(&a.probability));
+    for d in rows.iter().take(8) {
+        let w = d.outcomes[1]
+            .waiting_time()
+            .map(|w| format!("{:.3}", w * 60.0))
+            .unwrap_or_else(|| "saturated/down".into());
+        detail.row(vec![format!("{:?}", d.state), format!("{:.3e}", d.probability), w]);
+    }
+    detail.print();
+    println!(
+        "\nPenalty-policy variant (60 s charged to non-serving states): W = {:.3} s",
+        evaluate(&registry, &config, &load, DegradedPolicy::Penalty { waiting_time: 1.0 })
+            .expect("evaluates")
+            .max_expected_waiting()
+            * 60.0
+    );
+}

@@ -1,0 +1,75 @@
+//! EXP-C3 — calibration accuracy (Sec. 7.1): estimate the EP workflow's
+//! transition probabilities and residence times from simulated audit
+//! trails of growing size, and track the estimation error and its effect
+//! on the predicted turnaround.
+
+use wfms_bench::{to_calibration_traces, Table};
+use wfms_config::{apply_to_spec, calibrate_from_traces, ApplyOptions};
+use wfms_perf::{analyze_workflow, AnalysisOptions};
+use wfms_sim::{run, SimOptions};
+use wfms_statechart::{paper_section52_registry, Configuration};
+use wfms_workloads::ep_workflow;
+
+fn main() {
+    let registry = paper_section52_registry();
+    let spec = ep_workflow();
+    let truth = analyze_workflow(&spec, &registry, &AnalysisOptions::default()).expect("EP");
+
+    // Generate a large pool of audit trails once.
+    let config = Configuration::uniform(&registry, 2).expect("valid");
+    let opts = SimOptions {
+        duration_minutes: 400_000.0,
+        warmup_minutes: 0.0,
+        seed: 5150,
+        audit_trail_cap: 20_000,
+        ..SimOptions::default()
+    };
+    println!("EXP-C3: calibration from audit trails (generating up to 20k trails)...\n");
+    let report = run(&registry, &config, &[(&spec, 0.3)], &opts).expect("simulates");
+    let mut all_traces = to_calibration_traces(&report.audit_trails);
+    // The simulator emits trails in completion order, which is biased toward
+    // short instances (the long invoice-payment runs finish last). A real
+    // monitoring pipeline samples uniformly; emulate that by shuffling
+    // before taking prefixes.
+    {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        all_traces.shuffle(&mut rng);
+    }
+    println!("Collected {} trails.\n", all_traces.len());
+
+    // The quantity we track: p(NewOrder -> CreditCardCheck), true value 0.75,
+    // and the turnaround prediction of the re-calibrated spec.
+    let mut table = Table::new(&[
+        "trails",
+        "p(NewOrder->CCheck)",
+        "error",
+        "recalibrated R_t (min)",
+        "R_t error",
+    ]);
+    for n in [50usize, 200, 1_000, 5_000, 20_000] {
+        let n = n.min(all_traces.len());
+        let slice = &all_traces[..n];
+        let calibrated = calibrate_from_traces(slice).expect("calibrates");
+        let p = calibrated.probability("NewOrder_S", "CreditCardCheck_S");
+        let mut respec = ep_workflow();
+        apply_to_spec(&mut respec, &calibrated, &ApplyOptions { min_observations: 10, ..ApplyOptions::default() })
+            .expect("applies");
+        let re = analyze_workflow(&respec, &registry, &AnalysisOptions::default())
+            .expect("re-analyzes");
+        table.row(vec![
+            n.to_string(),
+            format!("{p:.4}"),
+            format!("{:+.4}", p - 0.75),
+            format!("{:.1}", re.mean_turnaround),
+            format!("{:+.1}%", 100.0 * (re.mean_turnaround - truth.mean_turnaround) / truth.mean_turnaround),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nEstimation error shrinks like 1/sqrt(n); a few thousand trails pin the\n\
+         branch probabilities and turnaround to within a percent — the paper's\n\
+         \"after the system has been operational for a while\" regime."
+    );
+}

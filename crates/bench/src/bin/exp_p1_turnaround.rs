@@ -1,0 +1,58 @@
+//! EXP-P1 — workflow turnaround times: first-passage analysis (Sec. 4.1)
+//! versus discrete-event simulation, for all four reference workflows.
+
+use wfms_bench::Table;
+use wfms_perf::{analyze_workflow, AnalysisOptions};
+use wfms_sim::{run, SimOptions};
+use wfms_statechart::{Configuration, ServerTypeRegistry, WorkflowSpec};
+use wfms_workloads::{
+    enterprise_registry, ep_workflow, insurance_claim_workflow, loan_approval_workflow,
+    order_fulfillment_workflow,
+};
+
+fn case(
+    registry: &ServerTypeRegistry,
+    spec: &WorkflowSpec,
+    arrival_rate: f64,
+    table: &mut Table,
+) {
+    let analysis = analyze_workflow(spec, registry, &AnalysisOptions::default())
+        .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    let config = Configuration::uniform(registry, 3).expect("valid");
+    let opts = SimOptions {
+        duration_minutes: 150_000.0,
+        warmup_minutes: 15_000.0,
+        seed: 101,
+        ..SimOptions::default()
+    };
+    let report = run(registry, &config, &[(spec, arrival_rate)], &opts).expect("simulates");
+    let wf = &report.workflows[0];
+    let delta = 100.0 * (wf.mean_turnaround - analysis.mean_turnaround) / analysis.mean_turnaround;
+    table.row(vec![
+        spec.name.clone(),
+        format!("{:.1}", analysis.mean_turnaround),
+        format!("{:.1}", wf.mean_turnaround),
+        format!("{delta:+.1}%"),
+        wf.completed.to_string(),
+    ]);
+}
+
+fn main() {
+    println!("EXP-P1: mean turnaround R_t — analytic first passage vs simulation\n");
+    let mut table = Table::new(&["workflow", "analytic (min)", "simulated (min)", "Δ", "instances"]);
+
+    let paper_reg = wfms_statechart::paper_section52_registry();
+    case(&paper_reg, &ep_workflow(), 0.2, &mut table);
+
+    let ent_reg = enterprise_registry();
+    case(&ent_reg, &order_fulfillment_workflow(), 0.5, &mut table);
+    case(&ent_reg, &insurance_claim_workflow(), 0.1, &mut table);
+    case(&ent_reg, &loan_approval_workflow(), 0.1, &mut table);
+
+    table.print();
+    println!(
+        "\nResidual deltas trace to the max-of-means approximation for parallel\n\
+         subworkflows (a documented lower bound, Sec. 4.2.2): workflows with a\n\
+         parallel state (EP, InsuranceClaim) simulate slightly above the model."
+    );
+}

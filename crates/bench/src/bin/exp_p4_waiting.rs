@@ -1,0 +1,99 @@
+//! EXP-P4 — waiting time of service requests versus utilization
+//! (Sec. 4.4): the M/G/1 Pollaczek–Khinchine prediction against
+//! simulation, in the Poisson regime the model assumes, plus the
+//! shared-machine (co-location) variant.
+
+use wfms_bench::Table;
+use wfms_perf::{waiting_times, waiting_times_colocated, ColocationGroup, SystemLoad};
+use wfms_queueing::{Mg1, ServiceMoments};
+use wfms_sim::{run, SimOptions};
+use wfms_statechart::{
+    ActivityKind, ActivitySpec, ChartBuilder, Configuration, EcaRule, ServerType, ServerTypeId,
+    ServerTypeKind, ServerTypeRegistry, WorkflowSpec,
+};
+
+/// One server type with a 0.05-minute (3 s) exponential service time.
+fn registry() -> ServerTypeRegistry {
+    let mut reg = ServerTypeRegistry::new();
+    for (name, kind) in [
+        ("comm", ServerTypeKind::Communication),
+        ("engine", ServerTypeKind::WorkflowEngine),
+        ("app", ServerTypeKind::ApplicationServer),
+    ] {
+        reg.register(ServerType::with_exponential_service(name, kind, 1e-6, 0.1, 0.05))
+            .expect("valid");
+    }
+    reg
+}
+
+/// One-activity workflow inducing one request per type per instance.
+fn spec() -> WorkflowSpec {
+    let chart = ChartBuilder::new("W")
+        .initial("i")
+        .activity_state("a", "A")
+        .final_state("f")
+        .transition("i", "a", 1.0, EcaRule::default())
+        .transition("a", "f", 1.0, EcaRule::default())
+        .build()
+        .expect("builds");
+    WorkflowSpec::new(
+        "W",
+        chart,
+        [ActivitySpec::new("A", ActivityKind::Automated, 5.0, vec![1.0, 1.0, 1.0])],
+    )
+}
+
+fn main() {
+    let reg = registry();
+    let wf = spec();
+    println!("EXP-P4: M/G/1 waiting time vs utilization (engine type, 1 replica)\n");
+
+    let mut table = Table::new(&["rho", "PK model (s)", "simulated (s)", "Δ"]);
+    for rho in [0.3, 0.5, 0.7, 0.8, 0.9] {
+        let xi = rho / 0.05; // one engine request per instance
+        let config = Configuration::new(&reg, vec![20, 1, 20]).expect("valid");
+        let opts = SimOptions {
+            duration_minutes: 40_000.0,
+            warmup_minutes: 4_000.0,
+            seed: 404,
+            ..SimOptions::default()
+        };
+        let report = run(&reg, &config, &[(&wf, xi)], &opts).expect("simulates");
+        let model = Mg1::new(xi, ServiceMoments::exponential(0.05).expect("valid"))
+            .expect("valid")
+            .mean_waiting_time()
+            .expect("stable");
+        let sim = report.server_types[1].mean_waiting;
+        table.row(vec![
+            format!("{rho:.1}"),
+            format!("{:.3}", model * 60.0),
+            format!("{:.3}", sim * 60.0),
+            format!("{:+.1}%", 100.0 * (sim - model) / model),
+        ]);
+    }
+    table.print();
+
+    // Shared-machine generalization: engine and comm on one computer.
+    println!("\nCo-location (Sec. 4.4 generalized case), rho_total = 0.8 on one machine:");
+    let load = SystemLoad {
+        request_rates: vec![8.0, 8.0, 0.1],
+        total_arrival_rate: 1.0,
+        active_instances: vec![],
+    };
+    let dedicated = waiting_times(&load, &reg, &[1, 1, 1]).expect("computes");
+    let shared = waiting_times_colocated(
+        &load,
+        &reg,
+        &[ColocationGroup { types: vec![ServerTypeId(0), ServerTypeId(1)], replicas: 1 }],
+    )
+    .expect("computes");
+    println!(
+        "  dedicated machines : comm wait {:.3} s, engine wait {:.3} s",
+        dedicated[0].waiting_time().unwrap_or(f64::NAN) * 60.0,
+        dedicated[1].waiting_time().unwrap_or(f64::NAN) * 60.0
+    );
+    println!(
+        "  one shared machine : common wait {:.3} s (utilization doubles)",
+        shared[0].waiting_time().unwrap_or(f64::NAN) * 60.0
+    );
+}

@@ -1,0 +1,75 @@
+//! EXP-X2 (extension) — non-exponential repair times via phase-type
+//! expansion (Sec. 5.1's "reasonably small set of exponential states").
+//!
+//! Sweeps the repair-time variability (SCV) at fixed mean for the
+//! Sec. 5.2 server types under a single repair crew per type, and shows
+//! the Y = 1 insensitivity alongside the multi-replica sensitivity.
+
+use wfms_avail::{
+    single_repairman_type_unavailability, system_unavailability_with_repair_phases,
+};
+use wfms_bench::{human_downtime, Table};
+use wfms_markov::PhaseType;
+use wfms_statechart::{paper_section52_registry, Configuration};
+
+fn main() {
+    println!("EXP-X2: repair-time distribution vs availability (single crew per type)\n");
+
+    // Per-type sweep: application server (1/day failures), 10-minute mean
+    // repair, replicas 1..3, SCV from near-deterministic to bursty.
+    let lambda = 1.0 / 1_440.0;
+    let mean_repair = 10.0;
+    let mut table = Table::new(&[
+        "repair SCV",
+        "distribution",
+        "Y=1 downtime",
+        "Y=2 downtime",
+        "Y=3 downtime",
+    ]);
+    for scv in [0.1, 0.25, 1.0, 4.0, 16.0] {
+        let repair = PhaseType::fit(mean_repair, scv).expect("fits");
+        let label = match &repair {
+            PhaseType::Exponential { .. } => "exponential".to_string(),
+            PhaseType::Erlang { k, .. } => format!("Erlang-{k}"),
+            PhaseType::Hyperexponential { .. } => "hyper-exp".to_string(),
+        };
+        let mut row = vec![format!("{scv}"), label];
+        for y in 1..=3usize {
+            let u = single_repairman_type_unavailability(y, lambda, &repair).expect("solves");
+            row.push(human_downtime(u));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!(
+        "\nY = 1 is identical in every row (renewal-reward: only the mean repair\n\
+         time matters); with replicas sharing one crew, variability hurts."
+    );
+
+    // Whole-system maintenance-window scenario.
+    println!("\nMaintenance windows (near-deterministic 30-min downtimes) vs exponential,");
+    println!("Sec. 5.2 registry, one crew per type:\n");
+    let reg = paper_section52_registry();
+    let mut table = Table::new(&["Y", "exponential repairs", "30-min windows (Erlang-10)"]);
+    for y in [vec![1, 1, 1], vec![2, 2, 2], vec![2, 2, 3]] {
+        let config = Configuration::new(&reg, y).expect("valid");
+        let exp_repairs: Vec<PhaseType> = reg
+            .iter()
+            .map(|(_, t)| PhaseType::Exponential { rate: t.repair_rate })
+            .collect();
+        let window_repairs: Vec<PhaseType> =
+            reg.iter().map(|_| PhaseType::fit(30.0, 0.1).expect("fits")).collect();
+        let u_exp =
+            system_unavailability_with_repair_phases(&reg, &config, &exp_repairs).expect("solves");
+        let u_win = system_unavailability_with_repair_phases(&reg, &config, &window_repairs)
+            .expect("solves");
+        table.row(vec![format!("{config}"), human_downtime(u_exp), human_downtime(u_win)]);
+    }
+    table.print();
+    println!(
+        "\nTripling the mean repair time (10 -> 30 min maintenance windows)\n\
+         roughly triples the unreplicated downtime but is damped by replication;\n\
+         the near-deterministic duration partially offsets the longer mean for\n\
+         replicated types."
+    );
+}

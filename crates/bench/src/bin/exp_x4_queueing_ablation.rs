@@ -1,0 +1,144 @@
+//! EXP-X4 (extension) — queueing-architecture ablation.
+//!
+//! The paper models each server type's `Y_x` replicas as `Y_x` separate
+//! M/G/1 queues fed by a load balancer (Sec. 4.4). The alternative —
+//! one shared queue per type, any idle replica serves next (M/M/c) —
+//! is common in middleware with a central dispatcher. This experiment
+//! quantifies the pooling gain analytically AND with the simulator's two
+//! queue disciplines, then shows the heterogeneous-machines extension.
+
+use wfms_bench::Table;
+use wfms_perf::{waiting_times_heterogeneous, SystemLoad};
+use wfms_queueing::{Mg1, Mmc, ServiceMoments};
+use wfms_sim::{run, LoadBalancing, QueueDiscipline, SimOptions};
+use wfms_statechart::{
+    ActivityKind, ActivitySpec, ChartBuilder, Configuration, EcaRule, ServerType, ServerTypeKind,
+    ServerTypeRegistry, WorkflowSpec,
+};
+
+fn registry() -> ServerTypeRegistry {
+    let mut reg = ServerTypeRegistry::new();
+    for (name, kind) in [
+        ("comm", ServerTypeKind::Communication),
+        ("engine", ServerTypeKind::WorkflowEngine),
+        ("app", ServerTypeKind::ApplicationServer),
+    ] {
+        reg.register(ServerType::with_exponential_service(name, kind, 1e-6, 0.1, 0.05))
+            .expect("valid");
+    }
+    reg
+}
+
+fn spec() -> WorkflowSpec {
+    let chart = ChartBuilder::new("W")
+        .initial("i")
+        .activity_state("a", "A")
+        .final_state("f")
+        .transition("i", "a", 1.0, EcaRule::default())
+        .transition("a", "f", 1.0, EcaRule::default())
+        .build()
+        .expect("builds");
+    WorkflowSpec::new(
+        "W",
+        chart,
+        [ActivitySpec::new("A", ActivityKind::Automated, 5.0, vec![1.0, 0.1, 0.1])],
+    )
+}
+
+fn main() {
+    let reg = registry();
+    let wf = spec();
+    println!("EXP-X4: partitioned per-replica queues (paper) vs shared type queue (M/M/c)\n");
+    println!("Comm type, rho = 0.8 per replica, exponential service (3 s mean):\n");
+
+    let mut table = Table::new(&[
+        "replicas",
+        "M/G/1 model (s)",
+        "sim random split (s)",
+        "sim round-robin (s)",
+        "M/M/c model (s)",
+        "sim shared (s)",
+        "pooling gain",
+    ]);
+    for c in [1usize, 2, 4, 8] {
+        let xi = 0.8 * c as f64 / 0.05;
+        let config = Configuration::new(&reg, vec![c, 20, 20]).expect("valid");
+        let base = SimOptions {
+            duration_minutes: 30_000.0,
+            warmup_minutes: 3_000.0,
+            seed: 1234,
+            ..SimOptions::default()
+        };
+        let part_random = run(
+            &reg,
+            &config,
+            &[(&wf, xi)],
+            &SimOptions { load_balancing: LoadBalancing::Random, ..base },
+        )
+        .expect("simulates");
+        let part_rr = run(&reg, &config, &[(&wf, xi)], &base).expect("simulates");
+        let shared = run(
+            &reg,
+            &config,
+            &[(&wf, xi)],
+            &SimOptions { queue_discipline: QueueDiscipline::SharedQueue, ..base },
+        )
+        .expect("simulates");
+        let w_mg1 = Mg1::new(xi / c as f64, ServiceMoments::exponential(0.05).expect("valid"))
+            .expect("valid")
+            .mean_waiting_time()
+            .expect("stable");
+        let w_mmc = Mmc::new(xi, 0.05, c).expect("valid").mean_waiting_time().expect("stable");
+        table.row(vec![
+            c.to_string(),
+            format!("{:.3}", w_mg1 * 60.0),
+            format!("{:.3}", part_random.server_types[0].mean_waiting * 60.0),
+            format!("{:.3}", part_rr.server_types[0].mean_waiting * 60.0),
+            format!("{:.3}", w_mmc * 60.0),
+            format!("{:.3}", shared.server_types[0].mean_waiting * 60.0),
+            format!("{:.1}x", w_mg1 / w_mmc),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nReading: the M/G/1 model is exact for RANDOM splitting (which keeps the\n\
+         per-replica streams Poisson) and conservative for round-robin (whose\n\
+         deterministic alternation thins arrivals into smoother Erlang-c gaps);\n\
+         a shared dispatcher queue (M/M/c) serves the same load with multi-x\n\
+         lower waits at high replication — an architectural lever the models\n\
+         make visible."
+    );
+
+    // Heterogeneous machines (Sec. 4.4's closing remark).
+    println!("\nHeterogeneous machines (same comm type, l = 24/min, total capacity 2x nominal):\n");
+    let load = SystemLoad {
+        request_rates: vec![24.0, 0.1, 0.1],
+        total_arrival_rate: 1.0,
+        active_instances: vec![],
+    };
+    let mut table = Table::new(&["machine speeds", "per-replica util", "expected wait (s)"]);
+    for speeds in [vec![1.0, 1.0], vec![1.5, 0.5], vec![2.0]] {
+        let out = waiting_times_heterogeneous(
+            &load,
+            &reg,
+            &[speeds.clone(), vec![1.0], vec![1.0]],
+        )
+        .expect("computes");
+        let (util, wait) = match out[0] {
+            wfms_perf::WaitingOutcome::Stable { utilization, waiting_time } => {
+                (format!("{utilization:.3}"), format!("{:.3}", waiting_time * 60.0))
+            }
+            _ => ("-".into(), "saturated".into()),
+        };
+        table.row(vec![format!("{speeds:?}"), util, wait]);
+    }
+    table.print();
+    println!(
+        "\nEqual total capacity is not equal performance: one double-speed machine\n\
+         halves the wait versus two nominal ones. Under capacity-proportional\n\
+         routing a fast+slow pair ties two nominal machines exactly (the\n\
+         weighted wait depends only on the machine count and total speed) —\n\
+         the per-computer service-time adjustment the paper's closing remark\n\
+         calls for, with a non-obvious consequence."
+    );
+}

@@ -1,0 +1,55 @@
+//! EXP-X5 (extension) — parameter sensitivity of the goal metrics.
+//!
+//! Which calibrated parameter (Sec. 7.1) deserves the most scrutiny?
+//! Log-log elasticities of the worst expected waiting time and the
+//! system unavailability for the EP scenario.
+
+use wfms_bench::Table;
+use wfms_config::{sensitivity, SensitivityOptions};
+use wfms_perf::{aggregate_load, analyze_workflow, AnalysisOptions, WorkloadItem};
+use wfms_statechart::{paper_section52_registry, Configuration};
+use wfms_workloads::{ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
+
+fn main() {
+    let registry = paper_section52_registry();
+    let analysis =
+        analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
+    let load = aggregate_load(
+        &[WorkloadItem { analysis, arrival_rate: EP_DEFAULT_ARRIVAL_RATE * 3.0 }],
+        &registry,
+    )
+    .expect("aggregates");
+    let config = Configuration::uniform(&registry, 2).expect("valid");
+
+    println!(
+        "EXP-X5: goal-metric elasticities at {config} (EP at 3x default load, 5% step)\n"
+    );
+    let entries =
+        sensitivity(&registry, &config, &load, &SensitivityOptions::default()).expect("computes");
+    let mut table = Table::new(&["parameter", "d ln(worst wait)", "d ln(unavailability)"]);
+    let mut rows = entries.clone();
+    rows.sort_by(|a, b| {
+        b.waiting_elasticity
+            .unwrap_or(0.0)
+            .abs()
+            .total_cmp(&a.waiting_elasticity.unwrap_or(0.0).abs())
+    });
+    for e in &rows {
+        table.row(vec![
+            e.label.clone(),
+            e.waiting_elasticity
+                .map(|v| format!("{v:+.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            format!("{:+.3}", e.unavailability_elasticity),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nReading: waiting is dominated by the engine's service time (queueing\n\
+         amplification beyond elasticity 1) and by the load level; availability\n\
+         is dominated by the application server's failure/repair rates, whose\n\
+         elasticities mirror each other (U_x ≈ (λ/μ)^Y). Calibration effort\n\
+         should go to the engine's service-time moments and the app server's\n\
+         dependability statistics first."
+    );
+}

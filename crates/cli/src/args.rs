@@ -1,0 +1,234 @@
+//! Minimal dependency-free argument parsing for the `wfms` binary.
+//!
+//! The grammar is a command word followed by `--flag value` pairs (plus a
+//! few boolean flags). Kept deliberately small: the CLI surfaces the
+//! library, it is not an argument-parsing showcase.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed invocation: the command word plus its options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The command, e.g. `recommend`.
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No command word supplied.
+    MissingCommand,
+    /// A `--flag` was not followed by a value.
+    MissingValue {
+        /// The flag missing its value.
+        flag: String,
+    },
+    /// A positional token appeared where a flag was expected.
+    UnexpectedToken {
+        /// The stray token.
+        token: String,
+    },
+    /// A required option is absent.
+    MissingOption {
+        /// The option name.
+        option: &'static str,
+    },
+    /// An option failed to parse.
+    InvalidValue {
+        /// The option name.
+        option: String,
+        /// The raw value.
+        value: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `wfms help`)"),
+            ArgError::MissingValue { flag } => write!(f, "--{flag} needs a value"),
+            ArgError::UnexpectedToken { token } => write!(f, "unexpected argument {token:?}"),
+            ArgError::MissingOption { option } => write!(f, "required option --{option} missing"),
+            ArgError::InvalidValue { option, value, reason } => {
+                write!(f, "invalid --{option} {value:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Boolean flags the CLI understands (no value expected).
+const BOOLEAN_FLAGS: &[&str] = &["json", "failures", "optimal", "annealing", "help"];
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    /// [`ArgError`] on malformed input.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter().peekable();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::UnexpectedToken { token: command });
+        }
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(token) = iter.next() {
+            let name = token
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedToken { token: token.clone() })?
+                .to_string();
+            if BOOLEAN_FLAGS.contains(&name.as_str()) {
+                flags.push(name);
+                continue;
+            }
+            let value = iter
+                .next()
+                .filter(|v| !v.starts_with("--"))
+                .ok_or_else(|| ArgError::MissingValue { flag: name.clone() })?;
+            options.insert(name, value);
+        }
+        Ok(ParsedArgs { command, options, flags })
+    }
+
+    /// An optional string option.
+    pub fn get(&self, option: &str) -> Option<&str> {
+        self.options.get(option).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    /// [`ArgError::MissingOption`] when absent.
+    pub fn require(&self, option: &'static str) -> Result<&str, ArgError> {
+        self.get(option).ok_or(ArgError::MissingOption { option })
+    }
+
+    /// True when the boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// An optional `f64` option.
+    ///
+    /// # Errors
+    /// [`ArgError::InvalidValue`] on parse failure.
+    pub fn get_f64(&self, option: &str) -> Result<Option<f64>, ArgError> {
+        match self.get(option) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|e| ArgError::InvalidValue {
+                    option: option.to_string(),
+                    value: raw.to_string(),
+                    reason: e.to_string(),
+                }),
+        }
+    }
+
+    /// An optional `u64` option.
+    ///
+    /// # Errors
+    /// [`ArgError::InvalidValue`] on parse failure.
+    pub fn get_u64(&self, option: &str) -> Result<Option<u64>, ArgError> {
+        match self.get(option) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|e| ArgError::InvalidValue {
+                    option: option.to_string(),
+                    value: raw.to_string(),
+                    reason: e.to_string(),
+                }),
+        }
+    }
+
+    /// A comma-separated replica vector, e.g. `2,2,3`.
+    ///
+    /// # Errors
+    /// [`ArgError::InvalidValue`] on parse failure.
+    pub fn get_replicas(&self, option: &str) -> Result<Option<Vec<usize>>, ArgError> {
+        match self.get(option) {
+            None => Ok(None),
+            Some(raw) => raw
+                .split(',')
+                .map(|part| part.trim().parse::<usize>())
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+                .map_err(|e| ArgError::InvalidValue {
+                    option: option.to_string(),
+                    value: raw.to_string(),
+                    reason: e.to_string(),
+                }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&[
+            "recommend",
+            "--registry",
+            "reg.json",
+            "--max-wait",
+            "0.05",
+            "--json",
+            "--config",
+            "2,2,3",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "recommend");
+        assert_eq!(a.get("registry"), Some("reg.json"));
+        assert_eq!(a.get_f64("max-wait").unwrap(), Some(0.05));
+        assert!(a.flag("json"));
+        assert!(!a.flag("failures"));
+        assert_eq!(a.get_replicas("config").unwrap(), Some(vec![2, 2, 3]));
+        assert_eq!(a.get_replicas("other").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert!(matches!(
+            parse(&["--json"]).unwrap_err(),
+            ArgError::UnexpectedToken { .. }
+        ));
+        assert!(matches!(
+            parse(&["assess", "stray"]).unwrap_err(),
+            ArgError::UnexpectedToken { .. }
+        ));
+        assert!(matches!(
+            parse(&["assess", "--registry"]).unwrap_err(),
+            ArgError::MissingValue { .. }
+        ));
+        assert!(matches!(
+            parse(&["assess", "--registry", "--json"]).unwrap_err(),
+            ArgError::MissingValue { .. }
+        ));
+    }
+
+    #[test]
+    fn typed_getters_validate() {
+        let a = parse(&["x", "--n", "abc", "--m", "1,2,x"]).unwrap();
+        assert!(matches!(a.get_f64("n"), Err(ArgError::InvalidValue { .. })));
+        assert!(matches!(a.get_u64("n"), Err(ArgError::InvalidValue { .. })));
+        assert!(matches!(a.get_replicas("m"), Err(ArgError::InvalidValue { .. })));
+        assert!(matches!(a.require("ghost"), Err(ArgError::MissingOption { option: "ghost" })));
+    }
+}

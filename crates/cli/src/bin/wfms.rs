@@ -1,0 +1,7 @@
+//! `wfms` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    std::process::exit(wfms_cli::main_with_args(args, &mut stdout));
+}

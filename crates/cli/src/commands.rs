@@ -1,0 +1,437 @@
+//! The `wfms` command implementations.
+//!
+//! Every command writes its human- or JSON-formatted report to the
+//! supplied writer, so the test-suite can exercise the full CLI without
+//! spawning processes.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use wfms_core::config::{
+    sensitivity, AnnealingOptions, Goals, SearchOptions, SearchResult, SensitivityOptions,
+};
+use wfms_core::statechart::{chart_to_dot, map_chart, mapping_to_dot};
+use wfms_core::sim::{run as simulate, SimOptions};
+use wfms_core::statechart::{paper_section52_registry, validate_spec};
+use wfms_core::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
+use wfms_core::{Configuration, ConfigurationTool, ServerTypeRegistry, WorkflowSpec};
+
+use crate::args::{ArgError, ParsedArgs};
+use crate::error::CliError;
+
+/// One workflow type plus its arrival rate, as stored in a workload file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadEntry {
+    /// Arrival rate ξ in instances per minute.
+    pub arrival_rate: f64,
+    /// The workflow specification.
+    pub spec: WorkflowSpec,
+}
+
+/// The on-disk workload file: the "workflow repository" of Sec. 7.1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadFile {
+    /// All registered workflow types.
+    pub workflows: Vec<WorkloadEntry>,
+}
+
+fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io { path: path.to_string(), message: e.to_string() })?;
+    serde_json::from_str(&text)
+        .map_err(|e| CliError::Json { path: path.to_string(), message: e.to_string() })
+}
+
+fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<(), CliError> {
+    let text = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(path, text)
+        .map_err(|e| CliError::Io { path: path.display().to_string(), message: e.to_string() })
+}
+
+fn load_registry(args: &ParsedArgs) -> Result<ServerTypeRegistry, CliError> {
+    read_json(args.require("registry")?)
+}
+
+fn load_tool(args: &ParsedArgs) -> Result<ConfigurationTool, CliError> {
+    let registry = load_registry(args)?;
+    let workload: WorkloadFile = read_json(args.require("workload")?)?;
+    let mut tool = ConfigurationTool::new(registry);
+    for entry in workload.workflows {
+        tool.add_workflow(entry.spec, entry.arrival_rate)?;
+    }
+    Ok(tool)
+}
+
+fn parse_goals(args: &ParsedArgs) -> Result<Goals, CliError> {
+    let max_wait = args.get_f64("max-wait")?;
+    let min_availability = args.get_f64("min-availability")?;
+    let goals = Goals {
+        max_waiting_time: max_wait,
+        min_availability,
+        per_type_waiting: Vec::new(),
+    };
+    goals.validate()?;
+    Ok(goals)
+}
+
+fn parse_config(
+    args: &ParsedArgs,
+    registry: &ServerTypeRegistry,
+) -> Result<Configuration, CliError> {
+    let replicas = args
+        .get_replicas("config")?
+        .ok_or(ArgError::MissingOption { option: "config" })?;
+    Ok(Configuration::new(registry, replicas).map_err(wfms_core::ConfigError::Arch)?)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+wfms — performability-driven configuration of distributed WFMS
+(reproduction of Gillmann et al., EDBT 2000)
+
+USAGE: wfms <command> [options]
+
+COMMANDS
+  init         --dir <path>
+               write a starter registry.json + workload.json (the paper's
+               Sec. 5.2 architecture and the Fig. 3 e-commerce workflow)
+  validate     --registry <file> --workload <file>
+  analyze      --registry <file> --workload <file> [--json]
+               per-workflow turnaround, request counts, percentiles
+  availability --registry <file> --config <y1,y2,..> [--json]
+  assess       --registry <file> --workload <file> --config <y1,..>
+               [--max-wait <min>] [--min-availability <a>] [--json]
+  recommend    --registry <file> --workload <file>
+               [--max-wait <min>] [--min-availability <a>]
+               [--budget <servers>] [--optimal | --annealing] [--json]
+  simulate     --registry <file> --workload <file> --config <y1,..>
+               [--duration <min>] [--warmup <min>] [--seed <n>]
+               [--failures] [--json]
+  sensitivity  --registry <file> --workload <file> --config <y1,..>
+               [--step <rel>] [--json]
+               log-log elasticities of the goal metrics per parameter
+  export-dot   --registry <file> --workload <file> --workflow <name>
+               [--view chart|ctmc] [--out <file>]
+               Graphviz source for the Fig. 3 chart or Fig. 4 CTMC view
+  help         this text
+";
+
+/// Runs one CLI invocation, writing the report to `out`.
+///
+/// # Errors
+/// [`CliError`] on bad arguments, unreadable files, or model failures.
+pub fn run_command(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "help" => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        "init" => cmd_init(args, out),
+        "validate" => cmd_validate(args, out),
+        "analyze" => cmd_analyze(args, out),
+        "availability" => cmd_availability(args, out),
+        "assess" => cmd_assess(args, out),
+        "recommend" => cmd_recommend(args, out),
+        "simulate" => cmd_simulate(args, out),
+        "sensitivity" => cmd_sensitivity(args, out),
+        "export-dot" => cmd_export_dot(args, out),
+        other => Err(CliError::UnknownCommand { command: other.to_string() }),
+    }
+}
+
+fn cmd_init(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let dir = Path::new(args.require("dir")?);
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError::Io { path: dir.display().to_string(), message: e.to_string() })?;
+    let registry = paper_section52_registry();
+    write_json(&dir.join("registry.json"), &registry)?;
+    let workload = WorkloadFile {
+        workflows: vec![WorkloadEntry {
+            arrival_rate: EP_SIM_ARRIVAL_RATE,
+            spec: ep_workflow(),
+        }],
+    };
+    write_json(&dir.join("workload.json"), &workload)?;
+    writeln!(out, "wrote {}/registry.json and {}/workload.json", dir.display(), dir.display())?;
+    writeln!(
+        out,
+        "next: wfms recommend --registry {0}/registry.json --workload {0}/workload.json \\\n\
+         \x20      --max-wait 0.05 --min-availability 0.9999",
+        dir.display()
+    )?;
+    Ok(())
+}
+
+fn cmd_validate(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let registry = load_registry(args)?;
+    let workload: WorkloadFile = read_json(args.require("workload")?)?;
+    for entry in &workload.workflows {
+        validate_spec(&entry.spec, &registry).map_err(wfms_core::ConfigError::Spec)?;
+        writeln!(
+            out,
+            "ok: workflow {:?} ({} states, ξ = {}/min)",
+            entry.spec.name,
+            entry.spec.chart.states.len(),
+            entry.arrival_rate
+        )?;
+    }
+    writeln!(out, "all {} workflow(s) valid against {} server types", workload.workflows.len(), registry.len())?;
+    Ok(())
+}
+
+#[derive(Debug, Serialize)]
+struct AnalyzeReport {
+    workflow: String,
+    mean_turnaround_minutes: f64,
+    p50_minutes: f64,
+    p90_minutes: f64,
+    p99_minutes: f64,
+    expected_requests: Vec<(String, f64)>,
+    active_instances: f64,
+}
+
+fn cmd_analyze(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let tool = load_tool(args)?;
+    let mut reports = Vec::new();
+    for (spec, rate) in tool.workloads() {
+        let analysis = tool.workflow_analysis(&spec.name)?;
+        let dist = wfms_core::perf::TurnaroundDistribution::new(&analysis, 1e-9)
+            .map_err(wfms_core::ConfigError::Perf)?;
+        let requests = tool
+            .registry()
+            .iter()
+            .map(|(id, t)| (t.name.clone(), analysis.expected_requests[id.0]))
+            .collect();
+        reports.push(AnalyzeReport {
+            workflow: spec.name.clone(),
+            mean_turnaround_minutes: analysis.mean_turnaround,
+            p50_minutes: dist.percentile(0.5).map_err(wfms_core::ConfigError::Perf)?,
+            p90_minutes: dist.percentile(0.9).map_err(wfms_core::ConfigError::Perf)?,
+            p99_minutes: dist.percentile(0.99).map_err(wfms_core::ConfigError::Perf)?,
+            expected_requests: requests,
+            active_instances: rate * analysis.mean_turnaround,
+        });
+    }
+    if args.flag("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&reports).expect("serializable"))?;
+        return Ok(());
+    }
+    for r in &reports {
+        writeln!(out, "workflow {:?}:", r.workflow)?;
+        writeln!(
+            out,
+            "  turnaround: mean {:.1} min, p50 {:.1}, p90 {:.1}, p99 {:.1}",
+            r.mean_turnaround_minutes, r.p50_minutes, r.p90_minutes, r.p99_minutes
+        )?;
+        writeln!(out, "  concurrently active instances: {:.1}", r.active_instances)?;
+        for (name, req) in &r.expected_requests {
+            writeln!(out, "  requests/instance @ {name}: {req:.3}")?;
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug, Serialize)]
+struct AvailabilityReport {
+    configuration: Vec<usize>,
+    availability: f64,
+    downtime_minutes_per_year: f64,
+}
+
+fn cmd_availability(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let registry = load_registry(args)?;
+    let config = parse_config(args, &registry)?;
+    let tool = ConfigurationTool::new(registry);
+    let figures = tool.availability(&config)?;
+    let report = AvailabilityReport {
+        configuration: config.as_slice().to_vec(),
+        availability: figures.availability,
+        downtime_minutes_per_year: figures.downtime_minutes_per_year,
+    };
+    if args.flag("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&report).expect("serializable"))?;
+    } else {
+        writeln!(
+            out,
+            "{config}: availability {:.8} ({:.2} min downtime/year)",
+            report.availability, report.downtime_minutes_per_year
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let tool = load_tool(args)?;
+    let config = parse_config(args, tool.registry())?;
+    let goals = parse_goals(args)?;
+    let assessment = tool.assess(&config, &goals)?;
+    if args.flag("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&assessment).expect("serializable"))?;
+        return Ok(());
+    }
+    writeln!(out, "configuration {config} ({} servers):", assessment.cost)?;
+    writeln!(
+        out,
+        "  availability {:.8} ({:.2} min downtime/year)",
+        assessment.availability, assessment.downtime_minutes_per_year
+    )?;
+    match &assessment.expected_waiting {
+        Some(waits) => {
+            for ((_, t), w) in tool.registry().iter().zip(waits) {
+                writeln!(out, "  expected wait @ {}: {:.2} s", t.name, w * 60.0)?;
+            }
+        }
+        None => writeln!(out, "  SATURATED: the full configuration cannot serve the load")?,
+    }
+    writeln!(out, "  goals met: {}", assessment.meets_goals())?;
+    Ok(())
+}
+
+fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let tool = load_tool(args)?;
+    let goals = parse_goals(args)?;
+    let budget = args.get_u64("budget")?.unwrap_or(64) as usize;
+    let opts = SearchOptions { max_total_servers: budget };
+    let (method, result): (&str, SearchResult) = if args.flag("optimal") {
+        ("exhaustive", tool.recommend_optimal(&goals, &opts)?)
+    } else if args.flag("annealing") {
+        let load = tool.system_load()?;
+        let annealing = AnnealingOptions {
+            max_total_servers: budget,
+            seed: args.get_u64("seed")?.unwrap_or(42),
+            ..AnnealingOptions::default()
+        };
+        (
+            "annealing",
+            wfms_core::config::annealing_search(tool.registry(), &load, &goals, &annealing)?,
+        )
+    } else {
+        ("greedy", tool.recommend(&goals, &opts)?)
+    };
+    if args.flag("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&result.assessment).expect("serializable"))?;
+        return Ok(());
+    }
+    let a = &result.assessment;
+    writeln!(out, "method {method}: recommend {:?} ({} servers, {} evaluations)", a.replicas, a.cost, result.evaluations)?;
+    writeln!(
+        out,
+        "  availability {:.8} ({:.2} min downtime/year)",
+        a.availability, a.downtime_minutes_per_year
+    )?;
+    if let Some(w) = a.max_expected_waiting {
+        writeln!(out, "  worst expected wait {:.2} s", w * 60.0)?;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let registry = load_registry(args)?;
+    let workload: WorkloadFile = read_json(args.require("workload")?)?;
+    let config = parse_config(args, &registry)?;
+    let opts = SimOptions {
+        duration_minutes: args.get_f64("duration")?.unwrap_or(50_000.0),
+        warmup_minutes: args.get_f64("warmup")?.unwrap_or(5_000.0),
+        seed: args.get_u64("seed")?.unwrap_or(42),
+        failures_enabled: args.flag("failures"),
+        ..SimOptions::default()
+    };
+    let mix: Vec<(&WorkflowSpec, f64)> =
+        workload.workflows.iter().map(|e| (&e.spec, e.arrival_rate)).collect();
+    let report = simulate(&registry, &config, &mix, &opts)?;
+    if args.flag("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&report).expect("serializable"))?;
+        return Ok(());
+    }
+    writeln!(out, "simulated {:.0} measured minutes on {config}:", report.measured_minutes)?;
+    for wf in &report.workflows {
+        writeln!(
+            out,
+            "  {}: {} completed, mean turnaround {:.1} min",
+            wf.name, wf.completed, wf.mean_turnaround
+        )?;
+    }
+    for st in &report.server_types {
+        writeln!(
+            out,
+            "  {}: λ {:.3}/min, wait {:.3} s, utilization {:.3}",
+            st.name,
+            st.arrival_rate,
+            st.mean_waiting * 60.0,
+            st.utilization
+        )?;
+    }
+    if opts.failures_enabled {
+        writeln!(
+            out,
+            "  availability: {:.6} ({} failures, {} repairs)",
+            report.availability.system_uptime_fraction,
+            report.availability.failures,
+            report.availability.repairs
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_sensitivity(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let tool = load_tool(args)?;
+    let config = parse_config(args, tool.registry())?;
+    let load = tool.system_load()?;
+    let opts = SensitivityOptions {
+        relative_step: args.get_f64("step")?.unwrap_or(0.05),
+    };
+    let entries = sensitivity(tool.registry(), &config, &load, &opts)?;
+    if args.flag("json") {
+        writeln!(out, "{}", serde_json::to_string_pretty(&entries).expect("serializable"))?;
+        return Ok(());
+    }
+    writeln!(out, "elasticities at {config} (step {:.0}%):", opts.relative_step * 100.0)?;
+    writeln!(out, "{:<36} {:>14} {:>18}", "parameter", "d ln(wait)", "d ln(unavail)")?;
+    for e in &entries {
+        let wait = e
+            .waiting_elasticity
+            .map(|v| format!("{v:+.3}"))
+            .unwrap_or_else(|| "n/a".to_string());
+        writeln!(out, "{:<36} {:>14} {:>+18.3}", e.label, wait, e.unavailability_elasticity)?;
+    }
+    Ok(())
+}
+
+fn cmd_export_dot(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let tool = load_tool(args)?;
+    let name = args.require("workflow")?;
+    let (spec, _) = tool
+        .workloads()
+        .iter()
+        .find(|(s, _)| s.name == name)
+        .ok_or_else(|| CliError::Tool(wfms_core::ConfigError::Calibration(format!(
+            "unknown workflow {name:?}"
+        ))))?;
+    let view = args.get("view").unwrap_or("chart");
+    let dot = match view {
+        "chart" => chart_to_dot(&spec.chart),
+        "ctmc" => {
+            let mapping = map_chart(&spec.chart, spec)
+                .map_err(wfms_core::ConfigError::Spec)?;
+            mapping_to_dot(&mapping)
+        }
+        other => {
+            return Err(CliError::Arg(ArgError::InvalidValue {
+                option: "view".into(),
+                value: other.into(),
+                reason: "expected `chart` or `ctmc`".into(),
+            }))
+        }
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &dot)
+                .map_err(|e| CliError::Io { path: path.to_string(), message: e.to_string() })?;
+            writeln!(out, "wrote {} bytes of DOT to {path}", dot.len())?;
+        }
+        None => write!(out, "{dot}")?,
+    }
+    Ok(())
+}

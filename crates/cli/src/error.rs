@@ -1,0 +1,81 @@
+//! CLI error type.
+
+use std::fmt;
+
+use crate::args::ArgError;
+use wfms_core::sim::SimError;
+use wfms_core::ConfigError;
+
+/// Errors surfaced to the terminal user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument-parsing failure.
+    Arg(ArgError),
+    /// Unknown command word.
+    UnknownCommand {
+        /// What the user typed.
+        command: String,
+    },
+    /// File-system failure.
+    Io {
+        /// Offending path.
+        path: String,
+        /// OS error text.
+        message: String,
+    },
+    /// JSON (de)serialization failure.
+    Json {
+        /// Offending path.
+        path: String,
+        /// Parser error text.
+        message: String,
+    },
+    /// Configuration-tool failure.
+    Tool(ConfigError),
+    /// Simulator failure.
+    Sim(SimError),
+    /// Writing the report failed.
+    Output(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Arg(e) => write!(f, "{e}"),
+            CliError::UnknownCommand { command } => {
+                write!(f, "unknown command {command:?} (try `wfms help`)")
+            }
+            CliError::Io { path, message } => write!(f, "{path}: {message}"),
+            CliError::Json { path, message } => write!(f, "{path}: invalid JSON: {message}"),
+            CliError::Tool(e) => write!(f, "{e}"),
+            CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Output(e) => write!(f, "failed to write output: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Arg(e)
+    }
+}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Tool(e)
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Output(e)
+    }
+}

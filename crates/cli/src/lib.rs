@@ -1,0 +1,45 @@
+//! The `wfms` command-line configuration tool.
+//!
+//! The paper closes (Sec. 8) with "we have started implementing the
+//! configuration tool sketched in Section 7 […] We expect to have the
+//! tool ready for demonstration by the middle of this year." This crate
+//! is that demonstrable tool: file-based workflow repository (JSON specs
+//! and registries), validation, analysis, assessment, minimum-cost
+//! recommendation (greedy / exhaustive / simulated annealing), and
+//! simulation, all over the `wfms-core` library.
+//!
+//! ```sh
+//! wfms init --dir ./scenario
+//! wfms recommend --registry ./scenario/registry.json \
+//!                --workload ./scenario/workload.json \
+//!                --max-wait 0.05 --min-availability 0.9999
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+pub use args::{ArgError, ParsedArgs};
+pub use commands::{run_command, WorkloadEntry, WorkloadFile, USAGE};
+pub use error::CliError;
+
+/// Parses the argument list and runs the command, writing to `out`.
+/// Returns the process exit code.
+pub fn main_with_args(args: impl IntoIterator<Item = String>, out: &mut impl std::io::Write) -> i32 {
+    let parsed = match ParsedArgs::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("wfms: {e}");
+            return 2;
+        }
+    };
+    match run_command(&parsed, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("wfms: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! End-to-end CLI tests: every command driven through `run_command` with
+//! real files in a temporary directory, output captured in-memory.
+
+use std::path::PathBuf;
+
+use wfms_cli::{run_command, CliError, ParsedArgs, USAGE};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("wfms-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).display().to_string()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn invoke(tokens: &[&str]) -> Result<String, CliError> {
+    let parsed = ParsedArgs::parse(tokens.iter().map(|s| s.to_string()))?;
+    let mut out = Vec::new();
+    run_command(&parsed, &mut out)?;
+    Ok(String::from_utf8(out).expect("utf-8 output"))
+}
+
+/// Creates a scenario directory via `wfms init` and returns it.
+fn scenario(tag: &str) -> TempDir {
+    let dir = TempDir::new(tag);
+    let out = invoke(&["init", "--dir", &dir.0.display().to_string()]).expect("init succeeds");
+    assert!(out.contains("registry.json"));
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = invoke(&["help"]).unwrap();
+    assert_eq!(out, USAGE);
+    assert!(out.contains("recommend"));
+}
+
+#[test]
+fn unknown_command_is_rejected() {
+    assert!(matches!(
+        invoke(&["frobnicate"]),
+        Err(CliError::UnknownCommand { command }) if command == "frobnicate"
+    ));
+}
+
+#[test]
+fn init_validate_analyze_round_trip() {
+    let dir = scenario("validate");
+    let out = invoke(&[
+        "validate",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+    ])
+    .unwrap();
+    assert!(out.contains("ok: workflow \"EP\""));
+    assert!(out.contains("3 server types"));
+
+    let out = invoke(&[
+        "analyze",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+    ])
+    .unwrap();
+    assert!(out.contains("workflow \"EP\""));
+    assert!(out.contains("p90"));
+    assert!(out.contains("requests/instance @ workflow-engine"));
+}
+
+#[test]
+fn analyze_json_is_machine_readable() {
+    let dir = scenario("analyze-json");
+    let out = invoke(&[
+        "analyze",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--json",
+    ])
+    .unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    let mean = parsed[0]["mean_turnaround_minutes"].as_f64().unwrap();
+    assert!((mean - 1236.9).abs() < 1.0, "mean {mean}");
+}
+
+#[test]
+fn availability_matches_paper_anchor() {
+    let dir = scenario("availability");
+    let out = invoke(&[
+        "availability",
+        "--registry",
+        &dir.path("registry.json"),
+        "--config",
+        "1,1,1",
+    ])
+    .unwrap();
+    // 71 h/year ≈ 4260 min/year.
+    assert!(out.contains("availability 0.9918"), "{out}");
+}
+
+#[test]
+fn assess_reports_goal_outcome() {
+    let dir = scenario("assess");
+    let out = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--max-wait",
+        "0.05",
+        "--min-availability",
+        "0.9999",
+    ])
+    .unwrap();
+    assert!(out.contains("goals met: true"), "{out}");
+
+    let out = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "1,1,1",
+        "--min-availability",
+        "0.9999",
+    ])
+    .unwrap();
+    assert!(out.contains("goals met: false"), "{out}");
+}
+
+#[test]
+fn recommend_all_methods_agree_on_the_ep_scenario() {
+    let dir = scenario("recommend");
+    let base = [
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--max-wait",
+        "0.05",
+        "--min-availability",
+        "0.9999",
+    ]
+    .map(String::from);
+    let greedy = {
+        let toks: Vec<&str> = base.iter().map(String::as_str).collect();
+        invoke(&toks).unwrap()
+    };
+    assert!(greedy.contains("method greedy: recommend [2, 2, 2]"), "{greedy}");
+    let optimal = {
+        let mut toks: Vec<&str> = base.iter().map(String::as_str).collect();
+        toks.push("--optimal");
+        invoke(&toks).unwrap()
+    };
+    assert!(optimal.contains("recommend [2, 2, 2]"), "{optimal}");
+}
+
+#[test]
+fn recommend_json_emits_assessment() {
+    let dir = scenario("recommend-json");
+    let out = invoke(&[
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--min-availability",
+        "0.9999",
+        "--json",
+    ])
+    .unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert!(parsed["availability"].as_f64().unwrap() >= 0.9999);
+}
+
+#[test]
+fn simulate_runs_and_reports() {
+    let dir = scenario("simulate");
+    let out = invoke(&[
+        "simulate",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--duration",
+        "5000",
+        "--warmup",
+        "500",
+        "--failures",
+    ])
+    .unwrap();
+    assert!(out.contains("EP:"), "{out}");
+    assert!(out.contains("availability:"), "{out}");
+}
+
+#[test]
+fn missing_goals_are_reported() {
+    let dir = scenario("nogoals");
+    let err = invoke(&[
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("no performability goal"), "{err}");
+}
+
+#[test]
+fn missing_files_and_bad_json_are_reported() {
+    let err = invoke(&["availability", "--registry", "/nonexistent.json", "--config", "1,1,1"])
+        .unwrap_err();
+    assert!(matches!(err, CliError::Io { .. }));
+
+    let dir = TempDir::new("badjson");
+    std::fs::write(dir.0.join("registry.json"), "{ not json").unwrap();
+    let err = invoke(&[
+        "availability",
+        "--registry",
+        &dir.path("registry.json"),
+        "--config",
+        "1,1,1",
+    ])
+    .unwrap_err();
+    assert!(matches!(err, CliError::Json { .. }));
+}
+
+#[test]
+fn bad_config_vector_is_reported() {
+    let dir = scenario("badconfig");
+    let err = invoke(&[
+        "availability",
+        "--registry",
+        &dir.path("registry.json"),
+        "--config",
+        "1,1",
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("length 2"), "{err}");
+}
+
+#[test]
+fn sensitivity_ranks_parameters() {
+    let dir = scenario("sensitivity");
+    let out = invoke(&[
+        "sensitivity",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+    ])
+    .unwrap();
+    assert!(out.contains("failure rate @ application-server"), "{out}");
+    assert!(out.contains("arrival-rate scale"), "{out}");
+    // JSON variant parses.
+    let json = invoke(&[
+        "sensitivity",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--json",
+    ])
+    .unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert!(parsed.as_array().unwrap().len() >= 10);
+}
+
+#[test]
+fn export_dot_renders_both_views() {
+    let dir = scenario("dot");
+    let chart = invoke(&[
+        "export-dot",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--workflow",
+        "EP",
+    ])
+    .unwrap();
+    assert!(chart.starts_with("digraph \"EP\""), "{chart}");
+    assert!(chart.contains("Delivery_SC"), "subworkflows rendered as clusters");
+
+    let ctmc = invoke(&[
+        "export-dot",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--workflow",
+        "EP",
+        "--view",
+        "ctmc",
+    ])
+    .unwrap();
+    assert!(ctmc.contains("digraph \"EP_ctmc\""), "{ctmc}");
+    assert!(ctmc.contains("s_A"));
+
+    // Writing to a file.
+    let out = invoke(&[
+        "export-dot",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--workflow",
+        "EP",
+        "--out",
+        &dir.path("ep.dot"),
+    ])
+    .unwrap();
+    assert!(out.contains("wrote"), "{out}");
+    assert!(std::fs::read_to_string(dir.path("ep.dot")).unwrap().contains("digraph"));
+
+    // Bad view flag.
+    let err = invoke(&[
+        "export-dot",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--workflow",
+        "EP",
+        "--view",
+        "3d",
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("chart"), "{err}");
+}

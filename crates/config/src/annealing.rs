@@ -1,0 +1,262 @@
+//! Simulated-annealing configuration search.
+//!
+//! Sec. 7.2 of the paper: "While this may eventually entail full-fledged
+//! algorithms for mathematical optimization such as branch-and-bound or
+//! simulated annealing, our first version of the tool uses a simple
+//! greedy heuristics." This module is that eventual extension: a
+//! Metropolis walk over replication vectors with a penalized-cost
+//! objective, useful when goal structures (per-type thresholds, many
+//! server types) create local minima the greedy path cannot escape.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wfms_perf::SystemLoad;
+use wfms_statechart::{Configuration, ServerTypeRegistry};
+
+use crate::assess::{assess, Assessment};
+use crate::error::ConfigError;
+use crate::goals::Goals;
+use crate::search::SearchResult;
+
+/// Annealing schedule and move parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealingOptions {
+    /// Number of Metropolis steps.
+    pub steps: usize,
+    /// Initial temperature, in cost units (servers).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor applied each step (`0 < c < 1`).
+    pub cooling: f64,
+    /// RNG seed — equal seeds give identical searches.
+    pub seed: u64,
+    /// Upper bound on replicas of any single type.
+    pub max_replicas_per_type: usize,
+    /// Upper bound on the total number of servers.
+    pub max_total_servers: usize,
+}
+
+impl Default for AnnealingOptions {
+    fn default() -> Self {
+        AnnealingOptions {
+            steps: 400,
+            initial_temperature: 4.0,
+            cooling: 0.99,
+            seed: 42,
+            max_replicas_per_type: 16,
+            max_total_servers: 64,
+        }
+    }
+}
+
+/// Penalty weight per unit of goal violation (in cost units). Must
+/// dominate any realistic cost difference so infeasible configurations
+/// never beat feasible ones.
+const PENALTY_WEIGHT: f64 = 1_000.0;
+
+/// Penalized objective: cost plus goal-violation penalties.
+fn objective(assessment: &Assessment, goals: &Goals) -> f64 {
+    let mut value = assessment.cost as f64;
+    if let Some(min_avail) = goals.min_availability {
+        let shortfall = (1.0 - assessment.availability) / (1.0 - min_avail);
+        if shortfall > 1.0 {
+            // Log scale: each missing "nine" costs the same.
+            value += PENALTY_WEIGHT * shortfall.log10().max(0.01);
+        }
+    }
+    let any_waiting_goal =
+        goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
+    if any_waiting_goal {
+        match &assessment.expected_waiting {
+            None => value += 10.0 * PENALTY_WEIGHT, // saturated
+            Some(waits) => {
+                for (x, &w) in waits.iter().enumerate() {
+                    if let Some(threshold) = goals.waiting_threshold_for(x) {
+                        let ratio = w / threshold;
+                        if ratio > 1.0 {
+                            value += PENALTY_WEIGHT * (ratio - 1.0).min(10.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    value
+}
+
+/// Simulated-annealing search for a (near-)minimum-cost configuration
+/// meeting the goals. Starts from the unreplicated configuration, walks
+/// with ±1-replica moves, and returns the cheapest feasible configuration
+/// visited.
+///
+/// # Errors
+/// * [`ConfigError::GoalsUnreachable`] when no feasible configuration was
+///   visited within the step budget.
+/// * Model failures as [`ConfigError`].
+pub fn annealing_search(
+    registry: &ServerTypeRegistry,
+    load: &SystemLoad,
+    goals: &Goals,
+    opts: &AnnealingOptions,
+) -> Result<SearchResult, ConfigError> {
+    goals.validate()?;
+    let k = registry.len();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut current = Configuration::minimal(registry);
+    let mut current_assessment = assess(registry, &current, load, goals)?;
+    let mut current_obj = objective(&current_assessment, goals);
+    let mut evaluations = 1;
+    let mut trace = vec![current_assessment.clone()];
+    let mut best_feasible: Option<Assessment> = current_assessment
+        .meets_goals()
+        .then(|| current_assessment.clone());
+
+    let mut temperature = opts.initial_temperature;
+    for _ in 0..opts.steps {
+        // Propose: ±1 replica of a random type, within bounds.
+        let x = rng.gen_range(0..k);
+        let grow = rng.gen_bool(0.5);
+        let mut replicas = current.as_slice().to_vec();
+        if grow {
+            if replicas[x] >= opts.max_replicas_per_type
+                || replicas.iter().sum::<usize>() >= opts.max_total_servers
+            {
+                temperature *= opts.cooling;
+                continue;
+            }
+            replicas[x] += 1;
+        } else {
+            if replicas[x] <= 1 {
+                temperature *= opts.cooling;
+                continue;
+            }
+            replicas[x] -= 1;
+        }
+        let candidate = Configuration::new(registry, replicas)?;
+        let assessment = assess(registry, &candidate, load, goals)?;
+        evaluations += 1;
+        let obj = objective(&assessment, goals);
+
+        let accept = obj <= current_obj
+            || rng.gen::<f64>() < ((current_obj - obj) / temperature.max(1e-9)).exp();
+        if accept {
+            current = candidate;
+            current_obj = obj;
+            current_assessment = assessment.clone();
+            trace.push(current_assessment.clone());
+            if assessment.meets_goals()
+                && best_feasible
+                    .as_ref()
+                    .is_none_or(|b| assessment.cost < b.cost)
+            {
+                best_feasible = Some(assessment);
+            }
+        }
+        temperature *= opts.cooling;
+    }
+
+    match best_feasible {
+        Some(assessment) => Ok(SearchResult { assessment, trace, evaluations }),
+        None => Err(ConfigError::GoalsUnreachable {
+            budget: opts.max_total_servers,
+            last_candidate: current.as_slice().to_vec(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{greedy_search, SearchOptions};
+    use wfms_statechart::paper_section52_registry;
+
+    fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {
+        let rates: Vec<f64> =
+            reg.iter().map(|(_, t)| rho_single / t.service_time_mean).collect();
+        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+    }
+
+    #[test]
+    fn annealing_finds_a_feasible_configuration() {
+        let reg = paper_section52_registry();
+        let load = load_at(1.5, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let result =
+            annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
+        assert!(result.assessment.meets_goals());
+    }
+
+    #[test]
+    fn annealing_is_close_to_greedy_cost() {
+        let reg = paper_section52_registry();
+        let load = load_at(1.5, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let greedy = greedy_search(&reg, &load, &goals, &SearchOptions::default()).unwrap();
+        let annealed =
+            annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
+        assert!(
+            annealed.cost() <= greedy.cost() + 2,
+            "annealing {} vs greedy {}",
+            annealed.cost(),
+            greedy.cost()
+        );
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::availability_only(0.9999).unwrap();
+        let opts = AnnealingOptions::default();
+        let a = annealing_search(&reg, &load, &goals, &opts).unwrap();
+        let b = annealing_search(&reg, &load, &goals, &opts).unwrap();
+        assert_eq!(a.assessment, b.assessment);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn annealing_reports_unreachable_goals() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.5, &reg);
+        let goals = Goals::availability_only(0.999_999_999_999).unwrap();
+        let opts = AnnealingOptions {
+            steps: 50,
+            max_replicas_per_type: 2,
+            max_total_servers: 6,
+            ..AnnealingOptions::default()
+        };
+        assert!(matches!(
+            annealing_search(&reg, &load, &goals, &opts),
+            Err(ConfigError::GoalsUnreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn annealing_handles_per_type_goals() {
+        let reg = paper_section52_registry();
+        let load = load_at(1.8, &reg);
+        // Demand a very fast application server but be lenient elsewhere.
+        let goals = Goals::waiting_time_only(0.05)
+            .unwrap()
+            .with_type_waiting(2, 0.001)
+            .unwrap();
+        let result =
+            annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
+        assert!(result.assessment.meets_goals());
+        let y = &result.assessment.replicas;
+        assert!(y[2] >= y[0], "app type must be replicated hardest: {y:?}");
+    }
+
+    #[test]
+    fn objective_penalizes_violations_above_any_cost() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.5, &reg);
+        let goals = Goals::availability_only(0.999_999).unwrap();
+        let cheap_bad = assess(&reg, &Configuration::minimal(&reg), &load, &goals).unwrap();
+        let pricey_good =
+            assess(&reg, &Configuration::uniform(&reg, 3).unwrap(), &load, &goals).unwrap();
+        assert!(objective(&cheap_bad, &goals) > objective(&pricey_good, &goals));
+    }
+}

@@ -1,0 +1,212 @@
+//! Assessment of one candidate configuration against the goals.
+
+use serde::{Deserialize, Serialize};
+
+use wfms_avail::{AvailabilityModel, MINUTES_PER_YEAR};
+use wfms_markov::ctmc::SteadyStateMethod;
+use wfms_perf::SystemLoad;
+use wfms_performability::{evaluate_with_model, DegradedPolicy, PerformabilityError};
+use wfms_statechart::{Configuration, ServerTypeRegistry};
+
+use crate::error::ConfigError;
+use crate::goals::{GoalCheck, Goals};
+
+/// The evaluated quality of one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// The assessed replication vector `Y`.
+    pub replicas: Vec<usize>,
+    /// Cost = total number of servers.
+    pub cost: usize,
+    /// Steady-state availability of the entire WFMS.
+    pub availability: f64,
+    /// Expected downtime, minutes per year.
+    pub downtime_minutes_per_year: f64,
+    /// Expected waiting time per server type under the performability
+    /// model (conditional on serving states), when computable.
+    pub expected_waiting: Option<Vec<f64>>,
+    /// The worst entry of `expected_waiting`.
+    pub max_expected_waiting: Option<f64>,
+    /// Probability that some server type is saturated while the system is
+    /// nominally up.
+    pub probability_saturated: f64,
+    /// Which goals the configuration meets.
+    pub goals: GoalCheck,
+}
+
+impl Assessment {
+    /// True when all set goals are met.
+    pub fn meets_goals(&self) -> bool {
+        self.goals.all_met()
+    }
+}
+
+/// Evaluates `config` against `goals` under `load`: availability from the
+/// Sec. 5 model, waiting times from the Sec. 6 performability model.
+///
+/// A configuration whose full-strength state cannot serve the load is not
+/// an error — it simply fails the waiting-time goal
+/// (`expected_waiting = None`).
+///
+/// # Errors
+/// Model failures as [`ConfigError`] (goal violations are reported
+/// in-band, not as errors).
+pub fn assess(
+    registry: &ServerTypeRegistry,
+    config: &Configuration,
+    load: &SystemLoad,
+    goals: &Goals,
+) -> Result<Assessment, ConfigError> {
+    goals.validate()?;
+    let model = AvailabilityModel::new(registry, config)?;
+    let pi = model.steady_state(SteadyStateMethod::Lu)?;
+    let availability = model.availability(&pi)?;
+    let downtime_minutes_per_year = (1.0 - availability) * MINUTES_PER_YEAR;
+
+    let perf =
+        match evaluate_with_model(&model, &pi, registry, load, DegradedPolicy::Conditional) {
+            Ok(report) => Some(report),
+            Err(PerformabilityError::NoServingStates) => None,
+            Err(e) => return Err(e.into()),
+        };
+    let (expected_waiting, max_expected_waiting, probability_saturated) = match &perf {
+        Some(r) => (
+            Some(r.expected_waiting.clone()),
+            Some(r.max_expected_waiting()),
+            r.probability_saturated,
+        ),
+        None => (None, None, 1.0),
+    };
+
+    let any_waiting_goal =
+        goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
+    let waiting_time_met = if !any_waiting_goal {
+        true
+    } else {
+        match &expected_waiting {
+            None => false, // saturated: no finite waiting exists
+            Some(waits) => waits.iter().enumerate().all(|(x, &w)| {
+                goals.waiting_threshold_for(x).is_none_or(|threshold| w <= threshold)
+            }),
+        }
+    };
+    let availability_met = match goals.min_availability {
+        None => true,
+        Some(min) => availability >= min,
+    };
+
+    Ok(Assessment {
+        replicas: config.as_slice().to_vec(),
+        cost: config.total_servers(),
+        availability,
+        downtime_minutes_per_year,
+        expected_waiting,
+        max_expected_waiting,
+        probability_saturated,
+        goals: GoalCheck { waiting_time_met, availability_met },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_statechart::paper_section52_registry;
+
+    fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {
+        let rates: Vec<f64> =
+            reg.iter().map(|(_, t)| rho_single / t.service_time_mean).collect();
+        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+    }
+
+    #[test]
+    fn assessment_reports_cost_and_availability() {
+        let reg = paper_section52_registry();
+        let config = Configuration::new(&reg, vec![2, 2, 3]).unwrap();
+        let goals = Goals::new(1.0, 0.999).unwrap();
+        let a = assess(&reg, &config, &load_at(0.3, &reg), &goals).unwrap();
+        assert_eq!(a.cost, 7);
+        assert_eq!(a.replicas, vec![2, 2, 3]);
+        assert!(a.availability > 0.999_99);
+        assert!(a.downtime_minutes_per_year < 1.0);
+        assert!(a.meets_goals());
+    }
+
+    #[test]
+    fn unreplicated_system_fails_tight_availability_goal() {
+        let reg = paper_section52_registry();
+        let config = Configuration::minimal(&reg);
+        let goals = Goals::availability_only(0.9999).unwrap();
+        let a = assess(&reg, &config, &load_at(0.3, &reg), &goals).unwrap();
+        // 71 h/year downtime => availability ≈ 0.9919.
+        assert!(!a.goals.availability_met);
+        assert!(a.goals.waiting_time_met, "unset goal is vacuously met");
+        assert!(!a.meets_goals());
+    }
+
+    #[test]
+    fn saturated_configuration_fails_waiting_goal_without_error() {
+        let reg = paper_section52_registry();
+        let config = Configuration::minimal(&reg);
+        let goals = Goals::waiting_time_only(1.0).unwrap();
+        let a = assess(&reg, &config, &load_at(2.0, &reg), &goals).unwrap();
+        assert_eq!(a.expected_waiting, None);
+        assert_eq!(a.max_expected_waiting, None);
+        assert!(!a.goals.waiting_time_met);
+        assert_eq!(a.probability_saturated, 1.0);
+    }
+
+    #[test]
+    fn tight_waiting_goal_discriminates() {
+        let reg = paper_section52_registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(1.2, &reg);
+        let loose = Goals::waiting_time_only(10.0).unwrap();
+        let a = assess(&reg, &config, &load, &loose).unwrap();
+        assert!(a.goals.waiting_time_met);
+        let w = a.max_expected_waiting.unwrap();
+        let tight = Goals::waiting_time_only(w * 0.5).unwrap();
+        let b = assess(&reg, &config, &load, &tight).unwrap();
+        assert!(!b.goals.waiting_time_met);
+    }
+
+    #[test]
+    fn invalid_goals_propagate() {
+        let reg = paper_section52_registry();
+        let config = Configuration::minimal(&reg);
+        let goals = Goals {
+            max_waiting_time: None,
+            min_availability: None,
+            per_type_waiting: Vec::new(),
+        };
+        assert!(matches!(
+            assess(&reg, &config, &load_at(0.1, &reg), &goals),
+            Err(ConfigError::NoGoals)
+        ));
+    }
+
+    #[test]
+    fn per_type_threshold_binds_only_its_type() {
+        let reg = paper_section52_registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(1.2, &reg);
+        // Baseline: generous global threshold passes.
+        let loose = Goals::waiting_time_only(10.0).unwrap();
+        let a = assess(&reg, &config, &load, &loose).unwrap();
+        assert!(a.goals.waiting_time_met);
+        let w_engine = a.expected_waiting.as_ref().unwrap()[1];
+        // Tighten only the engine type below its actual waiting time.
+        let tight_engine = Goals::waiting_time_only(10.0)
+            .unwrap()
+            .with_type_waiting(1, w_engine * 0.5)
+            .unwrap();
+        let b = assess(&reg, &config, &load, &tight_engine).unwrap();
+        assert!(!b.goals.waiting_time_met);
+        // Tightening an already-comfortable type changes nothing.
+        let slack_comm = Goals::waiting_time_only(10.0)
+            .unwrap()
+            .with_type_waiting(0, 9.9)
+            .unwrap();
+        let c = assess(&reg, &config, &load, &slack_comm).unwrap();
+        assert!(c.goals.waiting_time_met);
+    }
+}

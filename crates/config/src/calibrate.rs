@@ -1,0 +1,400 @@
+//! Calibration of model parameters from audit trails (Sec. 7.1).
+//!
+//! "If the entire workflow application is already operational […] the
+//! transition probabilities can be derived from audit trails of previous
+//! workflow executions", and residence times / service-time moments "can
+//! be easily estimated by collecting and evaluating online statistics."
+//!
+//! The input is a set of [`WorkflowTrace`]s — per-instance sequences of
+//! `(state, duration)` visits, as emitted by the `wfms-sim` audit trail
+//! or by a real WFMS log adapter. Calibration produces empirical
+//! transition probabilities and mean residence times, which
+//! [`apply_to_spec`] folds back into a [`WorkflowSpec`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use wfms_statechart::{StateKind, WorkflowSpec};
+
+use crate::error::ConfigError;
+
+/// Synthetic target name marking workflow termination in a trace.
+pub const TRACE_FINAL: &str = "$final";
+
+/// One completed visit of a workflow execution state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateVisit {
+    /// Chart state name (top-level states, e.g. `NewOrder_S`).
+    pub state: String,
+    /// Time spent in the state, minutes.
+    pub duration_minutes: f64,
+}
+
+/// The audit trail of one workflow instance: its state visits in
+/// execution order. The instance is assumed to have terminated after the
+/// last visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowTrace {
+    /// Workflow type name.
+    pub workflow_type: String,
+    /// Visits in order.
+    pub visits: Vec<StateVisit>,
+}
+
+/// Empirical estimates for one chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedChart {
+    /// Observed visits per state.
+    pub visit_counts: BTreeMap<String, u64>,
+    /// Empirical mean residence time per state (minutes).
+    pub mean_residence: BTreeMap<String, f64>,
+    /// Empirical transition probabilities `from → (to → p)`; termination
+    /// appears as the target [`TRACE_FINAL`].
+    pub transition_probabilities: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Number of traces that contributed.
+    pub traces_used: usize,
+}
+
+impl CalibratedChart {
+    /// The empirical probability of `from → to`, zero if unobserved.
+    pub fn probability(&self, from: &str, to: &str) -> f64 {
+        self.transition_probabilities
+            .get(from)
+            .and_then(|m| m.get(to))
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// Estimates transition probabilities and residence times from traces.
+///
+/// # Errors
+/// [`ConfigError::Calibration`] on empty input or non-positive durations.
+pub fn calibrate_from_traces(traces: &[WorkflowTrace]) -> Result<CalibratedChart, ConfigError> {
+    if traces.is_empty() {
+        return Err(ConfigError::Calibration("no traces supplied".into()));
+    }
+    let mut visit_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut duration_sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut transition_counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for trace in traces {
+        if trace.visits.is_empty() {
+            return Err(ConfigError::Calibration(format!(
+                "trace for workflow type {:?} has no visits",
+                trace.workflow_type
+            )));
+        }
+        for (i, visit) in trace.visits.iter().enumerate() {
+            if !(visit.duration_minutes.is_finite() && visit.duration_minutes >= 0.0) {
+                return Err(ConfigError::Calibration(format!(
+                    "invalid duration {} in state {:?}",
+                    visit.duration_minutes, visit.state
+                )));
+            }
+            *visit_counts.entry(visit.state.clone()).or_insert(0) += 1;
+            *duration_sums.entry(visit.state.clone()).or_insert(0.0) += visit.duration_minutes;
+            let target = trace
+                .visits
+                .get(i + 1)
+                .map(|v| v.state.clone())
+                .unwrap_or_else(|| TRACE_FINAL.to_string());
+            *transition_counts
+                .entry(visit.state.clone())
+                .or_default()
+                .entry(target)
+                .or_insert(0) += 1;
+        }
+    }
+    let mean_residence = duration_sums
+        .iter()
+        .map(|(s, sum)| (s.clone(), sum / visit_counts[s] as f64))
+        .collect();
+    let transition_probabilities = transition_counts
+        .into_iter()
+        .map(|(from, targets)| {
+            let total: u64 = targets.values().sum();
+            let probs = targets
+                .into_iter()
+                .map(|(to, c)| (to, c as f64 / total as f64))
+                .collect();
+            (from, probs)
+        })
+        .collect();
+    Ok(CalibratedChart {
+        visit_counts,
+        mean_residence,
+        transition_probabilities,
+        traces_used: traces.len(),
+    })
+}
+
+/// Options for folding calibration results back into a specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApplyOptions {
+    /// States with fewer observed visits keep their designer-provided
+    /// values.
+    pub min_observations: u64,
+    /// Laplace-style smoothing floor: every chart transition keeps at
+    /// least this probability even when it was never observed, so rare
+    /// branches stay reachable (a zero would make their whole subgraph
+    /// unreachable and fail re-validation). Probabilities are
+    /// renormalized after flooring.
+    pub probability_floor: f64,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        ApplyOptions { min_observations: 30, probability_floor: 1e-6 }
+    }
+}
+
+/// Summary of what [`apply_to_spec`] changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplyReport {
+    /// Transitions whose probabilities were replaced.
+    pub transitions_updated: usize,
+    /// Activities whose mean duration was replaced.
+    pub activities_updated: usize,
+    /// States skipped for insufficient observations.
+    pub states_skipped: usize,
+}
+
+/// Replaces the top-level chart's transition probabilities and the
+/// matched activities' mean durations with the calibrated estimates.
+/// Per source state, empirical probabilities are renormalized over the
+/// transitions that exist in the chart (unobserved chart transitions get
+/// probability zero) so each state keeps a proper distribution.
+///
+/// # Errors
+/// [`ConfigError::Calibration`] when a calibrated state's observed mass
+/// lands entirely on transitions missing from the chart.
+pub fn apply_to_spec(
+    spec: &mut WorkflowSpec,
+    calibrated: &CalibratedChart,
+    opts: &ApplyOptions,
+) -> Result<ApplyReport, ConfigError> {
+    let mut report =
+        ApplyReport { transitions_updated: 0, activities_updated: 0, states_skipped: 0 };
+
+    let final_name = spec
+        .chart
+        .final_state()
+        .map(|id| spec.chart.states[id.0].name.clone());
+
+    // Pass 1: compute new probabilities per transition index.
+    let mut new_probs: Vec<Option<f64>> = vec![None; spec.chart.transitions.len()];
+    for (state_idx, state) in spec.chart.states.iter().enumerate() {
+        if matches!(state.kind, StateKind::Initial | StateKind::Final) {
+            continue;
+        }
+        let observed = calibrated.visit_counts.get(&state.name).copied().unwrap_or(0);
+        if observed < opts.min_observations {
+            report.states_skipped += 1;
+            continue;
+        }
+        // Map each outgoing transition to its empirical probability.
+        let mut weights: Vec<(usize, f64)> = Vec::new();
+        let mut total = 0.0;
+        for (t_idx, t) in spec.chart.transitions.iter().enumerate() {
+            if t.from.0 != state_idx {
+                continue;
+            }
+            let target_name = &spec.chart.states[t.to.0].name;
+            let p = if Some(target_name) == final_name.as_ref() {
+                calibrated.probability(&state.name, TRACE_FINAL)
+                    + calibrated.probability(&state.name, target_name)
+            } else {
+                calibrated.probability(&state.name, target_name)
+            };
+            weights.push((t_idx, p));
+            total += p;
+        }
+        if total <= 0.0 {
+            return Err(ConfigError::Calibration(format!(
+                "state {:?}: observed transitions do not match any chart transition",
+                state.name
+            )));
+        }
+        // Floor + renormalize (Laplace-style smoothing; see ApplyOptions).
+        let floored: Vec<(usize, f64)> = weights
+            .iter()
+            .map(|&(t_idx, p)| (t_idx, (p / total).max(opts.probability_floor)))
+            .collect();
+        let floored_total: f64 = floored.iter().map(|&(_, p)| p).sum();
+        for (t_idx, p) in floored {
+            new_probs[t_idx] = Some(p / floored_total);
+        }
+    }
+    for (t, p) in spec.chart.transitions.iter_mut().zip(&new_probs) {
+        if let Some(p) = p {
+            t.probability = *p;
+            report.transitions_updated += 1;
+        }
+    }
+
+    // Pass 2: activity durations from residence times of matched states.
+    let mut duration_updates: Vec<(String, f64)> = Vec::new();
+    for state in &spec.chart.states {
+        if let StateKind::Activity { activity } = &state.kind {
+            let observed = calibrated.visit_counts.get(&state.name).copied().unwrap_or(0);
+            if observed >= opts.min_observations {
+                if let Some(&mean) = calibrated.mean_residence.get(&state.name) {
+                    if mean > 0.0 {
+                        duration_updates.push((activity.clone(), mean));
+                    }
+                }
+            }
+        }
+    }
+    for (activity, mean) in duration_updates {
+        if let Some(a) = spec.activities.get_mut(&activity) {
+            a.mean_duration = mean;
+            report.activities_updated += 1;
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use wfms_statechart::{
+        validate_spec, ActivityKind, ActivitySpec, ChartBuilder, EcaRule,
+        paper_section52_registry,
+    };
+
+    fn branching_spec() -> WorkflowSpec {
+        let chart = ChartBuilder::new("B")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "B")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 0.5, EcaRule::default())
+            .transition("a", "f", 0.5, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        WorkflowSpec::new(
+            "B",
+            chart,
+            [
+                ActivitySpec::new("A", ActivityKind::Automated, 1.0, vec![1.0, 1.0, 1.0]),
+                ActivitySpec::new("B", ActivityKind::Automated, 1.0, vec![1.0, 1.0, 1.0]),
+            ],
+        )
+    }
+
+    /// Generates traces from the *true* behavior: a -> b with prob 0.3,
+    /// durations 2.0 for a, 5.0 for b.
+    fn synthetic_traces(n: usize, seed: u64) -> Vec<WorkflowTrace> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut visits =
+                    vec![StateVisit { state: "a".into(), duration_minutes: 2.0 }];
+                if rng.gen::<f64>() < 0.3 {
+                    visits.push(StateVisit { state: "b".into(), duration_minutes: 5.0 });
+                }
+                WorkflowTrace { workflow_type: "B".into(), visits }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_estimates_probabilities_and_residences() {
+        let traces = synthetic_traces(20_000, 7);
+        let cal = calibrate_from_traces(&traces).unwrap();
+        assert_eq!(cal.traces_used, 20_000);
+        let p_ab = cal.probability("a", "b");
+        assert!((p_ab - 0.3).abs() < 0.02, "p(a->b) = {p_ab}");
+        let p_af = cal.probability("a", TRACE_FINAL);
+        assert!((p_af - 0.7).abs() < 0.02);
+        assert!((cal.mean_residence["a"] - 2.0).abs() < 1e-9);
+        assert!((cal.mean_residence["b"] - 5.0).abs() < 1e-9);
+        assert_eq!(cal.probability("ghost", "x"), 0.0);
+    }
+
+    #[test]
+    fn calibration_rejects_bad_input() {
+        assert!(matches!(calibrate_from_traces(&[]), Err(ConfigError::Calibration(_))));
+        let empty = WorkflowTrace { workflow_type: "x".into(), visits: vec![] };
+        assert!(calibrate_from_traces(&[empty]).is_err());
+        let bad = WorkflowTrace {
+            workflow_type: "x".into(),
+            visits: vec![StateVisit { state: "a".into(), duration_minutes: f64::NAN }],
+        };
+        assert!(calibrate_from_traces(&[bad]).is_err());
+    }
+
+    #[test]
+    fn apply_updates_spec_probabilities_and_durations() {
+        let mut spec = branching_spec();
+        let traces = synthetic_traces(10_000, 11);
+        let cal = calibrate_from_traces(&traces).unwrap();
+        let report = apply_to_spec(&mut spec, &cal, &ApplyOptions::default()).unwrap();
+        assert_eq!(report.transitions_updated, 3); // a->b, a->f, b->f
+        assert_eq!(report.activities_updated, 2);
+        assert_eq!(report.states_skipped, 0);
+        // Probabilities now reflect the true 0.3/0.7 split.
+        let a = spec.chart.state_by_name("a").unwrap();
+        let probs: Vec<f64> = spec.chart.outgoing(a).map(|t| t.probability).collect();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs.iter().any(|&p| (p - 0.3).abs() < 0.02));
+        // Durations updated.
+        assert!((spec.activity("A").unwrap().mean_duration - 2.0).abs() < 1e-9);
+        assert!((spec.activity("B").unwrap().mean_duration - 5.0).abs() < 1e-9);
+        // The spec still validates.
+        validate_spec(&spec, &paper_section52_registry()).unwrap();
+    }
+
+    #[test]
+    fn sparse_states_are_skipped() {
+        let mut spec = branching_spec();
+        let traces = synthetic_traces(10, 3); // too few for min_observations = 30
+        let cal = calibrate_from_traces(&traces).unwrap();
+        let before: Vec<f64> = spec.chart.transitions.iter().map(|t| t.probability).collect();
+        let report = apply_to_spec(&mut spec, &cal, &ApplyOptions::default()).unwrap();
+        assert!(report.states_skipped >= 1);
+        // With both states under-observed nothing changes.
+        let after: Vec<f64> = spec.chart.transitions.iter().map(|t| t.probability).collect();
+        if report.transitions_updated == 0 {
+            assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn calibration_error_estimates_shrink_with_more_traces() {
+        let small = calibrate_from_traces(&synthetic_traces(100, 5)).unwrap();
+        let large = calibrate_from_traces(&synthetic_traces(50_000, 5)).unwrap();
+        let err_small = (small.probability("a", "b") - 0.3).abs();
+        let err_large = (large.probability("a", "b") - 0.3).abs();
+        assert!(err_large <= err_small + 1e-3, "small {err_small} vs large {err_large}");
+        assert!(err_large < 0.01);
+    }
+
+    #[test]
+    fn mismatched_trace_states_error_on_apply() {
+        let mut spec = branching_spec();
+        let traces = vec![
+            WorkflowTrace {
+                workflow_type: "B".into(),
+                visits: vec![StateVisit { state: "a".into(), duration_minutes: 1.0 }],
+            };
+            50
+        ];
+        // Rename the chart's transitions so the observed mass maps nowhere:
+        // make 'a' only lead to 'b' (remove a->final), then trace says a->final.
+        spec.chart.transitions.retain(|t| {
+            !(spec.chart.states[t.from.0].name == "a" && spec.chart.states[t.to.0].name == "f")
+        });
+        let cal = calibrate_from_traces(&traces).unwrap();
+        assert!(matches!(
+            apply_to_spec(&mut spec, &cal, &ApplyOptions::default()),
+            Err(ConfigError::Calibration(_))
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! Performability goals (Sec. 7.1 of the paper).
+//!
+//! "System administrators or architects can specify goals of the
+//! following two kinds: 1) a tolerance threshold for the mean waiting
+//! time of service requests that would still be acceptable to the
+//! end-users, and 2) a tolerance threshold for the unavailability of the
+//! entire WFMS, or in other words, a minimum availability level."
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// The goals driving the configuration search. At least one goal must
+/// be set; unset goals are not constrained.
+///
+/// Besides the paper's two global goals, the per-server-type refinement
+/// of Sec. 7.1 ("both kinds of goals can be refined […] by requiring,
+/// for example, different maximum waiting times or availability levels
+/// for specific server types") is supported through
+/// [`Goals::with_type_waiting`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Goals {
+    /// Maximum acceptable mean waiting time of service requests, in
+    /// minutes (evaluated against the performability model's worst
+    /// per-server-type expectation).
+    pub max_waiting_time: Option<f64>,
+    /// Minimum availability of the entire WFMS, e.g. `0.9999`.
+    pub min_availability: Option<f64>,
+    /// Per-server-type waiting-time thresholds `(type index, minutes)`,
+    /// refining (and overriding, for the named types) the global
+    /// threshold.
+    pub per_type_waiting: Vec<(usize, f64)>,
+}
+
+impl Goals {
+    /// Both goals.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidGoal`] on out-of-domain values.
+    pub fn new(max_waiting_time: f64, min_availability: f64) -> Result<Self, ConfigError> {
+        let g = Goals {
+            max_waiting_time: Some(max_waiting_time),
+            min_availability: Some(min_availability),
+            per_type_waiting: Vec::new(),
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Only a waiting-time goal.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidGoal`] on an out-of-domain value.
+    pub fn waiting_time_only(max_waiting_time: f64) -> Result<Self, ConfigError> {
+        let g = Goals {
+            max_waiting_time: Some(max_waiting_time),
+            min_availability: None,
+            per_type_waiting: Vec::new(),
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Only an availability goal.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidGoal`] on an out-of-domain value.
+    pub fn availability_only(min_availability: f64) -> Result<Self, ConfigError> {
+        let g = Goals {
+            max_waiting_time: None,
+            min_availability: Some(min_availability),
+            per_type_waiting: Vec::new(),
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Adds (or tightens) a per-server-type waiting-time threshold.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidGoal`] on an out-of-domain threshold.
+    pub fn with_type_waiting(
+        mut self,
+        type_index: usize,
+        max_waiting_time: f64,
+    ) -> Result<Self, ConfigError> {
+        if !(max_waiting_time.is_finite() && max_waiting_time > 0.0) {
+            return Err(ConfigError::InvalidGoal {
+                what: "per-type max waiting time",
+                value: max_waiting_time,
+            });
+        }
+        self.per_type_waiting.retain(|&(x, _)| x != type_index);
+        self.per_type_waiting.push((type_index, max_waiting_time));
+        Ok(self)
+    }
+
+    /// The effective waiting-time threshold for server type `x`: its
+    /// per-type refinement if present, else the global threshold.
+    pub fn waiting_threshold_for(&self, x: usize) -> Option<f64> {
+        self.per_type_waiting
+            .iter()
+            .find(|&&(t, _)| t == x)
+            .map(|&(_, w)| w)
+            .or(self.max_waiting_time)
+    }
+
+    /// Checks goal domains: waiting time positive and finite, availability
+    /// in `(0, 1)`, at least one goal set.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidGoal`] / [`ConfigError::NoGoals`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_waiting_time.is_none()
+            && self.min_availability.is_none()
+            && self.per_type_waiting.is_empty()
+        {
+            return Err(ConfigError::NoGoals);
+        }
+        for &(_, w) in &self.per_type_waiting {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(ConfigError::InvalidGoal {
+                    what: "per-type max waiting time",
+                    value: w,
+                });
+            }
+        }
+        if let Some(w) = self.max_waiting_time {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(ConfigError::InvalidGoal { what: "max waiting time", value: w });
+            }
+        }
+        if let Some(a) = self.min_availability {
+            if !(a.is_finite() && a > 0.0 && a < 1.0) {
+                return Err(ConfigError::InvalidGoal { what: "min availability", value: a });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which goals a concrete configuration meets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoalCheck {
+    /// The waiting-time goal is met (vacuously true when unset).
+    pub waiting_time_met: bool,
+    /// The availability goal is met (vacuously true when unset).
+    pub availability_met: bool,
+}
+
+impl GoalCheck {
+    /// All set goals are met.
+    pub fn all_met(&self) -> bool {
+        self.waiting_time_met && self.availability_met
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Goals::new(0.5, 0.999).is_ok());
+        assert!(matches!(Goals::new(0.0, 0.9), Err(ConfigError::InvalidGoal { .. })));
+        assert!(matches!(Goals::new(1.0, 1.0), Err(ConfigError::InvalidGoal { .. })));
+        assert!(matches!(Goals::new(1.0, 0.0), Err(ConfigError::InvalidGoal { .. })));
+        assert!(Goals::waiting_time_only(0.1).is_ok());
+        assert!(Goals::availability_only(0.99).is_ok());
+        assert!(matches!(Goals::waiting_time_only(f64::NAN), Err(ConfigError::InvalidGoal { .. })));
+    }
+
+    #[test]
+    fn empty_goals_are_rejected() {
+        let g = Goals {
+            max_waiting_time: None,
+            min_availability: None,
+            per_type_waiting: Vec::new(),
+        };
+        assert!(matches!(g.validate(), Err(ConfigError::NoGoals)));
+    }
+
+    #[test]
+    fn per_type_thresholds_override_the_global_one() {
+        let g = Goals::waiting_time_only(1.0)
+            .unwrap()
+            .with_type_waiting(2, 0.1)
+            .unwrap();
+        assert_eq!(g.waiting_threshold_for(0), Some(1.0));
+        assert_eq!(g.waiting_threshold_for(2), Some(0.1));
+        // Re-adding replaces rather than duplicates.
+        let g = g.with_type_waiting(2, 0.2).unwrap();
+        assert_eq!(g.per_type_waiting.len(), 1);
+        assert_eq!(g.waiting_threshold_for(2), Some(0.2));
+        assert!(g.clone().with_type_waiting(1, 0.0).is_err());
+    }
+
+    #[test]
+    fn per_type_only_goals_are_allowed() {
+        let g = Goals {
+            max_waiting_time: None,
+            min_availability: None,
+            per_type_waiting: vec![(0, 0.5)],
+        };
+        g.validate().unwrap();
+        assert_eq!(g.waiting_threshold_for(0), Some(0.5));
+        assert_eq!(g.waiting_threshold_for(1), None);
+    }
+
+    #[test]
+    fn goal_check_conjunction() {
+        assert!(GoalCheck { waiting_time_met: true, availability_met: true }.all_met());
+        assert!(!GoalCheck { waiting_time_met: false, availability_met: true }.all_met());
+        assert!(!GoalCheck { waiting_time_met: true, availability_met: false }.all_met());
+    }
+}

@@ -1,0 +1,39 @@
+//! The WFMS configuration tool (Sec. 7 of the EDBT 2000 paper).
+//!
+//! Four components, mirroring the paper's architecture:
+//!
+//! * **Mapping** — workflow specifications are translated into CTMC
+//!   models by `wfms-statechart` / `wfms-perf`; this crate consumes the
+//!   resulting [`wfms_perf::SystemLoad`].
+//! * **Calibration** ([`calibrate`]) — transition probabilities,
+//!   residence times, and service moments estimated from audit trails
+//!   and online statistics.
+//! * **Evaluation** ([`mod@assess`]) — availability (Sec. 5) and
+//!   performability (Sec. 6) of a candidate configuration against
+//!   administrator [`goals::Goals`].
+//! * **Recommendation** ([`search`]) — the greedy minimum-cost heuristic
+//!   of Sec. 7.2, plus an exhaustive baseline for validating it.
+
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod assess;
+pub mod calibrate;
+pub mod error;
+pub mod goals;
+pub mod search;
+pub mod sensitivity;
+
+pub use annealing::{annealing_search, AnnealingOptions};
+pub use assess::{assess, Assessment};
+pub use calibrate::{
+    apply_to_spec, calibrate_from_traces, ApplyOptions, ApplyReport, CalibratedChart, StateVisit,
+    WorkflowTrace, TRACE_FINAL,
+};
+pub use error::ConfigError;
+pub use goals::{GoalCheck, Goals};
+pub use search::{
+    branch_and_bound_search, exhaustive_search, goal_lower_bounds, greedy_search,
+    minimum_stable_replicas, SearchOptions, SearchResult,
+};
+pub use sensitivity::{sensitivity, Parameter, SensitivityEntry, SensitivityOptions};

@@ -1,0 +1,143 @@
+//! Shared error type for chain construction and analysis.
+
+use std::fmt;
+
+use crate::linalg::{IterativeError, LuError, MatrixError};
+
+/// Errors raised when constructing or analyzing Markov chains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainError {
+    /// The transition matrix is not square.
+    NotSquare {
+        /// Offending shape.
+        shape: (usize, usize),
+    },
+    /// A chain needs at least one state.
+    Empty,
+    /// A row of the transition matrix does not sum to one or has negative
+    /// entries.
+    NotStochastic {
+        /// Offending row.
+        row: usize,
+        /// The row sum that was found.
+        row_sum: f64,
+    },
+    /// A jump chain has a self-loop on a non-absorbing state, which the
+    /// embedded-chain representation cannot express.
+    SelfLoop {
+        /// Offending state.
+        state: usize,
+    },
+    /// A residence time is invalid (non-positive or NaN) for a transient
+    /// state, or finite for an absorbing state.
+    InvalidResidenceTime {
+        /// Offending state.
+        state: usize,
+        /// The value supplied.
+        value: f64,
+    },
+    /// The vector of residence times (or labels, rates, rewards) has the
+    /// wrong length for the chain.
+    LengthMismatch {
+        /// What the vector was supposed to describe.
+        what: &'static str,
+        /// Expected length (number of states).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// A generator matrix row violates `q_ii = -Σ_{j≠i} q_ij` or has a
+    /// negative off-diagonal rate.
+    InvalidGenerator {
+        /// Offending row.
+        row: usize,
+    },
+    /// A state index is out of range.
+    StateOutOfRange {
+        /// The index supplied.
+        state: usize,
+        /// Number of states in the chain.
+        n: usize,
+    },
+    /// The requested analysis needs at least one absorbing state.
+    NoAbsorbingState,
+    /// The requested analysis is only defined for chains where absorption
+    /// from every transient state is certain, and this chain violates it.
+    AbsorptionNotCertain {
+        /// A transient state from which the absorbing set is unreachable.
+        state: usize,
+    },
+    /// An underlying matrix operation failed.
+    Matrix(MatrixError),
+    /// A direct linear solve failed.
+    Lu(LuError),
+    /// An iterative linear solve failed.
+    Iterative(IterativeError),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::NotSquare { shape } => {
+                write!(f, "transition matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            ChainError::Empty => write!(f, "a Markov chain needs at least one state"),
+            ChainError::NotStochastic { row, row_sum } => {
+                write!(f, "row {row} is not a probability distribution (sum {row_sum})")
+            }
+            ChainError::SelfLoop { state } => {
+                write!(f, "non-absorbing state {state} has a self-loop in the jump chain")
+            }
+            ChainError::InvalidResidenceTime { state, value } => {
+                write!(f, "invalid mean residence time {value} for state {state}")
+            }
+            ChainError::LengthMismatch { what, expected, actual } => {
+                write!(f, "{what} has length {actual}, expected {expected}")
+            }
+            ChainError::InvalidGenerator { row } => {
+                write!(f, "row {row} is not a valid generator row")
+            }
+            ChainError::StateOutOfRange { state, n } => {
+                write!(f, "state index {state} out of range for chain with {n} states")
+            }
+            ChainError::NoAbsorbingState => {
+                write!(f, "analysis requires an absorbing state, but the chain has none")
+            }
+            ChainError::AbsorptionNotCertain { state } => {
+                write!(f, "absorption is not certain from state {state}")
+            }
+            ChainError::Matrix(e) => write!(f, "matrix error: {e}"),
+            ChainError::Lu(e) => write!(f, "linear solve error: {e}"),
+            ChainError::Iterative(e) => write!(f, "iterative solve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChainError::Matrix(e) => Some(e),
+            ChainError::Lu(e) => Some(e),
+            ChainError::Iterative(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MatrixError> for ChainError {
+    fn from(e: MatrixError) -> Self {
+        ChainError::Matrix(e)
+    }
+}
+
+impl From<LuError> for ChainError {
+    fn from(e: LuError) -> Self {
+        ChainError::Lu(e)
+    }
+}
+
+impl From<IterativeError> for ChainError {
+    fn from(e: IterativeError) -> Self {
+        ChainError::Iterative(e)
+    }
+}

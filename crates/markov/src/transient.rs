@@ -1,0 +1,451 @@
+//! Transient analysis of CTMCs by uniformization.
+//!
+//! Implements the machinery of Sec. 4.2.1 of the paper: the uniformized
+//! one-step chain `P̄`, the taboo-probability recursion
+//! `p̄_0a(z)` (probability of being in state `a` after `z` uniformized
+//! steps without having visited the taboo/absorbing state), the
+//! data-driven choice of the truncation depth `z_max` (the number of steps
+//! not exceeded with e.g. 99 % probability), and — as an extension — the
+//! Poisson-weighted transient state distribution at a wall-clock time `t`,
+//! which yields the full turnaround-time *distribution* rather than only
+//! its mean.
+
+use crate::ctmc::Ctmc;
+use crate::error::ChainError;
+use crate::linalg::Matrix;
+
+/// A CTMC together with its uniformized one-step jump matrix.
+#[derive(Debug, Clone)]
+pub struct Uniformized {
+    rate: f64,
+    p_bar: Matrix,
+    absorbing: Vec<usize>,
+}
+
+impl Uniformized {
+    /// Uniformizes `ctmc` at its maximum departure rate (the paper's choice
+    /// `v = max_a v_a`).
+    ///
+    /// # Errors
+    /// [`ChainError::InvalidGenerator`] when every state is absorbing (the
+    /// uniformization rate would be zero).
+    pub fn new(ctmc: &Ctmc) -> Result<Self, ChainError> {
+        Self::with_rate(ctmc, ctmc.max_departure_rate())
+    }
+
+    /// Uniformizes at an explicit rate `v ≥ max_a v_a`.
+    ///
+    /// # Errors
+    /// [`ChainError::InvalidGenerator`] when `v` is not positive or below
+    /// the maximum departure rate.
+    pub fn with_rate(ctmc: &Ctmc, v: f64) -> Result<Self, ChainError> {
+        let p_bar = ctmc.uniformized_jump(v)?;
+        Ok(Uniformized { rate: v, p_bar, absorbing: ctmc.absorbing_states() })
+    }
+
+    /// The uniformization rate `v`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The uniformized one-step matrix `P̄`.
+    pub fn p_bar(&self) -> &Matrix {
+        &self.p_bar
+    }
+
+    /// Number of states.
+    pub fn n(&self) -> usize {
+        self.p_bar.rows()
+    }
+
+    /// One taboo step: propagates `dist` through `P̄` and then zeroes the
+    /// mass that entered a taboo state, returning the dropped mass.
+    ///
+    /// `dist` is indexed over all states; taboo entries must already be
+    /// zero on entry (they are on every vector this module produces).
+    fn taboo_step(&self, dist: &mut Vec<f64>, taboo: &[usize]) -> f64 {
+        let mut next = self.p_bar.vec_mul(dist).expect("distribution length matches");
+        let mut dropped = 0.0;
+        for &t in taboo {
+            dropped += next[t];
+            next[t] = 0.0;
+        }
+        *dist = next;
+        dropped
+    }
+
+    /// Taboo probabilities `p̄_{start,a}(z)` for `z = 0 … z_max`: element
+    /// `[z][a]` is the probability of being in state `a` after `z`
+    /// uniformized steps without having visited any state in `taboo`,
+    /// starting from `start`.
+    ///
+    /// # Errors
+    /// [`ChainError::StateOutOfRange`] on bad indices.
+    pub fn taboo_probabilities(
+        &self,
+        start: usize,
+        taboo: &[usize],
+        z_max: usize,
+    ) -> Result<Vec<Vec<f64>>, ChainError> {
+        let n = self.n();
+        if start >= n {
+            return Err(ChainError::StateOutOfRange { state: start, n });
+        }
+        for &t in taboo {
+            if t >= n {
+                return Err(ChainError::StateOutOfRange { state: t, n });
+            }
+        }
+        let mut dist = vec![0.0; n];
+        dist[start] = 1.0;
+        for &t in taboo {
+            dist[t] = 0.0; // starting in the taboo set means zero taboo mass
+        }
+        let mut out = Vec::with_capacity(z_max + 1);
+        out.push(dist.clone());
+        for _ in 0..z_max {
+            self.taboo_step(&mut dist, taboo);
+            out.push(dist.clone());
+        }
+        Ok(out)
+    }
+
+    /// The truncation depth `z_max` of Sec. 4.2.1: the smallest number of
+    /// uniformized steps within which the chain has entered the taboo
+    /// (absorbing) set with probability at least `quantile`, starting from
+    /// `start`. Returns `hard_cap` if the quantile is not reached earlier.
+    ///
+    /// # Errors
+    /// [`ChainError::StateOutOfRange`] on bad indices.
+    pub fn steps_quantile(
+        &self,
+        start: usize,
+        taboo: &[usize],
+        quantile: f64,
+        hard_cap: usize,
+    ) -> Result<usize, ChainError> {
+        let n = self.n();
+        if start >= n {
+            return Err(ChainError::StateOutOfRange { state: start, n });
+        }
+        let mut dist = vec![0.0; n];
+        dist[start] = 1.0;
+        let mut absorbed = 0.0;
+        for z in 0..hard_cap {
+            if absorbed >= quantile {
+                return Ok(z);
+            }
+            absorbed += self.taboo_step(&mut dist, taboo);
+        }
+        Ok(hard_cap)
+    }
+
+    /// Transient state distribution at wall-clock time `t`, starting from
+    /// distribution `initial`:
+    /// `π(t) = Σ_z PoissonPmf(v·t, z) · initial · P̄^z`,
+    /// truncated when the remaining Poisson tail mass drops below
+    /// `epsilon`.
+    ///
+    /// For a workflow chain, the entry at the absorbing state is the
+    /// probability that the workflow has *finished* by time `t` — i.e. the
+    /// turnaround-time CDF.
+    ///
+    /// # Errors
+    /// [`ChainError::LengthMismatch`] on a wrong `initial` length.
+    pub fn transient_distribution(
+        &self,
+        initial: &[f64],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<Vec<f64>, ChainError> {
+        let n = self.n();
+        if initial.len() != n {
+            return Err(ChainError::LengthMismatch {
+                what: "initial distribution",
+                expected: n,
+                actual: initial.len(),
+            });
+        }
+        if t <= 0.0 {
+            return Ok(initial.to_vec());
+        }
+        let weights = poisson_weights(self.rate * t, epsilon);
+        let mut dist = initial.to_vec();
+        let mut out = vec![0.0; n];
+        for (z, &w) in weights.iter().enumerate() {
+            if z > 0 {
+                dist = self.p_bar.vec_mul(&dist).expect("length checked");
+            }
+            if w > 0.0 {
+                for (o, &d) in out.iter_mut().zip(&dist) {
+                    *o += w * d;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Probability that the chain has reached any absorbing state by time
+    /// `t`, starting from state `start` — the turnaround-time CDF of a
+    /// workflow chain.
+    ///
+    /// # Errors
+    /// [`ChainError::StateOutOfRange`] on a bad start,
+    /// [`ChainError::NoAbsorbingState`] for a chain without absorbing
+    /// states.
+    pub fn absorption_cdf(&self, start: usize, t: f64, epsilon: f64) -> Result<f64, ChainError> {
+        let n = self.n();
+        if start >= n {
+            return Err(ChainError::StateOutOfRange { state: start, n });
+        }
+        if self.absorbing.is_empty() {
+            return Err(ChainError::NoAbsorbingState);
+        }
+        let mut initial = vec![0.0; n];
+        initial[start] = 1.0;
+        let dist = self.transient_distribution(&initial, t, epsilon)?;
+        Ok(self.absorbing.iter().map(|&a| dist[a]).sum())
+    }
+}
+
+/// Poisson probabilities `PoissonPmf(mean, z)` for `z = 0, 1, …`, truncated
+/// once the accumulated mass exceeds `1 - epsilon`. Uses a mode-centred,
+/// overflow-safe recursion so large means (long workflows) are fine.
+pub fn poisson_weights(mean: f64, epsilon: f64) -> Vec<f64> {
+    assert!(mean >= 0.0, "Poisson mean must be non-negative");
+    assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1)");
+    if mean == 0.0 {
+        return vec![1.0];
+    }
+    // Unnormalized weights around the mode, then normalize; this never
+    // over- or underflows for any realistic mean.
+    let mode = mean.floor() as usize;
+    // Generous upper bound on the support we may need:
+    // mean + 12 sqrt(mean) + 30 covers far beyond any epsilon >= 1e-15.
+    let hi = mode + (12.0 * mean.sqrt()) as usize + 30;
+    let mut w = vec![0.0f64; hi + 1];
+    w[mode] = 1.0;
+    for z in (0..mode).rev() {
+        w[z] = w[z + 1] * ((z + 1) as f64) / mean;
+        if w[z] < 1e-280 {
+            break;
+        }
+    }
+    for z in (mode + 1)..=hi {
+        w[z] = w[z - 1] * mean / (z as f64);
+        if w[z] < 1e-280 {
+            break;
+        }
+    }
+    let total: f64 = w.iter().sum();
+    for v in w.iter_mut() {
+        *v /= total;
+    }
+    // Truncate the high tail once cumulative mass reaches 1 - epsilon.
+    let mut acc = 0.0;
+    let mut cut = w.len();
+    for (z, &v) in w.iter().enumerate() {
+        acc += v;
+        if acc >= 1.0 - epsilon {
+            cut = z + 1;
+            break;
+        }
+    }
+    w.truncate(cut);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Matrix;
+
+    fn loopy_workflow() -> Ctmc {
+        // 0 -> 1 ; 1 -> 0 (0.3) or absorb (0.7); H = (2, 3, inf).
+        let jump = Matrix::from_nested(&[
+            &[0.0, 1.0, 0.0],
+            &[0.3, 0.0, 0.7],
+            &[0.0, 0.0, 1.0],
+        ]);
+        Ctmc::from_jump_chain(jump, vec![2.0, 3.0, f64::INFINITY]).unwrap()
+    }
+
+    #[test]
+    fn uniformized_uses_max_rate_by_default() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        assert!((u.rate() - 0.5).abs() < 1e-12);
+        assert!(u.p_bar().is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn with_rate_rejects_insufficient_rate() {
+        let c = loopy_workflow();
+        assert!(Uniformized::with_rate(&c, 0.4).is_err());
+        assert!(Uniformized::with_rate(&c, 0.6).is_ok());
+    }
+
+    #[test]
+    fn taboo_probabilities_start_as_point_mass() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        let tp = u.taboo_probabilities(0, &[2], 5).unwrap();
+        assert_eq!(tp[0], vec![1.0, 0.0, 0.0]);
+        // Mass is non-increasing as it leaks into the taboo state.
+        let mass: Vec<f64> = tp.iter().map(|d| d.iter().sum()).collect();
+        for w in mass.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // Taboo entries stay zero at all steps.
+        for d in &tp {
+            assert_eq!(d[2], 0.0);
+        }
+    }
+
+    #[test]
+    fn taboo_probabilities_validate_indices() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        assert!(matches!(
+            u.taboo_probabilities(9, &[2], 3),
+            Err(ChainError::StateOutOfRange { state: 9, .. })
+        ));
+        assert!(matches!(
+            u.taboo_probabilities(0, &[9], 3),
+            Err(ChainError::StateOutOfRange { state: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn steps_quantile_grows_with_quantile() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        let z90 = u.steps_quantile(0, &[2], 0.90, 100_000).unwrap();
+        let z99 = u.steps_quantile(0, &[2], 0.99, 100_000).unwrap();
+        let z999 = u.steps_quantile(0, &[2], 0.999, 100_000).unwrap();
+        assert!(z90 <= z99 && z99 <= z999);
+        assert!(z90 >= 2, "needs at least two jumps to absorb, got {z90}");
+    }
+
+    #[test]
+    fn steps_quantile_respects_hard_cap() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        assert_eq!(u.steps_quantile(0, &[2], 0.999999, 3).unwrap(), 3);
+    }
+
+    #[test]
+    fn transient_distribution_sums_to_one() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        for t in [0.5, 2.0, 10.0, 50.0] {
+            let d = u.transient_distribution(&[1.0, 0.0, 0.0], t, 1e-12).unwrap();
+            let total: f64 = d.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "t={t}: mass {total}");
+        }
+    }
+
+    #[test]
+    fn transient_distribution_at_time_zero_is_initial() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        let d = u.transient_distribution(&[0.2, 0.8, 0.0], 0.0, 1e-10).unwrap();
+        assert_eq!(d, vec![0.2, 0.8, 0.0]);
+    }
+
+    #[test]
+    fn absorption_cdf_is_monotone_and_approaches_one() {
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        let mut last = 0.0;
+        for t in [1.0, 5.0, 10.0, 30.0, 100.0, 400.0] {
+            let f = u.absorption_cdf(0, t, 1e-12).unwrap();
+            assert!(f >= last - 1e-12, "CDF must be monotone");
+            last = f;
+        }
+        assert!(last > 0.999, "CDF at t=400: {last}");
+    }
+
+    #[test]
+    fn absorption_cdf_median_brackets_the_mean() {
+        // For this mildly skewed chain the mean turnaround is (2+3)/0.7 ≈ 7.14;
+        // the CDF evaluated at the mean should be strictly inside (0, 1).
+        let c = loopy_workflow();
+        let u = Uniformized::new(&c).unwrap();
+        let mean = c.mean_first_passage(2).unwrap()[0];
+        let f = u.absorption_cdf(0, mean, 1e-12).unwrap();
+        assert!(f > 0.3 && f < 0.9, "CDF at the mean: {f}");
+    }
+
+    #[test]
+    fn absorption_cdf_requires_absorbing_state() {
+        let q = Matrix::from_nested(&[&[-1.0, 1.0], &[1.0, -1.0]]);
+        let c = Ctmc::from_generator(&q).unwrap();
+        let u = Uniformized::new(&c).unwrap();
+        assert!(matches!(u.absorption_cdf(0, 1.0, 1e-9), Err(ChainError::NoAbsorbingState)));
+    }
+
+    #[test]
+    fn transient_exponential_sojourn_matches_closed_form() {
+        // Single transient state with rate 1 into absorption:
+        // P(absorbed by t) = 1 - e^{-t}.
+        let jump = Matrix::from_nested(&[&[0.0, 1.0], &[0.0, 1.0]]);
+        let c = Ctmc::from_jump_chain(jump, vec![1.0, f64::INFINITY]).unwrap();
+        let u = Uniformized::new(&c).unwrap();
+        for t in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            let f = u.absorption_cdf(0, t, 1e-13).unwrap();
+            let expect = 1.0 - (-t_f(t)).exp();
+            assert!((f - expect).abs() < 1e-9, "t={t}: {f} vs {expect}");
+        }
+        fn t_f(t: f64) -> f64 {
+            t
+        }
+    }
+
+    #[test]
+    fn erlang_two_stage_cdf_matches_closed_form() {
+        // Two exponential stages of rate 1 in series: absorption time is
+        // Erlang-2, CDF = 1 - e^{-t}(1 + t).
+        let jump = Matrix::from_nested(&[
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let c = Ctmc::from_jump_chain(jump, vec![1.0, 1.0, f64::INFINITY]).unwrap();
+        let u = Uniformized::new(&c).unwrap();
+        for t in [0.5, 1.0, 3.0] {
+            let f = u.absorption_cdf(0, t, 1e-13).unwrap();
+            let expect = 1.0 - (-t).exp() * (1.0 + t);
+            assert!((f - expect).abs() < 1e-9, "t={t}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn poisson_weights_basic_properties() {
+        for mean in [0.0, 0.3, 1.0, 7.5, 120.0, 5000.0] {
+            let w = poisson_weights(mean, 1e-10);
+            let total: f64 = w.iter().sum();
+            assert!(total > 1.0 - 1e-9 && total <= 1.0 + 1e-9, "mean={mean}: {total}");
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn poisson_weights_match_pmf_for_small_mean() {
+        let mean = 2.0f64;
+        let w = poisson_weights(mean, 1e-12);
+        for (z, &v) in w.iter().take(6).enumerate() {
+            let pmf = (-mean).exp() * mean.powi(z as i32) / factorial(z);
+            assert!((v - pmf).abs() < 1e-10, "z={z}: {v} vs {pmf}");
+        }
+        fn factorial(z: usize) -> f64 {
+            (1..=z).map(|x| x as f64).product::<f64>().max(1.0)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn poisson_weights_reject_negative_mean() {
+        poisson_weights(-1.0, 1e-9);
+    }
+}

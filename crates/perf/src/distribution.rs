@@ -1,0 +1,212 @@
+//! Turnaround-time *distributions* (an extension beyond the paper's
+//! means-only analysis).
+//!
+//! The paper's Sec. 4.1 derives the mean turnaround `R_t`; the same
+//! uniformized transient analysis also yields the full distribution of
+//! the time to absorption — `P(T ≤ t)` — and hence percentiles such as
+//! "90 % of purchases finish within two days", which is how service-level
+//! agreements are usually phrased. This module wraps
+//! [`wfms_markov::Uniformized::absorption_cdf`] behind a
+//! workflow-centric API with a bisection percentile solver.
+
+use wfms_markov::transient::Uniformized;
+
+use crate::error::PerfError;
+use crate::workflow::WorkflowAnalysis;
+
+/// Turnaround-time distribution of one workflow type.
+#[derive(Debug, Clone)]
+pub struct TurnaroundDistribution {
+    uniformized: Uniformized,
+    start: usize,
+    mean: f64,
+    epsilon: f64,
+}
+
+impl TurnaroundDistribution {
+    /// Builds the distribution from a workflow analysis.
+    ///
+    /// `epsilon` bounds the truncation error of each CDF evaluation
+    /// (`1e-9` is plenty; the paper's 99 %-quantile spirit corresponds to
+    /// `1e-2`).
+    ///
+    /// # Errors
+    /// [`PerfError::Chain`] when the workflow CTMC cannot be uniformized.
+    pub fn new(analysis: &WorkflowAnalysis, epsilon: f64) -> Result<Self, PerfError> {
+        let uniformized = Uniformized::new(&analysis.ctmc)?;
+        Ok(TurnaroundDistribution {
+            uniformized,
+            start: analysis.start,
+            mean: analysis.mean_turnaround,
+            epsilon,
+        })
+    }
+
+    /// Mean turnaround (from the first-passage analysis).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// `P(turnaround ≤ t)`.
+    ///
+    /// # Errors
+    /// [`PerfError::Chain`] on internal failures.
+    pub fn cdf(&self, t: f64) -> Result<f64, PerfError> {
+        if t <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self.uniformized.absorption_cdf(self.start, t, self.epsilon)?)
+    }
+
+    /// The `q`-percentile of the turnaround time (`0 < q < 1`), found by
+    /// exponential bracketing plus bisection to a relative tolerance of
+    /// `1e-4`.
+    ///
+    /// # Errors
+    /// [`PerfError::LengthMismatch`] is never returned here;
+    /// [`PerfError::Chain`] on internal failures, and
+    /// [`PerfError::InvalidArrivalRate`]-style domain errors are mapped to
+    /// [`PerfError::Chain`] — out-of-range `q` panics in debug and
+    /// saturates in release is avoided by an explicit error:
+    pub fn percentile(&self, q: f64) -> Result<f64, PerfError> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(PerfError::LengthMismatch {
+                what: "percentile (must be in (0,1))",
+                expected: 0,
+                actual: 1,
+            });
+        }
+        // Bracket: the mean is a natural starting scale.
+        let mut hi = self.mean.max(1e-9);
+        let mut guard = 0;
+        while self.cdf(hi)? < q {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 60 {
+                // Absurd target; the CDF numerically saturates below q.
+                return Err(PerfError::Chain(wfms_markov::ChainError::AbsorptionNotCertain {
+                    state: self.start,
+                }));
+            }
+        }
+        let mut lo = 0.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid)? < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) <= 1e-4 * hi {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::{analyze_workflow, AnalysisOptions};
+    use wfms_statechart::{
+        paper_section52_registry, ActivityKind, ActivitySpec, ChartBuilder, EcaRule, WorkflowSpec,
+    };
+
+    fn exponential_workflow(mean: f64) -> WorkflowSpec {
+        let chart = ChartBuilder::new("E")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        WorkflowSpec::new(
+            "E",
+            chart,
+            [ActivitySpec::new("A", ActivityKind::Automated, mean, vec![1.0, 1.0, 1.0])],
+        )
+    }
+
+    fn distribution_of(spec: &WorkflowSpec) -> TurnaroundDistribution {
+        let reg = paper_section52_registry();
+        let analysis = analyze_workflow(spec, &reg, &AnalysisOptions::default()).unwrap();
+        TurnaroundDistribution::new(&analysis, 1e-10).unwrap()
+    }
+
+    #[test]
+    fn exponential_workflow_has_exponential_cdf() {
+        let d = distribution_of(&exponential_workflow(4.0));
+        for t in [1.0, 4.0, 10.0] {
+            let expect = 1.0 - (-t / 4.0f64).exp();
+            let got = d.cdf(t).unwrap();
+            assert!((got - expect).abs() < 1e-8, "t={t}: {got} vs {expect}");
+        }
+        assert_eq!(d.cdf(0.0).unwrap(), 0.0);
+        assert_eq!(d.cdf(-1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_match_exponential_closed_form() {
+        let d = distribution_of(&exponential_workflow(4.0));
+        for q in [0.1f64, 0.5, 0.9, 0.99] {
+            let expect = -4.0 * (1.0 - q).ln();
+            let got = d.percentile(q).unwrap();
+            assert!(
+                (got - expect).abs() < 1e-3 * expect.max(0.1),
+                "q={q}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_brackets_mean() {
+        let d = distribution_of(&exponential_workflow(2.0));
+        let p50 = d.percentile(0.5).unwrap();
+        let p90 = d.percentile(0.9).unwrap();
+        let p99 = d.percentile(0.99).unwrap();
+        assert!(p50 < p90 && p90 < p99);
+        // Exponential: median < mean < p90.
+        assert!(p50 < d.mean() && d.mean() < p90);
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range() {
+        let d = distribution_of(&exponential_workflow(1.0));
+        assert!(d.percentile(0.0).is_err());
+        assert!(d.percentile(1.0).is_err());
+        assert!(d.percentile(-0.5).is_err());
+    }
+
+    #[test]
+    fn ep_like_branching_sla_question() {
+        // A branchy workflow: 80% finish fast (1 min), 20% take a slow path
+        // (100 min). The 0.75-percentile must sit on the fast side and the
+        // 0.95-percentile on the slow side.
+        let chart = ChartBuilder::new("B")
+            .initial("i")
+            .activity_state("fast", "Fast")
+            .activity_state("slow", "Slow")
+            .final_state("f")
+            .transition("i", "fast", 1.0, EcaRule::default())
+            .transition("fast", "f", 0.8, EcaRule::default())
+            .transition("fast", "slow", 0.2, EcaRule::default())
+            .transition("slow", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let spec = WorkflowSpec::new(
+            "B",
+            chart,
+            [
+                ActivitySpec::new("Fast", ActivityKind::Automated, 1.0, vec![1.0, 1.0, 1.0]),
+                ActivitySpec::new("Slow", ActivityKind::Automated, 100.0, vec![1.0, 1.0, 1.0]),
+            ],
+        );
+        let d = distribution_of(&spec);
+        let p75 = d.percentile(0.75).unwrap();
+        let p95 = d.percentile(0.95).unwrap();
+        assert!(p75 < 10.0, "p75 = {p75}");
+        assert!(p95 > 50.0, "p95 = {p95}");
+    }
+}

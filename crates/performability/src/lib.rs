@@ -1,0 +1,432 @@
+//! The WFMS performability model (Sec. 6 of the EDBT 2000 paper).
+//!
+//! Performability combines the performance model (Sec. 4) and the
+//! availability model (Sec. 5): a Markov reward model over the
+//! availability CTMC whose per-state reward is the waiting-time vector of
+//! the performance model evaluated *in that (possibly degraded) system
+//! state*. The steady-state expectation
+//!
+//! ```text
+//! W^Y = Σ_{i ∈ X̃} w^i · π_i
+//! ```
+//!
+//! is "the ultimate metric for assessing the performance of a WFMS,
+//! including the temporary degradation caused by failures and downtimes
+//! of server replicas."
+//!
+//! Degraded states can saturate a server type (`ρ ≥ 1`) or take the whole
+//! WFMS down; the M/G/1 waiting time is undefined there. The paper's
+//! formula implicitly assumes finite rewards; this implementation makes
+//! the handling explicit through [`DegradedPolicy`].
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+use wfms_avail::{AvailabilityModel, AvailError};
+use wfms_markov::ctmc::SteadyStateMethod;
+use wfms_perf::{waiting_times, PerfError, SystemLoad, WaitingOutcome};
+use wfms_statechart::{Configuration, ServerTypeRegistry};
+
+/// How to account for system states whose waiting time is undefined
+/// (saturated or down).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum DegradedPolicy {
+    /// Condition on the system *serving* (operational and all types
+    /// stable): `W_x = Σ_serving w_x^i π_i / P(serving)`. The
+    /// probabilities of the excluded states are reported separately. This
+    /// is the default: it answers "how long do requests wait while the
+    /// system is actually working", with outage mass quantified by the
+    /// availability goal instead.
+    #[default]
+    Conditional,
+    /// Substitute a fixed penalty waiting time for saturated and down
+    /// states and take the unconditional expectation — the closest finite
+    /// reading of the paper's raw `Σ w^i π_i`.
+    Penalty {
+        /// The waiting time (minutes) charged for non-serving states.
+        waiting_time: f64,
+    },
+}
+
+
+/// Per-state detail of the performability evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDetail {
+    /// The system-state vector `X`.
+    pub state: Vec<usize>,
+    /// Its stationary probability `π_i`.
+    pub probability: f64,
+    /// Waiting outcome per server type in this state.
+    pub outcomes: Vec<WaitingOutcome>,
+}
+
+impl StateDetail {
+    /// True when every server type is stable in this state.
+    pub fn is_serving(&self) -> bool {
+        self.outcomes.iter().all(|o| matches!(o, WaitingOutcome::Stable { .. }))
+    }
+}
+
+/// Result of the performability evaluation for one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformabilityReport {
+    /// Expected waiting time `W^Y_x` per server type, per the chosen
+    /// [`DegradedPolicy`].
+    pub expected_waiting: Vec<f64>,
+    /// Probability that the WFMS is down (some type has zero replicas up).
+    pub probability_down: f64,
+    /// Probability that the WFMS is up but at least one server type is
+    /// saturated (offered utilization ≥ 1).
+    pub probability_saturated: f64,
+    /// Probability mass of serving states (complement of the above two).
+    pub probability_serving: f64,
+    /// Number of system states evaluated.
+    pub states_evaluated: usize,
+    /// Per-state detail, in state-space encoding order.
+    pub details: Vec<StateDetail>,
+}
+
+impl PerformabilityReport {
+    /// The worst per-type expected waiting time — the entry compared
+    /// against the configuration tool's tolerance threshold.
+    pub fn max_expected_waiting(&self) -> f64 {
+        self.expected_waiting.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Errors raised by the performability evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerformabilityError {
+    /// Availability-model failure.
+    Avail(AvailError),
+    /// Performance-model failure.
+    Perf(PerfError),
+    /// Every system state is non-serving; the conditional expectation is
+    /// undefined. (The offered load saturates even the full configuration.)
+    NoServingStates,
+    /// The penalty policy was given a non-finite or negative penalty.
+    InvalidPenalty {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for PerformabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerformabilityError::Avail(e) => write!(f, "availability model error: {e}"),
+            PerformabilityError::Perf(e) => write!(f, "performance model error: {e}"),
+            PerformabilityError::NoServingStates => {
+                write!(f, "no system state can serve the offered load")
+            }
+            PerformabilityError::InvalidPenalty { value } => {
+                write!(f, "invalid penalty waiting time {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerformabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PerformabilityError::Avail(e) => Some(e),
+            PerformabilityError::Perf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AvailError> for PerformabilityError {
+    fn from(e: AvailError) -> Self {
+        PerformabilityError::Avail(e)
+    }
+}
+
+impl From<PerfError> for PerformabilityError {
+    fn from(e: PerfError) -> Self {
+        PerformabilityError::Perf(e)
+    }
+}
+
+/// Evaluates the performability of `config` under the aggregated `load`:
+/// builds the availability CTMC, solves its steady state, evaluates the
+/// performance model in every system state, and folds the waiting-time
+/// rewards per `policy`.
+///
+/// # Errors
+/// [`PerformabilityError`] on model failures, an undefined conditional
+/// expectation, or an invalid penalty.
+pub fn evaluate(
+    registry: &ServerTypeRegistry,
+    config: &Configuration,
+    load: &SystemLoad,
+    policy: DegradedPolicy,
+) -> Result<PerformabilityReport, PerformabilityError> {
+    let model = AvailabilityModel::new(registry, config)?;
+    let pi = model.steady_state(SteadyStateMethod::Lu)?;
+    evaluate_with_model(&model, &pi, registry, load, policy)
+}
+
+/// As [`evaluate`], but reusing an already-built availability model and
+/// its stationary distribution (the configuration-search loop calls this
+/// to avoid re-solving).
+///
+/// # Errors
+/// See [`evaluate`].
+pub fn evaluate_with_model(
+    model: &AvailabilityModel,
+    pi: &[f64],
+    registry: &ServerTypeRegistry,
+    load: &SystemLoad,
+    policy: DegradedPolicy,
+) -> Result<PerformabilityReport, PerformabilityError> {
+    if let DegradedPolicy::Penalty { waiting_time } = policy {
+        if !(waiting_time.is_finite() && waiting_time >= 0.0) {
+            return Err(PerformabilityError::InvalidPenalty { value: waiting_time });
+        }
+    }
+    let k = registry.len();
+    let mut details = Vec::with_capacity(model.state_space().len());
+    let mut probability_down = 0.0;
+    let mut probability_saturated = 0.0;
+    let mut probability_serving = 0.0;
+
+    for (state, probability) in model.distribution(pi)? {
+        let outcomes = waiting_times(load, registry, &state)?;
+        let down = outcomes.iter().any(|o| matches!(o, WaitingOutcome::Down));
+        let saturated =
+            !down && outcomes.iter().any(|o| matches!(o, WaitingOutcome::Saturated { .. }));
+        if down {
+            probability_down += probability;
+        } else if saturated {
+            probability_saturated += probability;
+        } else {
+            probability_serving += probability;
+        }
+        details.push(StateDetail { state, probability, outcomes });
+    }
+
+    let mut expected_waiting = vec![0.0; k];
+    match policy {
+        DegradedPolicy::Conditional => {
+            if probability_serving <= 0.0 {
+                return Err(PerformabilityError::NoServingStates);
+            }
+            for d in &details {
+                if d.is_serving() {
+                    for (x, o) in d.outcomes.iter().enumerate() {
+                        expected_waiting[x] +=
+                            d.probability * o.waiting_time().expect("serving state is stable");
+                    }
+                }
+            }
+            for w in expected_waiting.iter_mut() {
+                *w /= probability_serving;
+            }
+        }
+        DegradedPolicy::Penalty { waiting_time } => {
+            for d in &details {
+                for (x, o) in d.outcomes.iter().enumerate() {
+                    let w = o.waiting_time().unwrap_or(waiting_time);
+                    expected_waiting[x] += d.probability * w;
+                }
+            }
+        }
+    }
+
+    Ok(PerformabilityReport {
+        expected_waiting,
+        probability_down,
+        probability_saturated,
+        probability_serving,
+        states_evaluated: details.len(),
+        details,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_statechart::paper_section52_registry;
+
+    fn registry() -> ServerTypeRegistry {
+        paper_section52_registry()
+    }
+
+    /// A load that puts utilization `rho` on a single server of each type.
+    fn load_at(rho: f64, reg: &ServerTypeRegistry) -> SystemLoad {
+        let rates: Vec<f64> = reg
+            .iter()
+            .map(|(_, t)| rho / t.service_time_mean)
+            .collect();
+        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+    }
+
+    #[test]
+    fn performability_exceeds_failure_blind_waiting() {
+        // With failures, some probability mass sits in degraded states with
+        // fewer replicas and thus higher waiting times.
+        let reg = registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(0.6, &reg); // 2 replicas -> 30% each at full strength
+        let report = evaluate(&reg, &config, &load, DegradedPolicy::Conditional).unwrap();
+        let blind = waiting_times(&load, &reg, config.as_slice()).unwrap();
+        for (x, (b, w_perf)) in blind.iter().zip(&report.expected_waiting).enumerate() {
+            let w_blind = b.waiting_time().unwrap();
+            assert!(
+                w_perf > &w_blind,
+                "type {x}: performability {w_perf} !> failure-blind {w_blind}"
+            );
+        }
+    }
+
+    #[test]
+    fn least_reliable_type_degrades_most() {
+        let reg = registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(0.8, &reg);
+        let report = evaluate(&reg, &config, &load, DegradedPolicy::Conditional).unwrap();
+        let blind = waiting_times(&load, &reg, config.as_slice()).unwrap();
+        // Relative degradation per type; the app server (most failure-prone)
+        // must suffer the largest relative increase.
+        let degradation: Vec<f64> = report
+            .expected_waiting
+            .iter()
+            .zip(&blind)
+            .map(|(w, b)| w / b.waiting_time().unwrap())
+            .collect();
+        assert!(degradation[2] > degradation[1]);
+        assert!(degradation[1] > degradation[0]);
+    }
+
+    #[test]
+    fn probabilities_partition_unity() {
+        let reg = registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(1.2, &reg); // 0.6 per replica at full strength
+        let report = evaluate(&reg, &config, &load, DegradedPolicy::Conditional).unwrap();
+        let total =
+            report.probability_down + report.probability_saturated + report.probability_serving;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(report.probability_down > 0.0);
+        // A single failed replica concentrates rho = 1.2 on the survivor.
+        assert!(report.probability_saturated > 0.0);
+        assert_eq!(report.states_evaluated, 27);
+    }
+
+    #[test]
+    fn light_load_has_no_saturated_states() {
+        let reg = registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(0.4, &reg); // even a single replica stays below 0.8
+        let report = evaluate(&reg, &config, &load, DegradedPolicy::Conditional).unwrap();
+        assert_eq!(report.probability_saturated, 0.0);
+        assert!(report.probability_down > 0.0);
+    }
+
+    #[test]
+    fn penalty_policy_interpolates_to_the_paper_formula() {
+        let reg = registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(0.5, &reg);
+        let conditional = evaluate(&reg, &config, &load, DegradedPolicy::Conditional).unwrap();
+        let low_pen =
+            evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: 0.0 }).unwrap();
+        let high_pen =
+            evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: 1e3 }).unwrap();
+        for x in 0..3 {
+            assert!(low_pen.expected_waiting[x] <= conditional.expected_waiting[x] + 1e-12);
+            assert!(high_pen.expected_waiting[x] > conditional.expected_waiting[x]);
+        }
+    }
+
+    #[test]
+    fn more_replicas_improve_performability() {
+        let reg = registry();
+        let load = load_at(0.7, &reg);
+        let w2 = evaluate(
+            &reg,
+            &Configuration::uniform(&reg, 2).unwrap(),
+            &load,
+            DegradedPolicy::Conditional,
+        )
+        .unwrap()
+        .max_expected_waiting();
+        let w3 = evaluate(
+            &reg,
+            &Configuration::uniform(&reg, 3).unwrap(),
+            &load,
+            DegradedPolicy::Conditional,
+        )
+        .unwrap()
+        .max_expected_waiting();
+        assert!(w3 < w2, "3-way {w3} !< 2-way {w2}");
+    }
+
+    #[test]
+    fn overloaded_system_reports_no_serving_states() {
+        let reg = registry();
+        let config = Configuration::minimal(&reg);
+        let load = load_at(1.5, &reg); // saturates even at full strength
+        assert!(matches!(
+            evaluate(&reg, &config, &load, DegradedPolicy::Conditional),
+            Err(PerformabilityError::NoServingStates)
+        ));
+        // The penalty policy still produces a number.
+        let pen =
+            evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: 60.0 }).unwrap();
+        assert!(pen.expected_waiting.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn invalid_penalty_is_rejected() {
+        let reg = registry();
+        let config = Configuration::minimal(&reg);
+        let load = load_at(0.2, &reg);
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            assert!(matches!(
+                evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: bad }),
+                Err(PerformabilityError::InvalidPenalty { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn details_expose_degraded_states() {
+        let reg = registry();
+        let config = Configuration::uniform(&reg, 2).unwrap();
+        let load = load_at(0.5, &reg);
+        let report = evaluate(&reg, &config, &load, DegradedPolicy::Conditional).unwrap();
+        // Find the state with one app server down: (2,2,1).
+        let detail = report
+            .details
+            .iter()
+            .find(|d| d.state == vec![2, 2, 1])
+            .expect("state (2,2,1) present");
+        assert!(detail.is_serving());
+        // App server waiting in that state must exceed the full-state value.
+        let full = report.details.iter().find(|d| d.state == vec![2, 2, 2]).unwrap();
+        let w_degraded = detail.outcomes[2].waiting_time().unwrap();
+        let w_full = full.outcomes[2].waiting_time().unwrap();
+        assert!(w_degraded > w_full);
+        // Down state detected.
+        let down = report.details.iter().find(|d| d.state == vec![0, 2, 2]).unwrap();
+        assert!(!down.is_serving());
+        assert!(matches!(down.outcomes[0], WaitingOutcome::Down));
+    }
+
+    #[test]
+    fn max_expected_waiting_is_the_row_maximum() {
+        let report = PerformabilityReport {
+            expected_waiting: vec![0.1, 0.5, 0.3],
+            probability_down: 0.0,
+            probability_saturated: 0.0,
+            probability_serving: 1.0,
+            states_evaluated: 0,
+            details: vec![],
+        };
+        assert_eq!(report.max_expected_waiting(), 0.5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Aggregation of several request streams onto one computer.
+//!
+//! Sec. 4.4 of the paper: "The generalized case for configurations where
+//! multiple server types, say x and z, are assigned to the same computer
+//! is handled as follows: the server-type-specific arrival rates are
+//! summed up, the server types' common service time distribution is
+//! computed, and these aggregate measures are fed into the M/G/1 model."
+//!
+//! The "common service time distribution" of a superposition of Poisson
+//! streams is the arrival-rate-weighted mixture, whose raw moments are
+//! the weighted averages of the component moments.
+
+use crate::error::QueueError;
+use crate::mg1::Mg1;
+use crate::moments::ServiceMoments;
+
+/// One request stream: arrival rate plus service-time moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stream {
+    /// Arrival rate of this stream (per minute).
+    pub arrival_rate: f64,
+    /// Service moments of requests in this stream.
+    pub service: ServiceMoments,
+}
+
+/// Merges several streams into the equivalent single M/G/1 queue for a
+/// shared computer: `Λ = Σ λ_i`, and mixture moments
+/// `b = Σ (λ_i/Λ)·b_i`, `b^(2) = Σ (λ_i/Λ)·b_i^(2)`.
+///
+/// # Errors
+/// * [`QueueError::InvalidParameter`] when `streams` is empty, a rate is
+///   negative, or all rates are zero (the mixture is undefined).
+pub fn merge_streams(streams: &[Stream]) -> Result<Mg1, QueueError> {
+    if streams.is_empty() {
+        return Err(QueueError::InvalidParameter { what: "stream count", value: 0.0 });
+    }
+    let mut total_rate = 0.0;
+    for s in streams {
+        if !(s.arrival_rate.is_finite() && s.arrival_rate >= 0.0) {
+            return Err(QueueError::InvalidParameter {
+                what: "arrival rate",
+                value: s.arrival_rate,
+            });
+        }
+        total_rate += s.arrival_rate;
+    }
+    if total_rate <= 0.0 {
+        return Err(QueueError::InvalidParameter { what: "total arrival rate", value: total_rate });
+    }
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    for s in streams {
+        let w = s.arrival_rate / total_rate;
+        mean += w * s.service.mean;
+        second += w * s.service.second_moment;
+    }
+    Mg1::new(total_rate, ServiceMoments::new(mean, second)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(rate: f64, mean: f64) -> Stream {
+        Stream { arrival_rate: rate, service: ServiceMoments::exponential(mean).unwrap() }
+    }
+
+    #[test]
+    fn merging_identical_streams_keeps_service_moments() {
+        let s = stream(0.2, 1.5);
+        let merged = merge_streams(&[s, s, s]).unwrap();
+        assert!((merged.arrival_rate - 0.6).abs() < 1e-12);
+        assert!((merged.service.mean - 1.5).abs() < 1e-12);
+        assert!((merged.service.second_moment - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_moments_are_rate_weighted() {
+        let a = stream(1.0, 1.0); // second moment 2
+        let b = stream(3.0, 2.0); // second moment 8
+        let merged = merge_streams(&[a, b]).unwrap();
+        assert!((merged.arrival_rate - 4.0).abs() < 1e-12);
+        assert!((merged.service.mean - (0.25 * 1.0 + 0.75 * 2.0)).abs() < 1e-12);
+        assert!((merged.service.second_moment - (0.25 * 2.0 + 0.75 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_streams_do_not_contribute_moments() {
+        let active = stream(2.0, 1.0);
+        let idle = stream(0.0, 100.0);
+        let merged = merge_streams(&[active, idle]).unwrap();
+        assert!((merged.service.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_utilization_is_sum_of_component_utilizations() {
+        let a = stream(0.3, 1.0);
+        let b = stream(0.2, 2.0);
+        let merged = merge_streams(&[a, b]).unwrap();
+        assert!((merged.utilization() - (0.3 * 1.0 + 0.2 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharing_a_computer_increases_waiting_over_dedicated() {
+        // Two types each stable alone; combined on one machine the wait of
+        // each request is at least the larger dedicated wait.
+        let a = stream(0.3, 1.0);
+        let b = stream(0.3, 1.0);
+        let dedicated = Mg1::new(a.arrival_rate, a.service).unwrap().mean_waiting_time().unwrap();
+        let shared = merge_streams(&[a, b]).unwrap().mean_waiting_time().unwrap();
+        assert!(shared > dedicated);
+    }
+
+    #[test]
+    fn merge_validates_input() {
+        assert!(matches!(
+            merge_streams(&[]),
+            Err(QueueError::InvalidParameter { what: "stream count", .. })
+        ));
+        assert!(merge_streams(&[stream(0.0, 1.0)]).is_err());
+        let bad = Stream { arrival_rate: -1.0, service: ServiceMoments::exponential(1.0).unwrap() };
+        assert!(merge_streams(&[bad]).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Queueing-model errors.
+
+use std::fmt;
+
+/// Errors raised by the queueing analyses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueError {
+    /// A parameter is out of its valid domain.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The queue is saturated (`ρ ≥ 1`): waiting time diverges. Carries
+    /// the offered utilization so callers can report *how* overloaded the
+    /// server type is.
+    Unstable {
+        /// The offered utilization `ρ = λ̃ · b`.
+        utilization: f64,
+    },
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            QueueError::Unstable { utilization } => {
+                write!(f, "queue unstable: utilization {utilization:.4} >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}

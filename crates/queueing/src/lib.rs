@@ -1,0 +1,19 @@
+//! Queueing-theoretic building blocks of the WFMS performance model
+//! (Sec. 4.4 of the EDBT 2000 paper): service-time moment descriptors,
+//! the M/G/1 Pollaczek–Khinchine waiting-time model used per server
+//! replica, and the stream aggregation used when multiple server types
+//! share one computer.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod error;
+pub mod mg1;
+pub mod mmc;
+pub mod moments;
+
+pub use aggregate::{merge_streams, Stream};
+pub use error::QueueError;
+pub use mg1::{littles_law_population, Mg1};
+pub use mmc::Mmc;
+pub use moments::ServiceMoments;

@@ -1,0 +1,242 @@
+//! M/G/1 queueing analysis (Sec. 4.4 of the paper).
+//!
+//! Every server replica is modeled as an M/G/1 queue: Poisson request
+//! arrivals at rate `λ̃` and a general service time known through its
+//! first two moments. The mean waiting time follows the
+//! Pollaczek–Khinchine formula the paper quotes:
+//!
+//! ```text
+//! w = λ̃ · b^(2) / (2 · (1 - ρ)),    ρ = λ̃ · b
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QueueError;
+use crate::moments::ServiceMoments;
+
+/// An M/G/1 queue: Poisson arrivals into a single server with general
+/// service times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mg1 {
+    /// Request arrival rate `λ̃` (per minute).
+    pub arrival_rate: f64,
+    /// Service-time moments.
+    pub service: ServiceMoments,
+}
+
+impl Mg1 {
+    /// Builds the queue descriptor.
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] for a negative or non-finite
+    /// arrival rate. A zero arrival rate is allowed (idle server).
+    pub fn new(arrival_rate: f64, service: ServiceMoments) -> Result<Self, QueueError> {
+        if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
+            return Err(QueueError::InvalidParameter {
+                what: "arrival rate",
+                value: arrival_rate,
+            });
+        }
+        Ok(Mg1 { arrival_rate, service })
+    }
+
+    /// Server utilization `ρ = λ̃ · b`.
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate * self.service.mean
+    }
+
+    /// True when the queue is stable (`ρ < 1`), i.e. the server can
+    /// sustain the offered load (Sec. 4.3's `λ̂ b ≤ 1` criterion, strictly).
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// Mean waiting time in queue (Pollaczek–Khinchine).
+    ///
+    /// # Errors
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`: the waiting time diverges
+    /// and the paper treats the server type as saturated.
+    pub fn mean_waiting_time(&self) -> Result<f64, QueueError> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable { utilization: rho });
+        }
+        Ok(self.arrival_rate * self.service.second_moment / (2.0 * (1.0 - rho)))
+    }
+
+    /// Mean response (sojourn) time: waiting plus service.
+    ///
+    /// # Errors
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`.
+    pub fn mean_response_time(&self) -> Result<f64, QueueError> {
+        Ok(self.mean_waiting_time()? + self.service.mean)
+    }
+
+    /// Mean number of requests waiting in queue (Little's law applied to
+    /// the waiting room: `L_q = λ̃ · w`).
+    ///
+    /// # Errors
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`.
+    pub fn mean_queue_length(&self) -> Result<f64, QueueError> {
+        Ok(self.arrival_rate * self.mean_waiting_time()?)
+    }
+
+    /// Mean number of requests in the system (`L = λ̃ · T`).
+    ///
+    /// # Errors
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`.
+    pub fn mean_in_system(&self) -> Result<f64, QueueError> {
+        Ok(self.arrival_rate * self.mean_response_time()?)
+    }
+}
+
+/// Little's law: mean population `N = λ · T` for any stable system with
+/// arrival rate `λ` and mean time-in-system `T`. Used by the performance
+/// model for the number of concurrently active workflow instances
+/// (`N_active = ξ_t · R_t`, Sec. 4.3).
+pub fn littles_law_population(arrival_rate: f64, mean_time_in_system: f64) -> f64 {
+    arrival_rate * mean_time_in_system
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm1(lambda: f64, mean_service: f64) -> Mg1 {
+        Mg1::new(lambda, ServiceMoments::exponential(mean_service).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn mm1_waiting_time_matches_closed_form() {
+        // M/M/1: w = ρ·b / (1-ρ).
+        for (lambda, b) in [(0.5, 1.0), (0.8, 1.0), (2.0, 0.25)] {
+            let q = mm1(lambda, b);
+            let rho: f64 = lambda * b;
+            let expect = rho * b / (1.0 - rho);
+            let w = q.mean_waiting_time().unwrap();
+            assert!((w - expect).abs() < 1e-12, "λ={lambda}: {w} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn md1_waits_half_as_long_as_mm1() {
+        // Deterministic service halves the PK numerator.
+        let mm1_w = mm1(0.6, 1.0).mean_waiting_time().unwrap();
+        let md1 = Mg1::new(0.6, ServiceMoments::deterministic(1.0).unwrap()).unwrap();
+        let md1_w = md1.mean_waiting_time().unwrap();
+        assert!((md1_w - mm1_w / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_time_is_wait_plus_service() {
+        let q = mm1(0.5, 1.0);
+        let w = q.mean_waiting_time().unwrap();
+        let t = q.mean_response_time().unwrap();
+        assert!((t - (w + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let q = mm1(0.7, 1.0);
+        let lq = q.mean_queue_length().unwrap();
+        let l = q.mean_in_system().unwrap();
+        // M/M/1: L = ρ/(1-ρ); Lq = ρ²/(1-ρ).
+        assert!((l - 0.7 / 0.3).abs() < 1e-9);
+        assert!((lq - 0.49 / 0.3).abs() < 1e-9);
+        assert!((littles_law_population(0.7, q.mean_response_time().unwrap()) - l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_server_has_zero_wait() {
+        let q = mm1(0.0, 1.0);
+        assert_eq!(q.utilization(), 0.0);
+        assert_eq!(q.mean_waiting_time().unwrap(), 0.0);
+        assert_eq!(q.mean_queue_length().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn saturated_server_reports_unstable() {
+        let q = mm1(1.0, 1.0);
+        assert!(!q.is_stable());
+        assert!(matches!(
+            q.mean_waiting_time(),
+            Err(QueueError::Unstable { utilization }) if (utilization - 1.0).abs() < 1e-12
+        ));
+        let q = mm1(2.0, 1.0);
+        assert!(q.mean_response_time().is_err());
+        assert!(q.mean_queue_length().is_err());
+        assert!(q.mean_in_system().is_err());
+    }
+
+    #[test]
+    fn new_rejects_bad_arrival_rate() {
+        let s = ServiceMoments::exponential(1.0).unwrap();
+        assert!(Mg1::new(-0.1, s).is_err());
+        assert!(Mg1::new(f64::NAN, s).is_err());
+        assert!(Mg1::new(f64::INFINITY, s).is_err());
+    }
+
+    #[test]
+    fn waiting_time_grows_with_utilization() {
+        let mut last = 0.0;
+        for lambda in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let w = mm1(lambda, 1.0).mean_waiting_time().unwrap();
+            assert!(w > last);
+            last = w;
+        }
+        assert!(last > 50.0, "near saturation the wait explodes: {last}");
+    }
+
+    #[test]
+    fn waiting_time_grows_with_service_variability() {
+        let lambda = 0.6;
+        let det = Mg1::new(lambda, ServiceMoments::deterministic(1.0).unwrap()).unwrap();
+        let erl = Mg1::new(lambda, ServiceMoments::erlang(4, 1.0).unwrap()).unwrap();
+        let exp = Mg1::new(lambda, ServiceMoments::exponential(1.0).unwrap()).unwrap();
+        let hyp = Mg1::new(lambda, ServiceMoments::with_scv(1.0, 4.0).unwrap()).unwrap();
+        let ws: Vec<f64> = [det, erl, exp, hyp]
+            .iter()
+            .map(|q| q.mean_waiting_time().unwrap())
+            .collect();
+        for pair in ws.windows(2) {
+            assert!(pair[0] < pair[1], "variability ordering violated: {ws:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pk_formula_is_nonnegative_and_finite_for_stable_queues(
+            rho in 0.01f64..0.99,
+            mean in 0.01f64..10.0,
+            scv in 0.0f64..10.0,
+        ) {
+            let service = ServiceMoments::with_scv(mean, scv).unwrap();
+            let q = Mg1::new(rho / mean, service).unwrap();
+            let w = q.mean_waiting_time().unwrap();
+            prop_assert!(w.is_finite());
+            prop_assert!(w >= 0.0);
+            // PK with the M/M/1 bound: w >= w_{M/D/1} = rho*b/(2(1-rho)).
+            let lower = rho * mean / (2.0 * (1.0 - rho));
+            prop_assert!(w >= lower - 1e-12);
+        }
+
+        #[test]
+        fn waiting_time_is_monotone_in_arrival_rate(
+            mean in 0.01f64..10.0,
+            scv in 0.0f64..5.0,
+            l1 in 0.01f64..0.5,
+            delta in 0.01f64..0.4,
+        ) {
+            let service = ServiceMoments::with_scv(mean, scv).unwrap();
+            let w1 = Mg1::new(l1 / mean, service).unwrap().mean_waiting_time().unwrap();
+            let w2 = Mg1::new((l1 + delta) / mean, service).unwrap().mean_waiting_time().unwrap();
+            prop_assert!(w2 >= w1);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! M/M/c — a pooled multi-server queue (Erlang C).
+//!
+//! The paper partitions each server type's load over its `Y_x` replicas
+//! and models each replica as a separate M/G/1 queue (Sec. 4.4). An
+//! alternative middleware architecture keeps one shared queue per server
+//! type and dispatches to whichever replica is idle. For exponential
+//! service this is the classic M/M/c system; its mean waiting time
+//!
+//! ```text
+//! w = C(c, a) / (c·μ − λ),    a = λ/μ  (offered load in Erlangs)
+//! ```
+//!
+//! with `C(c, a)` the Erlang-C waiting probability, is strictly smaller
+//! than the partitioned M/M/1 wait at equal utilization — the
+//! "pooling gain" quantified by the EXP-X4 ablation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QueueError;
+
+/// An M/M/c queue: Poisson arrivals, `c` identical exponential servers,
+/// one shared FCFS queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mmc {
+    /// Total request arrival rate λ (per minute).
+    pub arrival_rate: f64,
+    /// Mean service time `1/μ` of one server (minutes).
+    pub service_time_mean: f64,
+    /// Number of servers `c`.
+    pub servers: usize,
+}
+
+impl Mmc {
+    /// Builds the queue descriptor.
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] on non-positive parameters.
+    pub fn new(arrival_rate: f64, service_time_mean: f64, servers: usize) -> Result<Self, QueueError> {
+        if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
+            return Err(QueueError::InvalidParameter { what: "arrival rate", value: arrival_rate });
+        }
+        if !(service_time_mean.is_finite() && service_time_mean > 0.0) {
+            return Err(QueueError::InvalidParameter {
+                what: "service time mean",
+                value: service_time_mean,
+            });
+        }
+        if servers == 0 {
+            return Err(QueueError::InvalidParameter { what: "server count", value: 0.0 });
+        }
+        Ok(Mmc { arrival_rate, service_time_mean, servers })
+    }
+
+    /// Offered load in Erlangs, `a = λ/μ`.
+    pub fn offered_load(&self) -> f64 {
+        self.arrival_rate * self.service_time_mean
+    }
+
+    /// Per-server utilization `ρ = a/c`.
+    pub fn utilization(&self) -> f64 {
+        self.offered_load() / self.servers as f64
+    }
+
+    /// True when `ρ < 1`.
+    pub fn is_stable(&self) -> bool {
+        self.utilization() < 1.0
+    }
+
+    /// The Erlang-C probability that an arriving request must wait.
+    ///
+    /// Computed with the numerically stable recurrence on the Erlang-B
+    /// blocking probability: `B(0) = 1`,
+    /// `B(k) = a·B(k−1) / (k + a·B(k−1))`, then
+    /// `C = B(c) / (1 − ρ·(1 − B(c)))`.
+    ///
+    /// # Errors
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`.
+    pub fn waiting_probability(&self) -> Result<f64, QueueError> {
+        let rho = self.utilization();
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable { utilization: rho });
+        }
+        let a = self.offered_load();
+        let mut b = 1.0;
+        for k in 1..=self.servers {
+            b = a * b / (k as f64 + a * b);
+        }
+        Ok(b / (1.0 - rho * (1.0 - b)))
+    }
+
+    /// Mean waiting time in the shared queue.
+    ///
+    /// # Errors
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`.
+    pub fn mean_waiting_time(&self) -> Result<f64, QueueError> {
+        let c = self.waiting_probability()?;
+        let mu = 1.0 / self.service_time_mean;
+        Ok(c / (self.servers as f64 * mu - self.arrival_rate))
+    }
+
+    /// Mean response time (waiting plus service).
+    ///
+    /// # Errors
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`.
+    pub fn mean_response_time(&self) -> Result<f64, QueueError> {
+        Ok(self.mean_waiting_time()? + self.service_time_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::Mg1;
+    use crate::moments::ServiceMoments;
+
+    #[test]
+    fn c_equal_one_reduces_to_mm1() {
+        for rho in [0.2, 0.5, 0.8, 0.95] {
+            let mmc = Mmc::new(rho, 1.0, 1).unwrap();
+            let mm1 = Mg1::new(rho, ServiceMoments::exponential(1.0).unwrap()).unwrap();
+            let w_pool = mmc.mean_waiting_time().unwrap();
+            let w_mm1 = mm1.mean_waiting_time().unwrap();
+            assert!((w_pool - w_mm1).abs() < 1e-12, "rho={rho}: {w_pool} vs {w_mm1}");
+            // And Erlang-C with c = 1 is just rho.
+            assert!((mmc.waiting_probability().unwrap() - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_c_matches_tabulated_value() {
+        // Classic table value: c = 2, a = 1 (rho = 0.5) => C = 1/3.
+        let mmc = Mmc::new(1.0, 1.0, 2).unwrap();
+        assert!((mmc.waiting_probability().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        // w = C / (c·mu - lambda) = (1/3) / (2 - 1) = 1/3.
+        assert!((mmc.mean_waiting_time().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooling_beats_partitioning_at_equal_utilization() {
+        // c servers at rho each, pooled vs c separate M/M/1 queues.
+        for c in [2usize, 4, 8] {
+            for rho in [0.5, 0.8] {
+                let pooled = Mmc::new(rho * c as f64, 1.0, c).unwrap();
+                let partitioned = Mg1::new(rho, ServiceMoments::exponential(1.0).unwrap())
+                    .unwrap()
+                    .mean_waiting_time()
+                    .unwrap();
+                let w_pool = pooled.mean_waiting_time().unwrap();
+                assert!(
+                    w_pool < partitioned,
+                    "c={c}, rho={rho}: pooled {w_pool} !< partitioned {partitioned}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_gain_grows_with_server_count() {
+        let rho = 0.8;
+        let mut last_ratio = 0.0;
+        let partitioned = Mg1::new(rho, ServiceMoments::exponential(1.0).unwrap())
+            .unwrap()
+            .mean_waiting_time()
+            .unwrap();
+        for c in [2usize, 4, 8, 16] {
+            let pooled = Mmc::new(rho * c as f64, 1.0, c).unwrap().mean_waiting_time().unwrap();
+            let ratio = partitioned / pooled;
+            assert!(ratio > last_ratio, "gain must grow: c={c}, ratio {ratio}");
+            last_ratio = ratio;
+        }
+        assert!(last_ratio > 5.0, "16-way pooling gain should be large: {last_ratio}");
+    }
+
+    #[test]
+    fn saturation_and_validation() {
+        assert!(Mmc::new(2.0, 1.0, 2).unwrap().mean_waiting_time().is_err());
+        assert!(!Mmc::new(2.0, 1.0, 2).unwrap().is_stable());
+        assert!(Mmc::new(-1.0, 1.0, 2).is_err());
+        assert!(Mmc::new(1.0, 0.0, 2).is_err());
+        assert!(Mmc::new(1.0, 1.0, 0).is_err());
+        // Zero arrivals: no waiting.
+        let idle = Mmc::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(idle.mean_waiting_time().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn response_time_adds_service() {
+        let q = Mmc::new(1.5, 1.0, 2).unwrap();
+        let w = q.mean_waiting_time().unwrap();
+        assert!((q.mean_response_time().unwrap() - (w + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Service-time moment descriptors.
+//!
+//! The paper models each server "only very coarsely by considering only
+//! its mean service time per service request and the second moment of
+//! this metric" (Sec. 4.4). [`ServiceMoments`] is exactly that pair, with
+//! constructors for the common distributions and for empirical samples
+//! (the online-statistics calibration path of Sec. 7.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::QueueError;
+
+/// First two moments of a service-time distribution, in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceMoments {
+    /// Mean service time `b`.
+    pub mean: f64,
+    /// Second moment `b^(2) = E[B²]`.
+    pub second_moment: f64,
+}
+
+impl ServiceMoments {
+    /// Builds a descriptor from explicit moments.
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] when the mean is non-positive or
+    /// the second moment is smaller than `mean²` (impossible for any
+    /// distribution, by Jensen's inequality).
+    pub fn new(mean: f64, second_moment: f64) -> Result<Self, QueueError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(QueueError::InvalidParameter { what: "service time mean", value: mean });
+        }
+        if !(second_moment.is_finite() && second_moment >= mean * mean * (1.0 - 1e-12)) {
+            return Err(QueueError::InvalidParameter {
+                what: "service time second moment",
+                value: second_moment,
+            });
+        }
+        Ok(ServiceMoments { mean, second_moment })
+    }
+
+    /// Exponential service with the given mean (`b^(2) = 2b²`).
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] on a non-positive mean.
+    pub fn exponential(mean: f64) -> Result<Self, QueueError> {
+        Self::new(mean, 2.0 * mean * mean)
+    }
+
+    /// Deterministic service (`b^(2) = b²`).
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] on a non-positive mean.
+    pub fn deterministic(mean: f64) -> Result<Self, QueueError> {
+        Self::new(mean, mean * mean)
+    }
+
+    /// Erlang-`k` service with the given mean
+    /// (`b^(2) = b²·(k+1)/k`).
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] on a non-positive mean or `k = 0`.
+    pub fn erlang(k: usize, mean: f64) -> Result<Self, QueueError> {
+        if k == 0 {
+            return Err(QueueError::InvalidParameter { what: "Erlang stages", value: 0.0 });
+        }
+        let kf = k as f64;
+        Self::new(mean, mean * mean * (kf + 1.0) / kf)
+    }
+
+    /// Descriptor with a given mean and squared coefficient of variation
+    /// (`b^(2) = b²·(1 + scv)`).
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] on bad arguments.
+    pub fn with_scv(mean: f64, scv: f64) -> Result<Self, QueueError> {
+        if !(scv.is_finite() && scv >= 0.0) {
+            return Err(QueueError::InvalidParameter { what: "service time SCV", value: scv });
+        }
+        Self::new(mean, mean * mean * (1.0 + scv))
+    }
+
+    /// Empirical moments from observed service times (the calibration
+    /// path: "both of these server-type-specific values can be easily
+    /// estimated by collecting and evaluating online statistics").
+    ///
+    /// # Errors
+    /// [`QueueError::InvalidParameter`] for an empty or degenerate sample.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, QueueError> {
+        if samples.is_empty() {
+            return Err(QueueError::InvalidParameter { what: "sample count", value: 0.0 });
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let second = samples.iter().map(|x| x * x).sum::<f64>() / n;
+        Self::new(mean, second)
+    }
+
+    /// Variance `E[B²] - E[B]²` (clamped at zero against round-off).
+    pub fn variance(&self) -> f64 {
+        (self.second_moment - self.mean * self.mean).max(0.0)
+    }
+
+    /// Squared coefficient of variation `Var/b²`.
+    pub fn scv(&self) -> f64 {
+        self.variance() / (self.mean * self.mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_moments() {
+        let m = ServiceMoments::exponential(2.0).unwrap();
+        assert_eq!(m.mean, 2.0);
+        assert_eq!(m.second_moment, 8.0);
+        assert!((m.scv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_moments() {
+        let m = ServiceMoments::deterministic(2.0).unwrap();
+        assert_eq!(m.second_moment, 4.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.scv(), 0.0);
+    }
+
+    #[test]
+    fn erlang_moments_interpolate() {
+        let e1 = ServiceMoments::erlang(1, 3.0).unwrap();
+        let exp = ServiceMoments::exponential(3.0).unwrap();
+        assert!((e1.second_moment - exp.second_moment).abs() < 1e-12);
+        let e4 = ServiceMoments::erlang(4, 3.0).unwrap();
+        assert!((e4.scv() - 0.25).abs() < 1e-12);
+        assert!(ServiceMoments::erlang(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn with_scv_constructor() {
+        let m = ServiceMoments::with_scv(2.0, 0.5).unwrap();
+        assert!((m.scv() - 0.5).abs() < 1e-12);
+        assert!(ServiceMoments::with_scv(2.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn from_samples_estimates_moments() {
+        let m = ServiceMoments::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.second_moment - 14.0 / 3.0).abs() < 1e-12);
+        assert!(ServiceMoments::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_impossible_moments() {
+        // Second moment below mean² violates Jensen.
+        assert!(ServiceMoments::new(2.0, 3.0).is_err());
+        assert!(ServiceMoments::new(0.0, 1.0).is_err());
+        assert!(ServiceMoments::new(-1.0, 1.0).is_err());
+        assert!(ServiceMoments::new(1.0, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Compilation of workflow specifications into a flat, index-based form
+//! the event loop can execute without string lookups.
+//!
+//! Each chart (top-level and every nested chart) becomes a
+//! [`CompiledChart`] in a global arena. States keep their literal
+//! structure — including self-loops — because the simulator executes the
+//! *specification semantics* directly; the analytic mapping's self-loop
+//! folding is one of the things the simulator validates.
+
+use wfms_statechart::{ServerTypeRegistry, StateChart, StateKind, WorkflowSpec};
+
+use crate::distributions::Duration;
+use crate::error::SimError;
+
+/// Index of a compiled chart within a [`CompiledWorkflow`] arena.
+pub type ChartIdx = usize;
+
+/// Executable form of one chart state.
+#[derive(Debug, Clone)]
+pub enum CompiledState {
+    /// The initial pseudo-state (zero residence).
+    Initial,
+    /// The final state: completing frame.
+    Final,
+    /// An activity: sampled duration plus per-server-type request load.
+    Activity {
+        /// Duration distribution of one execution.
+        duration: Duration,
+        /// Expected number of service requests per server type; fractional
+        /// values are realized stochastically (floor plus Bernoulli).
+        load: Vec<f64>,
+    },
+    /// One or more subworkflows run in parallel; the state completes when
+    /// all of them have reached their final state.
+    Nested {
+        /// Arena indices of the sub-charts.
+        charts: Vec<ChartIdx>,
+    },
+}
+
+/// Executable form of one chart.
+#[derive(Debug, Clone)]
+pub struct CompiledChart {
+    /// Chart name (audit-trail state names are qualified by it).
+    pub name: String,
+    /// State names, for audit trails.
+    pub state_names: Vec<String>,
+    /// Executable states.
+    pub states: Vec<CompiledState>,
+    /// Outgoing transitions `(target, probability)` per state, with
+    /// cumulative sampling handled by the engine.
+    pub outgoing: Vec<Vec<(usize, f64)>>,
+    /// The initial state index.
+    pub initial: usize,
+    /// The final state index.
+    pub final_state: usize,
+}
+
+/// A fully compiled workflow type: the arena of its charts, with index 0
+/// being the top-level chart.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkflow {
+    /// Workflow type name.
+    pub name: String,
+    /// Chart arena; `charts[0]` is the top level.
+    pub charts: Vec<CompiledChart>,
+}
+
+impl CompiledWorkflow {
+    /// Compiles a validated specification.
+    ///
+    /// # Errors
+    /// [`SimError::Spec`] on structural problems (run
+    /// [`wfms_statechart::validate_spec`] first for precise diagnostics)
+    /// and [`SimError::InvalidParameter`] on bad activity parameters.
+    pub fn compile(spec: &WorkflowSpec, registry: &ServerTypeRegistry) -> Result<Self, SimError> {
+        let mut charts = Vec::new();
+        compile_chart(&spec.chart, spec, registry, &mut charts)?;
+        Ok(CompiledWorkflow { name: spec.name.clone(), charts })
+    }
+}
+
+fn compile_chart(
+    chart: &StateChart,
+    spec: &WorkflowSpec,
+    registry: &ServerTypeRegistry,
+    arena: &mut Vec<CompiledChart>,
+) -> Result<ChartIdx, SimError> {
+    // Reserve our slot first so the top-level chart lands at index 0.
+    let my_idx = arena.len();
+    arena.push(CompiledChart {
+        name: chart.name.clone(),
+        state_names: Vec::new(),
+        states: Vec::new(),
+        outgoing: Vec::new(),
+        initial: 0,
+        final_state: 0,
+    });
+
+    let initial = chart
+        .initial_state()
+        .ok_or(wfms_statechart::SpecError::InitialStateCount {
+            chart: chart.name.clone(),
+            found: 0,
+        })?;
+    let final_state = chart
+        .final_state()
+        .ok_or(wfms_statechart::SpecError::FinalStateCount {
+            chart: chart.name.clone(),
+            found: 0,
+        })?;
+
+    let mut states = Vec::with_capacity(chart.states.len());
+    let mut state_names = Vec::with_capacity(chart.states.len());
+    for s in &chart.states {
+        state_names.push(s.name.clone());
+        let compiled = match &s.kind {
+            StateKind::Initial => CompiledState::Initial,
+            StateKind::Final => CompiledState::Final,
+            StateKind::Activity { activity } => {
+                let a = spec.activity(activity).ok_or_else(|| {
+                    wfms_statechart::SpecError::UnknownActivity {
+                        chart: chart.name.clone(),
+                        activity: activity.clone(),
+                    }
+                })?;
+                if a.load.len() != registry.len() {
+                    return Err(SimError::Spec(wfms_statechart::SpecError::ActivityLoadLength {
+                        activity: a.name.clone(),
+                        expected: registry.len(),
+                        actual: a.load.len(),
+                    }));
+                }
+                CompiledState::Activity {
+                    duration: Duration::from_mean_scv(a.mean_duration, a.duration_scv)?,
+                    load: a.load.clone(),
+                }
+            }
+            StateKind::Nested { charts: sub } => {
+                // Recursively compile each sub-chart.
+                let mut idxs = Vec::with_capacity(sub.len());
+                for c in sub {
+                    idxs.push(compile_chart(c, spec, registry, arena)?);
+                }
+                CompiledState::Nested { charts: idxs }
+            }
+        };
+        states.push(compiled);
+    }
+
+    let mut outgoing: Vec<Vec<(usize, f64)>> = vec![Vec::new(); chart.states.len()];
+    for t in &chart.transitions {
+        outgoing[t.from.0].push((t.to.0, t.probability));
+    }
+
+    let slot = &mut arena[my_idx];
+    slot.state_names = state_names;
+    slot.states = states;
+    slot.outgoing = outgoing;
+    slot.initial = initial.0;
+    slot.final_state = final_state.0;
+    Ok(my_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_statechart::{
+        paper_section52_registry, ActivityKind, ActivitySpec, ChartBuilder, EcaRule,
+    };
+
+    fn leaf(name: &str, act: &str) -> StateChart {
+        ChartBuilder::new(name)
+            .initial("i")
+            .activity_state("w", act)
+            .final_state("f")
+            .transition("i", "w", 1.0, EcaRule::default())
+            .transition("w", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compiles_flat_chart() {
+        let spec = WorkflowSpec::new(
+            "T",
+            leaf("T", "A"),
+            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 0.0, 0.0])],
+        );
+        let cw = CompiledWorkflow::compile(&spec, &paper_section52_registry()).unwrap();
+        assert_eq!(cw.charts.len(), 1);
+        let c = &cw.charts[0];
+        assert_eq!(c.initial, 0);
+        assert_eq!(c.final_state, 2);
+        assert!(matches!(c.states[0], CompiledState::Initial));
+        assert!(matches!(c.states[1], CompiledState::Activity { .. }));
+        assert!(matches!(c.states[2], CompiledState::Final));
+        assert_eq!(c.outgoing[0], vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn compiles_nested_parallel_chart_into_arena() {
+        let outer = ChartBuilder::new("outer")
+            .initial("i")
+            .parallel_state("par", vec![leaf("s1", "A"), leaf("s2", "A")])
+            .final_state("f")
+            .transition("i", "par", 1.0, EcaRule::default())
+            .transition("par", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let spec = WorkflowSpec::new(
+            "outer",
+            outer,
+            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 0.0, 0.0])],
+        );
+        let cw = CompiledWorkflow::compile(&spec, &paper_section52_registry()).unwrap();
+        assert_eq!(cw.charts.len(), 3);
+        assert_eq!(cw.charts[0].name, "outer");
+        match &cw.charts[0].states[1] {
+            CompiledState::Nested { charts } => assert_eq!(charts, &vec![1, 2]),
+            other => panic!("expected nested, got {other:?}"),
+        }
+        assert_eq!(cw.charts[1].name, "s1");
+        assert_eq!(cw.charts[2].name, "s2");
+    }
+
+    #[test]
+    fn unknown_activity_fails_compilation() {
+        let spec = WorkflowSpec::new("T", leaf("T", "Ghost"), []);
+        assert!(matches!(
+            CompiledWorkflow::compile(&spec, &paper_section52_registry()),
+            Err(SimError::Spec(wfms_statechart::SpecError::UnknownActivity { .. }))
+        ));
+    }
+
+    #[test]
+    fn wrong_load_length_fails_compilation() {
+        let spec = WorkflowSpec::new(
+            "T",
+            leaf("T", "A"),
+            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0])],
+        );
+        assert!(matches!(
+            CompiledWorkflow::compile(&spec, &paper_section52_registry()),
+            Err(SimError::Spec(wfms_statechart::SpecError::ActivityLoadLength { .. }))
+        ));
+    }
+}

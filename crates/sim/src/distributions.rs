@@ -1,0 +1,195 @@
+//! Random-variate sampling for the simulator.
+//!
+//! Durations and service times are described by a mean and a squared
+//! coefficient of variation (SCV), mirroring the moment-level modeling of
+//! the analytic stack: SCV 1 samples an exponential, SCV < 1 an Erlang,
+//! SCV > 1 a balanced-means two-phase hyperexponential, and SCV 0 a
+//! deterministic constant.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// A sampleable positive duration distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Duration {
+    /// Always exactly `value`.
+    Deterministic {
+        /// The constant duration.
+        value: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Sum of `k` exponential stages (SCV `1/k`).
+    Erlang {
+        /// Number of stages.
+        k: usize,
+        /// Mean of the *whole* distribution.
+        mean: f64,
+    },
+    /// Two-phase hyperexponential (balanced means).
+    Hyperexponential {
+        /// Probability of branch 1.
+        p: f64,
+        /// Rate of branch 1.
+        rate1: f64,
+        /// Rate of branch 2.
+        rate2: f64,
+    },
+}
+
+impl Duration {
+    /// Fits a distribution to a mean and SCV (the same two-moment rules as
+    /// `wfms_markov::PhaseType`, plus the deterministic SCV-0 case).
+    ///
+    /// # Errors
+    /// [`SimError::InvalidParameter`] on non-positive mean or negative SCV.
+    pub fn from_mean_scv(mean: f64, scv: f64) -> Result<Self, SimError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(SimError::InvalidParameter { what: "duration mean", value: mean });
+        }
+        if !(scv.is_finite() && scv >= 0.0) {
+            return Err(SimError::InvalidParameter { what: "duration SCV", value: scv });
+        }
+        const NEAR: f64 = 1e-9;
+        if scv <= NEAR {
+            return Ok(Duration::Deterministic { value: mean });
+        }
+        if (scv - 1.0).abs() <= NEAR {
+            return Ok(Duration::Exponential { mean });
+        }
+        if scv < 1.0 {
+            let k = (1.0 / scv).round().max(1.0) as usize;
+            if k == 1 {
+                return Ok(Duration::Exponential { mean });
+            }
+            return Ok(Duration::Erlang { k, mean });
+        }
+        let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+        Ok(Duration::Hyperexponential {
+            p,
+            rate1: 2.0 * p / mean,
+            rate2: 2.0 * (1.0 - p) / mean,
+        })
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Duration::Deterministic { value } => value,
+            Duration::Exponential { mean } => mean,
+            Duration::Erlang { mean, .. } => mean,
+            Duration::Hyperexponential { p, rate1, rate2 } => p / rate1 + (1.0 - p) / rate2,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Duration::Deterministic { value } => value,
+            Duration::Exponential { mean } => sample_exponential(rng, 1.0 / mean),
+            Duration::Erlang { k, mean } => {
+                let rate = k as f64 / mean;
+                (0..k).map(|_| sample_exponential(rng, rate)).sum()
+            }
+            Duration::Hyperexponential { p, rate1, rate2 } => {
+                if rng.gen::<f64>() < p {
+                    sample_exponential(rng, rate1)
+                } else {
+                    sample_exponential(rng, rate2)
+                }
+            }
+        }
+    }
+}
+
+/// Samples an exponential variate with the given rate by inversion.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    // 1 - U in (0, 1] avoids ln(0).
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mean_of(d: &Duration, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        (m, var / (m * m))
+    }
+
+    #[test]
+    fn from_mean_scv_dispatches_by_scv() {
+        assert!(matches!(
+            Duration::from_mean_scv(2.0, 0.0).unwrap(),
+            Duration::Deterministic { value } if value == 2.0
+        ));
+        assert!(matches!(Duration::from_mean_scv(2.0, 1.0).unwrap(), Duration::Exponential { .. }));
+        assert!(matches!(
+            Duration::from_mean_scv(2.0, 0.25).unwrap(),
+            Duration::Erlang { k: 4, .. }
+        ));
+        assert!(matches!(
+            Duration::from_mean_scv(2.0, 4.0).unwrap(),
+            Duration::Hyperexponential { .. }
+        ));
+        // SCV just below 1 rounds to the exponential.
+        assert!(matches!(Duration::from_mean_scv(2.0, 0.9).unwrap(), Duration::Exponential { .. }));
+    }
+
+    #[test]
+    fn from_mean_scv_rejects_bad_input() {
+        assert!(Duration::from_mean_scv(0.0, 1.0).is_err());
+        assert!(Duration::from_mean_scv(-1.0, 1.0).is_err());
+        assert!(Duration::from_mean_scv(1.0, -0.5).is_err());
+        assert!(Duration::from_mean_scv(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn sample_means_match_for_all_families() {
+        for scv in [0.0, 0.25, 1.0, 4.0] {
+            let d = Duration::from_mean_scv(3.0, scv).unwrap();
+            assert!((d.mean() - 3.0).abs() < 1e-9, "declared mean for scv {scv}");
+            let (m, _) = mean_of(&d, 200_000, 42);
+            assert!((m - 3.0).abs() < 0.05, "scv={scv}: sample mean {m}");
+        }
+    }
+
+    #[test]
+    fn sample_scv_matches_target() {
+        for target in [0.25, 1.0, 4.0] {
+            let d = Duration::from_mean_scv(2.0, target).unwrap();
+            let (_, scv) = mean_of(&d, 400_000, 7);
+            assert!(
+                (scv - target).abs() < 0.15 * target.max(0.2),
+                "target {target}: sampled SCV {scv}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_has_zero_variance() {
+        let d = Duration::Deterministic { value: 5.0 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn exponential_sampler_is_positive_and_unbiased() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mean = (0..n).map(|_| sample_exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,858 @@
+//! The discrete-event simulation engine.
+//!
+//! Simulates the architectural model of Sec. 2 end-to-end: Poisson
+//! workflow arrivals, state-chart-driven instance execution (including
+//! nested and parallel subworkflows and literal self-loop retries),
+//! service-request generation against replicated server pools with FCFS
+//! queueing, configurable load balancing, and exponential failure/repair
+//! processes per replica. The measured statistics are the empirical
+//! counterparts of every analytic quantity in the paper: turnaround
+//! times (`R_t`), requests per instance (`r_{x,t}`), request arrival
+//! rates (`l_x`), waiting times (`w_x`), utilizations (`ρ_x`), and
+//! system availability.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use wfms_statechart::{Configuration, ServerTypeRegistry, WorkflowSpec};
+
+use crate::compiled::{CompiledState, CompiledWorkflow};
+use crate::distributions::{sample_exponential, Duration};
+use crate::error::SimError;
+use crate::stats::{
+    AuditTrail, AuditVisit, AvailabilitySimStats, BatchMeans, OnlineStats, ServerSimStats,
+    SimReport, WorkflowSimStats,
+};
+
+/// Observations per batch for waiting-time confidence intervals.
+const WAITING_BATCH: u64 = 1024;
+/// Observations per batch for turnaround confidence intervals.
+const TURNAROUND_BATCH: u64 = 256;
+
+/// How requests are spread over a server type's replicas (Sec. 4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadBalancing {
+    /// Cyclic assignment over the currently-up replicas.
+    RoundRobin,
+    /// Uniformly random up replica per request.
+    Random,
+    /// Hash of the workflow instance id picks a home replica; all requests
+    /// of one instance go there (the paper's locality policy), falling
+    /// over to the next up replica when the home is down.
+    InstanceAffinity,
+}
+
+/// How requests queue within one server type (an architectural ablation;
+/// the paper's Sec. 4.4 model corresponds to [`QueueDiscipline::PerReplica`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// Each replica has its own FCFS queue; the load balancer assigns a
+    /// request to one replica on arrival (the paper's model).
+    PerReplica,
+    /// One shared FCFS queue per server type; any idle up replica takes
+    /// the next request (the M/M/c architecture of the EXP-X4 ablation).
+    SharedQueue,
+}
+
+/// Workflow inter-arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals (exponential inter-arrival times) — the paper's
+    /// assumption for many independent clients.
+    Poisson,
+    /// Deterministic (evenly spaced) arrivals, for ablations.
+    Deterministic,
+}
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Simulated horizon in minutes (arrivals stop at this time).
+    pub duration_minutes: f64,
+    /// Warm-up period excluded from all statistics.
+    pub warmup_minutes: f64,
+    /// RNG seed; equal seeds give identical reports.
+    pub seed: u64,
+    /// Load-balancing policy (per-replica discipline only).
+    pub load_balancing: LoadBalancing,
+    /// Queueing discipline within one server type.
+    pub queue_discipline: QueueDiscipline,
+    /// Whether replicas fail and repair.
+    pub failures_enabled: bool,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Collect audit trails for up to this many completed instances.
+    pub audit_trail_cap: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            duration_minutes: 10_000.0,
+            warmup_minutes: 1_000.0,
+            seed: 42,
+            load_balancing: LoadBalancing::RoundRobin,
+            queue_discipline: QueueDiscipline::PerReplica,
+            failures_enabled: false,
+            arrivals: ArrivalProcess::Poisson,
+            audit_trail_cap: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    Arrival { wf: usize },
+    StateEnd { iid: u64, frame: usize },
+    Request { server_type: usize, iid: u64 },
+    ServiceDone { server_type: usize, replica: usize, token: u64 },
+    Fail { server_type: usize, replica: usize },
+    Repair { server_type: usize, replica: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    chart: usize,
+    state: usize,
+    parent: Option<usize>,
+    entered_at: f64,
+    pending_children: usize,
+}
+
+#[derive(Debug)]
+struct Instance {
+    wf: usize,
+    started_at: f64,
+    frames: Vec<Frame>,
+    requests: Vec<u64>,
+    trail: Option<Vec<AuditVisit>>,
+    measured: bool,
+}
+
+#[derive(Debug)]
+struct Replica {
+    up: bool,
+    busy: bool,
+    token: u64,
+    current_arrival: f64,
+    service_started: f64,
+    queue: VecDeque<f64>,
+    busy_accum: f64,
+}
+
+impl Replica {
+    fn new() -> Self {
+        Replica {
+            up: true,
+            busy: false,
+            token: 0,
+            current_arrival: 0.0,
+            service_started: 0.0,
+            queue: VecDeque::new(),
+            busy_accum: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Pool {
+    service: Duration,
+    replicas: Vec<Replica>,
+    rr: usize,
+    held: VecDeque<f64>,
+    waiting: OnlineStats,
+    waiting_batches: BatchMeans,
+    service_observed: OnlineStats,
+    arrivals_measured: u64,
+    completed_measured: u64,
+}
+
+struct Engine<'a> {
+    registry: &'a ServerTypeRegistry,
+    workflows: Vec<CompiledWorkflow>,
+    arrival_rates: Vec<f64>,
+    opts: SimOptions,
+    now: f64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Event>>,
+    rng: StdRng,
+    instances: HashMap<u64, Instance>,
+    next_iid: u64,
+    pools: Vec<Pool>,
+    // availability accounting
+    types_up: Vec<usize>,
+    type_uptime: Vec<f64>,
+    system_uptime: f64,
+    last_avail_update: f64,
+    failures: u64,
+    repairs: u64,
+    // per-workflow stats
+    wf_started: Vec<u64>,
+    wf_completed: Vec<u64>,
+    wf_turnaround: Vec<OnlineStats>,
+    wf_turnaround_batches: Vec<BatchMeans>,
+    wf_requests: Vec<Vec<OnlineStats>>,
+    audit: Vec<AuditTrail>,
+    events_processed: u64,
+}
+
+/// Hard safety cap on processed events.
+const MAX_EVENTS: u64 = 500_000_000;
+
+/// Runs one simulation.
+///
+/// # Errors
+/// [`SimError`] on invalid options or specifications.
+pub fn run(
+    registry: &ServerTypeRegistry,
+    config: &Configuration,
+    workload: &[(&WorkflowSpec, f64)],
+    opts: &SimOptions,
+) -> Result<SimReport, SimError> {
+    if workload.is_empty() {
+        return Err(SimError::EmptyWorkload);
+    }
+    if !(opts.duration_minutes.is_finite() && opts.duration_minutes > 0.0) {
+        return Err(SimError::InvalidParameter {
+            what: "duration",
+            value: opts.duration_minutes,
+        });
+    }
+    if !(opts.warmup_minutes.is_finite()
+        && opts.warmup_minutes >= 0.0
+        && opts.warmup_minutes < opts.duration_minutes)
+    {
+        return Err(SimError::InvalidParameter { what: "warmup", value: opts.warmup_minutes });
+    }
+    for (spec, rate) in workload {
+        if !(rate.is_finite() && *rate >= 0.0) {
+            return Err(SimError::InvalidParameter { what: "arrival rate", value: *rate });
+        }
+        let _ = spec;
+    }
+
+    let k = registry.len();
+    let mut workflows = Vec::with_capacity(workload.len());
+    let mut arrival_rates = Vec::with_capacity(workload.len());
+    for (spec, rate) in workload {
+        workflows.push(CompiledWorkflow::compile(spec, registry)?);
+        arrival_rates.push(*rate);
+    }
+
+    let mut pools = Vec::with_capacity(k);
+    for (id, st) in registry.iter() {
+        let scv = (st.service_time_second_moment
+            - st.service_time_mean * st.service_time_mean)
+            .max(0.0)
+            / (st.service_time_mean * st.service_time_mean);
+        let service = Duration::from_mean_scv(st.service_time_mean, scv)?;
+        let replicas = (0..config.replicas(id)?).map(|_| Replica::new()).collect();
+        pools.push(Pool {
+            service,
+            replicas,
+            rr: 0,
+            held: VecDeque::new(),
+            waiting: OnlineStats::new(),
+            waiting_batches: BatchMeans::new(WAITING_BATCH),
+            service_observed: OnlineStats::new(),
+            arrivals_measured: 0,
+            completed_measured: 0,
+        });
+    }
+
+    let n_wf = workflows.len();
+    let mut engine = Engine {
+        registry,
+        workflows,
+        arrival_rates,
+        opts: *opts,
+        now: 0.0,
+        seq: 0,
+        heap: BinaryHeap::new(),
+        rng: StdRng::seed_from_u64(opts.seed),
+        instances: HashMap::new(),
+        next_iid: 0,
+        pools,
+        types_up: config.as_slice().to_vec(),
+        type_uptime: vec![0.0; k],
+        system_uptime: 0.0,
+        last_avail_update: 0.0,
+        failures: 0,
+        repairs: 0,
+        wf_started: vec![0; n_wf],
+        wf_completed: vec![0; n_wf],
+        wf_turnaround: (0..n_wf).map(|_| OnlineStats::new()).collect(),
+        wf_turnaround_batches: (0..n_wf).map(|_| BatchMeans::new(TURNAROUND_BATCH)).collect(),
+        wf_requests: (0..n_wf).map(|_| (0..k).map(|_| OnlineStats::new()).collect()).collect(),
+        audit: Vec::new(),
+        events_processed: 0,
+    };
+    engine.bootstrap();
+    engine.event_loop();
+    Ok(engine.finish())
+}
+
+impl Engine<'_> {
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+
+    fn bootstrap(&mut self) {
+        for wf in 0..self.workflows.len() {
+            if self.arrival_rates[wf] > 0.0 {
+                let dt = self.interarrival(wf);
+                if dt <= self.opts.duration_minutes {
+                    self.schedule(dt, EventKind::Arrival { wf });
+                }
+            }
+        }
+        if self.opts.failures_enabled {
+            for x in 0..self.pools.len() {
+                let mttf = self.registry.get(wfms_statechart::ServerTypeId(x))
+                    .expect("registry index")
+                    .mttf();
+                for r in 0..self.pools[x].replicas.len() {
+                    let t = sample_exponential(&mut self.rng, 1.0 / mttf);
+                    if t <= self.opts.duration_minutes {
+                        self.schedule(t, EventKind::Fail { server_type: x, replica: r });
+                    }
+                }
+            }
+        }
+    }
+
+    fn interarrival(&mut self, wf: usize) -> f64 {
+        let rate = self.arrival_rates[wf];
+        match self.opts.arrivals {
+            ArrivalProcess::Poisson => sample_exponential(&mut self.rng, rate),
+            ArrivalProcess::Deterministic => 1.0 / rate,
+        }
+    }
+
+    fn event_loop(&mut self) {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            self.events_processed += 1;
+            if self.events_processed > MAX_EVENTS {
+                break;
+            }
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Arrival { wf } => self.on_arrival(wf),
+                EventKind::StateEnd { iid, frame } => self.on_state_end(iid, frame),
+                EventKind::Request { server_type, iid } => self.on_request(server_type, iid),
+                EventKind::ServiceDone { server_type, replica, token } => {
+                    self.on_service_done(server_type, replica, token)
+                }
+                EventKind::Fail { server_type, replica } => self.on_fail(server_type, replica),
+                EventKind::Repair { server_type, replica } => {
+                    self.on_repair(server_type, replica)
+                }
+            }
+        }
+        // Close the availability accounting at the horizon.
+        let horizon = self.opts.duration_minutes;
+        self.accumulate_availability(horizon.max(self.now));
+    }
+
+    // ---- workflow execution -------------------------------------------
+
+    fn on_arrival(&mut self, wf: usize) {
+        // Schedule the next arrival of this type.
+        let dt = self.interarrival(wf);
+        let next = self.now + dt;
+        if next <= self.opts.duration_minutes {
+            self.schedule(next, EventKind::Arrival { wf });
+        }
+
+        let iid = self.next_iid;
+        self.next_iid += 1;
+        let measured = self.now >= self.opts.warmup_minutes;
+        if measured {
+            self.wf_started[wf] += 1;
+        }
+        let want_trail = self.audit.len() + self.count_pending_trails() < self.opts.audit_trail_cap;
+        let k = self.pools.len();
+        let top_chart = 0;
+        let initial = self.workflows[wf].charts[top_chart].initial;
+        let instance = Instance {
+            wf,
+            started_at: self.now,
+            frames: vec![Frame {
+                chart: top_chart,
+                state: initial,
+                parent: None,
+                entered_at: self.now,
+                pending_children: 0,
+            }],
+            requests: vec![0; k],
+            trail: want_trail.then(Vec::new),
+            measured,
+        };
+        self.instances.insert(iid, instance);
+        self.enter_state(iid, 0);
+    }
+
+    fn count_pending_trails(&self) -> usize {
+        // Cheap upper bound: instances currently collecting a trail.
+        self.instances.values().filter(|i| i.trail.is_some()).count()
+    }
+
+    /// Acts on the state the frame currently points at.
+    fn enter_state(&mut self, iid: u64, frame_idx: usize) {
+        let (wf, chart, state) = {
+            let inst = match self.instances.get(&iid) {
+                Some(i) => i,
+                None => return,
+            };
+            let f = &inst.frames[frame_idx];
+            (inst.wf, f.chart, f.state)
+        };
+        let compiled = self.workflows[wf].charts[chart].states[state].clone();
+        match compiled {
+            CompiledState::Initial => {
+                if let Some(inst) = self.instances.get_mut(&iid) {
+                    inst.frames[frame_idx].entered_at = self.now;
+                }
+                self.transition(iid, frame_idx);
+            }
+            CompiledState::Final => self.complete_frame(iid, frame_idx),
+            CompiledState::Activity { duration, load } => {
+                let d = duration.sample(&mut self.rng);
+                // Generate the activity's service requests, uniformly spread
+                // over its duration; fractional expectations realized by a
+                // Bernoulli on the remainder.
+                let mut generated = vec![0u64; load.len()];
+                for (x, &expected) in load.iter().enumerate() {
+                    let whole = expected.floor() as u64;
+                    let frac = expected - expected.floor();
+                    let extra = if frac > 0.0 && self.rng.gen::<f64>() < frac { 1 } else { 0 };
+                    let n = whole + extra;
+                    generated[x] = n;
+                    for _ in 0..n {
+                        let t = self.now + self.rng.gen::<f64>() * d;
+                        self.schedule(t, EventKind::Request { server_type: x, iid });
+                    }
+                }
+                if let Some(inst) = self.instances.get_mut(&iid) {
+                    for (req, g) in inst.requests.iter_mut().zip(&generated) {
+                        *req += g;
+                    }
+                    inst.frames[frame_idx].entered_at = self.now;
+                }
+                let end = self.now + d;
+                self.schedule(end, EventKind::StateEnd { iid, frame: frame_idx });
+            }
+            CompiledState::Nested { charts } => {
+                if let Some(inst) = self.instances.get_mut(&iid) {
+                    inst.frames[frame_idx].entered_at = self.now;
+                    inst.frames[frame_idx].pending_children = charts.len();
+                }
+                let mut child_frames = Vec::with_capacity(charts.len());
+                for &c in &charts {
+                    let initial = self.workflows[wf].charts[c].initial;
+                    if let Some(inst) = self.instances.get_mut(&iid) {
+                        inst.frames.push(Frame {
+                            chart: c,
+                            state: initial,
+                            parent: Some(frame_idx),
+                            entered_at: self.now,
+                            pending_children: 0,
+                        });
+                        child_frames.push(inst.frames.len() - 1);
+                    }
+                }
+                for f in child_frames {
+                    self.enter_state(iid, f);
+                }
+            }
+        }
+    }
+
+    /// The activity in `frame` finished its sampled duration.
+    fn on_state_end(&mut self, iid: u64, frame_idx: usize) {
+        self.transition(iid, frame_idx);
+    }
+
+    /// Leaves the frame's current state along a sampled transition.
+    fn transition(&mut self, iid: u64, frame_idx: usize) {
+        let (wf, chart, state, entered_at, is_top) = {
+            let inst = match self.instances.get(&iid) {
+                Some(i) => i,
+                None => return,
+            };
+            let f = &inst.frames[frame_idx];
+            (inst.wf, f.chart, f.state, f.entered_at, frame_idx == 0)
+        };
+        // Audit-trail the visit we are leaving (top level, real states only).
+        let is_real = matches!(
+            self.workflows[wf].charts[chart].states[state],
+            CompiledState::Activity { .. } | CompiledState::Nested { .. }
+        );
+        if is_top && is_real {
+            let name = self.workflows[wf].charts[chart].state_names[state].clone();
+            let visit = AuditVisit { state: name, duration_minutes: self.now - entered_at };
+            if let Some(inst) = self.instances.get_mut(&iid) {
+                if let Some(trail) = inst.trail.as_mut() {
+                    trail.push(visit);
+                }
+            }
+        }
+        // Sample the successor.
+        let next = {
+            let outgoing = &self.workflows[wf].charts[chart].outgoing[state];
+            debug_assert!(!outgoing.is_empty(), "non-final state without outgoing transitions");
+            let u: f64 = self.rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = outgoing.last().expect("validated chart").0;
+            for &(to, p) in outgoing {
+                acc += p;
+                if u < acc {
+                    chosen = to;
+                    break;
+                }
+            }
+            chosen
+        };
+        if let Some(inst) = self.instances.get_mut(&iid) {
+            inst.frames[frame_idx].state = next;
+        }
+        self.enter_state(iid, frame_idx);
+    }
+
+    /// A frame reached its final state.
+    fn complete_frame(&mut self, iid: u64, frame_idx: usize) {
+        let parent = match self.instances.get(&iid) {
+            Some(i) => i.frames[frame_idx].parent,
+            None => return,
+        };
+        match parent {
+            Some(p) => {
+                let ready = {
+                    let inst = self.instances.get_mut(&iid).expect("instance exists");
+                    let f = &mut inst.frames[p];
+                    f.pending_children -= 1;
+                    f.pending_children == 0
+                };
+                if ready {
+                    // The parent's nested state is done; leave it.
+                    self.transition(iid, p);
+                }
+            }
+            None => self.finish_instance(iid),
+        }
+    }
+
+    fn finish_instance(&mut self, iid: u64) {
+        let inst = match self.instances.remove(&iid) {
+            Some(i) => i,
+            None => return,
+        };
+        if inst.measured {
+            self.wf_completed[inst.wf] += 1;
+            self.wf_turnaround[inst.wf].push(self.now - inst.started_at);
+            self.wf_turnaround_batches[inst.wf].push(self.now - inst.started_at);
+            for (x, &n) in inst.requests.iter().enumerate() {
+                self.wf_requests[inst.wf][x].push(n as f64);
+            }
+        }
+        if let Some(visits) = inst.trail {
+            if self.audit.len() < self.opts.audit_trail_cap && !visits.is_empty() {
+                self.audit.push(AuditTrail {
+                    workflow_type: self.workflows[inst.wf].name.clone(),
+                    visits,
+                });
+            }
+        }
+    }
+
+    // ---- servers --------------------------------------------------------
+
+    fn on_request(&mut self, x: usize, iid: u64) {
+        if self.in_window(self.now) {
+            self.pools[x].arrivals_measured += 1;
+        }
+        self.dispatch(x, self.now, iid);
+    }
+
+    /// Routes a request (with its original arrival time) to a replica.
+    fn dispatch(&mut self, x: usize, arrival: f64, iid: u64) {
+        let n = self.pools[x].replicas.len();
+        if self.opts.queue_discipline == QueueDiscipline::SharedQueue {
+            // One queue per type; any idle up replica pulls from it.
+            self.pools[x].held.push_back(arrival);
+            if let Some(idle) = (0..n)
+                .find(|&r| self.pools[x].replicas[r].up && !self.pools[x].replicas[r].busy)
+            {
+                self.try_start(x, idle);
+            }
+            return;
+        }
+        let up_exists = self.pools[x].replicas.iter().any(|r| r.up);
+        if !up_exists {
+            self.pools[x].held.push_back(arrival);
+            return;
+        }
+        let start = match self.opts.load_balancing {
+            LoadBalancing::RoundRobin => {
+                let s = self.pools[x].rr;
+                self.pools[x].rr = (s + 1) % n;
+                s
+            }
+            LoadBalancing::Random => self.rng.gen_range(0..n),
+            LoadBalancing::InstanceAffinity => (iid as usize) % n,
+        };
+        let mut chosen = start % n;
+        for off in 0..n {
+            let idx = (start + off) % n;
+            if self.pools[x].replicas[idx].up {
+                chosen = idx;
+                break;
+            }
+        }
+        self.pools[x].replicas[chosen].queue.push_back(arrival);
+        self.try_start(x, chosen);
+    }
+
+    fn try_start(&mut self, x: usize, r: usize) {
+        let now = self.now;
+        let (token, service) = {
+            let pool = &mut self.pools[x];
+            let rep = &mut pool.replicas[r];
+            if rep.busy || !rep.up {
+                return;
+            }
+            let arrival = match self.opts.queue_discipline {
+                QueueDiscipline::PerReplica => match rep.queue.pop_front() {
+                    Some(a) => a,
+                    None => return,
+                },
+                QueueDiscipline::SharedQueue => match pool.held.pop_front() {
+                    Some(a) => a,
+                    None => return,
+                },
+            };
+            rep.busy = true;
+            rep.token += 1;
+            rep.current_arrival = arrival;
+            rep.service_started = now;
+            (rep.token, pool.service)
+        };
+        let s = service.sample(&mut self.rng);
+        if self.in_window(now) {
+            let pool = &mut self.pools[x];
+            let waited = now - pool.replicas[r].current_arrival;
+            pool.waiting.push(waited);
+            pool.waiting_batches.push(waited);
+            pool.service_observed.push(s);
+        }
+        self.schedule(now + s, EventKind::ServiceDone { server_type: x, replica: r, token });
+    }
+
+    fn on_service_done(&mut self, x: usize, r: usize, token: u64) {
+        {
+            let pool = &mut self.pools[x];
+            let rep = &mut pool.replicas[r];
+            if !rep.busy || rep.token != token {
+                return; // stale completion from before a failure
+            }
+            rep.busy = false;
+            let busy = Self::clip_static(
+                rep.service_started,
+                self.now,
+                self.opts.warmup_minutes,
+                self.opts.duration_minutes,
+            );
+            rep.busy_accum += busy;
+            if self.now >= self.opts.warmup_minutes {
+                pool.completed_measured += 1;
+            }
+        }
+        self.try_start(x, r);
+    }
+
+    fn on_fail(&mut self, x: usize, r: usize) {
+        self.accumulate_availability(self.now);
+        let mut displaced: Vec<f64> = Vec::new();
+        {
+            let pool = &mut self.pools[x];
+            let rep = &mut pool.replicas[r];
+            if !rep.up {
+                return;
+            }
+            rep.up = false;
+            rep.token += 1; // invalidate any in-flight completion
+            if rep.busy {
+                rep.busy = false;
+                let busy = Self::clip_static(
+                    rep.service_started,
+                    self.now,
+                    self.opts.warmup_minutes,
+                    self.opts.duration_minutes,
+                );
+                rep.busy_accum += busy;
+                displaced.push(rep.current_arrival);
+            }
+            displaced.extend(rep.queue.drain(..));
+        }
+        self.types_up[x] -= 1;
+        self.failures += 1;
+        // Failover: re-dispatch displaced requests (their waiting clock keeps
+        // running from the original arrival).
+        if self.opts.queue_discipline == QueueDiscipline::SharedQueue {
+            for arrival in displaced.into_iter().rev() {
+                self.pools[x].held.push_front(arrival);
+            }
+        } else {
+            for arrival in displaced {
+                self.dispatch(x, arrival, 0);
+            }
+        }
+        // Repair completes after an exponential repair time.
+        let mttr = self
+            .registry
+            .get(wfms_statechart::ServerTypeId(x))
+            .expect("registry index")
+            .mttr();
+        let t = self.now + sample_exponential(&mut self.rng, 1.0 / mttr);
+        self.schedule(t, EventKind::Repair { server_type: x, replica: r });
+    }
+
+    fn on_repair(&mut self, x: usize, r: usize) {
+        self.accumulate_availability(self.now);
+        {
+            let rep = &mut self.pools[x].replicas[r];
+            debug_assert!(!rep.up);
+            rep.up = true;
+        }
+        self.types_up[x] += 1;
+        self.repairs += 1;
+        // Flush requests that were held while the whole type was down
+        // (under the shared discipline the held queue IS the type queue,
+        // so the repaired replica simply starts pulling from it).
+        if self.opts.queue_discipline == QueueDiscipline::PerReplica {
+            let held: Vec<f64> = self.pools[x].held.drain(..).collect();
+            for arrival in held {
+                self.dispatch(x, arrival, 0);
+            }
+        }
+        self.try_start(x, r);
+        // Schedule this replica's next failure.
+        let mttf = self
+            .registry
+            .get(wfms_statechart::ServerTypeId(x))
+            .expect("registry index")
+            .mttf();
+        let t = self.now + sample_exponential(&mut self.rng, 1.0 / mttf);
+        if t <= self.opts.duration_minutes {
+            self.schedule(t, EventKind::Fail { server_type: x, replica: r });
+        }
+    }
+
+    // ---- accounting -------------------------------------------------------
+
+    fn in_window(&self, t: f64) -> bool {
+        t >= self.opts.warmup_minutes && t <= self.opts.duration_minutes
+    }
+
+    fn clip_static(from: f64, to: f64, warmup: f64, horizon: f64) -> f64 {
+        (to.min(horizon) - from.max(warmup)).max(0.0)
+    }
+
+    /// Accumulates uptime between the last availability change and `now`.
+    fn accumulate_availability(&mut self, now: f64) {
+        let dt = Self::clip_static(
+            self.last_avail_update,
+            now,
+            self.opts.warmup_minutes,
+            self.opts.duration_minutes,
+        );
+        if dt > 0.0 {
+            if self.types_up.iter().all(|&u| u > 0) {
+                self.system_uptime += dt;
+            }
+            for (x, &u) in self.types_up.iter().enumerate() {
+                if u > 0 {
+                    self.type_uptime[x] += dt;
+                }
+            }
+        }
+        self.last_avail_update = now;
+    }
+
+    fn finish(self) -> SimReport {
+        let measured = self.opts.duration_minutes - self.opts.warmup_minutes;
+        let workflows = (0..self.workflows.len())
+            .map(|wf| WorkflowSimStats {
+                name: self.workflows[wf].name.clone(),
+                started: self.wf_started[wf],
+                completed: self.wf_completed[wf],
+                mean_turnaround: self.wf_turnaround[wf].mean(),
+                turnaround_variance: self.wf_turnaround[wf].variance(),
+                turnaround_ci95: self.wf_turnaround_batches[wf].half_width_95(),
+                mean_requests: self.wf_requests[wf].iter().map(|s| s.mean()).collect(),
+            })
+            .collect();
+        let server_types = self
+            .pools
+            .iter()
+            .enumerate()
+            .map(|(x, pool)| {
+                let name = self
+                    .registry
+                    .get(wfms_statechart::ServerTypeId(x))
+                    .map(|t| t.name.clone())
+                    .unwrap_or_else(|_| format!("type{x}"));
+                let busy: f64 = pool.replicas.iter().map(|r| r.busy_accum).sum();
+                ServerSimStats {
+                    name,
+                    arrival_rate: pool.arrivals_measured as f64 / measured,
+                    mean_waiting: pool.waiting.mean(),
+                    waiting_variance: pool.waiting.variance(),
+                    mean_waiting_ci95: pool.waiting_batches.half_width_95(),
+                    mean_service: pool.service_observed.mean(),
+                    utilization: busy / (measured * pool.replicas.len() as f64),
+                    completed_requests: pool.completed_measured,
+                }
+            })
+            .collect();
+        let availability = AvailabilitySimStats {
+            system_uptime_fraction: self.system_uptime / measured,
+            per_type_uptime_fraction: self.type_uptime.iter().map(|t| t / measured).collect(),
+            failures: self.failures,
+            repairs: self.repairs,
+        };
+        SimReport {
+            measured_minutes: measured,
+            workflows,
+            server_types,
+            availability,
+            audit_trails: self.audit,
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulator errors.
+
+use std::fmt;
+
+use wfms_statechart::{ArchError, SpecError};
+
+/// Errors raised by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A numeric parameter is out of its domain.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The workload is empty.
+    EmptyWorkload,
+    /// A specification failed to compile for simulation.
+    Spec(SpecError),
+    /// Architectural-model failure.
+    Arch(ArchError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { what, value } => write!(f, "invalid {what}: {value}"),
+            SimError::EmptyWorkload => write!(f, "no workflow types in the simulated workload"),
+            SimError::Spec(e) => write!(f, "specification error: {e}"),
+            SimError::Arch(e) => write!(f, "architecture error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Spec(e) => Some(e),
+            SimError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Spec(e)
+    }
+}
+
+impl From<ArchError> for SimError {
+    fn from(e: ArchError) -> Self {
+        SimError::Arch(e)
+    }
+}

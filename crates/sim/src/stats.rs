@@ -1,0 +1,316 @@
+//! Online statistics and the simulation report.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style online accumulator for mean and variance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        OnlineStats::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (zero for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Second raw moment `E[X²] = Var + mean²`.
+    pub fn second_moment(&self) -> f64 {
+        self.variance() + self.mean * self.mean
+    }
+}
+
+/// One recorded state visit of a simulated workflow instance
+/// (the simulator's audit-trail entry, Sec. 7.1's calibration input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditVisit {
+    /// Top-level chart state name.
+    pub state: String,
+    /// Time spent in the state, minutes.
+    pub duration_minutes: f64,
+}
+
+/// The audit trail of one completed workflow instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditTrail {
+    /// Workflow type name.
+    pub workflow_type: String,
+    /// Top-level state visits in execution order.
+    pub visits: Vec<AuditVisit>,
+}
+
+/// Per-workflow-type simulation statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSimStats {
+    /// Workflow type name.
+    pub name: String,
+    /// Instances started after warm-up.
+    pub started: u64,
+    /// Instances completed (of those started after warm-up).
+    pub completed: u64,
+    /// Mean turnaround time (minutes) of completed instances.
+    pub mean_turnaround: f64,
+    /// Turnaround variance.
+    pub turnaround_variance: f64,
+    /// 95 % batch-means confidence half-width of the mean turnaround,
+    /// when enough batches completed.
+    pub turnaround_ci95: Option<f64>,
+    /// Mean service requests generated per completed instance, per server
+    /// type — the empirical `r_{x,t}`.
+    pub mean_requests: Vec<f64>,
+}
+
+/// Per-server-type simulation statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSimStats {
+    /// Server type name.
+    pub name: String,
+    /// Observed request arrival rate (per minute, post-warm-up) — the
+    /// empirical `l_x`.
+    pub arrival_rate: f64,
+    /// Mean waiting time before service (minutes) — the empirical `w_x`.
+    pub mean_waiting: f64,
+    /// Waiting-time variance.
+    pub waiting_variance: f64,
+    /// 95 % batch-means confidence half-width of the mean waiting time,
+    /// when enough batches completed.
+    pub mean_waiting_ci95: Option<f64>,
+    /// Mean observed service time.
+    pub mean_service: f64,
+    /// Mean per-replica utilization (busy time over measured horizon).
+    pub utilization: f64,
+    /// Requests whose service completed in the measured horizon.
+    pub completed_requests: u64,
+}
+
+/// Availability bookkeeping over the simulated horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilitySimStats {
+    /// Fraction of (post-warm-up) time the entire WFMS was operational.
+    pub system_uptime_fraction: f64,
+    /// Per-server-type fraction of time at least one replica was up.
+    pub per_type_uptime_fraction: Vec<f64>,
+    /// Total failures injected.
+    pub failures: u64,
+    /// Total repairs completed.
+    pub repairs: u64,
+}
+
+/// The full simulation report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated horizon in minutes (excluding warm-up).
+    pub measured_minutes: f64,
+    /// Per-workflow-type statistics.
+    pub workflows: Vec<WorkflowSimStats>,
+    /// Per-server-type statistics.
+    pub server_types: Vec<ServerSimStats>,
+    /// Availability statistics.
+    pub availability: AvailabilitySimStats,
+    /// Collected audit trails (capped by the simulation options).
+    pub audit_trails: Vec<AuditTrail>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_closed_form() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.second_moment() - 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_observation_edge_cases() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_are_numerically_stable_for_large_offsets() {
+        let mut s = OnlineStats::new();
+        for i in 0..1000 {
+            s.push(1e9 + (i % 2) as f64);
+        }
+        assert!((s.mean() - (1e9 + 0.5)).abs() < 1e-3);
+        assert!((s.variance() - 0.25).abs() < 1e-6);
+    }
+}
+
+/// Student-t 97.5 % quantiles by degrees of freedom (df = batches − 1);
+/// beyond 30 the normal 1.96 is used.
+fn t_975(df: u64) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1 => 12.706,
+        2 => 4.303,
+        3 => 3.182,
+        4 => 2.776,
+        5 => 2.571,
+        6 => 2.447,
+        7 => 2.365,
+        8 => 2.306,
+        9 => 2.262,
+        10 => 2.228,
+        11..=14 => 2.145,
+        15..=19 => 2.131,
+        20..=29 => 2.086,
+        _ => 1.96,
+    }
+}
+
+/// Batch-means estimator for steady-state confidence intervals.
+///
+/// Simulation observations (waiting times, turnarounds) are serially
+/// correlated, so the naive `s/√n` interval is too narrow. Batch means —
+/// averaging blocks of consecutive observations and treating the block
+/// means as (approximately) independent — is the standard fix; with a
+/// large enough batch size the block means decorrelate and a Student-t
+/// interval on them is honest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// A new estimator with the given observations-per-batch.
+    ///
+    /// # Panics
+    /// Panics on a zero batch size.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans { batch_size, current_sum: 0.0, current_count: 0, batch_means: Vec::new() }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// 95 % confidence half-width around the mean, or `None` with fewer
+    /// than two completed batches.
+    pub fn half_width_95(&self) -> Option<f64> {
+        let b = self.batch_means.len();
+        if b < 2 {
+            return None;
+        }
+        let mean: f64 = self.batch_means.iter().sum::<f64>() / b as f64;
+        let var: f64 = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (b as f64 - 1.0);
+        Some(t_975(b as u64 - 1) * (var / b as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_batches() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..19 {
+            bm.push(1.0);
+        }
+        assert_eq!(bm.batches(), 1);
+        assert_eq!(bm.half_width_95(), None);
+        bm.push(1.0);
+        assert_eq!(bm.batches(), 2);
+        assert_eq!(bm.half_width_95(), Some(0.0), "constant data has zero width");
+    }
+
+    #[test]
+    fn interval_shrinks_with_more_batches() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut narrow = BatchMeans::new(100);
+        let mut wide = BatchMeans::new(100);
+        for i in 0..100_000 {
+            let x: f64 = rng.gen();
+            narrow.push(x);
+            if i < 1_000 {
+                wide.push(x);
+            }
+        }
+        let hw_many = narrow.half_width_95().unwrap();
+        let hw_few = wide.half_width_95().unwrap();
+        assert!(hw_many < hw_few, "{hw_many} !< {hw_few}");
+        // Uniform(0,1): sd of a 100-batch mean ≈ 0.0289; with 1000 batches
+        // half-width ≈ 1.96 * 0.0289/sqrt(1000) ≈ 0.0018.
+        assert!(hw_many < 0.004, "{hw_many}");
+    }
+
+    #[test]
+    fn t_quantiles_are_monotone() {
+        let mut last = f64::INFINITY;
+        for df in 0..40 {
+            let t = t_975(df);
+            assert!(t <= last, "df={df}");
+            last = t;
+        }
+        assert!((t_975(100) - 1.96).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Ergonomic construction of state charts.
+//!
+//! The builder works with state *names* and resolves them to [`StateId`]s
+//! at build time, so chart definitions read like the specification
+//! diagrams of the paper (Fig. 3).
+
+use std::collections::BTreeMap;
+
+use crate::error::SpecError;
+use crate::spec::{ChartState, EcaRule, StateChart, StateId, StateKind, Transition};
+
+/// Builder for a [`StateChart`].
+///
+/// ```
+/// use wfms_statechart::builder::ChartBuilder;
+/// use wfms_statechart::spec::EcaRule;
+///
+/// let chart = ChartBuilder::new("Demo")
+///     .initial("init")
+///     .activity_state("work", "DoWork")
+///     .final_state("done")
+///     .transition("init", "work", 1.0, EcaRule::default())
+///     .transition("work", "done", 1.0, EcaRule::on_done("DoWork"))
+///     .build()
+///     .unwrap();
+/// assert_eq!(chart.states.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct ChartBuilder {
+    name: String,
+    states: Vec<ChartState>,
+    index: BTreeMap<String, StateId>,
+    /// `(from, to, probability, rule)` by name, resolved at build time.
+    pending_transitions: Vec<(String, String, f64, EcaRule)>,
+    duplicate: Option<String>,
+}
+
+impl ChartBuilder {
+    /// Starts a new chart.
+    pub fn new(name: impl Into<String>) -> Self {
+        ChartBuilder {
+            name: name.into(),
+            states: Vec::new(),
+            index: BTreeMap::new(),
+            pending_transitions: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    fn add_state(mut self, name: impl Into<String>, kind: StateKind) -> Self {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            self.duplicate.get_or_insert(name);
+            return self;
+        }
+        let id = StateId(self.states.len());
+        self.index.insert(name.clone(), id);
+        self.states.push(ChartState { name, kind });
+        self
+    }
+
+    /// Adds the initial pseudo-state.
+    pub fn initial(self, name: impl Into<String>) -> Self {
+        self.add_state(name, StateKind::Initial)
+    }
+
+    /// Adds the final state.
+    pub fn final_state(self, name: impl Into<String>) -> Self {
+        self.add_state(name, StateKind::Final)
+    }
+
+    /// Adds a state executing `activity`.
+    pub fn activity_state(self, name: impl Into<String>, activity: impl Into<String>) -> Self {
+        self.add_state(name, StateKind::Activity { activity: activity.into() })
+    }
+
+    /// Adds a nested state embedding one subworkflow chart.
+    pub fn nested_state(self, name: impl Into<String>, chart: StateChart) -> Self {
+        self.add_state(name, StateKind::Nested { charts: vec![chart] })
+    }
+
+    /// Adds a nested state running several charts in parallel (orthogonal
+    /// components), joined on completion of all.
+    pub fn parallel_state(self, name: impl Into<String>, charts: Vec<StateChart>) -> Self {
+        self.add_state(name, StateKind::Nested { charts })
+    }
+
+    /// Adds a transition by state names.
+    pub fn transition(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        probability: f64,
+        rule: EcaRule,
+    ) -> Self {
+        self.pending_transitions.push((from.into(), to.into(), probability, rule));
+        self
+    }
+
+    /// Resolves names and produces the chart. The result is *structurally*
+    /// assembled but not yet semantically validated — run
+    /// [`crate::validate::validate_chart`] (or validate the whole
+    /// [`crate::spec::WorkflowSpec`]) afterwards.
+    ///
+    /// # Errors
+    /// * [`SpecError::DuplicateState`] for repeated state names.
+    /// * [`SpecError::UnknownState`] for transitions naming missing states.
+    pub fn build(self) -> Result<StateChart, SpecError> {
+        if let Some(name) = self.duplicate {
+            return Err(SpecError::DuplicateState { chart: self.name, state: name });
+        }
+        let mut transitions = Vec::with_capacity(self.pending_transitions.len());
+        for (from, to, probability, rule) in self.pending_transitions {
+            let &from_id = self.index.get(&from).ok_or_else(|| SpecError::UnknownState {
+                chart: self.name.clone(),
+                state: from.clone(),
+            })?;
+            let &to_id = self.index.get(&to).ok_or_else(|| SpecError::UnknownState {
+                chart: self.name.clone(),
+                state: to.clone(),
+            })?;
+            transitions.push(Transition { from: from_id, to: to_id, probability, rule });
+        }
+        Ok(StateChart { name: self.name, states: self.states, transitions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_linear_chart() {
+        let chart = ChartBuilder::new("L")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert_eq!(chart.states.len(), 3);
+        assert_eq!(chart.transitions.len(), 2);
+        assert_eq!(chart.transitions[0].from, StateId(0));
+        assert_eq!(chart.transitions[0].to, StateId(1));
+    }
+
+    #[test]
+    fn duplicate_state_is_reported() {
+        let err = ChartBuilder::new("D")
+            .initial("x")
+            .final_state("x")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::DuplicateState { state, .. } if state == "x"));
+    }
+
+    #[test]
+    fn unknown_transition_endpoint_is_reported() {
+        let err = ChartBuilder::new("U")
+            .initial("i")
+            .final_state("f")
+            .transition("i", "ghost", 1.0, EcaRule::default())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::UnknownState { state, .. } if state == "ghost"));
+    }
+
+    #[test]
+    fn nested_and_parallel_states() {
+        let inner = ChartBuilder::new("inner")
+            .initial("i")
+            .activity_state("w", "W")
+            .final_state("f")
+            .transition("i", "w", 1.0, EcaRule::default())
+            .transition("w", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let chart = ChartBuilder::new("outer")
+            .initial("i")
+            .nested_state("sub", inner.clone())
+            .parallel_state("par", vec![inner.clone(), inner])
+            .final_state("f")
+            .transition("i", "sub", 1.0, EcaRule::default())
+            .transition("sub", "par", 1.0, EcaRule::default())
+            .transition("par", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert_eq!(chart.nesting_depth(), 2);
+        match &chart.states[2].kind {
+            StateKind::Nested { charts } => assert_eq!(charts.len(), 2),
+            other => panic!("expected parallel nested state, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Errors of the specification language and the CTMC mapping.
+
+use std::fmt;
+
+use crate::arch::ArchError;
+
+/// Errors raised while building, validating, or mapping workflow
+/// specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// Two states in one chart share a name.
+    DuplicateState {
+        /// Chart name.
+        chart: String,
+        /// Offending state name.
+        state: String,
+    },
+    /// A transition references a state name that does not exist.
+    UnknownState {
+        /// Chart name.
+        chart: String,
+        /// The missing state name.
+        state: String,
+    },
+    /// A transition endpoint index is out of range (hand-built or
+    /// deserialized charts).
+    StateIndexOutOfRange {
+        /// Chart name.
+        chart: String,
+        /// The out-of-range index.
+        index: usize,
+        /// Number of states in the chart.
+        n: usize,
+    },
+    /// A chart does not have exactly one initial state.
+    InitialStateCount {
+        /// Chart name.
+        chart: String,
+        /// How many initial states were found.
+        found: usize,
+    },
+    /// A chart does not have exactly one final state.
+    FinalStateCount {
+        /// Chart name.
+        chart: String,
+        /// How many final states were found.
+        found: usize,
+    },
+    /// The initial state must have exactly one outgoing transition with
+    /// probability one, targeting a non-final state.
+    InvalidInitialTransition {
+        /// Chart name.
+        chart: String,
+    },
+    /// The final state must have no outgoing transitions.
+    FinalStateHasOutgoing {
+        /// Chart name.
+        chart: String,
+    },
+    /// A transition probability is outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Chart name.
+        chart: String,
+        /// Source state name.
+        state: String,
+        /// Offending probability.
+        probability: f64,
+    },
+    /// The outgoing probabilities of a state do not sum to one.
+    ProbabilitiesDontSum {
+        /// Chart name.
+        chart: String,
+        /// Source state name.
+        state: String,
+        /// The sum that was found.
+        sum: f64,
+    },
+    /// A non-final state has no outgoing transitions (dead end) — only the
+    /// final state may be terminal.
+    DeadEndState {
+        /// Chart name.
+        chart: String,
+        /// Offending state name.
+        state: String,
+    },
+    /// A state cannot be reached from the initial state.
+    UnreachableState {
+        /// Chart name.
+        chart: String,
+        /// Offending state name.
+        state: String,
+    },
+    /// The final state cannot be reached from some state (the workflow
+    /// could run forever; absorption must be certain, Sec. 4.1).
+    FinalNotReachable {
+        /// Chart name.
+        chart: String,
+        /// State from which the final state is unreachable.
+        state: String,
+    },
+    /// A self-loop with probability one can never be left.
+    CertainSelfLoop {
+        /// Chart name.
+        chart: String,
+        /// Offending state name.
+        state: String,
+    },
+    /// The initial or final pseudo-state carries a self-loop.
+    PseudoStateSelfLoop {
+        /// Chart name.
+        chart: String,
+        /// Offending state name.
+        state: String,
+    },
+    /// An activity state references an activity missing from the table.
+    UnknownActivity {
+        /// Chart name.
+        chart: String,
+        /// The missing activity name.
+        activity: String,
+    },
+    /// An activity's load vector length does not match the number of
+    /// registered server types.
+    ActivityLoadLength {
+        /// Activity name.
+        activity: String,
+        /// Expected length (`k`).
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An activity parameter (duration, SCV, load entry) is invalid.
+    InvalidActivityParameter {
+        /// Activity name.
+        activity: String,
+        /// Which parameter.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A nested state embeds an empty chart list.
+    EmptyNestedState {
+        /// Chart name.
+        chart: String,
+        /// Offending state name.
+        state: String,
+    },
+    /// The chart contains no activity or nested state (initial feeding
+    /// directly into final): nothing to execute, nothing to map.
+    EmptyWorkflow {
+        /// Chart name.
+        chart: String,
+    },
+    /// An architectural-model error surfaced during validation.
+    Arch(ArchError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DuplicateState { chart, state } => {
+                write!(f, "chart {chart:?}: duplicate state name {state:?}")
+            }
+            SpecError::UnknownState { chart, state } => {
+                write!(f, "chart {chart:?}: unknown state {state:?} in transition")
+            }
+            SpecError::StateIndexOutOfRange { chart, index, n } => {
+                write!(f, "chart {chart:?}: state index {index} out of range (n = {n})")
+            }
+            SpecError::InitialStateCount { chart, found } => {
+                write!(f, "chart {chart:?}: expected exactly one initial state, found {found}")
+            }
+            SpecError::FinalStateCount { chart, found } => {
+                write!(f, "chart {chart:?}: expected exactly one final state, found {found}")
+            }
+            SpecError::InvalidInitialTransition { chart } => write!(
+                f,
+                "chart {chart:?}: the initial state needs exactly one outgoing transition with probability 1 to a non-final state"
+            ),
+            SpecError::FinalStateHasOutgoing { chart } => {
+                write!(f, "chart {chart:?}: the final state must have no outgoing transitions")
+            }
+            SpecError::InvalidProbability { chart, state, probability } => {
+                write!(f, "chart {chart:?}, state {state:?}: invalid probability {probability}")
+            }
+            SpecError::ProbabilitiesDontSum { chart, state, sum } => {
+                write!(f, "chart {chart:?}, state {state:?}: outgoing probabilities sum to {sum}")
+            }
+            SpecError::DeadEndState { chart, state } => {
+                write!(f, "chart {chart:?}: non-final state {state:?} has no outgoing transitions")
+            }
+            SpecError::UnreachableState { chart, state } => {
+                write!(f, "chart {chart:?}: state {state:?} is unreachable from the initial state")
+            }
+            SpecError::FinalNotReachable { chart, state } => {
+                write!(f, "chart {chart:?}: the final state is unreachable from state {state:?}")
+            }
+            SpecError::CertainSelfLoop { chart, state } => {
+                write!(f, "chart {chart:?}: state {state:?} loops onto itself with probability 1")
+            }
+            SpecError::PseudoStateSelfLoop { chart, state } => {
+                write!(f, "chart {chart:?}: initial/final state {state:?} has a self-loop")
+            }
+            SpecError::UnknownActivity { chart, activity } => {
+                write!(f, "chart {chart:?}: activity {activity:?} is not in the activity table")
+            }
+            SpecError::ActivityLoadLength { activity, expected, actual } => write!(
+                f,
+                "activity {activity:?}: load vector has length {actual}, expected {expected} server types"
+            ),
+            SpecError::InvalidActivityParameter { activity, what, value } => {
+                write!(f, "activity {activity:?}: invalid {what} ({value})")
+            }
+            SpecError::EmptyNestedState { chart, state } => {
+                write!(f, "chart {chart:?}: nested state {state:?} embeds no charts")
+            }
+            SpecError::EmptyWorkflow { chart } => {
+                write!(f, "chart {chart:?}: contains no activity or nested state")
+            }
+            SpecError::Arch(e) => write!(f, "architecture error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for SpecError {
+    fn from(e: ArchError) -> Self {
+        SpecError::Arch(e)
+    }
+}

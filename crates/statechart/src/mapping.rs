@@ -1,0 +1,404 @@
+//! Mapping of state charts onto workflow CTMC structure (Sec. 3.2).
+//!
+//! The mapping turns one chart level into the skeleton of a CTMC:
+//!
+//! * every activity state and every nested (subworkflow) state becomes a
+//!   CTMC state;
+//! * the single final state becomes the artificial absorbing state `s_A`
+//!   (transition probability one from the former final predecessors,
+//!   infinite residence);
+//! * the initial pseudo-state is elided — the CTMC starts in the target
+//!   of its single certain transition;
+//! * *self-loops* (retry semantics) are folded away: a state `a` with
+//!   self-loop probability `s` is entered geometrically often, so its
+//!   activity is executed `1/(1-s)` times per entry on average. The
+//!   mapping renormalizes the remaining outgoing probabilities by
+//!   `1/(1-s)` and reports the factor as the state's *execution
+//!   multiplier*, which the performance model applies to both the
+//!   residence time and the load vector. This keeps the CTMC in the
+//!   paper's canonical self-loop-free form while supporting retry loops
+//!   in the specification language.
+//!
+//! Residence times and load vectors are *not* resolved here: for nested
+//! states they require the recursive performance analysis of Sec. 4.2.2
+//! (subworkflow turnaround and request counts), which lives in
+//! `wfms-perf`. The mapping exposes the structure that analysis walks.
+
+use wfms_markov::ctmc::Ctmc;
+use wfms_markov::linalg::Matrix;
+
+use crate::error::SpecError;
+use crate::spec::{ActivitySpec, StateChart, StateId, StateKind, WorkflowSpec};
+use crate::validate::PROBABILITY_TOLERANCE;
+
+/// What a mapped CTMC state stands for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappedKind<'a> {
+    /// Executes one activity.
+    Activity(&'a ActivitySpec),
+    /// Runs one or more subworkflows (in parallel if more than one),
+    /// joined on completion of all.
+    Nested(&'a [StateChart]),
+    /// The artificial absorbing state `s_A`.
+    Absorbing,
+}
+
+/// The CTMC skeleton of one chart level.
+#[derive(Debug, Clone)]
+pub struct ChartMapping<'a> {
+    /// Name of the mapped chart.
+    pub chart_name: String,
+    /// CTMC state labels (chart state names; last = `"s_A"`).
+    pub labels: Vec<String>,
+    /// Meaning of each CTMC state, index-aligned with `labels`.
+    pub kinds: Vec<MappedKind<'a>>,
+    /// Jump-chain transition probabilities, `(m+1) x (m+1)` with the
+    /// absorbing state last.
+    pub jump: Matrix,
+    /// Index of the CTMC start state `s_0`.
+    pub start: usize,
+    /// Index of the absorbing state (always `labels.len() - 1`).
+    pub absorbing: usize,
+    /// Expected executions of each state's work per CTMC entry
+    /// (from folded self-loops; `1.0` when the state had none).
+    pub execution_multiplier: Vec<f64>,
+}
+
+impl<'a> ChartMapping<'a> {
+    /// Number of CTMC states (including the absorbing state).
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Assembles the [`Ctmc`] once per-state residence times are known.
+    /// `residence` covers the non-absorbing states (length `n - 1`);
+    /// the absorbing state gets infinite residence automatically.
+    ///
+    /// # Errors
+    /// Propagates chain-construction errors (e.g. non-positive residence
+    /// times) as [`SpecError::Arch`]-free chain errors wrapped in
+    /// [`SpecError::InvalidActivityParameter`]-style messages is not
+    /// possible here, so the raw [`wfms_markov::ChainError`] is returned.
+    pub fn to_ctmc(&self, residence: &[f64]) -> Result<Ctmc, wfms_markov::ChainError> {
+        let mut h = residence.to_vec();
+        h.push(f64::INFINITY);
+        Ctmc::from_jump_chain(self.jump.clone(), h)?.with_labels(self.labels.clone())
+    }
+}
+
+/// Maps one chart of `spec` onto its CTMC skeleton.
+///
+/// The chart must already pass [`crate::validate::validate_spec`]; the
+/// mapping re-checks only what it needs to stay memory-safe and returns
+/// [`SpecError`] on violations it trips over.
+///
+/// # Errors
+/// Structural violations as [`SpecError`].
+pub fn map_chart<'a>(
+    chart: &'a StateChart,
+    spec: &'a WorkflowSpec,
+) -> Result<ChartMapping<'a>, SpecError> {
+    let n_chart = chart.states.len();
+    let cname = || chart.name.clone();
+
+    let initial = chart
+        .initial_state()
+        .ok_or_else(|| SpecError::InitialStateCount { chart: cname(), found: 0 })?;
+    let final_ = chart
+        .final_state()
+        .ok_or_else(|| SpecError::FinalStateCount { chart: cname(), found: 0 })?;
+
+    // Rank the real (activity / nested) states in chart order.
+    let mut rank = vec![usize::MAX; n_chart];
+    let mut labels = Vec::new();
+    let mut kinds: Vec<MappedKind<'a>> = Vec::new();
+    for (i, s) in chart.states.iter().enumerate() {
+        match &s.kind {
+            StateKind::Activity { activity } => {
+                let spec_act = spec.activity(activity).ok_or_else(|| {
+                    SpecError::UnknownActivity { chart: cname(), activity: activity.clone() }
+                })?;
+                rank[i] = labels.len();
+                labels.push(s.name.clone());
+                kinds.push(MappedKind::Activity(spec_act));
+            }
+            StateKind::Nested { charts } => {
+                if charts.is_empty() {
+                    return Err(SpecError::EmptyNestedState {
+                        chart: cname(),
+                        state: s.name.clone(),
+                    });
+                }
+                rank[i] = labels.len();
+                labels.push(s.name.clone());
+                kinds.push(MappedKind::Nested(charts.as_slice()));
+            }
+            StateKind::Initial | StateKind::Final => {}
+        }
+    }
+    let m = labels.len();
+    if m == 0 {
+        return Err(SpecError::EmptyWorkflow { chart: cname() });
+    }
+    let absorbing = m;
+    labels.push("s_A".to_string());
+    kinds.push(MappedKind::Absorbing);
+
+    // Start state: the single certain successor of the initial state.
+    let start = {
+        let mut out = chart.outgoing(initial);
+        let first = out.next().ok_or_else(|| SpecError::InvalidInitialTransition {
+            chart: cname(),
+        })?;
+        if out.next().is_some() || first.to == final_ || rank[first.to.0] == usize::MAX {
+            return Err(SpecError::InvalidInitialTransition { chart: cname() });
+        }
+        rank[first.to.0]
+    };
+
+    // Assemble the jump matrix with self-loop folding.
+    let mut jump = Matrix::zeros(m + 1, m + 1);
+    let mut execution_multiplier = vec![1.0; m + 1];
+    for (i, s) in chart.states.iter().enumerate() {
+        let a = rank[i];
+        if a == usize::MAX {
+            continue; // initial / final
+        }
+        let id = StateId(i);
+        let self_prob: f64 = chart
+            .outgoing(id)
+            .filter(|t| t.to == id)
+            .map(|t| t.probability)
+            .sum();
+        if self_prob >= 1.0 - PROBABILITY_TOLERANCE {
+            return Err(SpecError::CertainSelfLoop { chart: cname(), state: s.name.clone() });
+        }
+        let renorm = 1.0 / (1.0 - self_prob);
+        execution_multiplier[a] = renorm;
+        for t in chart.outgoing(id) {
+            if t.to == id {
+                continue;
+            }
+            let b = if t.to == final_ {
+                absorbing
+            } else {
+                let r = rank[t.to.0];
+                if r == usize::MAX {
+                    // A transition back into the initial pseudo-state.
+                    return Err(SpecError::InvalidInitialTransition { chart: cname() });
+                }
+                r
+            };
+            jump[(a, b)] += t.probability * renorm;
+        }
+    }
+    jump[(absorbing, absorbing)] = 1.0;
+
+    Ok(ChartMapping {
+        chart_name: chart.name.clone(),
+        labels,
+        kinds,
+        jump,
+        start,
+        absorbing,
+        execution_multiplier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChartBuilder;
+    use crate::spec::{ActivityKind, EcaRule};
+
+    fn spec(chart: StateChart) -> WorkflowSpec {
+        WorkflowSpec::new(
+            "T",
+            chart,
+            [
+                ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0]),
+                ActivitySpec::new("B", ActivityKind::Interactive, 3.0, vec![2.0]),
+            ],
+        )
+    }
+
+    fn linear() -> StateChart {
+        ChartBuilder::new("L")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "B")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 1.0, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn maps_linear_chart_to_three_state_ctmc() {
+        let s = spec(linear());
+        let m = map_chart(&s.chart, &s).unwrap();
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.labels, vec!["a".to_string(), "b".into(), "s_A".into()]);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.absorbing, 2);
+        assert_eq!(m.jump[(0, 1)], 1.0);
+        assert_eq!(m.jump[(1, 2)], 1.0);
+        assert_eq!(m.jump[(2, 2)], 1.0);
+        assert_eq!(m.execution_multiplier, vec![1.0, 1.0, 1.0]);
+        assert!(matches!(m.kinds[0], MappedKind::Activity(a) if a.name == "A"));
+        assert!(matches!(m.kinds[2], MappedKind::Absorbing));
+    }
+
+    #[test]
+    fn to_ctmc_builds_workflow_chain() {
+        let s = spec(linear());
+        let m = map_chart(&s.chart, &s).unwrap();
+        let ctmc = m.to_ctmc(&[2.0, 3.0]).unwrap();
+        assert_eq!(ctmc.n(), 3);
+        assert!(ctmc.is_absorbing(2));
+        let turnaround = ctmc.mean_first_passage(2).unwrap()[m.start];
+        assert!((turnaround - 5.0).abs() < 1e-10);
+        assert_eq!(ctmc.labels()[2], "s_A");
+    }
+
+    #[test]
+    fn branch_probabilities_carry_over() {
+        let chart = ChartBuilder::new("Br")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "B")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 0.25, EcaRule::default())
+            .transition("a", "f", 0.75, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let s = spec(chart);
+        let m = map_chart(&s.chart, &s).unwrap();
+        assert!((m.jump[(0, 1)] - 0.25).abs() < 1e-12);
+        assert!((m.jump[(0, 2)] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_is_folded_into_multiplier() {
+        let chart = ChartBuilder::new("Retry")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "a", 0.2, EcaRule::default())
+            .transition("a", "f", 0.8, EcaRule::default())
+            .build()
+            .unwrap();
+        let s = spec(chart);
+        let m = map_chart(&s.chart, &s).unwrap();
+        // Renormalized: 0.8 / 0.8 = 1 to absorbing; multiplier 1/(1-0.2).
+        assert!((m.jump[(0, 1)] - 1.0).abs() < 1e-12);
+        assert!((m.execution_multiplier[0] - 1.25).abs() < 1e-12);
+        // Jump matrix is still stochastic (no self-loop on state 0).
+        assert!(m.jump.is_row_stochastic(1e-9));
+        assert_eq!(m.jump[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn nested_state_is_mapped_as_nested_kind() {
+        let inner = ChartBuilder::new("inner")
+            .initial("i")
+            .activity_state("w", "A")
+            .final_state("f")
+            .transition("i", "w", 1.0, EcaRule::default())
+            .transition("w", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let outer = ChartBuilder::new("outer")
+            .initial("i")
+            .parallel_state("sub", vec![inner.clone(), inner])
+            .final_state("f")
+            .transition("i", "sub", 1.0, EcaRule::default())
+            .transition("sub", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let s = spec(outer);
+        let m = map_chart(&s.chart, &s).unwrap();
+        assert_eq!(m.n(), 2);
+        assert!(matches!(m.kinds[0], MappedKind::Nested(charts) if charts.len() == 2));
+    }
+
+    #[test]
+    fn loop_between_states_preserved_in_jump_chain() {
+        let chart = ChartBuilder::new("Loop")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "B")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 1.0, EcaRule::default())
+            .transition("b", "a", 0.3, EcaRule::default())
+            .transition("b", "f", 0.7, EcaRule::default())
+            .build()
+            .unwrap();
+        let s = spec(chart);
+        let m = map_chart(&s.chart, &s).unwrap();
+        assert!((m.jump[(1, 0)] - 0.3).abs() < 1e-12);
+        assert!((m.jump[(1, 2)] - 0.7).abs() < 1e-12);
+        let ctmc = m.to_ctmc(&[2.0, 3.0]).unwrap();
+        let r = ctmc.mean_first_passage(2).unwrap()[0];
+        assert!((r - 5.0 / 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_transitions_to_same_target_accumulate() {
+        // Two distinct ECA rules may lead to the same successor state; their
+        // probabilities add up in the CTMC.
+        let chart = ChartBuilder::new("Par")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "B")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 0.3, EcaRule::on_done("A"))
+            .transition("a", "b", 0.2, EcaRule::default())
+            .transition("a", "f", 0.5, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let s = spec(chart);
+        let m = map_chart(&s.chart, &s).unwrap();
+        assert!((m.jump[(0, 1)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_rejects_unknown_activity() {
+        let chart = ChartBuilder::new("U")
+            .initial("i")
+            .activity_state("a", "Ghost")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let s = spec(chart);
+        assert!(matches!(
+            map_chart(&s.chart, &s),
+            Err(SpecError::UnknownActivity { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_rejects_initial_to_final_shortcut() {
+        let chart = ChartBuilder::new("E")
+            .initial("i")
+            .final_state("f")
+            .transition("i", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let s = spec(chart);
+        assert!(matches!(
+            map_chart(&s.chart, &s),
+            Err(SpecError::EmptyWorkflow { .. }) | Err(SpecError::InvalidInitialTransition { .. })
+        ));
+    }
+}

@@ -1,0 +1,476 @@
+//! The state-chart workflow specification language (Sec. 3.1 of the paper).
+//!
+//! A workflow type is specified as a state chart: a finite state machine
+//! with a distinguished initial state, a single final state, transitions
+//! annotated with event-condition-action (ECA) rules, nested states
+//! (subworkflows), and orthogonal components (parallel subworkflows).
+//!
+//! For the stochastic model of Sec. 3.2, every transition additionally
+//! carries a *probability* (provided by the workflow designer or
+//! calibrated from audit trails) and every activity carries a *mean
+//! duration* and a per-server-type *service-request load vector*
+//! (the matrix `L^t` of Sec. 4.2).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a state within one [`StateChart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(pub usize);
+
+/// A boolean condition expression over workflow variables, as used in the
+/// `[C]` part of an ECA rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CondExpr {
+    /// A constant.
+    Const(bool),
+    /// A workflow condition variable, e.g. `PayByCreditCard`.
+    Var(String),
+    /// Logical negation.
+    Not(Box<CondExpr>),
+    /// Logical conjunction.
+    And(Box<CondExpr>, Box<CondExpr>),
+    /// Logical disjunction.
+    Or(Box<CondExpr>, Box<CondExpr>),
+}
+
+impl CondExpr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        CondExpr::Var(name.into())
+    }
+
+    /// Negates this expression.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        CondExpr::Not(Box::new(self))
+    }
+
+    /// Conjunction with `other`.
+    pub fn and(self, other: CondExpr) -> Self {
+        CondExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with `other`.
+    pub fn or(self, other: CondExpr) -> Self {
+        CondExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the expression against a variable environment; unset
+    /// variables read as `false`.
+    pub fn evaluate(&self, env: &BTreeMap<String, bool>) -> bool {
+        match self {
+            CondExpr::Const(b) => *b,
+            CondExpr::Var(v) => env.get(v).copied().unwrap_or(false),
+            CondExpr::Not(e) => !e.evaluate(env),
+            CondExpr::And(a, b) => a.evaluate(env) && b.evaluate(env),
+            CondExpr::Or(a, b) => a.evaluate(env) || b.evaluate(env),
+        }
+    }
+
+    /// All variable names referenced by the expression.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            CondExpr::Const(_) => {}
+            CondExpr::Var(v) => out.push(v.clone()),
+            CondExpr::Not(e) => e.collect_vars(out),
+            CondExpr::And(a, b) | CondExpr::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// The `A` part of an ECA rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// `st!(activity)` — start an activity.
+    StartActivity(String),
+    /// `tr!(C)` — set a condition variable to true.
+    SetTrue(String),
+    /// `fs!(C)` — set a condition variable to false.
+    SetFalse(String),
+    /// Raise an event.
+    RaiseEvent(String),
+}
+
+/// An event-condition-action rule `E[C]/A` annotating a transition. Each
+/// of the three components may be empty.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EcaRule {
+    /// The triggering event `E`, e.g. `NewOrder_DONE`.
+    pub event: Option<String>,
+    /// The guard condition `C`.
+    pub condition: Option<CondExpr>,
+    /// The actions `A` executed when the transition fires.
+    pub actions: Vec<Action>,
+}
+
+impl EcaRule {
+    /// A rule triggered by the completion event of `activity`
+    /// (the `act_DONE` convention of Sec. 3.1).
+    pub fn on_done(activity: &str) -> Self {
+        EcaRule { event: Some(format!("{activity}_DONE")), condition: None, actions: Vec::new() }
+    }
+
+    /// Adds a guard condition.
+    pub fn with_condition(mut self, condition: CondExpr) -> Self {
+        self.condition = Some(condition);
+        self
+    }
+
+    /// Adds an action.
+    pub fn with_action(mut self, action: Action) -> Self {
+        self.actions.push(action);
+        self
+    }
+}
+
+/// What a chart state *is*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StateKind {
+    /// The distinguished initial pseudo-state (no activity, no residence).
+    Initial,
+    /// The single final state (maps to the CTMC's absorbing state).
+    Final,
+    /// A state executing one activity, referenced by name into the
+    /// workflow's activity table.
+    Activity {
+        /// Name of the activity in the [`WorkflowSpec`] activity table.
+        activity: String,
+    },
+    /// A nested state embedding one subworkflow (`charts.len() == 1`) or
+    /// several orthogonal/parallel subworkflows (`charts.len() > 1`).
+    Nested {
+        /// The embedded chart(s); more than one means parallel execution
+        /// synchronized (joined) on completion of all.
+        charts: Vec<StateChart>,
+    },
+}
+
+/// One state of a chart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChartState {
+    /// Unique (per chart) state name, e.g. `NewOrder_S`.
+    pub name: String,
+    /// The state's kind.
+    pub kind: StateKind,
+}
+
+/// A transition between two states of the same chart, annotated with its
+/// ECA rule and its designer-provided firing probability (Sec. 3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Target state.
+    pub to: StateId,
+    /// Probability that, when leaving `from`, this transition is the one
+    /// taken. Outgoing probabilities of each state must sum to one.
+    pub probability: f64,
+    /// The ECA annotation.
+    pub rule: EcaRule,
+}
+
+/// A state chart: states plus probability-annotated transitions.
+///
+/// Charts are built with [`crate::builder::ChartBuilder`] (or
+/// deserialized) and checked by [`crate::validate::validate_chart`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateChart {
+    /// Chart name, e.g. `EP` or `Delivery_SC`.
+    pub name: String,
+    /// States; [`StateId`] indexes into this vector.
+    pub states: Vec<ChartState>,
+    /// Transitions between the states.
+    pub transitions: Vec<Transition>,
+}
+
+impl StateChart {
+    /// Looks up a state by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s.name == name).map(StateId)
+    }
+
+    /// The unique initial state, if exactly one exists.
+    pub fn initial_state(&self) -> Option<StateId> {
+        let mut found = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if matches!(s.kind, StateKind::Initial) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(StateId(i));
+            }
+        }
+        found
+    }
+
+    /// The unique final state, if exactly one exists.
+    pub fn final_state(&self) -> Option<StateId> {
+        let mut found = None;
+        for (i, s) in self.states.iter().enumerate() {
+            if matches!(s.kind, StateKind::Final) {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(StateId(i));
+            }
+        }
+        found
+    }
+
+    /// Outgoing transitions of `state`.
+    pub fn outgoing(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// All activity names referenced anywhere in this chart, including
+    /// nested charts.
+    pub fn referenced_activities(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_activities(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_activities(&self, out: &mut Vec<String>) {
+        for s in &self.states {
+            match &s.kind {
+                StateKind::Activity { activity } => out.push(activity.clone()),
+                StateKind::Nested { charts } => {
+                    for c in charts {
+                        c.collect_activities(out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Maximum nesting depth (a flat chart has depth 1).
+    pub fn nesting_depth(&self) -> usize {
+        1 + self
+            .states
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StateKind::Nested { charts } => {
+                    charts.iter().map(|c| c.nesting_depth()).max()
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// How an activity executes (Fig. 1 of the paper): automated activities
+/// run on an application server; interactive activities run on a client
+/// machine and do not involve an application server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// Invokes an application on an application server.
+    Automated,
+    /// Assigned to a human actor; executed on a client machine.
+    Interactive,
+}
+
+/// An activity type: duration statistics and the service-request load it
+/// induces on each server type (one row-slice of the matrix `L^t`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivitySpec {
+    /// Unique activity name.
+    pub name: String,
+    /// Automated or interactive.
+    pub kind: ActivityKind,
+    /// Mean duration (turnaround) of one execution, in minutes — the state
+    /// residence time `H` contribution.
+    pub mean_duration: f64,
+    /// Squared coefficient of variation of the duration; `1` means
+    /// exponential. Only the simulator uses moments beyond the mean.
+    pub duration_scv: f64,
+    /// Expected number of service requests per execution, indexed by
+    /// [`crate::arch::ServerTypeId`] — the column `L^t_{·,a}`.
+    pub load: Vec<f64>,
+}
+
+impl ActivitySpec {
+    /// Creates an exponential-duration activity.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ActivityKind,
+        mean_duration: f64,
+        load: Vec<f64>,
+    ) -> Self {
+        ActivitySpec { name: name.into(), kind, mean_duration, duration_scv: 1.0, load }
+    }
+
+    /// Sets a non-exponential duration variability.
+    pub fn with_duration_scv(mut self, scv: f64) -> Self {
+        self.duration_scv = scv;
+        self
+    }
+}
+
+/// A complete workflow-type specification: the top-level chart plus the
+/// table of activity types it (and its subworkflows) reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSpec {
+    /// Workflow type name, e.g. `EP` (electronic purchase).
+    pub name: String,
+    /// The top-level state chart.
+    pub chart: StateChart,
+    /// Activity table shared by all nesting levels.
+    pub activities: BTreeMap<String, ActivitySpec>,
+}
+
+impl WorkflowSpec {
+    /// Creates a spec from a chart and activity list.
+    pub fn new(
+        name: impl Into<String>,
+        chart: StateChart,
+        activities: impl IntoIterator<Item = ActivitySpec>,
+    ) -> Self {
+        WorkflowSpec {
+            name: name.into(),
+            chart,
+            activities: activities.into_iter().map(|a| (a.name.clone(), a)).collect(),
+        }
+    }
+
+    /// Looks up an activity by name.
+    pub fn activity(&self, name: &str) -> Option<&ActivitySpec> {
+        self.activities.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_expr_evaluation() {
+        let mut env = BTreeMap::new();
+        env.insert("PayByCreditCard".to_string(), true);
+        let e = CondExpr::var("PayByCreditCard");
+        assert!(e.evaluate(&env));
+        assert!(!e.clone().not().evaluate(&env));
+        assert!(!e.clone().and(CondExpr::var("Unset")).evaluate(&env));
+        assert!(e.clone().or(CondExpr::Const(false)).evaluate(&env));
+        assert!(CondExpr::Const(true).evaluate(&BTreeMap::new()));
+    }
+
+    #[test]
+    fn cond_expr_variables_are_sorted_and_deduped() {
+        let e = CondExpr::var("b").and(CondExpr::var("a").or(CondExpr::var("b")));
+        assert_eq!(e.variables(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn eca_rule_builders() {
+        let r = EcaRule::on_done("NewOrder")
+            .with_condition(CondExpr::var("PayByCreditCard"))
+            .with_action(Action::StartActivity("CreditCardCheck".into()));
+        assert_eq!(r.event.as_deref(), Some("NewOrder_DONE"));
+        assert!(r.condition.is_some());
+        assert_eq!(r.actions.len(), 1);
+    }
+
+    #[test]
+    fn activity_spec_defaults_to_exponential() {
+        let a = ActivitySpec::new("x", ActivityKind::Automated, 5.0, vec![1.0, 2.0]);
+        assert_eq!(a.duration_scv, 1.0);
+        let a = a.with_duration_scv(0.5);
+        assert_eq!(a.duration_scv, 0.5);
+    }
+
+    fn tiny_chart() -> StateChart {
+        StateChart {
+            name: "T".into(),
+            states: vec![
+                ChartState { name: "init".into(), kind: StateKind::Initial },
+                ChartState { name: "work".into(), kind: StateKind::Activity { activity: "A".into() } },
+                ChartState { name: "done".into(), kind: StateKind::Final },
+            ],
+            transitions: vec![
+                Transition { from: StateId(0), to: StateId(1), probability: 1.0, rule: EcaRule::default() },
+                Transition { from: StateId(1), to: StateId(2), probability: 1.0, rule: EcaRule::on_done("A") },
+            ],
+        }
+    }
+
+    #[test]
+    fn chart_lookups() {
+        let c = tiny_chart();
+        assert_eq!(c.state_by_name("work"), Some(StateId(1)));
+        assert_eq!(c.state_by_name("nope"), None);
+        assert_eq!(c.initial_state(), Some(StateId(0)));
+        assert_eq!(c.final_state(), Some(StateId(2)));
+        assert_eq!(c.outgoing(StateId(1)).count(), 1);
+        assert_eq!(c.referenced_activities(), vec!["A".to_string()]);
+        assert_eq!(c.nesting_depth(), 1);
+    }
+
+    #[test]
+    fn duplicate_initial_states_are_not_unique() {
+        let mut c = tiny_chart();
+        c.states.push(ChartState { name: "init2".into(), kind: StateKind::Initial });
+        assert_eq!(c.initial_state(), None);
+    }
+
+    #[test]
+    fn nested_chart_depth_and_activities() {
+        let inner = tiny_chart();
+        let outer = StateChart {
+            name: "O".into(),
+            states: vec![
+                ChartState { name: "init".into(), kind: StateKind::Initial },
+                ChartState {
+                    name: "sub".into(),
+                    kind: StateKind::Nested { charts: vec![inner.clone(), inner] },
+                },
+                ChartState { name: "done".into(), kind: StateKind::Final },
+            ],
+            transitions: vec![
+                Transition { from: StateId(0), to: StateId(1), probability: 1.0, rule: EcaRule::default() },
+                Transition { from: StateId(1), to: StateId(2), probability: 1.0, rule: EcaRule::default() },
+            ],
+        };
+        assert_eq!(outer.nesting_depth(), 2);
+        assert_eq!(outer.referenced_activities(), vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn workflow_spec_activity_table() {
+        let spec = WorkflowSpec::new(
+            "T",
+            tiny_chart(),
+            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0])],
+        );
+        assert!(spec.activity("A").is_some());
+        assert!(spec.activity("B").is_none());
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = WorkflowSpec::new(
+            "T",
+            tiny_chart(),
+            [ActivitySpec::new("A", ActivityKind::Interactive, 2.0, vec![1.0, 0.0])],
+        );
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: WorkflowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

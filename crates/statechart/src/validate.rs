@@ -1,0 +1,602 @@
+//! Static validation of workflow specifications.
+//!
+//! A specification must satisfy the structural assumptions the paper's
+//! stochastic model rests on (Secs. 3.1–3.2): a single initial and a
+//! single final state per chart, certain absorption, outgoing transition
+//! probabilities that form distributions, and an activity table covering
+//! every referenced activity with load vectors matching the architectural
+//! model.
+
+use crate::arch::ServerTypeRegistry;
+use crate::error::SpecError;
+use crate::spec::{StateChart, StateId, StateKind, WorkflowSpec};
+
+/// Tolerance for outgoing-probability sums.
+pub const PROBABILITY_TOLERANCE: f64 = 1e-9;
+
+/// Validates a whole workflow specification (all nesting levels) against
+/// a server-type registry.
+///
+/// # Errors
+/// The first violated rule, as a [`SpecError`].
+pub fn validate_spec(spec: &WorkflowSpec, registry: &ServerTypeRegistry) -> Result<(), SpecError> {
+    // Activity table: parameters and load-vector lengths.
+    for activity in spec.activities.values() {
+        if !(activity.mean_duration.is_finite() && activity.mean_duration > 0.0) {
+            return Err(SpecError::InvalidActivityParameter {
+                activity: activity.name.clone(),
+                what: "mean duration",
+                value: activity.mean_duration,
+            });
+        }
+        if !(activity.duration_scv.is_finite() && activity.duration_scv > 0.0) {
+            return Err(SpecError::InvalidActivityParameter {
+                activity: activity.name.clone(),
+                what: "duration SCV",
+                value: activity.duration_scv,
+            });
+        }
+        if activity.load.len() != registry.len() {
+            return Err(SpecError::ActivityLoadLength {
+                activity: activity.name.clone(),
+                expected: registry.len(),
+                actual: activity.load.len(),
+            });
+        }
+        for &l in &activity.load {
+            if !(l.is_finite() && l >= 0.0) {
+                return Err(SpecError::InvalidActivityParameter {
+                    activity: activity.name.clone(),
+                    what: "load entry",
+                    value: l,
+                });
+            }
+        }
+    }
+    validate_chart_recursive(&spec.chart, spec)
+}
+
+fn validate_chart_recursive(chart: &StateChart, spec: &WorkflowSpec) -> Result<(), SpecError> {
+    validate_chart(chart)?;
+    for state in &chart.states {
+        match &state.kind {
+            StateKind::Activity { activity }
+                if spec.activity(activity).is_none() => {
+                    return Err(SpecError::UnknownActivity {
+                        chart: chart.name.clone(),
+                        activity: activity.clone(),
+                    });
+                }
+            StateKind::Nested { charts } => {
+                if charts.is_empty() {
+                    return Err(SpecError::EmptyNestedState {
+                        chart: chart.name.clone(),
+                        state: state.name.clone(),
+                    });
+                }
+                for sub in charts {
+                    validate_chart_recursive(sub, spec)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Validates the *structure* of a single chart (no activity-table or
+/// registry knowledge; use [`validate_spec`] for the full check).
+///
+/// # Errors
+/// The first violated rule, as a [`SpecError`].
+pub fn validate_chart(chart: &StateChart) -> Result<(), SpecError> {
+    let n = chart.states.len();
+    let cname = || chart.name.clone();
+
+    // Unique state names.
+    for (i, s) in chart.states.iter().enumerate() {
+        if chart.states[..i].iter().any(|other| other.name == s.name) {
+            return Err(SpecError::DuplicateState { chart: cname(), state: s.name.clone() });
+        }
+    }
+
+    // Transition endpoint indices (deserialized charts may be malformed).
+    for t in &chart.transitions {
+        for idx in [t.from.0, t.to.0] {
+            if idx >= n {
+                return Err(SpecError::StateIndexOutOfRange { chart: cname(), index: idx, n });
+            }
+        }
+    }
+
+    // Exactly one initial, exactly one final.
+    let initials: Vec<StateId> = chart
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.kind, StateKind::Initial))
+        .map(|(i, _)| StateId(i))
+        .collect();
+    if initials.len() != 1 {
+        return Err(SpecError::InitialStateCount { chart: cname(), found: initials.len() });
+    }
+    let finals: Vec<StateId> = chart
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.kind, StateKind::Final))
+        .map(|(i, _)| StateId(i))
+        .collect();
+    if finals.len() != 1 {
+        return Err(SpecError::FinalStateCount { chart: cname(), found: finals.len() });
+    }
+    let initial = initials[0];
+    let final_ = finals[0];
+
+    if chart.states.len() == 2 {
+        // Only initial and final: nothing executes.
+        return Err(SpecError::EmptyWorkflow { chart: cname() });
+    }
+
+    // Probabilities are well-formed.
+    for t in &chart.transitions {
+        if !(t.probability.is_finite() && (0.0..=1.0).contains(&t.probability)) {
+            return Err(SpecError::InvalidProbability {
+                chart: cname(),
+                state: chart.states[t.from.0].name.clone(),
+                probability: t.probability,
+            });
+        }
+    }
+
+    // Self-loop rules.
+    for t in &chart.transitions {
+        if t.from == t.to {
+            let s = &chart.states[t.from.0];
+            if matches!(s.kind, StateKind::Initial | StateKind::Final) {
+                return Err(SpecError::PseudoStateSelfLoop {
+                    chart: cname(),
+                    state: s.name.clone(),
+                });
+            }
+            if t.probability >= 1.0 - PROBABILITY_TOLERANCE {
+                return Err(SpecError::CertainSelfLoop { chart: cname(), state: s.name.clone() });
+            }
+        }
+    }
+
+    // Initial: exactly one outgoing with probability 1 to a non-final state.
+    {
+        let out: Vec<_> = chart.outgoing(initial).collect();
+        let ok = out.len() == 1
+            && (out[0].probability - 1.0).abs() <= PROBABILITY_TOLERANCE
+            && out[0].to != final_
+            && out[0].to != initial;
+        if !ok {
+            return Err(SpecError::InvalidInitialTransition { chart: cname() });
+        }
+    }
+
+    // Final: no outgoing.
+    if chart.outgoing(final_).next().is_some() {
+        return Err(SpecError::FinalStateHasOutgoing { chart: cname() });
+    }
+
+    // Every non-final state has outgoing transitions summing to one.
+    for (i, s) in chart.states.iter().enumerate() {
+        let id = StateId(i);
+        if id == final_ {
+            continue;
+        }
+        let mut sum = 0.0;
+        let mut any = false;
+        for t in chart.outgoing(id) {
+            any = true;
+            sum += t.probability;
+        }
+        if !any {
+            return Err(SpecError::DeadEndState { chart: cname(), state: s.name.clone() });
+        }
+        if (sum - 1.0).abs() > PROBABILITY_TOLERANCE {
+            return Err(SpecError::ProbabilitiesDontSum {
+                chart: cname(),
+                state: s.name.clone(),
+                sum,
+            });
+        }
+    }
+
+    // Reachability: every state reachable from initial …
+    let fwd = reachable_from(chart, initial, n);
+    for (i, s) in chart.states.iter().enumerate() {
+        if !fwd[i] {
+            return Err(SpecError::UnreachableState { chart: cname(), state: s.name.clone() });
+        }
+    }
+    // … and the final state reachable from every state (certain absorption).
+    let bwd = coreachable_to(chart, final_, n);
+    for (i, s) in chart.states.iter().enumerate() {
+        if !bwd[i] {
+            return Err(SpecError::FinalNotReachable { chart: cname(), state: s.name.clone() });
+        }
+    }
+
+    Ok(())
+}
+
+fn reachable_from(chart: &StateChart, start: StateId, n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack = vec![start.0];
+    seen[start.0] = true;
+    while let Some(s) = stack.pop() {
+        for t in chart.outgoing(StateId(s)) {
+            if t.probability > PROBABILITY_TOLERANCE && !seen[t.to.0] {
+                seen[t.to.0] = true;
+                stack.push(t.to.0);
+            }
+        }
+    }
+    seen
+}
+
+fn coreachable_to(chart: &StateChart, target: StateId, n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    seen[target.0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for t in &chart.transitions {
+            if t.probability > PROBABILITY_TOLERANCE && seen[t.to.0] && !seen[t.from.0] {
+                seen[t.from.0] = true;
+                changed = true;
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::paper_section52_registry;
+    use crate::builder::ChartBuilder;
+    use crate::spec::{ActivityKind, ActivitySpec, EcaRule, Transition, WorkflowSpec};
+
+    fn linear_chart() -> StateChart {
+        ChartBuilder::new("L")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap()
+    }
+
+    fn spec_with(chart: StateChart) -> WorkflowSpec {
+        WorkflowSpec::new(
+            "T",
+            chart,
+            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 1.0, 1.0])],
+        )
+    }
+
+    #[test]
+    fn valid_linear_chart_passes() {
+        let reg = paper_section52_registry();
+        validate_spec(&spec_with(linear_chart()), &reg).unwrap();
+    }
+
+    #[test]
+    fn branching_with_probabilities_passes() {
+        let chart = ChartBuilder::new("B")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "A")
+            .activity_state("c", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 0.4, EcaRule::default())
+            .transition("a", "c", 0.6, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .transition("c", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        validate_spec(&spec_with(chart), &paper_section52_registry()).unwrap();
+    }
+
+    #[test]
+    fn loop_back_passes() {
+        let chart = ChartBuilder::new("Loop")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 1.0, EcaRule::default())
+            .transition("b", "a", 0.3, EcaRule::default())
+            .transition("b", "f", 0.7, EcaRule::default())
+            .build()
+            .unwrap();
+        validate_spec(&spec_with(chart), &paper_section52_registry()).unwrap();
+    }
+
+    #[test]
+    fn partial_self_loop_passes_but_certain_self_loop_fails() {
+        let ok = ChartBuilder::new("S")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "a", 0.5, EcaRule::default())
+            .transition("a", "f", 0.5, EcaRule::default())
+            .build()
+            .unwrap();
+        validate_chart(&ok).unwrap();
+
+        let mut bad = ok.clone();
+        bad.transitions[1].probability = 1.0;
+        bad.transitions.remove(2);
+        assert!(matches!(validate_chart(&bad), Err(SpecError::CertainSelfLoop { .. })));
+    }
+
+    #[test]
+    fn missing_initial_or_final_fails() {
+        let chart = StateChart { name: "X".into(), states: vec![], transitions: vec![] };
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::InitialStateCount { found: 0, .. })
+        ));
+
+        let two_finals = ChartBuilder::new("F2")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f1")
+            .final_state("f2")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f1", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            validate_chart(&two_finals),
+            Err(SpecError::FinalStateCount { found: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_workflow_fails() {
+        let chart = ChartBuilder::new("E")
+            .initial("i")
+            .final_state("f")
+            .transition("i", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert!(matches!(validate_chart(&chart), Err(SpecError::EmptyWorkflow { .. })));
+    }
+
+    #[test]
+    fn initial_must_have_single_certain_transition() {
+        let split_initial = ChartBuilder::new("I")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "A")
+            .final_state("f")
+            .transition("i", "a", 0.5, EcaRule::default())
+            .transition("i", "b", 0.5, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            validate_chart(&split_initial),
+            Err(SpecError::InvalidInitialTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn final_with_outgoing_fails() {
+        let mut chart = linear_chart();
+        let f = chart.state_by_name("f").unwrap();
+        let a = chart.state_by_name("a").unwrap();
+        chart.transitions.push(Transition {
+            from: f,
+            to: a,
+            probability: 1.0,
+            rule: EcaRule::default(),
+        });
+        assert!(matches!(validate_chart(&chart), Err(SpecError::FinalStateHasOutgoing { .. })));
+    }
+
+    #[test]
+    fn bad_probability_sums_fail() {
+        let chart = ChartBuilder::new("P")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("b", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 0.5, EcaRule::default())
+            .transition("a", "f", 0.3, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::ProbabilitiesDontSum { sum, .. }) if (sum - 0.8).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn negative_probability_fails() {
+        let mut chart = linear_chart();
+        chart.transitions[1].probability = -0.2;
+        assert!(matches!(validate_chart(&chart), Err(SpecError::InvalidProbability { .. })));
+    }
+
+    #[test]
+    fn dead_end_fails() {
+        let chart = ChartBuilder::new("D")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("dead", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "dead", 0.5, EcaRule::default())
+            .transition("a", "f", 0.5, EcaRule::default())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::DeadEndState { state, .. }) if state == "dead"
+        ));
+    }
+
+    #[test]
+    fn unreachable_state_fails() {
+        let chart = ChartBuilder::new("U")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("island", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .transition("island", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::UnreachableState { state, .. }) if state == "island"
+        ));
+    }
+
+    #[test]
+    fn final_unreachable_from_trap_fails() {
+        let chart = ChartBuilder::new("T")
+            .initial("i")
+            .activity_state("a", "A")
+            .activity_state("t1", "A")
+            .activity_state("t2", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "t1", 0.5, EcaRule::default())
+            .transition("a", "f", 0.5, EcaRule::default())
+            .transition("t1", "t2", 1.0, EcaRule::default())
+            .transition("t2", "t1", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        assert!(matches!(validate_chart(&chart), Err(SpecError::FinalNotReachable { .. })));
+    }
+
+    #[test]
+    fn out_of_range_transition_index_fails() {
+        let mut chart = linear_chart();
+        chart.transitions[0].to = StateId(99);
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::StateIndexOutOfRange { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_activity_fails_spec_validation() {
+        let chart = ChartBuilder::new("A")
+            .initial("i")
+            .activity_state("a", "Ghost")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let spec = spec_with(chart);
+        assert!(matches!(
+            validate_spec(&spec, &paper_section52_registry()),
+            Err(SpecError::UnknownActivity { activity, .. }) if activity == "Ghost"
+        ));
+    }
+
+    #[test]
+    fn wrong_load_length_fails() {
+        let spec = WorkflowSpec::new(
+            "T",
+            linear_chart(),
+            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0])],
+        );
+        assert!(matches!(
+            validate_spec(&spec, &paper_section52_registry()),
+            Err(SpecError::ActivityLoadLength { expected: 3, actual: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_activity_parameters_fail() {
+        let mk = |dur: f64, scv: f64, load: Vec<f64>| {
+            WorkflowSpec::new(
+                "T",
+                linear_chart(),
+                [ActivitySpec::new("A", ActivityKind::Automated, dur, load).with_duration_scv(scv)],
+            )
+        };
+        let reg = paper_section52_registry();
+        assert!(matches!(
+            validate_spec(&mk(0.0, 1.0, vec![1.0; 3]), &reg),
+            Err(SpecError::InvalidActivityParameter { what: "mean duration", .. })
+        ));
+        assert!(matches!(
+            validate_spec(&mk(1.0, -1.0, vec![1.0; 3]), &reg),
+            Err(SpecError::InvalidActivityParameter { what: "duration SCV", .. })
+        ));
+        assert!(matches!(
+            validate_spec(&mk(1.0, 1.0, vec![1.0, -2.0, 0.0]), &reg),
+            Err(SpecError::InvalidActivityParameter { what: "load entry", .. })
+        ));
+    }
+
+    #[test]
+    fn nested_charts_are_validated_recursively() {
+        let bad_inner = ChartBuilder::new("inner")
+            .initial("i")
+            .activity_state("w", "A")
+            .final_state("f")
+            .transition("i", "w", 1.0, EcaRule::default())
+            .transition("w", "f", 0.5, EcaRule::default()) // sums to 0.5
+            .build()
+            .unwrap();
+        let outer = ChartBuilder::new("outer")
+            .initial("i")
+            .nested_state("sub", bad_inner)
+            .final_state("f")
+            .transition("i", "sub", 1.0, EcaRule::default())
+            .transition("sub", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let spec = spec_with(outer);
+        assert!(matches!(
+            validate_spec(&spec, &paper_section52_registry()),
+            Err(SpecError::ProbabilitiesDontSum { chart, .. }) if chart == "inner"
+        ));
+    }
+
+    #[test]
+    fn empty_nested_state_fails() {
+        let outer = StateChart {
+            name: "outer".into(),
+            states: vec![
+                crate::spec::ChartState { name: "i".into(), kind: StateKind::Initial },
+                crate::spec::ChartState {
+                    name: "sub".into(),
+                    kind: StateKind::Nested { charts: vec![] },
+                },
+                crate::spec::ChartState { name: "f".into(), kind: StateKind::Final },
+            ],
+            transitions: vec![
+                Transition { from: StateId(0), to: StateId(1), probability: 1.0, rule: EcaRule::default() },
+                Transition { from: StateId(1), to: StateId(2), probability: 1.0, rule: EcaRule::default() },
+            ],
+        };
+        let spec = spec_with(outer);
+        assert!(matches!(
+            validate_spec(&spec, &paper_section52_registry()),
+            Err(SpecError::EmptyNestedState { .. })
+        ));
+    }
+}

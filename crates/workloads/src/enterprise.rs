@@ -1,0 +1,288 @@
+//! An enterprise-scale scenario: five server types and three additional
+//! workflow types, exercising the architecture of Fig. 2 with multiple
+//! workflow-engine and application-server types.
+
+use wfms_statechart::{
+    ActivityKind, ActivitySpec, ChartBuilder, EcaRule, ServerType, ServerTypeKind,
+    ServerTypeRegistry, WorkflowSpec,
+};
+
+/// Index of the communication server in [`enterprise_registry`].
+pub const COMM: usize = 0;
+/// Index of the order-processing workflow engine.
+pub const ENGINE_ORDER: usize = 1;
+/// Index of the finance workflow engine.
+pub const ENGINE_FINANCE: usize = 2;
+/// Index of the CRM application server.
+pub const APP_CRM: usize = 3;
+/// Index of the ERP application server.
+pub const APP_ERP: usize = 4;
+
+/// Five-type registry: one ORB, two workflow-engine types, two
+/// application-server types. Failure rates follow the paper's maturity
+/// ranking (middleware > engines > application servers); all repairs
+/// average 10 minutes.
+pub fn enterprise_registry() -> ServerTypeRegistry {
+    let mut reg = ServerTypeRegistry::new();
+    let month = 43_200.0;
+    let week = 10_080.0;
+    let day = 1_440.0;
+    let mttr = 10.0;
+    let entries = [
+        ("orb", ServerTypeKind::Communication, month, 50.0 / 60_000.0),
+        ("engine-order", ServerTypeKind::WorkflowEngine, week, 100.0 / 60_000.0),
+        ("engine-finance", ServerTypeKind::WorkflowEngine, week, 100.0 / 60_000.0),
+        ("app-crm", ServerTypeKind::ApplicationServer, day, 200.0 / 60_000.0),
+        ("app-erp", ServerTypeKind::ApplicationServer, day, 200.0 / 60_000.0),
+    ];
+    for (name, kind, mttf, service) in entries {
+        reg.register(ServerType::with_exponential_service(
+            name,
+            kind,
+            1.0 / mttf,
+            1.0 / mttr,
+            service,
+        ))
+        .expect("static parameters");
+    }
+    reg
+}
+
+/// Load vector helper: `comm` requests at the ORB, `engine` at the given
+/// engine type, `app` at the given app type (zero elsewhere).
+fn load(engine_idx: usize, engine: f64, app_idx: usize, app: f64, comm: f64) -> Vec<f64> {
+    let mut v = vec![0.0; 5];
+    v[COMM] = comm;
+    v[engine_idx] = engine;
+    if app > 0.0 {
+        v[app_idx] = app;
+    }
+    v
+}
+
+fn order_auto(name: &str, minutes: f64) -> ActivitySpec {
+    ActivitySpec::new(name, ActivityKind::Automated, minutes, load(ENGINE_ORDER, 3.0, APP_ERP, 3.0, 2.0))
+}
+
+fn order_inter(name: &str, minutes: f64) -> ActivitySpec {
+    ActivitySpec::new(name, ActivityKind::Interactive, minutes, load(ENGINE_ORDER, 3.0, APP_ERP, 0.0, 2.0))
+}
+
+fn finance_auto(name: &str, minutes: f64, app_idx: usize) -> ActivitySpec {
+    ActivitySpec::new(name, ActivityKind::Automated, minutes, load(ENGINE_FINANCE, 3.0, app_idx, 3.0, 2.0))
+}
+
+fn finance_inter(name: &str, minutes: f64) -> ActivitySpec {
+    ActivitySpec::new(name, ActivityKind::Interactive, minutes, load(ENGINE_FINANCE, 3.0, APP_CRM, 0.0, 2.0))
+}
+
+/// TPC-C-style order-fulfillment workflow on the order engine + ERP:
+/// order entry, stock check with back-order loop, delivery, payment.
+pub fn order_fulfillment_workflow() -> WorkflowSpec {
+    let chart = ChartBuilder::new("OrderFulfillment")
+        .initial("OF_INIT")
+        .activity_state("EnterOrder", "OF_EnterOrder")
+        .activity_state("CheckStock", "OF_CheckStock")
+        .activity_state("BackOrder", "OF_BackOrder")
+        .activity_state("Deliver", "OF_Deliver")
+        .activity_state("Payment", "OF_Payment")
+        .final_state("OF_EXIT")
+        .transition("OF_INIT", "EnterOrder", 1.0, EcaRule::default())
+        .transition("EnterOrder", "CheckStock", 1.0, EcaRule::on_done("OF_EnterOrder"))
+        .transition("CheckStock", "Deliver", 0.85, EcaRule::default())
+        .transition("CheckStock", "BackOrder", 0.15, EcaRule::default())
+        .transition("BackOrder", "CheckStock", 1.0, EcaRule::on_done("OF_BackOrder"))
+        .transition("Deliver", "Payment", 1.0, EcaRule::on_done("OF_Deliver"))
+        .transition("Payment", "OF_EXIT", 1.0, EcaRule::on_done("OF_Payment"))
+        .build()
+        .expect("static chart");
+    WorkflowSpec::new(
+        "OrderFulfillment",
+        chart,
+        [
+            order_inter("OF_EnterOrder", 3.0),
+            order_auto("OF_CheckStock", 0.5),
+            order_auto("OF_BackOrder", 120.0),
+            order_inter("OF_Deliver", 45.0),
+            order_auto("OF_Payment", 1.0),
+        ],
+    )
+}
+
+/// Insurance-claim workflow on the finance engine: claim intake, parallel
+/// damage assessment (police report via CRM, appraisal via ERP), an
+/// approval loop, and payout.
+pub fn insurance_claim_workflow() -> WorkflowSpec {
+    let police = ChartBuilder::new("PoliceReport_SC")
+        .initial("PR_INIT")
+        .activity_state("RequestReport", "IC_RequestReport")
+        .activity_state("ReceiveReport", "IC_ReceiveReport")
+        .final_state("PR_EXIT")
+        .transition("PR_INIT", "RequestReport", 1.0, EcaRule::default())
+        .transition("RequestReport", "ReceiveReport", 1.0, EcaRule::default())
+        .transition("ReceiveReport", "PR_EXIT", 1.0, EcaRule::default())
+        .build()
+        .expect("static chart");
+    let appraisal = ChartBuilder::new("Appraisal_SC")
+        .initial("AP_INIT")
+        .activity_state("ScheduleVisit", "IC_ScheduleVisit")
+        .activity_state("AppraiseDamage", "IC_AppraiseDamage")
+        .final_state("AP_EXIT")
+        .transition("AP_INIT", "ScheduleVisit", 1.0, EcaRule::default())
+        .transition("ScheduleVisit", "AppraiseDamage", 1.0, EcaRule::default())
+        .transition("AppraiseDamage", "AP_EXIT", 1.0, EcaRule::default())
+        .build()
+        .expect("static chart");
+    let chart = ChartBuilder::new("InsuranceClaim")
+        .initial("IC_INIT")
+        .activity_state("FileClaim", "IC_FileClaim")
+        .parallel_state("Assess", vec![police, appraisal])
+        .activity_state("Review", "IC_Review")
+        .activity_state("RequestInfo", "IC_RequestInfo")
+        .activity_state("Payout", "IC_Payout")
+        .final_state("IC_EXIT")
+        .transition("IC_INIT", "FileClaim", 1.0, EcaRule::default())
+        .transition("FileClaim", "Assess", 1.0, EcaRule::on_done("IC_FileClaim"))
+        .transition("Assess", "Review", 1.0, EcaRule::default())
+        .transition("Review", "Payout", 0.7, EcaRule::default())
+        .transition("Review", "RequestInfo", 0.2, EcaRule::default())
+        .transition("Review", "IC_EXIT", 0.1, EcaRule::default()) // rejected
+        .transition("RequestInfo", "Review", 1.0, EcaRule::on_done("IC_RequestInfo"))
+        .transition("Payout", "IC_EXIT", 1.0, EcaRule::on_done("IC_Payout"))
+        .build()
+        .expect("static chart");
+    WorkflowSpec::new(
+        "InsuranceClaim",
+        chart,
+        [
+            finance_inter("IC_FileClaim", 10.0),
+            finance_auto("IC_RequestReport", 2.0, APP_CRM),
+            // Waiting on an external authority: long, highly variable.
+            finance_auto("IC_ReceiveReport", 1_440.0, APP_CRM).with_duration_scv(3.0),
+            finance_inter("IC_ScheduleVisit", 15.0),
+            finance_inter("IC_AppraiseDamage", 90.0),
+            finance_inter("IC_Review", 30.0),
+            finance_auto("IC_RequestInfo", 480.0, APP_CRM),
+            finance_auto("IC_Payout", 2.0, APP_ERP),
+        ],
+    )
+}
+
+/// Loan-approval workflow on the finance engine: application, automated
+/// scoring, a manual-review loop for borderline cases, signing,
+/// disbursement.
+pub fn loan_approval_workflow() -> WorkflowSpec {
+    let chart = ChartBuilder::new("LoanApproval")
+        .initial("LA_INIT")
+        .activity_state("Apply", "LA_Apply")
+        .activity_state("CreditScore", "LA_CreditScore")
+        .activity_state("ManualReview", "LA_ManualReview")
+        .activity_state("Sign", "LA_Sign")
+        .activity_state("Disburse", "LA_Disburse")
+        .final_state("LA_EXIT")
+        .transition("LA_INIT", "Apply", 1.0, EcaRule::default())
+        .transition("Apply", "CreditScore", 1.0, EcaRule::on_done("LA_Apply"))
+        .transition("CreditScore", "Sign", 0.5, EcaRule::default())
+        .transition("CreditScore", "ManualReview", 0.35, EcaRule::default())
+        .transition("CreditScore", "LA_EXIT", 0.15, EcaRule::default()) // declined
+        .transition("ManualReview", "ManualReview", 0.25, EcaRule::default()) // escalation retry
+        .transition("ManualReview", "Sign", 0.45, EcaRule::default())
+        .transition("ManualReview", "LA_EXIT", 0.30, EcaRule::default())
+        .transition("Sign", "Disburse", 1.0, EcaRule::on_done("LA_Sign"))
+        .transition("Disburse", "LA_EXIT", 1.0, EcaRule::on_done("LA_Disburse"))
+        .build()
+        .expect("static chart");
+    WorkflowSpec::new(
+        "LoanApproval",
+        chart,
+        [
+            finance_inter("LA_Apply", 20.0),
+            finance_auto("LA_CreditScore", 1.0, APP_CRM),
+            finance_inter("LA_ManualReview", 240.0),
+            finance_inter("LA_Sign", 60.0),
+            finance_auto("LA_Disburse", 2.0, APP_ERP),
+        ],
+    )
+}
+
+/// The default enterprise workload mix: workflow specs with their arrival
+/// rates (instances per minute). The volumes are sized so the busiest
+/// server types (order engine, ERP) run at a meaningful fraction of one
+/// replica's capacity — losing a replica of a 2-way-replicated type then
+/// visibly degrades (or saturates) the service, which is exactly the
+/// regime the performability model is about.
+pub fn enterprise_mix() -> Vec<(WorkflowSpec, f64)> {
+    vec![
+        (order_fulfillment_workflow(), 60.0),
+        (insurance_claim_workflow(), 12.0),
+        (loan_approval_workflow(), 6.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_statechart::validate_spec;
+
+    #[test]
+    fn registry_has_five_types_in_documented_order() {
+        let reg = enterprise_registry();
+        assert_eq!(reg.len(), 5);
+        assert_eq!(reg.get(wfms_statechart::ServerTypeId(COMM)).unwrap().name, "orb");
+        assert_eq!(
+            reg.get(wfms_statechart::ServerTypeId(APP_ERP)).unwrap().name,
+            "app-erp"
+        );
+    }
+
+    #[test]
+    fn all_enterprise_workflows_validate() {
+        let reg = enterprise_registry();
+        for (spec, rate) in enterprise_mix() {
+            validate_spec(&spec, &reg).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn order_fulfillment_has_backorder_loop() {
+        let spec = order_fulfillment_workflow();
+        let back = spec.chart.state_by_name("BackOrder").unwrap();
+        let t = spec.chart.outgoing(back).next().unwrap();
+        assert_eq!(spec.chart.states[t.to.0].name, "CheckStock");
+    }
+
+    #[test]
+    fn insurance_claim_runs_parallel_assessment() {
+        let spec = insurance_claim_workflow();
+        match &spec.chart.states[spec.chart.state_by_name("Assess").unwrap().0].kind {
+            wfms_statechart::StateKind::Nested { charts } => {
+                assert_eq!(charts.len(), 2);
+                assert_eq!(charts[0].name, "PoliceReport_SC");
+            }
+            other => panic!("expected parallel assessment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loan_approval_has_self_loop_review() {
+        let spec = loan_approval_workflow();
+        let review = spec.chart.state_by_name("ManualReview").unwrap();
+        assert!(spec.chart.outgoing(review).any(|t| t.to == review));
+    }
+
+    #[test]
+    fn workflows_split_load_across_engines() {
+        // Order workflow must not touch the finance engine and vice versa.
+        let order = order_fulfillment_workflow();
+        for a in order.activities.values() {
+            assert_eq!(a.load[ENGINE_FINANCE], 0.0, "{}", a.name);
+            assert!(a.load[ENGINE_ORDER] > 0.0, "{}", a.name);
+        }
+        let loan = loan_approval_workflow();
+        for a in loan.activities.values() {
+            assert_eq!(a.load[ENGINE_ORDER], 0.0, "{}", a.name);
+            assert!(a.load[ENGINE_FINANCE] > 0.0, "{}", a.name);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: configure a WFMS for the paper's e-commerce workflow.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wfms::statechart::paper_section52_registry;
+use wfms::workloads::{ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
+use wfms::{ConfigurationTool, Goals, SearchOptions};
+
+fn main() {
+    // 1. Describe the architecture: one communication server type, one
+    //    workflow-engine type, one application-server type, with the
+    //    failure/repair rates of Sec. 5.2 of the paper.
+    let registry = paper_section52_registry();
+
+    // 2. Register the workload: the electronic-purchase workflow of
+    //    Fig. 3, arriving once every two minutes.
+    let mut tool = ConfigurationTool::new(registry);
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .expect("the EP workflow validates");
+
+    // 3. State the goals: mean service-request waits of at most 3 seconds
+    //    (0.05 min) and 99.99 % availability.
+    let goals = Goals::new(0.05, 0.9999).expect("valid goals");
+
+    // 4. Ask for the minimum-cost configuration.
+    let recommendation = tool
+        .recommend(&goals, &SearchOptions::default())
+        .expect("goals reachable");
+
+    let a = &recommendation.assessment;
+    println!("Recommended configuration (replicas per server type): {:?}", a.replicas);
+    println!("  total servers        : {}", a.cost);
+    println!("  availability         : {:.6}", a.availability);
+    println!("  downtime per year    : {:.1} min", a.downtime_minutes_per_year);
+    println!(
+        "  worst expected wait  : {:.2} s",
+        a.max_expected_waiting.unwrap_or(f64::NAN) * 60.0
+    );
+    println!("  candidates evaluated : {}", recommendation.evaluations);
+    assert!(a.meets_goals());
+}

@@ -1,0 +1,85 @@
+//! Validation run: the discrete-event simulator versus the analytic
+//! models, on the EP workflow (the reproduction's stand-in for the
+//! paper's planned prototype measurements, Sec. 8).
+//!
+//! ```sh
+//! cargo run --release --example simulation_validation
+//! ```
+
+use wfms::perf::waiting_times;
+use wfms::sim::{run, SimOptions};
+use wfms::statechart::paper_section52_registry;
+use wfms::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
+use wfms::{ConfigurationTool, Configuration};
+
+fn main() {
+    let registry = paper_section52_registry();
+    let spec = ep_workflow();
+    let mut tool = ConfigurationTool::new(registry);
+    tool.add_workflow(spec.clone(), EP_SIM_ARRIVAL_RATE).expect("EP validates");
+    let analysis = tool.workflow_analysis("EP").expect("analysis");
+    let load = tool.system_load().expect("load");
+    let config = Configuration::uniform(tool.registry(), 2).unwrap();
+
+    let opts = SimOptions {
+        duration_minutes: 200_000.0,
+        warmup_minutes: 20_000.0,
+        seed: 2026,
+        ..SimOptions::default()
+    };
+    println!(
+        "Simulating {:.0} minutes ({:.0} days) of EP traffic on {config} ...",
+        opts.duration_minutes,
+        opts.duration_minutes / 1440.0
+    );
+    let report = run(tool.registry(), &config, &[(&spec, EP_SIM_ARRIVAL_RATE)], &opts)
+        .expect("simulation runs");
+
+    let wf = &report.workflows[0];
+    println!("\nInstances: {} started, {} completed", wf.started, wf.completed);
+    println!("{:<34} {:>12} {:>12} {:>8}", "metric", "analytic", "simulated", "Δ%");
+    println!("{}", "-".repeat(70));
+    let delta = |a: f64, s: f64| 100.0 * (s - a) / a.abs().max(1e-12);
+    println!(
+        "{:<34} {:>12.2} {:>12.2} {:>7.1}%",
+        "mean turnaround R_t (min)", analysis.mean_turnaround, wf.mean_turnaround,
+        delta(analysis.mean_turnaround, wf.mean_turnaround)
+    );
+    for (x, (_, t)) in tool.registry().iter().enumerate() {
+        println!(
+            "{:<34} {:>12.3} {:>12.3} {:>7.1}%",
+            format!("requests/instance @ {}", t.name),
+            analysis.expected_requests[x],
+            wf.mean_requests[x],
+            delta(analysis.expected_requests[x], wf.mean_requests[x])
+        );
+    }
+    let blind = waiting_times(&load, tool.registry(), config.as_slice()).unwrap();
+    for (x, (_, t)) in tool.registry().iter().enumerate() {
+        let s = &report.server_types[x];
+        println!(
+            "{:<34} {:>12.4} {:>12.4} {:>7.1}%",
+            format!("arrival rate l_x @ {}", t.name),
+            load.request_rates[x],
+            s.arrival_rate,
+            delta(load.request_rates[x], s.arrival_rate)
+        );
+        if let Some(w) = blind[x].waiting_time() {
+            println!(
+                "{:<34} {:>12.4} {:>12.4} {:>7.1}%",
+                format!("mean wait w_x (min) @ {}", t.name),
+                w,
+                s.mean_waiting,
+                delta(w, s.mean_waiting)
+            );
+        }
+    }
+
+    println!(
+        "\nNote: at this light utilization the absolute waits are fractions of a\n\
+         millisecond, and round-robin splitting is *smoother* than the Poisson\n\
+         split the M/G/1 model assumes, so the simulated waits sit below the\n\
+         prediction; the Poisson-regime agreement and the high-load burst bias\n\
+         are both verified quantitatively in crates/sim/tests/validation.rs."
+    );
+}

@@ -1,0 +1,12 @@
+//! Performability-driven configuration of distributed workflow management
+//! systems — the top-level crate of this workspace.
+//!
+//! Everything lives in [`wfms_core`]; this crate re-exports it so that
+//! `use wfms::...` works from the examples and integration tests.
+//!
+//! See the repository `README.md` for a tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the paper-reproduction results.
+
+#![warn(missing_docs)]
+
+pub use wfms_core::*;

@@ -1,0 +1,63 @@
+//! The paper's explicitly stated numbers, asserted end-to-end through the
+//! public facade — the headline reproduction claims of EXPERIMENTS.md.
+
+use wfms::statechart::paper_section52_registry;
+use wfms::workloads::{ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
+use wfms::{Configuration, ConfigurationTool};
+
+fn downtime_hours_per_year(tool: &ConfigurationTool, replicas: Vec<usize>) -> f64 {
+    let config = Configuration::new(tool.registry(), replicas).unwrap();
+    tool.availability(&config).unwrap().downtime_minutes_per_year / 60.0
+}
+
+#[test]
+fn section_5_2_downtime_anchors() {
+    let tool = ConfigurationTool::new(paper_section52_registry());
+
+    // "an expected downtime of 71 hours per year if there is only one
+    // server of each server type"
+    let unreplicated = downtime_hours_per_year(&tool, vec![1, 1, 1]);
+    assert!((unreplicated - 71.0).abs() < 1.0, "{unreplicated} h/year");
+
+    // "By 3-way replication of each server type, the system downtime can
+    // be brought down to 10 seconds per year."
+    let three_way_seconds = downtime_hours_per_year(&tool, vec![3, 3, 3]) * 3600.0;
+    assert!(
+        three_way_seconds > 5.0 && three_way_seconds < 15.0,
+        "{three_way_seconds} s/year"
+    );
+
+    // "replicating the most unreliable server type three times and having
+    // two replicas of each of the other two is already sufficient to bound
+    // the unavailability by less than a minute"
+    let asymmetric_seconds = downtime_hours_per_year(&tool, vec![2, 2, 3]) * 3600.0;
+    assert!(asymmetric_seconds < 60.0, "{asymmetric_seconds} s/year");
+}
+
+#[test]
+fn figure_4_structure() {
+    // "Besides the absorbing state s_A, the CTMC consists of seven further
+    // states, each representing the seven states of the workflow's
+    // top-level state chart."
+    let mut tool = ConfigurationTool::new(paper_section52_registry());
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).unwrap();
+    let analysis = tool.workflow_analysis("EP").unwrap();
+    assert_eq!(analysis.ctmc.n(), 8, "seven execution states plus s_A");
+    assert_eq!(analysis.ctmc.absorbing_states(), vec![7]);
+    assert_eq!(analysis.ctmc.labels()[7], "s_A");
+    // The chain starts in the NewOrder state with probability one.
+    assert_eq!(analysis.ctmc.labels()[analysis.start], "NewOrder_S");
+}
+
+#[test]
+fn figure_1_load_profile() {
+    // Fig. 1's request counts: an automated activity induces 3 requests at
+    // the workflow engine, 2 at the communication server, and 3 at the
+    // application server; an interactive activity involves no application
+    // server.
+    let spec = ep_workflow();
+    let automated = spec.activity("CreditCardCheck").unwrap();
+    assert_eq!(automated.load, vec![2.0, 3.0, 3.0]);
+    let interactive = spec.activity("NewOrder").unwrap();
+    assert_eq!(interactive.load, vec![2.0, 3.0, 0.0]);
+}

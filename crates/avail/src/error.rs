@@ -47,16 +47,25 @@ impl fmt::Display for AvailError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AvailError::StateOutOfRange { state, dims } => {
-                write!(f, "system state {state:?} outside state space with dims {dims:?}")
+                write!(
+                    f,
+                    "system state {state:?} outside state space with dims {dims:?}"
+                )
             }
             AvailError::IndexOutOfRange { index, len } => {
                 write!(f, "state index {index} out of range ({len} states)")
             }
             AvailError::StateSpaceTooLarge { states, cap } => {
-                write!(f, "state space has {states} states, exceeding the cap of {cap}")
+                write!(
+                    f,
+                    "state space has {states} states, exceeding the cap of {cap}"
+                )
             }
             AvailError::LengthMismatch { expected, actual } => {
-                write!(f, "probability vector has length {actual}, expected {expected}")
+                write!(
+                    f,
+                    "probability vector has length {actual}, expected {expected}"
+                )
             }
             AvailError::Chain(e) => write!(f, "Markov analysis error: {e}"),
             AvailError::Arch(e) => write!(f, "architecture error: {e}"),

@@ -18,10 +18,10 @@ pub mod sparse_model;
 pub mod state_space;
 
 pub use error::AvailError;
-pub use phase::{single_repairman_type_unavailability, system_unavailability_with_repair_phases};
 pub use model::{
     closed_form_unavailability, AvailabilityModel, RepairPolicy, DEFAULT_STATE_CAP,
     MINUTES_PER_YEAR,
 };
+pub use phase::{single_repairman_type_unavailability, system_unavailability_with_repair_phases};
 pub use sparse_model::{SparseAvailabilityModel, SPARSE_STATE_CAP};
 pub use state_space::StateSpace;

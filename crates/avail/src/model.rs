@@ -20,8 +20,7 @@ use crate::state_space::StateSpace;
 pub const MINUTES_PER_YEAR: f64 = 525_600.0;
 
 /// How failed servers are repaired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum RepairPolicy {
     /// Every failed server is repaired concurrently: the repair transition
     /// rate from `X_x` to `X_x + 1` is `(Y_x - X_x) · μ_x`. Under this
@@ -33,7 +32,6 @@ pub enum RepairPolicy {
     /// at least one server of the type is down.
     SingleRepairmanPerType,
 }
-
 
 /// The assembled availability model for one configuration.
 #[derive(Debug, Clone)]
@@ -55,10 +53,7 @@ impl AvailabilityModel {
     ///
     /// # Errors
     /// See [`AvailabilityModel::with_policy`].
-    pub fn new(
-        registry: &ServerTypeRegistry,
-        config: &Configuration,
-    ) -> Result<Self, AvailError> {
+    pub fn new(registry: &ServerTypeRegistry, config: &Configuration) -> Result<Self, AvailError> {
         Self::with_policy(registry, config, RepairPolicy::Independent)
     }
 
@@ -75,7 +70,10 @@ impl AvailabilityModel {
         let space = StateSpace::new(config);
         let n = space.len();
         if n > DEFAULT_STATE_CAP {
-            return Err(AvailError::StateSpaceTooLarge { states: n, cap: DEFAULT_STATE_CAP });
+            return Err(AvailError::StateSpaceTooLarge {
+                states: n,
+                cap: DEFAULT_STATE_CAP,
+            });
         }
         let k = space.k();
         let mut q = Matrix::zeros(n, n);
@@ -109,7 +107,12 @@ impl AvailabilityModel {
             q[(idx, idx)] = -departure;
         }
         let ctmc = Ctmc::from_generator(&q)?;
-        Ok(AvailabilityModel { config: config.clone(), space, ctmc, policy })
+        Ok(AvailabilityModel {
+            config: config.clone(),
+            space,
+            ctmc,
+            policy,
+        })
     }
 
     /// The underlying state space.
@@ -228,11 +231,13 @@ pub fn closed_form_unavailability(
     config: &Configuration,
 ) -> Result<f64, AvailError> {
     if config.k() != registry.len() {
-        return Err(AvailError::Arch(wfms_statechart::ArchError::LengthMismatch {
-            what: "configuration",
-            expected: registry.len(),
-            actual: config.k(),
-        }));
+        return Err(AvailError::Arch(
+            wfms_statechart::ArchError::LengthMismatch {
+                what: "configuration",
+                expected: registry.len(),
+                actual: config.k(),
+            },
+        ));
     }
     let mut availability = 1.0;
     for (id, st) in registry.iter() {
@@ -286,7 +291,10 @@ mod tests {
         let m = model(&[2, 2, 3]);
         let pi = solve(&m);
         let downtime_seconds = m.downtime_minutes_per_year(&pi).unwrap() * 60.0;
-        assert!(downtime_seconds < 60.0, "expected < 60 s/year, got {downtime_seconds:.2}");
+        assert!(
+            downtime_seconds < 60.0,
+            "expected < 60 s/year, got {downtime_seconds:.2}"
+        );
         assert!(downtime_seconds > 10.0, "sanity: {downtime_seconds:.2}");
     }
 
@@ -348,7 +356,9 @@ mod tests {
         let base = Configuration::new(&reg, vec![1, 1, 1]).unwrap();
         let mut improvements = Vec::new();
         for j in 0..3 {
-            let cfg = base.with_added_replica(wfms_statechart::ServerTypeId(j)).unwrap();
+            let cfg = base
+                .with_added_replica(wfms_statechart::ServerTypeId(j))
+                .unwrap();
             let u = closed_form_unavailability(&reg, &cfg).unwrap();
             improvements.push(u);
         }
@@ -368,7 +378,10 @@ mod tests {
                 .unwrap();
         let u_ind = ind.unavailability(&solve(&ind)).unwrap();
         let u_single = single.unavailability(&solve(&single)).unwrap();
-        assert!(u_single > u_ind, "single repairman {u_single:e} !> independent {u_ind:e}");
+        assert!(
+            u_single > u_ind,
+            "single repairman {u_single:e} !> independent {u_ind:e}"
+        );
     }
 
     #[test]
@@ -424,8 +437,8 @@ mod proptests {
     use wfms_markov::ctmc::SteadyStateMethod;
     use wfms_statechart::{ServerType, ServerTypeKind, ServerTypeRegistry};
 
-    fn arbitrary_registry_and_config(
-    ) -> impl Strategy<Value = (ServerTypeRegistry, Configuration)> {
+    fn arbitrary_registry_and_config() -> impl Strategy<Value = (ServerTypeRegistry, Configuration)>
+    {
         let types = proptest::collection::vec((1e-5f64..1e-2, 0.01f64..1.0), 1..4);
         let reps = proptest::collection::vec(1usize..4, 1..4);
         (types, reps).prop_map(|(params, mut reps)| {

@@ -74,11 +74,13 @@ pub fn single_repairman_type_unavailability(
     repair: &PhaseType,
 ) -> Result<f64, AvailError> {
     if replicas == 0 || !(failure_rate.is_finite() && failure_rate > 0.0) {
-        return Err(AvailError::Arch(wfms_statechart::ArchError::InvalidParameter {
-            what: "failure rate / replicas",
-            server_type: "phase-type marginal".into(),
-            value: failure_rate,
-        }));
+        return Err(AvailError::Arch(
+            wfms_statechart::ArchError::InvalidParameter {
+                what: "failure rate / replicas",
+                server_type: "phase-type marginal".into(),
+                value: failure_rate,
+            },
+        ));
     }
     let rates = stage_rates(repair);
     let stages = rates.len();
@@ -195,8 +197,12 @@ mod tests {
         for y in [1usize, 2, 3, 4] {
             let lambda = 1.0 / 500.0;
             let mu = 1.0 / 20.0;
-            let expect =
-                joint_single_type_unavailability(y, lambda, mu, RepairPolicy::SingleRepairmanPerType);
+            let expect = joint_single_type_unavailability(
+                y,
+                lambda,
+                mu,
+                RepairPolicy::SingleRepairmanPerType,
+            );
             let repair = PhaseType::Exponential { rate: mu };
             let got = single_repairman_type_unavailability(y, lambda, &repair).unwrap();
             assert!(
@@ -240,7 +246,9 @@ mod tests {
         let u_exp = single_repairman_type_unavailability(
             2,
             lambda,
-            &PhaseType::Exponential { rate: 1.0 / mean_repair },
+            &PhaseType::Exponential {
+                rate: 1.0 / mean_repair,
+            },
         )
         .unwrap();
         let u_hyper = single_repairman_type_unavailability(
@@ -249,8 +257,14 @@ mod tests {
             &PhaseType::fit(mean_repair, 8.0).unwrap(),
         )
         .unwrap();
-        assert!(u_erlang < u_exp, "Erlang {u_erlang:e} !< exponential {u_exp:e}");
-        assert!(u_exp < u_hyper, "exponential {u_exp:e} !< hyper {u_hyper:e}");
+        assert!(
+            u_erlang < u_exp,
+            "Erlang {u_erlang:e} !< exponential {u_exp:e}"
+        );
+        assert!(
+            u_exp < u_hyper,
+            "exponential {u_exp:e} !< hyper {u_hyper:e}"
+        );
     }
 
     #[test]
@@ -259,16 +273,14 @@ mod tests {
         let config = Configuration::new(&reg, vec![2, 2, 3]).unwrap();
         let repairs: Vec<PhaseType> = reg
             .iter()
-            .map(|(_, t)| PhaseType::Exponential { rate: t.repair_rate })
+            .map(|(_, t)| PhaseType::Exponential {
+                rate: t.repair_rate,
+            })
             .collect();
-        let product =
-            system_unavailability_with_repair_phases(&reg, &config, &repairs).unwrap();
-        let joint = AvailabilityModel::with_policy(
-            &reg,
-            &config,
-            RepairPolicy::SingleRepairmanPerType,
-        )
-        .unwrap();
+        let product = system_unavailability_with_repair_phases(&reg, &config, &repairs).unwrap();
+        let joint =
+            AvailabilityModel::with_policy(&reg, &config, RepairPolicy::SingleRepairmanPerType)
+                .unwrap();
         let pi = joint.steady_state(SteadyStateMethod::Lu).unwrap();
         let expect = joint.unavailability(&pi).unwrap();
         assert!(

@@ -45,7 +45,10 @@ impl SparseAvailabilityModel {
         let space = StateSpace::new(config);
         let n = space.len();
         if n > SPARSE_STATE_CAP {
-            return Err(AvailError::StateSpaceTooLarge { states: n, cap: SPARSE_STATE_CAP });
+            return Err(AvailError::StateSpaceTooLarge {
+                states: n,
+                cap: SPARSE_STATE_CAP,
+            });
         }
         let k = space.k();
         let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(n * 2 * k);
@@ -81,7 +84,11 @@ impl SparseAvailabilityModel {
         let qt = CsrMatrix::from_triplets(n, n, triplets).map_err(|_| {
             AvailError::IndexOutOfRange { index: n, len: n } // unreachable by construction
         })?;
-        Ok(SparseAvailabilityModel { space, qt, departure })
+        Ok(SparseAvailabilityModel {
+            space,
+            qt,
+            departure,
+        })
     }
 
     /// The underlying state space.
@@ -141,7 +148,11 @@ mod tests {
     use wfms_statechart::{paper_section52_registry, ServerType, ServerTypeKind};
 
     fn gs() -> GaussSeidelOptions {
-        GaussSeidelOptions { tolerance: 1e-12, max_iterations: 100_000, relaxation: 1.0 }
+        GaussSeidelOptions {
+            tolerance: 1e-12,
+            max_iterations: 100_000,
+            relaxation: 1.0,
+        }
     }
 
     #[test]
@@ -241,6 +252,9 @@ mod tests {
         let n = sparse.state_space().len();
         // Each state has at most 2k outgoing transitions.
         assert!(sparse.transitions() <= n * 2 * 4);
-        assert!(sparse.transitions() >= n, "every state has at least one transition");
+        assert!(
+            sparse.transitions() >= n,
+            "every state has at least one transition"
+        );
     }
 }

@@ -21,7 +21,9 @@ pub struct StateSpace {
 impl StateSpace {
     /// Builds the state space of a configuration.
     pub fn new(config: &Configuration) -> Self {
-        StateSpace { dims: config.as_slice().iter().map(|&y| y + 1).collect() }
+        StateSpace {
+            dims: config.as_slice().iter().map(|&y| y + 1).collect(),
+        }
     }
 
     /// Number of server types `k`.
@@ -73,7 +75,10 @@ impl StateSpace {
     /// [`AvailError::IndexOutOfRange`] for `idx ≥ len()`.
     pub fn decode(&self, idx: usize) -> Result<Vec<usize>, AvailError> {
         if idx >= self.len() {
-            return Err(AvailError::IndexOutOfRange { index: idx, len: self.len() });
+            return Err(AvailError::IndexOutOfRange {
+                index: idx,
+                len: self.len(),
+            });
         }
         let mut rest = idx;
         let mut out = Vec::with_capacity(self.dims.len());
@@ -86,7 +91,10 @@ impl StateSpace {
 
     /// Iterates all states in encoding order as availability vectors.
     pub fn iter(&self) -> StateIter<'_> {
-        StateIter { space: self, next: 0 }
+        StateIter {
+            space: self,
+            next: 0,
+        }
     }
 
     /// True when the state vector is operational (every component ≥ 1).
@@ -152,9 +160,18 @@ mod tests {
     #[test]
     fn encode_validates_bounds() {
         let s = space(&[2, 2, 2]);
-        assert!(matches!(s.encode(&[3, 0, 0]), Err(AvailError::StateOutOfRange { .. })));
-        assert!(matches!(s.encode(&[0, 0]), Err(AvailError::StateOutOfRange { .. })));
-        assert!(matches!(s.decode(27), Err(AvailError::IndexOutOfRange { index: 27, len: 27 })));
+        assert!(matches!(
+            s.encode(&[3, 0, 0]),
+            Err(AvailError::StateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.encode(&[0, 0]),
+            Err(AvailError::StateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.decode(27),
+            Err(AvailError::IndexOutOfRange { index: 27, len: 27 })
+        ));
     }
 
     #[test]

@@ -13,7 +13,10 @@ fn bench_assess(c: &mut Criterion) {
     let reg = paper_section52_registry();
     let analysis = analyze_workflow(&ep_workflow(), &reg, &AnalysisOptions::default()).expect("EP");
     let load = aggregate_load(
-        &[WorkloadItem { analysis, arrival_rate: EP_DEFAULT_ARRIVAL_RATE }],
+        &[WorkloadItem {
+            analysis,
+            arrival_rate: EP_DEFAULT_ARRIVAL_RATE,
+        }],
         &reg,
     )
     .expect("aggregates");

@@ -12,7 +12,10 @@ fn setup() -> (ServerTypeRegistry, SystemLoad) {
     let reg = paper_section52_registry();
     let analysis = analyze_workflow(&ep_workflow(), &reg, &AnalysisOptions::default()).expect("EP");
     let load = aggregate_load(
-        &[WorkloadItem { analysis, arrival_rate: EP_DEFAULT_ARRIVAL_RATE * 3.0 }],
+        &[WorkloadItem {
+            analysis,
+            arrival_rate: EP_DEFAULT_ARRIVAL_RATE * 3.0,
+        }],
         &reg,
     )
     .expect("aggregates");

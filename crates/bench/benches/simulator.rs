@@ -21,11 +21,9 @@ fn bench_simulation(c: &mut Criterion) {
             failures_enabled: failures,
             ..SimOptions::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("failures", failures),
-            &opts,
-            |b, opts| b.iter(|| run(&reg, &config, &[(&spec, 0.5)], opts).expect("simulates")),
-        );
+        group.bench_with_input(BenchmarkId::new("failures", failures), &opts, |b, opts| {
+            b.iter(|| run(&reg, &config, &[(&spec, 0.5)], opts).expect("simulates"))
+        });
     }
     group.finish();
 }

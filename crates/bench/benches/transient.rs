@@ -16,7 +16,9 @@ fn bench_reward(c: &mut Criterion) {
     let spec = ep_workflow();
     let analysis = analyze_workflow(&spec, &reg, &AnalysisOptions::default()).expect("EP");
     let ctmc = analysis.ctmc.clone();
-    let rewards: Vec<f64> = (0..ctmc.n()).map(|i| analysis.state_loads[(1, i)]).collect();
+    let rewards: Vec<f64> = (0..ctmc.n())
+        .map(|i| analysis.state_loads[(1, i)])
+        .collect();
     let start = analysis.start;
 
     c.bench_function("reward_exact_fundamental_matrix", |b| {
@@ -31,7 +33,10 @@ fn bench_reward(c: &mut Criterion) {
                     &ctmc,
                     &rewards,
                     start,
-                    TruncationOptions { quantile: q, hard_cap: 10_000_000 },
+                    TruncationOptions {
+                        quantile: q,
+                        hard_cap: 10_000_000,
+                    },
                 )
                 .expect("computes")
             })
@@ -47,7 +52,10 @@ fn bench_turnaround_cdf(c: &mut Criterion) {
     let uni = Uniformized::new(&analysis.ctmc).expect("uniformizes");
     let t = analysis.mean_turnaround;
     c.bench_function("turnaround_cdf_at_mean", |b| {
-        b.iter(|| uni.absorption_cdf(analysis.start, t, 1e-9).expect("computes"))
+        b.iter(|| {
+            uni.absorption_cdf(analysis.start, t, 1e-9)
+                .expect("computes")
+        })
     });
 }
 

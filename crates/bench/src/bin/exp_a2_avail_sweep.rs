@@ -32,13 +32,12 @@ fn main() {
     ]);
     for replicas in configs {
         let config = Configuration::new(&registry, replicas).expect("valid");
-        let independent = AvailabilityModel::with_policy(
-            &registry,
-            &config,
-            RepairPolicy::Independent,
-        )
-        .expect("builds");
-        let pi = independent.steady_state(SteadyStateMethod::Lu).expect("solves");
+        let independent =
+            AvailabilityModel::with_policy(&registry, &config, RepairPolicy::Independent)
+                .expect("builds");
+        let pi = independent
+            .steady_state(SteadyStateMethod::Lu)
+            .expect("solves");
         let u_ind = independent.unavailability(&pi).expect("lengths");
         let single = AvailabilityModel::with_policy(
             &registry,

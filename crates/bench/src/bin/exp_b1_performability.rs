@@ -14,10 +14,16 @@ fn main() {
     // ξ chosen so the engine type runs at ~85 % on two replicas.
     let analysis =
         analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
-    let b_engine = registry.get(wfms_statechart::ServerTypeId(1)).expect("id").service_time_mean;
+    let b_engine = registry
+        .get(wfms_statechart::ServerTypeId(1))
+        .expect("id")
+        .service_time_mean;
     let xi = 2.0 * 0.85 / (analysis.expected_requests[1] * b_engine);
     let load = aggregate_load(
-        &[WorkloadItem { analysis, arrival_rate: xi }],
+        &[WorkloadItem {
+            analysis,
+            arrival_rate: xi,
+        }],
         &registry,
     )
     .expect("aggregates");
@@ -31,7 +37,13 @@ fn main() {
         "P(saturated)",
         "P(down)",
     ]);
-    for replicas in [vec![2, 2, 2], vec![2, 3, 2], vec![3, 3, 3], vec![3, 4, 3], vec![4, 4, 4]] {
+    for replicas in [
+        vec![2, 2, 2],
+        vec![2, 3, 2],
+        vec![3, 3, 3],
+        vec![3, 4, 3],
+        vec![4, 4, 4],
+    ] {
         let config = Configuration::new(&registry, replicas).expect("valid");
         let blind = waiting_times(&load, &registry, config.as_slice()).expect("computes");
         let blind_worst = blind
@@ -71,7 +83,8 @@ fn main() {
 
     // Breakdown for Y(2,2,2): which degraded states carry the inflation.
     let config = Configuration::uniform(&registry, 2).expect("valid");
-    let report = evaluate(&registry, &config, &load, DegradedPolicy::Conditional).expect("evaluates");
+    let report =
+        evaluate(&registry, &config, &load, DegradedPolicy::Conditional).expect("evaluates");
     println!("\nDegraded-state contributions for {config} (top engine-relevant states):");
     let mut detail = Table::new(&["state X", "probability", "engine wait (s)"]);
     let mut rows: Vec<_> = report
@@ -85,14 +98,23 @@ fn main() {
             .waiting_time()
             .map(|w| format!("{:.3}", w * 60.0))
             .unwrap_or_else(|| "saturated/down".into());
-        detail.row(vec![format!("{:?}", d.state), format!("{:.3e}", d.probability), w]);
+        detail.row(vec![
+            format!("{:?}", d.state),
+            format!("{:.3e}", d.probability),
+            w,
+        ]);
     }
     detail.print();
     println!(
         "\nPenalty-policy variant (60 s charged to non-serving states): W = {:.3} s",
-        evaluate(&registry, &config, &load, DegradedPolicy::Penalty { waiting_time: 1.0 })
-            .expect("evaluates")
-            .max_expected_waiting()
+        evaluate(
+            &registry,
+            &config,
+            &load,
+            DegradedPolicy::Penalty { waiting_time: 1.0 }
+        )
+        .expect("evaluates")
+        .max_expected_waiting()
             * 60.0
     );
 }

@@ -56,7 +56,9 @@ fn eager_non_interleaved(
                     best
                 }
             };
-            config = config.with_added_replica(wfms_statechart::ServerTypeId(target)).ok()?;
+            config = config
+                .with_added_replica(wfms_statechart::ServerTypeId(target))
+                .ok()?;
         }
         if !a.goals.availability_met {
             // Availability-critical type from the same (now stale) assessment.
@@ -70,7 +72,9 @@ fn eager_non_interleaved(
                     worst = id.0;
                 }
             }
-            config = config.with_added_replica(wfms_statechart::ServerTypeId(worst)).ok()?;
+            config = config
+                .with_added_replica(wfms_statechart::ServerTypeId(worst))
+                .ok()?;
         }
     }
 }
@@ -81,7 +85,10 @@ fn main() {
         analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
     // A heavy EP load so performance goals genuinely bind.
     let load = aggregate_load(
-        &[WorkloadItem { analysis, arrival_rate: EP_DEFAULT_ARRIVAL_RATE * 3.0 }],
+        &[WorkloadItem {
+            analysis,
+            arrival_rate: EP_DEFAULT_ARRIVAL_RATE * 3.0,
+        }],
         &registry,
     )
     .expect("aggregates");
@@ -116,7 +123,9 @@ fn main() {
                         format!("{:?}", g.replicas()),
                         g.cost().to_string(),
                         o.cost().to_string(),
-                        naive.map(|(_, c)| c.to_string()).unwrap_or_else(|| "-".into()),
+                        naive
+                            .map(|(_, c)| c.to_string())
+                            .unwrap_or_else(|| "-".into()),
                         g.evaluations.to_string(),
                         o.evaluations.to_string(),
                     ]);

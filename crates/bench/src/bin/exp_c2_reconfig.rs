@@ -25,14 +25,28 @@ fn main() {
     for xi in [1.0, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0] {
         let analysis =
             analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
-        let demand = xi * analysis.expected_requests[1]
-            * registry.get(wfms_statechart::ServerTypeId(1)).expect("id").service_time_mean;
+        let demand = xi
+            * analysis.expected_requests[1]
+            * registry
+                .get(wfms_statechart::ServerTypeId(1))
+                .expect("id")
+                .service_time_mean;
         let load = aggregate_load(
-            &[WorkloadItem { analysis, arrival_rate: xi }],
+            &[WorkloadItem {
+                analysis,
+                arrival_rate: xi,
+            }],
             &registry,
         )
         .expect("aggregates");
-        match greedy_search(&registry, &load, &goals, &SearchOptions { max_total_servers: 128 }) {
+        match greedy_search(
+            &registry,
+            &load,
+            &goals,
+            &SearchOptions {
+                max_total_servers: 128,
+            },
+        ) {
             Ok(rec) => {
                 let a = &rec.assessment;
                 table.row(vec![

@@ -54,16 +54,26 @@ fn main() {
         let calibrated = calibrate_from_traces(slice).expect("calibrates");
         let p = calibrated.probability("NewOrder_S", "CreditCardCheck_S");
         let mut respec = ep_workflow();
-        apply_to_spec(&mut respec, &calibrated, &ApplyOptions { min_observations: 10, ..ApplyOptions::default() })
-            .expect("applies");
-        let re = analyze_workflow(&respec, &registry, &AnalysisOptions::default())
-            .expect("re-analyzes");
+        apply_to_spec(
+            &mut respec,
+            &calibrated,
+            &ApplyOptions {
+                min_observations: 10,
+                ..ApplyOptions::default()
+            },
+        )
+        .expect("applies");
+        let re =
+            analyze_workflow(&respec, &registry, &AnalysisOptions::default()).expect("re-analyzes");
         table.row(vec![
             n.to_string(),
             format!("{p:.4}"),
             format!("{:+.4}", p - 0.75),
             format!("{:.1}", re.mean_turnaround),
-            format!("{:+.1}%", 100.0 * (re.mean_turnaround - truth.mean_turnaround) / truth.mean_turnaround),
+            format!(
+                "{:+.1}%",
+                100.0 * (re.mean_turnaround - truth.mean_turnaround) / truth.mean_turnaround
+            ),
         ]);
     }
     table.print();

@@ -24,8 +24,8 @@ fn main() {
 
     // Resolve residence times via the hierarchical analysis, then print the
     // full chain: labels, H_i, and the transition-probability rows.
-    let analysis = analyze_workflow(&spec, &registry, &AnalysisOptions::default())
-        .expect("EP analyzes");
+    let analysis =
+        analyze_workflow(&spec, &registry, &AnalysisOptions::default()).expect("EP analyzes");
     let ctmc = &analysis.ctmc;
 
     let mut header: Vec<&str> = vec!["state", "H_i (min)"];
@@ -37,11 +37,19 @@ fn main() {
         let h = ctmc.residence_times()[i];
         let mut row = vec![
             label.clone(),
-            if h.is_finite() { format!("{h:.1}") } else { "∞".to_string() },
+            if h.is_finite() {
+                format!("{h:.1}")
+            } else {
+                "∞".to_string()
+            },
         ];
         for j in 0..ctmc.n() {
             let p = ctmc.jump_matrix()[(i, j)];
-            row.push(if p == 0.0 { "·".to_string() } else { format!("{p:.2}") });
+            row.push(if p == 0.0 {
+                "·".to_string()
+            } else {
+                format!("{p:.2}")
+            });
         }
         table.row(row);
     }

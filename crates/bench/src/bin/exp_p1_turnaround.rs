@@ -10,12 +10,7 @@ use wfms_workloads::{
     order_fulfillment_workflow,
 };
 
-fn case(
-    registry: &ServerTypeRegistry,
-    spec: &WorkflowSpec,
-    arrival_rate: f64,
-    table: &mut Table,
-) {
+fn case(registry: &ServerTypeRegistry, spec: &WorkflowSpec, arrival_rate: f64, table: &mut Table) {
     let analysis = analyze_workflow(spec, registry, &AnalysisOptions::default())
         .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
     let config = Configuration::uniform(registry, 3).expect("valid");
@@ -39,7 +34,13 @@ fn case(
 
 fn main() {
     println!("EXP-P1: mean turnaround R_t — analytic first passage vs simulation\n");
-    let mut table = Table::new(&["workflow", "analytic (min)", "simulated (min)", "Δ", "instances"]);
+    let mut table = Table::new(&[
+        "workflow",
+        "analytic (min)",
+        "simulated (min)",
+        "Δ",
+        "instances",
+    ]);
 
     let paper_reg = wfms_statechart::paper_section52_registry();
     case(&paper_reg, &ep_workflow(), 0.2, &mut table);

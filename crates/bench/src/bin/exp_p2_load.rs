@@ -48,14 +48,20 @@ fn main() {
             format!("{:.4}", exact.expected_requests[x]),
             format!("{:.4}", uni99.expected_requests[x]),
             format!("{sim:.4}"),
-            format!("{:+.2}%", 100.0 * (sim - exact.expected_requests[x]) / exact.expected_requests[x]),
+            format!(
+                "{:+.2}%",
+                100.0 * (sim - exact.expected_requests[x]) / exact.expected_requests[x]
+            ),
         ]);
     }
     table.print();
 
     // Ablation: how the absorption quantile (and hence z_max) affects the
     // truncated value (always an under-approximation).
-    println!("\nTruncation study (engine requests; exact = {:.5}):", exact.expected_requests[1]);
+    println!(
+        "\nTruncation study (engine requests; exact = {:.5}):",
+        exact.expected_requests[1]
+    );
     let mut trunc = Table::new(&["quantile", "r_engine (truncated)", "error", "z_max cap hit"]);
     for quantile in [0.5, 0.9, 0.99, 0.999, 0.999_99] {
         let a = analyze_workflow(
@@ -78,5 +84,7 @@ fn main() {
         ]);
     }
     trunc.print();
-    println!("\nThe paper's 99% default already captures the load to within a fraction of a request.");
+    println!(
+        "\nThe paper's 99% default already captures the load to within a fraction of a request."
+    );
 }

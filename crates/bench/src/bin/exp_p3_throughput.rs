@@ -3,7 +3,9 @@
 //! bottleneck moves the ceiling.
 
 use wfms_bench::Table;
-use wfms_perf::{aggregate_load, analyze_workflow, max_sustainable_throughput, AnalysisOptions, WorkloadItem};
+use wfms_perf::{
+    aggregate_load, analyze_workflow, max_sustainable_throughput, AnalysisOptions, WorkloadItem,
+};
 use wfms_statechart::{paper_section52_registry, Configuration, ServerTypeId};
 use wfms_workloads::{ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
 
@@ -12,7 +14,10 @@ fn main() {
     let spec = ep_workflow();
     let analysis = analyze_workflow(&spec, &registry, &AnalysisOptions::default()).expect("EP");
     let load = aggregate_load(
-        &[WorkloadItem { analysis, arrival_rate: EP_DEFAULT_ARRIVAL_RATE }],
+        &[WorkloadItem {
+            analysis,
+            arrival_rate: EP_DEFAULT_ARRIVAL_RATE,
+        }],
         &registry,
     )
     .expect("aggregates");

@@ -20,8 +20,10 @@ fn registry() -> ServerTypeRegistry {
         ("engine", ServerTypeKind::WorkflowEngine),
         ("app", ServerTypeKind::ApplicationServer),
     ] {
-        reg.register(ServerType::with_exponential_service(name, kind, 1e-6, 0.1, 0.05))
-            .expect("valid");
+        reg.register(ServerType::with_exponential_service(
+            name, kind, 1e-6, 0.1, 0.05,
+        ))
+        .expect("valid");
     }
     reg
 }
@@ -39,7 +41,12 @@ fn spec() -> WorkflowSpec {
     WorkflowSpec::new(
         "W",
         chart,
-        [ActivitySpec::new("A", ActivityKind::Automated, 5.0, vec![1.0, 1.0, 1.0])],
+        [ActivitySpec::new(
+            "A",
+            ActivityKind::Automated,
+            5.0,
+            vec![1.0, 1.0, 1.0],
+        )],
     )
 }
 
@@ -84,7 +91,10 @@ fn main() {
     let shared = waiting_times_colocated(
         &load,
         &reg,
-        &[ColocationGroup { types: vec![ServerTypeId(0), ServerTypeId(1)], replicas: 1 }],
+        &[ColocationGroup {
+            types: vec![ServerTypeId(0), ServerTypeId(1)],
+            replicas: 1,
+        }],
     )
     .expect("computes");
     println!(

@@ -3,10 +3,10 @@
 //! the Sec. 5.2 scenario, i.e. the per-state rewards that feed the
 //! performability MRM.
 
-use wfms_bench::Table;
-use wfms_perf::{aggregate_load, analyze_workflow, waiting_times, AnalysisOptions, WorkloadItem};
 use wfms_avail::AvailabilityModel;
+use wfms_bench::Table;
 use wfms_markov::ctmc::SteadyStateMethod;
+use wfms_perf::{aggregate_load, analyze_workflow, waiting_times, AnalysisOptions, WorkloadItem};
 use wfms_statechart::{paper_section52_registry, Configuration};
 use wfms_workloads::{ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
 
@@ -15,7 +15,10 @@ fn main() {
     let analysis =
         analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
     let load = aggregate_load(
-        &[WorkloadItem { analysis, arrival_rate: EP_DEFAULT_ARRIVAL_RATE }],
+        &[WorkloadItem {
+            analysis,
+            arrival_rate: EP_DEFAULT_ARRIVAL_RATE,
+        }],
         &registry,
     )
     .expect("aggregates");
@@ -52,7 +55,12 @@ fn main() {
             cell(0),
             cell(1),
             cell(2),
-            if state.iter().all(|&x| x > 0) { "yes" } else { "NO" }.to_string(),
+            if state.iter().all(|&x| x > 0) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     table.print();

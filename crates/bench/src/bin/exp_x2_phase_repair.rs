@@ -5,9 +5,7 @@
 //! Sec. 5.2 server types under a single repair crew per type, and shows
 //! the Y = 1 insensitivity alongside the multi-replica sensitivity.
 
-use wfms_avail::{
-    single_repairman_type_unavailability, system_unavailability_with_repair_phases,
-};
+use wfms_avail::{single_repairman_type_unavailability, system_unavailability_with_repair_phases};
 use wfms_bench::{human_downtime, Table};
 use wfms_markov::PhaseType;
 use wfms_statechart::{paper_section52_registry, Configuration};
@@ -55,15 +53,23 @@ fn main() {
         let config = Configuration::new(&reg, y).expect("valid");
         let exp_repairs: Vec<PhaseType> = reg
             .iter()
-            .map(|(_, t)| PhaseType::Exponential { rate: t.repair_rate })
+            .map(|(_, t)| PhaseType::Exponential {
+                rate: t.repair_rate,
+            })
             .collect();
-        let window_repairs: Vec<PhaseType> =
-            reg.iter().map(|_| PhaseType::fit(30.0, 0.1).expect("fits")).collect();
+        let window_repairs: Vec<PhaseType> = reg
+            .iter()
+            .map(|_| PhaseType::fit(30.0, 0.1).expect("fits"))
+            .collect();
         let u_exp =
             system_unavailability_with_repair_phases(&reg, &config, &exp_repairs).expect("solves");
         let u_win = system_unavailability_with_repair_phases(&reg, &config, &window_repairs)
             .expect("solves");
-        table.row(vec![format!("{config}"), human_downtime(u_exp), human_downtime(u_win)]);
+        table.row(vec![
+            format!("{config}"),
+            human_downtime(u_exp),
+            human_downtime(u_win),
+        ]);
     }
     table.print();
     println!(

@@ -11,8 +11,8 @@ use std::time::Instant;
 use wfms_avail::{closed_form_unavailability, RepairPolicy, SparseAvailabilityModel};
 use wfms_bench::Table;
 use wfms_config::{
-    annealing_search, branch_and_bound_search, exhaustive_search, greedy_search,
-    AnnealingOptions, Goals, SearchOptions,
+    annealing_search, branch_and_bound_search, exhaustive_search, greedy_search, AnnealingOptions,
+    Goals, SearchOptions,
 };
 use wfms_markov::linalg::GaussSeidelOptions;
 use wfms_perf::{aggregate_load, analyze_workflow, AnalysisOptions, WorkloadItem};
@@ -25,7 +25,10 @@ fn main() {
     for (spec, rate) in enterprise_mix() {
         let analysis =
             analyze_workflow(&spec, &registry, &AnalysisOptions::default()).expect("analyzes");
-        items.push(WorkloadItem { analysis, arrival_rate: rate });
+        items.push(WorkloadItem {
+            analysis,
+            arrival_rate: rate,
+        });
     }
     let load = aggregate_load(&items, &registry).expect("aggregates");
 
@@ -34,7 +37,9 @@ fn main() {
         .expect("valid")
         .with_type_waiting(4, 0.005) // tighter SLA on the ERP app server
         .expect("valid");
-    let opts = SearchOptions { max_total_servers: 64 };
+    let opts = SearchOptions {
+        max_total_servers: 64,
+    };
 
     let mut table = Table::new(&["method", "Y", "cost", "evaluations", "wall time"]);
     let t0 = Instant::now();
@@ -51,7 +56,10 @@ fn main() {
         &registry,
         &load,
         &goals,
-        &AnnealingOptions { steps: 600, ..AnnealingOptions::default() },
+        &AnnealingOptions {
+            steps: 600,
+            ..AnnealingOptions::default()
+        },
     )
     .expect("reachable");
     table.row(vec![
@@ -84,7 +92,14 @@ fn main() {
 
     // Sparse availability scaling.
     println!("\nSparse availability solver past the dense cap (independent repair):\n");
-    let mut table = Table::new(&["k", "Y", "states", "transitions", "solve", "|Δ| vs closed form"]);
+    let mut table = Table::new(&[
+        "k",
+        "Y",
+        "states",
+        "transitions",
+        "solve",
+        "|Δ| vs closed form",
+    ]);
     for (k, y) in [(6usize, 4usize), (8, 3), (8, 4), (10, 3)] {
         let mut reg = ServerTypeRegistry::new();
         for i in 0..k {
@@ -99,8 +114,8 @@ fn main() {
         }
         let config = Configuration::uniform(&reg, y).expect("valid");
         let t0 = Instant::now();
-        let model = SparseAvailabilityModel::new(&reg, &config, RepairPolicy::Independent)
-            .expect("builds");
+        let model =
+            SparseAvailabilityModel::new(&reg, &config, RepairPolicy::Independent).expect("builds");
         let pi = model
             .steady_state(GaussSeidelOptions {
                 tolerance: 1e-10,

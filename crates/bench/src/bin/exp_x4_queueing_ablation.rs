@@ -23,8 +23,10 @@ fn registry() -> ServerTypeRegistry {
         ("engine", ServerTypeKind::WorkflowEngine),
         ("app", ServerTypeKind::ApplicationServer),
     ] {
-        reg.register(ServerType::with_exponential_service(name, kind, 1e-6, 0.1, 0.05))
-            .expect("valid");
+        reg.register(ServerType::with_exponential_service(
+            name, kind, 1e-6, 0.1, 0.05,
+        ))
+        .expect("valid");
     }
     reg
 }
@@ -41,7 +43,12 @@ fn spec() -> WorkflowSpec {
     WorkflowSpec::new(
         "W",
         chart,
-        [ActivitySpec::new("A", ActivityKind::Automated, 5.0, vec![1.0, 0.1, 0.1])],
+        [ActivitySpec::new(
+            "A",
+            ActivityKind::Automated,
+            5.0,
+            vec![1.0, 0.1, 0.1],
+        )],
     )
 }
 
@@ -73,7 +80,10 @@ fn main() {
             &reg,
             &config,
             &[(&wf, xi)],
-            &SimOptions { load_balancing: LoadBalancing::Random, ..base },
+            &SimOptions {
+                load_balancing: LoadBalancing::Random,
+                ..base
+            },
         )
         .expect("simulates");
         let part_rr = run(&reg, &config, &[(&wf, xi)], &base).expect("simulates");
@@ -81,14 +91,23 @@ fn main() {
             &reg,
             &config,
             &[(&wf, xi)],
-            &SimOptions { queue_discipline: QueueDiscipline::SharedQueue, ..base },
+            &SimOptions {
+                queue_discipline: QueueDiscipline::SharedQueue,
+                ..base
+            },
         )
         .expect("simulates");
-        let w_mg1 = Mg1::new(xi / c as f64, ServiceMoments::exponential(0.05).expect("valid"))
+        let w_mg1 = Mg1::new(
+            xi / c as f64,
+            ServiceMoments::exponential(0.05).expect("valid"),
+        )
+        .expect("valid")
+        .mean_waiting_time()
+        .expect("stable");
+        let w_mmc = Mmc::new(xi, 0.05, c)
             .expect("valid")
             .mean_waiting_time()
             .expect("stable");
-        let w_mmc = Mmc::new(xi, 0.05, c).expect("valid").mean_waiting_time().expect("stable");
         table.row(vec![
             c.to_string(),
             format!("{:.3}", w_mg1 * 60.0),
@@ -118,16 +137,16 @@ fn main() {
     };
     let mut table = Table::new(&["machine speeds", "per-replica util", "expected wait (s)"]);
     for speeds in [vec![1.0, 1.0], vec![1.5, 0.5], vec![2.0]] {
-        let out = waiting_times_heterogeneous(
-            &load,
-            &reg,
-            &[speeds.clone(), vec![1.0], vec![1.0]],
-        )
-        .expect("computes");
+        let out = waiting_times_heterogeneous(&load, &reg, &[speeds.clone(), vec![1.0], vec![1.0]])
+            .expect("computes");
         let (util, wait) = match out[0] {
-            wfms_perf::WaitingOutcome::Stable { utilization, waiting_time } => {
-                (format!("{utilization:.3}"), format!("{:.3}", waiting_time * 60.0))
-            }
+            wfms_perf::WaitingOutcome::Stable {
+                utilization,
+                waiting_time,
+            } => (
+                format!("{utilization:.3}"),
+                format!("{:.3}", waiting_time * 60.0),
+            ),
             _ => ("-".into(), "saturated".into()),
         };
         table.row(vec![format!("{speeds:?}"), util, wait]);

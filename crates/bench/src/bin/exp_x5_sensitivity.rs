@@ -15,15 +15,16 @@ fn main() {
     let analysis =
         analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
     let load = aggregate_load(
-        &[WorkloadItem { analysis, arrival_rate: EP_DEFAULT_ARRIVAL_RATE * 3.0 }],
+        &[WorkloadItem {
+            analysis,
+            arrival_rate: EP_DEFAULT_ARRIVAL_RATE * 3.0,
+        }],
         &registry,
     )
     .expect("aggregates");
     let config = Configuration::uniform(&registry, 2).expect("valid");
 
-    println!(
-        "EXP-X5: goal-metric elasticities at {config} (EP at 3x default load, 5% step)\n"
-    );
+    println!("EXP-X5: goal-metric elasticities at {config} (EP at 3x default load, 5% step)\n");
     let entries =
         sensitivity(&registry, &config, &load, &SensitivityOptions::default()).expect("computes");
     let mut table = Table::new(&["parameter", "d ln(worst wait)", "d ln(unavailability)"]);

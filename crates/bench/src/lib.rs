@@ -14,7 +14,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header count).
@@ -45,7 +48,10 @@ impl Table {
             out
         };
         println!("{}", line(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1))
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }
@@ -107,7 +113,10 @@ mod tests {
     fn trace_conversion_preserves_content() {
         let trails = vec![AuditTrail {
             workflow_type: "EP".into(),
-            visits: vec![AuditVisit { state: "s".into(), duration_minutes: 1.5 }],
+            visits: vec![AuditVisit {
+                state: "s".into(),
+                duration_minutes: 1.5,
+            }],
         }];
         let traces = to_calibration_traces(&trails);
         assert_eq!(traces[0].workflow_type, "EP");

@@ -54,7 +54,11 @@ impl fmt::Display for ArgError {
             ArgError::MissingValue { flag } => write!(f, "--{flag} needs a value"),
             ArgError::UnexpectedToken { token } => write!(f, "unexpected argument {token:?}"),
             ArgError::MissingOption { option } => write!(f, "required option --{option} missing"),
-            ArgError::InvalidValue { option, value, reason } => {
+            ArgError::InvalidValue {
+                option,
+                value,
+                reason,
+            } => {
                 write!(f, "invalid --{option} {value:?}: {reason}")
             }
         }
@@ -82,7 +86,9 @@ impl ParsedArgs {
         while let Some(token) = iter.next() {
             let name = token
                 .strip_prefix("--")
-                .ok_or_else(|| ArgError::UnexpectedToken { token: token.clone() })?
+                .ok_or_else(|| ArgError::UnexpectedToken {
+                    token: token.clone(),
+                })?
                 .to_string();
             if BOOLEAN_FLAGS.contains(&name.as_str()) {
                 flags.push(name);
@@ -94,7 +100,11 @@ impl ParsedArgs {
                 .ok_or_else(|| ArgError::MissingValue { flag: name.clone() })?;
             options.insert(name, value);
         }
-        Ok(ParsedArgs { command, options, flags })
+        Ok(ParsedArgs {
+            command,
+            options,
+            flags,
+        })
     }
 
     /// An optional string option.
@@ -228,7 +238,13 @@ mod tests {
         let a = parse(&["x", "--n", "abc", "--m", "1,2,x"]).unwrap();
         assert!(matches!(a.get_f64("n"), Err(ArgError::InvalidValue { .. })));
         assert!(matches!(a.get_u64("n"), Err(ArgError::InvalidValue { .. })));
-        assert!(matches!(a.get_replicas("m"), Err(ArgError::InvalidValue { .. })));
-        assert!(matches!(a.require("ghost"), Err(ArgError::MissingOption { option: "ghost" })));
+        assert!(matches!(
+            a.get_replicas("m"),
+            Err(ArgError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            a.require("ghost"),
+            Err(ArgError::MissingOption { option: "ghost" })
+        ));
     }
 }

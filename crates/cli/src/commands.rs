@@ -12,8 +12,8 @@ use serde::{Deserialize, Serialize};
 use wfms_core::config::{
     sensitivity, AnnealingOptions, Goals, SearchOptions, SearchResult, SensitivityOptions,
 };
-use wfms_core::statechart::{chart_to_dot, map_chart, mapping_to_dot};
 use wfms_core::sim::{run as simulate, SimOptions};
+use wfms_core::statechart::{chart_to_dot, map_chart, mapping_to_dot};
 use wfms_core::statechart::{paper_section52_registry, validate_spec};
 use wfms_core::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
 use wfms_core::{Configuration, ConfigurationTool, ServerTypeRegistry, WorkflowSpec};
@@ -38,16 +38,22 @@ pub struct WorkloadFile {
 }
 
 fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io { path: path.to_string(), message: e.to_string() })?;
-    serde_json::from_str(&text)
-        .map_err(|e| CliError::Json { path: path.to_string(), message: e.to_string() })
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    serde_json::from_str(&text).map_err(|e| CliError::Json {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
 }
 
 fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<(), CliError> {
     let text = serde_json::to_string_pretty(value).expect("serializable");
-    std::fs::write(path, text)
-        .map_err(|e| CliError::Io { path: path.display().to_string(), message: e.to_string() })
+    std::fs::write(path, text).map_err(|e| CliError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
 }
 
 fn load_registry(args: &ParsedArgs) -> Result<ServerTypeRegistry, CliError> {
@@ -98,6 +104,12 @@ COMMANDS
                write a starter registry.json + workload.json (the paper's
                Sec. 5.2 architecture and the Fig. 3 e-commerce workflow)
   validate     --registry <file> --workload <file>
+  lint         --registry <file> --workload <file> [--config <y1,..>]
+               [--max-wait <min>] [--min-availability <a>] [--budget <n>]
+               [--format text|json]
+               multi-pass static diagnostics: reports every finding with a
+               stable code (W=spec, M=Markov, Q=queueing, C=configuration);
+               exits non-zero when errors are present
   analyze      --registry <file> --workload <file> [--json]
                per-workflow turnaround, request counts, percentiles
   availability --registry <file> --config <y1,y2,..> [--json]
@@ -130,6 +142,7 @@ pub fn run_command(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErr
         }
         "init" => cmd_init(args, out),
         "validate" => cmd_validate(args, out),
+        "lint" => cmd_lint(args, out),
         "analyze" => cmd_analyze(args, out),
         "availability" => cmd_availability(args, out),
         "assess" => cmd_assess(args, out),
@@ -137,14 +150,18 @@ pub fn run_command(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErr
         "simulate" => cmd_simulate(args, out),
         "sensitivity" => cmd_sensitivity(args, out),
         "export-dot" => cmd_export_dot(args, out),
-        other => Err(CliError::UnknownCommand { command: other.to_string() }),
+        other => Err(CliError::UnknownCommand {
+            command: other.to_string(),
+        }),
     }
 }
 
 fn cmd_init(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let dir = Path::new(args.require("dir")?);
-    std::fs::create_dir_all(dir)
-        .map_err(|e| CliError::Io { path: dir.display().to_string(), message: e.to_string() })?;
+    std::fs::create_dir_all(dir).map_err(|e| CliError::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
     let registry = paper_section52_registry();
     write_json(&dir.join("registry.json"), &registry)?;
     let workload = WorkloadFile {
@@ -154,7 +171,12 @@ fn cmd_init(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         }],
     };
     write_json(&dir.join("workload.json"), &workload)?;
-    writeln!(out, "wrote {}/registry.json and {}/workload.json", dir.display(), dir.display())?;
+    writeln!(
+        out,
+        "wrote {}/registry.json and {}/workload.json",
+        dir.display(),
+        dir.display()
+    )?;
     writeln!(
         out,
         "next: wfms recommend --registry {0}/registry.json --workload {0}/workload.json \\\n\
@@ -177,7 +199,73 @@ fn cmd_validate(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError>
             entry.arrival_rate
         )?;
     }
-    writeln!(out, "all {} workflow(s) valid against {} server types", workload.workflows.len(), registry.len())?;
+    writeln!(
+        out,
+        "all {} workflow(s) valid against {} server types",
+        workload.workflows.len(),
+        registry.len()
+    )?;
+    Ok(())
+}
+
+fn cmd_lint(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let registry = load_registry(args)?;
+    let workload: WorkloadFile = read_json(args.require("workload")?)?;
+    let mix: Vec<(WorkflowSpec, f64)> = workload
+        .workflows
+        .into_iter()
+        .map(|e| (e.spec, e.arrival_rate))
+        .collect();
+    let replicas = args.get_replicas("config")?;
+    let max_wait = args.get_f64("max-wait")?;
+    let min_availability = args.get_f64("min-availability")?;
+    let goals = (max_wait.is_some() || min_availability.is_some()).then_some(
+        wfms_core::analysis::GoalTargets {
+            max_waiting_time: max_wait,
+            min_availability,
+        },
+    );
+    let system = wfms_core::analysis::SystemUnderAnalysis {
+        registry: &registry,
+        workload: &mix,
+        replicas: replicas.as_deref(),
+        goals: goals.as_ref(),
+        max_total_servers: args.get_u64("budget")?.map(|b| b as usize),
+    };
+    let findings = wfms_core::analysis::analyze(&system);
+
+    let format = args.get("format").unwrap_or("text");
+    match format {
+        "json" => {
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string_pretty(&findings).expect("serializable")
+            )?;
+        }
+        "text" => {
+            for d in findings.iter() {
+                writeln!(
+                    out,
+                    "{}[{}] {}: {}",
+                    d.severity, d.code, d.location, d.message
+                )?;
+            }
+            writeln!(out, "{}", findings.summary())?;
+        }
+        other => {
+            return Err(CliError::Arg(ArgError::InvalidValue {
+                option: "format".into(),
+                value: other.into(),
+                reason: "expected `text` or `json`".into(),
+            }))
+        }
+    }
+    if findings.has_errors() {
+        return Err(CliError::Lint {
+            errors: findings.error_count(),
+        });
+    }
     Ok(())
 }
 
@@ -209,13 +297,19 @@ fn cmd_analyze(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
             mean_turnaround_minutes: analysis.mean_turnaround,
             p50_minutes: dist.percentile(0.5).map_err(wfms_core::ConfigError::Perf)?,
             p90_minutes: dist.percentile(0.9).map_err(wfms_core::ConfigError::Perf)?,
-            p99_minutes: dist.percentile(0.99).map_err(wfms_core::ConfigError::Perf)?,
+            p99_minutes: dist
+                .percentile(0.99)
+                .map_err(wfms_core::ConfigError::Perf)?,
             expected_requests: requests,
             active_instances: rate * analysis.mean_turnaround,
         });
     }
     if args.flag("json") {
-        writeln!(out, "{}", serde_json::to_string_pretty(&reports).expect("serializable"))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("serializable")
+        )?;
         return Ok(());
     }
     for r in &reports {
@@ -225,7 +319,11 @@ fn cmd_analyze(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
             "  turnaround: mean {:.1} min, p50 {:.1}, p90 {:.1}, p99 {:.1}",
             r.mean_turnaround_minutes, r.p50_minutes, r.p90_minutes, r.p99_minutes
         )?;
-        writeln!(out, "  concurrently active instances: {:.1}", r.active_instances)?;
+        writeln!(
+            out,
+            "  concurrently active instances: {:.1}",
+            r.active_instances
+        )?;
         for (name, req) in &r.expected_requests {
             writeln!(out, "  requests/instance @ {name}: {req:.3}")?;
         }
@@ -251,7 +349,11 @@ fn cmd_availability(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliEr
         downtime_minutes_per_year: figures.downtime_minutes_per_year,
     };
     if args.flag("json") {
-        writeln!(out, "{}", serde_json::to_string_pretty(&report).expect("serializable"))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        )?;
     } else {
         writeln!(
             out,
@@ -268,7 +370,11 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let goals = parse_goals(args)?;
     let assessment = tool.assess(&config, &goals)?;
     if args.flag("json") {
-        writeln!(out, "{}", serde_json::to_string_pretty(&assessment).expect("serializable"))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&assessment).expect("serializable")
+        )?;
         return Ok(());
     }
     writeln!(out, "configuration {config} ({} servers):", assessment.cost)?;
@@ -283,7 +389,10 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
                 writeln!(out, "  expected wait @ {}: {:.2} s", t.name, w * 60.0)?;
             }
         }
-        None => writeln!(out, "  SATURATED: the full configuration cannot serve the load")?,
+        None => writeln!(
+            out,
+            "  SATURATED: the full configuration cannot serve the load"
+        )?,
     }
     writeln!(out, "  goals met: {}", assessment.meets_goals())?;
     Ok(())
@@ -293,7 +402,9 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     let tool = load_tool(args)?;
     let goals = parse_goals(args)?;
     let budget = args.get_u64("budget")?.unwrap_or(64) as usize;
-    let opts = SearchOptions { max_total_servers: budget };
+    let opts = SearchOptions {
+        max_total_servers: budget,
+    };
     let (method, result): (&str, SearchResult) = if args.flag("optimal") {
         ("exhaustive", tool.recommend_optimal(&goals, &opts)?)
     } else if args.flag("annealing") {
@@ -311,11 +422,19 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
         ("greedy", tool.recommend(&goals, &opts)?)
     };
     if args.flag("json") {
-        writeln!(out, "{}", serde_json::to_string_pretty(&result.assessment).expect("serializable"))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&result.assessment).expect("serializable")
+        )?;
         return Ok(());
     }
     let a = &result.assessment;
-    writeln!(out, "method {method}: recommend {:?} ({} servers, {} evaluations)", a.replicas, a.cost, result.evaluations)?;
+    writeln!(
+        out,
+        "method {method}: recommend {:?} ({} servers, {} evaluations)",
+        a.replicas, a.cost, result.evaluations
+    )?;
     writeln!(
         out,
         "  availability {:.8} ({:.2} min downtime/year)",
@@ -338,14 +457,25 @@ fn cmd_simulate(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError>
         failures_enabled: args.flag("failures"),
         ..SimOptions::default()
     };
-    let mix: Vec<(&WorkflowSpec, f64)> =
-        workload.workflows.iter().map(|e| (&e.spec, e.arrival_rate)).collect();
+    let mix: Vec<(&WorkflowSpec, f64)> = workload
+        .workflows
+        .iter()
+        .map(|e| (&e.spec, e.arrival_rate))
+        .collect();
     let report = simulate(&registry, &config, &mix, &opts)?;
     if args.flag("json") {
-        writeln!(out, "{}", serde_json::to_string_pretty(&report).expect("serializable"))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        )?;
         return Ok(());
     }
-    writeln!(out, "simulated {:.0} measured minutes on {config}:", report.measured_minutes)?;
+    writeln!(
+        out,
+        "simulated {:.0} measured minutes on {config}:",
+        report.measured_minutes
+    )?;
     for wf in &report.workflows {
         writeln!(
             out,
@@ -384,17 +514,33 @@ fn cmd_sensitivity(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErr
     };
     let entries = sensitivity(tool.registry(), &config, &load, &opts)?;
     if args.flag("json") {
-        writeln!(out, "{}", serde_json::to_string_pretty(&entries).expect("serializable"))?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&entries).expect("serializable")
+        )?;
         return Ok(());
     }
-    writeln!(out, "elasticities at {config} (step {:.0}%):", opts.relative_step * 100.0)?;
-    writeln!(out, "{:<36} {:>14} {:>18}", "parameter", "d ln(wait)", "d ln(unavail)")?;
+    writeln!(
+        out,
+        "elasticities at {config} (step {:.0}%):",
+        opts.relative_step * 100.0
+    )?;
+    writeln!(
+        out,
+        "{:<36} {:>14} {:>18}",
+        "parameter", "d ln(wait)", "d ln(unavail)"
+    )?;
     for e in &entries {
         let wait = e
             .waiting_elasticity
             .map(|v| format!("{v:+.3}"))
             .unwrap_or_else(|| "n/a".to_string());
-        writeln!(out, "{:<36} {:>14} {:>+18.3}", e.label, wait, e.unavailability_elasticity)?;
+        writeln!(
+            out,
+            "{:<36} {:>14} {:>+18.3}",
+            e.label, wait, e.unavailability_elasticity
+        )?;
     }
     Ok(())
 }
@@ -406,15 +552,16 @@ fn cmd_export_dot(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErro
         .workloads()
         .iter()
         .find(|(s, _)| s.name == name)
-        .ok_or_else(|| CliError::Tool(wfms_core::ConfigError::Calibration(format!(
-            "unknown workflow {name:?}"
-        ))))?;
+        .ok_or_else(|| {
+            CliError::Tool(wfms_core::ConfigError::Calibration(format!(
+                "unknown workflow {name:?}"
+            )))
+        })?;
     let view = args.get("view").unwrap_or("chart");
     let dot = match view {
         "chart" => chart_to_dot(&spec.chart),
         "ctmc" => {
-            let mapping = map_chart(&spec.chart, spec)
-                .map_err(wfms_core::ConfigError::Spec)?;
+            let mapping = map_chart(&spec.chart, spec).map_err(wfms_core::ConfigError::Spec)?;
             mapping_to_dot(&mapping)
         }
         other => {
@@ -427,8 +574,10 @@ fn cmd_export_dot(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErro
     };
     match args.get("out") {
         Some(path) => {
-            std::fs::write(path, &dot)
-                .map_err(|e| CliError::Io { path: path.to_string(), message: e.to_string() })?;
+            std::fs::write(path, &dot).map_err(|e| CliError::Io {
+                path: path.to_string(),
+                message: e.to_string(),
+            })?;
             writeln!(out, "wrote {} bytes of DOT to {path}", dot.len())?;
         }
         None => write!(out, "{dot}")?,

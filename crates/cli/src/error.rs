@@ -34,6 +34,11 @@ pub enum CliError {
     Tool(ConfigError),
     /// Simulator failure.
     Sim(SimError),
+    /// The lint pass found errors (the report itself went to stdout).
+    Lint {
+        /// Number of error-severity findings.
+        errors: usize,
+    },
     /// Writing the report failed.
     Output(std::io::Error),
 }
@@ -49,6 +54,7 @@ impl fmt::Display for CliError {
             CliError::Json { path, message } => write!(f, "{path}: invalid JSON: {message}"),
             CliError::Tool(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Lint { errors } => write!(f, "lint found {errors} error(s)"),
             CliError::Output(e) => write!(f, "failed to write output: {e}"),
         }
     }

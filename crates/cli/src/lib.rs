@@ -27,7 +27,10 @@ pub use error::CliError;
 
 /// Parses the argument list and runs the command, writing to `out`.
 /// Returns the process exit code.
-pub fn main_with_args(args: impl IntoIterator<Item = String>, out: &mut impl std::io::Write) -> i32 {
+pub fn main_with_args(
+    args: impl IntoIterator<Item = String>,
+    out: &mut impl std::io::Write,
+) -> i32 {
     let parsed = match ParsedArgs::parse(args) {
         Ok(p) => p,
         Err(e) => {

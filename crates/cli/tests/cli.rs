@@ -168,7 +168,10 @@ fn recommend_all_methods_agree_on_the_ep_scenario() {
         let toks: Vec<&str> = base.iter().map(String::as_str).collect();
         invoke(&toks).unwrap()
     };
-    assert!(greedy.contains("method greedy: recommend [2, 2, 2]"), "{greedy}");
+    assert!(
+        greedy.contains("method greedy: recommend [2, 2, 2]"),
+        "{greedy}"
+    );
     let optimal = {
         let mut toks: Vec<&str> = base.iter().map(String::as_str).collect();
         toks.push("--optimal");
@@ -217,6 +220,157 @@ fn simulate_runs_and_reports() {
     assert!(out.contains("availability:"), "{out}");
 }
 
+/// Writes a workload file whose single spec carries several distinct
+/// defects: a probability-sum violation (W007), an unknown activity
+/// (W015), and an orphaned activity-table entry (W019).
+fn write_broken_workload(dir: &TempDir) -> String {
+    use wfms_core::statechart::{ActivityKind, ActivitySpec, ChartBuilder, EcaRule};
+    let chart = ChartBuilder::new("broken")
+        .initial("i")
+        .activity_state("a", "ghost")
+        .activity_state("b", "A")
+        .final_state("f")
+        .transition("i", "a", 1.0, EcaRule::default())
+        .transition("a", "b", 0.25, EcaRule::default())
+        .transition("a", "f", 0.25, EcaRule::default())
+        .transition("b", "f", 1.0, EcaRule::default())
+        .build()
+        .unwrap();
+    let spec = wfms_core::WorkflowSpec::new(
+        "broken",
+        chart,
+        [
+            ActivitySpec::new("A", ActivityKind::Automated, 10.0, vec![2.0, 3.0, 3.0]),
+            ActivitySpec::new("Unused", ActivityKind::Automated, 5.0, vec![1.0, 1.0, 1.0]),
+        ],
+    );
+    let file = wfms_cli::WorkloadFile {
+        workflows: vec![wfms_cli::WorkloadEntry {
+            arrival_rate: 0.5,
+            spec,
+        }],
+    };
+    let path = dir.path("broken-workload.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&file).unwrap()).unwrap();
+    path
+}
+
+#[test]
+fn lint_clean_scenario_reports_no_errors() {
+    let dir = scenario("lint-clean");
+    let out = invoke(&[
+        "lint",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--max-wait",
+        "0.05",
+        "--min-availability",
+        "0.9999",
+        "--budget",
+        "64",
+    ])
+    .unwrap();
+    assert!(out.contains("0 errors"), "{out}");
+}
+
+#[test]
+fn lint_broken_spec_reports_many_codes_and_fails() {
+    let dir = scenario("lint-broken");
+    let workload = write_broken_workload(&dir);
+    let parsed = ParsedArgs::parse(
+        [
+            "lint",
+            "--registry",
+            &dir.path("registry.json"),
+            "--workload",
+            &workload,
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    let err = run_command(&parsed, &mut buf).unwrap_err();
+    assert!(
+        matches!(err, CliError::Lint { errors } if errors >= 2),
+        "{err}"
+    );
+    let out = String::from_utf8(buf).unwrap();
+    // At least three distinct diagnostic codes in a single run.
+    let mut codes: Vec<&str> = ["W007", "W015", "W019"]
+        .iter()
+        .copied()
+        .filter(|c| out.contains(*c))
+        .collect();
+    codes.dedup();
+    assert!(codes.len() >= 3, "codes {codes:?} in output:\n{out}");
+
+    // Non-zero process exit through the top-level entry point.
+    let code = wfms_cli::main_with_args(
+        [
+            "lint".to_string(),
+            "--registry".to_string(),
+            dir.path("registry.json"),
+            "--workload".to_string(),
+            workload,
+        ],
+        &mut Vec::new(),
+    );
+    assert_ne!(code, 0);
+}
+
+#[test]
+fn lint_json_round_trips_through_serde() {
+    let dir = scenario("lint-json");
+    let workload = write_broken_workload(&dir);
+    let parsed = ParsedArgs::parse(
+        [
+            "lint",
+            "--registry",
+            &dir.path("registry.json"),
+            "--workload",
+            &workload,
+            "--format",
+            "json",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    let err = run_command(&parsed, &mut buf).unwrap_err();
+    assert!(matches!(err, CliError::Lint { .. }), "{err}");
+    let out = String::from_utf8(buf).unwrap();
+    let findings: wfms_core::diag::Diagnostics = serde_json::from_str(&out).expect("valid JSON");
+    assert!(findings.has_errors());
+    let back = serde_json::to_string(&findings).unwrap();
+    let reparsed: wfms_core::diag::Diagnostics = serde_json::from_str(&back).unwrap();
+    assert_eq!(findings, reparsed);
+}
+
+#[test]
+fn lint_rejects_unknown_format() {
+    let dir = scenario("lint-format");
+    let err = invoke(&[
+        "lint",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--format",
+        "yaml",
+    ])
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("expected `text` or `json`"),
+        "{err}"
+    );
+}
+
 #[test]
 fn missing_goals_are_reported() {
     let dir = scenario("nogoals");
@@ -233,8 +387,14 @@ fn missing_goals_are_reported() {
 
 #[test]
 fn missing_files_and_bad_json_are_reported() {
-    let err = invoke(&["availability", "--registry", "/nonexistent.json", "--config", "1,1,1"])
-        .unwrap_err();
+    let err = invoke(&[
+        "availability",
+        "--registry",
+        "/nonexistent.json",
+        "--config",
+        "1,1,1",
+    ])
+    .unwrap_err();
     assert!(matches!(err, CliError::Io { .. }));
 
     let dir = TempDir::new("badjson");
@@ -309,7 +469,10 @@ fn export_dot_renders_both_views() {
     ])
     .unwrap();
     assert!(chart.starts_with("digraph \"EP\""), "{chart}");
-    assert!(chart.contains("Delivery_SC"), "subworkflows rendered as clusters");
+    assert!(
+        chart.contains("Delivery_SC"),
+        "subworkflows rendered as clusters"
+    );
 
     let ctmc = invoke(&[
         "export-dot",
@@ -340,7 +503,9 @@ fn export_dot_renders_both_views() {
     ])
     .unwrap();
     assert!(out.contains("wrote"), "{out}");
-    assert!(std::fs::read_to_string(dir.path("ep.dot")).unwrap().contains("digraph"));
+    assert!(std::fs::read_to_string(dir.path("ep.dot"))
+        .unwrap()
+        .contains("digraph"));
 
     // Bad view flag.
     let err = invoke(&[

@@ -65,8 +65,7 @@ fn objective(assessment: &Assessment, goals: &Goals) -> f64 {
             value += PENALTY_WEIGHT * shortfall.log10().max(0.01);
         }
     }
-    let any_waiting_goal =
-        goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
+    let any_waiting_goal = goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
     if any_waiting_goal {
         match &assessment.expected_waiting {
             None => value += 10.0 * PENALTY_WEIGHT, // saturated
@@ -101,6 +100,7 @@ pub fn annealing_search(
     opts: &AnnealingOptions,
 ) -> Result<SearchResult, ConfigError> {
     goals.validate()?;
+    crate::assess::run_preflight(registry, load, None)?;
     let k = registry.len();
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
@@ -158,7 +158,11 @@ pub fn annealing_search(
     }
 
     match best_feasible {
-        Some(assessment) => Ok(SearchResult { assessment, trace, evaluations }),
+        Some(assessment) => Ok(SearchResult {
+            assessment,
+            trace,
+            evaluations,
+        }),
         None => Err(ConfigError::GoalsUnreachable {
             budget: opts.max_total_servers,
             last_candidate: current.as_slice().to_vec(),
@@ -173,9 +177,15 @@ mod tests {
     use wfms_statechart::paper_section52_registry;
 
     fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {
-        let rates: Vec<f64> =
-            reg.iter().map(|(_, t)| rho_single / t.service_time_mean).collect();
-        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+        let rates: Vec<f64> = reg
+            .iter()
+            .map(|(_, t)| rho_single / t.service_time_mean)
+            .collect();
+        SystemLoad {
+            request_rates: rates,
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        }
     }
 
     #[test]
@@ -183,8 +193,7 @@ mod tests {
         let reg = paper_section52_registry();
         let load = load_at(1.5, &reg);
         let goals = Goals::new(0.01, 0.9999).unwrap();
-        let result =
-            annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
+        let result = annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
         assert!(result.assessment.meets_goals());
     }
 
@@ -194,8 +203,7 @@ mod tests {
         let load = load_at(1.5, &reg);
         let goals = Goals::new(0.01, 0.9999).unwrap();
         let greedy = greedy_search(&reg, &load, &goals, &SearchOptions::default()).unwrap();
-        let annealed =
-            annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
+        let annealed = annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
         assert!(
             annealed.cost() <= greedy.cost() + 2,
             "annealing {} vs greedy {}",
@@ -242,8 +250,7 @@ mod tests {
             .unwrap()
             .with_type_waiting(2, 0.001)
             .unwrap();
-        let result =
-            annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
+        let result = annealing_search(&reg, &load, &goals, &AnnealingOptions::default()).unwrap();
         assert!(result.assessment.meets_goals());
         let y = &result.assessment.replicas;
         assert!(y[2] >= y[0], "app type must be replicated hardest: {y:?}");
@@ -255,8 +262,13 @@ mod tests {
         let load = load_at(0.5, &reg);
         let goals = Goals::availability_only(0.999_999).unwrap();
         let cheap_bad = assess(&reg, &Configuration::minimal(&reg), &load, &goals).unwrap();
-        let pricey_good =
-            assess(&reg, &Configuration::uniform(&reg, 3).unwrap(), &load, &goals).unwrap();
+        let pricey_good = assess(
+            &reg,
+            &Configuration::uniform(&reg, 3).unwrap(),
+            &load,
+            &goals,
+        )
+        .unwrap();
         assert!(objective(&cheap_bad, &goals) > objective(&pricey_good, &goals));
     }
 }

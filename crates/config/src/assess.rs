@@ -41,6 +41,23 @@ impl Assessment {
     }
 }
 
+/// Runs the static preflight pass of `wfms-analysis` over the inputs and
+/// fails fast with the **complete** finding list when it reports errors.
+///
+/// Shared by [`assess`] and the searches; saturation is deliberately not
+/// a preflight error (see `wfms_analysis::preflight`).
+pub(crate) fn run_preflight(
+    registry: &ServerTypeRegistry,
+    load: &SystemLoad,
+    replicas: Option<&[usize]>,
+) -> Result<(), ConfigError> {
+    let findings = wfms_analysis::preflight(registry, load, replicas);
+    if findings.has_errors() {
+        return Err(ConfigError::Preflight(findings));
+    }
+    Ok(())
+}
+
 /// Evaluates `config` against `goals` under `load`: availability from the
 /// Sec. 5 model, waiting times from the Sec. 6 performability model.
 ///
@@ -58,17 +75,17 @@ pub fn assess(
     goals: &Goals,
 ) -> Result<Assessment, ConfigError> {
     goals.validate()?;
+    run_preflight(registry, load, Some(config.as_slice()))?;
     let model = AvailabilityModel::new(registry, config)?;
     let pi = model.steady_state(SteadyStateMethod::Lu)?;
     let availability = model.availability(&pi)?;
     let downtime_minutes_per_year = (1.0 - availability) * MINUTES_PER_YEAR;
 
-    let perf =
-        match evaluate_with_model(&model, &pi, registry, load, DegradedPolicy::Conditional) {
-            Ok(report) => Some(report),
-            Err(PerformabilityError::NoServingStates) => None,
-            Err(e) => return Err(e.into()),
-        };
+    let perf = match evaluate_with_model(&model, &pi, registry, load, DegradedPolicy::Conditional) {
+        Ok(report) => Some(report),
+        Err(PerformabilityError::NoServingStates) => None,
+        Err(e) => return Err(e.into()),
+    };
     let (expected_waiting, max_expected_waiting, probability_saturated) = match &perf {
         Some(r) => (
             Some(r.expected_waiting.clone()),
@@ -78,15 +95,16 @@ pub fn assess(
         None => (None, None, 1.0),
     };
 
-    let any_waiting_goal =
-        goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
+    let any_waiting_goal = goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
     let waiting_time_met = if !any_waiting_goal {
         true
     } else {
         match &expected_waiting {
             None => false, // saturated: no finite waiting exists
             Some(waits) => waits.iter().enumerate().all(|(x, &w)| {
-                goals.waiting_threshold_for(x).is_none_or(|threshold| w <= threshold)
+                goals
+                    .waiting_threshold_for(x)
+                    .is_none_or(|threshold| w <= threshold)
             }),
         }
     };
@@ -103,7 +121,10 @@ pub fn assess(
         expected_waiting,
         max_expected_waiting,
         probability_saturated,
-        goals: GoalCheck { waiting_time_met, availability_met },
+        goals: GoalCheck {
+            waiting_time_met,
+            availability_met,
+        },
     })
 }
 
@@ -113,9 +134,47 @@ mod tests {
     use wfms_statechart::paper_section52_registry;
 
     fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {
-        let rates: Vec<f64> =
-            reg.iter().map(|(_, t)| rho_single / t.service_time_mean).collect();
-        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+        let rates: Vec<f64> = reg
+            .iter()
+            .map(|(_, t)| rho_single / t.service_time_mean)
+            .collect();
+        SystemLoad {
+            request_rates: rates,
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        }
+    }
+
+    #[test]
+    fn preflight_rejects_malformed_load_with_all_findings() {
+        let reg = paper_section52_registry();
+        let config = Configuration::minimal(&reg);
+        let goals = Goals::waiting_time_only(1.0).unwrap();
+        let bad = SystemLoad {
+            request_rates: vec![f64::NAN, -1.0, 0.5],
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        };
+        match assess(&reg, &config, &bad, &goals) {
+            Err(ConfigError::Preflight(findings)) => {
+                assert_eq!(findings.error_count(), 2, "{findings}");
+            }
+            other => panic!("expected preflight failure, got {other:?}"),
+        }
+        let short = SystemLoad {
+            request_rates: vec![1.0],
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        };
+        assert!(matches!(
+            crate::search::greedy_search(
+                &reg,
+                &short,
+                &goals,
+                &crate::search::SearchOptions::default()
+            ),
+            Err(ConfigError::Preflight(_))
+        ));
     }
 
     #[test]

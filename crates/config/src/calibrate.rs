@@ -145,7 +145,10 @@ pub struct ApplyOptions {
 
 impl Default for ApplyOptions {
     fn default() -> Self {
-        ApplyOptions { min_observations: 30, probability_floor: 1e-6 }
+        ApplyOptions {
+            min_observations: 30,
+            probability_floor: 1e-6,
+        }
     }
 }
 
@@ -174,8 +177,11 @@ pub fn apply_to_spec(
     calibrated: &CalibratedChart,
     opts: &ApplyOptions,
 ) -> Result<ApplyReport, ConfigError> {
-    let mut report =
-        ApplyReport { transitions_updated: 0, activities_updated: 0, states_skipped: 0 };
+    let mut report = ApplyReport {
+        transitions_updated: 0,
+        activities_updated: 0,
+        states_skipped: 0,
+    };
 
     let final_name = spec
         .chart
@@ -188,7 +194,11 @@ pub fn apply_to_spec(
         if matches!(state.kind, StateKind::Initial | StateKind::Final) {
             continue;
         }
-        let observed = calibrated.visit_counts.get(&state.name).copied().unwrap_or(0);
+        let observed = calibrated
+            .visit_counts
+            .get(&state.name)
+            .copied()
+            .unwrap_or(0);
         if observed < opts.min_observations {
             report.states_skipped += 1;
             continue;
@@ -237,7 +247,11 @@ pub fn apply_to_spec(
     let mut duration_updates: Vec<(String, f64)> = Vec::new();
     for state in &spec.chart.states {
         if let StateKind::Activity { activity } = &state.kind {
-            let observed = calibrated.visit_counts.get(&state.name).copied().unwrap_or(0);
+            let observed = calibrated
+                .visit_counts
+                .get(&state.name)
+                .copied()
+                .unwrap_or(0);
             if observed >= opts.min_observations {
                 if let Some(&mean) = calibrated.mean_residence.get(&state.name) {
                     if mean > 0.0 {
@@ -262,8 +276,7 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
     use wfms_statechart::{
-        validate_spec, ActivityKind, ActivitySpec, ChartBuilder, EcaRule,
-        paper_section52_registry,
+        paper_section52_registry, validate_spec, ActivityKind, ActivitySpec, ChartBuilder, EcaRule,
     };
 
     fn branching_spec() -> WorkflowSpec {
@@ -294,12 +307,20 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                let mut visits =
-                    vec![StateVisit { state: "a".into(), duration_minutes: 2.0 }];
+                let mut visits = vec![StateVisit {
+                    state: "a".into(),
+                    duration_minutes: 2.0,
+                }];
                 if rng.gen::<f64>() < 0.3 {
-                    visits.push(StateVisit { state: "b".into(), duration_minutes: 5.0 });
+                    visits.push(StateVisit {
+                        state: "b".into(),
+                        duration_minutes: 5.0,
+                    });
                 }
-                WorkflowTrace { workflow_type: "B".into(), visits }
+                WorkflowTrace {
+                    workflow_type: "B".into(),
+                    visits,
+                }
             })
             .collect()
     }
@@ -320,12 +341,21 @@ mod tests {
 
     #[test]
     fn calibration_rejects_bad_input() {
-        assert!(matches!(calibrate_from_traces(&[]), Err(ConfigError::Calibration(_))));
-        let empty = WorkflowTrace { workflow_type: "x".into(), visits: vec![] };
+        assert!(matches!(
+            calibrate_from_traces(&[]),
+            Err(ConfigError::Calibration(_))
+        ));
+        let empty = WorkflowTrace {
+            workflow_type: "x".into(),
+            visits: vec![],
+        };
         assert!(calibrate_from_traces(&[empty]).is_err());
         let bad = WorkflowTrace {
             workflow_type: "x".into(),
-            visits: vec![StateVisit { state: "a".into(), duration_minutes: f64::NAN }],
+            visits: vec![StateVisit {
+                state: "a".into(),
+                duration_minutes: f64::NAN,
+            }],
         };
         assert!(calibrate_from_traces(&[bad]).is_err());
     }
@@ -356,11 +386,21 @@ mod tests {
         let mut spec = branching_spec();
         let traces = synthetic_traces(10, 3); // too few for min_observations = 30
         let cal = calibrate_from_traces(&traces).unwrap();
-        let before: Vec<f64> = spec.chart.transitions.iter().map(|t| t.probability).collect();
+        let before: Vec<f64> = spec
+            .chart
+            .transitions
+            .iter()
+            .map(|t| t.probability)
+            .collect();
         let report = apply_to_spec(&mut spec, &cal, &ApplyOptions::default()).unwrap();
         assert!(report.states_skipped >= 1);
         // With both states under-observed nothing changes.
-        let after: Vec<f64> = spec.chart.transitions.iter().map(|t| t.probability).collect();
+        let after: Vec<f64> = spec
+            .chart
+            .transitions
+            .iter()
+            .map(|t| t.probability)
+            .collect();
         if report.transitions_updated == 0 {
             assert_eq!(before, after);
         }
@@ -372,7 +412,10 @@ mod tests {
         let large = calibrate_from_traces(&synthetic_traces(50_000, 5)).unwrap();
         let err_small = (small.probability("a", "b") - 0.3).abs();
         let err_large = (large.probability("a", "b") - 0.3).abs();
-        assert!(err_large <= err_small + 1e-3, "small {err_small} vs large {err_large}");
+        assert!(
+            err_large <= err_small + 1e-3,
+            "small {err_small} vs large {err_large}"
+        );
         assert!(err_large < 0.01);
     }
 
@@ -382,7 +425,10 @@ mod tests {
         let traces = vec![
             WorkflowTrace {
                 workflow_type: "B".into(),
-                visits: vec![StateVisit { state: "a".into(), duration_minutes: 1.0 }],
+                visits: vec![StateVisit {
+                    state: "a".into(),
+                    duration_minutes: 1.0
+                }],
             };
             50
         ];

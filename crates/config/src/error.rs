@@ -3,6 +3,7 @@
 use std::fmt;
 
 use wfms_avail::AvailError;
+use wfms_diag::Diagnostics;
 use wfms_perf::PerfError;
 use wfms_performability::PerformabilityError;
 use wfms_statechart::{ArchError, SpecError};
@@ -36,6 +37,10 @@ pub enum ConfigError {
         /// Index of the saturated server type.
         server_type: usize,
     },
+    /// Static preflight analysis found structural errors in the inputs
+    /// (shape mismatches, invalid rates) before any model was built. The
+    /// complete finding list is carried for reporting.
+    Preflight(Diagnostics),
     /// Audit-trail calibration failed.
     Calibration(String),
     /// Underlying availability-model failure.
@@ -63,6 +68,7 @@ impl fmt::Display for ConfigError {
                 f,
                 "server type {server_type} cannot sustain the offered load at any replication within budget"
             ),
+            ConfigError::Preflight(d) => write!(f, "preflight failed: {}", d.summary()),
             ConfigError::Calibration(msg) => write!(f, "calibration error: {msg}"),
             ConfigError::Avail(e) => write!(f, "availability model error: {e}"),
             ConfigError::Perf(e) => write!(f, "performance model error: {e}"),

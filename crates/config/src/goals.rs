@@ -127,12 +127,18 @@ impl Goals {
         }
         if let Some(w) = self.max_waiting_time {
             if !(w.is_finite() && w > 0.0) {
-                return Err(ConfigError::InvalidGoal { what: "max waiting time", value: w });
+                return Err(ConfigError::InvalidGoal {
+                    what: "max waiting time",
+                    value: w,
+                });
             }
         }
         if let Some(a) = self.min_availability {
             if !(a.is_finite() && a > 0.0 && a < 1.0) {
-                return Err(ConfigError::InvalidGoal { what: "min availability", value: a });
+                return Err(ConfigError::InvalidGoal {
+                    what: "min availability",
+                    value: a,
+                });
             }
         }
         Ok(())
@@ -162,12 +168,24 @@ mod tests {
     #[test]
     fn constructors_validate() {
         assert!(Goals::new(0.5, 0.999).is_ok());
-        assert!(matches!(Goals::new(0.0, 0.9), Err(ConfigError::InvalidGoal { .. })));
-        assert!(matches!(Goals::new(1.0, 1.0), Err(ConfigError::InvalidGoal { .. })));
-        assert!(matches!(Goals::new(1.0, 0.0), Err(ConfigError::InvalidGoal { .. })));
+        assert!(matches!(
+            Goals::new(0.0, 0.9),
+            Err(ConfigError::InvalidGoal { .. })
+        ));
+        assert!(matches!(
+            Goals::new(1.0, 1.0),
+            Err(ConfigError::InvalidGoal { .. })
+        ));
+        assert!(matches!(
+            Goals::new(1.0, 0.0),
+            Err(ConfigError::InvalidGoal { .. })
+        ));
         assert!(Goals::waiting_time_only(0.1).is_ok());
         assert!(Goals::availability_only(0.99).is_ok());
-        assert!(matches!(Goals::waiting_time_only(f64::NAN), Err(ConfigError::InvalidGoal { .. })));
+        assert!(matches!(
+            Goals::waiting_time_only(f64::NAN),
+            Err(ConfigError::InvalidGoal { .. })
+        ));
     }
 
     #[test]
@@ -209,8 +227,20 @@ mod tests {
 
     #[test]
     fn goal_check_conjunction() {
-        assert!(GoalCheck { waiting_time_met: true, availability_met: true }.all_met());
-        assert!(!GoalCheck { waiting_time_met: false, availability_met: true }.all_met());
-        assert!(!GoalCheck { waiting_time_met: true, availability_met: false }.all_met());
+        assert!(GoalCheck {
+            waiting_time_met: true,
+            availability_met: true
+        }
+        .all_met());
+        assert!(!GoalCheck {
+            waiting_time_met: false,
+            availability_met: true
+        }
+        .all_met());
+        assert!(!GoalCheck {
+            waiting_time_met: true,
+            availability_met: false
+        }
+        .all_met());
     }
 }

@@ -35,7 +35,9 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        SearchOptions { max_total_servers: 64 }
+        SearchOptions {
+            max_total_servers: 64,
+        }
     }
 }
 
@@ -123,8 +125,8 @@ fn performability_critical_type(
     let mut best = 0;
     let mut best_util = f64::MIN;
     for (id, st) in registry.iter() {
-        let util = load.request_rates[id.0] * st.service_time_mean
-            / assessment.replicas[id.0] as f64;
+        let util =
+            load.request_rates[id.0] * st.service_time_mean / assessment.replicas[id.0] as f64;
         if util > best_util {
             best_util = util;
             best = id.0;
@@ -167,6 +169,7 @@ pub fn greedy_search(
     opts: &SearchOptions,
 ) -> Result<SearchResult, ConfigError> {
     goals.validate()?;
+    crate::assess::run_preflight(registry, load, None)?;
     // Fast infeasibility check: stability alone may exceed the budget.
     let min_stable = minimum_stable_replicas(registry, load)?;
     let stable_cost: usize = min_stable.iter().sum();
@@ -188,7 +191,11 @@ pub fn greedy_search(
         evaluations += 1;
         trace.push(assessment.clone());
         if assessment.meets_goals() {
-            return Ok(SearchResult { assessment, trace, evaluations });
+            return Ok(SearchResult {
+                assessment,
+                trace,
+                evaluations,
+            });
         }
         if config.total_servers() >= opts.max_total_servers {
             return Err(ConfigError::GoalsUnreachable {
@@ -220,6 +227,7 @@ pub fn exhaustive_search(
     opts: &SearchOptions,
 ) -> Result<SearchResult, ConfigError> {
     goals.validate()?;
+    crate::assess::run_preflight(registry, load, None)?;
     let k = registry.len();
     let mut trace = Vec::new();
     let mut evaluations = 0;
@@ -240,7 +248,11 @@ pub fn exhaustive_search(
             Ok(())
         })?;
         if let Some(assessment) = found {
-            return Ok(SearchResult { assessment, trace, evaluations });
+            return Ok(SearchResult {
+                assessment,
+                trace,
+                evaluations,
+            });
         }
     }
     Err(ConfigError::GoalsUnreachable {
@@ -324,6 +336,7 @@ pub fn branch_and_bound_search(
     opts: &SearchOptions,
 ) -> Result<SearchResult, ConfigError> {
     goals.validate()?;
+    crate::assess::run_preflight(registry, load, None)?;
     let k = registry.len();
     let lower = goal_lower_bounds(registry, load, goals, opts.max_total_servers)?;
     let lower_cost: usize = lower.iter().sum();
@@ -352,7 +365,11 @@ pub fn branch_and_bound_search(
             Ok(())
         })?;
         if let Some(assessment) = found {
-            return Ok(SearchResult { assessment, trace, evaluations });
+            return Ok(SearchResult {
+                assessment,
+                trace,
+                evaluations,
+            });
         }
     }
     Err(ConfigError::GoalsUnreachable {
@@ -422,9 +439,15 @@ mod tests {
     use wfms_statechart::paper_section52_registry;
 
     fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {
-        let rates: Vec<f64> =
-            reg.iter().map(|(_, t)| rho_single / t.service_time_mean).collect();
-        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+        let rates: Vec<f64> = reg
+            .iter()
+            .map(|(_, t)| rho_single / t.service_time_mean)
+            .collect();
+        SystemLoad {
+            request_rates: rates,
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        }
     }
 
     #[test]
@@ -437,7 +460,12 @@ mod tests {
         let result = greedy_search(&reg, &load, &goals, &SearchOptions::default()).unwrap();
         assert!(result.assessment.meets_goals());
         let y = result.replicas();
-        assert!(y[2] >= y[0], "app replicas {} < comm replicas {}", y[2], y[0]);
+        assert!(
+            y[2] >= y[0],
+            "app replicas {} < comm replicas {}",
+            y[2],
+            y[0]
+        );
         assert!(result.assessment.availability >= 0.999_999);
     }
 
@@ -448,7 +476,11 @@ mod tests {
         let load = load_at(0.8, &reg);
         let result = greedy_search(&reg, &load, &goals, &SearchOptions::default()).unwrap();
         for pair in result.trace.windows(2) {
-            assert_eq!(pair[1].cost, pair[0].cost + 1, "one server added per iteration");
+            assert_eq!(
+                pair[1].cost,
+                pair[0].cost + 1,
+                "one server added per iteration"
+            );
         }
         assert_eq!(result.evaluations, result.trace.len());
     }
@@ -471,7 +503,10 @@ mod tests {
                 greedy.cost(),
                 optimal.cost()
             );
-            assert!(greedy.cost() >= optimal.cost(), "exhaustive must be optimal");
+            assert!(
+                greedy.cost() >= optimal.cost(),
+                "exhaustive must be optimal"
+            );
         }
     }
 
@@ -484,7 +519,11 @@ mod tests {
         // Every cheaper or equal-cost earlier candidate in the trace fails.
         for a in &result.trace {
             if a.cost < result.cost() {
-                assert!(!a.meets_goals(), "cheaper candidate {:?} meets goals", a.replicas);
+                assert!(
+                    !a.meets_goals(),
+                    "cheaper candidate {:?} meets goals",
+                    a.replicas
+                );
             }
         }
     }
@@ -494,7 +533,9 @@ mod tests {
         let reg = paper_section52_registry();
         let load = load_at(0.2, &reg);
         let goals = Goals::availability_only(0.999_999_999_999).unwrap();
-        let opts = SearchOptions { max_total_servers: 4 };
+        let opts = SearchOptions {
+            max_total_servers: 4,
+        };
         assert!(matches!(
             greedy_search(&reg, &load, &goals, &opts),
             Err(ConfigError::GoalsUnreachable { budget: 4, .. })
@@ -511,7 +552,9 @@ mod tests {
         // Demand of 100 servers per type with a budget of 12.
         let load = load_at(100.0, &reg);
         let goals = Goals::waiting_time_only(1.0).unwrap();
-        let opts = SearchOptions { max_total_servers: 12 };
+        let opts = SearchOptions {
+            max_total_servers: 12,
+        };
         assert!(matches!(
             greedy_search(&reg, &load, &goals, &opts),
             Err(ConfigError::LoadUnsustainable { .. })
@@ -585,7 +628,14 @@ mod tests {
         let load = load_at(100.0, &reg);
         let goals = Goals::waiting_time_only(1.0).unwrap();
         assert!(matches!(
-            branch_and_bound_search(&reg, &load, &goals, &SearchOptions { max_total_servers: 12 }),
+            branch_and_bound_search(
+                &reg,
+                &load,
+                &goals,
+                &SearchOptions {
+                    max_total_servers: 12
+                }
+            ),
             Err(ConfigError::GoalsUnreachable { .. })
         ));
     }

@@ -79,7 +79,9 @@ pub struct SensitivityOptions {
 
 impl Default for SensitivityOptions {
     fn default() -> Self {
-        SensitivityOptions { relative_step: 0.05 }
+        SensitivityOptions {
+            relative_step: 0.05,
+        }
     }
 }
 
@@ -144,7 +146,10 @@ pub fn sensitivity(
 ) -> Result<Vec<SensitivityEntry>, ConfigError> {
     let h = opts.relative_step;
     if !(h.is_finite() && h > 0.0 && h < 1.0) {
-        return Err(ConfigError::InvalidGoal { what: "sensitivity step", value: h });
+        return Err(ConfigError::InvalidGoal {
+            what: "sensitivity step",
+            value: h,
+        });
     }
     let factor = 1.0 + h;
     let log_factor = factor.ln();
@@ -161,9 +166,7 @@ pub fn sensitivity(
     let mut out = Vec::with_capacity(parameters.len());
     for parameter in parameters {
         let (wait, unavail) = match &parameter {
-            Parameter::ArrivalScale => {
-                metrics(registry, config, &scaled_load(load, factor))?
-            }
+            Parameter::ArrivalScale => metrics(registry, config, &scaled_load(load, factor))?,
             other => {
                 let reg = perturbed_registry(registry, other, factor)?;
                 metrics(&reg, config, load)?
@@ -194,16 +197,22 @@ mod tests {
     use wfms_statechart::paper_section52_registry;
 
     fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {
-        let rates: Vec<f64> =
-            reg.iter().map(|(_, t)| rho_single / t.service_time_mean).collect();
-        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+        let rates: Vec<f64> = reg
+            .iter()
+            .map(|(_, t)| rho_single / t.service_time_mean)
+            .collect();
+        SystemLoad {
+            request_rates: rates,
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        }
     }
 
-    fn entry<'a>(
-        entries: &'a [SensitivityEntry],
-        param: &Parameter,
-    ) -> &'a SensitivityEntry {
-        entries.iter().find(|e| &e.parameter == param).expect("parameter present")
+    fn entry<'a>(entries: &'a [SensitivityEntry], param: &Parameter) -> &'a SensitivityEntry {
+        entries
+            .iter()
+            .find(|e| &e.parameter == param)
+            .expect("parameter present")
     }
 
     #[test]
@@ -213,13 +222,11 @@ mod tests {
         let reg = paper_section52_registry();
         let config = Configuration::minimal(&reg);
         let load = load_at(0.3, &reg);
-        let entries =
-            sensitivity(&reg, &config, &load, &SensitivityOptions::default()).unwrap();
+        let entries = sensitivity(&reg, &config, &load, &SensitivityOptions::default()).unwrap();
         let app_fail = entry(&entries, &Parameter::FailureRate(2));
         // App server carries ~85% of the unavailability.
         assert!(
-            app_fail.unavailability_elasticity > 0.7
-                && app_fail.unavailability_elasticity < 1.0,
+            app_fail.unavailability_elasticity > 0.7 && app_fail.unavailability_elasticity < 1.0,
             "{}",
             app_fail.unavailability_elasticity
         );
@@ -273,17 +280,20 @@ mod tests {
         let reg = paper_section52_registry();
         let config = Configuration::uniform(&reg, 2).unwrap();
         let load = load_at(1.4, &reg); // 70 % per replica
-        let entries =
-            sensitivity(&reg, &config, &load, &SensitivityOptions::default()).unwrap();
+        let entries = sensitivity(&reg, &config, &load, &SensitivityOptions::default()).unwrap();
         // M/M/1 at rho: w = rho b /(1-rho); elasticity wrt b = 1 + rho/(1-rho) ≈ 3.3.
         let svc = entry(&entries, &Parameter::ServiceTimeMean(1));
         let w_e = svc.waiting_elasticity.unwrap();
         assert!(w_e > 2.0 && w_e < 5.0, "service-time elasticity {w_e}");
         // Arrival scale matters less than service time (only through rho).
-        let arr = entry(&entries, &Parameter::ArrivalScale).waiting_elasticity.unwrap();
+        let arr = entry(&entries, &Parameter::ArrivalScale)
+            .waiting_elasticity
+            .unwrap();
         assert!(arr > 0.5 && arr < w_e, "arrival elasticity {arr}");
         // Failure rates barely move the conditional waiting metric.
-        let fail = entry(&entries, &Parameter::FailureRate(1)).waiting_elasticity.unwrap();
+        let fail = entry(&entries, &Parameter::FailureRate(1))
+            .waiting_elasticity
+            .unwrap();
         assert!(fail.abs() < 0.2, "failure-rate waiting elasticity {fail}");
         // Service time does not affect availability.
         assert!(svc.unavailability_elasticity.abs() < 1e-9);
@@ -294,8 +304,7 @@ mod tests {
         let reg = paper_section52_registry();
         let config = Configuration::minimal(&reg);
         let load = load_at(1.5, &reg);
-        let entries =
-            sensitivity(&reg, &config, &load, &SensitivityOptions::default()).unwrap();
+        let entries = sensitivity(&reg, &config, &load, &SensitivityOptions::default()).unwrap();
         assert!(entries.iter().all(|e| e.waiting_elasticity.is_none()));
     }
 

@@ -25,6 +25,8 @@
 //!
 //! | crate | paper section | contents |
 //! |---|---|---|
+//! | [`diag`] | — | diagnostic codes, severities, locations |
+//! | [`analysis`] | all | multi-pass static diagnostics engine (`wfms lint`) |
 //! | [`markov`] | 3, 4.1–4.2, 5.2 | CTMCs, uniformization, rewards, solvers |
 //! | [`statechart`] | 2, 3 | architecture model, spec language, mapping |
 //! | [`queueing`] | 4.4 | M/G/1, service moments, stream aggregation |
@@ -41,8 +43,10 @@ mod tool;
 
 pub use tool::{AvailabilityFigures, ConfigurationTool};
 
+pub use wfms_analysis as analysis;
 pub use wfms_avail as avail;
 pub use wfms_config as config;
+pub use wfms_diag as diag;
 pub use wfms_markov as markov;
 pub use wfms_perf as perf;
 pub use wfms_performability as performability;

@@ -76,13 +76,19 @@ impl ConfigurationTool {
     ///
     /// # Errors
     /// [`ConfigError::Spec`] on validation failure, or an invalid rate.
-    pub fn add_workflow(&mut self, spec: WorkflowSpec, arrival_rate: f64) -> Result<(), ConfigError> {
+    pub fn add_workflow(
+        &mut self,
+        spec: WorkflowSpec,
+        arrival_rate: f64,
+    ) -> Result<(), ConfigError> {
         validate_spec(&spec, &self.registry)?;
         if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
-            return Err(ConfigError::Perf(wfms_perf::PerfError::InvalidArrivalRate {
-                workflow: spec.name.clone(),
-                rate: arrival_rate,
-            }));
+            return Err(ConfigError::Perf(
+                wfms_perf::PerfError::InvalidArrivalRate {
+                    workflow: spec.name.clone(),
+                    rate: arrival_rate,
+                },
+            ));
         }
         self.workloads.push((spec, arrival_rate));
         Ok(())
@@ -112,7 +118,11 @@ impl ConfigurationTool {
             .iter()
             .find(|(s, _)| s.name == workflow)
             .ok_or_else(|| ConfigError::Calibration(format!("unknown workflow {workflow:?}")))?;
-        Ok(analyze_workflow(spec, &self.registry, &self.analysis_options)?)
+        Ok(analyze_workflow(
+            spec,
+            &self.registry,
+            &self.analysis_options,
+        )?)
     }
 
     /// Aggregated system load of the full mix (Sec. 4.3).
@@ -195,7 +205,11 @@ impl ConfigurationTool {
     /// # Errors
     /// [`ConfigError::GoalsUnreachable`] / [`ConfigError::LoadUnsustainable`]
     /// or model failures.
-    pub fn recommend(&self, goals: &Goals, opts: &SearchOptions) -> Result<SearchResult, ConfigError> {
+    pub fn recommend(
+        &self,
+        goals: &Goals,
+        opts: &SearchOptions,
+    ) -> Result<SearchResult, ConfigError> {
         let load = self.system_load()?;
         greedy_search(&self.registry, &load, goals, opts)
     }
@@ -276,7 +290,8 @@ mod tests {
 
     fn tool() -> ConfigurationTool {
         let mut t = ConfigurationTool::new(paper_section52_registry());
-        t.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).unwrap();
+        t.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+            .unwrap();
         t
     }
 
@@ -285,7 +300,10 @@ mod tests {
         let mut t = ConfigurationTool::new(paper_section52_registry());
         let mut bad = ep_workflow();
         bad.activities.clear();
-        assert!(matches!(t.add_workflow(bad, 0.5), Err(ConfigError::Spec(_))));
+        assert!(matches!(
+            t.add_workflow(bad, 0.5),
+            Err(ConfigError::Spec(_))
+        ));
         assert!(t.add_workflow(ep_workflow(), f64::NAN).is_err());
         assert!(t.add_workflow(ep_workflow(), 0.5).is_ok());
         assert_eq!(t.workloads().len(), 1);
@@ -328,10 +346,14 @@ mod tests {
         let goals = Goals::new(0.05, 0.9999).unwrap();
         let rec = t.recommend(&goals, &SearchOptions::default()).unwrap();
         assert!(rec.assessment.meets_goals());
-        let optimal = t.recommend_optimal(&goals, &SearchOptions::default()).unwrap();
+        let optimal = t
+            .recommend_optimal(&goals, &SearchOptions::default())
+            .unwrap();
         assert!(rec.cost() >= optimal.cost());
         assert!(rec.cost() <= optimal.cost() + 1);
-        let bnb = t.recommend_branch_and_bound(&goals, &SearchOptions::default()).unwrap();
+        let bnb = t
+            .recommend_branch_and_bound(&goals, &SearchOptions::default())
+            .unwrap();
         assert_eq!(bnb.cost(), optimal.cost());
         assert!(bnb.evaluations <= optimal.evaluations);
     }
@@ -349,7 +371,9 @@ mod tests {
     fn performability_runs_for_ep() {
         let t = tool();
         let config = Configuration::uniform(t.registry(), 2).unwrap();
-        let report = t.performability(&config, DegradedPolicy::Conditional).unwrap();
+        let report = t
+            .performability(&config, DegradedPolicy::Conditional)
+            .unwrap();
         assert_eq!(report.expected_waiting.len(), 3);
         assert!(report.probability_serving > 0.9);
     }
@@ -363,7 +387,9 @@ mod tests {
             .unwrap();
         // 3 parameters per type + the arrival scale.
         assert_eq!(entries.len(), 3 * 3 + 1);
-        assert!(entries.iter().any(|e| e.label.contains("application-server")));
+        assert!(entries
+            .iter()
+            .any(|e| e.label.contains("application-server")));
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Shared diagnostic vocabulary for the wfms static-analysis passes.
+//!
+//! Every lint pass — spec/structure (`W0xx`, in `wfms-statechart`),
+//! Markov/numerical (`M0xx`, in `wfms-markov`), queueing/stability
+//! (`Q0xx`, in `wfms-queueing`), and configuration (`C0xx`, in
+//! `wfms-analysis`) — reports its findings as [`Diagnostic`] values
+//! collected into a [`Diagnostics`] list. Unlike the fail-first
+//! validators, a pass never stops at the first finding: the complete
+//! list is the contract, so `wfms lint` can show everything wrong with a
+//! specification in one run.
+//!
+//! This crate is deliberately leaf-level (it depends only on `serde`) so
+//! that every model crate can emit diagnostics without dependency cycles.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+pub mod codes;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// The model is wrong or cannot be built; analyses must not proceed.
+    Error,
+    /// The model is solvable but the result is suspect or wasteful.
+    Warning,
+    /// Informational: worth knowing, never blocking.
+    Hint,
+}
+
+impl Severity {
+    /// Lowercase label, as printed by `wfms lint`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Hint => "hint",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Machine-readable position of a finding inside the analyzed input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Location {
+    /// The whole specification of the named workflow type.
+    Spec {
+        /// Workflow-type name.
+        workflow: String,
+    },
+    /// A chart (possibly nested) of a workflow.
+    Chart {
+        /// Chart name.
+        chart: String,
+    },
+    /// A state within a chart.
+    State {
+        /// Chart name.
+        chart: String,
+        /// State name.
+        state: String,
+    },
+    /// A transition within a chart.
+    Transition {
+        /// Chart name.
+        chart: String,
+        /// Source state name.
+        from: String,
+        /// Target state name.
+        to: String,
+    },
+    /// An activity-table entry.
+    Activity {
+        /// Activity name.
+        activity: String,
+    },
+    /// A row of a generator or transition matrix.
+    MatrixRow {
+        /// Which matrix (e.g. `"workflow generator"`).
+        matrix: String,
+        /// Zero-based row index.
+        row: usize,
+    },
+    /// A single entry of a generator or transition matrix.
+    MatrixEntry {
+        /// Which matrix.
+        matrix: String,
+        /// Zero-based row index.
+        row: usize,
+        /// Zero-based column index.
+        col: usize,
+    },
+    /// A server type of the architectural model.
+    ServerType {
+        /// Server-type name.
+        server_type: String,
+    },
+    /// The candidate configuration (replica vector) as a whole.
+    Configuration,
+    /// The goal specification.
+    Goals,
+    /// Anywhere else.
+    Global,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Spec { workflow } => write!(f, "workflow {workflow:?}"),
+            Location::Chart { chart } => write!(f, "chart {chart:?}"),
+            Location::State { chart, state } => write!(f, "chart {chart:?}, state {state:?}"),
+            Location::Transition { chart, from, to } => {
+                write!(f, "chart {chart:?}, transition {from:?} -> {to:?}")
+            }
+            Location::Activity { activity } => write!(f, "activity {activity:?}"),
+            Location::MatrixRow { matrix, row } => write!(f, "{matrix}, row {row}"),
+            Location::MatrixEntry { matrix, row, col } => {
+                write!(f, "{matrix}, entry ({row}, {col})")
+            }
+            Location::ServerType { server_type } => write!(f, "server type {server_type:?}"),
+            Location::Configuration => write!(f, "configuration"),
+            Location::Goals => write!(f, "goals"),
+            Location::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// One finding of a lint pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"W007"`. The `W`/`M`/`Q`/`C` prefix names the
+    /// pass family; the number never changes meaning across releases.
+    pub code: String,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Where in the input the finding points.
+    pub location: Location,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic. `code` should be one of the constants in
+    /// [`codes`].
+    pub fn new(
+        code: &str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            message: message.into(),
+            location,
+        }
+    }
+
+    /// Shorthand for an error-severity diagnostic.
+    pub fn error(code: &str, location: Location, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Error, location, message)
+    }
+
+    /// Shorthand for a warning-severity diagnostic.
+    pub fn warning(code: &str, location: Location, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Warning, location, message)
+    }
+
+    /// Shorthand for a hint-severity diagnostic.
+    pub fn hint(code: &str, location: Location, message: impl Into<String>) -> Self {
+        Self::new(code, Severity::Hint, location, message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// The complete, ordered finding list of an analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Findings in pass order (spec passes first, configuration last).
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Appends all findings of another run (e.g. a nested pass).
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// All findings, in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no findings were reported.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of findings of one severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// True when at least one error-severity finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The distinct codes present, in first-occurrence order.
+    pub fn distinct_codes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for d in &self.items {
+            if !out.contains(&d.code) {
+                out.push(d.code.clone());
+            }
+        }
+        out
+    }
+
+    /// Findings of one code, in order.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> {
+        self.items.iter().filter(move |d| d.code == code)
+    }
+
+    /// `Ok(())` when error-free, else `Err(self)` — the fail-fast bridge
+    /// used by `assess`/`search` preflights.
+    ///
+    /// # Errors
+    /// Returns the full diagnostics list when it contains an error.
+    pub fn into_result(self) -> Result<(), Diagnostics> {
+        if self.has_errors() {
+            Err(self)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// One-line summary, e.g. `"2 errors, 1 warning, 0 hints"`.
+    pub fn summary(&self) -> String {
+        let e = self.error_count();
+        let w = self.warning_count();
+        let h = self.count(Severity::Hint);
+        let plural = |n: usize| if n == 1 { "" } else { "s" };
+        format!(
+            "{e} error{}, {w} warning{}, {h} hint{}",
+            plural(e),
+            plural(w),
+            plural(h)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{d}")?;
+        }
+        write!(f, "{}", self.summary())
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Diagnostics {
+    type Item = &'a Diagnostic;
+    type IntoIter = std::slice::Iter<'a, Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        Diagnostics {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostics {
+        let mut d = Diagnostics::new();
+        d.push(Diagnostic::error(
+            codes::W_PROBABILITY_SUM,
+            Location::State {
+                chart: "EP".into(),
+                state: "CheckCC".into(),
+            },
+            "outgoing probabilities sum to 0.8",
+        ));
+        d.push(Diagnostic::warning(
+            codes::Q_NEAR_SATURATION,
+            Location::ServerType {
+                server_type: "engine".into(),
+            },
+            "utilization 0.97 leaves little headroom",
+        ));
+        d.push(Diagnostic::hint(
+            codes::M_ABSORBING_STATES,
+            Location::MatrixRow {
+                matrix: "workflow generator".into(),
+                row: 7,
+            },
+            "state 7 is absorbing",
+        ));
+        d
+    }
+
+    #[test]
+    fn counting_and_summary() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.warning_count(), 1);
+        assert!(d.has_errors());
+        assert_eq!(d.summary(), "1 error, 1 warning, 1 hint");
+        assert_eq!(d.distinct_codes(), vec!["W007", "Q002", "M006"]);
+    }
+
+    #[test]
+    fn into_result_splits_on_errors() {
+        assert!(Diagnostics::new().into_result().is_ok());
+        let mut warn_only = Diagnostics::new();
+        warn_only.push(Diagnostic::warning(
+            codes::Q_NEAR_SATURATION,
+            Location::Global,
+            "close",
+        ));
+        assert!(warn_only.into_result().is_ok());
+        assert!(sample().into_result().is_err());
+    }
+
+    #[test]
+    fn display_is_one_line_per_finding() {
+        let text = sample().to_string();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("error [W007] chart \"EP\", state \"CheckCC\""));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = sample();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        let all = codes::all();
+        assert!(all.len() >= 20);
+        for (i, entry) in all.iter().enumerate() {
+            // Codes are unique and well-formed: one letter + three digits.
+            assert_eq!(entry.code.len(), 4, "{}", entry.code);
+            assert!(matches!(
+                entry.code.as_bytes()[0],
+                b'W' | b'M' | b'Q' | b'C'
+            ));
+            assert!(entry.code[1..].chars().all(|c| c.is_ascii_digit()));
+            for other in &all[..i] {
+                assert_ne!(entry.code, other.code, "duplicate code");
+            }
+            assert!(!entry.summary.is_empty());
+            assert!(!entry.paper_ref.is_empty());
+        }
+    }
+}

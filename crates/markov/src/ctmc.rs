@@ -29,8 +29,7 @@ pub struct Ctmc {
 }
 
 /// Which linear-system solver to use for CTMC analyses.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LinearSolver {
     /// Direct LU factorization (robust default).
     #[default]
@@ -39,10 +38,8 @@ pub enum LinearSolver {
     GaussSeidel(GaussSeidelOptions),
 }
 
-
 /// Which method computes the stationary distribution of an ergodic chain.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SteadyStateMethod {
     /// Direct solve of `πQ = 0, Σπ = 1` with one equation replaced by the
     /// normalization constraint.
@@ -59,7 +56,6 @@ pub enum SteadyStateMethod {
         max_iterations: usize,
     },
 }
-
 
 impl Ctmc {
     /// Builds a CTMC from its embedded jump chain and mean residence times
@@ -99,7 +95,11 @@ impl Ctmc {
             }
         }
         let labels = (0..n).map(|i| format!("s{i}")).collect();
-        Ok(Ctmc { jump, residence, labels })
+        Ok(Ctmc {
+            jump,
+            residence,
+            labels,
+        })
     }
 
     /// Builds a CTMC from an infinitesimal generator matrix `Q`
@@ -121,8 +121,16 @@ impl Ctmc {
         let mut residence = Vec::with_capacity(n);
         for i in 0..n {
             let row = q.row(i);
-            let off_sum: f64 = row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).sum();
-            let bad_off = row.iter().enumerate().any(|(j, &v)| j != i && v < -STOCHASTIC_TOLERANCE);
+            let off_sum: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &v)| v)
+                .sum();
+            let bad_off = row
+                .iter()
+                .enumerate()
+                .any(|(j, &v)| j != i && v < -STOCHASTIC_TOLERANCE);
             // Generator row condition: q_ii = -Σ_{j≠i} q_ij.
             let scale = off_sum.abs().max(row[i].abs()).max(1.0);
             if bad_off || (row[i] + off_sum).abs() > STOCHASTIC_TOLERANCE * scale {
@@ -142,7 +150,11 @@ impl Ctmc {
             }
         }
         let labels = (0..n).map(|i| format!("s{i}")).collect();
-        Ok(Ctmc { jump, residence, labels })
+        Ok(Ctmc {
+            jump,
+            residence,
+            labels,
+        })
     }
 
     /// Replaces the state labels.
@@ -198,7 +210,9 @@ impl Ctmc {
     /// rate `v = max_a v_a` (Sec. 4.2.1). Zero for a chain of only
     /// absorbing states.
     pub fn max_departure_rate(&self) -> f64 {
-        (0..self.n()).map(|i| self.departure_rate(i)).fold(0.0, f64::max)
+        (0..self.n())
+            .map(|i| self.departure_rate(i))
+            .fold(0.0, f64::max)
     }
 
     /// True when state `i` is absorbing.
@@ -305,6 +319,10 @@ impl Ctmc {
             })?,
             LinearSolver::GaussSeidel(opts) => linalg::gauss_seidel(&a, &b, opts)?.x,
         };
+        debug_assert!(
+            x.iter().all(|m| m.is_finite() && *m >= -1e-9),
+            "mean first-passage times must be finite and non-negative"
+        );
         let mut out = vec![0.0; n];
         for (ri, &i) in others.iter().enumerate() {
             out[i] = x[ri];
@@ -346,7 +364,10 @@ impl Ctmc {
                 Ok(pi)
             }
             SteadyStateMethod::GaussSeidel(opts) => self.steady_state_gauss_seidel(opts),
-            SteadyStateMethod::Power { tolerance, max_iterations } => {
+            SteadyStateMethod::Power {
+                tolerance,
+                max_iterations,
+            } => {
                 // Uniformize with a strictly larger rate so the chain gains
                 // self-loops, which makes it aperiodic and power iteration safe.
                 let v = self.max_departure_rate() * 1.05;
@@ -384,10 +405,12 @@ impl Ctmc {
                 return Ok(pi);
             }
             if sweep == opts.max_iterations {
-                return Err(ChainError::Iterative(linalg::IterativeError::NotConverged {
-                    iterations: sweep,
-                    last_residual: max_change,
-                }));
+                return Err(ChainError::Iterative(
+                    linalg::IterativeError::NotConverged {
+                        iterations: sweep,
+                        last_residual: max_change,
+                    },
+                ));
             }
         }
         unreachable!("loop either returns or errors on the last sweep")
@@ -421,6 +444,10 @@ impl Ctmc {
                 }
             }
         }
+        debug_assert!(
+            p_bar.is_row_stochastic(1e-9),
+            "uniformized jump matrix must be row-stochastic"
+        );
         Ok(p_bar)
     }
 }
@@ -439,11 +466,7 @@ mod tests {
 
     /// Three-state workflow: 0 -> 1 -> 2(absorbing), residence 2 and 3 min.
     fn linear_workflow() -> Ctmc {
-        let jump = Matrix::from_nested(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let jump = Matrix::from_nested(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 1.0]]);
         Ctmc::from_jump_chain(jump, vec![2.0, 3.0, f64::INFINITY]).unwrap()
     }
 
@@ -529,7 +552,10 @@ mod tests {
         for method in [
             SteadyStateMethod::Lu,
             SteadyStateMethod::GaussSeidel(GaussSeidelOptions::default()),
-            SteadyStateMethod::Power { tolerance: 1e-13, max_iterations: 2_000_000 },
+            SteadyStateMethod::Power {
+                tolerance: 1e-13,
+                max_iterations: 2_000_000,
+            },
         ] {
             let pi = c.steady_state(method).unwrap();
             assert!(
@@ -541,18 +567,17 @@ mod tests {
 
     #[test]
     fn steady_state_methods_agree_on_three_state_cycle() {
-        let q = Matrix::from_nested(&[
-            &[-2.0, 1.5, 0.5],
-            &[0.3, -1.3, 1.0],
-            &[2.0, 0.1, -2.1],
-        ]);
+        let q = Matrix::from_nested(&[&[-2.0, 1.5, 0.5], &[0.3, -1.3, 1.0], &[2.0, 0.1, -2.1]]);
         let c = Ctmc::from_generator(&q).unwrap();
         let lu = c.steady_state(SteadyStateMethod::Lu).unwrap();
         let gs = c
             .steady_state(SteadyStateMethod::GaussSeidel(GaussSeidelOptions::default()))
             .unwrap();
         let pw = c
-            .steady_state(SteadyStateMethod::Power { tolerance: 1e-13, max_iterations: 500_000 })
+            .steady_state(SteadyStateMethod::Power {
+                tolerance: 1e-13,
+                max_iterations: 500_000,
+            })
             .unwrap();
         assert!(relative_difference(&lu, &gs) < 1e-7);
         assert!(relative_difference(&lu, &pw) < 1e-5);
@@ -583,11 +608,7 @@ mod tests {
     fn mean_first_passage_with_loop_matches_geometric_expectation() {
         // 0 -> 1 ; 1 -> 0 w.p. 0.3, 1 -> 2 w.p. 0.7. Expected visits to each
         // of 0 and 1 is 1/0.7; each visit costs its residence time.
-        let jump = Matrix::from_nested(&[
-            &[0.0, 1.0, 0.0],
-            &[0.3, 0.0, 0.7],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let jump = Matrix::from_nested(&[&[0.0, 1.0, 0.0], &[0.3, 0.0, 0.7], &[0.0, 0.0, 1.0]]);
         let c = Ctmc::from_jump_chain(jump, vec![2.0, 3.0, f64::INFINITY]).unwrap();
         let m = c.mean_first_passage(2).unwrap();
         let expect = (2.0 + 3.0) / 0.7;
@@ -613,13 +634,8 @@ mod tests {
     #[test]
     fn mean_first_passage_rejects_other_absorbing_states() {
         // Two absorbing states: passage to one may be infinite via the other.
-        let jump = Matrix::from_nested(&[
-            &[0.0, 0.5, 0.5],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
-        let c =
-            Ctmc::from_jump_chain(jump, vec![1.0, f64::INFINITY, f64::INFINITY]).unwrap();
+        let jump = Matrix::from_nested(&[&[0.0, 0.5, 0.5], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let c = Ctmc::from_jump_chain(jump, vec![1.0, f64::INFINITY, f64::INFINITY]).unwrap();
         assert!(matches!(
             c.mean_first_passage(2),
             Err(ChainError::AbsorptionNotCertain { state: 1 })
@@ -629,11 +645,7 @@ mod tests {
     #[test]
     fn mean_first_passage_detects_unreachable_target() {
         // Target 2 unreachable from the closed 0<->1 cycle.
-        let jump = Matrix::from_nested(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let jump = Matrix::from_nested(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
         let c = Ctmc::from_jump_chain(jump, vec![1.0, 1.0, f64::INFINITY]).unwrap();
         assert!(matches!(
             c.mean_first_passage(2),

@@ -42,7 +42,11 @@ impl Dtmc {
     pub fn with_labels(p: Matrix, labels: Vec<String>) -> Result<Self, ChainError> {
         let n = validate_stochastic(&p)?;
         if labels.len() != n {
-            return Err(ChainError::LengthMismatch { what: "labels", expected: n, actual: labels.len() });
+            return Err(ChainError::LengthMismatch {
+                what: "labels",
+                expected: n,
+                actual: labels.len(),
+            });
         }
         Ok(Dtmc { p, labels })
     }
@@ -130,8 +134,13 @@ fn validate_stochastic(p: &Matrix) -> Result<usize, ChainError> {
     for i in 0..n {
         let row = p.row(i);
         let sum: f64 = row.iter().sum();
-        if !(sum - 1.0).abs().le(&STOCHASTIC_TOLERANCE) || row.iter().any(|&x| x < -STOCHASTIC_TOLERANCE) {
-            return Err(ChainError::NotStochastic { row: i, row_sum: sum });
+        if !(sum - 1.0).abs().le(&STOCHASTIC_TOLERANCE)
+            || row.iter().any(|&x| x < -STOCHASTIC_TOLERANCE)
+        {
+            return Err(ChainError::NotStochastic {
+                row: i,
+                row_sum: sum,
+            });
         }
     }
     Ok(n)
@@ -197,7 +206,12 @@ impl AbsorbingAnalysis {
             return Err(ChainError::AbsorptionNotCertain { state });
         }
 
-        Ok(AbsorbingAnalysis { transient, absorbing, fundamental, r })
+        Ok(AbsorbingAnalysis {
+            transient,
+            absorbing,
+            fundamental,
+            r,
+        })
     }
 
     /// Transient state indices (original numbering), row/column order of the
@@ -320,18 +334,37 @@ mod tests {
     #[test]
     fn new_validates_stochastic_rows() {
         let bad = Matrix::from_nested(&[&[0.5, 0.4], &[0.0, 1.0]]);
-        assert!(matches!(Dtmc::new(bad), Err(ChainError::NotStochastic { row: 0, .. })));
+        assert!(matches!(
+            Dtmc::new(bad),
+            Err(ChainError::NotStochastic { row: 0, .. })
+        ));
         let neg = Matrix::from_nested(&[&[-0.1, 1.1], &[0.0, 1.0]]);
-        assert!(matches!(Dtmc::new(neg), Err(ChainError::NotStochastic { row: 0, .. })));
-        assert!(matches!(Dtmc::new(Matrix::zeros(2, 3)), Err(ChainError::NotSquare { .. })));
-        assert!(matches!(Dtmc::new(Matrix::zeros(0, 0)), Err(ChainError::Empty)));
+        assert!(matches!(
+            Dtmc::new(neg),
+            Err(ChainError::NotStochastic { row: 0, .. })
+        ));
+        assert!(matches!(
+            Dtmc::new(Matrix::zeros(2, 3)),
+            Err(ChainError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Dtmc::new(Matrix::zeros(0, 0)),
+            Err(ChainError::Empty)
+        ));
     }
 
     #[test]
     fn with_labels_validates_count() {
         let p = Matrix::identity(2);
         let err = Dtmc::with_labels(p, vec!["a".into()]).unwrap_err();
-        assert!(matches!(err, ChainError::LengthMismatch { what: "labels", expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            ChainError::LengthMismatch {
+                what: "labels",
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
@@ -350,7 +383,10 @@ mod tests {
         assert_eq!(d1, vec![0.0, 1.0, 0.0]);
         let d2 = c.step(&d1).unwrap();
         assert!(relative_difference(&d2, &[0.3, 0.0, 0.7]) < 1e-12);
-        assert!(matches!(c.step(&[1.0]), Err(ChainError::LengthMismatch { .. })));
+        assert!(matches!(
+            c.step(&[1.0]),
+            Err(ChainError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -405,17 +441,16 @@ mod tests {
     #[test]
     fn analysis_requires_an_absorbing_state() {
         let c = Dtmc::new(Matrix::from_nested(&[&[0.5, 0.5], &[0.5, 0.5]])).unwrap();
-        assert!(matches!(c.absorbing_analysis(), Err(ChainError::NoAbsorbingState)));
+        assert!(matches!(
+            c.absorbing_analysis(),
+            Err(ChainError::NoAbsorbingState)
+        ));
     }
 
     #[test]
     fn analysis_detects_unreachable_absorption() {
         // States 0 and 1 form a closed cycle; 2 is absorbing but unreachable.
-        let p = Matrix::from_nested(&[
-            &[0.0, 1.0, 0.0],
-            &[1.0, 0.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let p = Matrix::from_nested(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 1.0]]);
         let c = Dtmc::new(p).unwrap();
         assert!(matches!(
             c.absorbing_analysis(),
@@ -434,7 +469,10 @@ mod tests {
     fn out_of_range_queries_error() {
         let c = simple_absorbing();
         let a = c.absorbing_analysis().unwrap();
-        assert!(matches!(a.expected_visits(9), Err(ChainError::StateOutOfRange { state: 9, n: 3 })));
+        assert!(matches!(
+            a.expected_visits(9),
+            Err(ChainError::StateOutOfRange { state: 9, n: 3 })
+        ));
         assert!(matches!(
             a.absorption_probabilities(9),
             Err(ChainError::StateOutOfRange { .. })

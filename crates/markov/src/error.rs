@@ -79,29 +79,49 @@ impl fmt::Display for ChainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChainError::NotSquare { shape } => {
-                write!(f, "transition matrix must be square, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "transition matrix must be square, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             ChainError::Empty => write!(f, "a Markov chain needs at least one state"),
             ChainError::NotStochastic { row, row_sum } => {
-                write!(f, "row {row} is not a probability distribution (sum {row_sum})")
+                write!(
+                    f,
+                    "row {row} is not a probability distribution (sum {row_sum})"
+                )
             }
             ChainError::SelfLoop { state } => {
-                write!(f, "non-absorbing state {state} has a self-loop in the jump chain")
+                write!(
+                    f,
+                    "non-absorbing state {state} has a self-loop in the jump chain"
+                )
             }
             ChainError::InvalidResidenceTime { state, value } => {
                 write!(f, "invalid mean residence time {value} for state {state}")
             }
-            ChainError::LengthMismatch { what, expected, actual } => {
+            ChainError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what} has length {actual}, expected {expected}")
             }
             ChainError::InvalidGenerator { row } => {
                 write!(f, "row {row} is not a valid generator row")
             }
             ChainError::StateOutOfRange { state, n } => {
-                write!(f, "state index {state} out of range for chain with {n} states")
+                write!(
+                    f,
+                    "state index {state} out of range for chain with {n} states"
+                )
             }
             ChainError::NoAbsorbingState => {
-                write!(f, "analysis requires an absorbing state, but the chain has none")
+                write!(
+                    f,
+                    "analysis requires an absorbing state, but the chain has none"
+                )
             }
             ChainError::AbsorptionNotCertain { state } => {
                 write!(f, "absorption is not certain from state {state}")

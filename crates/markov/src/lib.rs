@@ -16,7 +16,9 @@
 //! * [`reward`] — Markov reward models (reward-until-absorption both via
 //!   the paper's truncated formula and exactly; steady-state reward);
 //! * [`phase_type`] — two-moment phase-type fitting for refining
-//!   non-exponential states (Sec. 5.1 of the paper).
+//!   non-exponential states (Sec. 5.1 of the paper);
+//! * [`checks`] — the `M0xx` generator lint pass of the `wfms-analysis`
+//!   diagnostics engine.
 //!
 //! # Example: turnaround time of a tiny workflow
 //!
@@ -37,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checks;
 pub mod ctmc;
 pub mod dtmc;
 pub mod error;
@@ -45,6 +48,7 @@ pub mod phase_type;
 pub mod reward;
 pub mod transient;
 
+pub use checks::{lint_ctmc, lint_generator};
 pub use ctmc::{Ctmc, LinearSolver, SteadyStateMethod};
 pub use dtmc::{AbsorbingAnalysis, Dtmc};
 pub use error::ChainError;

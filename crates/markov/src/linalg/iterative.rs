@@ -48,15 +48,25 @@ impl fmt::Display for IterativeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IterativeError::NotSquare { shape } => {
-                write!(f, "iterative solve needs a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "iterative solve needs a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             IterativeError::RhsLengthMismatch { n, rhs_len } => {
-                write!(f, "right-hand side of length {rhs_len} for a system of size {n}")
+                write!(
+                    f,
+                    "right-hand side of length {rhs_len} for a system of size {n}"
+                )
             }
             IterativeError::ZeroDiagonal { row } => {
                 write!(f, "zero diagonal entry in row {row}")
             }
-            IterativeError::NotConverged { iterations, last_residual } => write!(
+            IterativeError::NotConverged {
+                iterations,
+                last_residual,
+            } => write!(
                 f,
                 "no convergence after {iterations} sweeps (residual {last_residual:.3e})"
             ),
@@ -82,7 +92,11 @@ pub struct GaussSeidelOptions {
 
 impl Default for GaussSeidelOptions {
     fn default() -> Self {
-        GaussSeidelOptions { tolerance: 1e-12, max_iterations: 20_000, relaxation: 1.0 }
+        GaussSeidelOptions {
+            tolerance: 1e-12,
+            max_iterations: 20_000,
+            relaxation: 1.0,
+        }
     }
 }
 
@@ -114,10 +128,15 @@ pub fn sor(
     }
     let n = a.rows();
     if b.len() != n {
-        return Err(IterativeError::RhsLengthMismatch { n, rhs_len: b.len() });
+        return Err(IterativeError::RhsLengthMismatch {
+            n,
+            rhs_len: b.len(),
+        });
     }
     if !(opts.relaxation > 0.0 && opts.relaxation < 2.0) {
-        return Err(IterativeError::InvalidRelaxation { omega: opts.relaxation });
+        return Err(IterativeError::InvalidRelaxation {
+            omega: opts.relaxation,
+        });
     }
     for i in 0..n {
         if a[(i, i)].abs() < 1e-300 {
@@ -128,7 +147,10 @@ pub fn sor(
     let mut x: Vec<f64> = match x0 {
         Some(v) => {
             if v.len() != n {
-                return Err(IterativeError::RhsLengthMismatch { n, rhs_len: v.len() });
+                return Err(IterativeError::RhsLengthMismatch {
+                    n,
+                    rhs_len: v.len(),
+                });
             }
             v.to_vec()
         }
@@ -154,10 +176,17 @@ pub fn sor(
         }
         last_residual = max_change;
         if max_change <= opts.tolerance {
-            return Ok(IterativeSolution { x, iterations: sweep, residual: max_change });
+            return Ok(IterativeSolution {
+                x,
+                iterations: sweep,
+                residual: max_change,
+            });
         }
     }
-    Err(IterativeError::NotConverged { iterations: opts.max_iterations, last_residual })
+    Err(IterativeError::NotConverged {
+        iterations: opts.max_iterations,
+        last_residual,
+    })
 }
 
 /// Plain Gauss–Seidel (`relaxation = 1`): the solver named by the paper.
@@ -169,7 +198,15 @@ pub fn gauss_seidel(
     b: &[f64],
     opts: GaussSeidelOptions,
 ) -> Result<IterativeSolution, IterativeError> {
-    sor(a, b, None, GaussSeidelOptions { relaxation: 1.0, ..opts })
+    sor(
+        a,
+        b,
+        None,
+        GaussSeidelOptions {
+            relaxation: 1.0,
+            ..opts
+        },
+    )
 }
 
 /// Finds the stationary row vector `π` of a row-stochastic matrix `P`
@@ -194,8 +231,20 @@ pub fn power_iteration(
     let n = p.rows();
     let mut pi = vec![1.0 / n as f64; n];
     let mut last_residual = f64::INFINITY;
+    debug_assert!(
+        p.is_row_stochastic(1e-6),
+        "power iteration expects a (near-)row-stochastic matrix"
+    );
     for iter in 1..=max_iterations {
-        let mut next = p.vec_mul(&pi).expect("shape checked above");
+        let mut next = match p.vec_mul(&pi) {
+            Ok(v) => v,
+            Err(_) => {
+                return Err(IterativeError::RhsLengthMismatch {
+                    n,
+                    rhs_len: pi.len(),
+                })
+            }
+        };
         // Re-normalize to fight floating-point drift.
         let mass: f64 = next.iter().sum();
         if mass > 0.0 {
@@ -211,10 +260,17 @@ pub fn power_iteration(
         pi = next;
         last_residual = change;
         if change <= tolerance {
-            return Ok(IterativeSolution { x: pi, iterations: iter, residual: change });
+            return Ok(IterativeSolution {
+                x: pi,
+                iterations: iter,
+                residual: change,
+            });
         }
     }
-    Err(IterativeError::NotConverged { iterations: max_iterations, last_residual })
+    Err(IterativeError::NotConverged {
+        iterations: max_iterations,
+        last_residual,
+    })
 }
 
 #[cfg(test)]
@@ -264,9 +320,20 @@ mod tests {
     fn sor_rejects_invalid_relaxation() {
         let a = Matrix::identity(2);
         for omega in [0.0, 2.0, -1.0, f64::NAN] {
-            let err = sor(&a, &[1.0, 1.0], None, GaussSeidelOptions { relaxation: omega, ..opts() })
-                .unwrap_err();
-            assert!(matches!(err, IterativeError::InvalidRelaxation { .. }), "omega={omega}");
+            let err = sor(
+                &a,
+                &[1.0, 1.0],
+                None,
+                GaussSeidelOptions {
+                    relaxation: omega,
+                    ..opts()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, IterativeError::InvalidRelaxation { .. }),
+                "omega={omega}"
+            );
         }
     }
 
@@ -298,10 +365,16 @@ mod tests {
         let err = gauss_seidel(
             &a,
             &[1.0, 1.0],
-            GaussSeidelOptions { max_iterations: 50, ..opts() },
+            GaussSeidelOptions {
+                max_iterations: 50,
+                ..opts()
+            },
         )
         .unwrap_err();
-        assert!(matches!(err, IterativeError::NotConverged { iterations: 50, .. }));
+        assert!(matches!(
+            err,
+            IterativeError::NotConverged { iterations: 50, .. }
+        ));
     }
 
     #[test]
@@ -324,7 +397,10 @@ mod tests {
     #[test]
     fn power_iteration_rejects_non_square() {
         let p = Matrix::zeros(2, 3);
-        assert!(matches!(power_iteration(&p, 1e-9, 10), Err(IterativeError::NotSquare { .. })));
+        assert!(matches!(
+            power_iteration(&p, 1e-9, 10),
+            Err(IterativeError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -36,13 +36,23 @@ impl fmt::Display for LuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LuError::NotSquare { shape } => {
-                write!(f, "cannot LU-factor non-square {}x{} matrix", shape.0, shape.1)
+                write!(
+                    f,
+                    "cannot LU-factor non-square {}x{} matrix",
+                    shape.0, shape.1
+                )
             }
             LuError::Singular { column } => {
-                write!(f, "matrix is singular to working precision (pivot column {column})")
+                write!(
+                    f,
+                    "matrix is singular to working precision (pivot column {column})"
+                )
             }
             LuError::RhsLengthMismatch { n, rhs_len } => {
-                write!(f, "right-hand side of length {rhs_len} for a system of size {n}")
+                write!(
+                    f,
+                    "right-hand side of length {rhs_len} for a system of size {n}"
+                )
             }
         }
     }
@@ -81,11 +91,13 @@ impl LuDecomposition {
 
         for k in 0..n {
             // Partial pivoting: pick the largest magnitude in column k at/below row k.
-            let (pivot_row, pivot_abs) = (k..n)
+            let Some((pivot_row, pivot_abs)) = (k..n)
                 .map(|r| (r, lu[(r, k)].abs()))
                 .max_by(|x, y| x.1.total_cmp(&y.1))
-                .expect("non-empty pivot scan");
-            if pivot_abs < PIVOT_EPSILON {
+            else {
+                return Err(LuError::Singular { column: k });
+            };
+            if pivot_abs < PIVOT_EPSILON || !pivot_abs.is_finite() {
                 return Err(LuError::Singular { column: k });
             }
             if pivot_row != k {
@@ -109,7 +121,11 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(LuDecomposition { lu, perm, perm_sign })
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// System size.
@@ -125,7 +141,10 @@ impl LuDecomposition {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LuError> {
         let n = self.n();
         if b.len() != n {
-            return Err(LuError::RhsLengthMismatch { n, rhs_len: b.len() });
+            return Err(LuError::RhsLengthMismatch {
+                n,
+                rhs_len: b.len(),
+            });
         }
         // Apply permutation, then forward-substitute through L (unit diagonal).
         let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
@@ -205,13 +224,19 @@ mod tests {
     #[test]
     fn rejects_non_square_input() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(LuDecomposition::new(&a), Err(LuError::NotSquare { .. })));
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LuError::NotSquare { .. })
+        ));
     }
 
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_nested(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(LuDecomposition::new(&a), Err(LuError::Singular { .. })));
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LuError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -244,7 +269,11 @@ mod tests {
         for r in 0..3 {
             for c in 0..3 {
                 let expected = if r == c { 1.0 } else { 0.0 };
-                assert!((prod[(r, c)] - expected).abs() < 1e-10, "entry ({r},{c}) = {}", prod[(r, c)]);
+                assert!(
+                    (prod[(r, c)] - expected).abs() < 1e-10,
+                    "entry ({r},{c}) = {}",
+                    prod[(r, c)]
+                );
             }
         }
     }
@@ -256,7 +285,11 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         for r in 0..n {
             for c in 0..n {
-                a[(r, c)] = if r == c { n as f64 } else { 1.0 / (1.0 + (r + c) as f64) };
+                a[(r, c)] = if r == c {
+                    n as f64
+                } else {
+                    1.0 / (1.0 + (r + c) as f64)
+                };
             }
         }
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();

@@ -29,7 +29,11 @@ pub enum MatrixError {
 impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MatrixError::DataShapeMismatch { rows, cols, data_len } => write!(
+            MatrixError::DataShapeMismatch {
+                rows,
+                cols,
+                data_len,
+            } => write!(
                 f,
                 "matrix data of length {data_len} cannot fill a {rows}x{cols} matrix"
             ),
@@ -61,7 +65,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an `n x n` identity matrix.
@@ -79,7 +87,11 @@ impl Matrix {
     /// Returns [`MatrixError::DataShapeMismatch`] when `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
         if data.len() != rows * cols {
-            return Err(MatrixError::DataShapeMismatch { rows, cols, data_len: data.len() });
+            return Err(MatrixError::DataShapeMismatch {
+                rows,
+                cols,
+                data_len: data.len(),
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -97,7 +109,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in matrix literal");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -125,7 +141,11 @@ impl Matrix {
     /// # Panics
     /// Panics when `r` is out of bounds.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -134,7 +154,11 @@ impl Matrix {
     /// # Panics
     /// Panics when `r` is out of bounds.
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -143,7 +167,11 @@ impl Matrix {
     /// # Panics
     /// Panics when `c` is out of bounds.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds for {} columns", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds for {} columns",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -244,8 +272,17 @@ impl Matrix {
                 right: other.shape(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Returns `self` scaled by `factor`.
@@ -283,14 +320,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -333,7 +380,14 @@ mod tests {
     #[test]
     fn from_rows_validates_data_length() {
         let err = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0]).unwrap_err();
-        assert_eq!(err, MatrixError::DataShapeMismatch { rows: 2, cols: 2, data_len: 3 });
+        assert_eq!(
+            err,
+            MatrixError::DataShapeMismatch {
+                rows: 2,
+                cols: 2,
+                data_len: 3
+            }
+        );
     }
 
     #[test]
@@ -402,11 +456,23 @@ mod tests {
     fn shape_errors_are_reported() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.mul(&b), Err(MatrixError::ShapeMismatch { op: "mul", .. })));
-        assert!(matches!(a.mul_vec(&[1.0]), Err(MatrixError::ShapeMismatch { op: "mul_vec", .. })));
-        assert!(matches!(a.vec_mul(&[1.0]), Err(MatrixError::ShapeMismatch { op: "vec_mul", .. })));
+        assert!(matches!(
+            a.mul(&b),
+            Err(MatrixError::ShapeMismatch { op: "mul", .. })
+        ));
+        assert!(matches!(
+            a.mul_vec(&[1.0]),
+            Err(MatrixError::ShapeMismatch { op: "mul_vec", .. })
+        ));
+        assert!(matches!(
+            a.vec_mul(&[1.0]),
+            Err(MatrixError::ShapeMismatch { op: "vec_mul", .. })
+        ));
         let c = Matrix::zeros(3, 2);
-        assert!(matches!(a.add(&c), Err(MatrixError::ShapeMismatch { op: "add", .. })));
+        assert!(matches!(
+            a.add(&c),
+            Err(MatrixError::ShapeMismatch { op: "add", .. })
+        ));
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl CsrMatrix {
         let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
         for (r, c, v) in triplets {
             if r >= rows || c >= cols {
-                return Err(SparseError::IndexOutOfRange { row: r, col: c, shape: (rows, cols) });
+                return Err(SparseError::IndexOutOfRange {
+                    row: r,
+                    col: c,
+                    shape: (rows, cols),
+                });
             }
             if v != 0.0 {
                 per_row[r].push((c, v));
@@ -92,7 +96,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        Ok(CsrMatrix { rows, cols, indptr, indices, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -118,7 +128,10 @@ impl CsrMatrix {
         assert!(r < self.rows, "row {r} out of range");
         let lo = self.indptr[r];
         let hi = self.indptr[r + 1];
-        self.indices[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Entry lookup (binary search within the row).
@@ -126,7 +139,10 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on out-of-range indices.
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         let lo = self.indptr[r];
         let hi = self.indptr[r + 1];
         match self.indices[lo..hi].binary_search(&c) {
@@ -205,7 +221,11 @@ pub fn sparse_steady_state_gauss_seidel(
             }
         }
         if max_change <= opts.tolerance {
-            return Ok(IterativeSolution { x: pi, iterations: sweep, residual: max_change });
+            return Ok(IterativeSolution {
+                x: pi,
+                iterations: sweep,
+                residual: max_change,
+            });
         }
         if sweep == opts.max_iterations {
             return Err(IterativeError::NotConverged {
@@ -227,7 +247,13 @@ mod tests {
         let m = CsrMatrix::from_triplets(
             2,
             3,
-            vec![(0, 1, 2.0), (1, 0, -1.0), (0, 1, 3.0), (1, 2, 4.0), (0, 0, 0.0)],
+            vec![
+                (0, 1, 2.0),
+                (1, 0, -1.0),
+                (0, 1, 3.0),
+                (1, 2, 4.0),
+                (0, 0, 0.0),
+            ],
         )
         .unwrap();
         assert_eq!(m.rows(), 2);
@@ -264,8 +290,8 @@ mod tests {
 
     #[test]
     fn row_iteration_is_sorted() {
-        let m = CsrMatrix::from_triplets(1, 5, vec![(0, 4, 1.0), (0, 1, 2.0), (0, 3, 3.0)])
-            .unwrap();
+        let m =
+            CsrMatrix::from_triplets(1, 5, vec![(0, 4, 1.0), (0, 1, 2.0), (0, 3, 3.0)]).unwrap();
         let cols: Vec<usize> = m.row(0).map(|(c, _)| c).collect();
         assert_eq!(cols, vec![1, 3, 4]);
     }
@@ -274,12 +300,8 @@ mod tests {
     fn sparse_steady_state_matches_closed_form_repair_chain() {
         // Two-state machine-repair chain: Q = [[-l, l], [m, -m]].
         let (l, m) = (0.02, 0.5);
-        let qt = CsrMatrix::from_triplets(
-            2,
-            2,
-            vec![(0, 0, -l), (0, 1, m), (1, 0, l), (1, 1, -m)],
-        )
-        .unwrap();
+        let qt = CsrMatrix::from_triplets(2, 2, vec![(0, 0, -l), (0, 1, m), (1, 0, l), (1, 1, -m)])
+            .unwrap();
         let sol =
             sparse_steady_state_gauss_seidel(&qt, &[l, m], GaussSeidelOptions::default()).unwrap();
         let expect = [m / (l + m), l / (l + m)];
@@ -309,7 +331,11 @@ mod tests {
         let res = sparse_steady_state_gauss_seidel(
             &qt,
             &[0.3, 0.7],
-            GaussSeidelOptions { max_iterations: 1, tolerance: 1e-30, ..Default::default() },
+            GaussSeidelOptions {
+                max_iterations: 1,
+                tolerance: 1e-30,
+                ..Default::default()
+            },
         );
         assert!(matches!(res, Err(IterativeError::NotConverged { .. })));
     }

@@ -101,11 +101,18 @@ impl PhaseType {
             if k == 1 {
                 return Ok(PhaseType::Exponential { rate: 1.0 / mean });
             }
-            return Ok(PhaseType::Erlang { k, rate: k as f64 / mean });
+            return Ok(PhaseType::Erlang {
+                k,
+                rate: k as f64 / mean,
+            });
         }
         // Balanced-means hyperexponential: p/rate1 = (1-p)/rate2 = mean/2.
         let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
-        Ok(PhaseType::Hyperexponential { p, rate1: 2.0 * p / mean, rate2: 2.0 * (1.0 - p) / mean })
+        Ok(PhaseType::Hyperexponential {
+            p,
+            rate1: 2.0 * p / mean,
+            rate2: 2.0 * (1.0 - p) / mean,
+        })
     }
 
     /// Number of exponential stages in the expansion.
@@ -179,11 +186,8 @@ impl PhaseType {
                 // state, we use the standard trick of an Erlang-like prefix:
                 // here we simply expose the two branches and document that
                 // the initial distribution is (p, 1-p, 0).
-                let jump = Matrix::from_nested(&[
-                    &[0.0, 0.0, 1.0],
-                    &[0.0, 0.0, 1.0],
-                    &[0.0, 0.0, 1.0],
-                ]);
+                let jump =
+                    Matrix::from_nested(&[&[0.0, 0.0, 1.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 1.0]]);
                 let residence = vec![1.0 / rate1, 1.0 / rate2, f64::INFINITY];
                 let _ = p; // initial distribution documented, not encoded
                 Ctmc::from_jump_chain(jump, residence)
@@ -238,18 +242,41 @@ mod tests {
             let mean = 3.0;
             let pt = PhaseType::fit(mean, scv).unwrap();
             assert!(matches!(pt, PhaseType::Hyperexponential { .. }));
-            assert!((pt.mean() - mean).abs() < 1e-9, "scv={scv}: mean {}", pt.mean());
-            assert!((pt.scv() - scv).abs() < 1e-9, "scv={scv}: fitted {}", pt.scv());
+            assert!(
+                (pt.mean() - mean).abs() < 1e-9,
+                "scv={scv}: mean {}",
+                pt.mean()
+            );
+            assert!(
+                (pt.scv() - scv).abs() < 1e-9,
+                "scv={scv}: fitted {}",
+                pt.scv()
+            );
         }
     }
 
     #[test]
     fn fit_rejects_bad_arguments() {
-        assert!(matches!(PhaseType::fit(0.0, 1.0), Err(PhaseTypeError::InvalidMean { .. })));
-        assert!(matches!(PhaseType::fit(-1.0, 1.0), Err(PhaseTypeError::InvalidMean { .. })));
-        assert!(matches!(PhaseType::fit(f64::NAN, 1.0), Err(PhaseTypeError::InvalidMean { .. })));
-        assert!(matches!(PhaseType::fit(1.0, 0.0), Err(PhaseTypeError::InvalidScv { .. })));
-        assert!(matches!(PhaseType::fit(1.0, f64::INFINITY), Err(PhaseTypeError::InvalidScv { .. })));
+        assert!(matches!(
+            PhaseType::fit(0.0, 1.0),
+            Err(PhaseTypeError::InvalidMean { .. })
+        ));
+        assert!(matches!(
+            PhaseType::fit(-1.0, 1.0),
+            Err(PhaseTypeError::InvalidMean { .. })
+        ));
+        assert!(matches!(
+            PhaseType::fit(f64::NAN, 1.0),
+            Err(PhaseTypeError::InvalidMean { .. })
+        ));
+        assert!(matches!(
+            PhaseType::fit(1.0, 0.0),
+            Err(PhaseTypeError::InvalidScv { .. })
+        ));
+        assert!(matches!(
+            PhaseType::fit(1.0, f64::INFINITY),
+            Err(PhaseTypeError::InvalidScv { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl Uniformized {
     /// the maximum departure rate.
     pub fn with_rate(ctmc: &Ctmc, v: f64) -> Result<Self, ChainError> {
         let p_bar = ctmc.uniformized_jump(v)?;
-        Ok(Uniformized { rate: v, p_bar, absorbing: ctmc.absorbing_states() })
+        Ok(Uniformized {
+            rate: v,
+            p_bar,
+            absorbing: ctmc.absorbing_states(),
+        })
     }
 
     /// The uniformization rate `v`.
@@ -63,15 +67,19 @@ impl Uniformized {
     ///
     /// `dist` is indexed over all states; taboo entries must already be
     /// zero on entry (they are on every vector this module produces).
-    fn taboo_step(&self, dist: &mut Vec<f64>, taboo: &[usize]) -> f64 {
-        let mut next = self.p_bar.vec_mul(dist).expect("distribution length matches");
+    fn taboo_step(&self, dist: &mut Vec<f64>, taboo: &[usize]) -> Result<f64, ChainError> {
+        let mut next = self.p_bar.vec_mul(dist)?;
         let mut dropped = 0.0;
         for &t in taboo {
             dropped += next[t];
             next[t] = 0.0;
         }
+        debug_assert!(
+            next.iter().all(|x| x.is_finite() && *x >= -1e-9),
+            "taboo step produced an invalid sub-distribution"
+        );
         *dist = next;
-        dropped
+        Ok(dropped)
     }
 
     /// Taboo probabilities `p̄_{start,a}(z)` for `z = 0 … z_max`: element
@@ -104,7 +112,7 @@ impl Uniformized {
         let mut out = Vec::with_capacity(z_max + 1);
         out.push(dist.clone());
         for _ in 0..z_max {
-            self.taboo_step(&mut dist, taboo);
+            self.taboo_step(&mut dist, taboo)?;
             out.push(dist.clone());
         }
         Ok(out)
@@ -128,6 +136,11 @@ impl Uniformized {
         if start >= n {
             return Err(ChainError::StateOutOfRange { state: start, n });
         }
+        for &t in taboo {
+            if t >= n {
+                return Err(ChainError::StateOutOfRange { state: t, n });
+            }
+        }
         let mut dist = vec![0.0; n];
         dist[start] = 1.0;
         let mut absorbed = 0.0;
@@ -135,7 +148,7 @@ impl Uniformized {
             if absorbed >= quantile {
                 return Ok(z);
             }
-            absorbed += self.taboo_step(&mut dist, taboo);
+            absorbed += self.taboo_step(&mut dist, taboo)?;
         }
         Ok(hard_cap)
     }
@@ -174,7 +187,7 @@ impl Uniformized {
         let mut out = vec![0.0; n];
         for (z, &w) in weights.iter().enumerate() {
             if z > 0 {
-                dist = self.p_bar.vec_mul(&dist).expect("length checked");
+                dist = self.p_bar.vec_mul(&dist)?;
             }
             if w > 0.0 {
                 for (o, &d) in out.iter_mut().zip(&dist) {
@@ -262,11 +275,7 @@ mod tests {
 
     fn loopy_workflow() -> Ctmc {
         // 0 -> 1 ; 1 -> 0 (0.3) or absorb (0.7); H = (2, 3, inf).
-        let jump = Matrix::from_nested(&[
-            &[0.0, 1.0, 0.0],
-            &[0.3, 0.0, 0.7],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let jump = Matrix::from_nested(&[&[0.0, 1.0, 0.0], &[0.3, 0.0, 0.7], &[0.0, 0.0, 1.0]]);
         Ctmc::from_jump_chain(jump, vec![2.0, 3.0, f64::INFINITY]).unwrap()
     }
 
@@ -339,7 +348,9 @@ mod tests {
         let c = loopy_workflow();
         let u = Uniformized::new(&c).unwrap();
         for t in [0.5, 2.0, 10.0, 50.0] {
-            let d = u.transient_distribution(&[1.0, 0.0, 0.0], t, 1e-12).unwrap();
+            let d = u
+                .transient_distribution(&[1.0, 0.0, 0.0], t, 1e-12)
+                .unwrap();
             let total: f64 = d.iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "t={t}: mass {total}");
         }
@@ -349,7 +360,9 @@ mod tests {
     fn transient_distribution_at_time_zero_is_initial() {
         let c = loopy_workflow();
         let u = Uniformized::new(&c).unwrap();
-        let d = u.transient_distribution(&[0.2, 0.8, 0.0], 0.0, 1e-10).unwrap();
+        let d = u
+            .transient_distribution(&[0.2, 0.8, 0.0], 0.0, 1e-10)
+            .unwrap();
         assert_eq!(d, vec![0.2, 0.8, 0.0]);
     }
 
@@ -382,7 +395,10 @@ mod tests {
         let q = Matrix::from_nested(&[&[-1.0, 1.0], &[1.0, -1.0]]);
         let c = Ctmc::from_generator(&q).unwrap();
         let u = Uniformized::new(&c).unwrap();
-        assert!(matches!(u.absorption_cdf(0, 1.0, 1e-9), Err(ChainError::NoAbsorbingState)));
+        assert!(matches!(
+            u.absorption_cdf(0, 1.0, 1e-9),
+            Err(ChainError::NoAbsorbingState)
+        ));
     }
 
     #[test]
@@ -406,11 +422,7 @@ mod tests {
     fn erlang_two_stage_cdf_matches_closed_form() {
         // Two exponential stages of rate 1 in series: absorption time is
         // Erlang-2, CDF = 1 - e^{-t}(1 + t).
-        let jump = Matrix::from_nested(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let jump = Matrix::from_nested(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[0.0, 0.0, 1.0]]);
         let c = Ctmc::from_jump_chain(jump, vec![1.0, 1.0, f64::INFINITY]).unwrap();
         let u = Uniformized::new(&c).unwrap();
         for t in [0.5, 1.0, 3.0] {
@@ -425,7 +437,10 @@ mod tests {
         for mean in [0.0, 0.3, 1.0, 7.5, 120.0, 5000.0] {
             let w = poisson_weights(mean, 1e-10);
             let total: f64 = w.iter().sum();
-            assert!(total > 1.0 - 1e-9 && total <= 1.0 + 1e-9, "mean={mean}: {total}");
+            assert!(
+                total > 1.0 - 1e-9 && total <= 1.0 + 1e-9,
+                "mean={mean}: {total}"
+            );
             assert!(w.iter().all(|&x| x >= 0.0));
         }
     }

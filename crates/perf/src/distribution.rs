@@ -55,7 +55,9 @@ impl TurnaroundDistribution {
         if t <= 0.0 {
             return Ok(0.0);
         }
-        Ok(self.uniformized.absorption_cdf(self.start, t, self.epsilon)?)
+        Ok(self
+            .uniformized
+            .absorption_cdf(self.start, t, self.epsilon)?)
     }
 
     /// The `q`-percentile of the turnaround time (`0 < q < 1`), found by
@@ -84,9 +86,9 @@ impl TurnaroundDistribution {
             guard += 1;
             if guard > 60 {
                 // Absurd target; the CDF numerically saturates below q.
-                return Err(PerfError::Chain(wfms_markov::ChainError::AbsorptionNotCertain {
-                    state: self.start,
-                }));
+                return Err(PerfError::Chain(
+                    wfms_markov::ChainError::AbsorptionNotCertain { state: self.start },
+                ));
             }
         }
         let mut lo = 0.0;
@@ -125,7 +127,12 @@ mod tests {
         WorkflowSpec::new(
             "E",
             chart,
-            [ActivitySpec::new("A", ActivityKind::Automated, mean, vec![1.0, 1.0, 1.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                mean,
+                vec![1.0, 1.0, 1.0],
+            )],
         )
     }
 

@@ -47,9 +47,16 @@ impl fmt::Display for PerfError {
             PerfError::Arch(e) => write!(f, "architecture error: {e}"),
             PerfError::EmptyWorkload => write!(f, "the workload mix contains no workflow types"),
             PerfError::InvalidArrivalRate { workflow, rate } => {
-                write!(f, "invalid arrival rate {rate} for workflow type {workflow:?}")
+                write!(
+                    f,
+                    "invalid arrival rate {rate} for workflow type {workflow:?}"
+                )
             }
-            PerfError::LengthMismatch { what, expected, actual } => {
+            PerfError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what} has length {actual}, expected {expected}")
             }
         }

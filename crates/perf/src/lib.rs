@@ -30,4 +30,6 @@ pub use system::{
     waiting_times_heterogeneous, ColocationGroup, SystemLoad, ThroughputReport, WaitingOutcome,
     WorkloadItem,
 };
-pub use workflow::{analyze_chart, analyze_workflow, AnalysisOptions, RequestMethod, WorkflowAnalysis};
+pub use workflow::{
+    analyze_chart, analyze_workflow, AnalysisOptions, RequestMethod, WorkflowAnalysis,
+};

@@ -68,10 +68,16 @@ pub fn aggregate_load(
         for (x, rate) in request_rates.iter_mut().enumerate() {
             *rate += item.arrival_rate * item.analysis.expected_requests[x];
         }
-        active_instances
-            .push((item.analysis.name.clone(), item.arrival_rate * item.analysis.mean_turnaround));
+        active_instances.push((
+            item.analysis.name.clone(),
+            item.arrival_rate * item.analysis.mean_turnaround,
+        ));
     }
-    Ok(SystemLoad { request_rates, total_arrival_rate, active_instances })
+    Ok(SystemLoad {
+        request_rates,
+        total_arrival_rate,
+        active_instances,
+    })
 }
 
 /// Waiting-time outcome for one server type under a given system state.
@@ -138,15 +144,19 @@ pub fn waiting_times(
         }
         let server_type = registry.get(ServerTypeId(x))?;
         let per_server_rate = l_x / reps as f64;
-        let service =
-            ServiceMoments::new(server_type.service_time_mean, server_type.service_time_second_moment)?;
+        let service = ServiceMoments::new(
+            server_type.service_time_mean,
+            server_type.service_time_second_moment,
+        )?;
         let queue = Mg1::new(per_server_rate, service)?;
         match queue.mean_waiting_time() {
             Ok(w) => out.push(WaitingOutcome::Stable {
                 waiting_time: w,
                 utilization: queue.utilization(),
             }),
-            Err(_) => out.push(WaitingOutcome::Saturated { utilization: queue.utilization() }),
+            Err(_) => out.push(WaitingOutcome::Saturated {
+                utilization: queue.utilization(),
+            }),
         }
     }
     Ok(out)
@@ -247,10 +257,12 @@ pub fn waiting_times_heterogeneous(
         }
         for &s in replica_speeds {
             if !(s.is_finite() && s > 0.0) {
-                return Err(PerfError::Queue(wfms_queueing::QueueError::InvalidParameter {
-                    what: "replica speed factor",
-                    value: s,
-                }));
+                return Err(PerfError::Queue(
+                    wfms_queueing::QueueError::InvalidParameter {
+                        what: "replica speed factor",
+                        value: s,
+                    },
+                ));
             }
         }
         let server_type = registry.get(ServerTypeId(x))?;
@@ -269,16 +281,25 @@ pub fn waiting_times_heterogeneous(
             worst_util = worst_util.max(queue.utilization());
             match queue.mean_waiting_time() {
                 Ok(w) => {
-                    let share = if l_x > 0.0 { lambda_r / l_x } else { 1.0 / replica_speeds.len() as f64 };
+                    let share = if l_x > 0.0 {
+                        lambda_r / l_x
+                    } else {
+                        1.0 / replica_speeds.len() as f64
+                    };
                     weighted_wait += share * w;
                 }
                 Err(_) => saturated = true,
             }
         }
         if saturated {
-            out.push(WaitingOutcome::Saturated { utilization: worst_util });
+            out.push(WaitingOutcome::Saturated {
+                utilization: worst_util,
+            });
         } else {
-            out.push(WaitingOutcome::Stable { waiting_time: weighted_wait, utilization: worst_util });
+            out.push(WaitingOutcome::Stable {
+                waiting_time: weighted_wait,
+                utilization: worst_util,
+            });
         }
     }
     Ok(out)
@@ -315,11 +336,14 @@ pub fn waiting_times_colocated(
         let mut streams = Vec::with_capacity(group.types.len());
         for &id in &group.types {
             let server_type = registry.get(id)?;
-            let l_x = *load.request_rates.get(id.0).ok_or(PerfError::LengthMismatch {
-                what: "request rates",
-                expected: id.0 + 1,
-                actual: load.request_rates.len(),
-            })?;
+            let l_x = *load
+                .request_rates
+                .get(id.0)
+                .ok_or(PerfError::LengthMismatch {
+                    what: "request rates",
+                    expected: id.0 + 1,
+                    actual: load.request_rates.len(),
+                })?;
             streams.push(Stream {
                 arrival_rate: l_x / group.replicas as f64,
                 service: ServiceMoments::new(
@@ -334,7 +358,9 @@ pub fn waiting_times_colocated(
                 waiting_time: w,
                 utilization: merged.utilization(),
             }),
-            Err(_) => out.push(WaitingOutcome::Saturated { utilization: merged.utilization() }),
+            Err(_) => out.push(WaitingOutcome::Saturated {
+                utilization: merged.utilization(),
+            }),
         }
     }
     Ok(out)
@@ -364,10 +390,18 @@ mod tests {
         let spec = WorkflowSpec::new(
             "W",
             chart,
-            [ActivitySpec::new("A", ActivityKind::Automated, 10.0, vec![2.0, 3.0, 3.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                10.0,
+                vec![2.0, 3.0, 3.0],
+            )],
         );
         let analysis = analyze_workflow(&spec, &registry(), &AnalysisOptions::default()).unwrap();
-        WorkloadItem { analysis, arrival_rate }
+        WorkloadItem {
+            analysis,
+            arrival_rate,
+        }
     }
 
     #[test]
@@ -383,7 +417,10 @@ mod tests {
 
     #[test]
     fn aggregate_load_validates_input() {
-        assert!(matches!(aggregate_load(&[], &registry()), Err(PerfError::EmptyWorkload)));
+        assert!(matches!(
+            aggregate_load(&[], &registry()),
+            Err(PerfError::EmptyWorkload)
+        ));
         let mut item = simple_item(1.0);
         item.arrival_rate = -1.0;
         assert!(matches!(
@@ -433,7 +470,10 @@ mod tests {
 
     #[test]
     fn waiting_outcome_meets_threshold() {
-        let ok = WaitingOutcome::Stable { waiting_time: 0.5, utilization: 0.5 };
+        let ok = WaitingOutcome::Stable {
+            waiting_time: 0.5,
+            utilization: 0.5,
+        };
         assert!(ok.meets(1.0));
         assert!(!ok.meets(0.1));
     }
@@ -448,7 +488,9 @@ mod tests {
             active_instances: vec![],
         };
         let w = waiting_times(&load, &reg, &[2, 1, 1]).unwrap();
-        assert!(matches!(w[0], WaitingOutcome::Stable { utilization, .. } if (utilization - 0.75).abs() < 1e-9));
+        assert!(
+            matches!(w[0], WaitingOutcome::Stable { utilization, .. } if (utilization - 0.75).abs() < 1e-9)
+        );
     }
 
     #[test]
@@ -503,7 +545,10 @@ mod tests {
         let shared = waiting_times_colocated(
             &load,
             &reg,
-            &[ColocationGroup { types: vec![ServerTypeId(0), ServerTypeId(1)], replicas: 1 }],
+            &[ColocationGroup {
+                types: vec![ServerTypeId(0), ServerTypeId(1)],
+                replicas: 1,
+            }],
         )
         .unwrap();
         let w_shared = shared[0].waiting_time().unwrap();
@@ -522,7 +567,10 @@ mod tests {
         let out = waiting_times_colocated(
             &load,
             &reg,
-            &[ColocationGroup { types: vec![ServerTypeId(0)], replicas: 0 }],
+            &[ColocationGroup {
+                types: vec![ServerTypeId(0)],
+                replicas: 0,
+            }],
         )
         .unwrap();
         assert_eq!(out, vec![WaitingOutcome::Down]);
@@ -585,16 +633,13 @@ mod tests {
             active_instances: vec![],
         };
         // Empty replica list = type down.
-        let out = waiting_times_heterogeneous(
-            &load,
-            &reg,
-            &[vec![], vec![1.0], vec![1.0]],
-        )
-        .unwrap();
+        let out =
+            waiting_times_heterogeneous(&load, &reg, &[vec![], vec![1.0], vec![1.0]]).unwrap();
         assert!(matches!(out[0], WaitingOutcome::Down));
         // Bad speed factor rejected.
-        assert!(waiting_times_heterogeneous(&load, &reg, &[vec![0.0], vec![1.0], vec![1.0]])
-            .is_err());
+        assert!(
+            waiting_times_heterogeneous(&load, &reg, &[vec![0.0], vec![1.0], vec![1.0]]).is_err()
+        );
         // Shape mismatch rejected.
         assert!(matches!(
             waiting_times_heterogeneous(&load, &reg, &[vec![1.0]]),

@@ -23,15 +23,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use wfms_avail::{AvailabilityModel, AvailError};
+use wfms_avail::{AvailError, AvailabilityModel};
 use wfms_markov::ctmc::SteadyStateMethod;
 use wfms_perf::{waiting_times, PerfError, SystemLoad, WaitingOutcome};
 use wfms_statechart::{Configuration, ServerTypeRegistry};
 
 /// How to account for system states whose waiting time is undefined
 /// (saturated or down).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum DegradedPolicy {
     /// Condition on the system *serving* (operational and all types
     /// stable): `W_x = Σ_serving w_x^i π_i / P(serving)`. The
@@ -50,7 +49,6 @@ pub enum DegradedPolicy {
     },
 }
 
-
 /// Per-state detail of the performability evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateDetail {
@@ -65,7 +63,9 @@ pub struct StateDetail {
 impl StateDetail {
     /// True when every server type is stable in this state.
     pub fn is_serving(&self) -> bool {
-        self.outcomes.iter().all(|o| matches!(o, WaitingOutcome::Stable { .. }))
+        self.outcomes
+            .iter()
+            .all(|o| matches!(o, WaitingOutcome::Stable { .. }))
     }
 }
 
@@ -184,7 +184,9 @@ pub fn evaluate_with_model(
 ) -> Result<PerformabilityReport, PerformabilityError> {
     if let DegradedPolicy::Penalty { waiting_time } = policy {
         if !(waiting_time.is_finite() && waiting_time >= 0.0) {
-            return Err(PerformabilityError::InvalidPenalty { value: waiting_time });
+            return Err(PerformabilityError::InvalidPenalty {
+                value: waiting_time,
+            });
         }
     }
     let k = registry.len();
@@ -196,8 +198,10 @@ pub fn evaluate_with_model(
     for (state, probability) in model.distribution(pi)? {
         let outcomes = waiting_times(load, registry, &state)?;
         let down = outcomes.iter().any(|o| matches!(o, WaitingOutcome::Down));
-        let saturated =
-            !down && outcomes.iter().any(|o| matches!(o, WaitingOutcome::Saturated { .. }));
+        let saturated = !down
+            && outcomes
+                .iter()
+                .any(|o| matches!(o, WaitingOutcome::Saturated { .. }));
         if down {
             probability_down += probability;
         } else if saturated {
@@ -205,7 +209,11 @@ pub fn evaluate_with_model(
         } else {
             probability_serving += probability;
         }
-        details.push(StateDetail { state, probability, outcomes });
+        details.push(StateDetail {
+            state,
+            probability,
+            outcomes,
+        });
     }
 
     let mut expected_waiting = vec![0.0; k];
@@ -257,11 +265,12 @@ mod tests {
 
     /// A load that puts utilization `rho` on a single server of each type.
     fn load_at(rho: f64, reg: &ServerTypeRegistry) -> SystemLoad {
-        let rates: Vec<f64> = reg
-            .iter()
-            .map(|(_, t)| rho / t.service_time_mean)
-            .collect();
-        SystemLoad { request_rates: rates, total_arrival_rate: 1.0, active_instances: vec![] }
+        let rates: Vec<f64> = reg.iter().map(|(_, t)| rho / t.service_time_mean).collect();
+        SystemLoad {
+            request_rates: rates,
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        }
     }
 
     #[test]
@@ -332,10 +341,20 @@ mod tests {
         let config = Configuration::uniform(&reg, 2).unwrap();
         let load = load_at(0.5, &reg);
         let conditional = evaluate(&reg, &config, &load, DegradedPolicy::Conditional).unwrap();
-        let low_pen =
-            evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: 0.0 }).unwrap();
-        let high_pen =
-            evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: 1e3 }).unwrap();
+        let low_pen = evaluate(
+            &reg,
+            &config,
+            &load,
+            DegradedPolicy::Penalty { waiting_time: 0.0 },
+        )
+        .unwrap();
+        let high_pen = evaluate(
+            &reg,
+            &config,
+            &load,
+            DegradedPolicy::Penalty { waiting_time: 1e3 },
+        )
+        .unwrap();
         for x in 0..3 {
             assert!(low_pen.expected_waiting[x] <= conditional.expected_waiting[x] + 1e-12);
             assert!(high_pen.expected_waiting[x] > conditional.expected_waiting[x]);
@@ -375,8 +394,13 @@ mod tests {
             Err(PerformabilityError::NoServingStates)
         ));
         // The penalty policy still produces a number.
-        let pen =
-            evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: 60.0 }).unwrap();
+        let pen = evaluate(
+            &reg,
+            &config,
+            &load,
+            DegradedPolicy::Penalty { waiting_time: 60.0 },
+        )
+        .unwrap();
         assert!(pen.expected_waiting.iter().all(|&w| w > 0.0));
     }
 
@@ -387,7 +411,12 @@ mod tests {
         let load = load_at(0.2, &reg);
         for bad in [f64::NAN, f64::INFINITY, -1.0] {
             assert!(matches!(
-                evaluate(&reg, &config, &load, DegradedPolicy::Penalty { waiting_time: bad }),
+                evaluate(
+                    &reg,
+                    &config,
+                    &load,
+                    DegradedPolicy::Penalty { waiting_time: bad }
+                ),
                 Err(PerformabilityError::InvalidPenalty { .. })
             ));
         }
@@ -407,12 +436,20 @@ mod tests {
             .expect("state (2,2,1) present");
         assert!(detail.is_serving());
         // App server waiting in that state must exceed the full-state value.
-        let full = report.details.iter().find(|d| d.state == vec![2, 2, 2]).unwrap();
+        let full = report
+            .details
+            .iter()
+            .find(|d| d.state == vec![2, 2, 2])
+            .unwrap();
         let w_degraded = detail.outcomes[2].waiting_time().unwrap();
         let w_full = full.outcomes[2].waiting_time().unwrap();
         assert!(w_degraded > w_full);
         // Down state detected.
-        let down = report.details.iter().find(|d| d.state == vec![0, 2, 2]).unwrap();
+        let down = report
+            .details
+            .iter()
+            .find(|d| d.state == vec![0, 2, 2])
+            .unwrap();
         assert!(!down.is_serving());
         assert!(matches!(down.outcomes[0], WaitingOutcome::Down));
     }

@@ -32,7 +32,10 @@ pub struct Stream {
 ///   negative, or all rates are zero (the mixture is undefined).
 pub fn merge_streams(streams: &[Stream]) -> Result<Mg1, QueueError> {
     if streams.is_empty() {
-        return Err(QueueError::InvalidParameter { what: "stream count", value: 0.0 });
+        return Err(QueueError::InvalidParameter {
+            what: "stream count",
+            value: 0.0,
+        });
     }
     let mut total_rate = 0.0;
     for s in streams {
@@ -45,7 +48,10 @@ pub fn merge_streams(streams: &[Stream]) -> Result<Mg1, QueueError> {
         total_rate += s.arrival_rate;
     }
     if total_rate <= 0.0 {
-        return Err(QueueError::InvalidParameter { what: "total arrival rate", value: total_rate });
+        return Err(QueueError::InvalidParameter {
+            what: "total arrival rate",
+            value: total_rate,
+        });
     }
     let mut mean = 0.0;
     let mut second = 0.0;
@@ -62,7 +68,10 @@ mod tests {
     use super::*;
 
     fn stream(rate: f64, mean: f64) -> Stream {
-        Stream { arrival_rate: rate, service: ServiceMoments::exponential(mean).unwrap() }
+        Stream {
+            arrival_rate: rate,
+            service: ServiceMoments::exponential(mean).unwrap(),
+        }
     }
 
     #[test]
@@ -106,7 +115,10 @@ mod tests {
         // each request is at least the larger dedicated wait.
         let a = stream(0.3, 1.0);
         let b = stream(0.3, 1.0);
-        let dedicated = Mg1::new(a.arrival_rate, a.service).unwrap().mean_waiting_time().unwrap();
+        let dedicated = Mg1::new(a.arrival_rate, a.service)
+            .unwrap()
+            .mean_waiting_time()
+            .unwrap();
         let shared = merge_streams(&[a, b]).unwrap().mean_waiting_time().unwrap();
         assert!(shared > dedicated);
     }
@@ -115,10 +127,16 @@ mod tests {
     fn merge_validates_input() {
         assert!(matches!(
             merge_streams(&[]),
-            Err(QueueError::InvalidParameter { what: "stream count", .. })
+            Err(QueueError::InvalidParameter {
+                what: "stream count",
+                ..
+            })
         ));
         assert!(merge_streams(&[stream(0.0, 1.0)]).is_err());
-        let bad = Stream { arrival_rate: -1.0, service: ServiceMoments::exponential(1.0).unwrap() };
+        let bad = Stream {
+            arrival_rate: -1.0,
+            service: ServiceMoments::exponential(1.0).unwrap(),
+        };
         assert!(merge_streams(&[bad]).is_err());
     }
 }

@@ -1,0 +1,169 @@
+//! The queueing/stability lint pass (`Q0xx` diagnostics).
+//!
+//! [`lint_station`] checks one server type's queueing station — offered
+//! request rate, service-time moments, and replica count — against the
+//! stability and validity conditions of the paper's M/G/1 waiting-time
+//! model (Secs. 4.3–4.4): finite non-negative rates, moments satisfying
+//! `E[B²] ≥ E[B]² > 0`, and per-replica utilization `ρ = λ·b / y < 1`
+//! (the Pollaczek–Khinchine formula diverges at `ρ = 1`).
+
+use wfms_diag::{codes, Diagnostic, Diagnostics, Location};
+
+/// Per-replica utilization at or above this (but below one) is flagged
+/// as near-saturation: the P-K waiting time grows as `1/(1-ρ)`, so small
+/// load growth causes large waiting-time growth.
+pub const NEAR_SATURATION_UTILIZATION: f64 = 0.9;
+
+/// Lints one queueing station from raw (unvalidated) parameters.
+///
+/// `station` names the server type; `arrival_rate` is the aggregate
+/// request rate `λ` offered to the type (requests per minute),
+/// `mean_service`/`second_moment` are the service-time moments `b` and
+/// `b^(2)`, and `replicas` is the configured degree `y`. The load is
+/// assumed to be split uniformly over replicas (Sec. 4.3), so each
+/// replica sees `λ / y`.
+///
+/// A station with zero replicas is skipped here — whether that is a
+/// defect depends on the offered load, which is a configuration concern
+/// (code `C002` in the `wfms-analysis` crate).
+pub fn lint_station(
+    station: &str,
+    arrival_rate: f64,
+    mean_service: f64,
+    second_moment: f64,
+    replicas: usize,
+) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    let location = || Location::ServerType {
+        server_type: station.to_string(),
+    };
+
+    let rate_ok = arrival_rate.is_finite() && arrival_rate >= 0.0;
+    if !rate_ok {
+        out.push(Diagnostic::error(
+            codes::Q_INVALID_RATE,
+            location(),
+            format!("request rate {arrival_rate} must be finite and non-negative"),
+        ));
+    }
+    let mean_ok = mean_service.is_finite() && mean_service > 0.0;
+    if !mean_ok {
+        out.push(Diagnostic::error(
+            codes::Q_INVALID_MOMENTS,
+            location(),
+            format!("mean service time {mean_service} must be positive and finite"),
+        ));
+    }
+    // Jensen: E[B²] ≥ E[B]² for every distribution.
+    let second_ok = second_moment.is_finite()
+        && (!mean_ok || second_moment >= mean_service * mean_service * (1.0 - 1e-12));
+    if !second_ok {
+        out.push(Diagnostic::error(
+            codes::Q_INVALID_MOMENTS,
+            location(),
+            format!(
+                "service-time second moment {second_moment} is impossible for mean \
+                 {mean_service} (needs E[B^2] >= E[B]^2)"
+            ),
+        ));
+    }
+
+    if rate_ok && mean_ok && second_ok && replicas > 0 && arrival_rate > 0.0 {
+        let utilization = arrival_rate * mean_service / replicas as f64;
+        if utilization >= 1.0 {
+            out.push(Diagnostic::error(
+                codes::Q_OVERLOADED,
+                location(),
+                format!(
+                    "{replicas} replica(s) cannot sustain the load: per-replica \
+                     utilization {utilization:.3} >= 1, waiting time diverges"
+                ),
+            ));
+        } else if utilization >= NEAR_SATURATION_UTILIZATION {
+            out.push(Diagnostic::warning(
+                codes::Q_NEAR_SATURATION,
+                location(),
+                format!(
+                    "per-replica utilization {utilization:.3} is close to saturation; \
+                     waiting time is fragile under load growth"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::Mg1;
+    use crate::moments::ServiceMoments;
+
+    #[test]
+    fn healthy_station_is_silent() {
+        let d = lint_station("WFS", 0.5, 1.0, 2.0, 2);
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn overloaded_station_is_an_error() {
+        let d = lint_station("WFS", 3.0, 1.0, 2.0, 2);
+        assert_eq!(d.distinct_codes(), vec![codes::Q_OVERLOADED.to_string()]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn near_saturation_is_a_warning() {
+        let d = lint_station("AS", 1.9, 1.0, 2.0, 2);
+        assert_eq!(
+            d.distinct_codes(),
+            vec![codes::Q_NEAR_SATURATION.to_string()]
+        );
+        assert!(!d.has_errors());
+    }
+
+    #[test]
+    fn invalid_rate_and_moments_reported_together() {
+        let d = lint_station("CS", f64::NAN, -1.0, 0.5, 1);
+        let found = d.distinct_codes();
+        assert!(
+            found.contains(&codes::Q_INVALID_RATE.to_string()),
+            "{found:?}"
+        );
+        assert!(
+            found.contains(&codes::Q_INVALID_MOMENTS.to_string()),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_second_moment_is_an_error() {
+        // E[B²] < E[B]² violates Jensen's inequality.
+        let d = lint_station("AS", 0.1, 2.0, 1.0, 1);
+        assert_eq!(
+            d.distinct_codes(),
+            vec![codes::Q_INVALID_MOMENTS.to_string()]
+        );
+        assert!(ServiceMoments::new(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_replicas_or_zero_load_is_not_a_queueing_finding() {
+        assert!(lint_station("AS", 1.0, 1.0, 2.0, 0).is_empty());
+        assert!(lint_station("AS", 0.0, 1.0, 2.0, 1).is_empty());
+    }
+
+    #[test]
+    fn lint_verdict_matches_mg1_stability() {
+        for (rate, replicas) in [(0.3, 1), (0.99, 1), (1.2, 2), (2.5, 2)] {
+            let service = ServiceMoments::exponential(1.0).unwrap();
+            let per_replica = Mg1::new(rate / replicas as f64, service).unwrap();
+            let d = lint_station("AS", rate, 1.0, 2.0, replicas);
+            assert_eq!(
+                per_replica.is_stable(),
+                d.with_code(codes::Q_OVERLOADED).count() == 0,
+                "rate {rate}, replicas {replicas}"
+            );
+        }
+    }
+}

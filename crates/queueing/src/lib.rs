@@ -7,12 +7,14 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod checks;
 pub mod error;
 pub mod mg1;
 pub mod mmc;
 pub mod moments;
 
 pub use aggregate::{merge_streams, Stream};
+pub use checks::{lint_station, NEAR_SATURATION_UTILIZATION};
 pub use error::QueueError;
 pub use mg1::{littles_law_population, Mg1};
 pub use mmc::Mmc;

@@ -37,7 +37,10 @@ impl Mg1 {
                 value: arrival_rate,
             });
         }
-        Ok(Mg1 { arrival_rate, service })
+        Ok(Mg1 {
+            arrival_rate,
+            service,
+        })
     }
 
     /// Server utilization `ρ = λ̃ · b`.

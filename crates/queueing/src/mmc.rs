@@ -35,9 +35,16 @@ impl Mmc {
     ///
     /// # Errors
     /// [`QueueError::InvalidParameter`] on non-positive parameters.
-    pub fn new(arrival_rate: f64, service_time_mean: f64, servers: usize) -> Result<Self, QueueError> {
+    pub fn new(
+        arrival_rate: f64,
+        service_time_mean: f64,
+        servers: usize,
+    ) -> Result<Self, QueueError> {
         if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
-            return Err(QueueError::InvalidParameter { what: "arrival rate", value: arrival_rate });
+            return Err(QueueError::InvalidParameter {
+                what: "arrival rate",
+                value: arrival_rate,
+            });
         }
         if !(service_time_mean.is_finite() && service_time_mean > 0.0) {
             return Err(QueueError::InvalidParameter {
@@ -46,9 +53,16 @@ impl Mmc {
             });
         }
         if servers == 0 {
-            return Err(QueueError::InvalidParameter { what: "server count", value: 0.0 });
+            return Err(QueueError::InvalidParameter {
+                what: "server count",
+                value: 0.0,
+            });
         }
-        Ok(Mmc { arrival_rate, service_time_mean, servers })
+        Ok(Mmc {
+            arrival_rate,
+            service_time_mean,
+            servers,
+        })
     }
 
     /// Offered load in Erlangs, `a = λ/μ`.
@@ -120,7 +134,10 @@ mod tests {
             let mm1 = Mg1::new(rho, ServiceMoments::exponential(1.0).unwrap()).unwrap();
             let w_pool = mmc.mean_waiting_time().unwrap();
             let w_mm1 = mm1.mean_waiting_time().unwrap();
-            assert!((w_pool - w_mm1).abs() < 1e-12, "rho={rho}: {w_pool} vs {w_mm1}");
+            assert!(
+                (w_pool - w_mm1).abs() < 1e-12,
+                "rho={rho}: {w_pool} vs {w_mm1}"
+            );
             // And Erlang-C with c = 1 is just rho.
             assert!((mmc.waiting_probability().unwrap() - rho).abs() < 1e-12);
         }
@@ -163,12 +180,18 @@ mod tests {
             .mean_waiting_time()
             .unwrap();
         for c in [2usize, 4, 8, 16] {
-            let pooled = Mmc::new(rho * c as f64, 1.0, c).unwrap().mean_waiting_time().unwrap();
+            let pooled = Mmc::new(rho * c as f64, 1.0, c)
+                .unwrap()
+                .mean_waiting_time()
+                .unwrap();
             let ratio = partitioned / pooled;
             assert!(ratio > last_ratio, "gain must grow: c={c}, ratio {ratio}");
             last_ratio = ratio;
         }
-        assert!(last_ratio > 5.0, "16-way pooling gain should be large: {last_ratio}");
+        assert!(
+            last_ratio > 5.0,
+            "16-way pooling gain should be large: {last_ratio}"
+        );
     }
 
     #[test]

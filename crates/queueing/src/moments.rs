@@ -28,7 +28,10 @@ impl ServiceMoments {
     /// distribution, by Jensen's inequality).
     pub fn new(mean: f64, second_moment: f64) -> Result<Self, QueueError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(QueueError::InvalidParameter { what: "service time mean", value: mean });
+            return Err(QueueError::InvalidParameter {
+                what: "service time mean",
+                value: mean,
+            });
         }
         if !(second_moment.is_finite() && second_moment >= mean * mean * (1.0 - 1e-12)) {
             return Err(QueueError::InvalidParameter {
@@ -36,7 +39,10 @@ impl ServiceMoments {
                 value: second_moment,
             });
         }
-        Ok(ServiceMoments { mean, second_moment })
+        Ok(ServiceMoments {
+            mean,
+            second_moment,
+        })
     }
 
     /// Exponential service with the given mean (`b^(2) = 2b²`).
@@ -62,7 +68,10 @@ impl ServiceMoments {
     /// [`QueueError::InvalidParameter`] on a non-positive mean or `k = 0`.
     pub fn erlang(k: usize, mean: f64) -> Result<Self, QueueError> {
         if k == 0 {
-            return Err(QueueError::InvalidParameter { what: "Erlang stages", value: 0.0 });
+            return Err(QueueError::InvalidParameter {
+                what: "Erlang stages",
+                value: 0.0,
+            });
         }
         let kf = k as f64;
         Self::new(mean, mean * mean * (kf + 1.0) / kf)
@@ -75,7 +84,10 @@ impl ServiceMoments {
     /// [`QueueError::InvalidParameter`] on bad arguments.
     pub fn with_scv(mean: f64, scv: f64) -> Result<Self, QueueError> {
         if !(scv.is_finite() && scv >= 0.0) {
-            return Err(QueueError::InvalidParameter { what: "service time SCV", value: scv });
+            return Err(QueueError::InvalidParameter {
+                what: "service time SCV",
+                value: scv,
+            });
         }
         Self::new(mean, mean * mean * (1.0 + scv))
     }
@@ -88,7 +100,10 @@ impl ServiceMoments {
     /// [`QueueError::InvalidParameter`] for an empty or degenerate sample.
     pub fn from_samples(samples: &[f64]) -> Result<Self, QueueError> {
         if samples.is_empty() {
-            return Err(QueueError::InvalidParameter { what: "sample count", value: 0.0 });
+            return Err(QueueError::InvalidParameter {
+                what: "sample count",
+                value: 0.0,
+            });
         }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;

@@ -76,7 +76,10 @@ impl CompiledWorkflow {
     pub fn compile(spec: &WorkflowSpec, registry: &ServerTypeRegistry) -> Result<Self, SimError> {
         let mut charts = Vec::new();
         compile_chart(&spec.chart, spec, registry, &mut charts)?;
-        Ok(CompiledWorkflow { name: spec.name.clone(), charts })
+        Ok(CompiledWorkflow {
+            name: spec.name.clone(),
+            charts,
+        })
     }
 }
 
@@ -125,11 +128,13 @@ fn compile_chart(
                     }
                 })?;
                 if a.load.len() != registry.len() {
-                    return Err(SimError::Spec(wfms_statechart::SpecError::ActivityLoadLength {
-                        activity: a.name.clone(),
-                        expected: registry.len(),
-                        actual: a.load.len(),
-                    }));
+                    return Err(SimError::Spec(
+                        wfms_statechart::SpecError::ActivityLoadLength {
+                            activity: a.name.clone(),
+                            expected: registry.len(),
+                            actual: a.load.len(),
+                        },
+                    ));
                 }
                 CompiledState::Activity {
                     duration: Duration::from_mean_scv(a.mean_duration, a.duration_scv)?,
@@ -185,7 +190,12 @@ mod tests {
         let spec = WorkflowSpec::new(
             "T",
             leaf("T", "A"),
-            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 0.0, 0.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                2.0,
+                vec![1.0, 0.0, 0.0],
+            )],
         );
         let cw = CompiledWorkflow::compile(&spec, &paper_section52_registry()).unwrap();
         assert_eq!(cw.charts.len(), 1);
@@ -211,7 +221,12 @@ mod tests {
         let spec = WorkflowSpec::new(
             "outer",
             outer,
-            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 0.0, 0.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                2.0,
+                vec![1.0, 0.0, 0.0],
+            )],
         );
         let cw = CompiledWorkflow::compile(&spec, &paper_section52_registry()).unwrap();
         assert_eq!(cw.charts.len(), 3);
@@ -229,7 +244,9 @@ mod tests {
         let spec = WorkflowSpec::new("T", leaf("T", "Ghost"), []);
         assert!(matches!(
             CompiledWorkflow::compile(&spec, &paper_section52_registry()),
-            Err(SimError::Spec(wfms_statechart::SpecError::UnknownActivity { .. }))
+            Err(SimError::Spec(
+                wfms_statechart::SpecError::UnknownActivity { .. }
+            ))
         ));
     }
 
@@ -238,11 +255,18 @@ mod tests {
         let spec = WorkflowSpec::new(
             "T",
             leaf("T", "A"),
-            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                2.0,
+                vec![1.0],
+            )],
         );
         assert!(matches!(
             CompiledWorkflow::compile(&spec, &paper_section52_registry()),
-            Err(SimError::Spec(wfms_statechart::SpecError::ActivityLoadLength { .. }))
+            Err(SimError::Spec(
+                wfms_statechart::SpecError::ActivityLoadLength { .. }
+            ))
         ));
     }
 }

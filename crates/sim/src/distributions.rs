@@ -50,10 +50,16 @@ impl Duration {
     /// [`SimError::InvalidParameter`] on non-positive mean or negative SCV.
     pub fn from_mean_scv(mean: f64, scv: f64) -> Result<Self, SimError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(SimError::InvalidParameter { what: "duration mean", value: mean });
+            return Err(SimError::InvalidParameter {
+                what: "duration mean",
+                value: mean,
+            });
         }
         if !(scv.is_finite() && scv >= 0.0) {
-            return Err(SimError::InvalidParameter { what: "duration SCV", value: scv });
+            return Err(SimError::InvalidParameter {
+                what: "duration SCV",
+                value: scv,
+            });
         }
         const NEAR: f64 = 1e-9;
         if scv <= NEAR {
@@ -133,7 +139,10 @@ mod tests {
             Duration::from_mean_scv(2.0, 0.0).unwrap(),
             Duration::Deterministic { value } if value == 2.0
         ));
-        assert!(matches!(Duration::from_mean_scv(2.0, 1.0).unwrap(), Duration::Exponential { .. }));
+        assert!(matches!(
+            Duration::from_mean_scv(2.0, 1.0).unwrap(),
+            Duration::Exponential { .. }
+        ));
         assert!(matches!(
             Duration::from_mean_scv(2.0, 0.25).unwrap(),
             Duration::Erlang { k: 4, .. }
@@ -143,7 +152,10 @@ mod tests {
             Duration::Hyperexponential { .. }
         ));
         // SCV just below 1 rounds to the exponential.
-        assert!(matches!(Duration::from_mean_scv(2.0, 0.9).unwrap(), Duration::Exponential { .. }));
+        assert!(matches!(
+            Duration::from_mean_scv(2.0, 0.9).unwrap(),
+            Duration::Exponential { .. }
+        ));
     }
 
     #[test]
@@ -189,7 +201,10 @@ mod tests {
     fn exponential_sampler_is_positive_and_unbiased() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let n = 200_000;
-        let mean = (0..n).map(|_| sample_exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| sample_exponential(&mut rng, 2.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

@@ -106,12 +106,30 @@ impl Default for SimOptions {
 
 #[derive(Debug, Clone, PartialEq)]
 enum EventKind {
-    Arrival { wf: usize },
-    StateEnd { iid: u64, frame: usize },
-    Request { server_type: usize, iid: u64 },
-    ServiceDone { server_type: usize, replica: usize, token: u64 },
-    Fail { server_type: usize, replica: usize },
-    Repair { server_type: usize, replica: usize },
+    Arrival {
+        wf: usize,
+    },
+    StateEnd {
+        iid: u64,
+        frame: usize,
+    },
+    Request {
+        server_type: usize,
+        iid: u64,
+    },
+    ServiceDone {
+        server_type: usize,
+        replica: usize,
+        token: u64,
+    },
+    Fail {
+        server_type: usize,
+        replica: usize,
+    },
+    Repair {
+        server_type: usize,
+        replica: usize,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -131,7 +149,9 @@ impl PartialOrd for Event {
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -247,11 +267,17 @@ pub fn run(
         && opts.warmup_minutes >= 0.0
         && opts.warmup_minutes < opts.duration_minutes)
     {
-        return Err(SimError::InvalidParameter { what: "warmup", value: opts.warmup_minutes });
+        return Err(SimError::InvalidParameter {
+            what: "warmup",
+            value: opts.warmup_minutes,
+        });
     }
     for (spec, rate) in workload {
         if !(rate.is_finite() && *rate >= 0.0) {
-            return Err(SimError::InvalidParameter { what: "arrival rate", value: *rate });
+            return Err(SimError::InvalidParameter {
+                what: "arrival rate",
+                value: *rate,
+            });
         }
         let _ = spec;
     }
@@ -266,8 +292,7 @@ pub fn run(
 
     let mut pools = Vec::with_capacity(k);
     for (id, st) in registry.iter() {
-        let scv = (st.service_time_second_moment
-            - st.service_time_mean * st.service_time_mean)
+        let scv = (st.service_time_second_moment - st.service_time_mean * st.service_time_mean)
             .max(0.0)
             / (st.service_time_mean * st.service_time_mean);
         let service = Duration::from_mean_scv(st.service_time_mean, scv)?;
@@ -307,8 +332,12 @@ pub fn run(
         wf_started: vec![0; n_wf],
         wf_completed: vec![0; n_wf],
         wf_turnaround: (0..n_wf).map(|_| OnlineStats::new()).collect(),
-        wf_turnaround_batches: (0..n_wf).map(|_| BatchMeans::new(TURNAROUND_BATCH)).collect(),
-        wf_requests: (0..n_wf).map(|_| (0..k).map(|_| OnlineStats::new()).collect()).collect(),
+        wf_turnaround_batches: (0..n_wf)
+            .map(|_| BatchMeans::new(TURNAROUND_BATCH))
+            .collect(),
+        wf_requests: (0..n_wf)
+            .map(|_| (0..k).map(|_| OnlineStats::new()).collect())
+            .collect(),
         audit: Vec::new(),
         events_processed: 0,
     };
@@ -320,7 +349,11 @@ pub fn run(
 impl Engine<'_> {
     fn schedule(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn bootstrap(&mut self) {
@@ -334,13 +367,21 @@ impl Engine<'_> {
         }
         if self.opts.failures_enabled {
             for x in 0..self.pools.len() {
-                let mttf = self.registry.get(wfms_statechart::ServerTypeId(x))
+                let mttf = self
+                    .registry
+                    .get(wfms_statechart::ServerTypeId(x))
                     .expect("registry index")
                     .mttf();
                 for r in 0..self.pools[x].replicas.len() {
                     let t = sample_exponential(&mut self.rng, 1.0 / mttf);
                     if t <= self.opts.duration_minutes {
-                        self.schedule(t, EventKind::Fail { server_type: x, replica: r });
+                        self.schedule(
+                            t,
+                            EventKind::Fail {
+                                server_type: x,
+                                replica: r,
+                            },
+                        );
                     }
                 }
             }
@@ -366,13 +407,19 @@ impl Engine<'_> {
                 EventKind::Arrival { wf } => self.on_arrival(wf),
                 EventKind::StateEnd { iid, frame } => self.on_state_end(iid, frame),
                 EventKind::Request { server_type, iid } => self.on_request(server_type, iid),
-                EventKind::ServiceDone { server_type, replica, token } => {
-                    self.on_service_done(server_type, replica, token)
-                }
-                EventKind::Fail { server_type, replica } => self.on_fail(server_type, replica),
-                EventKind::Repair { server_type, replica } => {
-                    self.on_repair(server_type, replica)
-                }
+                EventKind::ServiceDone {
+                    server_type,
+                    replica,
+                    token,
+                } => self.on_service_done(server_type, replica, token),
+                EventKind::Fail {
+                    server_type,
+                    replica,
+                } => self.on_fail(server_type, replica),
+                EventKind::Repair {
+                    server_type,
+                    replica,
+                } => self.on_repair(server_type, replica),
             }
         }
         // Close the availability accounting at the horizon.
@@ -420,7 +467,10 @@ impl Engine<'_> {
 
     fn count_pending_trails(&self) -> usize {
         // Cheap upper bound: instances currently collecting a trail.
-        self.instances.values().filter(|i| i.trail.is_some()).count()
+        self.instances
+            .values()
+            .filter(|i| i.trail.is_some())
+            .count()
     }
 
     /// Acts on the state the frame currently points at.
@@ -451,12 +501,22 @@ impl Engine<'_> {
                 for (x, &expected) in load.iter().enumerate() {
                     let whole = expected.floor() as u64;
                     let frac = expected - expected.floor();
-                    let extra = if frac > 0.0 && self.rng.gen::<f64>() < frac { 1 } else { 0 };
+                    let extra = if frac > 0.0 && self.rng.gen::<f64>() < frac {
+                        1
+                    } else {
+                        0
+                    };
                     let n = whole + extra;
                     generated[x] = n;
                     for _ in 0..n {
                         let t = self.now + self.rng.gen::<f64>() * d;
-                        self.schedule(t, EventKind::Request { server_type: x, iid });
+                        self.schedule(
+                            t,
+                            EventKind::Request {
+                                server_type: x,
+                                iid,
+                            },
+                        );
                     }
                 }
                 if let Some(inst) = self.instances.get_mut(&iid) {
@@ -466,7 +526,13 @@ impl Engine<'_> {
                     inst.frames[frame_idx].entered_at = self.now;
                 }
                 let end = self.now + d;
-                self.schedule(end, EventKind::StateEnd { iid, frame: frame_idx });
+                self.schedule(
+                    end,
+                    EventKind::StateEnd {
+                        iid,
+                        frame: frame_idx,
+                    },
+                );
             }
             CompiledState::Nested { charts } => {
                 if let Some(inst) = self.instances.get_mut(&iid) {
@@ -516,7 +582,10 @@ impl Engine<'_> {
         );
         if is_top && is_real {
             let name = self.workflows[wf].charts[chart].state_names[state].clone();
-            let visit = AuditVisit { state: name, duration_minutes: self.now - entered_at };
+            let visit = AuditVisit {
+                state: name,
+                duration_minutes: self.now - entered_at,
+            };
             if let Some(inst) = self.instances.get_mut(&iid) {
                 if let Some(trail) = inst.trail.as_mut() {
                     trail.push(visit);
@@ -526,7 +595,10 @@ impl Engine<'_> {
         // Sample the successor.
         let next = {
             let outgoing = &self.workflows[wf].charts[chart].outgoing[state];
-            debug_assert!(!outgoing.is_empty(), "non-final state without outgoing transitions");
+            debug_assert!(
+                !outgoing.is_empty(),
+                "non-final state without outgoing transitions"
+            );
             let u: f64 = self.rng.gen();
             let mut acc = 0.0;
             let mut chosen = outgoing.last().expect("validated chart").0;
@@ -606,8 +678,8 @@ impl Engine<'_> {
         if self.opts.queue_discipline == QueueDiscipline::SharedQueue {
             // One queue per type; any idle up replica pulls from it.
             self.pools[x].held.push_back(arrival);
-            if let Some(idle) = (0..n)
-                .find(|&r| self.pools[x].replicas[r].up && !self.pools[x].replicas[r].busy)
+            if let Some(idle) =
+                (0..n).find(|&r| self.pools[x].replicas[r].up && !self.pools[x].replicas[r].busy)
             {
                 self.try_start(x, idle);
             }
@@ -671,7 +743,14 @@ impl Engine<'_> {
             pool.waiting_batches.push(waited);
             pool.service_observed.push(s);
         }
-        self.schedule(now + s, EventKind::ServiceDone { server_type: x, replica: r, token });
+        self.schedule(
+            now + s,
+            EventKind::ServiceDone {
+                server_type: x,
+                replica: r,
+                token,
+            },
+        );
     }
 
     fn on_service_done(&mut self, x: usize, r: usize, token: u64) {
@@ -740,7 +819,13 @@ impl Engine<'_> {
             .expect("registry index")
             .mttr();
         let t = self.now + sample_exponential(&mut self.rng, 1.0 / mttr);
-        self.schedule(t, EventKind::Repair { server_type: x, replica: r });
+        self.schedule(
+            t,
+            EventKind::Repair {
+                server_type: x,
+                replica: r,
+            },
+        );
     }
 
     fn on_repair(&mut self, x: usize, r: usize) {
@@ -770,7 +855,13 @@ impl Engine<'_> {
             .mttf();
         let t = self.now + sample_exponential(&mut self.rng, 1.0 / mttf);
         if t <= self.opts.duration_minutes {
-            self.schedule(t, EventKind::Fail { server_type: x, replica: r });
+            self.schedule(
+                t,
+                EventKind::Fail {
+                    server_type: x,
+                    replica: r,
+                },
+            );
         }
     }
 

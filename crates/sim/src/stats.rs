@@ -222,7 +222,12 @@ impl BatchMeans {
     /// Panics on a zero batch size.
     pub fn new(batch_size: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchMeans { batch_size, current_sum: 0.0, current_count: 0, batch_means: Vec::new() }
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_means: Vec::new(),
+        }
     }
 
     /// Adds one observation.
@@ -230,7 +235,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_count += 1;
         if self.current_count == self.batch_size {
-            self.batch_means.push(self.current_sum / self.batch_size as f64);
+            self.batch_means
+                .push(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_count = 0;
         }
@@ -273,7 +279,11 @@ mod batch_tests {
         assert_eq!(bm.half_width_95(), None);
         bm.push(1.0);
         assert_eq!(bm.batches(), 2);
-        assert_eq!(bm.half_width_95(), Some(0.0), "constant data has zero width");
+        assert_eq!(
+            bm.half_width_95(),
+            Some(0.0),
+            "constant data has zero width"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ fn test_registry() -> ServerTypeRegistry {
         ("app", ServerTypeKind::ApplicationServer),
     ] {
         reg.register(ServerType::with_exponential_service(
-            name, kind, 1.0 / 10_000.0, 0.1, 0.05, // 3-second mean service
+            name,
+            kind,
+            1.0 / 10_000.0,
+            0.1,
+            0.05, // 3-second mean service
         ))
         .unwrap();
     }
@@ -151,7 +155,12 @@ fn one_activity_spec(comm_requests: f64) -> WorkflowSpec {
     WorkflowSpec::new(
         "W",
         chart,
-        [ActivitySpec::new("A", ActivityKind::Automated, 5.0, vec![comm_requests, 1.0, 1.0])],
+        [ActivitySpec::new(
+            "A",
+            ActivityKind::Automated,
+            5.0,
+            vec![comm_requests, 1.0, 1.0],
+        )],
     )
 }
 
@@ -174,7 +183,11 @@ fn simulated_waiting_times_match_mg1_in_the_poisson_regime() {
     };
     let report = run(&reg, &config, &[(&spec, xi)], &opts).unwrap();
     let comm = &report.server_types[0];
-    assert!((comm.utilization - 0.7).abs() < 0.03, "utilization {}", comm.utilization);
+    assert!(
+        (comm.utilization - 0.7).abs() < 0.03,
+        "utilization {}",
+        comm.utilization
+    );
     let mg1 = Mg1::new(xi, ServiceMoments::exponential(0.05).unwrap()).unwrap();
     let w_model = mg1.mean_waiting_time().unwrap();
     assert!(
@@ -265,11 +278,19 @@ fn parallel_subworkflows_show_max_of_means_bias() {
     let spec = WorkflowSpec::new(
         "Par",
         outer,
-        [ActivitySpec::new("A", ActivityKind::Automated, 4.0, vec![1.0, 1.0, 1.0])],
+        [ActivitySpec::new(
+            "A",
+            ActivityKind::Automated,
+            4.0,
+            vec![1.0, 1.0, 1.0],
+        )],
     );
     let reg = test_registry();
     let analytic = analyze_workflow(&spec, &reg, &AnalysisOptions::default()).unwrap();
-    assert!((analytic.mean_turnaround - 4.0).abs() < 1e-9, "analytic uses max of means");
+    assert!(
+        (analytic.mean_turnaround - 4.0).abs() < 1e-9,
+        "analytic uses max of means"
+    );
     let config = Configuration::uniform(&reg, 2).unwrap();
     let opts = SimOptions {
         duration_minutes: 40_000.0,
@@ -283,7 +304,10 @@ fn parallel_subworkflows_show_max_of_means_bias() {
         (sim_r - 6.0).abs() < 0.3,
         "E[max of two exp(4)] = 6, sim {sim_r:.3}"
     );
-    assert!(sim_r > analytic.mean_turnaround, "the analytic value is a lower bound");
+    assert!(
+        sim_r > analytic.mean_turnaround,
+        "the analytic value is a lower bound"
+    );
 }
 
 #[test]
@@ -313,7 +337,12 @@ fn availability_matches_closed_form_under_failures() {
         WorkflowSpec::new(
             "S",
             chart,
-            [ActivitySpec::new("A", ActivityKind::Automated, 1.0, vec![0.2, 0.2])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                1.0,
+                vec![0.2, 0.2],
+            )],
         )
     };
     let config = Configuration::new(&reg, vec![2, 1]).unwrap();
@@ -365,7 +394,13 @@ fn same_seed_reproduces_identical_reports() {
     let a = run(&reg, &config, &[(&spec, 0.05)], &opts).unwrap();
     let b = run(&reg, &config, &[(&spec, 0.05)], &opts).unwrap();
     assert_eq!(a, b);
-    let c = run(&reg, &config, &[(&spec, 0.05)], &SimOptions { seed: 8, ..opts }).unwrap();
+    let c = run(
+        &reg,
+        &config,
+        &[(&spec, 0.05)],
+        &SimOptions { seed: 8, ..opts },
+    )
+    .unwrap();
     assert_ne!(a, c);
 }
 
@@ -374,7 +409,11 @@ fn load_balancing_policies_all_serve_the_load() {
     let reg = test_registry();
     let spec = linear_spec();
     let config = Configuration::uniform(&reg, 3).unwrap();
-    for lb in [LoadBalancing::RoundRobin, LoadBalancing::Random, LoadBalancing::InstanceAffinity] {
+    for lb in [
+        LoadBalancing::RoundRobin,
+        LoadBalancing::Random,
+        LoadBalancing::InstanceAffinity,
+    ] {
         let opts = SimOptions {
             duration_minutes: 10_000.0,
             warmup_minutes: 1_000.0,
@@ -411,7 +450,10 @@ fn deterministic_arrivals_reduce_waiting() {
         &reg,
         &config,
         &[(&spec, 1.5)],
-        &SimOptions { arrivals: ArrivalProcess::Deterministic, ..base },
+        &SimOptions {
+            arrivals: ArrivalProcess::Deterministic,
+            ..base
+        },
     )
     .unwrap();
     // Request arrivals are still spread within activities, but the reduced
@@ -458,7 +500,10 @@ fn audit_trails_reflect_chart_structure() {
         .map(|t| t.visits.len() as f64)
         .sum::<f64>()
         / report.audit_trails.len() as f64;
-    assert!((mean_visits - 2.0 / 0.7).abs() < 0.4, "mean visits {mean_visits}");
+    assert!(
+        (mean_visits - 2.0 / 0.7).abs() < 0.4,
+        "mean visits {mean_visits}"
+    );
 }
 
 #[test]
@@ -475,7 +520,12 @@ fn self_loop_retries_execute_literally() {
     let spec = WorkflowSpec::new(
         "Retry",
         chart,
-        [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 0.0, 0.0])],
+        [ActivitySpec::new(
+            "A",
+            ActivityKind::Automated,
+            2.0,
+            vec![1.0, 0.0, 0.0],
+        )],
     );
     let reg = test_registry();
     let config = Configuration::uniform(&reg, 2).unwrap();
@@ -488,8 +538,16 @@ fn self_loop_retries_execute_literally() {
     let report = run(&reg, &config, &[(&spec, 0.05)], &opts).unwrap();
     // Two executions on average: turnaround 4, one comm request each.
     let wf = &report.workflows[0];
-    assert!((wf.mean_turnaround - 4.0).abs() < 0.15, "turnaround {}", wf.mean_turnaround);
-    assert!((wf.mean_requests[0] - 2.0).abs() < 0.08, "requests {}", wf.mean_requests[0]);
+    assert!(
+        (wf.mean_turnaround - 4.0).abs() < 0.15,
+        "turnaround {}",
+        wf.mean_turnaround
+    );
+    assert!(
+        (wf.mean_requests[0] - 2.0).abs() < 0.08,
+        "requests {}",
+        wf.mean_requests[0]
+    );
     // This must agree with the analytic self-loop folding.
     let analytic = analyze_workflow(&spec, &reg, &AnalysisOptions::default()).unwrap();
     assert!((analytic.mean_turnaround - 4.0).abs() < 1e-9);
@@ -501,7 +559,10 @@ fn invalid_options_are_rejected() {
     let reg = test_registry();
     let spec = linear_spec();
     let config = Configuration::minimal(&reg);
-    let bad_duration = SimOptions { duration_minutes: 0.0, ..SimOptions::default() };
+    let bad_duration = SimOptions {
+        duration_minutes: 0.0,
+        ..SimOptions::default()
+    };
     assert!(run(&reg, &config, &[(&spec, 0.1)], &bad_duration).is_err());
     let bad_warmup = SimOptions {
         duration_minutes: 100.0,
@@ -537,7 +598,10 @@ fn shared_queue_matches_mmc_and_beats_partitioning() {
         &reg,
         &config,
         &[(&spec, xi)],
-        &SimOptions { queue_discipline: QueueDiscipline::SharedQueue, ..base },
+        &SimOptions {
+            queue_discipline: QueueDiscipline::SharedQueue,
+            ..base
+        },
     )
     .unwrap();
 
@@ -577,7 +641,10 @@ fn confidence_intervals_cover_the_analytic_values() {
     let report = run(&reg, &config, &[(&spec, xi)], &opts).unwrap();
     let comm = &report.server_types[0];
     let hw = comm.mean_waiting_ci95.expect("enough batches for a CI");
-    assert!(hw > 0.0 && hw < 0.05 * comm.mean_waiting.max(1e-9) * 10.0, "half-width {hw}");
+    assert!(
+        hw > 0.0 && hw < 0.05 * comm.mean_waiting.max(1e-9) * 10.0,
+        "half-width {hw}"
+    );
     let w_model = Mg1::new(xi, ServiceMoments::exponential(0.05).unwrap())
         .unwrap()
         .mean_waiting_time()

@@ -210,7 +210,10 @@ impl ServerTypeRegistry {
             ("failure rate", server_type.failure_rate),
             ("repair rate", server_type.repair_rate),
             ("service time mean", server_type.service_time_mean),
-            ("service time second moment", server_type.service_time_second_moment),
+            (
+                "service time second moment",
+                server_type.service_time_second_moment,
+            ),
         ];
         for (what, value) in checks {
             if !(value.is_finite() && value > 0.0) {
@@ -241,24 +244,34 @@ impl ServerTypeRegistry {
     /// # Errors
     /// [`ArchError::UnknownServerType`] for a stale id.
     pub fn get(&self, id: ServerTypeId) -> Result<&ServerType, ArchError> {
-        self.types
-            .get(id.0)
-            .ok_or(ArchError::UnknownServerType { id, registered: self.types.len() })
+        self.types.get(id.0).ok_or(ArchError::UnknownServerType {
+            id,
+            registered: self.types.len(),
+        })
     }
 
     /// Iterates `(id, type)` pairs in index order.
     pub fn iter(&self) -> impl Iterator<Item = (ServerTypeId, &ServerType)> {
-        self.types.iter().enumerate().map(|(i, t)| (ServerTypeId(i), t))
+        self.types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (ServerTypeId(i), t))
     }
 
     /// Finds a server type by name.
     pub fn find_by_name(&self, name: &str) -> Option<ServerTypeId> {
-        self.types.iter().position(|t| t.name == name).map(ServerTypeId)
+        self.types
+            .iter()
+            .position(|t| t.name == name)
+            .map(ServerTypeId)
     }
 
     /// All ids of a given kind.
     pub fn ids_of_kind(&self, kind: ServerTypeKind) -> Vec<ServerTypeId> {
-        self.iter().filter(|(_, t)| t.kind == kind).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, t)| t.kind == kind)
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 
@@ -284,7 +297,9 @@ impl Configuration {
         }
         for (i, &y) in replicas.iter().enumerate() {
             if y == 0 {
-                return Err(ArchError::EmptyReplication { id: ServerTypeId(i) });
+                return Err(ArchError::EmptyReplication {
+                    id: ServerTypeId(i),
+                });
             }
         }
         Ok(Configuration { replicas })
@@ -292,7 +307,9 @@ impl Configuration {
 
     /// The minimal configuration: one replica of every type.
     pub fn minimal(registry: &ServerTypeRegistry) -> Self {
-        Configuration { replicas: vec![1; registry.len()] }
+        Configuration {
+            replicas: vec![1; registry.len()],
+        }
     }
 
     /// Uniform configuration: `y` replicas of every type.
@@ -311,7 +328,10 @@ impl Configuration {
         self.replicas
             .get(id.0)
             .copied()
-            .ok_or(ArchError::UnknownServerType { id, registered: self.replicas.len() })
+            .ok_or(ArchError::UnknownServerType {
+                id,
+                registered: self.replicas.len(),
+            })
     }
 
     /// The raw replication vector `Y`.
@@ -337,7 +357,10 @@ impl Configuration {
     /// [`ArchError::UnknownServerType`] for a stale id.
     pub fn with_added_replica(&self, id: ServerTypeId) -> Result<Configuration, ArchError> {
         if id.0 >= self.replicas.len() {
-            return Err(ArchError::UnknownServerType { id, registered: self.replicas.len() });
+            return Err(ArchError::UnknownServerType {
+                id,
+                registered: self.replicas.len(),
+            });
         }
         let mut replicas = self.replicas.clone();
         replicas[id.0] += 1;
@@ -346,7 +369,9 @@ impl Configuration {
 
     /// The fully-available system state for this configuration (`X = Y`).
     pub fn full_state(&self) -> SystemState {
-        SystemState { available: self.replicas.clone() }
+        SystemState {
+            available: self.replicas.clone(),
+        }
     }
 
     /// Number of distinct system states `Π (Y_x + 1)` of the availability
@@ -410,7 +435,10 @@ impl SystemState {
         self.available
             .get(id.0)
             .copied()
-            .ok_or(ArchError::UnknownServerType { id, registered: self.available.len() })
+            .ok_or(ArchError::UnknownServerType {
+                id,
+                registered: self.available.len(),
+            })
     }
 
     /// The raw availability vector `X`.
@@ -502,30 +530,37 @@ mod tests {
     #[test]
     fn register_rejects_invalid_parameters() {
         let mut reg = ServerTypeRegistry::new();
-        let mut t = ServerType::with_exponential_service(
-            "x",
-            ServerTypeKind::Communication,
-            0.0,
-            1.0,
-            1.0,
-        );
+        let mut t =
+            ServerType::with_exponential_service("x", ServerTypeKind::Communication, 0.0, 1.0, 1.0);
         assert!(matches!(
             reg.register(t.clone()),
-            Err(ArchError::InvalidParameter { what: "failure rate", .. })
+            Err(ArchError::InvalidParameter {
+                what: "failure rate",
+                ..
+            })
         ));
         t.failure_rate = 1.0;
         t.service_time_second_moment = f64::NAN;
         assert!(matches!(
             reg.register(t),
-            Err(ArchError::InvalidParameter { what: "service time second moment", .. })
+            Err(ArchError::InvalidParameter {
+                what: "service time second moment",
+                ..
+            })
         ));
     }
 
     #[test]
     fn kinds_are_queryable() {
         let reg = registry();
-        assert_eq!(reg.ids_of_kind(ServerTypeKind::Communication), vec![ServerTypeId(0)]);
-        assert_eq!(reg.ids_of_kind(ServerTypeKind::ApplicationServer), vec![ServerTypeId(2)]);
+        assert_eq!(
+            reg.ids_of_kind(ServerTypeKind::Communication),
+            vec![ServerTypeId(0)]
+        );
+        assert_eq!(
+            reg.ids_of_kind(ServerTypeKind::ApplicationServer),
+            vec![ServerTypeId(2)]
+        );
     }
 
     #[test]
@@ -539,9 +574,16 @@ mod tests {
 
     #[test]
     fn exponential_and_deterministic_second_moments() {
-        let e = ServerType::with_exponential_service("e", ServerTypeKind::Communication, 1.0, 1.0, 3.0);
+        let e =
+            ServerType::with_exponential_service("e", ServerTypeKind::Communication, 1.0, 1.0, 3.0);
         assert!((e.service_time_second_moment - 18.0).abs() < 1e-12);
-        let d = ServerType::with_deterministic_service("d", ServerTypeKind::Communication, 1.0, 1.0, 3.0);
+        let d = ServerType::with_deterministic_service(
+            "d",
+            ServerTypeKind::Communication,
+            1.0,
+            1.0,
+            3.0,
+        );
         assert!((d.service_time_second_moment - 9.0).abs() < 1e-12);
     }
 
@@ -551,7 +593,9 @@ mod tests {
         assert!(Configuration::new(&reg, vec![1, 2]).is_err());
         assert!(matches!(
             Configuration::new(&reg, vec![1, 0, 2]),
-            Err(ArchError::EmptyReplication { id: ServerTypeId(1) })
+            Err(ArchError::EmptyReplication {
+                id: ServerTypeId(1)
+            })
         ));
         let y = Configuration::new(&reg, vec![2, 2, 3]).unwrap();
         assert_eq!(y.total_servers(), 7);
@@ -565,7 +609,10 @@ mod tests {
     fn minimal_and_uniform_constructors() {
         let reg = registry();
         assert_eq!(Configuration::minimal(&reg).as_slice(), &[1, 1, 1]);
-        assert_eq!(Configuration::uniform(&reg, 3).unwrap().as_slice(), &[3, 3, 3]);
+        assert_eq!(
+            Configuration::uniform(&reg, 3).unwrap().as_slice(),
+            &[3, 3, 3]
+        );
         assert!(Configuration::uniform(&reg, 0).is_err());
     }
 
@@ -586,7 +633,10 @@ mod tests {
         assert!(SystemState::new(&y, vec![2, 2]).is_err());
         assert!(matches!(
             SystemState::new(&y, vec![2, 3, 3]),
-            Err(ArchError::StateExceedsConfiguration { id: ServerTypeId(1), .. })
+            Err(ArchError::StateExceedsConfiguration {
+                id: ServerTypeId(1),
+                ..
+            })
         ));
         let x = SystemState::new(&y, vec![2, 0, 1]).unwrap();
         assert!(!x.is_operational());

@@ -71,12 +71,22 @@ impl ChartBuilder {
 
     /// Adds a state executing `activity`.
     pub fn activity_state(self, name: impl Into<String>, activity: impl Into<String>) -> Self {
-        self.add_state(name, StateKind::Activity { activity: activity.into() })
+        self.add_state(
+            name,
+            StateKind::Activity {
+                activity: activity.into(),
+            },
+        )
     }
 
     /// Adds a nested state embedding one subworkflow chart.
     pub fn nested_state(self, name: impl Into<String>, chart: StateChart) -> Self {
-        self.add_state(name, StateKind::Nested { charts: vec![chart] })
+        self.add_state(
+            name,
+            StateKind::Nested {
+                charts: vec![chart],
+            },
+        )
     }
 
     /// Adds a nested state running several charts in parallel (orthogonal
@@ -93,7 +103,8 @@ impl ChartBuilder {
         probability: f64,
         rule: EcaRule,
     ) -> Self {
-        self.pending_transitions.push((from.into(), to.into(), probability, rule));
+        self.pending_transitions
+            .push((from.into(), to.into(), probability, rule));
         self
     }
 
@@ -107,21 +118,36 @@ impl ChartBuilder {
     /// * [`SpecError::UnknownState`] for transitions naming missing states.
     pub fn build(self) -> Result<StateChart, SpecError> {
         if let Some(name) = self.duplicate {
-            return Err(SpecError::DuplicateState { chart: self.name, state: name });
+            return Err(SpecError::DuplicateState {
+                chart: self.name,
+                state: name,
+            });
         }
         let mut transitions = Vec::with_capacity(self.pending_transitions.len());
         for (from, to, probability, rule) in self.pending_transitions {
-            let &from_id = self.index.get(&from).ok_or_else(|| SpecError::UnknownState {
-                chart: self.name.clone(),
-                state: from.clone(),
-            })?;
+            let &from_id = self
+                .index
+                .get(&from)
+                .ok_or_else(|| SpecError::UnknownState {
+                    chart: self.name.clone(),
+                    state: from.clone(),
+                })?;
             let &to_id = self.index.get(&to).ok_or_else(|| SpecError::UnknownState {
                 chart: self.name.clone(),
                 state: to.clone(),
             })?;
-            transitions.push(Transition { from: from_id, to: to_id, probability, rule });
+            transitions.push(Transition {
+                from: from_id,
+                to: to_id,
+                probability,
+                rule,
+            });
         }
-        Ok(StateChart { name: self.name, states: self.states, transitions })
+        Ok(StateChart {
+            name: self.name,
+            states: self.states,
+            transitions,
+        })
     }
 }
 

@@ -49,10 +49,7 @@ fn render_chart_body(chart: &StateChart, prefix: &str, out: &mut String, cluster
                 );
             }
             StateKind::Final => {
-                let _ = writeln!(
-                    out,
-                    "  {id} [shape=doublecircle, label=\"\", width=0.15];"
-                );
+                let _ = writeln!(out, "  {id} [shape=doublecircle, label=\"\", width=0.15];");
             }
             StateKind::Activity { activity } => {
                 let _ = writeln!(
@@ -98,7 +95,10 @@ pub fn mapping_to_dot(mapping: &ChartMapping<'_>) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}_ctmc\" {{", escape(&mapping.chart_name));
     let _ = writeln!(out, "  rankdir=LR;");
-    let _ = writeln!(out, "  node [fontname=\"Helvetica\", fontsize=11, shape=circle];");
+    let _ = writeln!(
+        out,
+        "  node [fontname=\"Helvetica\", fontsize=11, shape=circle];"
+    );
     let _ = writeln!(out, "  edge [fontname=\"Helvetica\", fontsize=9];");
     for (i, label) in mapping.labels.iter().enumerate() {
         let shape = if matches!(mapping.kinds[i], MappedKind::Absorbing) {
@@ -106,7 +106,11 @@ pub fn mapping_to_dot(mapping: &ChartMapping<'_>) -> String {
         } else {
             "circle"
         };
-        let marker = if i == mapping.start { ", penwidth=2" } else { "" };
+        let marker = if i == mapping.start {
+            ", penwidth=2"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "  s{i} [shape={shape}, label=\"{}\"{marker}];",
@@ -155,7 +159,12 @@ mod tests {
         WorkflowSpec::new(
             "Demo",
             chart,
-            [ActivitySpec::new("A", ActivityKind::Automated, 1.0, vec![1.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                1.0,
+                vec![1.0],
+            )],
         )
     }
 

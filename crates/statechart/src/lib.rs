@@ -13,7 +13,10 @@
 //!   components, probability-annotated transitions, and activity tables
 //!   with per-server-type load vectors.
 //! * [`builder`] — name-based chart construction.
-//! * [`validate`] — static validation of the stochastic-model assumptions.
+//! * [`validate`] — fail-first validation of the stochastic-model
+//!   assumptions.
+//! * [`lint`] — the complete diagnostics walk behind [`validate`]
+//!   (`W0xx` codes; see the `wfms-analysis` crate for the other passes).
 //! * [`mapping`] — the Sec. 3.2 translation of a chart into the skeleton
 //!   of its workflow CTMC (Fig. 3 → Fig. 4).
 
@@ -23,6 +26,7 @@ pub mod arch;
 pub mod builder;
 pub mod dot;
 pub mod error;
+pub mod lint;
 pub mod mapping;
 pub mod spec;
 pub mod validate;
@@ -34,6 +38,7 @@ pub use arch::{
 pub use builder::ChartBuilder;
 pub use dot::{chart_to_dot, mapping_to_dot};
 pub use error::SpecError;
+pub use lint::{lint_chart, lint_spec};
 pub use mapping::{map_chart, ChartMapping, MappedKind};
 pub use spec::{
     Action, ActivityKind, ActivitySpec, ChartState, CondExpr, EcaRule, StateChart, StateId,

@@ -1,0 +1,631 @@
+//! The spec/structure lint pass (`W0xx` diagnostics).
+//!
+//! [`lint_spec`] walks a [`WorkflowSpec`] against a
+//! [`ServerTypeRegistry`] and reports the **complete** list of findings
+//! — unlike [`crate::validate::validate_spec`], which is a thin
+//! fail-first wrapper over the same walk and stops at the first
+//! error-level finding. Both share [`collect_spec_errors`], so the two
+//! entry points can never disagree about what is wrong.
+//!
+//! The checks enforce the structural assumptions the paper's stochastic
+//! model rests on (Secs. 3.1–3.2 and 4.1): single initial/final states,
+//! probability rows that form distributions, certain absorption, and an
+//! activity table consistent with the architectural model.
+
+use wfms_diag::{codes, Diagnostic, Diagnostics, Location};
+
+use crate::arch::ServerTypeRegistry;
+use crate::error::SpecError;
+use crate::spec::{StateChart, StateId, StateKind, WorkflowSpec};
+use crate::validate::PROBABILITY_TOLERANCE;
+
+/// Runs the full spec/structure pass and returns every finding.
+///
+/// Error-level findings correspond one-to-one to [`SpecError`] values
+/// (in the same order the fail-first validator would discover them);
+/// warning/hint findings (e.g. orphaned activities) have no `SpecError`
+/// counterpart and never fail validation.
+pub fn lint_spec(spec: &WorkflowSpec, registry: &ServerTypeRegistry) -> Diagnostics {
+    let mut out: Diagnostics = collect_spec_errors(spec, registry)
+        .iter()
+        .map(spec_error_diagnostic)
+        .collect();
+
+    // Lint-only: activities defined in the table but referenced nowhere.
+    let referenced = spec.chart.referenced_activities();
+    for name in spec.activities.keys() {
+        if !referenced.contains(name) {
+            out.push(Diagnostic::warning(
+                codes::W_ORPHANED_ACTIVITY,
+                Location::Activity {
+                    activity: name.clone(),
+                },
+                format!("activity {name:?} is defined but referenced by no state"),
+            ));
+        }
+    }
+    out
+}
+
+/// Structure-only lint of a single chart (no activity table/registry
+/// knowledge), complete rather than fail-first.
+pub fn lint_chart(chart: &StateChart) -> Diagnostics {
+    collect_chart_errors(chart)
+        .iter()
+        .map(spec_error_diagnostic)
+        .collect()
+}
+
+/// Collects every rule violation of a whole specification, in the order
+/// the fail-first validator checks them.
+pub fn collect_spec_errors(spec: &WorkflowSpec, registry: &ServerTypeRegistry) -> Vec<SpecError> {
+    let mut out = Vec::new();
+
+    // Activity table: parameters and load-vector lengths.
+    for activity in spec.activities.values() {
+        if !(activity.mean_duration.is_finite() && activity.mean_duration > 0.0) {
+            out.push(SpecError::InvalidActivityParameter {
+                activity: activity.name.clone(),
+                what: "mean duration",
+                value: activity.mean_duration,
+            });
+        }
+        if !(activity.duration_scv.is_finite() && activity.duration_scv > 0.0) {
+            out.push(SpecError::InvalidActivityParameter {
+                activity: activity.name.clone(),
+                what: "duration SCV",
+                value: activity.duration_scv,
+            });
+        }
+        if activity.load.len() != registry.len() {
+            out.push(SpecError::ActivityLoadLength {
+                activity: activity.name.clone(),
+                expected: registry.len(),
+                actual: activity.load.len(),
+            });
+        }
+        for &l in &activity.load {
+            if !(l.is_finite() && l >= 0.0) {
+                out.push(SpecError::InvalidActivityParameter {
+                    activity: activity.name.clone(),
+                    what: "load entry",
+                    value: l,
+                });
+            }
+        }
+    }
+    collect_chart_recursive(&spec.chart, spec, &mut out);
+    out
+}
+
+fn collect_chart_recursive(chart: &StateChart, spec: &WorkflowSpec, out: &mut Vec<SpecError>) {
+    out.extend(collect_chart_errors(chart));
+    for state in &chart.states {
+        match &state.kind {
+            StateKind::Activity { activity } if spec.activity(activity).is_none() => {
+                out.push(SpecError::UnknownActivity {
+                    chart: chart.name.clone(),
+                    activity: activity.clone(),
+                });
+            }
+            StateKind::Nested { charts } => {
+                if charts.is_empty() {
+                    out.push(SpecError::EmptyNestedState {
+                        chart: chart.name.clone(),
+                        state: state.name.clone(),
+                    });
+                }
+                for sub in charts {
+                    collect_chart_recursive(sub, spec, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collects every structural violation of one chart.
+///
+/// Checks run in the fail-first validator's order, so the first entry is
+/// exactly the error [`crate::validate::validate_chart`] reports. Later
+/// checks that would index out of bounds (or report noise) under earlier
+/// violations are skipped rather than aborted, keeping the list both
+/// complete and meaningful.
+pub fn collect_chart_errors(chart: &StateChart) -> Vec<SpecError> {
+    let mut out = Vec::new();
+    let n = chart.states.len();
+    let cname = || chart.name.clone();
+
+    // Unique state names.
+    for (i, s) in chart.states.iter().enumerate() {
+        if chart.states[..i].iter().any(|other| other.name == s.name) {
+            out.push(SpecError::DuplicateState {
+                chart: cname(),
+                state: s.name.clone(),
+            });
+        }
+    }
+
+    // Transition endpoint indices (deserialized charts may be malformed).
+    let mut indices_ok = true;
+    for t in &chart.transitions {
+        for idx in [t.from.0, t.to.0] {
+            if idx >= n {
+                out.push(SpecError::StateIndexOutOfRange {
+                    chart: cname(),
+                    index: idx,
+                    n,
+                });
+                indices_ok = false;
+            }
+        }
+    }
+
+    // Exactly one initial, exactly one final.
+    let initials: Vec<StateId> = chart
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.kind, StateKind::Initial))
+        .map(|(i, _)| StateId(i))
+        .collect();
+    if initials.len() != 1 {
+        out.push(SpecError::InitialStateCount {
+            chart: cname(),
+            found: initials.len(),
+        });
+    }
+    let finals: Vec<StateId> = chart
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.kind, StateKind::Final))
+        .map(|(i, _)| StateId(i))
+        .collect();
+    if finals.len() != 1 {
+        out.push(SpecError::FinalStateCount {
+            chart: cname(),
+            found: finals.len(),
+        });
+    }
+
+    if initials.len() == 1 && finals.len() == 1 && n == 2 {
+        // Only initial and final: nothing executes. Every later check
+        // would only restate this, so the walk of this chart ends here.
+        out.push(SpecError::EmptyWorkflow { chart: cname() });
+        return out;
+    }
+
+    if !indices_ok {
+        // The remaining checks index states by transition endpoints.
+        return out;
+    }
+
+    // Probabilities are well-formed.
+    for t in &chart.transitions {
+        if !(t.probability.is_finite() && (0.0..=1.0).contains(&t.probability)) {
+            out.push(SpecError::InvalidProbability {
+                chart: cname(),
+                state: chart.states[t.from.0].name.clone(),
+                probability: t.probability,
+            });
+        }
+    }
+
+    // Self-loop rules.
+    for t in &chart.transitions {
+        if t.from == t.to {
+            let s = &chart.states[t.from.0];
+            if matches!(s.kind, StateKind::Initial | StateKind::Final) {
+                out.push(SpecError::PseudoStateSelfLoop {
+                    chart: cname(),
+                    state: s.name.clone(),
+                });
+            } else if t.probability >= 1.0 - PROBABILITY_TOLERANCE {
+                out.push(SpecError::CertainSelfLoop {
+                    chart: cname(),
+                    state: s.name.clone(),
+                });
+            }
+        }
+    }
+
+    // Initial: exactly one outgoing with probability 1 to a non-final state.
+    if let (&[initial], &[final_]) = (initials.as_slice(), finals.as_slice()) {
+        let outgoing: Vec<_> = chart.outgoing(initial).collect();
+        let ok = outgoing.len() == 1
+            && (outgoing[0].probability - 1.0).abs() <= PROBABILITY_TOLERANCE
+            && outgoing[0].to != final_
+            && outgoing[0].to != initial;
+        if !ok {
+            out.push(SpecError::InvalidInitialTransition { chart: cname() });
+        }
+    }
+
+    if let &[final_] = finals.as_slice() {
+        // Final: no outgoing.
+        if chart.outgoing(final_).next().is_some() {
+            out.push(SpecError::FinalStateHasOutgoing { chart: cname() });
+        }
+
+        // Every non-final state has outgoing transitions summing to one.
+        for (i, s) in chart.states.iter().enumerate() {
+            let id = StateId(i);
+            if id == final_ {
+                continue;
+            }
+            let mut sum = 0.0;
+            let mut any = false;
+            for t in chart.outgoing(id) {
+                any = true;
+                sum += t.probability;
+            }
+            if !any {
+                out.push(SpecError::DeadEndState {
+                    chart: cname(),
+                    state: s.name.clone(),
+                });
+            } else if (sum - 1.0).abs() > PROBABILITY_TOLERANCE {
+                out.push(SpecError::ProbabilitiesDontSum {
+                    chart: cname(),
+                    state: s.name.clone(),
+                    sum,
+                });
+            }
+        }
+    }
+
+    // Reachability: every state reachable from initial …
+    if let &[initial] = initials.as_slice() {
+        let fwd = reachable_from(chart, initial, n);
+        for (i, s) in chart.states.iter().enumerate() {
+            if !fwd[i] {
+                out.push(SpecError::UnreachableState {
+                    chart: cname(),
+                    state: s.name.clone(),
+                });
+            }
+        }
+    }
+    // … and the final state reachable from every state (certain absorption).
+    if let &[final_] = finals.as_slice() {
+        let bwd = coreachable_to(chart, final_, n);
+        for (i, s) in chart.states.iter().enumerate() {
+            if !bwd[i] {
+                out.push(SpecError::FinalNotReachable {
+                    chart: cname(),
+                    state: s.name.clone(),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+fn reachable_from(chart: &StateChart, start: StateId, n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    let mut stack = vec![start.0];
+    seen[start.0] = true;
+    while let Some(s) = stack.pop() {
+        for t in chart.outgoing(StateId(s)) {
+            if t.probability > PROBABILITY_TOLERANCE && !seen[t.to.0] {
+                seen[t.to.0] = true;
+                stack.push(t.to.0);
+            }
+        }
+    }
+    seen
+}
+
+fn coreachable_to(chart: &StateChart, target: StateId, n: usize) -> Vec<bool> {
+    let mut seen = vec![false; n];
+    seen[target.0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for t in &chart.transitions {
+            if t.probability > PROBABILITY_TOLERANCE && seen[t.to.0] && !seen[t.from.0] {
+                seen[t.from.0] = true;
+                changed = true;
+            }
+        }
+    }
+    seen
+}
+
+/// Maps a [`SpecError`] onto its diagnostic (code, severity, location).
+pub fn spec_error_diagnostic(e: &SpecError) -> Diagnostic {
+    let (code, location) = match e {
+        SpecError::DuplicateState { chart, state } => (
+            codes::W_DUPLICATE_STATE,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::UnknownState { chart, state } => (
+            codes::W_UNKNOWN_STATE,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::StateIndexOutOfRange { chart, .. } => (
+            codes::W_STATE_INDEX_RANGE,
+            Location::Chart {
+                chart: chart.clone(),
+            },
+        ),
+        SpecError::InitialStateCount { chart, .. } => (
+            codes::W_INITIAL_COUNT,
+            Location::Chart {
+                chart: chart.clone(),
+            },
+        ),
+        SpecError::FinalStateCount { chart, .. } => (
+            codes::W_FINAL_COUNT,
+            Location::Chart {
+                chart: chart.clone(),
+            },
+        ),
+        SpecError::InvalidInitialTransition { chart } => (
+            codes::W_INITIAL_TRANSITION,
+            Location::Chart {
+                chart: chart.clone(),
+            },
+        ),
+        SpecError::FinalStateHasOutgoing { chart } => (
+            codes::W_FINAL_HAS_OUTGOING,
+            Location::Chart {
+                chart: chart.clone(),
+            },
+        ),
+        SpecError::InvalidProbability { chart, state, .. } => (
+            codes::W_PROBABILITY_RANGE,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::ProbabilitiesDontSum { chart, state, .. } => (
+            codes::W_PROBABILITY_SUM,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::DeadEndState { chart, state } => (
+            codes::W_DEAD_END,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::UnreachableState { chart, state } => (
+            codes::W_UNREACHABLE,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::FinalNotReachable { chart, state } => (
+            codes::W_FINAL_NOT_REACHABLE,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::CertainSelfLoop { chart, state } => (
+            codes::W_CERTAIN_SELF_LOOP,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::PseudoStateSelfLoop { chart, state } => (
+            codes::W_PSEUDO_SELF_LOOP,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::UnknownActivity { activity, .. } => (
+            codes::W_UNKNOWN_ACTIVITY,
+            Location::Activity {
+                activity: activity.clone(),
+            },
+        ),
+        SpecError::ActivityLoadLength { activity, .. } => (
+            codes::W_ACTIVITY_LOAD_LENGTH,
+            Location::Activity {
+                activity: activity.clone(),
+            },
+        ),
+        SpecError::InvalidActivityParameter { activity, .. } => (
+            codes::W_ACTIVITY_PARAMETER,
+            Location::Activity {
+                activity: activity.clone(),
+            },
+        ),
+        SpecError::EmptyNestedState { chart, state } => (
+            codes::W_EMPTY_NESTED,
+            Location::State {
+                chart: chart.clone(),
+                state: state.clone(),
+            },
+        ),
+        SpecError::EmptyWorkflow { chart } => (
+            codes::W_EMPTY_WORKFLOW,
+            Location::Chart {
+                chart: chart.clone(),
+            },
+        ),
+        SpecError::Arch(_) => (codes::W_STATE_INDEX_RANGE, Location::Global),
+    };
+    // `SpecError` messages open with the same chart/state context the
+    // location renders; strip it so reports don't say it twice.
+    let mut message = e.to_string();
+    if let Some(rest) = message.strip_prefix(&format!("{location}: ")) {
+        message = rest.to_string();
+    }
+    Diagnostic::error(code, location, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::paper_section52_registry;
+    use crate::builder::ChartBuilder;
+    use crate::spec::{ActivityKind, ActivitySpec, EcaRule, WorkflowSpec};
+
+    /// A spec with several *independent* defects: a dangling activity
+    /// reference, a probability row off by 0.2, and an orphaned activity.
+    fn multi_defect_spec() -> WorkflowSpec {
+        let chart = ChartBuilder::new("Bad")
+            .initial("i")
+            .activity_state("a", "Ghost")
+            .activity_state("b", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "b", 0.5, EcaRule::default())
+            .transition("a", "f", 0.3, EcaRule::default())
+            .transition("b", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        WorkflowSpec::new(
+            "T",
+            chart,
+            [
+                ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 1.0, 1.0]),
+                ActivitySpec::new("Unused", ActivityKind::Automated, 2.0, vec![1.0, 1.0, 1.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn reports_all_defects_not_just_the_first() {
+        let reg = paper_section52_registry();
+        let d = lint_spec(&multi_defect_spec(), &reg);
+        let codes_found = d.distinct_codes();
+        assert!(
+            codes_found.contains(&codes::W_PROBABILITY_SUM.to_string()),
+            "{codes_found:?}"
+        );
+        assert!(
+            codes_found.contains(&codes::W_UNKNOWN_ACTIVITY.to_string()),
+            "{codes_found:?}"
+        );
+        assert!(
+            codes_found.contains(&codes::W_ORPHANED_ACTIVITY.to_string()),
+            "{codes_found:?}"
+        );
+        assert!(d.error_count() >= 2);
+        assert_eq!(d.warning_count(), 1);
+    }
+
+    #[test]
+    fn first_finding_matches_fail_first_validator() {
+        let reg = paper_section52_registry();
+        let spec = multi_defect_spec();
+        let first = collect_spec_errors(&spec, &reg).into_iter().next().unwrap();
+        let validated = crate::validate::validate_spec(&spec, &reg).unwrap_err();
+        assert_eq!(first, validated);
+    }
+
+    #[test]
+    fn clean_spec_yields_no_findings() {
+        let chart = ChartBuilder::new("OK")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        let spec = WorkflowSpec::new(
+            "T",
+            chart,
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                2.0,
+                vec![1.0, 1.0, 1.0],
+            )],
+        );
+        let d = lint_spec(&spec, &paper_section52_registry());
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn out_of_range_indices_do_not_panic_later_checks() {
+        let mut chart = ChartBuilder::new("Idx")
+            .initial("i")
+            .activity_state("a", "A")
+            .final_state("f")
+            .transition("i", "a", 1.0, EcaRule::default())
+            .transition("a", "f", 1.0, EcaRule::default())
+            .build()
+            .unwrap();
+        chart.transitions[1].to = crate::spec::StateId(99);
+        let d = lint_chart(&chart);
+        assert!(d.iter().any(|x| x.code == codes::W_STATE_INDEX_RANGE));
+        // Gated checks were skipped; no panic, no spurious findings after.
+        assert!(
+            d.iter().all(|x| x.code == codes::W_STATE_INDEX_RANGE),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn missing_pseudo_states_still_let_probability_checks_run() {
+        // No initial, no final, and a bad probability: three findings.
+        let chart = StateChart {
+            name: "NoEnds".into(),
+            states: vec![
+                crate::spec::ChartState {
+                    name: "a".into(),
+                    kind: StateKind::Activity {
+                        activity: "A".into(),
+                    },
+                },
+                crate::spec::ChartState {
+                    name: "b".into(),
+                    kind: StateKind::Activity {
+                        activity: "A".into(),
+                    },
+                },
+                crate::spec::ChartState {
+                    name: "c".into(),
+                    kind: StateKind::Activity {
+                        activity: "A".into(),
+                    },
+                },
+            ],
+            transitions: vec![crate::spec::Transition {
+                from: StateId(0),
+                to: StateId(1),
+                probability: 1.5,
+                rule: EcaRule::default(),
+            }],
+        };
+        let d = lint_chart(&chart);
+        let found = d.distinct_codes();
+        assert!(found.contains(&codes::W_INITIAL_COUNT.to_string()));
+        assert!(found.contains(&codes::W_FINAL_COUNT.to_string()));
+        assert!(found.contains(&codes::W_PROBABILITY_RANGE.to_string()));
+    }
+
+    #[test]
+    fn every_spec_error_maps_to_a_registered_code() {
+        let reg = paper_section52_registry();
+        let d = lint_spec(&multi_defect_spec(), &reg);
+        for item in &d {
+            assert!(
+                wfms_diag::codes::lookup(&item.code).is_some(),
+                "unregistered code {}",
+                item.code
+            );
+        }
+    }
+}

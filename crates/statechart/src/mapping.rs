@@ -103,10 +103,16 @@ pub fn map_chart<'a>(
 
     let initial = chart
         .initial_state()
-        .ok_or_else(|| SpecError::InitialStateCount { chart: cname(), found: 0 })?;
+        .ok_or_else(|| SpecError::InitialStateCount {
+            chart: cname(),
+            found: 0,
+        })?;
     let final_ = chart
         .final_state()
-        .ok_or_else(|| SpecError::FinalStateCount { chart: cname(), found: 0 })?;
+        .ok_or_else(|| SpecError::FinalStateCount {
+            chart: cname(),
+            found: 0,
+        })?;
 
     // Rank the real (activity / nested) states in chart order.
     let mut rank = vec![usize::MAX; n_chart];
@@ -115,9 +121,12 @@ pub fn map_chart<'a>(
     for (i, s) in chart.states.iter().enumerate() {
         match &s.kind {
             StateKind::Activity { activity } => {
-                let spec_act = spec.activity(activity).ok_or_else(|| {
-                    SpecError::UnknownActivity { chart: cname(), activity: activity.clone() }
-                })?;
+                let spec_act =
+                    spec.activity(activity)
+                        .ok_or_else(|| SpecError::UnknownActivity {
+                            chart: cname(),
+                            activity: activity.clone(),
+                        })?;
                 rank[i] = labels.len();
                 labels.push(s.name.clone());
                 kinds.push(MappedKind::Activity(spec_act));
@@ -147,9 +156,9 @@ pub fn map_chart<'a>(
     // Start state: the single certain successor of the initial state.
     let start = {
         let mut out = chart.outgoing(initial);
-        let first = out.next().ok_or_else(|| SpecError::InvalidInitialTransition {
-            chart: cname(),
-        })?;
+        let first = out
+            .next()
+            .ok_or_else(|| SpecError::InvalidInitialTransition { chart: cname() })?;
         if out.next().is_some() || first.to == final_ || rank[first.to.0] == usize::MAX {
             return Err(SpecError::InvalidInitialTransition { chart: cname() });
         }
@@ -171,7 +180,10 @@ pub fn map_chart<'a>(
             .map(|t| t.probability)
             .sum();
         if self_prob >= 1.0 - PROBABILITY_TOLERANCE {
-            return Err(SpecError::CertainSelfLoop { chart: cname(), state: s.name.clone() });
+            return Err(SpecError::CertainSelfLoop {
+                chart: cname(),
+                state: s.name.clone(),
+            });
         }
         let renorm = 1.0 / (1.0 - self_prob);
         execution_multiplier[a] = renorm;

@@ -120,7 +120,11 @@ impl EcaRule {
     /// A rule triggered by the completion event of `activity`
     /// (the `act_DONE` convention of Sec. 3.1).
     pub fn on_done(activity: &str) -> Self {
-        EcaRule { event: Some(format!("{activity}_DONE")), condition: None, actions: Vec::new() }
+        EcaRule {
+            event: Some(format!("{activity}_DONE")),
+            condition: None,
+            actions: Vec::new(),
+        }
     }
 
     /// Adds a guard condition.
@@ -265,9 +269,7 @@ impl StateChart {
             .states
             .iter()
             .filter_map(|s| match &s.kind {
-                StateKind::Nested { charts } => {
-                    charts.iter().map(|c| c.nesting_depth()).max()
-                }
+                StateKind::Nested { charts } => charts.iter().map(|c| c.nesting_depth()).max(),
                 _ => None,
             })
             .max()
@@ -313,7 +315,13 @@ impl ActivitySpec {
         mean_duration: f64,
         load: Vec<f64>,
     ) -> Self {
-        ActivitySpec { name: name.into(), kind, mean_duration, duration_scv: 1.0, load }
+        ActivitySpec {
+            name: name.into(),
+            kind,
+            mean_duration,
+            duration_scv: 1.0,
+            load,
+        }
     }
 
     /// Sets a non-exponential duration variability.
@@ -345,7 +353,10 @@ impl WorkflowSpec {
         WorkflowSpec {
             name: name.into(),
             chart,
-            activities: activities.into_iter().map(|a| (a.name.clone(), a)).collect(),
+            activities: activities
+                .into_iter()
+                .map(|a| (a.name.clone(), a))
+                .collect(),
         }
     }
 
@@ -399,13 +410,34 @@ mod tests {
         StateChart {
             name: "T".into(),
             states: vec![
-                ChartState { name: "init".into(), kind: StateKind::Initial },
-                ChartState { name: "work".into(), kind: StateKind::Activity { activity: "A".into() } },
-                ChartState { name: "done".into(), kind: StateKind::Final },
+                ChartState {
+                    name: "init".into(),
+                    kind: StateKind::Initial,
+                },
+                ChartState {
+                    name: "work".into(),
+                    kind: StateKind::Activity {
+                        activity: "A".into(),
+                    },
+                },
+                ChartState {
+                    name: "done".into(),
+                    kind: StateKind::Final,
+                },
             ],
             transitions: vec![
-                Transition { from: StateId(0), to: StateId(1), probability: 1.0, rule: EcaRule::default() },
-                Transition { from: StateId(1), to: StateId(2), probability: 1.0, rule: EcaRule::on_done("A") },
+                Transition {
+                    from: StateId(0),
+                    to: StateId(1),
+                    probability: 1.0,
+                    rule: EcaRule::default(),
+                },
+                Transition {
+                    from: StateId(1),
+                    to: StateId(2),
+                    probability: 1.0,
+                    rule: EcaRule::on_done("A"),
+                },
             ],
         }
     }
@@ -425,7 +457,10 @@ mod tests {
     #[test]
     fn duplicate_initial_states_are_not_unique() {
         let mut c = tiny_chart();
-        c.states.push(ChartState { name: "init2".into(), kind: StateKind::Initial });
+        c.states.push(ChartState {
+            name: "init2".into(),
+            kind: StateKind::Initial,
+        });
         assert_eq!(c.initial_state(), None);
     }
 
@@ -435,16 +470,34 @@ mod tests {
         let outer = StateChart {
             name: "O".into(),
             states: vec![
-                ChartState { name: "init".into(), kind: StateKind::Initial },
+                ChartState {
+                    name: "init".into(),
+                    kind: StateKind::Initial,
+                },
                 ChartState {
                     name: "sub".into(),
-                    kind: StateKind::Nested { charts: vec![inner.clone(), inner] },
+                    kind: StateKind::Nested {
+                        charts: vec![inner.clone(), inner],
+                    },
                 },
-                ChartState { name: "done".into(), kind: StateKind::Final },
+                ChartState {
+                    name: "done".into(),
+                    kind: StateKind::Final,
+                },
             ],
             transitions: vec![
-                Transition { from: StateId(0), to: StateId(1), probability: 1.0, rule: EcaRule::default() },
-                Transition { from: StateId(1), to: StateId(2), probability: 1.0, rule: EcaRule::default() },
+                Transition {
+                    from: StateId(0),
+                    to: StateId(1),
+                    probability: 1.0,
+                    rule: EcaRule::default(),
+                },
+                Transition {
+                    from: StateId(1),
+                    to: StateId(2),
+                    probability: 1.0,
+                    rule: EcaRule::default(),
+                },
             ],
         };
         assert_eq!(outer.nesting_depth(), 2);
@@ -456,7 +509,12 @@ mod tests {
         let spec = WorkflowSpec::new(
             "T",
             tiny_chart(),
-            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                2.0,
+                vec![1.0],
+            )],
         );
         assert!(spec.activity("A").is_some());
         assert!(spec.activity("B").is_none());
@@ -467,7 +525,12 @@ mod tests {
         let spec = WorkflowSpec::new(
             "T",
             tiny_chart(),
-            [ActivitySpec::new("A", ActivityKind::Interactive, 2.0, vec![1.0, 0.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Interactive,
+                2.0,
+                vec![1.0, 0.0],
+            )],
         );
         let json = serde_json::to_string_pretty(&spec).unwrap();
         let back: WorkflowSpec = serde_json::from_str(&json).unwrap();

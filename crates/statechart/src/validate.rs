@@ -6,10 +6,15 @@
 //! probabilities that form distributions, and an activity table covering
 //! every referenced activity with load vectors matching the architectural
 //! model.
+//!
+//! Both entry points are thin fail-first wrappers over the complete walk
+//! in [`crate::lint`]: they report the *first* rule the lint pass finds
+//! violated. Use [`crate::lint::lint_spec`] to see every finding at once.
 
 use crate::arch::ServerTypeRegistry;
 use crate::error::SpecError;
-use crate::spec::{StateChart, StateId, StateKind, WorkflowSpec};
+use crate::lint::{collect_chart_errors, collect_spec_errors};
+use crate::spec::{StateChart, WorkflowSpec};
 
 /// Tolerance for outgoing-probability sums.
 pub const PROBABILITY_TOLERANCE: f64 = 1e-9;
@@ -20,68 +25,10 @@ pub const PROBABILITY_TOLERANCE: f64 = 1e-9;
 /// # Errors
 /// The first violated rule, as a [`SpecError`].
 pub fn validate_spec(spec: &WorkflowSpec, registry: &ServerTypeRegistry) -> Result<(), SpecError> {
-    // Activity table: parameters and load-vector lengths.
-    for activity in spec.activities.values() {
-        if !(activity.mean_duration.is_finite() && activity.mean_duration > 0.0) {
-            return Err(SpecError::InvalidActivityParameter {
-                activity: activity.name.clone(),
-                what: "mean duration",
-                value: activity.mean_duration,
-            });
-        }
-        if !(activity.duration_scv.is_finite() && activity.duration_scv > 0.0) {
-            return Err(SpecError::InvalidActivityParameter {
-                activity: activity.name.clone(),
-                what: "duration SCV",
-                value: activity.duration_scv,
-            });
-        }
-        if activity.load.len() != registry.len() {
-            return Err(SpecError::ActivityLoadLength {
-                activity: activity.name.clone(),
-                expected: registry.len(),
-                actual: activity.load.len(),
-            });
-        }
-        for &l in &activity.load {
-            if !(l.is_finite() && l >= 0.0) {
-                return Err(SpecError::InvalidActivityParameter {
-                    activity: activity.name.clone(),
-                    what: "load entry",
-                    value: l,
-                });
-            }
-        }
+    match collect_spec_errors(spec, registry).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    validate_chart_recursive(&spec.chart, spec)
-}
-
-fn validate_chart_recursive(chart: &StateChart, spec: &WorkflowSpec) -> Result<(), SpecError> {
-    validate_chart(chart)?;
-    for state in &chart.states {
-        match &state.kind {
-            StateKind::Activity { activity }
-                if spec.activity(activity).is_none() => {
-                    return Err(SpecError::UnknownActivity {
-                        chart: chart.name.clone(),
-                        activity: activity.clone(),
-                    });
-                }
-            StateKind::Nested { charts } => {
-                if charts.is_empty() {
-                    return Err(SpecError::EmptyNestedState {
-                        chart: chart.name.clone(),
-                        state: state.name.clone(),
-                    });
-                }
-                for sub in charts {
-                    validate_chart_recursive(sub, spec)?;
-                }
-            }
-            _ => {}
-        }
-    }
-    Ok(())
 }
 
 /// Validates the *structure* of a single chart (no activity-table or
@@ -90,169 +37,10 @@ fn validate_chart_recursive(chart: &StateChart, spec: &WorkflowSpec) -> Result<(
 /// # Errors
 /// The first violated rule, as a [`SpecError`].
 pub fn validate_chart(chart: &StateChart) -> Result<(), SpecError> {
-    let n = chart.states.len();
-    let cname = || chart.name.clone();
-
-    // Unique state names.
-    for (i, s) in chart.states.iter().enumerate() {
-        if chart.states[..i].iter().any(|other| other.name == s.name) {
-            return Err(SpecError::DuplicateState { chart: cname(), state: s.name.clone() });
-        }
+    match collect_chart_errors(chart).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-
-    // Transition endpoint indices (deserialized charts may be malformed).
-    for t in &chart.transitions {
-        for idx in [t.from.0, t.to.0] {
-            if idx >= n {
-                return Err(SpecError::StateIndexOutOfRange { chart: cname(), index: idx, n });
-            }
-        }
-    }
-
-    // Exactly one initial, exactly one final.
-    let initials: Vec<StateId> = chart
-        .states
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| matches!(s.kind, StateKind::Initial))
-        .map(|(i, _)| StateId(i))
-        .collect();
-    if initials.len() != 1 {
-        return Err(SpecError::InitialStateCount { chart: cname(), found: initials.len() });
-    }
-    let finals: Vec<StateId> = chart
-        .states
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| matches!(s.kind, StateKind::Final))
-        .map(|(i, _)| StateId(i))
-        .collect();
-    if finals.len() != 1 {
-        return Err(SpecError::FinalStateCount { chart: cname(), found: finals.len() });
-    }
-    let initial = initials[0];
-    let final_ = finals[0];
-
-    if chart.states.len() == 2 {
-        // Only initial and final: nothing executes.
-        return Err(SpecError::EmptyWorkflow { chart: cname() });
-    }
-
-    // Probabilities are well-formed.
-    for t in &chart.transitions {
-        if !(t.probability.is_finite() && (0.0..=1.0).contains(&t.probability)) {
-            return Err(SpecError::InvalidProbability {
-                chart: cname(),
-                state: chart.states[t.from.0].name.clone(),
-                probability: t.probability,
-            });
-        }
-    }
-
-    // Self-loop rules.
-    for t in &chart.transitions {
-        if t.from == t.to {
-            let s = &chart.states[t.from.0];
-            if matches!(s.kind, StateKind::Initial | StateKind::Final) {
-                return Err(SpecError::PseudoStateSelfLoop {
-                    chart: cname(),
-                    state: s.name.clone(),
-                });
-            }
-            if t.probability >= 1.0 - PROBABILITY_TOLERANCE {
-                return Err(SpecError::CertainSelfLoop { chart: cname(), state: s.name.clone() });
-            }
-        }
-    }
-
-    // Initial: exactly one outgoing with probability 1 to a non-final state.
-    {
-        let out: Vec<_> = chart.outgoing(initial).collect();
-        let ok = out.len() == 1
-            && (out[0].probability - 1.0).abs() <= PROBABILITY_TOLERANCE
-            && out[0].to != final_
-            && out[0].to != initial;
-        if !ok {
-            return Err(SpecError::InvalidInitialTransition { chart: cname() });
-        }
-    }
-
-    // Final: no outgoing.
-    if chart.outgoing(final_).next().is_some() {
-        return Err(SpecError::FinalStateHasOutgoing { chart: cname() });
-    }
-
-    // Every non-final state has outgoing transitions summing to one.
-    for (i, s) in chart.states.iter().enumerate() {
-        let id = StateId(i);
-        if id == final_ {
-            continue;
-        }
-        let mut sum = 0.0;
-        let mut any = false;
-        for t in chart.outgoing(id) {
-            any = true;
-            sum += t.probability;
-        }
-        if !any {
-            return Err(SpecError::DeadEndState { chart: cname(), state: s.name.clone() });
-        }
-        if (sum - 1.0).abs() > PROBABILITY_TOLERANCE {
-            return Err(SpecError::ProbabilitiesDontSum {
-                chart: cname(),
-                state: s.name.clone(),
-                sum,
-            });
-        }
-    }
-
-    // Reachability: every state reachable from initial …
-    let fwd = reachable_from(chart, initial, n);
-    for (i, s) in chart.states.iter().enumerate() {
-        if !fwd[i] {
-            return Err(SpecError::UnreachableState { chart: cname(), state: s.name.clone() });
-        }
-    }
-    // … and the final state reachable from every state (certain absorption).
-    let bwd = coreachable_to(chart, final_, n);
-    for (i, s) in chart.states.iter().enumerate() {
-        if !bwd[i] {
-            return Err(SpecError::FinalNotReachable { chart: cname(), state: s.name.clone() });
-        }
-    }
-
-    Ok(())
-}
-
-fn reachable_from(chart: &StateChart, start: StateId, n: usize) -> Vec<bool> {
-    let mut seen = vec![false; n];
-    let mut stack = vec![start.0];
-    seen[start.0] = true;
-    while let Some(s) = stack.pop() {
-        for t in chart.outgoing(StateId(s)) {
-            if t.probability > PROBABILITY_TOLERANCE && !seen[t.to.0] {
-                seen[t.to.0] = true;
-                stack.push(t.to.0);
-            }
-        }
-    }
-    seen
-}
-
-fn coreachable_to(chart: &StateChart, target: StateId, n: usize) -> Vec<bool> {
-    let mut seen = vec![false; n];
-    seen[target.0] = true;
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for t in &chart.transitions {
-            if t.probability > PROBABILITY_TOLERANCE && seen[t.to.0] && !seen[t.from.0] {
-                seen[t.from.0] = true;
-                changed = true;
-            }
-        }
-    }
-    seen
 }
 
 #[cfg(test)]
@@ -260,7 +48,9 @@ mod tests {
     use super::*;
     use crate::arch::paper_section52_registry;
     use crate::builder::ChartBuilder;
-    use crate::spec::{ActivityKind, ActivitySpec, EcaRule, Transition, WorkflowSpec};
+    use crate::spec::{
+        ActivityKind, ActivitySpec, EcaRule, StateId, StateKind, Transition, WorkflowSpec,
+    };
 
     fn linear_chart() -> StateChart {
         ChartBuilder::new("L")
@@ -277,7 +67,12 @@ mod tests {
         WorkflowSpec::new(
             "T",
             chart,
-            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0, 1.0, 1.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                2.0,
+                vec![1.0, 1.0, 1.0],
+            )],
         )
     }
 
@@ -337,12 +132,19 @@ mod tests {
         let mut bad = ok.clone();
         bad.transitions[1].probability = 1.0;
         bad.transitions.remove(2);
-        assert!(matches!(validate_chart(&bad), Err(SpecError::CertainSelfLoop { .. })));
+        assert!(matches!(
+            validate_chart(&bad),
+            Err(SpecError::CertainSelfLoop { .. })
+        ));
     }
 
     #[test]
     fn missing_initial_or_final_fails() {
-        let chart = StateChart { name: "X".into(), states: vec![], transitions: vec![] };
+        let chart = StateChart {
+            name: "X".into(),
+            states: vec![],
+            transitions: vec![],
+        };
         assert!(matches!(
             validate_chart(&chart),
             Err(SpecError::InitialStateCount { found: 0, .. })
@@ -371,7 +173,10 @@ mod tests {
             .transition("i", "f", 1.0, EcaRule::default())
             .build()
             .unwrap();
-        assert!(matches!(validate_chart(&chart), Err(SpecError::EmptyWorkflow { .. })));
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::EmptyWorkflow { .. })
+        ));
     }
 
     #[test]
@@ -404,7 +209,10 @@ mod tests {
             probability: 1.0,
             rule: EcaRule::default(),
         });
-        assert!(matches!(validate_chart(&chart), Err(SpecError::FinalStateHasOutgoing { .. })));
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::FinalStateHasOutgoing { .. })
+        ));
     }
 
     #[test]
@@ -430,7 +238,10 @@ mod tests {
     fn negative_probability_fails() {
         let mut chart = linear_chart();
         chart.transitions[1].probability = -0.2;
-        assert!(matches!(validate_chart(&chart), Err(SpecError::InvalidProbability { .. })));
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::InvalidProbability { .. })
+        ));
     }
 
     #[test]
@@ -484,7 +295,10 @@ mod tests {
             .transition("t2", "t1", 1.0, EcaRule::default())
             .build()
             .unwrap();
-        assert!(matches!(validate_chart(&chart), Err(SpecError::FinalNotReachable { .. })));
+        assert!(matches!(
+            validate_chart(&chart),
+            Err(SpecError::FinalNotReachable { .. })
+        ));
     }
 
     #[test]
@@ -519,35 +333,55 @@ mod tests {
         let spec = WorkflowSpec::new(
             "T",
             linear_chart(),
-            [ActivitySpec::new("A", ActivityKind::Automated, 2.0, vec![1.0])],
+            [ActivitySpec::new(
+                "A",
+                ActivityKind::Automated,
+                2.0,
+                vec![1.0],
+            )],
         );
         assert!(matches!(
             validate_spec(&spec, &paper_section52_registry()),
-            Err(SpecError::ActivityLoadLength { expected: 3, actual: 1, .. })
+            Err(SpecError::ActivityLoadLength {
+                expected: 3,
+                actual: 1,
+                ..
+            })
         ));
     }
 
     #[test]
     fn invalid_activity_parameters_fail() {
-        let mk = |dur: f64, scv: f64, load: Vec<f64>| {
-            WorkflowSpec::new(
-                "T",
-                linear_chart(),
-                [ActivitySpec::new("A", ActivityKind::Automated, dur, load).with_duration_scv(scv)],
-            )
-        };
+        let mk =
+            |dur: f64, scv: f64, load: Vec<f64>| {
+                WorkflowSpec::new(
+                    "T",
+                    linear_chart(),
+                    [ActivitySpec::new("A", ActivityKind::Automated, dur, load)
+                        .with_duration_scv(scv)],
+                )
+            };
         let reg = paper_section52_registry();
         assert!(matches!(
             validate_spec(&mk(0.0, 1.0, vec![1.0; 3]), &reg),
-            Err(SpecError::InvalidActivityParameter { what: "mean duration", .. })
+            Err(SpecError::InvalidActivityParameter {
+                what: "mean duration",
+                ..
+            })
         ));
         assert!(matches!(
             validate_spec(&mk(1.0, -1.0, vec![1.0; 3]), &reg),
-            Err(SpecError::InvalidActivityParameter { what: "duration SCV", .. })
+            Err(SpecError::InvalidActivityParameter {
+                what: "duration SCV",
+                ..
+            })
         ));
         assert!(matches!(
             validate_spec(&mk(1.0, 1.0, vec![1.0, -2.0, 0.0]), &reg),
-            Err(SpecError::InvalidActivityParameter { what: "load entry", .. })
+            Err(SpecError::InvalidActivityParameter {
+                what: "load entry",
+                ..
+            })
         ));
     }
 
@@ -581,16 +415,32 @@ mod tests {
         let outer = StateChart {
             name: "outer".into(),
             states: vec![
-                crate::spec::ChartState { name: "i".into(), kind: StateKind::Initial },
+                crate::spec::ChartState {
+                    name: "i".into(),
+                    kind: StateKind::Initial,
+                },
                 crate::spec::ChartState {
                     name: "sub".into(),
                     kind: StateKind::Nested { charts: vec![] },
                 },
-                crate::spec::ChartState { name: "f".into(), kind: StateKind::Final },
+                crate::spec::ChartState {
+                    name: "f".into(),
+                    kind: StateKind::Final,
+                },
             ],
             transitions: vec![
-                Transition { from: StateId(0), to: StateId(1), probability: 1.0, rule: EcaRule::default() },
-                Transition { from: StateId(1), to: StateId(2), probability: 1.0, rule: EcaRule::default() },
+                Transition {
+                    from: StateId(0),
+                    to: StateId(1),
+                    probability: 1.0,
+                    rule: EcaRule::default(),
+                },
+                Transition {
+                    from: StateId(1),
+                    to: StateId(2),
+                    probability: 1.0,
+                    rule: EcaRule::default(),
+                },
             ],
         };
         let spec = spec_with(outer);

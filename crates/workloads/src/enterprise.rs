@@ -30,10 +30,30 @@ pub fn enterprise_registry() -> ServerTypeRegistry {
     let mttr = 10.0;
     let entries = [
         ("orb", ServerTypeKind::Communication, month, 50.0 / 60_000.0),
-        ("engine-order", ServerTypeKind::WorkflowEngine, week, 100.0 / 60_000.0),
-        ("engine-finance", ServerTypeKind::WorkflowEngine, week, 100.0 / 60_000.0),
-        ("app-crm", ServerTypeKind::ApplicationServer, day, 200.0 / 60_000.0),
-        ("app-erp", ServerTypeKind::ApplicationServer, day, 200.0 / 60_000.0),
+        (
+            "engine-order",
+            ServerTypeKind::WorkflowEngine,
+            week,
+            100.0 / 60_000.0,
+        ),
+        (
+            "engine-finance",
+            ServerTypeKind::WorkflowEngine,
+            week,
+            100.0 / 60_000.0,
+        ),
+        (
+            "app-crm",
+            ServerTypeKind::ApplicationServer,
+            day,
+            200.0 / 60_000.0,
+        ),
+        (
+            "app-erp",
+            ServerTypeKind::ApplicationServer,
+            day,
+            200.0 / 60_000.0,
+        ),
     ];
     for (name, kind, mttf, service) in entries {
         reg.register(ServerType::with_exponential_service(
@@ -61,19 +81,39 @@ fn load(engine_idx: usize, engine: f64, app_idx: usize, app: f64, comm: f64) -> 
 }
 
 fn order_auto(name: &str, minutes: f64) -> ActivitySpec {
-    ActivitySpec::new(name, ActivityKind::Automated, minutes, load(ENGINE_ORDER, 3.0, APP_ERP, 3.0, 2.0))
+    ActivitySpec::new(
+        name,
+        ActivityKind::Automated,
+        minutes,
+        load(ENGINE_ORDER, 3.0, APP_ERP, 3.0, 2.0),
+    )
 }
 
 fn order_inter(name: &str, minutes: f64) -> ActivitySpec {
-    ActivitySpec::new(name, ActivityKind::Interactive, minutes, load(ENGINE_ORDER, 3.0, APP_ERP, 0.0, 2.0))
+    ActivitySpec::new(
+        name,
+        ActivityKind::Interactive,
+        minutes,
+        load(ENGINE_ORDER, 3.0, APP_ERP, 0.0, 2.0),
+    )
 }
 
 fn finance_auto(name: &str, minutes: f64, app_idx: usize) -> ActivitySpec {
-    ActivitySpec::new(name, ActivityKind::Automated, minutes, load(ENGINE_FINANCE, 3.0, app_idx, 3.0, 2.0))
+    ActivitySpec::new(
+        name,
+        ActivityKind::Automated,
+        minutes,
+        load(ENGINE_FINANCE, 3.0, app_idx, 3.0, 2.0),
+    )
 }
 
 fn finance_inter(name: &str, minutes: f64) -> ActivitySpec {
-    ActivitySpec::new(name, ActivityKind::Interactive, minutes, load(ENGINE_FINANCE, 3.0, APP_CRM, 0.0, 2.0))
+    ActivitySpec::new(
+        name,
+        ActivityKind::Interactive,
+        minutes,
+        load(ENGINE_FINANCE, 3.0, APP_CRM, 0.0, 2.0),
+    )
 }
 
 /// TPC-C-style order-fulfillment workflow on the order engine + ERP:
@@ -88,10 +128,20 @@ pub fn order_fulfillment_workflow() -> WorkflowSpec {
         .activity_state("Payment", "OF_Payment")
         .final_state("OF_EXIT")
         .transition("OF_INIT", "EnterOrder", 1.0, EcaRule::default())
-        .transition("EnterOrder", "CheckStock", 1.0, EcaRule::on_done("OF_EnterOrder"))
+        .transition(
+            "EnterOrder",
+            "CheckStock",
+            1.0,
+            EcaRule::on_done("OF_EnterOrder"),
+        )
         .transition("CheckStock", "Deliver", 0.85, EcaRule::default())
         .transition("CheckStock", "BackOrder", 0.15, EcaRule::default())
-        .transition("BackOrder", "CheckStock", 1.0, EcaRule::on_done("OF_BackOrder"))
+        .transition(
+            "BackOrder",
+            "CheckStock",
+            1.0,
+            EcaRule::on_done("OF_BackOrder"),
+        )
         .transition("Deliver", "Payment", 1.0, EcaRule::on_done("OF_Deliver"))
         .transition("Payment", "OF_EXIT", 1.0, EcaRule::on_done("OF_Payment"))
         .build()
@@ -147,7 +197,12 @@ pub fn insurance_claim_workflow() -> WorkflowSpec {
         .transition("Review", "Payout", 0.7, EcaRule::default())
         .transition("Review", "RequestInfo", 0.2, EcaRule::default())
         .transition("Review", "IC_EXIT", 0.1, EcaRule::default()) // rejected
-        .transition("RequestInfo", "Review", 1.0, EcaRule::on_done("IC_RequestInfo"))
+        .transition(
+            "RequestInfo",
+            "Review",
+            1.0,
+            EcaRule::on_done("IC_RequestInfo"),
+        )
         .transition("Payout", "IC_EXIT", 1.0, EcaRule::on_done("IC_Payout"))
         .build()
         .expect("static chart");
@@ -228,9 +283,14 @@ mod tests {
     fn registry_has_five_types_in_documented_order() {
         let reg = enterprise_registry();
         assert_eq!(reg.len(), 5);
-        assert_eq!(reg.get(wfms_statechart::ServerTypeId(COMM)).unwrap().name, "orb");
         assert_eq!(
-            reg.get(wfms_statechart::ServerTypeId(APP_ERP)).unwrap().name,
+            reg.get(wfms_statechart::ServerTypeId(COMM)).unwrap().name,
+            "orb"
+        );
+        assert_eq!(
+            reg.get(wfms_statechart::ServerTypeId(APP_ERP))
+                .unwrap()
+                .name,
             "app-erp"
         );
     }

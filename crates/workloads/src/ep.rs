@@ -43,11 +43,21 @@ const AUTOMATED_LOAD: [f64; 3] = [2.0, 3.0, 3.0];
 const INTERACTIVE_LOAD: [f64; 3] = [2.0, 3.0, 0.0];
 
 fn automated(name: &str, mean_minutes: f64) -> ActivitySpec {
-    ActivitySpec::new(name, ActivityKind::Automated, mean_minutes, AUTOMATED_LOAD.to_vec())
+    ActivitySpec::new(
+        name,
+        ActivityKind::Automated,
+        mean_minutes,
+        AUTOMATED_LOAD.to_vec(),
+    )
 }
 
 fn interactive(name: &str, mean_minutes: f64) -> ActivitySpec {
-    ActivitySpec::new(name, ActivityKind::Interactive, mean_minutes, INTERACTIVE_LOAD.to_vec())
+    ActivitySpec::new(
+        name,
+        ActivityKind::Interactive,
+        mean_minutes,
+        INTERACTIVE_LOAD.to_vec(),
+    )
 }
 
 /// The `Notify_SC` subworkflow: prepare and send the customer
@@ -65,7 +75,12 @@ fn notify_chart() -> StateChart {
             1.0,
             EcaRule::on_done("PrepareNotice"),
         )
-        .transition("SendNotice_S", "N_EXIT_S", 1.0, EcaRule::on_done("SendNotice"))
+        .transition(
+            "SendNotice_S",
+            "N_EXIT_S",
+            1.0,
+            EcaRule::on_done("SendNotice"),
+        )
         .build()
         .expect("static chart")
 }
@@ -80,7 +95,12 @@ fn delivery_chart() -> StateChart {
         .activity_state("DispatchGoods_S", "DispatchGoods")
         .final_state("D_EXIT_S")
         .transition("D_INIT_S", "PickGoods_S", 1.0, EcaRule::default())
-        .transition("PickGoods_S", "PackGoods_S", 1.0, EcaRule::on_done("PickGoods"))
+        .transition(
+            "PickGoods_S",
+            "PackGoods_S",
+            1.0,
+            EcaRule::on_done("PickGoods"),
+        )
         .transition(
             "PackGoods_S",
             "PickGoods_S",
@@ -93,7 +113,12 @@ fn delivery_chart() -> StateChart {
             0.95,
             EcaRule::on_done("PackGoods").with_condition(CondExpr::var("PickError").not()),
         )
-        .transition("DispatchGoods_S", "D_EXIT_S", 1.0, EcaRule::on_done("DispatchGoods"))
+        .transition(
+            "DispatchGoods_S",
+            "D_EXIT_S",
+            1.0,
+            EcaRule::on_done("DispatchGoods"),
+        )
         .build()
         .expect("static chart")
 }

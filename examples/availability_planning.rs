@@ -40,7 +40,10 @@ fn main() {
         );
     }
     println!();
-    println!("{:^12} | {:^14} | {:^16} | downtime", "config Y", "availability", "unavailability");
+    println!(
+        "{:^12} | {:^14} | {:^16} | downtime",
+        "config Y", "availability", "unavailability"
+    );
     println!("{}", "-".repeat(70));
 
     let configs: Vec<Vec<usize>> = vec![
@@ -55,7 +58,9 @@ fn main() {
     for replicas in configs {
         let config = Configuration::new(&registry, replicas.clone()).expect("valid config");
         let model = AvailabilityModel::new(&registry, &config).expect("model builds");
-        let pi = model.steady_state(SteadyStateMethod::Lu).expect("ergodic chain");
+        let pi = model
+            .steady_state(SteadyStateMethod::Lu)
+            .expect("ergodic chain");
         let availability = model.availability(&pi).expect("length matches");
         let unavailability = 1.0 - availability;
         println!(

@@ -11,7 +11,7 @@ use wfms::config::{ApplyOptions, StateVisit, WorkflowTrace};
 use wfms::sim::{run, SimOptions};
 use wfms::statechart::paper_section52_registry;
 use wfms::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
-use wfms::{ConfigurationTool, Configuration, Goals, SearchOptions};
+use wfms::{Configuration, ConfigurationTool, Goals, SearchOptions};
 
 fn main() {
     let registry = paper_section52_registry();
@@ -29,15 +29,23 @@ fn main() {
                 t.probability = if t.to == reminder { 0.7 } else { 0.3 };
             }
         }
-        real_spec.activities.get_mut("CreditCardCheck").unwrap().mean_duration = 4.0;
+        real_spec
+            .activities
+            .get_mut("CreditCardCheck")
+            .unwrap()
+            .mean_duration = 4.0;
     }
 
     // Designer-estimated tool (the stale model).
     let mut tool = ConfigurationTool::new(registry);
-    tool.add_workflow(ep_workflow(), EP_SIM_ARRIVAL_RATE).unwrap();
+    tool.add_workflow(ep_workflow(), EP_SIM_ARRIVAL_RATE)
+        .unwrap();
     let goals = Goals::new(0.05, 0.9999).unwrap();
     let stale = tool.recommend(&goals, &SearchOptions::default()).unwrap();
-    println!("Recommendation from the stale designer estimates : {:?}", stale.replicas());
+    println!(
+        "Recommendation from the stale designer estimates : {:?}",
+        stale.replicas()
+    );
     let stale_turnaround = tool.workflow_analysis("EP").unwrap().mean_turnaround;
     println!("  predicted EP turnaround: {stale_turnaround:.0} min");
 
@@ -50,9 +58,17 @@ fn main() {
         audit_trail_cap: 5_000,
         ..SimOptions::default()
     };
-    println!("\nSimulating the operational system ({} audit trails) ...", opts.audit_trail_cap);
-    let report = run(tool.registry(), &config, &[(&real_spec, EP_SIM_ARRIVAL_RATE)], &opts)
-        .expect("simulation runs");
+    println!(
+        "\nSimulating the operational system ({} audit trails) ...",
+        opts.audit_trail_cap
+    );
+    let report = run(
+        tool.registry(),
+        &config,
+        &[(&real_spec, EP_SIM_ARRIVAL_RATE)],
+        &opts,
+    )
+    .expect("simulation runs");
     println!(
         "  observed EP turnaround : {:.0} min (model said {stale_turnaround:.0})",
         report.workflows[0].mean_turnaround
@@ -67,7 +83,10 @@ fn main() {
             visits: t
                 .visits
                 .iter()
-                .map(|v| StateVisit { state: v.state.clone(), duration_minutes: v.duration_minutes })
+                .map(|v| StateVisit {
+                    state: v.state.clone(),
+                    duration_minutes: v.duration_minutes,
+                })
                 .collect(),
         })
         .collect();
@@ -87,7 +106,10 @@ fn main() {
     );
 
     let fresh = tool.recommend(&goals, &SearchOptions::default()).unwrap();
-    println!("\nRecommendation after calibration                : {:?}", fresh.replicas());
+    println!(
+        "\nRecommendation after calibration                : {:?}",
+        fresh.replicas()
+    );
     if fresh.cost() != stale.cost() {
         println!(
             "  -> the load drift changes the minimum-cost configuration ({} vs {} servers)",

@@ -9,20 +9,27 @@
 use wfms::perf::RequestMethod;
 use wfms::statechart::paper_section52_registry;
 use wfms::workloads::{ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
-use wfms::{ConfigurationTool, Configuration, Goals, SearchOptions};
+use wfms::{Configuration, ConfigurationTool, Goals, SearchOptions};
 
 fn main() {
     let registry = paper_section52_registry();
     let mut tool = ConfigurationTool::new(registry);
-    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).expect("EP validates");
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .expect("EP validates");
 
     // --- Stage 1+2: per-workflow analysis --------------------------------
     let analysis = tool.workflow_analysis("EP").expect("analysis succeeds");
     println!("EP workflow analysis (arrival rate ξ = {EP_DEFAULT_ARRIVAL_RATE}/min):");
-    println!("  mean turnaround R_t       : {:.1} min", analysis.mean_turnaround);
+    println!(
+        "  mean turnaround R_t       : {:.1} min",
+        analysis.mean_turnaround
+    );
     println!("  expected requests r_x,t   :");
     for (x, (_, t)) in tool.registry().iter().enumerate() {
-        println!("    {:22}: {:.3} requests/instance", t.name, analysis.expected_requests[x]);
+        println!(
+            "    {:22}: {:.3} requests/instance",
+            t.name, analysis.expected_requests[x]
+        );
     }
 
     // The paper's truncated-uniformization route gives the same numbers.
@@ -32,9 +39,14 @@ fn main() {
         },
     );
     let mut uni_tool = uni_tool;
-    uni_tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).unwrap();
+    uni_tool
+        .add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .unwrap();
     let uni = uni_tool.workflow_analysis("EP").unwrap();
-    println!("  (uniformized, z_max at the 99% quantile: r_engine = {:.3})", uni.expected_requests[1]);
+    println!(
+        "  (uniformized, z_max at the 99% quantile: r_engine = {:.3})",
+        uni.expected_requests[1]
+    );
 
     // --- Stage 3: aggregate load and throughput --------------------------
     let load = tool.system_load().expect("load aggregates");
@@ -60,14 +72,18 @@ fn main() {
     // --- Stage 4 + Secs. 5-7: goal-driven search -------------------------
     let goals = Goals::new(0.05, 0.9999).expect("valid goals");
     println!("\nGoals: wait ≤ 3 s per request, availability ≥ 99.99 %");
-    let greedy = tool.recommend(&goals, &SearchOptions::default()).expect("reachable");
+    let greedy = tool
+        .recommend(&goals, &SearchOptions::default())
+        .expect("reachable");
     println!(
         "  greedy recommendation    : {:?} ({} servers, {} evaluations)",
         greedy.replicas(),
         greedy.cost(),
         greedy.evaluations
     );
-    let optimal = tool.recommend_optimal(&goals, &SearchOptions::default()).expect("reachable");
+    let optimal = tool
+        .recommend_optimal(&goals, &SearchOptions::default())
+        .expect("reachable");
     println!(
         "  exhaustive optimum       : {:?} ({} servers, {} evaluations)",
         optimal.replicas(),

@@ -1,0 +1,60 @@
+//! Regenerates the JSON scenario files under `examples/specs/` that the
+//! `wfms` CLI (and the CI lint step) consumes:
+//!
+//! * `examples/specs/ep/` — the paper's Sec. 5.2 architecture with the
+//!   Fig. 3 electronic-purchase workflow;
+//! * `examples/specs/enterprise/` — the five-type enterprise architecture
+//!   with the order-fulfillment / insurance-claim / loan-approval mix.
+//!
+//! ```sh
+//! cargo run --example export_specs
+//! wfms lint --registry examples/specs/ep/registry.json \
+//!           --workload examples/specs/ep/workload.json
+//! ```
+
+use std::path::Path;
+
+use wfms::statechart::{paper_section52_registry, ServerTypeRegistry, WorkflowSpec};
+use wfms::workloads::{enterprise_mix, enterprise_registry, ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
+
+fn write_scenario(dir: &Path, registry: &ServerTypeRegistry, mix: &[(WorkflowSpec, f64)]) {
+    std::fs::create_dir_all(dir).expect("create scenario dir");
+    let registry_json = serde_json::to_string_pretty(registry).expect("registry serializes");
+    std::fs::write(dir.join("registry.json"), registry_json + "\n").expect("write registry");
+    // The same shape as `wfms_cli::WorkloadFile`.
+    let entries: Vec<serde_json::Value> = mix
+        .iter()
+        .map(|(spec, rate)| {
+            let mut entry = serde_json::Map::new();
+            entry.insert(
+                "arrival_rate".to_string(),
+                serde_json::to_value(rate).expect("rate serializes"),
+            );
+            entry.insert(
+                "spec".to_string(),
+                serde_json::to_value(spec).expect("spec serializes"),
+            );
+            serde_json::Value::Object(entry)
+        })
+        .collect();
+    let mut file = serde_json::Map::new();
+    file.insert("workflows".to_string(), serde_json::Value::Array(entries));
+    let workload = serde_json::Value::Object(file);
+    let workload_json = serde_json::to_string_pretty(&workload).expect("workload serializes");
+    std::fs::write(dir.join("workload.json"), workload_json + "\n").expect("write workload");
+    println!("wrote {}", dir.display());
+}
+
+fn main() {
+    let base = Path::new("examples/specs");
+    write_scenario(
+        &base.join("ep"),
+        &paper_section52_registry(),
+        &[(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)],
+    );
+    write_scenario(
+        &base.join("enterprise"),
+        &enterprise_registry(),
+        &enterprise_mix(),
+    );
+}

@@ -8,13 +8,14 @@
 
 use wfms::perf::waiting_times;
 use wfms::workloads::{enterprise_mix, enterprise_registry};
-use wfms::{ConfigurationTool, Configuration, DegradedPolicy};
+use wfms::{Configuration, ConfigurationTool, DegradedPolicy};
 
 fn main() {
     let registry = enterprise_registry();
     let mut tool = ConfigurationTool::new(registry);
     for (spec, rate) in enterprise_mix() {
-        tool.add_workflow(spec, rate).expect("enterprise workflows validate");
+        tool.add_workflow(spec, rate)
+            .expect("enterprise workflows validate");
     }
     let load = tool.system_load().expect("load aggregates");
 
@@ -35,7 +36,10 @@ fn main() {
 
     // Compare failure-blind waiting with the performability expectation
     // across increasingly replicated configurations.
-    println!("\n{:^18} | {:^12} | {:^14} | {:^12} | {:^12}", "config", "blind wait", "performability", "P(degraded)", "P(down)");
+    println!(
+        "\n{:^18} | {:^12} | {:^14} | {:^12} | {:^12}",
+        "config", "blind wait", "performability", "P(degraded)", "P(down)"
+    );
     println!("{}", "-".repeat(80));
     for y in 2..=5usize {
         let config = Configuration::uniform(tool.registry(), y).unwrap();
@@ -66,7 +70,10 @@ fn main() {
         .performability(&config, DegradedPolicy::Conditional)
         .expect("3-way replication serves the load");
     println!("\nDegraded-state detail for {config} (states with ≥ 1e-6 probability and one type degraded):");
-    println!("{:^20} | {:^12} | {:^14}", "system state X", "probability", "worst wait");
+    println!(
+        "{:^20} | {:^12} | {:^14}",
+        "system state X", "probability", "worst wait"
+    );
     println!("{}", "-".repeat(52));
     let mut shown = 0;
     for d in &report.details {
@@ -82,8 +89,17 @@ fn main() {
                 .iter()
                 .filter_map(|o| o.waiting_time())
                 .fold(f64::NAN, f64::max);
-            let label = if worst.is_nan() { "saturated/down".to_string() } else { format!("{:.2} s", worst * 60.0) };
-            println!("{:^20} | {:>12.2e} | {:>14}", format!("{:?}", d.state), d.probability, label);
+            let label = if worst.is_nan() {
+                "saturated/down".to_string()
+            } else {
+                format!("{:.2} s", worst * 60.0)
+            };
+            println!(
+                "{:^20} | {:>12.2e} | {:>14}",
+                format!("{:?}", d.state),
+                d.probability,
+                label
+            );
             shown += 1;
         }
     }

@@ -30,10 +30,16 @@ fn main() {
         .expect("goals reachable");
 
     let a = &recommendation.assessment;
-    println!("Recommended configuration (replicas per server type): {:?}", a.replicas);
+    println!(
+        "Recommended configuration (replicas per server type): {:?}",
+        a.replicas
+    );
     println!("  total servers        : {}", a.cost);
     println!("  availability         : {:.6}", a.availability);
-    println!("  downtime per year    : {:.1} min", a.downtime_minutes_per_year);
+    println!(
+        "  downtime per year    : {:.1} min",
+        a.downtime_minutes_per_year
+    );
     println!(
         "  worst expected wait  : {:.2} s",
         a.max_expected_waiting.unwrap_or(f64::NAN) * 60.0

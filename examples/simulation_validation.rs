@@ -10,13 +10,14 @@ use wfms::perf::waiting_times;
 use wfms::sim::{run, SimOptions};
 use wfms::statechart::paper_section52_registry;
 use wfms::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
-use wfms::{ConfigurationTool, Configuration};
+use wfms::{Configuration, ConfigurationTool};
 
 fn main() {
     let registry = paper_section52_registry();
     let spec = ep_workflow();
     let mut tool = ConfigurationTool::new(registry);
-    tool.add_workflow(spec.clone(), EP_SIM_ARRIVAL_RATE).expect("EP validates");
+    tool.add_workflow(spec.clone(), EP_SIM_ARRIVAL_RATE)
+        .expect("EP validates");
     let analysis = tool.workflow_analysis("EP").expect("analysis");
     let load = tool.system_load().expect("load");
     let config = Configuration::uniform(tool.registry(), 2).unwrap();
@@ -32,17 +33,30 @@ fn main() {
         opts.duration_minutes,
         opts.duration_minutes / 1440.0
     );
-    let report = run(tool.registry(), &config, &[(&spec, EP_SIM_ARRIVAL_RATE)], &opts)
-        .expect("simulation runs");
+    let report = run(
+        tool.registry(),
+        &config,
+        &[(&spec, EP_SIM_ARRIVAL_RATE)],
+        &opts,
+    )
+    .expect("simulation runs");
 
     let wf = &report.workflows[0];
-    println!("\nInstances: {} started, {} completed", wf.started, wf.completed);
-    println!("{:<34} {:>12} {:>12} {:>8}", "metric", "analytic", "simulated", "Δ%");
+    println!(
+        "\nInstances: {} started, {} completed",
+        wf.started, wf.completed
+    );
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "metric", "analytic", "simulated", "Δ%"
+    );
     println!("{}", "-".repeat(70));
     let delta = |a: f64, s: f64| 100.0 * (s - a) / a.abs().max(1e-12);
     println!(
         "{:<34} {:>12.2} {:>12.2} {:>7.1}%",
-        "mean turnaround R_t (min)", analysis.mean_turnaround, wf.mean_turnaround,
+        "mean turnaround R_t (min)",
+        analysis.mean_turnaround,
+        wf.mean_turnaround,
         delta(analysis.mean_turnaround, wf.mean_turnaround)
     );
     for (x, (_, t)) in tool.registry().iter().enumerate() {

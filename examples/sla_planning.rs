@@ -21,11 +21,13 @@ fn main() {
     let analysis = tool.workflow_analysis("EP").expect("analyzes");
     let dist = TurnaroundDistribution::new(&analysis, 1e-9).expect("uniformizes");
     println!("EP turnaround distribution (analytic transient CDF):");
-    println!("  mean {:.0} min | median {:.0} min | p90 {:.0} min | p99 {:.0} min",
+    println!(
+        "  mean {:.0} min | median {:.0} min | p90 {:.0} min | p99 {:.0} min",
         dist.mean(),
         dist.percentile(0.5).expect("p50"),
         dist.percentile(0.9).expect("p90"),
-        dist.percentile(0.99).expect("p99"));
+        dist.percentile(0.99).expect("p99")
+    );
     for t in [60.0, 1_440.0, 4_320.0] {
         println!(
             "  P(done within {:>5.0} min) = {:.1} %",
@@ -50,15 +52,24 @@ fn main() {
         rec.evaluations
     );
     let a = &rec.assessment;
-    for ((_, t), w) in tool.registry().iter().zip(a.expected_waiting.as_ref().expect("serving")) {
+    for ((_, t), w) in tool
+        .registry()
+        .iter()
+        .zip(a.expected_waiting.as_ref().expect("serving"))
+    {
         println!("  expected wait @ {:22}: {:.3} s", t.name, w * 60.0);
     }
 
     // --- 3. Where should calibration effort go? ----------------------------
     let load = tool.system_load().expect("loads");
     let config = wfms::Configuration::new(tool.registry(), rec.replicas().to_vec()).expect("valid");
-    let mut entries = sensitivity(tool.registry(), &config, &load, &SensitivityOptions::default())
-        .expect("computes");
+    let mut entries = sensitivity(
+        tool.registry(),
+        &config,
+        &load,
+        &SensitivityOptions::default(),
+    )
+    .expect("computes");
     entries.sort_by(|x, y| {
         y.waiting_elasticity
             .unwrap_or(0.0)

@@ -3,15 +3,14 @@
 
 use wfms::config::{ApplyOptions, StateVisit, WorkflowTrace};
 use wfms::statechart::paper_section52_registry;
-use wfms::workloads::{
-    enterprise_mix, enterprise_registry, ep_workflow, EP_DEFAULT_ARRIVAL_RATE,
-};
-use wfms::{ConfigurationTool, Configuration, DegradedPolicy, Goals, SearchOptions};
+use wfms::workloads::{enterprise_mix, enterprise_registry, ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
+use wfms::{Configuration, ConfigurationTool, DegradedPolicy, Goals, SearchOptions};
 
 #[test]
 fn ep_pipeline_from_spec_to_recommendation() {
     let mut tool = ConfigurationTool::new(paper_section52_registry());
-    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).unwrap();
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .unwrap();
 
     // Analysis: turnaround dominated by the invoice-payment wait.
     let analysis = tool.workflow_analysis("EP").unwrap();
@@ -24,8 +23,14 @@ fn ep_pipeline_from_spec_to_recommendation() {
     let goals = Goals::new(0.05, 0.9999).unwrap();
     let rec = tool.recommend(&goals, &SearchOptions::default()).unwrap();
     assert!(rec.assessment.meets_goals());
-    let optimal = tool.recommend_optimal(&goals, &SearchOptions::default()).unwrap();
-    assert_eq!(rec.cost(), optimal.cost(), "greedy is optimal on the EP scenario");
+    let optimal = tool
+        .recommend_optimal(&goals, &SearchOptions::default())
+        .unwrap();
+    assert_eq!(
+        rec.cost(),
+        optimal.cost(),
+        "greedy is optimal on the EP scenario"
+    );
 
     // One fewer server of any type must violate a goal (minimality).
     let replicas = rec.replicas().to_vec();
@@ -37,7 +42,10 @@ fn ep_pipeline_from_spec_to_recommendation() {
         smaller[x] -= 1;
         let config = Configuration::new(tool.registry(), smaller).unwrap();
         let a = tool.assess(&config, &goals).unwrap();
-        assert!(!a.meets_goals(), "removing a type-{x} replica should break a goal");
+        assert!(
+            !a.meets_goals(),
+            "removing a type-{x} replica should break a goal"
+        );
     }
 }
 
@@ -63,9 +71,12 @@ fn enterprise_pipeline_handles_five_types_and_three_workflows() {
 #[test]
 fn performability_is_consistent_with_assessment() {
     let mut tool = ConfigurationTool::new(paper_section52_registry());
-    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).unwrap();
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .unwrap();
     let config = Configuration::uniform(tool.registry(), 2).unwrap();
-    let report = tool.performability(&config, DegradedPolicy::Conditional).unwrap();
+    let report = tool
+        .performability(&config, DegradedPolicy::Conditional)
+        .unwrap();
     let goals = Goals::new(10.0, 0.5).unwrap(); // trivially met
     let assessment = tool.assess(&config, &goals).unwrap();
     // The assessment embeds the same performability numbers.
@@ -79,7 +90,8 @@ fn performability_is_consistent_with_assessment() {
 #[test]
 fn calibration_round_trip_through_the_facade() {
     let mut tool = ConfigurationTool::new(paper_section52_registry());
-    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).unwrap();
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .unwrap();
     let before = tool.workflow_analysis("EP").unwrap().mean_turnaround;
 
     // Hand-written trails: every order pays by card and ships instantly —
@@ -87,15 +99,32 @@ fn calibration_round_trip_through_the_facade() {
     let trace = WorkflowTrace {
         workflow_type: "EP".into(),
         visits: vec![
-            StateVisit { state: "NewOrder_S".into(), duration_minutes: 5.0 },
-            StateVisit { state: "CreditCardCheck_S".into(), duration_minutes: 1.0 },
-            StateVisit { state: "Shipment_S".into(), duration_minutes: 30.0 },
-            StateVisit { state: "CreditCardPayment_S".into(), duration_minutes: 1.0 },
-            StateVisit { state: "Archive_S".into(), duration_minutes: 0.5 },
+            StateVisit {
+                state: "NewOrder_S".into(),
+                duration_minutes: 5.0,
+            },
+            StateVisit {
+                state: "CreditCardCheck_S".into(),
+                duration_minutes: 1.0,
+            },
+            StateVisit {
+                state: "Shipment_S".into(),
+                duration_minutes: 30.0,
+            },
+            StateVisit {
+                state: "CreditCardPayment_S".into(),
+                duration_minutes: 1.0,
+            },
+            StateVisit {
+                state: "Archive_S".into(),
+                duration_minutes: 0.5,
+            },
         ],
     };
     let traces = vec![trace; 100];
-    let report = tool.calibrate_workflow("EP", &traces, &ApplyOptions::default()).unwrap();
+    let report = tool
+        .calibrate_workflow("EP", &traces, &ApplyOptions::default())
+        .unwrap();
     assert!(report.transitions_updated > 0);
     let after = tool.workflow_analysis("EP").unwrap().mean_turnaround;
     // All-card traffic never waits on invoices: turnaround collapses.
@@ -107,12 +136,18 @@ fn arrival_rate_growth_never_cheapens_the_recommendation() {
     let mut tool = ConfigurationTool::new(paper_section52_registry());
     tool.add_workflow(ep_workflow(), 1.0).unwrap();
     let goals = Goals::new(0.05, 0.9999).unwrap();
-    let opts = SearchOptions { max_total_servers: 128 };
+    let opts = SearchOptions {
+        max_total_servers: 128,
+    };
     let mut last_cost = 0;
     for xi in [1.0, 10.0, 40.0, 80.0, 160.0] {
         tool.set_arrival_rate("EP", xi);
         let rec = tool.recommend(&goals, &opts).unwrap();
-        assert!(rec.cost() >= last_cost, "ξ={xi}: cost {} < previous {last_cost}", rec.cost());
+        assert!(
+            rec.cost() >= last_cost,
+            "ξ={xi}: cost {} < previous {last_cost}",
+            rec.cost()
+        );
         last_cost = rec.cost();
     }
     assert!(last_cost > 6, "high load must eventually force growth");
@@ -121,7 +156,8 @@ fn arrival_rate_growth_never_cheapens_the_recommendation() {
 #[test]
 fn stricter_goals_cost_at_least_as_much() {
     let mut tool = ConfigurationTool::new(paper_section52_registry());
-    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE * 3.0).unwrap();
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE * 3.0)
+        .unwrap();
     let opts = SearchOptions::default();
     let mut last_cost = 0;
     for nines in [0.99, 0.999, 0.9999, 0.99999, 0.999999] {

@@ -7,13 +7,13 @@ use proptest::prelude::*;
 
 use wfms::avail::closed_form_unavailability;
 use wfms::config::{assess, Goals};
+use wfms::markov::TruncationOptions;
 use wfms::perf::{
     aggregate_load, analyze_workflow, waiting_times, AnalysisOptions, RequestMethod, WorkloadItem,
 };
-use wfms::markov::TruncationOptions;
 use wfms::statechart::{
-    validate_spec, ActivityKind, ActivitySpec, ChartBuilder, Configuration, EcaRule,
-    ServerType, ServerTypeKind, ServerTypeRegistry, WorkflowSpec,
+    validate_spec, ActivityKind, ActivitySpec, ChartBuilder, Configuration, EcaRule, ServerType,
+    ServerTypeKind, ServerTypeRegistry, WorkflowSpec,
 };
 
 /// Standard 3-type registry with tunable service time.
@@ -52,13 +52,20 @@ fn random_workflow() -> impl Strategy<Value = WorkflowSpec> {
             for i in 0..n {
                 b = b.activity_state(format!("s{i}"), format!("A{i}"));
             }
-            b = b.final_state("fin").transition("init", "s0", 1.0, EcaRule::default());
+            b = b
+                .final_state("fin")
+                .transition("init", "s0", 1.0, EcaRule::default());
             #[allow(clippy::needless_range_loop)] // index mirrors state naming
             for i in 0..n {
                 if i + 1 < n {
                     let p = continues[i];
                     b = b
-                        .transition(format!("s{i}"), format!("s{}", i + 1), p, EcaRule::default())
+                        .transition(
+                            format!("s{i}"),
+                            format!("s{}", i + 1),
+                            p,
+                            EcaRule::default(),
+                        )
                         .transition(format!("s{i}"), "fin", 1.0 - p, EcaRule::default());
                 } else {
                     b = b.transition(format!("s{i}"), "fin", 1.0, EcaRule::default());

@@ -7,7 +7,10 @@ use wfms::{Configuration, ConfigurationTool};
 
 fn downtime_hours_per_year(tool: &ConfigurationTool, replicas: Vec<usize>) -> f64 {
     let config = Configuration::new(tool.registry(), replicas).unwrap();
-    tool.availability(&config).unwrap().downtime_minutes_per_year / 60.0
+    tool.availability(&config)
+        .unwrap()
+        .downtime_minutes_per_year
+        / 60.0
 }
 
 #[test]
@@ -40,7 +43,8 @@ fn figure_4_structure() {
     // states, each representing the seven states of the workflow's
     // top-level state chart."
     let mut tool = ConfigurationTool::new(paper_section52_registry());
-    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE).unwrap();
+    tool.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .unwrap();
     let analysis = tool.workflow_analysis("EP").unwrap();
     assert_eq!(analysis.ctmc.n(), 8, "seven execution states plus s_A");
     assert_eq!(analysis.ctmc.absorbing_states(), vec![7]);

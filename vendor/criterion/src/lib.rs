@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Keeps the API this workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros — but replaces the
+//! statistical machinery with a plain wall-clock loop: warm up once, run
+//! `sample_size` timed batches, print min/mean per iteration. Good enough
+//! to compare solver variants offline; not a substitute for real Criterion
+//! when publishing numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for `b.iter(|| black_box(...))`-style benches.
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const BATCH_ITERS: u64 = 10;
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, e.g. `lu/k3_y2_27states`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_id.into()),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: u64,
+    /// Mean wall-clock time per iteration over all timed batches.
+    elapsed_per_iter: Duration,
+    min_per_iter: Duration,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            elapsed_per_iter: Duration::ZERO,
+            min_per_iter: Duration::MAX,
+        }
+    }
+
+    /// Times `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..BATCH_ITERS {
+                black_box(routine());
+            }
+            let batch = start.elapsed() / u32::try_from(BATCH_ITERS).expect("small constant");
+            total += batch;
+            self.min_per_iter = self.min_per_iter.min(batch);
+        }
+        self.elapsed_per_iter = total / u32::try_from(self.samples.max(1)).unwrap_or(1);
+    }
+}
+
+fn run_one(label: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    println!(
+        "bench {label:<60} mean {:>12?}  min {:>12?}  ({samples} samples)",
+        b.elapsed_per_iter, b.min_per_iter
+    );
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.samples, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; real Criterion emits summaries).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, 10, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name, mirroring real Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("lu", "k3_y2").id, "lu/k3_y2");
+        assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+    }
+
+    #[test]
+    fn bencher_times_a_routine() {
+        let mut b = Bencher::new(2);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(17));
+        });
+        assert!(b.elapsed_per_iter >= Duration::ZERO);
+        assert!(acc > 0);
+    }
+
+    criterion_group!(smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.benchmark_group("g")
+            .sample_size(1)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,310 @@
+//! `Deserialize` implementations for std types, the error type, and the
+//! helper functions the derive macros expand to.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::value::{Map, Value};
+use crate::Deserialize;
+
+/// A deserialization error: what was expected, what was found, and the
+/// container path it happened in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+    path: Vec<String>,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// "expected X, found Y" while deserializing `container`.
+    pub fn expected(expected: &str, found: &Value, container: &str) -> Self {
+        DeError {
+            message: format!("expected {expected}, found {}", found.type_name()),
+            path: vec![container.to_string()],
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing(container: &str, field: &str) -> Self {
+        DeError {
+            message: format!("missing field `{field}`"),
+            path: vec![container.to_string()],
+        }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, container: &str) -> Self {
+        DeError {
+            message: format!("unknown variant `{tag}`"),
+            path: vec![container.to_string()],
+        }
+    }
+
+    /// Wraps the error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(mut self, container: &str, field: &str) -> Self {
+        self.path.insert(0, format!("{container}.{field}"));
+        self
+    }
+
+    /// Wraps the error with the container it occurred in.
+    #[must_use]
+    pub fn in_container(mut self, container: &str) -> Self {
+        self.path.insert(0, container.to_string());
+        self
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{} (at {})", self.message, self.path.join(" -> "))
+        }
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// -------------------------------------------------------- derive helpers
+
+/// Looks `v` up as an object or fails with a typed error.
+///
+/// # Errors
+/// [`DeError`] when `v` is not an object.
+pub fn as_object<'a>(v: &'a Value, container: &str) -> Result<&'a Map, DeError> {
+    v.as_object()
+        .ok_or_else(|| DeError::expected("object", v, container))
+}
+
+/// Looks `v` up as an array of exactly `len` elements.
+///
+/// # Errors
+/// [`DeError`] when `v` is not an array of that length.
+pub fn as_array<'a>(v: &'a Value, len: usize, container: &str) -> Result<&'a [Value], DeError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| DeError::expected("array", v, container))?;
+    if arr.len() != len {
+        return Err(DeError::custom(format!(
+            "expected array of {len} elements, found {}",
+            arr.len()
+        ))
+        .in_container(container));
+    }
+    Ok(arr)
+}
+
+/// Deserializes one named field, honouring `missing_field` defaults.
+///
+/// # Errors
+/// [`DeError`] on a missing required field or a failing nested value.
+pub fn field<T: for<'d> Deserialize<'d>>(
+    obj: &Map,
+    key: &str,
+    container: &str,
+) -> Result<T, DeError> {
+    match obj.get(key) {
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(container, key)),
+        None => T::missing_field().ok_or_else(|| DeError::missing(container, key)),
+    }
+}
+
+/// Deserializes one positional element of a fixed-arity array.
+///
+/// # Errors
+/// [`DeError`] on a failing nested value.
+pub fn index<T: for<'d> Deserialize<'d>>(
+    arr: &[Value],
+    i: usize,
+    container: &str,
+) -> Result<T, DeError> {
+    T::from_value(&arr[i]).map_err(|e| e.in_field(container, &i.to_string()))
+}
+
+/// Splits an externally-tagged enum value `{"Tag": payload}` into its tag
+/// and payload.
+///
+/// # Errors
+/// [`DeError`] when `v` is not a single-key object.
+pub fn variant<'a>(v: &'a Value, container: &str) -> Result<(&'a str, &'a Value), DeError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| DeError::expected("string or single-key object", v, container))?;
+    if obj.len() != 1 {
+        return Err(DeError::custom(format!(
+            "expected single-key enum object, found {} keys",
+            obj.len()
+        ))
+        .in_container(container));
+    }
+    let (tag, payload) = obj.iter().next().expect("len checked above");
+    Ok((tag.as_str(), payload))
+}
+
+// ---------------------------------------------------------------- impls
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| DeError::expected(
+                        concat!("unsigned integer (", stringify!($t), ")"), v, "number"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| DeError::expected(
+                        concat!("integer (", stringify!($t), ")"), v, "number"))
+            }
+        }
+    )*};
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // A lenient reader: our writer degrades NaN/Infinity to null.
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64()
+            .ok_or_else(|| DeError::expected("number", v, "f64"))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::expected("bool", v, "bool"))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", v, "String"))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", v, "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<'de, T: for<'d> Deserialize<'d>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+
+    fn missing_field() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<'de, T: for<'d> Deserialize<'d>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<'de, T: for<'d> Deserialize<'d>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", v, "Vec"))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| e.in_field("Vec", &i.to_string())))
+            .collect()
+    }
+}
+
+impl<'de, V: for<'d> Deserialize<'d>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v, "map"))?;
+        obj.iter()
+            .map(|(k, item)| {
+                V::from_value(item)
+                    .map(|x| (k.clone(), x))
+                    .map_err(|e| e.in_field("map", k))
+            })
+            .collect()
+    }
+}
+
+impl<'de, V: for<'d> Deserialize<'d>> Deserialize<'de> for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        BTreeMap::<String, V>::from_value(v).map(|m| m.into_iter().collect())
+    }
+}
+
+impl<'de, A: for<'d> Deserialize<'d>, B: for<'d> Deserialize<'d>> Deserialize<'de> for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = as_array(v, 2, "tuple")?;
+        Ok((index(arr, 0, "tuple")?, index(arr, 1, "tuple")?))
+    }
+}
+
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C)
+where
+    A: for<'d> Deserialize<'d>,
+    B: for<'d> Deserialize<'d>,
+    C: for<'d> Deserialize<'d>,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = as_array(v, 3, "tuple")?;
+        Ok((
+            index(arr, 0, "tuple")?,
+            index(arr, 1, "tuple")?,
+            index(arr, 2, "tuple")?,
+        ))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

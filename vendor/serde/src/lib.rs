@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a minimal serialization framework under the `serde` name: a JSON value
+//! data model ([`Value`]), [`Serialize`]/[`Deserialize`] traits over it,
+//! and (behind the `derive` feature) derive macros from the sibling
+//! `serde_derive` stand-in. The API intentionally covers exactly what
+//! this workspace uses — it is not a drop-in replacement for the real
+//! crates beyond that surface.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::DeError;
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+///
+/// The lifetime parameter exists so that bounds written against the real
+/// serde (`for<'de> Deserialize<'de>`) keep compiling; this stand-in
+/// never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the JSON data model.
+    ///
+    /// # Errors
+    /// [`DeError`] describing the first mismatch, with a container path.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The value to use when a field of this type is absent from an
+    /// object (`None` means "absence is an error"). `Option<T>`
+    /// overrides this to default to `None`, matching serde's behaviour.
+    #[must_use]
+    fn missing_field() -> Option<Self> {
+        None
+    }
+}

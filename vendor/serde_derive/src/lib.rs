@@ -1,0 +1,403 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s `Serialize` / `Deserialize` traits (a
+//! JSON-value data model, see `vendor/serde`) for the item shapes this
+//! workspace actually uses: non-generic structs (named, tuple, unit) and
+//! non-generic enums (unit, tuple, and struct variants, externally
+//! tagged). Written against the bare `proc_macro` API because the build
+//! environment has no network access to fetch `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (vendored data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (vendored data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    (name, shape)
+}
+
+/// Parses `name: Type, ...` field lists; skips attributes and visibility,
+/// and skips type tokens (tracking `<`/`>` depth so commas inside generic
+/// arguments do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes / visibility in front of the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Consumes one type (until a top-level `,` or the end of the stream).
+fn skip_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0usize;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0usize;
+    let mut saw_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. `#[default]`) in front of the variant.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                iter.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Optional trailing comma.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::value::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::value::tagged(\"{vn}\", \
+                         ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::tagged(\"{vn}\", \
+                             ::serde::Value::Array(vec![{}])),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pats} }} => {{ \
+                             let mut __m = ::serde::value::Map::new();\n{inserts}\
+                             ::serde::value::tagged(\"{vn}\", ::serde::Value::Object(__m)) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)\
+             .map_err(|e| e.in_container(\"{name}\"))?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::index(__arr, {i}, \"{name}\")?"))
+                .collect();
+            format!(
+                "let __arr = ::serde::de::as_array(__v, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__obj, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let __obj = ::serde::de::as_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                items.join("\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)\
+                         .map_err(|e| e.in_container(\"{name}::{vn}\"))?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de::index(__arr, {i}, \"{name}::{vn}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                             let __arr = ::serde::de::as_array(__payload, {n}, \"{name}::{vn}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::de::field(__obj, \"{f}\", \"{name}::{vn}\")?,"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                             let __obj = ::serde::de::as_object(__payload, \"{name}::{vn}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{}\n}}) }},\n",
+                            items.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 _ => {{\n\
+                 let (__tag, __payload) = ::serde::de::variant(__v, \"{name}\")?;\n\
+                 match __tag {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -76,6 +76,8 @@ impl AvailabilityModel {
             });
         }
         let k = space.k();
+        let _obs_span = wfms_obs::span!("avail-build", states = n, types = k, backend = "dense");
+        wfms_obs::gauge("avail.state-space.size", n as f64);
         let mut q = Matrix::zeros(n, n);
         for (idx, x) in space.iter() {
             let mut departure = 0.0;
@@ -140,6 +142,11 @@ impl AvailabilityModel {
     /// # Errors
     /// Solver failures as [`AvailError::Chain`].
     pub fn steady_state(&self, method: SteadyStateMethod) -> Result<Vec<f64>, AvailError> {
+        let _obs_span = wfms_obs::span!(
+            "avail-steady-state",
+            states = self.space.len(),
+            backend = "dense"
+        );
         Ok(self.ctmc.steady_state(method)?)
     }
 

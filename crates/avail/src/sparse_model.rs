@@ -51,6 +51,7 @@ impl SparseAvailabilityModel {
             });
         }
         let k = space.k();
+        let _obs_span = wfms_obs::span!("avail-build", states = n, types = k, backend = "sparse");
         let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(n * 2 * k);
         let mut departure = vec![0.0; n];
         let rates: Vec<(f64, f64)> = registry
@@ -106,8 +107,14 @@ impl SparseAvailabilityModel {
     /// # Errors
     /// [`AvailError::Chain`] on non-convergence.
     pub fn steady_state(&self, opts: GaussSeidelOptions) -> Result<Vec<f64>, AvailError> {
+        let mut obs_span = wfms_obs::span!(
+            "avail-steady-state",
+            states = self.space.len(),
+            backend = "sparse"
+        );
         let sol = sparse_steady_state_gauss_seidel(&self.qt, &self.departure, opts)
             .map_err(wfms_markov::ChainError::Iterative)?;
+        obs_span.record("iterations", sol.iterations);
         Ok(sol.x)
     }
 

@@ -12,6 +12,7 @@ use wfms_markov::linalg::GaussSeidelOptions;
 use wfms_statechart::{paper_section52_registry, Configuration};
 
 fn main() {
+    wfms_bench::obs::start();
     let registry = paper_section52_registry();
     println!("EXP-A1: availability of the Sec. 5.2 scenario");
     println!("(λ = 1/month, 1/week, 1/day; MTTR = 10 min for all types)\n");
@@ -51,4 +52,5 @@ fn main() {
     }
     table.print();
     println!("\n(Δ columns: downtime difference in minutes/year versus the LU solve.)");
+    wfms_bench::obs::finish("exp_a1_availability");
 }

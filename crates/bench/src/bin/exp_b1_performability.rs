@@ -9,6 +9,7 @@ use wfms_statechart::{paper_section52_registry, Configuration};
 use wfms_workloads::ep_workflow;
 
 fn main() {
+    wfms_bench::obs::start();
     let registry = paper_section52_registry();
     // Load the system heavily enough that losing a replica hurts:
     // ξ chosen so the engine type runs at ~85 % on two replicas.
@@ -117,4 +118,5 @@ fn main() {
         .max_expected_waiting()
             * 60.0
     );
+    wfms_bench::obs::finish("exp_b1_performability");
 }

@@ -80,6 +80,7 @@ fn eager_non_interleaved(
 }
 
 fn main() {
+    wfms_bench::obs::start();
     let registry = paper_section52_registry();
     let analysis =
         analyze_workflow(&ep_workflow(), &registry, &AnalysisOptions::default()).expect("EP");
@@ -151,4 +152,5 @@ fn main() {
          (within +1 server in the worst case) at a fraction of the evaluations;\n\
          the eager non-interleaved variant oversizes when both goals bind at once."
     );
+    wfms_bench::obs::finish("exp_c1_greedy");
 }

@@ -33,6 +33,7 @@ fn case(registry: &ServerTypeRegistry, spec: &WorkflowSpec, arrival_rate: f64, t
 }
 
 fn main() {
+    wfms_bench::obs::start();
     println!("EXP-P1: mean turnaround R_t — analytic first passage vs simulation\n");
     let mut table = Table::new(&[
         "workflow",
@@ -56,4 +57,5 @@ fn main() {
          subworkflows (a documented lower bound, Sec. 4.2.2): workflows with a\n\
          parallel state (EP, InsuranceClaim) simulate slightly above the model."
     );
+    wfms_bench::obs::finish("exp_p1_turnaround");
 }

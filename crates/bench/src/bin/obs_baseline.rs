@@ -1,0 +1,51 @@
+//! OBS-BASELINE — seeds `BENCH_obs.json` with stage timings and
+//! iteration counts for the ep and enterprise reference scenarios, so
+//! future PRs can diff solver behaviour against a known-good trajectory.
+
+use wfms_bench::obs;
+use wfms_core::config::Goals;
+use wfms_core::perf::TurnaroundDistribution;
+use wfms_core::{Configuration, ConfigurationTool};
+use wfms_statechart::paper_section52_registry;
+use wfms_workloads::{enterprise_mix, enterprise_registry, ep_workflow, EP_SIM_ARRIVAL_RATE};
+
+/// One full pass over the analysis stack, mirroring `wfms profile`:
+/// per-workflow transient analysis plus a goal assessment.
+fn exercise(tool: &ConfigurationTool, goals: &Goals) {
+    for (spec, _) in tool.workloads() {
+        let analysis = tool.workflow_analysis(&spec.name).expect("analyzable");
+        let dist = TurnaroundDistribution::new(&analysis, 1e-9).expect("uniformizable");
+        dist.percentile(0.9).expect("percentile");
+    }
+    let config = Configuration::uniform(tool.registry(), 2).expect("valid");
+    tool.assess(&config, goals).expect("assessable");
+}
+
+fn main() {
+    let goals = Goals::new(0.05, 0.9999).expect("valid goals");
+
+    let mut ep = ConfigurationTool::new(paper_section52_registry());
+    ep.add_workflow(ep_workflow(), EP_SIM_ARRIVAL_RATE)
+        .expect("EP registers");
+    obs::start();
+    exercise(&ep, &goals);
+    let record = obs::finish("ep");
+    println!(
+        "ep: {} stages, {} counters",
+        record.stages.len(),
+        record.counters.len()
+    );
+
+    let mut enterprise = ConfigurationTool::new(enterprise_registry());
+    for (spec, rate) in enterprise_mix() {
+        enterprise.add_workflow(spec, rate).expect("registers");
+    }
+    obs::start();
+    exercise(&enterprise, &goals);
+    let record = obs::finish("enterprise");
+    println!(
+        "enterprise: {} stages, {} counters",
+        record.stages.len(),
+        record.counters.len()
+    );
+}

@@ -5,6 +5,8 @@
 use wfms_config::{StateVisit, WorkflowTrace};
 use wfms_sim::AuditTrail;
 
+pub mod obs;
+
 /// Renders one experiment table row-by-row with aligned columns.
 pub struct Table {
     headers: Vec<String>,

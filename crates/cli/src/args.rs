@@ -1,8 +1,11 @@
 //! Minimal dependency-free argument parsing for the `wfms` binary.
 //!
-//! The grammar is a command word followed by `--flag value` pairs (plus a
-//! few boolean flags). Kept deliberately small: the CLI surfaces the
-//! library, it is not an argument-parsing showcase.
+//! The grammar is a command word followed by `--option value`,
+//! `--option=value`, and boolean `--flag` tokens. Each command declares
+//! the options and flags it understands in [`COMMANDS`]; anything else is
+//! rejected with [`ArgError::UnknownFlag`] instead of being silently
+//! swallowed. Kept deliberately small: the CLI surfaces the library, it
+//! is not an argument-parsing showcase.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -31,6 +34,13 @@ pub enum ArgError {
         /// The stray token.
         token: String,
     },
+    /// A `--flag` the command does not understand.
+    UnknownFlag {
+        /// The unrecognized flag.
+        flag: String,
+        /// The command it was passed to.
+        command: String,
+    },
     /// A required option is absent.
     MissingOption {
         /// The option name.
@@ -53,6 +63,12 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "no command given (try `wfms help`)"),
             ArgError::MissingValue { flag } => write!(f, "--{flag} needs a value"),
             ArgError::UnexpectedToken { token } => write!(f, "unexpected argument {token:?}"),
+            ArgError::UnknownFlag { flag, command } => {
+                write!(
+                    f,
+                    "unknown option --{flag} for `wfms {command}` (try `wfms help`)"
+                )
+            }
             ArgError::MissingOption { option } => write!(f, "required option --{option} missing"),
             ArgError::InvalidValue {
                 option,
@@ -67,11 +83,139 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-/// Boolean flags the CLI understands (no value expected).
-const BOOLEAN_FLAGS: &[&str] = &["json", "failures", "optimal", "annealing", "help"];
+/// The grammar of one command: which value options and boolean flags it
+/// accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandSpec {
+    /// The command word.
+    pub name: &'static str,
+    /// Options taking a value: `--opt <value>` or `--opt=<value>`.
+    pub options: &'static [&'static str],
+    /// Boolean flags.
+    pub flags: &'static [&'static str],
+}
+
+/// Options every command accepts (observability controls).
+const GLOBAL_OPTIONS: &[&str] = &["trace-out"];
+/// Flags every command accepts.
+const GLOBAL_FLAGS: &[&str] = &["help"];
+/// Flags with an optional inline value: `--trace` or `--trace=json`.
+const OPTIONAL_VALUE_FLAGS: &[&str] = &["trace"];
+
+/// The full command table, kept in sync with [`crate::commands::USAGE`].
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "init",
+        options: &["dir"],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "validate",
+        options: &["registry", "workload"],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "lint",
+        options: &[
+            "registry",
+            "workload",
+            "config",
+            "max-wait",
+            "min-availability",
+            "budget",
+            "format",
+        ],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "analyze",
+        options: &["registry", "workload"],
+        flags: &["json"],
+    },
+    CommandSpec {
+        name: "availability",
+        options: &["registry", "config"],
+        flags: &["json"],
+    },
+    CommandSpec {
+        name: "assess",
+        options: &[
+            "registry",
+            "workload",
+            "config",
+            "max-wait",
+            "min-availability",
+        ],
+        flags: &["json"],
+    },
+    CommandSpec {
+        name: "recommend",
+        options: &[
+            "registry",
+            "workload",
+            "max-wait",
+            "min-availability",
+            "budget",
+            "seed",
+        ],
+        flags: &["optimal", "annealing", "json"],
+    },
+    CommandSpec {
+        name: "simulate",
+        options: &[
+            "registry", "workload", "config", "duration", "warmup", "seed",
+        ],
+        flags: &["failures", "json"],
+    },
+    CommandSpec {
+        name: "profile",
+        options: &[
+            "registry",
+            "workload",
+            "config",
+            "max-wait",
+            "min-availability",
+            "runs",
+        ],
+        flags: &["check", "json"],
+    },
+    CommandSpec {
+        name: "sensitivity",
+        options: &["registry", "workload", "config", "step"],
+        flags: &["json"],
+    },
+    CommandSpec {
+        name: "export-dot",
+        options: &["registry", "workload", "workflow", "view", "out"],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "help",
+        options: &[],
+        flags: &[],
+    },
+];
+
+fn spec_for(command: &str) -> Option<&'static CommandSpec> {
+    COMMANDS.iter().find(|s| s.name == command)
+}
+
+/// Trace rendering mode selected by `--trace[=text|json]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Human-readable span tree plus metric tables, to stderr.
+    Text,
+    /// The full [`wfms_obs::TraceSnapshot`] as JSON, to stderr.
+    Json,
+}
 
 impl ParsedArgs {
     /// Parses `args` (without the program name).
+    ///
+    /// An unknown command word parses leniently — every `--name value`
+    /// pair is accepted — so the command dispatcher can report the
+    /// unknown command itself. For known commands, options and flags are
+    /// checked against [`COMMANDS`].
     ///
     /// # Errors
     /// [`ArgError`] on malformed input.
@@ -81,24 +225,58 @@ impl ParsedArgs {
         if command.starts_with("--") {
             return Err(ArgError::UnexpectedToken { token: command });
         }
+        let spec = spec_for(&command);
         let mut options = BTreeMap::new();
         let mut flags = Vec::new();
         while let Some(token) = iter.next() {
-            let name = token
+            let body = token
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError::UnexpectedToken {
                     token: token.clone(),
-                })?
-                .to_string();
-            if BOOLEAN_FLAGS.contains(&name.as_str()) {
+                })?;
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                None => (body.to_string(), None),
+            };
+            if OPTIONAL_VALUE_FLAGS.contains(&name.as_str()) {
+                options.insert(name, inline.unwrap_or_default());
+                continue;
+            }
+            if GLOBAL_FLAGS.contains(&name.as_str()) {
                 flags.push(name);
                 continue;
             }
-            let value = iter
-                .next()
-                .filter(|v| !v.starts_with("--"))
-                .ok_or_else(|| ArgError::MissingValue { flag: name.clone() })?;
-            options.insert(name, value);
+            let takes_value = GLOBAL_OPTIONS.contains(&name.as_str())
+                || match spec {
+                    Some(s) => s.options.contains(&name.as_str()),
+                    None => true, // unknown command: let the dispatcher report it
+                };
+            if takes_value {
+                let value = match inline {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .filter(|v| !v.starts_with("--"))
+                        .ok_or_else(|| ArgError::MissingValue { flag: name.clone() })?,
+                };
+                options.insert(name, value);
+                continue;
+            }
+            let is_flag = spec.is_none_or(|s| s.flags.contains(&name.as_str()));
+            if !is_flag {
+                return Err(ArgError::UnknownFlag {
+                    flag: name,
+                    command: command.clone(),
+                });
+            }
+            if let Some(v) = inline {
+                return Err(ArgError::InvalidValue {
+                    option: name,
+                    value: v,
+                    reason: "flag takes no value".into(),
+                });
+            }
+            flags.push(name);
         }
         Ok(ParsedArgs {
             command,
@@ -123,6 +301,25 @@ impl ParsedArgs {
     /// True when the boolean flag was given.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The `--trace` mode: `None` when absent, [`TraceMode::Text`] for a
+    /// bare `--trace` or `--trace=text`, [`TraceMode::Json`] for
+    /// `--trace=json`.
+    ///
+    /// # Errors
+    /// [`ArgError::InvalidValue`] on any other value.
+    pub fn trace_mode(&self) -> Result<Option<TraceMode>, ArgError> {
+        match self.get("trace") {
+            None => Ok(None),
+            Some("") | Some("text") => Ok(Some(TraceMode::Text)),
+            Some("json") => Ok(Some(TraceMode::Json)),
+            Some(other) => Err(ArgError::InvalidValue {
+                option: "trace".into(),
+                value: other.into(),
+                reason: "expected `text` or `json`".into(),
+            }),
+        }
     }
 
     /// An optional `f64` option.
@@ -193,7 +390,7 @@ mod tests {
     #[test]
     fn parses_command_options_and_flags() {
         let a = parse(&[
-            "recommend",
+            "assess",
             "--registry",
             "reg.json",
             "--max-wait",
@@ -203,13 +400,20 @@ mod tests {
             "2,2,3",
         ])
         .unwrap();
-        assert_eq!(a.command, "recommend");
+        assert_eq!(a.command, "assess");
         assert_eq!(a.get("registry"), Some("reg.json"));
         assert_eq!(a.get_f64("max-wait").unwrap(), Some(0.05));
         assert!(a.flag("json"));
         assert!(!a.flag("failures"));
         assert_eq!(a.get_replicas("config").unwrap(), Some(vec![2, 2, 3]));
         assert_eq!(a.get_replicas("other").unwrap(), None);
+    }
+
+    #[test]
+    fn accepts_equals_form_options() {
+        let a = parse(&["assess", "--registry=reg.json", "--max-wait=0.05"]).unwrap();
+        assert_eq!(a.get("registry"), Some("reg.json"));
+        assert_eq!(a.get_f64("max-wait").unwrap(), Some(0.05));
     }
 
     #[test]
@@ -231,6 +435,55 @@ mod tests {
             parse(&["assess", "--registry", "--json"]).unwrap_err(),
             ArgError::MissingValue { .. }
         ));
+    }
+
+    #[test]
+    fn rejects_flags_the_command_does_not_know() {
+        assert!(matches!(
+            parse(&["assess", "--optimal"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+        assert!(matches!(
+            parse(&["validate", "--json"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+        assert!(matches!(
+            parse(&["recommend", "--frobnicate"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+        // Flags must not carry a value.
+        assert!(matches!(
+            parse(&["recommend", "--json=yes"]).unwrap_err(),
+            ArgError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_commands_parse_leniently() {
+        // The dispatcher reports the unknown command; parsing must not
+        // preempt it with a flag error.
+        let a = parse(&["x", "--n", "abc", "--m", "1,2,x"]).unwrap();
+        assert_eq!(a.command, "x");
+        assert_eq!(a.get("n"), Some("abc"));
+    }
+
+    #[test]
+    fn trace_flag_parses_on_every_command() {
+        let a = parse(&["assess", "--trace"]).unwrap();
+        assert_eq!(a.trace_mode().unwrap(), Some(TraceMode::Text));
+        let a = parse(&["recommend", "--trace=json"]).unwrap();
+        assert_eq!(a.trace_mode().unwrap(), Some(TraceMode::Json));
+        let a = parse(&["simulate", "--trace=text"]).unwrap();
+        assert_eq!(a.trace_mode().unwrap(), Some(TraceMode::Text));
+        let a = parse(&["analyze"]).unwrap();
+        assert_eq!(a.trace_mode().unwrap(), None);
+        let a = parse(&["assess", "--trace=xml"]).unwrap();
+        assert!(matches!(
+            a.trace_mode().unwrap_err(),
+            ArgError::InvalidValue { .. }
+        ));
+        let a = parse(&["profile", "--trace-out", "t.json"]).unwrap();
+        assert_eq!(a.get("trace-out"), Some("t.json"));
     }
 
     #[test]

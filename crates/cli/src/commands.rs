@@ -18,8 +18,20 @@ use wfms_core::statechart::{paper_section52_registry, validate_spec};
 use wfms_core::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
 use wfms_core::{Configuration, ConfigurationTool, ServerTypeRegistry, WorkflowSpec};
 
-use crate::args::{ArgError, ParsedArgs};
+use crate::args::{ArgError, ParsedArgs, TraceMode};
 use crate::error::CliError;
+
+/// Stages `profile --check` requires to have recorded at least one span;
+/// see the naming table in the `wfms_obs` crate docs.
+pub const REQUIRED_STAGES: &[&str] = &[
+    "workflow-analysis",
+    "uniformize",
+    "first-passage",
+    "avail-steady-state",
+    "mg1-waiting",
+    "performability",
+    "assess",
+];
 
 /// One workflow type plus its arrival rate, as stored in a workload file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -121,6 +133,12 @@ COMMANDS
   simulate     --registry <file> --workload <file> --config <y1,..>
                [--duration <min>] [--warmup <min>] [--seed <n>]
                [--failures] [--json]
+  profile      --registry <file> --workload <file> [--config <y1,..>]
+               [--max-wait <min>] [--min-availability <a>] [--runs <n>]
+               [--check] [--json]
+               run the analysis stack N times and report per-stage
+               wall time and solver iteration counts; --check fails
+               when a required stage records no spans
   sensitivity  --registry <file> --workload <file> --config <y1,..>
                [--step <rel>] [--json]
                log-log elasticities of the goal metrics per parameter
@@ -128,13 +146,53 @@ COMMANDS
                [--view chart|ctmc] [--out <file>]
                Graphviz source for the Fig. 3 chart or Fig. 4 CTMC view
   help         this text
+
+GLOBAL OPTIONS (every command)
+  --trace[=text|json]  record an execution trace (spans, counters,
+                       histograms) and print it to stderr
+  --trace-out <file>   also write the trace snapshot as JSON to <file>
 ";
 
 /// Runs one CLI invocation, writing the report to `out`.
 ///
+/// When `--trace` or `--trace-out` is given, the global observability
+/// recorder is enabled around the command and the resulting trace is
+/// rendered to stderr (`--trace`) and/or written as JSON to a file
+/// (`--trace-out`). The command's own report still goes to `out`.
+///
 /// # Errors
 /// [`CliError`] on bad arguments, unreadable files, or model failures.
 pub fn run_command(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    if args.flag("help") {
+        write!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    let trace = args.trace_mode()?;
+    let trace_out = args.get("trace-out").map(str::to_string);
+    if trace.is_none() && trace_out.is_none() {
+        return dispatch(args, out);
+    }
+    let recorder = wfms_obs::global();
+    recorder.reset();
+    recorder.enable();
+    let result = dispatch(args, out);
+    recorder.disable();
+    let snapshot = recorder.take();
+    match trace {
+        Some(TraceMode::Text) => eprint!("{}", wfms_obs::render_text(&snapshot)),
+        Some(TraceMode::Json) => eprintln!("{}", wfms_obs::to_json(&snapshot)),
+        None => {}
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(&path, wfms_obs::to_json(&snapshot)).map_err(|e| CliError::Io {
+            path,
+            message: e.to_string(),
+        })?;
+    }
+    result
+}
+
+fn dispatch(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     match args.command.as_str() {
         "help" => {
             write!(out, "{USAGE}")?;
@@ -148,6 +206,7 @@ pub fn run_command(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErr
         "assess" => cmd_assess(args, out),
         "recommend" => cmd_recommend(args, out),
         "simulate" => cmd_simulate(args, out),
+        "profile" => cmd_profile(args, out),
         "sensitivity" => cmd_sensitivity(args, out),
         "export-dot" => cmd_export_dot(args, out),
         other => Err(CliError::UnknownCommand {
@@ -369,6 +428,16 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let config = parse_config(args, tool.registry())?;
     let goals = parse_goals(args)?;
     let assessment = tool.assess(&config, &goals)?;
+    // Turnaround distributions per workflow type (the transient analysis
+    // of Sec. 4.1, extended to percentiles).
+    let mut turnarounds = Vec::new();
+    for (spec, _) in tool.workloads() {
+        let analysis = tool.workflow_analysis(&spec.name)?;
+        let dist = wfms_core::perf::TurnaroundDistribution::new(&analysis, 1e-9)
+            .map_err(wfms_core::ConfigError::Perf)?;
+        let p90 = dist.percentile(0.9).map_err(wfms_core::ConfigError::Perf)?;
+        turnarounds.push((spec.name.clone(), dist.mean(), p90));
+    }
     if args.flag("json") {
         writeln!(
             out,
@@ -393,6 +462,12 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
             out,
             "  SATURATED: the full configuration cannot serve the load"
         )?,
+    }
+    for (name, mean, p90) in &turnarounds {
+        writeln!(
+            out,
+            "  turnaround {name:?}: mean {mean:.1} min, p90 {p90:.1} min"
+        )?;
     }
     writeln!(out, "  goals met: {}", assessment.meets_goals())?;
     Ok(())
@@ -501,6 +576,140 @@ fn cmd_simulate(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError>
             report.availability.failures,
             report.availability.repairs
         )?;
+    }
+    Ok(())
+}
+
+#[derive(Debug, Serialize)]
+struct ProfileReport {
+    runs: usize,
+    configuration: Vec<usize>,
+    wall_ms: f64,
+    stages: Vec<wfms_obs::StageSummary>,
+    counters: std::collections::BTreeMap<String, u64>,
+    gauges: std::collections::BTreeMap<String, f64>,
+    histograms: std::collections::BTreeMap<String, wfms_obs::HistogramSnapshot>,
+}
+
+/// One full pass over the analysis stack: per-workflow transient
+/// analysis (turnaround distribution) plus a goal assessment
+/// (availability, performability, M/G/1 waiting times).
+fn profile_once(
+    tool: &ConfigurationTool,
+    config: &Configuration,
+    goals: &Goals,
+) -> Result<(), CliError> {
+    for (spec, _) in tool.workloads() {
+        let analysis = tool.workflow_analysis(&spec.name)?;
+        let dist = wfms_core::perf::TurnaroundDistribution::new(&analysis, 1e-9)
+            .map_err(wfms_core::ConfigError::Perf)?;
+        dist.percentile(0.9).map_err(wfms_core::ConfigError::Perf)?;
+    }
+    tool.assess(config, goals)?;
+    Ok(())
+}
+
+fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let tool = load_tool(args)?;
+    let runs = args.get_u64("runs")?.unwrap_or(5) as usize;
+    if runs == 0 {
+        return Err(CliError::Arg(ArgError::InvalidValue {
+            option: "runs".into(),
+            value: "0".into(),
+            reason: "need at least one run".into(),
+        }));
+    }
+    let config = match args.get_replicas("config")? {
+        Some(replicas) => {
+            Configuration::new(tool.registry(), replicas).map_err(wfms_core::ConfigError::Arch)?
+        }
+        None => Configuration::uniform(tool.registry(), 2).map_err(wfms_core::ConfigError::Arch)?,
+    };
+    let goals = Goals {
+        max_waiting_time: Some(args.get_f64("max-wait")?.unwrap_or(0.05)),
+        min_availability: Some(args.get_f64("min-availability")?.unwrap_or(0.9999)),
+        per_type_waiting: Vec::new(),
+    };
+
+    let recorder = wfms_obs::global();
+    recorder.reset();
+    recorder.enable();
+    let started = std::time::Instant::now();
+    let mut outcome = Ok(());
+    for _ in 0..runs {
+        outcome = profile_once(&tool, &config, &goals);
+        if outcome.is_err() {
+            break;
+        }
+    }
+    recorder.disable();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let snapshot = recorder.take();
+    outcome?;
+
+    if args.flag("check") {
+        for &stage in REQUIRED_STAGES {
+            if snapshot.span_count(stage) == 0 {
+                return Err(CliError::EmptyStage { stage });
+            }
+        }
+    }
+
+    let report = ProfileReport {
+        runs,
+        configuration: config.as_slice().to_vec(),
+        wall_ms,
+        stages: wfms_obs::aggregate_stages(&snapshot),
+        counters: snapshot.counters.clone(),
+        gauges: snapshot.gauges.clone(),
+        histograms: snapshot.histograms.clone(),
+    };
+    if args.flag("json") {
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable")
+        )?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "profiled {} run(s) on {config} in {:.1} ms:",
+        report.runs, report.wall_ms
+    )?;
+    writeln!(
+        out,
+        "  {:<28} {:>7} {:>12} {:>12}",
+        "stage", "spans", "total ms", "mean ms"
+    )?;
+    for s in &report.stages {
+        writeln!(
+            out,
+            "  {:<28} {:>7} {:>12.3} {:>12.3}",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.mean_ns() as f64 / 1e6
+        )?;
+    }
+    if !report.counters.is_empty() {
+        writeln!(out, "  counters:")?;
+        for (name, value) in &report.counters {
+            writeln!(out, "    {name} = {value}")?;
+        }
+    }
+    if !report.histograms.is_empty() {
+        writeln!(out, "  iteration histograms:")?;
+        for (name, h) in &report.histograms {
+            writeln!(
+                out,
+                "    {name}: n={}, mean={:.1}, min={}, max={}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            )?;
+        }
     }
     Ok(())
 }

@@ -39,6 +39,11 @@ pub enum CliError {
         /// Number of error-severity findings.
         errors: usize,
     },
+    /// `profile --check` found a stage that recorded no spans.
+    EmptyStage {
+        /// The silent stage's name.
+        stage: &'static str,
+    },
     /// Writing the report failed.
     Output(std::io::Error),
 }
@@ -55,6 +60,9 @@ impl fmt::Display for CliError {
             CliError::Tool(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
             CliError::Lint { errors } => write!(f, "lint found {errors} error(s)"),
+            CliError::EmptyStage { stage } => {
+                write!(f, "profile: stage {stage:?} recorded no spans")
+            }
             CliError::Output(e) => write!(f, "failed to write output: {e}"),
         }
     }

@@ -22,7 +22,7 @@ pub mod commands;
 pub mod error;
 
 pub use args::{ArgError, ParsedArgs};
-pub use commands::{run_command, WorkloadEntry, WorkloadFile, USAGE};
+pub use commands::{run_command, WorkloadEntry, WorkloadFile, REQUIRED_STAGES, USAGE};
 pub use error::CliError;
 
 /// Parses the argument list and runs the command, writing to `out`.

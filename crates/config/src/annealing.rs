@@ -101,6 +101,12 @@ pub fn annealing_search(
 ) -> Result<SearchResult, ConfigError> {
     goals.validate()?;
     crate::assess::run_preflight(registry, load, None)?;
+    let mut obs_span = wfms_obs::span!(
+        "annealing-search",
+        steps = opts.steps,
+        seed = opts.seed,
+        budget = opts.max_total_servers
+    );
     let k = registry.len();
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
@@ -114,6 +120,8 @@ pub fn annealing_search(
         .then(|| current_assessment.clone());
 
     let mut temperature = opts.initial_temperature;
+    let mut accepted: u64 = 0;
+    let mut rejected: u64 = 0;
     for _ in 0..opts.steps {
         // Propose: ±1 replica of a random type, within bounds.
         let x = rng.gen_range(0..k);
@@ -142,6 +150,7 @@ pub fn annealing_search(
         let accept = obj <= current_obj
             || rng.gen::<f64>() < ((current_obj - obj) / temperature.max(1e-9)).exp();
         if accept {
+            accepted += 1;
             current = candidate;
             current_obj = obj;
             current_assessment = assessment.clone();
@@ -153,10 +162,17 @@ pub fn annealing_search(
             {
                 best_feasible = Some(assessment);
             }
+        } else {
+            rejected += 1;
         }
         temperature *= opts.cooling;
     }
 
+    obs_span.record("evaluations", evaluations as u64);
+    obs_span.record("accepted", accepted);
+    obs_span.record("rejected", rejected);
+    wfms_obs::counter("config.annealing.accepted", accepted);
+    wfms_obs::counter("config.annealing.rejected", rejected);
     match best_feasible {
         Some(assessment) => Ok(SearchResult {
             assessment,

@@ -76,6 +76,8 @@ pub fn assess(
 ) -> Result<Assessment, ConfigError> {
     goals.validate()?;
     run_preflight(registry, load, Some(config.as_slice()))?;
+    let mut obs_span = wfms_obs::span!("assess");
+    obs_span.record("candidate", format!("{config}"));
     let model = AvailabilityModel::new(registry, config)?;
     let pi = model.steady_state(SteadyStateMethod::Lu)?;
     let availability = model.availability(&pi)?;
@@ -112,6 +114,12 @@ pub fn assess(
         None => true,
         Some(min) => availability >= min,
     };
+
+    obs_span.record("availability", availability);
+    if let Some(w) = max_expected_waiting {
+        obs_span.record("w_max", w);
+    }
+    wfms_obs::counter("config.assessments", 1);
 
     Ok(Assessment {
         replicas: config.as_slice().to_vec(),

@@ -88,6 +88,24 @@ pub fn minimum_stable_replicas(
     Ok(out)
 }
 
+/// Emits a `search-candidate` observability span describing one assessed
+/// candidate: the replica vector, its predicted availability and worst
+/// waiting time, and whether the search accepted it (goal satisfaction
+/// for the deterministic searches, the Metropolis verdict for annealing).
+pub(crate) fn record_candidate(assessment: &Assessment, accepted: bool) {
+    let mut span = wfms_obs::span!("search-candidate");
+    if !span.is_recording() {
+        return;
+    }
+    span.record("candidate", format!("{:?}", assessment.replicas));
+    span.record("cost", assessment.cost as u64);
+    span.record("availability", assessment.availability);
+    if let Some(w) = assessment.max_expected_waiting {
+        span.record("w_max", w);
+    }
+    span.record("accepted", accepted);
+}
+
 /// Picks the performability-critical server type: among the types that
 /// violate their (global or per-type) waiting threshold, the one with the
 /// largest violation ratio `w_x / threshold_x`; if none violates, the one
@@ -183,14 +201,18 @@ pub fn greedy_search(
         return Err(ConfigError::LoadUnsustainable { server_type: worst });
     }
 
+    let mut obs_span = wfms_obs::span!("greedy-search", budget = opts.max_total_servers);
     let mut config = Configuration::minimal(registry);
     let mut trace = Vec::new();
     let mut evaluations = 0;
     loop {
         let assessment = assess(registry, &config, load, goals)?;
         evaluations += 1;
+        record_candidate(&assessment, assessment.meets_goals());
         trace.push(assessment.clone());
         if assessment.meets_goals() {
+            obs_span.record("evaluations", evaluations as u64);
+            obs_span.record("cost", assessment.cost as u64);
             return Ok(SearchResult {
                 assessment,
                 trace,
@@ -229,6 +251,7 @@ pub fn exhaustive_search(
     goals.validate()?;
     crate::assess::run_preflight(registry, load, None)?;
     let k = registry.len();
+    let mut obs_span = wfms_obs::span!("exhaustive-search", budget = opts.max_total_servers);
     let mut trace = Vec::new();
     let mut evaluations = 0;
     for cost in k..=opts.max_total_servers {
@@ -241,6 +264,7 @@ pub fn exhaustive_search(
             let config = Configuration::new(registry, replicas.to_vec())?;
             let assessment = assess(registry, &config, load, goals)?;
             evaluations += 1;
+            record_candidate(&assessment, assessment.meets_goals());
             trace.push(assessment.clone());
             if assessment.meets_goals() {
                 found = Some(assessment);
@@ -248,6 +272,8 @@ pub fn exhaustive_search(
             Ok(())
         })?;
         if let Some(assessment) = found {
+            obs_span.record("evaluations", evaluations as u64);
+            obs_span.record("cost", assessment.cost as u64);
             return Ok(SearchResult {
                 assessment,
                 trace,
@@ -346,6 +372,7 @@ pub fn branch_and_bound_search(
             last_candidate: lower,
         });
     }
+    let mut obs_span = wfms_obs::span!("bnb-search", budget = opts.max_total_servers);
     let mut trace = Vec::new();
     let mut evaluations = 0;
     for cost in lower_cost..=opts.max_total_servers {
@@ -358,6 +385,7 @@ pub fn branch_and_bound_search(
             let config = Configuration::new(registry, replicas.to_vec())?;
             let assessment = assess(registry, &config, load, goals)?;
             evaluations += 1;
+            record_candidate(&assessment, assessment.meets_goals());
             trace.push(assessment.clone());
             if assessment.meets_goals() {
                 found = Some(assessment);
@@ -365,6 +393,8 @@ pub fn branch_and_bound_search(
             Ok(())
         })?;
         if let Some(assessment) = found {
+            obs_span.record("evaluations", evaluations as u64);
+            obs_span.record("cost", assessment.cost as u64);
             return Ok(SearchResult {
                 assessment,
                 trace,

@@ -293,6 +293,14 @@ impl Ctmc {
         if target >= n {
             return Err(ChainError::StateOutOfRange { state: target, n });
         }
+        let mut obs_span = wfms_obs::span!("first-passage", states = n);
+        obs_span.record(
+            "solver",
+            match solver {
+                LinearSolver::Lu => "lu",
+                LinearSolver::GaussSeidel(_) => "gauss-seidel",
+            },
+        );
         for i in 0..n {
             if i != target && self.is_absorbing(i) {
                 return Err(ChainError::AbsorptionNotCertain { state: i });
@@ -343,6 +351,15 @@ impl Ctmc {
         if let Some(&a) = self.absorbing_states().first() {
             return Err(ChainError::AbsorptionNotCertain { state: a });
         }
+        let mut obs_span = wfms_obs::span!("steady-state", states = n);
+        obs_span.record(
+            "method",
+            match method {
+                SteadyStateMethod::Lu => "lu",
+                SteadyStateMethod::GaussSeidel(_) => "gauss-seidel",
+                SteadyStateMethod::Power { .. } => "power",
+            },
+        );
         match method {
             SteadyStateMethod::Lu => {
                 // Solve Q^T x = 0 with the first equation replaced by Σx = 1.
@@ -373,6 +390,7 @@ impl Ctmc {
                 let v = self.max_departure_rate() * 1.05;
                 let p_bar = self.uniformized_jump(v)?;
                 let sol = linalg::power_iteration(&p_bar, tolerance, max_iterations)?;
+                obs_span.record("iterations", sol.iterations);
                 Ok(sol.x)
             }
         }
@@ -402,6 +420,7 @@ impl Ctmc {
             }
             linalg::normalize_probabilities(&mut pi);
             if max_change <= opts.tolerance {
+                wfms_obs::histogram("markov.steady-state.iterations", sweep as u64);
                 return Ok(pi);
             }
             if sweep == opts.max_iterations {

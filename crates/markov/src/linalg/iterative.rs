@@ -158,6 +158,7 @@ pub fn sor(
     };
 
     let omega = opts.relaxation;
+    let mut obs_span = wfms_obs::span!("linear-solve", n = n, relaxation = omega);
     let mut last_residual = f64::INFINITY;
     for sweep in 1..=opts.max_iterations {
         let mut max_change = 0.0f64;
@@ -174,8 +175,23 @@ pub fn sor(
             max_change = max_change.max((new - x[i]).abs() / new.abs().max(1.0));
             x[i] = new;
         }
+        let prev_residual = last_residual;
         last_residual = max_change;
         if max_change <= opts.tolerance {
+            if obs_span.is_recording() {
+                // Asymptotically the per-sweep residual ratio approaches the
+                // spectral radius of the SOR iteration matrix.
+                let rho = if prev_residual.is_finite() && prev_residual > 0.0 {
+                    max_change / prev_residual
+                } else {
+                    0.0
+                };
+                obs_span.record("iterations", sweep);
+                obs_span.record("residual", max_change);
+                obs_span.record("spectral_radius_est", rho);
+                wfms_obs::histogram("markov.linear-solve.iterations", sweep as u64);
+                wfms_obs::gauge("markov.sor.spectral-radius-estimate", rho);
+            }
             return Ok(IterativeSolution {
                 x,
                 iterations: sweep,
@@ -183,6 +199,8 @@ pub fn sor(
             });
         }
     }
+    obs_span.record("iterations", opts.max_iterations);
+    obs_span.record("residual", last_residual);
     Err(IterativeError::NotConverged {
         iterations: opts.max_iterations,
         last_residual,
@@ -260,6 +278,7 @@ pub fn power_iteration(
         pi = next;
         last_residual = change;
         if change <= tolerance {
+            wfms_obs::histogram("markov.power-iteration.iterations", iter as u64);
             return Ok(IterativeSolution {
                 x: pi,
                 iterations: iter,

@@ -39,6 +39,7 @@ impl Uniformized {
     /// [`ChainError::InvalidGenerator`] when `v` is not positive or below
     /// the maximum departure rate.
     pub fn with_rate(ctmc: &Ctmc, v: f64) -> Result<Self, ChainError> {
+        let _obs_span = wfms_obs::span!("uniformize", states = ctmc.n(), rate = v);
         let p_bar = ctmc.uniformized_jump(v)?;
         Ok(Uniformized {
             rate: v,
@@ -144,13 +145,16 @@ impl Uniformized {
         let mut dist = vec![0.0; n];
         dist[start] = 1.0;
         let mut absorbed = 0.0;
+        let mut z_max = hard_cap;
         for z in 0..hard_cap {
             if absorbed >= quantile {
-                return Ok(z);
+                z_max = z;
+                break;
             }
             absorbed += self.taboo_step(&mut dist, taboo)?;
         }
-        Ok(hard_cap)
+        wfms_obs::histogram("markov.poisson.truncation-steps", z_max as u64);
+        Ok(z_max)
     }
 
     /// Transient state distribution at wall-clock time `t`, starting from
@@ -183,6 +187,7 @@ impl Uniformized {
             return Ok(initial.to_vec());
         }
         let weights = poisson_weights(self.rate * t, epsilon);
+        let _obs_span = wfms_obs::span!("transient-distribution", terms = weights.len(), time = t);
         let mut dist = initial.to_vec();
         let mut out = vec![0.0; n];
         for (z, &w) in weights.iter().enumerate() {
@@ -265,6 +270,7 @@ pub fn poisson_weights(mean: f64, epsilon: f64) -> Vec<f64> {
         }
     }
     w.truncate(cut);
+    wfms_obs::histogram("markov.poisson.terms", w.len() as u64);
     w
 }
 

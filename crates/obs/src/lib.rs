@@ -1,0 +1,140 @@
+//! # wfms-obs
+//!
+//! Structured tracing, solver metrics, and profiling hooks for the
+//! analysis stack.
+//!
+//! The paper's method is a pipeline of numerical stages — uniformized
+//! CTMC first-passage analysis (Sec. 4), birth–death steady-state solves
+//! (Sec. 5), performability reward sums (Sec. 6), and the greedy
+//! configuration loop (Sec. 7). This crate makes those stages visible:
+//!
+//! * a lightweight **span** API ([`span!`]) with nesting, monotonic
+//!   timing, and thread-safe collection into a global [`Recorder`];
+//! * a **metrics registry** of named counters, gauges, and power-of-two
+//!   bucket histograms (no allocation on the disabled hot path);
+//! * pluggable **sinks**: a text tree renderer ([`render_text`]), a JSON
+//!   exporter ([`to_json`] / [`from_json`]), and the implicit no-op sink —
+//!   when recording is disabled every instrumentation point reduces to a
+//!   single relaxed atomic load.
+//!
+//! Recording is **off by default**. The CLI enables it for
+//! `--trace[=text|json]` and `wfms profile`; the bench harness enables it
+//! to emit `BENCH_obs.json` stage metrics.
+//!
+//! ## Stable stage names
+//!
+//! Like the `W`/`M`/`Q`/`C` diagnostic codes of `wfms-diag`, span and
+//! metric names are a stable interface (tests and CI assert on them):
+//!
+//! | span | emitted by | key fields |
+//! |---|---|---|
+//! | `workflow-analysis` | `wfms-perf` | `chart`, `states` |
+//! | `first-passage` | `wfms-markov` | `states`, `solver` |
+//! | `uniformize` | `wfms-markov` | `states`, `rate` |
+//! | `transient-distribution` | `wfms-markov` | `terms`, `time` |
+//! | `reward-uniformized` | `wfms-markov` | `z_max`, `residual_mass` |
+//! | `linear-solve` | `wfms-markov` | `n`, `iterations`, `residual`, `spectral_radius_est` |
+//! | `steady-state` | `wfms-markov` | `states`, `method`, `iterations` |
+//! | `avail-build` | `wfms-avail` | `states`, `types`, `backend` |
+//! | `avail-steady-state` | `wfms-avail` | `states`, `backend` |
+//! | `mg1-waiting` | `wfms-perf` | `types`, `evaluations` |
+//! | `performability` | `wfms-performability` | `states`, `degraded`, `serving` |
+//! | `assess` | `wfms-config` | `candidate`, `w_max`, `availability` |
+//! | `search-candidate` | `wfms-config` | `candidate`, `accepted` |
+//! | `greedy-search` / `exhaustive-search` / `bnb-search` / `annealing-search` | `wfms-config` | `evaluations`, `cost` |
+//! | `simulate` | `wfms-sim` | `events`, `warmup_minutes`, `measured_minutes` |
+//!
+//! Counters and histograms are dotted lowercase (`markov.linear-solve.iterations`,
+//! `perf.mg1.evaluations`, `sim.events`, `config.annealing.accepted`, …).
+//!
+//! ```
+//! wfms_obs::global().reset();
+//! wfms_obs::enable();
+//! {
+//!     let mut outer = wfms_obs::span!("uniformize", states = 42_u64);
+//!     outer.record("rate", 0.5);
+//!     let _inner = wfms_obs::span!("linear-solve", n = 42_u64);
+//! }
+//! wfms_obs::counter("markov.linear-solve.iterations", 17);
+//! wfms_obs::disable();
+//! let snapshot = wfms_obs::global().take();
+//! assert_eq!(snapshot.spans.len(), 2);
+//! let json = wfms_obs::to_json(&snapshot);
+//! assert_eq!(wfms_obs::from_json(&json).unwrap(), snapshot);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+
+pub use metrics::{histogram_bucket_bounds, histogram_bucket_index, HistogramSnapshot};
+pub use recorder::{FieldValue, Recorder, Span, SpanField, SpanRecord, TraceSnapshot};
+pub use sink::{aggregate_stages, from_json, render_text, to_json, StageSummary};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-wide recorder used by [`span!`] and the free helpers.
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+/// Turns global recording on.
+pub fn enable() {
+    global().enable();
+}
+
+/// Turns global recording off (instrumentation reverts to the no-op sink).
+pub fn disable() {
+    global().disable();
+}
+
+/// True when the global recorder is collecting.
+pub fn is_enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Adds `delta` to the named global counter (no-op while disabled).
+pub fn counter(name: &'static str, delta: u64) {
+    global().counter(name, delta);
+}
+
+/// Sets the named global gauge (no-op while disabled).
+pub fn gauge(name: &'static str, value: f64) {
+    global().gauge(name, value);
+}
+
+/// Records `value` into the named global power-of-two histogram (no-op
+/// while disabled).
+pub fn histogram(name: &'static str, value: u64) {
+    global().histogram(name, value);
+}
+
+/// Opens a span on the global recorder. Prefer the [`span!`] macro, which
+/// also records fields.
+pub fn span_named(name: &'static str) -> Span<'static> {
+    global().span(name)
+}
+
+/// Opens a named span on the global [`Recorder`], optionally recording
+/// `key = value` fields, and returns the guard. The span closes (and its
+/// duration is recorded) when the guard drops; bind it to a named
+/// variable, not `_`.
+///
+/// ```
+/// let _span = wfms_obs::span!("uniformize", states = 17_usize, rate = 0.5);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut __wfms_obs_span = $crate::global().span($name);
+        $(__wfms_obs_span.record(stringify!($key), $value);)+
+        __wfms_obs_span
+    }};
+}

@@ -1,0 +1,499 @@
+//! Span recording: a thread-safe [`Recorder`] collecting nested, timed
+//! [`SpanRecord`]s plus the metrics registry defined in
+//! [`crate::metrics`].
+//!
+//! A [`Span`] is an RAII guard: it captures a monotonic start time when
+//! opened and writes a [`SpanRecord`] into the recorder when dropped.
+//! Nesting is tracked per thread — each thread keeps a stack of the span
+//! ids it currently has open, so spans opened on different threads never
+//! parent each other spuriously.
+//!
+//! When the recorder is disabled, opening a span is a single relaxed
+//! atomic load and the guard holds no data at all (the no-op sink).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{HistogramSnapshot, MetricsRegistry};
+
+/// Hard cap on collected spans; protects long search loops from
+/// unbounded memory growth. Spans past the cap are counted but dropped.
+pub const SPAN_CAP: usize = 100_000;
+
+/// A field value attached to a span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Unsigned integer field (counts, sizes, iterations).
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field (rates, residuals, probabilities).
+    F64(f64),
+    /// Boolean field (accept/reject decisions, goal checks).
+    Bool(bool),
+    /// Free-form text field (method names, chart names).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.6}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A named field recorded on a span, in insertion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanField {
+    /// Field name (`states`, `iterations`, `residual`, …).
+    pub name: String,
+    /// Field value.
+    pub value: FieldValue,
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Sequential id, unique within a snapshot; ids increase in span
+    /// *open* order.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Stable stage name (see the crate docs for the naming scheme).
+    pub name: String,
+    /// Offset of the span open relative to the recorder epoch, in
+    /// nanoseconds of monotonic time.
+    pub start_ns: u64,
+    /// Wall time between open and close, in nanoseconds.
+    pub duration_ns: u64,
+    /// Fields recorded on the span, in insertion order.
+    pub fields: Vec<SpanField>,
+}
+
+impl SpanRecord {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| &f.value)
+    }
+}
+
+/// A point-in-time export of everything a [`Recorder`] collected.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSnapshot {
+    /// Completed spans in close order (children close before parents).
+    pub spans: Vec<SpanRecord>,
+    /// Spans dropped because [`SPAN_CAP`] was reached.
+    pub dropped_spans: u64,
+    /// Monotonic counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Power-of-two bucket histograms, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TraceSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Number of spans with the given stage name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+}
+
+struct Inner {
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
+    next_id: u64,
+    metrics: MetricsRegistry,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            spans: Vec::new(),
+            dropped_spans: 0,
+            next_id: 0,
+            metrics: MetricsRegistry::default(),
+        }
+    }
+}
+
+thread_local! {
+    // Per-(recorder, thread) stack of open span ids. Keyed by recorder
+    // address so unit tests with local recorders don't interleave with
+    // the global one.
+    static OPEN_STACKS: RefCell<Vec<(usize, Vec<u64>)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn stack_push(recorder: usize, id: u64) {
+    OPEN_STACKS.with(|stacks| {
+        let mut stacks = stacks.borrow_mut();
+        if let Some((_, stack)) = stacks.iter_mut().find(|(key, _)| *key == recorder) {
+            stack.push(id);
+        } else {
+            stacks.push((recorder, vec![id]));
+        }
+    });
+}
+
+fn stack_top(recorder: usize) -> Option<u64> {
+    OPEN_STACKS.with(|stacks| {
+        stacks
+            .borrow()
+            .iter()
+            .find(|(key, _)| *key == recorder)
+            .and_then(|(_, stack)| stack.last().copied())
+    })
+}
+
+fn stack_pop(recorder: usize, id: u64) {
+    OPEN_STACKS.with(|stacks| {
+        let mut stacks = stacks.borrow_mut();
+        if let Some(pos) = stacks.iter().position(|(key, _)| *key == recorder) {
+            // Guards drop in reverse open order within a thread, but be
+            // tolerant of out-of-order drops: remove the matching id.
+            let stack = &mut stacks[pos].1;
+            if let Some(idx) = stack.iter().rposition(|open| *open == id) {
+                stack.remove(idx);
+            }
+            if stack.is_empty() {
+                stacks.remove(pos);
+            }
+        }
+    });
+}
+
+/// Thread-safe collector of spans and metrics.
+///
+/// A recorder starts **disabled**; every instrumentation call checks a
+/// relaxed atomic and returns immediately while disabled. Enable it,
+/// run the instrumented code, then [`take`](Recorder::take) or
+/// [`snapshot`](Recorder::snapshot) the collected trace.
+pub struct Recorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates a disabled recorder.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::new()),
+        }
+    }
+
+    /// Starts collecting.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stops collecting; already-recorded data is kept.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// True while collecting.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drops all collected spans and metrics (enabled state unchanged).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner = Inner::new();
+    }
+
+    fn key(&self) -> usize {
+        self as *const Recorder as usize
+    }
+
+    /// Opens a span. The returned guard records the span when dropped;
+    /// while the recorder is disabled the guard is inert.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span { active: None };
+        }
+        let id = {
+            let mut inner = self.inner.lock().unwrap();
+            let id = inner.next_id;
+            inner.next_id += 1;
+            id
+        };
+        let parent = stack_top(self.key());
+        stack_push(self.key(), id);
+        Span {
+            active: Some(ActiveSpan {
+                recorder: self,
+                id,
+                parent,
+                name,
+                opened: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Adds `delta` to the named counter (no-op while disabled).
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.lock().unwrap().metrics.counter(name, delta);
+    }
+
+    /// Sets the named gauge to `value` (no-op while disabled).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.lock().unwrap().metrics.gauge(name, value);
+    }
+
+    /// Records `value` into the named power-of-two histogram (no-op
+    /// while disabled).
+    pub fn histogram(&self, name: &'static str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner.lock().unwrap().metrics.histogram(name, value);
+    }
+
+    /// Copies out everything collected so far without clearing it.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let inner = self.inner.lock().unwrap();
+        TraceSnapshot {
+            spans: inner.spans.clone(),
+            dropped_spans: inner.dropped_spans,
+            counters: inner.metrics.counters_snapshot(),
+            gauges: inner.metrics.gauges_snapshot(),
+            histograms: inner.metrics.histograms_snapshot(),
+        }
+    }
+
+    /// Takes everything collected so far, leaving the recorder empty.
+    pub fn take(&self) -> TraceSnapshot {
+        let mut inner = self.inner.lock().unwrap();
+        let taken = std::mem::replace(&mut *inner, Inner::new());
+        TraceSnapshot {
+            spans: taken.spans,
+            dropped_spans: taken.dropped_spans,
+            counters: taken.metrics.counters_snapshot(),
+            gauges: taken.metrics.gauges_snapshot(),
+            histograms: taken.metrics.histograms_snapshot(),
+        }
+    }
+
+    fn finish_span(&self, span: ActiveSpan<'_>) {
+        stack_pop(self.key(), span.id);
+        let start_ns = span
+            .opened
+            .duration_since(self.epoch)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        let duration_ns = span.opened.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let record = SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            name: span.name.to_string(),
+            start_ns,
+            duration_ns,
+            fields: span.fields,
+        };
+        let mut inner = self.inner.lock().unwrap();
+        if inner.spans.len() < SPAN_CAP {
+            inner.spans.push(record);
+        } else {
+            inner.dropped_spans += 1;
+        }
+    }
+}
+
+struct ActiveSpan<'a> {
+    recorder: &'a Recorder,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    opened: Instant,
+    fields: Vec<SpanField>,
+}
+
+/// RAII guard for an open span; see [`Recorder::span`] and the
+/// [`span!`](crate::span) macro. Dropping the guard closes the span.
+pub struct Span<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl Span<'_> {
+    /// Records a field on the span (no-op when the recorder was
+    /// disabled at open time). Re-recording a name overwrites its value.
+    pub fn record(&mut self, name: &str, value: impl Into<FieldValue>) {
+        if let Some(active) = self.active.as_mut() {
+            let value = value.into();
+            if let Some(existing) = active.fields.iter_mut().find(|f| f.name == name) {
+                existing.value = value;
+            } else {
+                active.fields.push(SpanField {
+                    name: name.to_string(),
+                    value,
+                });
+            }
+        }
+    }
+
+    /// True when this span is actually collecting (recorder enabled at
+    /// open time).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            active.recorder.finish_span(active);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let recorder = Recorder::new();
+        {
+            let mut span = recorder.span("uniformize");
+            assert!(!span.is_recording());
+            span.record("states", 10_u64);
+        }
+        recorder.counter("c", 1);
+        recorder.gauge("g", 1.0);
+        recorder.histogram("h", 1);
+        assert!(recorder.snapshot().is_empty());
+    }
+
+    #[test]
+    fn nesting_records_parent_links() {
+        let recorder = Recorder::new();
+        recorder.enable();
+        {
+            let _outer = recorder.span("outer");
+            {
+                let _inner = recorder.span("inner");
+            }
+        }
+        let snapshot = recorder.take();
+        assert_eq!(snapshot.spans.len(), 2);
+        // Close order: inner first.
+        assert_eq!(snapshot.spans[0].name, "inner");
+        assert_eq!(snapshot.spans[1].name, "outer");
+        assert_eq!(snapshot.spans[0].parent, Some(snapshot.spans[1].id));
+        assert_eq!(snapshot.spans[1].parent, None);
+    }
+
+    #[test]
+    fn record_overwrites_existing_field() {
+        let recorder = Recorder::new();
+        recorder.enable();
+        {
+            let mut span = recorder.span("linear-solve");
+            span.record("iterations", 1_u64);
+            span.record("iterations", 7_u64);
+        }
+        let snapshot = recorder.take();
+        assert_eq!(snapshot.spans[0].fields.len(), 1);
+        assert_eq!(
+            snapshot.spans[0].field("iterations"),
+            Some(&FieldValue::U64(7))
+        );
+    }
+
+    #[test]
+    fn take_clears_collected_data() {
+        let recorder = Recorder::new();
+        recorder.enable();
+        recorder.counter("c", 3);
+        let first = recorder.take();
+        assert_eq!(first.counters.get("c"), Some(&3));
+        assert!(recorder.take().is_empty());
+    }
+}

@@ -1,0 +1,215 @@
+//! Trace sinks: text tree rendering, JSON export/import, and per-stage
+//! aggregation for `wfms profile` and the bench harness.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::{SpanRecord, TraceSnapshot};
+
+/// Serialises a snapshot as pretty-printed JSON.
+pub fn to_json(snapshot: &TraceSnapshot) -> String {
+    serde_json::to_string_pretty(snapshot).expect("trace snapshot serialises")
+}
+
+/// Parses a snapshot previously produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<TraceSnapshot, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+fn fmt_duration_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_span(
+    span: &SpanRecord,
+    children: &BTreeMap<u64, Vec<&SpanRecord>>,
+    depth: usize,
+    out: &mut String,
+) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&span.name);
+    out.push_str(&format!(" [{}]", fmt_duration_ns(span.duration_ns)));
+    for field in &span.fields {
+        out.push_str(&format!(" {}={}", field.name, field.value));
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&span.id) {
+        for child in kids {
+            render_span(child, children, depth + 1, out);
+        }
+    }
+}
+
+/// Renders a snapshot as an indented span tree followed by the metrics,
+/// for `--trace=text` output.
+pub fn render_text(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    // Spans are stored in close order; sort display by open (id) order.
+    let mut by_open: Vec<&SpanRecord> = snapshot.spans.iter().collect();
+    by_open.sort_by_key(|s| s.id);
+    for span in &by_open {
+        match span.parent {
+            Some(parent) => children.entry(parent).or_default().push(span),
+            None => roots.push(span),
+        }
+    }
+    out.push_str("trace:\n");
+    if roots.is_empty() && snapshot.spans.is_empty() {
+        out.push_str("  (no spans recorded)\n");
+    }
+    for root in roots {
+        render_span(root, &children, 1, &mut out);
+    }
+    if snapshot.dropped_spans > 0 {
+        out.push_str(&format!(
+            "  ({} spans dropped at cap)\n",
+            snapshot.dropped_spans
+        ));
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name} = {value}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("  {name} = {value:.6}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, hist) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {name}: count={} sum={} min={} max={} mean={:.2}\n",
+                hist.count,
+                hist.sum,
+                hist.min,
+                hist.max,
+                hist.mean()
+            ));
+        }
+    }
+    out
+}
+
+/// Aggregated wall-time for one stage name across a snapshot, used by
+/// `wfms profile` and the bench harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage (span) name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total wall time across those spans, in nanoseconds. Nested
+    /// same-name spans each contribute their own duration.
+    pub total_ns: u64,
+    /// Smallest single-span duration, in nanoseconds.
+    pub min_ns: u64,
+    /// Largest single-span duration, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl StageSummary {
+    /// Mean span duration in nanoseconds (0 when `count` is 0).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Groups a snapshot's spans by stage name, sorted by descending total
+/// wall time.
+pub fn aggregate_stages(snapshot: &TraceSnapshot) -> Vec<StageSummary> {
+    let mut by_name: BTreeMap<&str, StageSummary> = BTreeMap::new();
+    for span in &snapshot.spans {
+        let entry = by_name
+            .entry(span.name.as_str())
+            .or_insert_with(|| StageSummary {
+                name: span.name.clone(),
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+        entry.count += 1;
+        entry.total_ns = entry.total_ns.saturating_add(span.duration_ns);
+        entry.min_ns = entry.min_ns.min(span.duration_ns);
+        entry.max_ns = entry.max_ns.max(span.duration_ns);
+    }
+    let mut stages: Vec<StageSummary> = by_name.into_values().collect();
+    for stage in &mut stages {
+        if stage.count == 0 {
+            stage.min_ns = 0;
+        }
+    }
+    stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let recorder = Recorder::new();
+        recorder.enable();
+        {
+            let mut outer = recorder.span("assess");
+            outer.record("candidate", "[2, 2, 2]");
+            {
+                let _inner = recorder.span("mg1-waiting");
+            }
+        }
+        recorder.counter("perf.mg1.evaluations", 3);
+        recorder.gauge("markov.sor.spectral-radius-estimate", 0.42);
+        recorder.histogram("markov.linear-solve.iterations", 12);
+        recorder.take()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_snapshot() {
+        let snapshot = sample_snapshot();
+        let json = to_json(&snapshot);
+        assert_eq!(from_json(&json).unwrap(), snapshot);
+    }
+
+    #[test]
+    fn text_render_shows_tree_and_metrics() {
+        let text = render_text(&sample_snapshot());
+        assert!(text.contains("assess ["));
+        assert!(text.contains("  mg1-waiting ["), "child indented: {text}");
+        assert!(text.contains("candidate=[2, 2, 2]"));
+        assert!(text.contains("perf.mg1.evaluations = 3"));
+        assert!(text.contains("markov.linear-solve.iterations: count=1"));
+    }
+
+    #[test]
+    fn aggregate_groups_by_stage_name() {
+        let recorder = Recorder::new();
+        recorder.enable();
+        for _ in 0..3 {
+            let _span = recorder.span("linear-solve");
+        }
+        {
+            let _span = recorder.span("uniformize");
+        }
+        let stages = aggregate_stages(&recorder.take());
+        assert_eq!(stages.len(), 2);
+        let solve = stages.iter().find(|s| s.name == "linear-solve").unwrap();
+        assert_eq!(solve.count, 3);
+        assert!(solve.min_ns <= solve.max_ns);
+    }
+}

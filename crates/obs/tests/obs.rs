@@ -1,0 +1,201 @@
+//! Integration tests for wfms-obs: concurrent span collection,
+//! histogram bucket boundaries, JSON round-trip, and the disabled
+//! (no-op) recorder.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::thread;
+
+use wfms_obs::{
+    from_json, histogram_bucket_bounds, histogram_bucket_index, render_text, to_json, FieldValue,
+    Recorder,
+};
+
+#[test]
+fn concurrent_recorders_keep_nesting_per_thread() {
+    let recorder = Arc::new(Recorder::new());
+    recorder.enable();
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let recorder = Arc::clone(&recorder);
+        handles.push(thread::spawn(move || {
+            for _ in 0..50 {
+                let mut outer = recorder.span("outer");
+                outer.record("thread", t);
+                {
+                    let mut inner = recorder.span("inner");
+                    inner.record("thread", t);
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snapshot = recorder.take();
+    assert_eq!(snapshot.spans.len(), 4 * 50 * 2);
+    assert_eq!(snapshot.dropped_spans, 0);
+
+    // Ids are unique across threads.
+    let ids: BTreeSet<u64> = snapshot.spans.iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), snapshot.spans.len());
+
+    // Every inner span's parent is an outer span opened by the SAME
+    // thread — nesting never crosses thread boundaries.
+    for span in snapshot.spans.iter().filter(|s| s.name == "inner") {
+        let parent_id = span.parent.expect("inner span has a parent");
+        let parent = snapshot
+            .spans
+            .iter()
+            .find(|s| s.id == parent_id)
+            .expect("parent span recorded");
+        assert_eq!(parent.name, "outer");
+        assert_eq!(parent.field("thread"), span.field("thread"));
+    }
+    // Outer spans are roots.
+    for span in snapshot.spans.iter().filter(|s| s.name == "outer") {
+        assert_eq!(span.parent, None);
+    }
+}
+
+#[test]
+fn span_close_order_is_child_before_parent() {
+    let recorder = Recorder::new();
+    recorder.enable();
+    {
+        let _a = recorder.span("a");
+        {
+            let _b = recorder.span("b");
+            {
+                let _c = recorder.span("c");
+            }
+        }
+    }
+    let names: Vec<String> = recorder.take().spans.into_iter().map(|s| s.name).collect();
+    assert_eq!(names, ["c", "b", "a"]);
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_powers_of_two() {
+    // Bucket 0 is exactly {0}; bucket k >= 1 is [2^(k-1), 2^k - 1].
+    assert_eq!(histogram_bucket_index(0), 0);
+    assert_eq!(histogram_bucket_index(1), 1);
+    for k in 1..64usize {
+        let low = 1u64 << (k - 1);
+        assert_eq!(histogram_bucket_index(low), k, "low edge of bucket {k}");
+        let high = if k == 63 { u64::MAX } else { (1u64 << k) - 1 };
+        if k < 63 {
+            assert_eq!(histogram_bucket_index(high), k, "high edge of bucket {k}");
+            assert_eq!(
+                histogram_bucket_index(high + 1),
+                k + 1,
+                "next bucket after {k}"
+            );
+        }
+    }
+    assert_eq!(histogram_bucket_index(u64::MAX), 64);
+    assert_eq!(histogram_bucket_bounds(64).1, u64::MAX);
+
+    let recorder = Recorder::new();
+    recorder.enable();
+    for value in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+        recorder.histogram("markov.linear-solve.iterations", value);
+    }
+    let snapshot = recorder.take();
+    let hist = &snapshot.histograms["markov.linear-solve.iterations"];
+    assert_eq!(hist.count, 9);
+    assert_eq!(hist.min, 0);
+    assert_eq!(hist.max, 1024);
+    // 0->b0, 1->b1, {2,3}->b2, {4,7}->b3, 8->b4, 1023->b10, 1024->b11.
+    assert_eq!(
+        hist.buckets,
+        vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (10, 1), (11, 1)]
+    );
+}
+
+#[test]
+fn json_round_trip_of_exported_trace() {
+    let recorder = Recorder::new();
+    recorder.enable();
+    {
+        let mut span = recorder.span("uniformize");
+        span.record("states", 42_usize);
+        span.record("rate", 0.5);
+        span.record("method", "sor");
+        span.record("converged", true);
+        {
+            let _inner = recorder.span("linear-solve");
+        }
+    }
+    recorder.counter("perf.mg1.evaluations", 9);
+    recorder.gauge("markov.sor.spectral-radius-estimate", 0.37);
+    recorder.histogram("sim.events", 2048);
+    let snapshot = recorder.take();
+
+    let json = to_json(&snapshot);
+    let parsed = from_json(&json).expect("exported trace parses back");
+    assert_eq!(parsed, snapshot);
+
+    let uniformize = parsed
+        .spans
+        .iter()
+        .find(|s| s.name == "uniformize")
+        .unwrap();
+    assert_eq!(uniformize.field("states"), Some(&FieldValue::U64(42)));
+    assert_eq!(uniformize.field("rate"), Some(&FieldValue::F64(0.5)));
+    assert_eq!(
+        uniformize.field("method"),
+        Some(&FieldValue::Str("sor".to_string()))
+    );
+    assert_eq!(uniformize.field("converged"), Some(&FieldValue::Bool(true)));
+
+    // The text sink renders the same snapshot without panicking and
+    // includes the stage names.
+    let text = render_text(&parsed);
+    assert!(text.contains("uniformize"));
+    assert!(text.contains("linear-solve"));
+}
+
+#[test]
+fn disabled_recorder_collects_nothing() {
+    let recorder = Recorder::new();
+    assert!(!recorder.is_enabled());
+    {
+        let mut span = recorder.span("assess");
+        assert!(!span.is_recording());
+        span.record("candidate", "[1, 1, 1]");
+        let _inner = recorder.span("mg1-waiting");
+    }
+    recorder.counter("perf.mg1.evaluations", 5);
+    recorder.gauge("markov.sor.spectral-radius-estimate", 0.9);
+    recorder.histogram("sim.events", 100);
+    let snapshot = recorder.take();
+    assert!(snapshot.is_empty());
+    assert_eq!(snapshot.spans.len(), 0);
+    assert_eq!(snapshot.dropped_spans, 0);
+
+    // Re-enabling starts collecting again on the same recorder.
+    recorder.enable();
+    {
+        let _span = recorder.span("assess");
+    }
+    assert_eq!(recorder.take().spans.len(), 1);
+}
+
+#[test]
+fn global_recorder_span_macro_records_fields() {
+    // Single test touching the global recorder in this binary (other
+    // tests use local recorders), so no cross-test interference.
+    wfms_obs::global().reset();
+    wfms_obs::enable();
+    {
+        let _span = wfms_obs::span!("steady-state", states = 12_usize, method = "gauss-seidel");
+    }
+    wfms_obs::disable();
+    let snapshot = wfms_obs::global().take();
+    assert_eq!(snapshot.span_count("steady-state"), 1);
+    assert_eq!(
+        snapshot.spans[0].field("method"),
+        Some(&FieldValue::Str("gauss-seidel".to_string()))
+    );
+}

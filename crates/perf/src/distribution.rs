@@ -33,6 +33,11 @@ impl TurnaroundDistribution {
     /// # Errors
     /// [`PerfError::Chain`] when the workflow CTMC cannot be uniformized.
     pub fn new(analysis: &WorkflowAnalysis, epsilon: f64) -> Result<Self, PerfError> {
+        let _obs_span = wfms_obs::span!(
+            "turnaround-distribution",
+            states = analysis.ctmc.n(),
+            epsilon = epsilon
+        );
         let uniformized = Uniformized::new(&analysis.ctmc)?;
         Ok(TurnaroundDistribution {
             uniformized,

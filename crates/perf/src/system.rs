@@ -136,6 +136,8 @@ pub fn waiting_times(
             actual: replicas.len(),
         });
     }
+    let _obs_span = wfms_obs::span!("mg1-waiting", types = k);
+    wfms_obs::counter("perf.mg1.evaluations", k as u64);
     let mut out = Vec::with_capacity(k);
     for (x, (&reps, &l_x)) in replicas.iter().zip(&load.request_rates).enumerate() {
         if reps == 0 {

@@ -190,12 +190,18 @@ pub fn evaluate_with_model(
         }
     }
     let k = registry.len();
+    let mut obs_span = wfms_obs::span!("performability", states = model.state_space().len());
     let mut details = Vec::with_capacity(model.state_space().len());
     let mut probability_down = 0.0;
     let mut probability_saturated = 0.0;
     let mut probability_serving = 0.0;
+    let mut degraded_evaluations: u64 = 0;
+    let full_state = model.configuration().as_slice();
 
     for (state, probability) in model.distribution(pi)? {
+        if state != full_state {
+            degraded_evaluations += 1;
+        }
         let outcomes = waiting_times(load, registry, &state)?;
         let down = outcomes.iter().any(|o| matches!(o, WaitingOutcome::Down));
         let saturated = !down
@@ -243,6 +249,11 @@ pub fn evaluate_with_model(
             }
         }
     }
+
+    obs_span.record("degraded", degraded_evaluations);
+    obs_span.record("serving", probability_serving);
+    wfms_obs::counter("performability.state-evaluations", details.len() as u64);
+    wfms_obs::counter("performability.degraded-evaluations", degraded_evaluations);
 
     Ok(PerformabilityReport {
         expected_waiting,

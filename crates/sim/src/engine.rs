@@ -310,6 +310,12 @@ pub fn run(
         });
     }
 
+    let mut obs_span = wfms_obs::span!(
+        "simulate",
+        warmup_minutes = opts.warmup_minutes,
+        measured_minutes = opts.duration_minutes - opts.warmup_minutes,
+        seed = opts.seed
+    );
     let n_wf = workflows.len();
     let mut engine = Engine {
         registry,
@@ -343,6 +349,8 @@ pub fn run(
     };
     engine.bootstrap();
     engine.event_loop();
+    obs_span.record("events", engine.events_processed);
+    wfms_obs::counter("sim.events", engine.events_processed);
     Ok(engine.finish())
 }
 

@@ -37,6 +37,16 @@ pub enum AvailError {
         /// Actual length.
         actual: usize,
     },
+    /// A pre-built birth–death block does not match the configuration it
+    /// is being assembled into.
+    BlockMismatch {
+        /// The server-type index of the offending block.
+        type_index: usize,
+        /// Replica count the block was built for.
+        block_replicas: usize,
+        /// Replica count the configuration requires.
+        config_replicas: usize,
+    },
     /// Underlying Markov-chain failure.
     Chain(ChainError),
     /// Architectural-model failure.
@@ -65,6 +75,17 @@ impl fmt::Display for AvailError {
                 write!(
                     f,
                     "probability vector has length {actual}, expected {expected}"
+                )
+            }
+            AvailError::BlockMismatch {
+                type_index,
+                block_replicas,
+                config_replicas,
+            } => {
+                write!(
+                    f,
+                    "birth-death block for type {type_index} was built for \
+                     {block_replicas} replicas, configuration has {config_replicas}"
                 )
             }
             AvailError::Chain(e) => write!(f, "Markov analysis error: {e}"),

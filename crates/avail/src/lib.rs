@@ -11,12 +11,14 @@
 
 #![warn(missing_docs)]
 
+pub mod blocks;
 pub mod error;
 pub mod model;
 pub mod phase;
 pub mod sparse_model;
 pub mod state_space;
 
+pub use blocks::BirthDeathBlock;
 pub use error::AvailError;
 pub use model::{
     closed_form_unavailability, AvailabilityModel, RepairPolicy, DEFAULT_STATE_CAP,

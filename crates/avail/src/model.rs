@@ -7,12 +7,15 @@
 //! every system state, and summing over the states where some server type
 //! is completely down yields the WFMS unavailability.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use wfms_markov::ctmc::{Ctmc, SteadyStateMethod};
 use wfms_markov::linalg::Matrix;
 use wfms_statechart::{Configuration, ServerTypeRegistry, SystemState};
 
+use crate::blocks::BirthDeathBlock;
 use crate::error::AvailError;
 use crate::state_space::StateSpace;
 
@@ -67,6 +70,39 @@ impl AvailabilityModel {
         config: &Configuration,
         policy: RepairPolicy,
     ) -> Result<Self, AvailError> {
+        let n = StateSpace::new(config).len();
+        if n > DEFAULT_STATE_CAP {
+            return Err(AvailError::StateSpaceTooLarge {
+                states: n,
+                cap: DEFAULT_STATE_CAP,
+            });
+        }
+        let mut blocks = Vec::with_capacity(config.k());
+        for (j, &y) in config.as_slice().iter().enumerate() {
+            let st = registry.get(wfms_statechart::ServerTypeId(j))?;
+            blocks.push(Arc::new(BirthDeathBlock::for_type(st, y, policy)));
+        }
+        Self::from_blocks(config, &blocks, policy)
+    }
+
+    /// Builds the availability CTMC from pre-tabulated per-type
+    /// birth–death blocks, the incremental path used by the
+    /// configuration-search engine: for a neighbouring candidate
+    /// `Y + e_k`, only the block of type `k` is new.
+    ///
+    /// Block rates are the same float products the direct assembly
+    /// computes, so the resulting generator — and everything solved from
+    /// it — is bit-identical to [`AvailabilityModel::with_policy`].
+    ///
+    /// # Errors
+    /// * [`AvailError::StateSpaceTooLarge`] beyond [`DEFAULT_STATE_CAP`].
+    /// * [`AvailError::BlockMismatch`] / [`AvailError::Arch`] when the
+    ///   blocks do not match `config` (count, replicas, or policy).
+    pub fn from_blocks(
+        config: &Configuration,
+        blocks: &[Arc<BirthDeathBlock>],
+        policy: RepairPolicy,
+    ) -> Result<Self, AvailError> {
         let space = StateSpace::new(config);
         let n = space.len();
         if n > DEFAULT_STATE_CAP {
@@ -76,16 +112,33 @@ impl AvailabilityModel {
             });
         }
         let k = space.k();
+        if blocks.len() != k {
+            return Err(AvailError::Arch(
+                wfms_statechart::ArchError::LengthMismatch {
+                    what: "birth-death blocks",
+                    expected: k,
+                    actual: blocks.len(),
+                },
+            ));
+        }
+        for (j, block) in blocks.iter().enumerate() {
+            if block.replicas() != config.as_slice()[j] || block.policy() != policy {
+                return Err(AvailError::BlockMismatch {
+                    type_index: j,
+                    block_replicas: block.replicas(),
+                    config_replicas: config.as_slice()[j],
+                });
+            }
+        }
         let _obs_span = wfms_obs::span!("avail-build", states = n, types = k, backend = "dense");
         wfms_obs::gauge("avail.state-space.size", n as f64);
         let mut q = Matrix::zeros(n, n);
         for (idx, x) in space.iter() {
             let mut departure = 0.0;
-            for j in 0..k {
-                let st = registry.get(wfms_statechart::ServerTypeId(j))?;
+            for (j, block) in blocks.iter().enumerate() {
                 // Failure: one of the X_j running servers fails.
                 if x[j] > 0 {
-                    let rate = x[j] as f64 * st.failure_rate;
+                    let rate = block.failure_rate(x[j]);
                     let mut to = x.clone();
                     to[j] -= 1;
                     let to_idx = space.encode(&to)?;
@@ -95,10 +148,7 @@ impl AvailabilityModel {
                 // Repair: a failed server of type j comes back.
                 let failed = config.as_slice()[j] - x[j];
                 if failed > 0 {
-                    let rate = match policy {
-                        RepairPolicy::Independent => failed as f64 * st.repair_rate,
-                        RepairPolicy::SingleRepairmanPerType => st.repair_rate,
-                    };
+                    let rate = block.repair_rate(failed);
                     let mut to = x.clone();
                     to[j] += 1;
                     let to_idx = space.encode(&to)?;

@@ -43,9 +43,7 @@ fn main() {
             &registry,
             &load,
             &goals,
-            &SearchOptions {
-                max_total_servers: 128,
-            },
+            &SearchOptions::builder().max_total_servers(128).build(),
         ) {
             Ok(rec) => {
                 let a = &rec.assessment;

@@ -37,9 +37,7 @@ fn main() {
         .expect("valid")
         .with_type_waiting(4, 0.005) // tighter SLA on the ERP app server
         .expect("valid");
-    let opts = SearchOptions {
-        max_total_servers: 64,
-    };
+    let opts = SearchOptions::builder().max_total_servers(64).build();
 
     let mut table = Table::new(&["method", "Y", "cost", "evaluations", "wall time"]);
     let t0 = Instant::now();

@@ -157,6 +157,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "min-availability",
             "budget",
             "seed",
+            "jobs",
         ],
         flags: &["optimal", "annealing", "json"],
     },
@@ -176,6 +177,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "max-wait",
             "min-availability",
             "runs",
+            "jobs",
         ],
         flags: &["check", "json"],
     },

@@ -33,6 +33,11 @@ pub const REQUIRED_STAGES: &[&str] = &[
     "assess",
 ];
 
+/// Counters `profile --check` requires to be nonzero: the engine-backed
+/// pass must actually replay from its caches, or the memoizing path is
+/// silently broken.
+pub const REQUIRED_COUNTERS: &[&str] = &["engine.cache-hit"];
+
 /// One workflow type plus its arrival rate, as stored in a workload file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkloadEntry {
@@ -129,16 +134,19 @@ COMMANDS
                [--max-wait <min>] [--min-availability <a>] [--json]
   recommend    --registry <file> --workload <file>
                [--max-wait <min>] [--min-availability <a>]
-               [--budget <servers>] [--optimal | --annealing] [--json]
+               [--budget <servers>] [--jobs <n>]
+               [--optimal | --annealing] [--json]
   simulate     --registry <file> --workload <file> --config <y1,..>
                [--duration <min>] [--warmup <min>] [--seed <n>]
                [--failures] [--json]
   profile      --registry <file> --workload <file> [--config <y1,..>]
                [--max-wait <min>] [--min-availability <a>] [--runs <n>]
-               [--check] [--json]
-               run the analysis stack N times and report per-stage
-               wall time and solver iteration counts; --check fails
-               when a required stage records no spans
+               [--jobs <n>] [--check] [--json]
+               run the analysis stack N times (including an
+               engine-backed greedy search) and report per-stage wall
+               time and solver iteration counts; --check fails when a
+               required stage records no spans or a required counter
+               (engine.cache-hit) stays zero
   sensitivity  --registry <file> --workload <file> --config <y1,..>
                [--step <rel>] [--json]
                log-log elasticities of the goal metrics per parameter
@@ -477,9 +485,11 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     let tool = load_tool(args)?;
     let goals = parse_goals(args)?;
     let budget = args.get_u64("budget")?.unwrap_or(64) as usize;
-    let opts = SearchOptions {
-        max_total_servers: budget,
-    };
+    let jobs = args.get_u64("jobs")?.unwrap_or(1) as usize;
+    let opts = SearchOptions::builder()
+        .max_total_servers(budget)
+        .jobs(jobs)
+        .build();
     let (method, result): (&str, SearchResult) = if args.flag("optimal") {
         ("exhaustive", tool.recommend_optimal(&goals, &opts)?)
     } else if args.flag("annealing") {
@@ -598,6 +608,7 @@ fn profile_once(
     tool: &ConfigurationTool,
     config: &Configuration,
     goals: &Goals,
+    jobs: usize,
 ) -> Result<(), CliError> {
     for (spec, _) in tool.workloads() {
         let analysis = tool.workflow_analysis(&spec.name)?;
@@ -605,7 +616,21 @@ fn profile_once(
             .map_err(wfms_core::ConfigError::Perf)?;
         dist.percentile(0.9).map_err(wfms_core::ConfigError::Perf)?;
     }
-    tool.assess(config, goals)?;
+    // Engine-backed pass: one shared-cache engine per run, so the
+    // profile exercises the memoized path (and `--check` can require
+    // `engine.cache-hit` > 0). Unreachable goals or unsustainable load
+    // are legitimate outcomes for a profiling workload, not failures.
+    let engine = tool.engine(goals, SearchOptions::builder().jobs(jobs).build())?;
+    engine.assess(config)?;
+    match engine.greedy() {
+        Ok(_)
+        | Err(wfms_core::ConfigError::GoalsUnreachable { .. })
+        | Err(wfms_core::ConfigError::LoadUnsustainable { .. }) => {}
+        Err(e) => return Err(e.into()),
+    }
+    // Re-assess the profiled configuration: replays from the
+    // availability-solution and degraded-state caches.
+    engine.assess(config)?;
     Ok(())
 }
 
@@ -631,13 +656,15 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
         per_type_waiting: Vec::new(),
     };
 
+    let jobs = args.get_u64("jobs")?.unwrap_or(1) as usize;
+
     let recorder = wfms_obs::global();
     recorder.reset();
     recorder.enable();
     let started = std::time::Instant::now();
     let mut outcome = Ok(());
     for _ in 0..runs {
-        outcome = profile_once(&tool, &config, &goals);
+        outcome = profile_once(&tool, &config, &goals, jobs);
         if outcome.is_err() {
             break;
         }
@@ -651,6 +678,11 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
         for &stage in REQUIRED_STAGES {
             if snapshot.span_count(stage) == 0 {
                 return Err(CliError::EmptyStage { stage });
+            }
+        }
+        for &counter in REQUIRED_COUNTERS {
+            if snapshot.counters.get(counter).copied().unwrap_or(0) == 0 {
+                return Err(CliError::EmptyCounter { counter });
             }
         }
     }

@@ -44,6 +44,11 @@ pub enum CliError {
         /// The silent stage's name.
         stage: &'static str,
     },
+    /// `profile --check` found a required counter that stayed zero.
+    EmptyCounter {
+        /// The silent counter's name.
+        counter: &'static str,
+    },
     /// Writing the report failed.
     Output(std::io::Error),
 }
@@ -62,6 +67,9 @@ impl fmt::Display for CliError {
             CliError::Lint { errors } => write!(f, "lint found {errors} error(s)"),
             CliError::EmptyStage { stage } => {
                 write!(f, "profile: stage {stage:?} recorded no spans")
+            }
+            CliError::EmptyCounter { counter } => {
+                write!(f, "profile: counter {counter:?} stayed zero")
             }
             CliError::Output(e) => write!(f, "failed to write output: {e}"),
         }

@@ -15,10 +15,11 @@ use serde::{Deserialize, Serialize};
 use wfms_perf::SystemLoad;
 use wfms_statechart::{Configuration, ServerTypeRegistry};
 
-use crate::assess::{assess, Assessment};
+use crate::assess::Assessment;
+use crate::engine::AssessmentEngine;
 use crate::error::ConfigError;
 use crate::goals::Goals;
-use crate::search::SearchResult;
+use crate::search::{SearchOptions, SearchResult};
 
 /// Annealing schedule and move parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,6 +90,11 @@ fn objective(assessment: &Assessment, goals: &Goals) -> f64 {
 /// with ±1-replica moves, and returns the cheapest feasible configuration
 /// visited.
 ///
+/// Thin wrapper over [`AssessmentEngine::annealing`] on a fresh engine —
+/// **deprecated doc note**: construct an [`AssessmentEngine`] to share
+/// caches with other searches (revisited candidates then replay from the
+/// solution cache).
+///
 /// # Errors
 /// * [`ConfigError::GoalsUnreachable`] when no feasible configuration was
 ///   visited within the step budget.
@@ -99,8 +105,29 @@ pub fn annealing_search(
     goals: &Goals,
     opts: &AnnealingOptions,
 ) -> Result<SearchResult, ConfigError> {
-    goals.validate()?;
-    crate::assess::run_preflight(registry, load, None)?;
+    let engine = AssessmentEngine::new(
+        registry,
+        load,
+        goals,
+        SearchOptions::builder()
+            .max_total_servers(opts.max_total_servers)
+            .build(),
+    )?;
+    engine.annealing(opts)
+}
+
+/// The Metropolis walk behind [`annealing_search`] and
+/// [`AssessmentEngine::annealing`], assessing candidates through the
+/// engine's caches. The walk is sequential (each step depends on the
+/// previous accept/reject), so `jobs` only parallelises the per-state
+/// kernel inside each assessment; the RNG stream — and therefore the
+/// trace — is untouched by the thread count.
+pub(crate) fn annealing_walk(
+    engine: &AssessmentEngine,
+    opts: &AnnealingOptions,
+) -> Result<SearchResult, ConfigError> {
+    let registry = engine.registry();
+    let goals = engine.goals();
     let mut obs_span = wfms_obs::span!(
         "annealing-search",
         steps = opts.steps,
@@ -111,7 +138,7 @@ pub fn annealing_search(
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
     let mut current = Configuration::minimal(registry);
-    let mut current_assessment = assess(registry, &current, load, goals)?;
+    let mut current_assessment = engine.assess(&current)?;
     let mut current_obj = objective(&current_assessment, goals);
     let mut evaluations = 1;
     let mut trace = vec![current_assessment.clone()];
@@ -143,7 +170,7 @@ pub fn annealing_search(
             replicas[x] -= 1;
         }
         let candidate = Configuration::new(registry, replicas)?;
-        let assessment = assess(registry, &candidate, load, goals)?;
+        let assessment = engine.assess(&candidate)?;
         evaluations += 1;
         let obj = objective(&assessment, goals);
 
@@ -189,7 +216,8 @@ pub fn annealing_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::search::{greedy_search, SearchOptions};
+    use crate::assess::assess;
+    use crate::search::greedy_search;
     use wfms_statechart::paper_section52_registry;
 
     fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {

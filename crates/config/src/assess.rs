@@ -2,14 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use wfms_avail::{AvailabilityModel, MINUTES_PER_YEAR};
-use wfms_markov::ctmc::SteadyStateMethod;
 use wfms_perf::SystemLoad;
-use wfms_performability::{evaluate_with_model, DegradedPolicy, PerformabilityError};
 use wfms_statechart::{Configuration, ServerTypeRegistry};
 
+use crate::engine::AssessmentEngine;
 use crate::error::ConfigError;
 use crate::goals::{GoalCheck, Goals};
+use crate::search::SearchOptions;
 
 /// The evaluated quality of one configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,8 +23,21 @@ pub struct Assessment {
     pub downtime_minutes_per_year: f64,
     /// Expected waiting time per server type under the performability
     /// model (conditional on serving states), when computable.
+    ///
+    /// `None` **iff** the conditional expectation is undefined because
+    /// *no* system state `X ≤ Y` can serve the offered load — every
+    /// state is down or saturated (the performability evaluation
+    /// reported `NoServingStates`). In that case
+    /// [`Assessment::max_expected_waiting`] is also `None`,
+    /// [`Assessment::probability_saturated`] is reported as the sentinel
+    /// `1.0`, and every search treats the candidate uniformly: the
+    /// waiting-time goal (if any is set) counts as **unmet** in
+    /// [`GoalCheck::waiting_time_met`] — greedy, exhaustive, B&B, and
+    /// annealing all read that same flag, so `None` handling cannot
+    /// diverge between them.
     pub expected_waiting: Option<Vec<f64>>,
-    /// The worst entry of `expected_waiting`.
+    /// The worst entry of `expected_waiting`; `None` exactly when
+    /// [`Assessment::expected_waiting`] is `None` (see there).
     pub max_expected_waiting: Option<f64>,
     /// Probability that some server type is saturated while the system is
     /// nominally up.
@@ -63,7 +75,13 @@ pub(crate) fn run_preflight(
 ///
 /// A configuration whose full-strength state cannot serve the load is not
 /// an error — it simply fails the waiting-time goal
-/// (`expected_waiting = None`).
+/// (`expected_waiting = None`; see [`Assessment::expected_waiting`] for
+/// the exact semantics).
+///
+/// Thin wrapper over [`AssessmentEngine::assess`] on a fresh,
+/// single-shot engine — **deprecated doc note**: callers assessing more
+/// than one candidate should construct an [`AssessmentEngine`] and reuse
+/// its caches.
 ///
 /// # Errors
 /// Model failures as [`ConfigError`] (goal violations are reported
@@ -76,64 +94,7 @@ pub fn assess(
 ) -> Result<Assessment, ConfigError> {
     goals.validate()?;
     run_preflight(registry, load, Some(config.as_slice()))?;
-    let mut obs_span = wfms_obs::span!("assess");
-    obs_span.record("candidate", format!("{config}"));
-    let model = AvailabilityModel::new(registry, config)?;
-    let pi = model.steady_state(SteadyStateMethod::Lu)?;
-    let availability = model.availability(&pi)?;
-    let downtime_minutes_per_year = (1.0 - availability) * MINUTES_PER_YEAR;
-
-    let perf = match evaluate_with_model(&model, &pi, registry, load, DegradedPolicy::Conditional) {
-        Ok(report) => Some(report),
-        Err(PerformabilityError::NoServingStates) => None,
-        Err(e) => return Err(e.into()),
-    };
-    let (expected_waiting, max_expected_waiting, probability_saturated) = match &perf {
-        Some(r) => (
-            Some(r.expected_waiting.clone()),
-            Some(r.max_expected_waiting()),
-            r.probability_saturated,
-        ),
-        None => (None, None, 1.0),
-    };
-
-    let any_waiting_goal = goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
-    let waiting_time_met = if !any_waiting_goal {
-        true
-    } else {
-        match &expected_waiting {
-            None => false, // saturated: no finite waiting exists
-            Some(waits) => waits.iter().enumerate().all(|(x, &w)| {
-                goals
-                    .waiting_threshold_for(x)
-                    .is_none_or(|threshold| w <= threshold)
-            }),
-        }
-    };
-    let availability_met = match goals.min_availability {
-        None => true,
-        Some(min) => availability >= min,
-    };
-
-    obs_span.record("availability", availability);
-    if let Some(w) = max_expected_waiting {
-        obs_span.record("w_max", w);
-    }
-    wfms_obs::counter("config.assessments", 1);
-
-    Ok(Assessment {
-        replicas: config.as_slice().to_vec(),
-        cost: config.total_servers(),
-        availability,
-        downtime_minutes_per_year,
-        expected_waiting,
-        max_expected_waiting,
-        probability_saturated,
-        goals: GoalCheck {
-            waiting_time_met,
-            availability_met,
-        },
-    })
+    AssessmentEngine::new(registry, load, goals, SearchOptions::default())?.assess(config)
 }
 
 #[cfg(test)]

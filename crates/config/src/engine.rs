@@ -1,0 +1,739 @@
+//! The assessment engine: a session-style, memoizing, parallel
+//! evaluation core behind the configuration searches.
+//!
+//! The free functions of [`crate::assess`] and [`crate::search`]
+//! recompute every degraded-state waiting-time vector and every
+//! availability chain from scratch for each candidate — yet neighbouring
+//! candidates (`Y` vs `Y + e_k`) share almost their entire state space.
+//! [`AssessmentEngine`] owns the search inputs ([`ServerTypeRegistry`],
+//! [`SystemLoad`], [`Goals`], [`SearchOptions`]) and threads three
+//! shared memo layers through all assessments:
+//!
+//! 1. **Degraded-state cache** — keyed by the system state vector `X`,
+//!    holding the per-state waiting-time vector `w^X` and saturation
+//!    flag ([`wfms_performability::StateEvaluation`]). For a fixed
+//!    `(registry, load)` pair, `w^X` does not depend on the candidate
+//!    `Y` containing `X`, so each state is evaluated once across the
+//!    whole search.
+//! 2. **Birth–death-block cache** — keyed by `(type, Y_x)`, holding the
+//!    per-type rate ladders ([`wfms_avail::BirthDeathBlock`]) of the
+//!    availability CTMC, so the generator for `Y + e_k` reuses the
+//!    blocks of every unchanged type.
+//! 3. **Availability-solution cache** — keyed by `Y`, holding the
+//!    steady-state vector and availability, so re-assessing a candidate
+//!    (greedy revisits, annealing walks, warm re-runs) skips the LU
+//!    solve entirely.
+//!
+//! Candidate evaluation over the exhaustive/B&B frontier — and the
+//! per-state kernel over the independent degraded states of one
+//! candidate — runs on a rayon pool sized by [`SearchOptions::jobs`].
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical** to the serial free-function path for
+//! every `jobs` value. Three properties guarantee it: the cached values
+//! are outputs of pure functions evaluated with exactly the same float
+//! operations as the direct path; parallel maps reduce in input order;
+//! and the frontier is scanned in enumeration order with fixed-size
+//! batches whose surplus results (past the first goal-satisfying
+//! candidate) are discarded, so `trace` and `evaluations` match the
+//! serial early-exit semantics exactly.
+//!
+//! # Observability
+//!
+//! Stable names (see `wfms-obs`): counters `engine.cache-hit` /
+//! `engine.cache-miss` aggregate over the three cache layers; gauge
+//! `engine.parallel-candidates` reports the size of the last candidate
+//! batch dispatched in parallel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rayon::prelude::*;
+
+use wfms_avail::{AvailabilityModel, BirthDeathBlock, RepairPolicy, StateSpace, MINUTES_PER_YEAR};
+use wfms_markov::ctmc::SteadyStateMethod;
+use wfms_perf::SystemLoad;
+use wfms_performability::{
+    evaluate_state, fold_states, DegradedPolicy, PerformabilityError, StateEvaluation,
+};
+use wfms_statechart::{Configuration, ServerTypeId, ServerTypeRegistry};
+
+use crate::annealing::AnnealingOptions;
+use crate::assess::{run_preflight, Assessment};
+use crate::error::ConfigError;
+use crate::goals::{GoalCheck, Goals};
+use crate::search::{
+    availability_critical_type, enumerate_bounded, enumerate_compositions, goal_lower_bounds,
+    minimum_stable_replicas, performability_critical_type, record_candidate, SearchOptions,
+    SearchResult,
+};
+
+/// Candidates per parallel dispatch over an exhaustive/B&B frontier.
+/// Fixed (independent of `jobs`) so the set of assessed candidates —
+/// and therefore every cache state — does not depend on the thread
+/// count; surplus results past a winner are discarded to keep the trace
+/// identical to the serial early-exit path.
+const CANDIDATE_BATCH: usize = 32;
+
+/// A cached availability solve for one candidate `Y`.
+#[derive(Debug)]
+struct AvailabilitySolution {
+    pi: Vec<f64>,
+    availability: f64,
+}
+
+/// Entry counts and hit/miss totals of the engine's cache layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Degraded-state entries (`X → w^X`).
+    pub state_entries: usize,
+    /// Availability-solution entries (`Y → π`).
+    pub solution_entries: usize,
+    /// Birth–death-block entries (`(type, Y_x)` ladders).
+    pub block_entries: usize,
+    /// Total lookups answered from a cache, over all layers.
+    pub hits: u64,
+    /// Total lookups that had to compute, over all layers.
+    pub misses: u64,
+}
+
+/// The memoizing, parallel evaluation core. See the module docs for the
+/// cache layers and the determinism contract.
+///
+/// An engine is cheap to construct (the caches start empty) and is
+/// `Sync`: one engine can serve concurrent assessments. All search
+/// methods share the caches, so e.g. a greedy probe followed by an
+/// exhaustive validation pays the model solves only once.
+#[derive(Debug)]
+pub struct AssessmentEngine {
+    registry: ServerTypeRegistry,
+    load: SystemLoad,
+    goals: Goals,
+    options: SearchOptions,
+    pool: rayon::ThreadPool,
+    states: Mutex<HashMap<Vec<usize>, Arc<StateEvaluation>>>,
+    solutions: Mutex<HashMap<Vec<usize>, Arc<AvailabilitySolution>>>,
+    blocks: Mutex<HashMap<(usize, usize), Arc<BirthDeathBlock>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AssessmentEngine {
+    /// Creates an engine owning copies of the inputs: validates the
+    /// goals, runs the static preflight over `(registry, load)`, and
+    /// sizes the worker pool from [`SearchOptions::jobs`] (`0` =
+    /// automatic: `RAYON_NUM_THREADS`, else available cores).
+    ///
+    /// # Errors
+    /// * [`ConfigError::NoGoals`] / [`ConfigError::InvalidGoal`] on bad
+    ///   goals.
+    /// * [`ConfigError::Preflight`] when static analysis finds errors.
+    pub fn new(
+        registry: &ServerTypeRegistry,
+        load: &SystemLoad,
+        goals: &Goals,
+        options: SearchOptions,
+    ) -> Result<Self, ConfigError> {
+        goals.validate()?;
+        run_preflight(registry, load, None)?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(options.jobs)
+            .build()
+            .expect("thread pool");
+        Ok(AssessmentEngine {
+            registry: registry.clone(),
+            load: load.clone(),
+            goals: goals.clone(),
+            options,
+            pool,
+            states: Mutex::new(HashMap::new()),
+            solutions: Mutex::new(HashMap::new()),
+            blocks: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The options the engine was built with.
+    pub fn options(&self) -> &SearchOptions {
+        &self.options
+    }
+
+    /// The goals assessments are checked against.
+    pub fn goals(&self) -> &Goals {
+        &self.goals
+    }
+
+    /// The registry the engine assesses against.
+    pub(crate) fn registry(&self) -> &ServerTypeRegistry {
+        &self.registry
+    }
+
+    /// Effective worker count of the engine's pool.
+    pub fn jobs(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Current cache entry counts and lifetime hit/miss totals.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            state_entries: self.states.lock().expect("state cache").len(),
+            solution_entries: self.solutions.lock().expect("solution cache").len(),
+            block_entries: self.blocks.lock().expect("block cache").len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_hits(&self, n: u64) {
+        if n > 0 {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+            wfms_obs::counter("engine.cache-hit", n);
+        }
+    }
+
+    fn record_misses(&self, n: u64) {
+        if n > 0 {
+            self.misses.fetch_add(n, Ordering::Relaxed);
+            wfms_obs::counter("engine.cache-miss", n);
+        }
+    }
+
+    // -- cache layers -----------------------------------------------------
+
+    /// The birth–death rate ladders for `replicas` servers of type `j`,
+    /// from the block cache.
+    fn block(&self, j: usize, replicas: usize) -> Result<Arc<BirthDeathBlock>, ConfigError> {
+        if let Some(hit) = self.blocks.lock().expect("block cache").get(&(j, replicas)) {
+            self.record_hits(1);
+            return Ok(hit.clone());
+        }
+        self.record_misses(1);
+        let st = self.registry.get(ServerTypeId(j))?;
+        let block = Arc::new(BirthDeathBlock::for_type(
+            st,
+            replicas,
+            RepairPolicy::Independent,
+        ));
+        self.blocks
+            .lock()
+            .expect("block cache")
+            .insert((j, replicas), block.clone());
+        Ok(block)
+    }
+
+    /// The availability steady state for `config`, from the solution
+    /// cache; on a miss, assembles the CTMC from cached per-type blocks
+    /// and LU-solves it — the same float pipeline as
+    /// [`AvailabilityModel::new`], so the vector is bit-identical.
+    fn availability_solution(
+        &self,
+        config: &Configuration,
+    ) -> Result<Arc<AvailabilitySolution>, ConfigError> {
+        let key = config.as_slice().to_vec();
+        if let Some(hit) = self.solutions.lock().expect("solution cache").get(&key) {
+            self.record_hits(1);
+            return Ok(hit.clone());
+        }
+        self.record_misses(1);
+        let mut blocks = Vec::with_capacity(config.k());
+        for (j, &y) in config.as_slice().iter().enumerate() {
+            blocks.push(self.block(j, y)?);
+        }
+        let model = AvailabilityModel::from_blocks(config, &blocks, RepairPolicy::Independent)?;
+        let pi = model.steady_state(SteadyStateMethod::Lu)?;
+        let availability = model.availability(&pi)?;
+        let solution = Arc::new(AvailabilitySolution { pi, availability });
+        let mut cache = self.solutions.lock().expect("solution cache");
+        if cache.len() < self.options.solution_cache_capacity {
+            cache.insert(key, solution.clone());
+        }
+        Ok(solution)
+    }
+
+    /// Ensures every state of `space` has a cached [`StateEvaluation`],
+    /// computing the missing ones on the worker pool (they are
+    /// independent). Misses are collected — and, on error, reported — in
+    /// encoding order, so error precedence matches the serial path.
+    fn populate_state_cache(&self, space: &StateSpace) -> Result<(), PerformabilityError> {
+        let missing: Vec<Vec<usize>> = {
+            let cache = self.states.lock().expect("state cache");
+            space
+                .iter()
+                .map(|(_, x)| x)
+                .filter(|x| !cache.contains_key(x))
+                .collect()
+        };
+        self.record_hits((space.len() - missing.len()) as u64);
+        self.record_misses(missing.len() as u64);
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let evaluations: Vec<Result<StateEvaluation, PerformabilityError>> =
+            if self.jobs() > 1 && missing.len() > 1 {
+                self.pool.install(|| {
+                    missing
+                        .par_iter()
+                        .map(|x| evaluate_state(&self.load, &self.registry, x))
+                        .collect()
+                })
+            } else {
+                missing
+                    .iter()
+                    .map(|x| evaluate_state(&self.load, &self.registry, x))
+                    .collect()
+            };
+        let mut cache = self.states.lock().expect("state cache");
+        for (x, evaluation) in missing.into_iter().zip(evaluations) {
+            let evaluation = evaluation?;
+            if cache.len() < self.options.state_cache_capacity {
+                cache.insert(x, Arc::new(evaluation));
+            }
+        }
+        Ok(())
+    }
+
+    /// One state's evaluation: from the cache, or computed inline when
+    /// the cache is at capacity.
+    fn state_evaluation(
+        &self,
+        state: &[usize],
+    ) -> Result<Arc<StateEvaluation>, PerformabilityError> {
+        if let Some(hit) = self.states.lock().expect("state cache").get(state) {
+            return Ok(hit.clone());
+        }
+        evaluate_state(&self.load, &self.registry, state).map(Arc::new)
+    }
+
+    // -- assessment -------------------------------------------------------
+
+    /// Assesses one candidate configuration against the engine's goals,
+    /// through the caches. Field-for-field identical to
+    /// [`crate::assess::assess`] (see the module docs).
+    ///
+    /// # Errors
+    /// Model failures as [`ConfigError`]; goal violations are reported
+    /// in-band.
+    pub fn assess(&self, config: &Configuration) -> Result<Assessment, ConfigError> {
+        run_preflight(&self.registry, &self.load, Some(config.as_slice()))?;
+        let mut obs_span = wfms_obs::span!("assess");
+        obs_span.record("candidate", format!("{config}"));
+        let solution = self.availability_solution(config)?;
+        let availability = solution.availability;
+        let downtime_minutes_per_year = (1.0 - availability) * MINUTES_PER_YEAR;
+
+        let space = StateSpace::new(config);
+        let perf = match self.populate_state_cache(&space).and_then(|()| {
+            fold_states(
+                space.iter().map(|(idx, x)| (x, solution.pi[idx])),
+                self.registry.len(),
+                config.as_slice(),
+                DegradedPolicy::Conditional,
+                |state| self.state_evaluation(state),
+            )
+        }) {
+            Ok(report) => Some(report),
+            Err(PerformabilityError::NoServingStates) => None,
+            Err(e) => return Err(e.into()),
+        };
+        let (expected_waiting, max_expected_waiting, probability_saturated) = match &perf {
+            Some(r) => (
+                Some(r.expected_waiting.clone()),
+                Some(r.max_expected_waiting()),
+                r.probability_saturated,
+            ),
+            None => (None, None, 1.0),
+        };
+
+        let goals = &self.goals;
+        let any_waiting_goal =
+            goals.max_waiting_time.is_some() || !goals.per_type_waiting.is_empty();
+        let waiting_time_met = if !any_waiting_goal {
+            true
+        } else {
+            match &expected_waiting {
+                None => false, // saturated/unreachable: no finite waiting exists
+                Some(waits) => waits.iter().enumerate().all(|(x, &w)| {
+                    goals
+                        .waiting_threshold_for(x)
+                        .is_none_or(|threshold| w <= threshold)
+                }),
+            }
+        };
+        let availability_met = match goals.min_availability {
+            None => true,
+            Some(min) => availability >= min,
+        };
+
+        obs_span.record("availability", availability);
+        if let Some(w) = max_expected_waiting {
+            obs_span.record("w_max", w);
+        }
+        wfms_obs::counter("config.assessments", 1);
+
+        Ok(Assessment {
+            replicas: config.as_slice().to_vec(),
+            cost: config.total_servers(),
+            availability,
+            downtime_minutes_per_year,
+            expected_waiting,
+            max_expected_waiting,
+            probability_saturated,
+            goals: GoalCheck {
+                waiting_time_met,
+                availability_met,
+            },
+        })
+    }
+
+    /// Assesses a raw replica vector.
+    fn assess_replicas(&self, replicas: &[usize]) -> Result<Assessment, ConfigError> {
+        let config = Configuration::new(&self.registry, replicas.to_vec())?;
+        self.assess(&config)
+    }
+
+    /// Scans frontier `candidates` in enumeration order, assessing them
+    /// in fixed-size batches (in parallel when the pool has more than
+    /// one worker) and returning the first goal-satisfying assessment.
+    /// Surplus batch results past the winner are discarded, so `trace`
+    /// and `evaluations` match the serial early-exit path exactly.
+    fn evaluate_frontier(
+        &self,
+        candidates: Vec<Vec<usize>>,
+        trace: &mut Vec<Assessment>,
+        evaluations: &mut usize,
+    ) -> Result<Option<Assessment>, ConfigError> {
+        let parallel = self.jobs() > 1;
+        for batch in candidates.chunks(CANDIDATE_BATCH) {
+            if parallel && batch.len() > 1 {
+                wfms_obs::gauge("engine.parallel-candidates", batch.len() as f64);
+                let results: Vec<Result<Assessment, ConfigError>> = self
+                    .pool
+                    .install(|| batch.par_iter().map(|y| self.assess_replicas(y)).collect());
+                for result in results {
+                    let assessment = result?;
+                    *evaluations += 1;
+                    record_candidate(&assessment, assessment.meets_goals());
+                    trace.push(assessment.clone());
+                    if assessment.meets_goals() {
+                        return Ok(Some(assessment));
+                    }
+                }
+            } else {
+                for y in batch {
+                    let assessment = self.assess_replicas(y)?;
+                    *evaluations += 1;
+                    record_candidate(&assessment, assessment.meets_goals());
+                    trace.push(assessment.clone());
+                    if assessment.meets_goals() {
+                        return Ok(Some(assessment));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // -- searches ---------------------------------------------------------
+
+    /// The greedy minimum-cost search of Sec. 7.2 (see
+    /// [`crate::search::greedy_search`]), assessed through the caches.
+    /// The candidate chain is inherently sequential; the per-state
+    /// kernel of each assessment still runs on the pool.
+    ///
+    /// # Errors
+    /// As [`crate::search::greedy_search`].
+    pub fn greedy(&self) -> Result<SearchResult, ConfigError> {
+        let opts = &self.options;
+        // Fast infeasibility check: stability alone may exceed the budget.
+        let min_stable = minimum_stable_replicas(&self.registry, &self.load)?;
+        let stable_cost: usize = min_stable.iter().sum();
+        if self.goals.max_waiting_time.is_some() && stable_cost > opts.max_total_servers {
+            let worst = min_stable
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &v)| v)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            return Err(ConfigError::LoadUnsustainable { server_type: worst });
+        }
+
+        let mut obs_span = wfms_obs::span!("greedy-search", budget = opts.max_total_servers);
+        let mut config = Configuration::minimal(&self.registry);
+        let mut trace = Vec::new();
+        let mut evaluations = 0;
+        loop {
+            let assessment = self.assess(&config)?;
+            evaluations += 1;
+            record_candidate(&assessment, assessment.meets_goals());
+            trace.push(assessment.clone());
+            if assessment.meets_goals() {
+                obs_span.record("evaluations", evaluations as u64);
+                obs_span.record("cost", assessment.cost as u64);
+                return Ok(SearchResult {
+                    assessment,
+                    trace,
+                    evaluations,
+                });
+            }
+            if config.total_servers() >= opts.max_total_servers {
+                return Err(ConfigError::GoalsUnreachable {
+                    budget: opts.max_total_servers,
+                    last_candidate: config.as_slice().to_vec(),
+                });
+            }
+            let target = if !assessment.goals.waiting_time_met {
+                performability_critical_type(&self.registry, &self.load, &self.goals, &assessment)
+            } else {
+                availability_critical_type(&self.registry, &assessment)
+            };
+            config = config.with_added_replica(target)?;
+        }
+    }
+
+    /// The exhaustive minimum-cost baseline (see
+    /// [`crate::search::exhaustive_search`]): enumerates each cost
+    /// level's frontier and evaluates it in parallel batches.
+    ///
+    /// # Errors
+    /// As [`crate::search::exhaustive_search`].
+    pub fn exhaustive(&self) -> Result<SearchResult, ConfigError> {
+        let opts = &self.options;
+        let k = self.registry.len();
+        let mut obs_span = wfms_obs::span!("exhaustive-search", budget = opts.max_total_servers);
+        let mut trace = Vec::new();
+        let mut evaluations = 0;
+        for cost in k..=opts.max_total_servers {
+            let mut candidates = Vec::new();
+            let mut current = vec![1usize; k];
+            enumerate_compositions(cost, k, &mut current, 0, &mut |replicas| {
+                candidates.push(replicas.to_vec());
+                Ok(())
+            })?;
+            if let Some(assessment) =
+                self.evaluate_frontier(candidates, &mut trace, &mut evaluations)?
+            {
+                obs_span.record("evaluations", evaluations as u64);
+                obs_span.record("cost", assessment.cost as u64);
+                return Ok(SearchResult {
+                    assessment,
+                    trace,
+                    evaluations,
+                });
+            }
+        }
+        Err(ConfigError::GoalsUnreachable {
+            budget: opts.max_total_servers,
+            last_candidate: vec![1; k],
+        })
+    }
+
+    /// The branch-and-bound minimum-cost search (see
+    /// [`crate::search::branch_and_bound_search`]): goal-derived lower
+    /// bounds prune the frontier, which is then evaluated in parallel
+    /// batches.
+    ///
+    /// # Errors
+    /// As [`crate::search::branch_and_bound_search`].
+    pub fn branch_and_bound(&self) -> Result<SearchResult, ConfigError> {
+        let opts = &self.options;
+        let k = self.registry.len();
+        let lower = goal_lower_bounds(
+            &self.registry,
+            &self.load,
+            &self.goals,
+            opts.max_total_servers,
+        )?;
+        let lower_cost: usize = lower.iter().sum();
+        if lower_cost > opts.max_total_servers {
+            return Err(ConfigError::GoalsUnreachable {
+                budget: opts.max_total_servers,
+                last_candidate: lower,
+            });
+        }
+        let mut obs_span = wfms_obs::span!("bnb-search", budget = opts.max_total_servers);
+        let mut trace = Vec::new();
+        let mut evaluations = 0;
+        for cost in lower_cost..=opts.max_total_servers {
+            let mut candidates = Vec::new();
+            let mut current = lower.clone();
+            enumerate_bounded(cost, k, &lower, &mut current, 0, &mut |replicas| {
+                candidates.push(replicas.to_vec());
+                Ok(())
+            })?;
+            if let Some(assessment) =
+                self.evaluate_frontier(candidates, &mut trace, &mut evaluations)?
+            {
+                obs_span.record("evaluations", evaluations as u64);
+                obs_span.record("cost", assessment.cost as u64);
+                return Ok(SearchResult {
+                    assessment,
+                    trace,
+                    evaluations,
+                });
+            }
+        }
+        Err(ConfigError::GoalsUnreachable {
+            budget: opts.max_total_servers,
+            last_candidate: lower,
+        })
+    }
+
+    /// The simulated-annealing search (see
+    /// [`crate::annealing::annealing_search`]): the Metropolis walk is
+    /// sequential by construction, but revisited candidates hit the
+    /// solution cache and every assessment shares the state cache.
+    ///
+    /// # Errors
+    /// As [`crate::annealing::annealing_search`].
+    pub fn annealing(&self, opts: &AnnealingOptions) -> Result<SearchResult, ConfigError> {
+        crate::annealing::annealing_walk(self, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assess::assess;
+    use crate::search::{exhaustive_search, greedy_search};
+    use proptest::prelude::*;
+    use wfms_statechart::paper_section52_registry;
+
+    fn load_at(rho_single: f64, reg: &ServerTypeRegistry) -> SystemLoad {
+        let rates: Vec<f64> = reg
+            .iter()
+            .map(|(_, t)| rho_single / t.service_time_mean)
+            .collect();
+        SystemLoad {
+            request_rates: rates,
+            total_arrival_rate: 1.0,
+            active_instances: vec![],
+        }
+    }
+
+    #[test]
+    fn engine_assessment_is_bit_identical_to_free_function() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let engine = AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+        for y in [vec![1, 1, 1], vec![2, 2, 2], vec![2, 1, 3], vec![3, 3, 3]] {
+            let config = Configuration::new(&reg, y).unwrap();
+            let direct = assess(&reg, &config, &load, &goals).unwrap();
+            let cold = engine.assess(&config).unwrap();
+            let warm = engine.assess(&config).unwrap();
+            assert_eq!(direct, cold);
+            assert_eq!(direct, warm);
+        }
+    }
+
+    #[test]
+    fn caches_fill_and_hit_across_candidates() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.5, &reg);
+        let goals = Goals::availability_only(0.9999).unwrap();
+        let engine = AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+        let a = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        engine.assess(&a).unwrap();
+        let after_first = engine.cache_stats();
+        assert_eq!(after_first.state_entries, 27);
+        assert_eq!(after_first.solution_entries, 1);
+        assert_eq!(after_first.block_entries, 3);
+        assert_eq!(after_first.hits, 0);
+
+        // A neighbouring candidate shares 27 of its 36 states and two of
+        // its three blocks.
+        let b = Configuration::new(&reg, vec![2, 2, 3]).unwrap();
+        engine.assess(&b).unwrap();
+        let after_second = engine.cache_stats();
+        assert_eq!(after_second.state_entries, 36);
+        assert_eq!(after_second.solution_entries, 2);
+        assert_eq!(after_second.block_entries, 4);
+        assert_eq!(after_second.hits, after_first.hits + 27 + 2);
+
+        // Re-assessing is a pure cache replay: one solution hit plus all
+        // 36 states.
+        engine.assess(&b).unwrap();
+        let warm = engine.cache_stats();
+        assert_eq!(warm.hits, after_second.hits + 1 + 36);
+        assert_eq!(warm.state_entries, 36);
+    }
+
+    #[test]
+    fn searches_match_free_functions_bitwise() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.5, &reg);
+        let goals = Goals::new(0.005, 0.999).unwrap();
+        let opts = SearchOptions::default();
+        let engine = AssessmentEngine::new(&reg, &load, &goals, opts).unwrap();
+        let free_greedy = greedy_search(&reg, &load, &goals, &opts).unwrap();
+        assert_eq!(engine.greedy().unwrap(), free_greedy);
+        let free_exhaustive = exhaustive_search(&reg, &load, &goals, &opts).unwrap();
+        assert_eq!(engine.exhaustive().unwrap(), free_exhaustive);
+    }
+
+    #[test]
+    fn parallel_jobs_produce_identical_search_results() {
+        let reg = paper_section52_registry();
+        let load = load_at(1.5, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let serial_opts = SearchOptions::builder().jobs(1).build();
+        let parallel_opts = SearchOptions::builder().jobs(8).build();
+        let serial = AssessmentEngine::new(&reg, &load, &goals, serial_opts).unwrap();
+        let parallel = AssessmentEngine::new(&reg, &load, &goals, parallel_opts).unwrap();
+        assert_eq!(parallel.jobs(), 8);
+        let s = serial.exhaustive().unwrap();
+        let p = parallel.exhaustive().unwrap();
+        assert_eq!(s, p);
+        let s = serial.branch_and_bound().unwrap();
+        let p = parallel.branch_and_bound().unwrap();
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching_without_changing_results() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let uncached_opts = SearchOptions::builder()
+            .state_cache_capacity(0)
+            .solution_cache_capacity(0)
+            .build();
+        let uncached = AssessmentEngine::new(&reg, &load, &goals, uncached_opts).unwrap();
+        let cached = AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+        let config = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        assert_eq!(
+            uncached.assess(&config).unwrap(),
+            cached.assess(&config).unwrap()
+        );
+        assert_eq!(uncached.cache_stats().state_entries, 0);
+        assert_eq!(uncached.cache_stats().solution_entries, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The tentpole invariant: an engine-cached assessment equals the
+        /// uncached free-function assessment field-for-field, cold and
+        /// warm, for arbitrary loads and candidates.
+        #[test]
+        fn engine_cached_equals_uncached_assessment(
+            rho in 0.05f64..2.5,
+            y in proptest::collection::vec(1usize..4, 3),
+        ) {
+            let reg = paper_section52_registry();
+            let load = load_at(rho, &reg);
+            let goals = Goals::new(0.01, 0.9999).unwrap();
+            let config = Configuration::new(&reg, y).unwrap();
+            let direct = assess(&reg, &config, &load, &goals).unwrap();
+            let engine =
+                AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+            let cold = engine.assess(&config).unwrap();
+            prop_assert_eq!(&direct, &cold);
+            let warm = engine.assess(&config).unwrap();
+            prop_assert_eq!(&direct, &warm);
+        }
+    }
+}

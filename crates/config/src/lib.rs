@@ -19,6 +19,7 @@
 pub mod annealing;
 pub mod assess;
 pub mod calibrate;
+pub mod engine;
 pub mod error;
 pub mod goals;
 pub mod search;
@@ -30,10 +31,11 @@ pub use calibrate::{
     apply_to_spec, calibrate_from_traces, ApplyOptions, ApplyReport, CalibratedChart, StateVisit,
     WorkflowTrace, TRACE_FINAL,
 };
+pub use engine::{AssessmentEngine, CacheStats};
 pub use error::ConfigError;
 pub use goals::{GoalCheck, Goals};
 pub use search::{
     branch_and_bound_search, exhaustive_search, goal_lower_bounds, greedy_search,
-    minimum_stable_replicas, SearchOptions, SearchResult,
+    minimum_stable_replicas, SearchOptions, SearchOptionsBuilder, SearchResult,
 };
 pub use sensitivity::{sensitivity, Parameter, SensitivityEntry, SensitivityOptions};

@@ -19,25 +19,100 @@
 use serde::{Deserialize, Serialize};
 
 use wfms_perf::SystemLoad;
-use wfms_statechart::{Configuration, ServerTypeId, ServerTypeRegistry};
+use wfms_statechart::{ServerTypeId, ServerTypeRegistry};
 
-use crate::assess::{assess, Assessment};
+use crate::assess::Assessment;
+use crate::engine::AssessmentEngine;
 use crate::error::ConfigError;
 use crate::goals::Goals;
 
-/// Search tuning knobs.
+/// Search tuning knobs. Construct via [`SearchOptions::builder`]:
+///
+/// ```
+/// use wfms_config::SearchOptions;
+/// let opts = SearchOptions::builder().max_total_servers(64).jobs(8).build();
+/// assert_eq!(opts.max_total_servers, 64);
+/// assert_eq!(opts.jobs, 8);
+/// ```
+///
+/// `Default` is equivalent to the pre-engine behaviour: a budget of 64
+/// servers, a single worker, and effectively unbounded caches.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchOptions {
     /// Maximum total number of servers (the cost budget). The search
     /// fails with [`ConfigError::GoalsUnreachable`] beyond it.
     pub max_total_servers: usize,
+    /// Worker threads for candidate and per-state evaluation: `0` =
+    /// automatic (`RAYON_NUM_THREADS`, else available cores), `1` =
+    /// serial. Results are bit-identical for every value (see
+    /// [`AssessmentEngine`]).
+    pub jobs: usize,
+    /// Maximum entries of the degraded-state cache (`X → w^X`); `0`
+    /// disables it. Overflowing states are recomputed per assessment.
+    pub state_cache_capacity: usize,
+    /// Maximum entries of the availability-solution cache (`Y → π`);
+    /// `0` disables it.
+    pub solution_cache_capacity: usize,
 }
 
 impl Default for SearchOptions {
     fn default() -> Self {
         SearchOptions {
             max_total_servers: 64,
+            jobs: 1,
+            state_cache_capacity: 65_536,
+            solution_cache_capacity: 4_096,
         }
+    }
+}
+
+impl SearchOptions {
+    /// Starts a builder initialised to [`SearchOptions::default`].
+    pub fn builder() -> SearchOptionsBuilder {
+        SearchOptionsBuilder {
+            opts: SearchOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`SearchOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct SearchOptionsBuilder {
+    opts: SearchOptions,
+}
+
+impl SearchOptionsBuilder {
+    /// Sets the total-server budget.
+    #[must_use]
+    pub fn max_total_servers(mut self, max_total_servers: usize) -> Self {
+        self.opts.max_total_servers = max_total_servers;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = automatic, `1` = serial).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.opts.jobs = jobs;
+        self
+    }
+
+    /// Caps the degraded-state cache (`0` disables it).
+    #[must_use]
+    pub fn state_cache_capacity(mut self, entries: usize) -> Self {
+        self.opts.state_cache_capacity = entries;
+        self
+    }
+
+    /// Caps the availability-solution cache (`0` disables it).
+    #[must_use]
+    pub fn solution_cache_capacity(mut self, entries: usize) -> Self {
+        self.opts.solution_cache_capacity = entries;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SearchOptions {
+        self.opts
     }
 }
 
@@ -112,7 +187,7 @@ pub(crate) fn record_candidate(assessment: &Assessment, accepted: bool) {
 /// with the largest expected waiting time; and when the assessment could
 /// not produce waiting times at all (saturation), the one with the
 /// highest per-replica utilization.
-fn performability_critical_type(
+pub(crate) fn performability_critical_type(
     registry: &ServerTypeRegistry,
     load: &SystemLoad,
     goals: &Goals,
@@ -155,7 +230,7 @@ fn performability_critical_type(
 
 /// Picks the availability-critical server type: the one contributing the
 /// most to unavailability, `q_x^{Y_x}` with `q_x = λ_x / (λ_x + μ_x)`.
-fn availability_critical_type(
+pub(crate) fn availability_critical_type(
     registry: &ServerTypeRegistry,
     assessment: &Assessment,
 ) -> ServerTypeId {
@@ -175,6 +250,10 @@ fn availability_critical_type(
 /// The greedy minimum-cost search of Sec. 7.2, starting from the
 /// unreplicated configuration `Y = (1, …, 1)`.
 ///
+/// Thin wrapper over [`AssessmentEngine::greedy`] on a fresh engine —
+/// **deprecated doc note**: callers assessing more than one scenario
+/// should construct an [`AssessmentEngine`] and reuse its caches.
+///
 /// # Errors
 /// * [`ConfigError::LoadUnsustainable`] when some server type needs more
 ///   replicas for stability than the budget can ever grant.
@@ -186,52 +265,7 @@ pub fn greedy_search(
     goals: &Goals,
     opts: &SearchOptions,
 ) -> Result<SearchResult, ConfigError> {
-    goals.validate()?;
-    crate::assess::run_preflight(registry, load, None)?;
-    // Fast infeasibility check: stability alone may exceed the budget.
-    let min_stable = minimum_stable_replicas(registry, load)?;
-    let stable_cost: usize = min_stable.iter().sum();
-    if goals.max_waiting_time.is_some() && stable_cost > opts.max_total_servers {
-        let worst = min_stable
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &v)| v)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        return Err(ConfigError::LoadUnsustainable { server_type: worst });
-    }
-
-    let mut obs_span = wfms_obs::span!("greedy-search", budget = opts.max_total_servers);
-    let mut config = Configuration::minimal(registry);
-    let mut trace = Vec::new();
-    let mut evaluations = 0;
-    loop {
-        let assessment = assess(registry, &config, load, goals)?;
-        evaluations += 1;
-        record_candidate(&assessment, assessment.meets_goals());
-        trace.push(assessment.clone());
-        if assessment.meets_goals() {
-            obs_span.record("evaluations", evaluations as u64);
-            obs_span.record("cost", assessment.cost as u64);
-            return Ok(SearchResult {
-                assessment,
-                trace,
-                evaluations,
-            });
-        }
-        if config.total_servers() >= opts.max_total_servers {
-            return Err(ConfigError::GoalsUnreachable {
-                budget: opts.max_total_servers,
-                last_candidate: config.as_slice().to_vec(),
-            });
-        }
-        let target = if !assessment.goals.waiting_time_met {
-            performability_critical_type(registry, load, goals, &assessment)
-        } else {
-            availability_critical_type(registry, &assessment)
-        };
-        config = config.with_added_replica(target)?;
-    }
+    AssessmentEngine::new(registry, load, goals, *opts)?.greedy()
 }
 
 /// Exhaustive minimum-cost baseline: enumerates replication vectors in
@@ -239,6 +273,11 @@ pub fn greedy_search(
 /// cost-optimal) configuration meeting the goals. Exponential in the
 /// number of server types — use for validating the greedy heuristic on
 /// small systems (the EXP-C1 experiment).
+///
+/// Thin wrapper over [`AssessmentEngine::exhaustive`] on a fresh engine
+/// — **deprecated doc note**: construct an [`AssessmentEngine`] to reuse
+/// caches across searches (and set [`SearchOptions::jobs`] to evaluate
+/// the frontier in parallel).
 ///
 /// # Errors
 /// As [`greedy_search`].
@@ -248,43 +287,7 @@ pub fn exhaustive_search(
     goals: &Goals,
     opts: &SearchOptions,
 ) -> Result<SearchResult, ConfigError> {
-    goals.validate()?;
-    crate::assess::run_preflight(registry, load, None)?;
-    let k = registry.len();
-    let mut obs_span = wfms_obs::span!("exhaustive-search", budget = opts.max_total_servers);
-    let mut trace = Vec::new();
-    let mut evaluations = 0;
-    for cost in k..=opts.max_total_servers {
-        let mut current = vec![1usize; k];
-        let mut found: Option<Assessment> = None;
-        enumerate_compositions(cost, k, &mut current, 0, &mut |replicas| {
-            if found.is_some() {
-                return Ok(());
-            }
-            let config = Configuration::new(registry, replicas.to_vec())?;
-            let assessment = assess(registry, &config, load, goals)?;
-            evaluations += 1;
-            record_candidate(&assessment, assessment.meets_goals());
-            trace.push(assessment.clone());
-            if assessment.meets_goals() {
-                found = Some(assessment);
-            }
-            Ok(())
-        })?;
-        if let Some(assessment) = found {
-            obs_span.record("evaluations", evaluations as u64);
-            obs_span.record("cost", assessment.cost as u64);
-            return Ok(SearchResult {
-                assessment,
-                trace,
-                evaluations,
-            });
-        }
-    }
-    Err(ConfigError::GoalsUnreachable {
-        budget: opts.max_total_servers,
-        last_candidate: vec![1; k],
-    })
+    AssessmentEngine::new(registry, load, goals, *opts)?.exhaustive()
 }
 
 /// Per-type replica lower bounds implied by the goals — the pruning core
@@ -353,6 +356,10 @@ pub fn goal_lower_bounds(
 /// assessed, which typically cuts the evaluation count by an order of
 /// magnitude.
 ///
+/// Thin wrapper over [`AssessmentEngine::branch_and_bound`] on a fresh
+/// engine — **deprecated doc note**: construct an [`AssessmentEngine`]
+/// to reuse caches across searches.
+///
 /// # Errors
 /// As [`exhaustive_search`].
 pub fn branch_and_bound_search(
@@ -361,56 +368,12 @@ pub fn branch_and_bound_search(
     goals: &Goals,
     opts: &SearchOptions,
 ) -> Result<SearchResult, ConfigError> {
-    goals.validate()?;
-    crate::assess::run_preflight(registry, load, None)?;
-    let k = registry.len();
-    let lower = goal_lower_bounds(registry, load, goals, opts.max_total_servers)?;
-    let lower_cost: usize = lower.iter().sum();
-    if lower_cost > opts.max_total_servers {
-        return Err(ConfigError::GoalsUnreachable {
-            budget: opts.max_total_servers,
-            last_candidate: lower,
-        });
-    }
-    let mut obs_span = wfms_obs::span!("bnb-search", budget = opts.max_total_servers);
-    let mut trace = Vec::new();
-    let mut evaluations = 0;
-    for cost in lower_cost..=opts.max_total_servers {
-        let mut current = lower.clone();
-        let mut found: Option<Assessment> = None;
-        enumerate_bounded(cost, k, &lower, &mut current, 0, &mut |replicas| {
-            if found.is_some() {
-                return Ok(());
-            }
-            let config = Configuration::new(registry, replicas.to_vec())?;
-            let assessment = assess(registry, &config, load, goals)?;
-            evaluations += 1;
-            record_candidate(&assessment, assessment.meets_goals());
-            trace.push(assessment.clone());
-            if assessment.meets_goals() {
-                found = Some(assessment);
-            }
-            Ok(())
-        })?;
-        if let Some(assessment) = found {
-            obs_span.record("evaluations", evaluations as u64);
-            obs_span.record("cost", assessment.cost as u64);
-            return Ok(SearchResult {
-                assessment,
-                trace,
-                evaluations,
-            });
-        }
-    }
-    Err(ConfigError::GoalsUnreachable {
-        budget: opts.max_total_servers,
-        last_candidate: lower,
-    })
+    AssessmentEngine::new(registry, load, goals, *opts)?.branch_and_bound()
 }
 
 /// Enumerates all vectors of length `k` with `current[i] ≥ lower[i]`
 /// summing to `total`, calling `f` for each.
-fn enumerate_bounded(
+pub(crate) fn enumerate_bounded(
     total: usize,
     k: usize,
     lower: &[usize],
@@ -438,7 +401,7 @@ fn enumerate_bounded(
 
 /// Enumerates all vectors of length `k` with entries ≥ 1 summing to
 /// `total`, calling `f` for each.
-fn enumerate_compositions(
+pub(crate) fn enumerate_compositions(
     total: usize,
     k: usize,
     current: &mut Vec<usize>,
@@ -565,6 +528,7 @@ mod tests {
         let goals = Goals::availability_only(0.999_999_999_999).unwrap();
         let opts = SearchOptions {
             max_total_servers: 4,
+            ..SearchOptions::default()
         };
         assert!(matches!(
             greedy_search(&reg, &load, &goals, &opts),
@@ -582,9 +546,7 @@ mod tests {
         // Demand of 100 servers per type with a budget of 12.
         let load = load_at(100.0, &reg);
         let goals = Goals::waiting_time_only(1.0).unwrap();
-        let opts = SearchOptions {
-            max_total_servers: 12,
-        };
+        let opts = SearchOptions::builder().max_total_servers(12).build();
         assert!(matches!(
             greedy_search(&reg, &load, &goals, &opts),
             Err(ConfigError::LoadUnsustainable { .. })
@@ -662,9 +624,7 @@ mod tests {
                 &reg,
                 &load,
                 &goals,
-                &SearchOptions {
-                    max_total_servers: 12
-                }
+                &SearchOptions::builder().max_total_servers(12).build()
             ),
             Err(ConfigError::GoalsUnreachable { .. })
         ));

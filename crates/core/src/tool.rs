@@ -15,8 +15,9 @@
 use wfms_avail::{closed_form_unavailability, AvailabilityModel, MINUTES_PER_YEAR};
 use wfms_config::{
     apply_to_spec, assess, branch_and_bound_search, calibrate_from_traces, exhaustive_search,
-    greedy_search, sensitivity, ApplyOptions, ApplyReport, Assessment, ConfigError, Goals,
-    SearchOptions, SearchResult, SensitivityEntry, SensitivityOptions, WorkflowTrace,
+    greedy_search, sensitivity, ApplyOptions, ApplyReport, Assessment, AssessmentEngine,
+    ConfigError, Goals, SearchOptions, SearchResult, SensitivityEntry, SensitivityOptions,
+    WorkflowTrace,
 };
 use wfms_markov::ctmc::SteadyStateMethod;
 use wfms_perf::{
@@ -198,6 +199,26 @@ impl ConfigurationTool {
     pub fn assess(&self, config: &Configuration, goals: &Goals) -> Result<Assessment, ConfigError> {
         let load = self.system_load()?;
         assess(&self.registry, config, &load, goals)
+    }
+
+    /// An [`AssessmentEngine`] over this tool's registry and the
+    /// aggregate load of the registered workloads. The engine memoizes
+    /// degraded-state evaluations, birth–death blocks, and availability
+    /// solves across every assessment and search run through it —
+    /// prefer one engine over repeated [`ConfigurationTool::assess`] /
+    /// [`ConfigurationTool::recommend`] calls when probing many
+    /// candidates or search strategies against the same goals.
+    ///
+    /// # Errors
+    /// Invalid goals, preflight findings, or workflow-analysis failures
+    /// as [`ConfigError`].
+    pub fn engine(
+        &self,
+        goals: &Goals,
+        opts: SearchOptions,
+    ) -> Result<AssessmentEngine, ConfigError> {
+        let load = self.system_load()?;
+        AssessmentEngine::new(&self.registry, &load, goals, opts)
     }
 
     /// Greedy minimum-cost recommendation (Sec. 7.2).

@@ -47,6 +47,15 @@
 //! Counters and histograms are dotted lowercase (`markov.linear-solve.iterations`,
 //! `perf.mg1.evaluations`, `sim.events`, `config.annealing.accepted`, …).
 //!
+//! The assessment engine of `wfms-config` adds three stable metric
+//! names of its own:
+//!
+//! | metric | kind | emitted by | meaning |
+//! |---|---|---|---|
+//! | `engine.cache-hit` | counter | `wfms-config` | lookups answered from the engine's degraded-state, birth–death-block, or availability-solution caches |
+//! | `engine.cache-miss` | counter | `wfms-config` | lookups that had to compute (one per first evaluation of a state, block, or candidate) |
+//! | `engine.parallel-candidates` | gauge | `wfms-config` | size of the last candidate batch dispatched to the worker pool |
+//!
 //! ```
 //! wfms_obs::global().reset();
 //! wfms_obs::enable();

@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use wfms_avail::{AvailError, AvailabilityModel};
@@ -182,6 +184,86 @@ pub fn evaluate_with_model(
     load: &SystemLoad,
     policy: DegradedPolicy,
 ) -> Result<PerformabilityReport, PerformabilityError> {
+    fold_states(
+        model.distribution(pi)?,
+        registry.len(),
+        model.configuration().as_slice(),
+        policy,
+        |state| evaluate_state(load, registry, state).map(Arc::new),
+    )
+}
+
+/// The performance model evaluated in one system state: the pure
+/// per-state kernel of the performability reward.
+///
+/// For a fixed `(load, registry)` pair, this depends only on the state
+/// vector `X` — not on the candidate configuration `Y` containing it —
+/// which is what makes the result shareable across all candidates of a
+/// configuration search (the `AssessmentEngine` in `wfms-config` caches
+/// it keyed by `X`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateEvaluation {
+    /// Waiting outcome per server type in this state (`w^X`).
+    pub outcomes: Vec<WaitingOutcome>,
+    /// Some server type has zero replicas up: the WFMS is down.
+    pub down: bool,
+    /// The WFMS is up but at least one type is saturated (`ρ ≥ 1`).
+    pub saturated: bool,
+}
+
+impl StateEvaluation {
+    /// True when every server type is stable (neither down nor
+    /// saturated).
+    pub fn is_serving(&self) -> bool {
+        !self.down && !self.saturated
+    }
+}
+
+/// Evaluates the pure per-state kernel: the M/G/1 waiting-time vector
+/// `w^X` and the down/saturated classification for system state `state`.
+///
+/// # Errors
+/// [`PerformabilityError::Perf`] on a registry/load/state mismatch.
+pub fn evaluate_state(
+    load: &SystemLoad,
+    registry: &ServerTypeRegistry,
+    state: &[usize],
+) -> Result<StateEvaluation, PerformabilityError> {
+    let outcomes = waiting_times(load, registry, state)?;
+    let down = outcomes.iter().any(|o| matches!(o, WaitingOutcome::Down));
+    let saturated = !down
+        && outcomes
+            .iter()
+            .any(|o| matches!(o, WaitingOutcome::Saturated { .. }));
+    Ok(StateEvaluation {
+        outcomes,
+        down,
+        saturated,
+    })
+}
+
+/// Folds per-state rewards over a stationary distribution: the Markov
+/// reward accumulation of [`evaluate_with_model`], parameterised over
+/// the state kernel so callers can substitute a memoised one.
+///
+/// `dist` yields `(state, probability)` pairs; the fold visits them in
+/// iteration order (state-space encoding order when driven from
+/// [`AvailabilityModel::distribution`]), so a cached kernel produces
+/// bit-identical sums to the direct path.
+///
+/// # Errors
+/// See [`evaluate`].
+pub fn fold_states<I, F>(
+    dist: I,
+    k: usize,
+    full_state: &[usize],
+    policy: DegradedPolicy,
+    mut eval: F,
+) -> Result<PerformabilityReport, PerformabilityError>
+where
+    I: IntoIterator<Item = (Vec<usize>, f64)>,
+    F: FnMut(&[usize]) -> Result<Arc<StateEvaluation>, PerformabilityError>,
+{
     if let DegradedPolicy::Penalty { waiting_time } = policy {
         if !(waiting_time.is_finite() && waiting_time >= 0.0) {
             return Err(PerformabilityError::InvalidPenalty {
@@ -189,28 +271,21 @@ pub fn evaluate_with_model(
             });
         }
     }
-    let k = registry.len();
-    let mut obs_span = wfms_obs::span!("performability", states = model.state_space().len());
-    let mut details = Vec::with_capacity(model.state_space().len());
+    let mut obs_span = wfms_obs::span!("performability");
+    let mut details = Vec::new();
     let mut probability_down = 0.0;
     let mut probability_saturated = 0.0;
     let mut probability_serving = 0.0;
     let mut degraded_evaluations: u64 = 0;
-    let full_state = model.configuration().as_slice();
 
-    for (state, probability) in model.distribution(pi)? {
+    for (state, probability) in dist {
         if state != full_state {
             degraded_evaluations += 1;
         }
-        let outcomes = waiting_times(load, registry, &state)?;
-        let down = outcomes.iter().any(|o| matches!(o, WaitingOutcome::Down));
-        let saturated = !down
-            && outcomes
-                .iter()
-                .any(|o| matches!(o, WaitingOutcome::Saturated { .. }));
-        if down {
+        let evaluation = eval(&state)?;
+        if evaluation.down {
             probability_down += probability;
-        } else if saturated {
+        } else if evaluation.saturated {
             probability_saturated += probability;
         } else {
             probability_serving += probability;
@@ -218,9 +293,10 @@ pub fn evaluate_with_model(
         details.push(StateDetail {
             state,
             probability,
-            outcomes,
+            outcomes: evaluation.outcomes.clone(),
         });
     }
+    obs_span.record("states", details.len() as u64);
 
     let mut expected_waiting = vec![0.0; k];
     match policy {

@@ -136,9 +136,7 @@ fn arrival_rate_growth_never_cheapens_the_recommendation() {
     let mut tool = ConfigurationTool::new(paper_section52_registry());
     tool.add_workflow(ep_workflow(), 1.0).unwrap();
     let goals = Goals::new(0.05, 0.9999).unwrap();
-    let opts = SearchOptions {
-        max_total_servers: 128,
-    };
+    let opts = SearchOptions::builder().max_total_servers(128).build();
     let mut last_cost = 0;
     for xi in [1.0, 10.0, 40.0, 80.0, 160.0] {
         tool.set_arrival_rate("EP", xi);

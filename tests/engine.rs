@@ -1,0 +1,116 @@
+//! Integration tests for the assessment engine's determinism contract:
+//! every search result must be bit-identical to the serial free-function
+//! path for any `jobs` value, on both example workloads.
+
+use wfms::config::{branch_and_bound_search, exhaustive_search, greedy_search};
+use wfms::statechart::paper_section52_registry;
+use wfms::workloads::{enterprise_mix, enterprise_registry, ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
+use wfms::{ConfigurationTool, Goals, SearchOptions};
+
+/// The two example workloads as ready-to-search tools.
+fn scenarios() -> Vec<(&'static str, ConfigurationTool, Goals)> {
+    let mut ep = ConfigurationTool::new(paper_section52_registry());
+    ep.add_workflow(ep_workflow(), EP_DEFAULT_ARRIVAL_RATE)
+        .unwrap();
+    let mut enterprise = ConfigurationTool::new(enterprise_registry());
+    for (spec, rate) in enterprise_mix() {
+        enterprise.add_workflow(spec, rate).unwrap();
+    }
+    vec![
+        ("ep", ep, Goals::new(0.05, 0.9999).unwrap()),
+        ("enterprise", enterprise, Goals::new(0.01, 0.9999).unwrap()),
+    ]
+}
+
+fn options(jobs: usize) -> SearchOptions {
+    SearchOptions::builder()
+        .max_total_servers(64)
+        .jobs(jobs)
+        .build()
+}
+
+#[test]
+fn parallel_searches_are_bit_identical_to_serial() {
+    for (name, tool, goals) in scenarios() {
+        let serial = tool.engine(&goals, options(1)).unwrap();
+        let parallel = tool.engine(&goals, options(8)).unwrap();
+        for (method, a, b) in [
+            (
+                "greedy",
+                serial.greedy().unwrap(),
+                parallel.greedy().unwrap(),
+            ),
+            (
+                "exhaustive",
+                serial.exhaustive().unwrap(),
+                parallel.exhaustive().unwrap(),
+            ),
+            (
+                "branch-and-bound",
+                serial.branch_and_bound().unwrap(),
+                parallel.branch_and_bound().unwrap(),
+            ),
+        ] {
+            assert_eq!(
+                a.assessment, b.assessment,
+                "{name}/{method}: winner diverges between jobs=1 and jobs=8"
+            );
+            assert_eq!(
+                a.trace, b.trace,
+                "{name}/{method}: trace diverges between jobs=1 and jobs=8"
+            );
+            assert_eq!(
+                a.evaluations, b.evaluations,
+                "{name}/{method}: evaluation count diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_searches_match_deprecated_free_functions() {
+    for (name, tool, goals) in scenarios() {
+        let registry = tool.registry().clone();
+        let load = tool.system_load().unwrap();
+        let opts = options(1);
+        let engine = tool.engine(&goals, opts).unwrap();
+        let free_greedy = greedy_search(&registry, &load, &goals, &opts).unwrap();
+        assert_eq!(
+            engine.greedy().unwrap().assessment,
+            free_greedy.assessment,
+            "{name}: engine greedy diverges from free function"
+        );
+        let free_bnb = branch_and_bound_search(&registry, &load, &goals, &opts).unwrap();
+        assert_eq!(
+            engine.branch_and_bound().unwrap().assessment,
+            free_bnb.assessment,
+            "{name}: engine B&B diverges from free function"
+        );
+        if name == "ep" {
+            let free_opt = exhaustive_search(&registry, &load, &goals, &opts).unwrap();
+            assert_eq!(
+                engine.exhaustive().unwrap().assessment,
+                free_opt.assessment,
+                "{name}: engine exhaustive diverges from free function"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_engine_replays_searches_from_its_caches() {
+    let (_, tool, goals) = scenarios().remove(0);
+    let engine = tool.engine(&goals, options(2)).unwrap();
+    let cold = engine.greedy().unwrap();
+    let after_cold = engine.cache_stats();
+    assert!(after_cold.misses > 0, "cold run must populate the caches");
+    let warm = engine.greedy().unwrap();
+    let after_warm = engine.cache_stats();
+    assert_eq!(cold.assessment, warm.assessment);
+    assert_eq!(cold.trace, warm.trace);
+    assert_eq!(
+        after_cold.misses, after_warm.misses,
+        "warm greedy must not compute anything new"
+    );
+    assert!(after_warm.hits > after_cold.hits);
+}

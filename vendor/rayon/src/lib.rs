@@ -1,0 +1,383 @@
+//! Offline stand-in for the `rayon` data-parallelism crate.
+//!
+//! Implements exactly the API surface this workspace uses:
+//!
+//! - [`prelude`] with `par_iter()` / `into_par_iter()` on slices,
+//!   vectors, and `Range<usize>`, plus `.map(...).collect()` into
+//!   `Vec<R>` or `Result<Vec<T>, E>`;
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`] with the same
+//!   `num_threads(0)`-means-automatic convention as real rayon, and
+//!   [`current_num_threads`] honouring `RAYON_NUM_THREADS`.
+//!
+//! Unlike real rayon (work-stealing deque), this stand-in distributes
+//! items to scoped worker threads through a shared queue and then
+//! reassembles results **in input order**, so `collect()` is always
+//! deterministic. When only one thread is available (or the pool is
+//! sized to one), the map runs inline on the calling thread. Collecting
+//! into `Result<Vec<T>, E>` evaluates every item and returns the
+//! **first** error in input order — a deterministic refinement of
+//! rayon's "some error" contract.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Pool size installed by [`ThreadPool::install`] for the duration
+    /// of the closure, mirroring rayon's implicit-pool behaviour.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel operations use on this thread: the
+/// installed pool's size if inside [`ThreadPool::install`], else
+/// `RAYON_NUM_THREADS` when set to a positive integer, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_THREADS.with(Cell::get) {
+        return n;
+    }
+    default_num_threads()
+}
+
+fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+/// Error building a [`ThreadPool`]. The stand-in builder cannot
+/// actually fail; the type exists for signature parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with automatic thread-count selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool size; `0` selects automatically (environment, then
+    /// available parallelism), as in real rayon.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Infallible in the stand-in.
+    ///
+    /// # Errors
+    /// Never fails; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A sized pool. The stand-in keeps no persistent workers: `install`
+/// records the size thread-locally and parallel operations spawn scoped
+/// threads up to that size.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's size governing nested parallel
+    /// operations on the calling thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        // Restore on unwind too, so a panicking closure does not leak
+        // the installed size into unrelated work on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------------
+
+/// Order-preserving parallel map over owned items.
+fn run_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("queue poisoned").next();
+                        match next {
+                            Some((idx, item)) => local.push((idx, f(item))),
+                            None => break,
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (idx, value) in worker.join().expect("parallel worker panicked") {
+                slots[idx] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced"))
+        .collect()
+}
+
+/// A parallel iterator over owned items (already materialised).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f`; the result preserves input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on each item (order of execution unspecified across
+    /// threads; all items complete before returning).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _: Vec<()> = run_ordered(self.items, f);
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting a `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F> ParMap<T, F>
+where
+    T: Send,
+{
+    /// Evaluates the map in parallel and collects in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered(run_ordered(self.items, self.f))
+    }
+}
+
+/// Collection from an order-preserving parallel map.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered(results: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(results: Vec<R>) -> Self {
+        results
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    /// Returns the first error in **input order**, or all values.
+    fn from_ordered(results: Vec<Result<T, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion: `par_iter()` yielding `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..100).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows_items() {
+        let items = vec![1.5_f64, 2.5, 3.5];
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out: Vec<f64> = pool.install(|| items.par_iter().map(|x| x + 1.0).collect());
+        assert_eq!(out, vec![2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn result_collect_returns_first_error_in_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let out: Result<Vec<usize>, String> = pool.install(|| {
+            (0..10)
+                .into_par_iter()
+                .map(|i| {
+                    if i % 4 == 3 {
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                })
+                .collect()
+        });
+        assert_eq!(out, Err("bad 3".to_string()));
+
+        let ok: Result<Vec<usize>, String> =
+            pool.install(|| (0..5).into_par_iter().map(Ok).collect());
+        assert_eq!(ok, Ok(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn install_scopes_thread_count_and_restores() {
+        let before = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 7);
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..4)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn builder_zero_threads_selects_automatically() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

@@ -15,6 +15,7 @@ pub mod blocks;
 pub mod error;
 pub mod model;
 pub mod phase;
+pub mod product_form;
 pub mod sparse_model;
 pub mod state_space;
 
@@ -25,5 +26,6 @@ pub use model::{
     MINUTES_PER_YEAR,
 };
 pub use phase::{single_repairman_type_unavailability, system_unavailability_with_repair_phases};
+pub use product_form::{select_backend, AvailBackend, BestFirstStates, ProductFormModel};
 pub use sparse_model::{SparseAvailabilityModel, SPARSE_STATE_CAP};
 pub use state_space::StateSpace;

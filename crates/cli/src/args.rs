@@ -134,7 +134,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "availability",
-        options: &["registry", "config"],
+        options: &["registry", "config", "avail-backend"],
         flags: &["json"],
     },
     CommandSpec {
@@ -145,6 +145,8 @@ pub const COMMANDS: &[CommandSpec] = &[
             "config",
             "max-wait",
             "min-availability",
+            "epsilon",
+            "avail-backend",
         ],
         flags: &["json"],
     },
@@ -158,6 +160,8 @@ pub const COMMANDS: &[CommandSpec] = &[
             "budget",
             "seed",
             "jobs",
+            "epsilon",
+            "avail-backend",
         ],
         flags: &["optimal", "annealing", "json"],
     },
@@ -178,6 +182,8 @@ pub const COMMANDS: &[CommandSpec] = &[
             "min-availability",
             "runs",
             "jobs",
+            "epsilon",
+            "avail-backend",
         ],
         flags: &["check", "json"],
     },

@@ -9,9 +9,14 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use wfms_core::avail::{
+    AvailBackend, ProductFormModel, RepairPolicy, SparseAvailabilityModel, MINUTES_PER_YEAR,
+};
 use wfms_core::config::{
     sensitivity, AnnealingOptions, Goals, SearchOptions, SearchResult, SensitivityOptions,
+    TruncationReport,
 };
+use wfms_core::markov::linalg::GaussSeidelOptions;
 use wfms_core::sim::{run as simulate, SimOptions};
 use wfms_core::statechart::{chart_to_dot, map_chart, mapping_to_dot};
 use wfms_core::statechart::{paper_section52_registry, validate_spec};
@@ -28,15 +33,17 @@ pub const REQUIRED_STAGES: &[&str] = &[
     "uniformize",
     "first-passage",
     "avail-steady-state",
+    "avail-product-form",
     "mg1-waiting",
     "performability",
     "assess",
 ];
 
 /// Counters `profile --check` requires to be nonzero: the engine-backed
-/// pass must actually replay from its caches, or the memoizing path is
-/// silently broken.
-pub const REQUIRED_COUNTERS: &[&str] = &["engine.cache-hit"];
+/// pass must actually replay from its caches (or the memoizing path is
+/// silently broken), and the ε-truncated pass must actually prune states
+/// (or the product-form fast path is silently broken).
+pub const REQUIRED_COUNTERS: &[&str] = &["engine.cache-hit", "performability.pruned-states"];
 
 /// One workflow type plus its arrival rate, as stored in a workload file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -109,6 +116,47 @@ fn parse_config(
     Ok(Configuration::new(registry, replicas).map_err(wfms_core::ConfigError::Arch)?)
 }
 
+/// `--avail-backend auto|dense|sparse|product` (default `auto`).
+fn parse_backend(args: &ParsedArgs) -> Result<AvailBackend, CliError> {
+    match args.get("avail-backend") {
+        None => Ok(AvailBackend::default()),
+        Some(raw) => raw.parse().map_err(|reason| {
+            CliError::Arg(ArgError::InvalidValue {
+                option: "avail-backend".into(),
+                value: raw.into(),
+                reason,
+            })
+        }),
+    }
+}
+
+/// Evaluation options shared by `assess`, `recommend`, and `profile`:
+/// the truncation ε and the availability backend.
+fn parse_search_options(args: &ParsedArgs) -> Result<SearchOptions, CliError> {
+    let mut builder = SearchOptions::builder().avail_backend(parse_backend(args)?);
+    if let Some(epsilon) = args.get_f64("epsilon")? {
+        builder = builder.epsilon(epsilon);
+    }
+    Ok(builder.build())
+}
+
+/// Renders the ε-truncation accounting of an assessment, when the
+/// product-form path actually skipped states.
+fn write_truncation(out: &mut impl Write, t: &TruncationReport) -> Result<(), CliError> {
+    if t.states_skipped == 0 {
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "  truncation (\u{3b5} = {:e}): covered mass {:.9}, skipped {} state(s), max wait error \u{2264} {:.3e} min",
+        t.epsilon,
+        t.covered_mass,
+        t.states_skipped,
+        t.max_error_bound()
+    )?;
+    Ok(())
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 wfms — performability-driven configuration of distributed WFMS
@@ -129,24 +177,34 @@ COMMANDS
                exits non-zero when errors are present
   analyze      --registry <file> --workload <file> [--json]
                per-workflow turnaround, request counts, percentiles
-  availability --registry <file> --config <y1,y2,..> [--json]
+  availability --registry <file> --config <y1,y2,..>
+               [--avail-backend auto|dense|sparse|product] [--json]
   assess       --registry <file> --workload <file> --config <y1,..>
-               [--max-wait <min>] [--min-availability <a>] [--json]
+               [--max-wait <min>] [--min-availability <a>]
+               [--epsilon <e>] [--avail-backend auto|dense|sparse|product]
+               [--json]
+               --epsilon > 0 enables mass-pruned evaluation on the
+               product-form backend: states are consumed in descending
+               probability until mass >= 1-e; the report carries the
+               covered mass and a sound waiting-time error bound
   recommend    --registry <file> --workload <file>
                [--max-wait <min>] [--min-availability <a>]
-               [--budget <servers>] [--jobs <n>]
+               [--budget <servers>] [--jobs <n>] [--epsilon <e>]
+               [--avail-backend auto|dense|sparse|product]
                [--optimal | --annealing] [--json]
   simulate     --registry <file> --workload <file> --config <y1,..>
                [--duration <min>] [--warmup <min>] [--seed <n>]
                [--failures] [--json]
   profile      --registry <file> --workload <file> [--config <y1,..>]
                [--max-wait <min>] [--min-availability <a>] [--runs <n>]
-               [--jobs <n>] [--check] [--json]
+               [--jobs <n>] [--epsilon <e>] [--check] [--json]
                run the analysis stack N times (including an
-               engine-backed greedy search) and report per-stage wall
-               time and solver iteration counts; --check fails when a
-               required stage records no spans or a required counter
-               (engine.cache-hit) stays zero
+               engine-backed greedy search and an e-truncated
+               product-form pass, default epsilon 1e-4) and report
+               per-stage wall time and solver iteration counts; --check
+               fails when a required stage (incl. avail-product-form)
+               records no spans or a required counter (engine.cache-hit,
+               performability.pruned-states) stays zero
   sensitivity  --registry <file> --workload <file> --config <y1,..>
                [--step <rel>] [--json]
                log-log elasticities of the goal metrics per parameter
@@ -401,6 +459,7 @@ fn cmd_analyze(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
 #[derive(Debug, Serialize)]
 struct AvailabilityReport {
     configuration: Vec<usize>,
+    backend: String,
     availability: f64,
     downtime_minutes_per_year: f64,
 }
@@ -408,12 +467,33 @@ struct AvailabilityReport {
 fn cmd_availability(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let registry = load_registry(args)?;
     let config = parse_config(args, &registry)?;
-    let tool = ConfigurationTool::new(registry);
-    let figures = tool.availability(&config)?;
+    let backend = parse_backend(args)?;
+    // Auto means the historical default here: the dense LU solve.
+    let availability = match backend {
+        AvailBackend::Auto | AvailBackend::Dense => {
+            ConfigurationTool::new(registry)
+                .availability(&config)?
+                .availability
+        }
+        AvailBackend::Sparse => {
+            let model = SparseAvailabilityModel::new(&registry, &config, RepairPolicy::Independent)
+                .map_err(wfms_core::ConfigError::Avail)?;
+            let pi = model
+                .steady_state(GaussSeidelOptions::default())
+                .map_err(wfms_core::ConfigError::Avail)?;
+            model
+                .availability(&pi)
+                .map_err(wfms_core::ConfigError::Avail)?
+        }
+        AvailBackend::Product => ProductFormModel::new(&registry, &config)
+            .map_err(wfms_core::ConfigError::Avail)?
+            .availability(),
+    };
     let report = AvailabilityReport {
         configuration: config.as_slice().to_vec(),
-        availability: figures.availability,
-        downtime_minutes_per_year: figures.downtime_minutes_per_year,
+        backend: backend.to_string(),
+        availability,
+        downtime_minutes_per_year: (1.0 - availability) * MINUTES_PER_YEAR,
     };
     if args.flag("json") {
         writeln!(
@@ -424,8 +504,8 @@ fn cmd_availability(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliEr
     } else {
         writeln!(
             out,
-            "{config}: availability {:.8} ({:.2} min downtime/year)",
-            report.availability, report.downtime_minutes_per_year
+            "{config}: availability {:.8} ({:.2} min downtime/year, {} backend)",
+            report.availability, report.downtime_minutes_per_year, report.backend
         )?;
     }
     Ok(())
@@ -435,7 +515,12 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let tool = load_tool(args)?;
     let config = parse_config(args, tool.registry())?;
     let goals = parse_goals(args)?;
-    let assessment = tool.assess(&config, &goals)?;
+    // Engine-backed assessment: with default options this is bit-identical
+    // to the free function, and it is the only path that understands
+    // `--epsilon` / `--avail-backend`.
+    let assessment = tool
+        .engine(&goals, parse_search_options(args)?)?
+        .assess(&config)?;
     // Turnaround distributions per workflow type (the transient analysis
     // of Sec. 4.1, extended to percentiles).
     let mut turnarounds = Vec::new();
@@ -477,6 +562,9 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
             "  turnaround {name:?}: mean {mean:.1} min, p90 {p90:.1} min"
         )?;
     }
+    if let Some(t) = &assessment.truncation {
+        write_truncation(out, t)?;
+    }
     writeln!(out, "  goals met: {}", assessment.meets_goals())?;
     Ok(())
 }
@@ -486,10 +574,14 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     let goals = parse_goals(args)?;
     let budget = args.get_u64("budget")?.unwrap_or(64) as usize;
     let jobs = args.get_u64("jobs")?.unwrap_or(1) as usize;
-    let opts = SearchOptions::builder()
+    let mut builder = SearchOptions::builder()
         .max_total_servers(budget)
         .jobs(jobs)
-        .build();
+        .avail_backend(parse_backend(args)?);
+    if let Some(epsilon) = args.get_f64("epsilon")? {
+        builder = builder.epsilon(epsilon);
+    }
+    let opts = builder.build();
     let (method, result): (&str, SearchResult) = if args.flag("optimal") {
         ("exhaustive", tool.recommend_optimal(&goals, &opts)?)
     } else if args.flag("annealing") {
@@ -527,6 +619,9 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     )?;
     if let Some(w) = a.max_expected_waiting {
         writeln!(out, "  worst expected wait {:.2} s", w * 60.0)?;
+    }
+    if let Some(t) = &a.truncation {
+        write_truncation(out, t)?;
     }
     Ok(())
 }
@@ -609,6 +704,7 @@ fn profile_once(
     config: &Configuration,
     goals: &Goals,
     jobs: usize,
+    epsilon: f64,
 ) -> Result<(), CliError> {
     for (spec, _) in tool.workloads() {
         let analysis = tool.workflow_analysis(&spec.name)?;
@@ -631,6 +727,16 @@ fn profile_once(
     // Re-assess the profiled configuration: replays from the
     // availability-solution and degraded-state caches.
     engine.assess(config)?;
+    // ε-truncated product-form pass: exercises the fast availability
+    // backend so `--check` can gate on the `avail-product-form` span and
+    // the `performability.pruned-states` counter. With the default
+    // ε = 1e-4 the all-down tail always carries less mass than ε, so at
+    // least one state is pruned on any non-trivial configuration.
+    let truncated = tool.engine(
+        goals,
+        SearchOptions::builder().jobs(jobs).epsilon(epsilon).build(),
+    )?;
+    truncated.assess(config)?;
     Ok(())
 }
 
@@ -657,6 +763,7 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
     };
 
     let jobs = args.get_u64("jobs")?.unwrap_or(1) as usize;
+    let epsilon = args.get_f64("epsilon")?.unwrap_or(1e-4);
 
     let recorder = wfms_obs::global();
     recorder.reset();
@@ -664,7 +771,7 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
     let started = std::time::Instant::now();
     let mut outcome = Ok(());
     for _ in 0..runs {
-        outcome = profile_once(&tool, &config, &goals, jobs);
+        outcome = profile_once(&tool, &config, &goals, jobs, epsilon);
         if outcome.is_err() {
             break;
         }

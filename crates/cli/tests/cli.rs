@@ -150,6 +150,155 @@ fn assess_reports_goal_outcome() {
 }
 
 #[test]
+fn availability_backends_agree() {
+    let dir = scenario("availability-backends");
+    let mut values = Vec::new();
+    for backend in ["auto", "dense", "sparse", "product"] {
+        let out = invoke(&[
+            "availability",
+            "--registry",
+            &dir.path("registry.json"),
+            "--config",
+            "2,2,3",
+            "--avail-backend",
+            backend,
+            "--json",
+        ])
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(parsed["backend"].as_str().unwrap(), backend);
+        values.push(parsed["availability"].as_f64().unwrap());
+    }
+    for v in &values[1..] {
+        assert!((v - values[0]).abs() < 1e-9, "{values:?}");
+    }
+    let err = invoke(&[
+        "availability",
+        "--registry",
+        &dir.path("registry.json"),
+        "--config",
+        "2,2,3",
+        "--avail-backend",
+        "quantum",
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("avail-backend"), "{err}");
+}
+
+#[test]
+fn assess_with_epsilon_reports_truncation() {
+    let dir = scenario("assess-epsilon");
+    let out = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "3,3,3",
+        "--max-wait",
+        "0.05",
+        "--epsilon",
+        "1e-4",
+    ])
+    .unwrap();
+    assert!(out.contains("truncation"), "{out}");
+    assert!(out.contains("covered mass"), "{out}");
+    assert!(out.contains("max wait error"), "{out}");
+
+    // JSON mode carries the full report.
+    let out = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "3,3,3",
+        "--max-wait",
+        "0.05",
+        "--epsilon",
+        "1e-4",
+        "--json",
+    ])
+    .unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    let t = &parsed["truncation"];
+    assert!(t["covered_mass"].as_f64().unwrap() >= 1.0 - 1e-4);
+    assert!(t["states_skipped"].as_u64().unwrap() > 0);
+
+    // Without ε the dense path reports no truncation.
+    let out = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "3,3,3",
+        "--max-wait",
+        "0.05",
+        "--json",
+    ])
+    .unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert!(parsed["truncation"].is_null());
+
+    let err = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "3,3,3",
+        "--max-wait",
+        "0.05",
+        "--epsilon",
+        "1.5",
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("epsilon"), "{err}");
+}
+
+#[test]
+fn recommend_with_epsilon_matches_default_recommendation() {
+    let dir = scenario("recommend-epsilon");
+    let exact = invoke(&[
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--max-wait",
+        "0.05",
+        "--min-availability",
+        "0.9999",
+        "--json",
+    ])
+    .unwrap();
+    let truncated = invoke(&[
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--max-wait",
+        "0.05",
+        "--min-availability",
+        "0.9999",
+        "--epsilon",
+        "1e-9",
+        "--json",
+    ])
+    .unwrap();
+    let exact: serde_json::Value = serde_json::from_str(&exact).expect("valid JSON");
+    let truncated: serde_json::Value = serde_json::from_str(&truncated).expect("valid JSON");
+    // A tight ε must not change which configuration wins.
+    assert_eq!(exact["replicas"], truncated["replicas"]);
+}
+
+#[test]
 fn recommend_all_methods_agree_on_the_ep_scenario() {
     let dir = scenario("recommend");
     let base = [

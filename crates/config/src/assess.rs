@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use wfms_perf::SystemLoad;
+use wfms_performability::TruncationReport;
 use wfms_statechart::{Configuration, ServerTypeRegistry};
 
 use crate::engine::AssessmentEngine;
@@ -42,6 +43,13 @@ pub struct Assessment {
     /// Probability that some server type is saturated while the system is
     /// nominally up.
     pub probability_saturated: f64,
+    /// Accounting for ε-truncated evaluation, present **iff** the
+    /// performability fold ran on the product-form backend (see
+    /// [`SearchOptions::epsilon`](crate::SearchOptions)). `None` on the
+    /// exhaustive dense/sparse path. With `ε = 0` the report is still
+    /// attached but records zero skipped states, zero skipped mass, and
+    /// all-zero error bounds.
+    pub truncation: Option<TruncationReport>,
     /// Which goals the configuration meets.
     pub goals: GoalCheck,
 }

@@ -52,11 +52,16 @@ use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 
-use wfms_avail::{AvailabilityModel, BirthDeathBlock, RepairPolicy, StateSpace, MINUTES_PER_YEAR};
+use wfms_avail::{
+    select_backend, AvailBackend, AvailabilityModel, BirthDeathBlock, ProductFormModel,
+    RepairPolicy, SparseAvailabilityModel, StateSpace, MINUTES_PER_YEAR,
+};
 use wfms_markov::ctmc::SteadyStateMethod;
+use wfms_markov::linalg::GaussSeidelOptions;
 use wfms_perf::SystemLoad;
 use wfms_performability::{
-    evaluate_state, fold_states, DegradedPolicy, PerformabilityError, StateEvaluation,
+    evaluate_state, fold_states, fold_states_truncated, waiting_time_caps, DegradedPolicy,
+    PerformabilityError, StateEvaluation, TruncationOptions,
 };
 use wfms_statechart::{Configuration, ServerTypeId, ServerTypeRegistry};
 
@@ -77,11 +82,36 @@ use crate::search::{
 /// identical to the serial early-exit path.
 const CANDIDATE_BATCH: usize = 32;
 
-/// A cached availability solve for one candidate `Y`.
+/// Gauss–Seidel settings of the engine's sparse backend: tight enough
+/// that the stationary vector is interchangeable with a direct solve.
+const ENGINE_GS_TOLERANCE: f64 = 1e-12;
+const ENGINE_GS_MAX_ITERATIONS: usize = 100_000;
+
+/// A cached availability solve for one candidate `Y`, shaped by the
+/// backend that produced it.
 #[derive(Debug)]
-struct AvailabilitySolution {
-    pi: Vec<f64>,
-    availability: f64,
+enum AvailabilitySolution {
+    /// Dense LU or sparse Gauss–Seidel: the materialized stationary
+    /// vector in encoding order.
+    Explicit { pi: Vec<f64>, availability: f64 },
+    /// Product form: per-type marginals only — `π` is never
+    /// materialized (that is the `O(Σ Y_x)` point of the backend);
+    /// states are enumerated lazily in descending `π` order instead.
+    Product(ProductFormModel),
+}
+
+/// Key of the availability-solution cache: the candidate `Y` plus the
+/// backend that solved it, so e.g. an exact dense reference can coexist
+/// with the product form for the same candidate.
+type SolutionKey = (Vec<usize>, AvailBackend);
+
+impl AvailabilitySolution {
+    fn availability(&self) -> f64 {
+        match self {
+            AvailabilitySolution::Explicit { availability, .. } => *availability,
+            AvailabilitySolution::Product(model) => model.availability(),
+        }
+    }
 }
 
 /// Entry counts and hit/miss totals of the engine's cache layers.
@@ -114,7 +144,7 @@ pub struct AssessmentEngine {
     options: SearchOptions,
     pool: rayon::ThreadPool,
     states: Mutex<HashMap<Vec<usize>, Arc<StateEvaluation>>>,
-    solutions: Mutex<HashMap<Vec<usize>, Arc<AvailabilitySolution>>>,
+    solutions: Mutex<HashMap<SolutionKey, Arc<AvailabilitySolution>>>,
     blocks: Mutex<HashMap<(usize, usize), Arc<BirthDeathBlock>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -129,6 +159,8 @@ impl AssessmentEngine {
     /// # Errors
     /// * [`ConfigError::NoGoals`] / [`ConfigError::InvalidGoal`] on bad
     ///   goals.
+    /// * [`ConfigError::InvalidOption`] on a truncation `ε` outside
+    ///   `[0, 1)`.
     /// * [`ConfigError::Preflight`] when static analysis finds errors.
     pub fn new(
         registry: &ServerTypeRegistry,
@@ -137,6 +169,12 @@ impl AssessmentEngine {
         options: SearchOptions,
     ) -> Result<Self, ConfigError> {
         goals.validate()?;
+        if !(options.epsilon.is_finite() && (0.0..1.0).contains(&options.epsilon)) {
+            return Err(ConfigError::InvalidOption {
+                what: "truncation epsilon",
+                value: options.epsilon,
+            });
+        }
         run_preflight(registry, load, None)?;
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(options.jobs)
@@ -224,15 +262,34 @@ impl AssessmentEngine {
         Ok(block)
     }
 
-    /// The availability steady state for `config`, from the solution
-    /// cache; on a miss, assembles the CTMC from cached per-type blocks
-    /// and LU-solves it — the same float pipeline as
-    /// [`AvailabilityModel::new`], so the vector is bit-identical.
+    /// Resolves the engine's configured backend for one candidate: a
+    /// pure function of the options and the candidate's state-space
+    /// size, so the same candidate always lands on the same cache key.
+    /// The engine's chains use independent repair throughout (see
+    /// [`AssessmentEngine::block`]).
+    fn resolved_backend(&self, config: &Configuration) -> AvailBackend {
+        select_backend(
+            self.options.avail_backend,
+            RepairPolicy::Independent,
+            StateSpace::new(config).len(),
+            self.options.epsilon,
+        )
+    }
+
+    /// The availability solve for `config` under the resolved `backend`,
+    /// from the solution cache. On a miss, assembles the chosen model
+    /// from cached per-type blocks: dense LU is the same float pipeline
+    /// as [`AvailabilityModel::new`] (bit-identical vector); sparse runs
+    /// tight Gauss–Seidel sweeps; product computes the closed-form
+    /// marginals only. The cache key carries the backend, so solutions
+    /// produced by different backends never alias.
     fn availability_solution(
         &self,
         config: &Configuration,
+        backend: AvailBackend,
     ) -> Result<Arc<AvailabilitySolution>, ConfigError> {
-        let key = config.as_slice().to_vec();
+        debug_assert_ne!(backend, AvailBackend::Auto, "resolve before solving");
+        let key = (config.as_slice().to_vec(), backend);
         if let Some(hit) = self.solutions.lock().expect("solution cache").get(&key) {
             self.record_hits(1);
             return Ok(hit.clone());
@@ -242,10 +299,33 @@ impl AssessmentEngine {
         for (j, &y) in config.as_slice().iter().enumerate() {
             blocks.push(self.block(j, y)?);
         }
-        let model = AvailabilityModel::from_blocks(config, &blocks, RepairPolicy::Independent)?;
-        let pi = model.steady_state(SteadyStateMethod::Lu)?;
-        let availability = model.availability(&pi)?;
-        let solution = Arc::new(AvailabilitySolution { pi, availability });
+        let solution = match backend {
+            AvailBackend::Auto | AvailBackend::Dense => {
+                let model =
+                    AvailabilityModel::from_blocks(config, &blocks, RepairPolicy::Independent)?;
+                let pi = model.steady_state(SteadyStateMethod::Lu)?;
+                let availability = model.availability(&pi)?;
+                AvailabilitySolution::Explicit { pi, availability }
+            }
+            AvailBackend::Sparse => {
+                let model = SparseAvailabilityModel::from_blocks(
+                    config,
+                    &blocks,
+                    RepairPolicy::Independent,
+                )?;
+                let pi = model.steady_state(GaussSeidelOptions {
+                    tolerance: ENGINE_GS_TOLERANCE,
+                    max_iterations: ENGINE_GS_MAX_ITERATIONS,
+                    relaxation: 1.0,
+                })?;
+                let availability = model.availability(&pi)?;
+                AvailabilitySolution::Explicit { pi, availability }
+            }
+            AvailBackend::Product => {
+                AvailabilitySolution::Product(ProductFormModel::from_blocks(config, &blocks)?)
+            }
+        };
+        let solution = Arc::new(solution);
         let mut cache = self.solutions.lock().expect("solution cache");
         if cache.len() < self.options.solution_cache_capacity {
             cache.insert(key, solution.clone());
@@ -307,6 +387,31 @@ impl AssessmentEngine {
         evaluate_state(&self.load, &self.registry, state).map(Arc::new)
     }
 
+    /// As [`AssessmentEngine::state_evaluation`], but inserting misses
+    /// into the cache (capacity permitting) and counting hits/misses —
+    /// the kernel of the ε-truncated path, which deliberately does *not*
+    /// pre-populate the whole state space ([`populate_state_cache`]
+    /// would defeat the pruning) yet still shares every evaluated state
+    /// with all other candidates.
+    ///
+    /// [`populate_state_cache`]: AssessmentEngine::populate_state_cache
+    fn state_evaluation_memo(
+        &self,
+        state: &[usize],
+    ) -> Result<Arc<StateEvaluation>, PerformabilityError> {
+        if let Some(hit) = self.states.lock().expect("state cache").get(state) {
+            self.record_hits(1);
+            return Ok(hit.clone());
+        }
+        self.record_misses(1);
+        let evaluation = Arc::new(evaluate_state(&self.load, &self.registry, state)?);
+        let mut cache = self.states.lock().expect("state cache");
+        if cache.len() < self.options.state_cache_capacity {
+            cache.insert(state.to_vec(), evaluation.clone());
+        }
+        Ok(evaluation)
+    }
+
     // -- assessment -------------------------------------------------------
 
     /// Assesses one candidate configuration against the engine's goals,
@@ -320,20 +425,47 @@ impl AssessmentEngine {
         run_preflight(&self.registry, &self.load, Some(config.as_slice()))?;
         let mut obs_span = wfms_obs::span!("assess");
         obs_span.record("candidate", format!("{config}"));
-        let solution = self.availability_solution(config)?;
-        let availability = solution.availability;
+        let backend = self.resolved_backend(config);
+        let solution = self.availability_solution(config, backend)?;
+        let availability = solution.availability();
         let downtime_minutes_per_year = (1.0 - availability) * MINUTES_PER_YEAR;
 
-        let space = StateSpace::new(config);
-        let perf = match self.populate_state_cache(&space).and_then(|()| {
-            fold_states(
-                space.iter().map(|(idx, x)| (x, solution.pi[idx])),
-                self.registry.len(),
-                config.as_slice(),
-                DegradedPolicy::Conditional,
-                |state| self.state_evaluation(state),
-            )
-        }) {
+        let perf = match &*solution {
+            AvailabilitySolution::Explicit { pi, .. } => {
+                // Exhaustive fold over the encoding order: bit-identical
+                // to the historical (pre-backend) path when dense.
+                let space = StateSpace::new(config);
+                self.populate_state_cache(&space).and_then(|()| {
+                    fold_states(
+                        space.iter().map(|(idx, x)| (x, pi[idx])),
+                        self.registry.len(),
+                        config.as_slice(),
+                        DegradedPolicy::Conditional,
+                        |state| self.state_evaluation(state),
+                    )
+                })
+            }
+            AvailabilitySolution::Product(model) => {
+                // ε-truncated fold over the descending-π enumeration;
+                // only the visited states are ever evaluated (lazily,
+                // through the shared memo).
+                waiting_time_caps(&self.load, &self.registry, config.as_slice()).and_then(|caps| {
+                    fold_states_truncated(
+                        model.enumerate_descending(),
+                        self.registry.len(),
+                        config.as_slice(),
+                        DegradedPolicy::Conditional,
+                        &TruncationOptions {
+                            epsilon: self.options.epsilon,
+                            total_states: model.state_space().len(),
+                            waiting_caps: &caps,
+                        },
+                        |state| self.state_evaluation_memo(state),
+                    )
+                })
+            }
+        };
+        let perf = match perf {
             Ok(report) => Some(report),
             Err(PerformabilityError::NoServingStates) => None,
             Err(e) => return Err(e.into()),
@@ -346,6 +478,7 @@ impl AssessmentEngine {
             ),
             None => (None, None, 1.0),
         };
+        let truncation = perf.as_ref().and_then(|r| r.truncation.clone());
 
         let goals = &self.goals;
         let any_waiting_goal =
@@ -381,6 +514,7 @@ impl AssessmentEngine {
             expected_waiting,
             max_expected_waiting,
             probability_saturated,
+            truncation,
             goals: GoalCheck {
                 waiting_time_met,
                 availability_met,
@@ -710,6 +844,165 @@ mod tests {
         );
         assert_eq!(uncached.cache_stats().state_entries, 0);
         assert_eq!(uncached.cache_stats().solution_entries, 0);
+    }
+
+    #[test]
+    fn zero_epsilon_auto_is_bit_identical_to_default() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let default_engine =
+            AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+        let explicit_opts = SearchOptions::builder()
+            .epsilon(0.0)
+            .avail_backend(AvailBackend::Auto)
+            .build();
+        let explicit_engine = AssessmentEngine::new(&reg, &load, &goals, explicit_opts).unwrap();
+        for y in [vec![1, 1, 1], vec![2, 2, 2], vec![2, 1, 3]] {
+            let config = Configuration::new(&reg, y).unwrap();
+            assert_eq!(
+                default_engine.assess(&config).unwrap(),
+                explicit_engine.assess(&config).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn product_backend_with_tiny_epsilon_tracks_the_dense_answer() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let dense = AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+        let opts = SearchOptions::builder()
+            .epsilon(1e-9)
+            .avail_backend(AvailBackend::Product)
+            .build();
+        let product = AssessmentEngine::new(&reg, &load, &goals, opts).unwrap();
+        for y in [vec![2, 2, 2], vec![3, 2, 4]] {
+            let config = Configuration::new(&reg, y).unwrap();
+            let d = dense.assess(&config).unwrap();
+            let p = product.assess(&config).unwrap();
+            // Availability agrees to LU round-off; waiting times within the
+            // reported truncation bound plus solver slack.
+            assert!((d.availability - p.availability).abs() < 1e-12);
+            let t = p.truncation.expect("product path reports truncation");
+            assert!(t.covered_mass >= 1.0 - 1e-9);
+            let (dw, pw) = (d.expected_waiting.unwrap(), p.expected_waiting.unwrap());
+            for (x, (a, b)) in dw.iter().zip(&pw).enumerate() {
+                assert!(
+                    (a - b).abs() <= t.waiting_error_bounds[x] + 1e-9,
+                    "type {x}: dense {a} vs product {b}, bound {}",
+                    t.waiting_error_bounds[x]
+                );
+            }
+            assert!(d.truncation.is_none());
+        }
+    }
+
+    #[test]
+    fn product_backend_with_zero_epsilon_visits_every_state() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let opts = SearchOptions::builder()
+            .epsilon(0.0)
+            .avail_backend(AvailBackend::Product)
+            .build();
+        let engine = AssessmentEngine::new(&reg, &load, &goals, opts).unwrap();
+        let config = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        let a = engine.assess(&config).unwrap();
+        let t = a.truncation.expect("product path reports truncation");
+        assert_eq!(t.states_skipped, 0);
+        assert_eq!(t.skipped_mass, 0.0);
+        assert!(t.waiting_error_bounds.iter().all(|&b| b == 0.0));
+        // The conditional expectations match the dense fold to summation
+        // round-off (the state probabilities are float-identical; only the
+        // accumulation order differs between the two paths).
+        let dense = AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+        let d = dense.assess(&config).unwrap();
+        let (dw, pw) = (
+            d.expected_waiting.unwrap(),
+            a.expected_waiting.clone().unwrap(),
+        );
+        for (a, b) in dw.iter().zip(&pw) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_to_solver_tolerance() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let dense_opts = SearchOptions::builder()
+            .avail_backend(AvailBackend::Dense)
+            .build();
+        let sparse_opts = SearchOptions::builder()
+            .avail_backend(AvailBackend::Sparse)
+            .build();
+        let dense = AssessmentEngine::new(&reg, &load, &goals, dense_opts).unwrap();
+        let sparse = AssessmentEngine::new(&reg, &load, &goals, sparse_opts).unwrap();
+        let config = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        let d = dense.assess(&config).unwrap();
+        let s = sparse.assess(&config).unwrap();
+        assert!((d.availability - s.availability).abs() < 1e-9);
+        assert!((d.max_expected_waiting.unwrap() - s.max_expected_waiting.unwrap()).abs() < 1e-9);
+        assert!(s.truncation.is_none());
+    }
+
+    #[test]
+    fn product_backend_falls_back_to_sparse_for_single_repairman() {
+        // The engine always models independent repair, so the fallback is
+        // exercised through `select_backend` directly: an explicit Product
+        // request with a single-repairman chain resolves to Sparse.
+        use wfms_avail::{select_backend, RepairPolicy};
+        assert_eq!(
+            select_backend(
+                AvailBackend::Product,
+                RepairPolicy::SingleRepairmanPerType,
+                27,
+                1e-6
+            ),
+            AvailBackend::Sparse
+        );
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected_at_construction() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        for bad in [1.0, 1.5, -1e-9, f64::NAN, f64::INFINITY] {
+            let opts = SearchOptions::builder().epsilon(bad).build();
+            let err = AssessmentEngine::new(&reg, &load, &goals, opts).unwrap_err();
+            match err {
+                ConfigError::InvalidOption { what, .. } => {
+                    assert_eq!(what, "truncation epsilon");
+                }
+                other => panic!("expected InvalidOption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn product_backend_prunes_states_under_loose_epsilon() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.5, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let opts = SearchOptions::builder()
+            .epsilon(1e-4)
+            .avail_backend(AvailBackend::Auto)
+            .build();
+        let engine = AssessmentEngine::new(&reg, &load, &goals, opts).unwrap();
+        // Auto + independent repair + ε>0 resolves to the product backend.
+        let config = Configuration::new(&reg, vec![3, 3, 3]).unwrap();
+        let a = engine.assess(&config).unwrap();
+        let t = a.truncation.expect("auto resolves to product under ε>0");
+        assert!(t.states_skipped > 0, "loose ε must actually prune");
+        assert!(t.covered_mass >= 1.0 - 1e-4);
+        assert!(t.skipped_mass <= 1e-4 * 1.01);
+        // Fewer states evaluated than the full space holds.
+        assert!(engine.cache_stats().state_entries < 64);
     }
 
     proptest! {

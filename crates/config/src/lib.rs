@@ -39,3 +39,5 @@ pub use search::{
     minimum_stable_replicas, SearchOptions, SearchOptionsBuilder, SearchResult,
 };
 pub use sensitivity::{sensitivity, Parameter, SensitivityEntry, SensitivityOptions};
+pub use wfms_avail::AvailBackend;
+pub use wfms_performability::TruncationReport;

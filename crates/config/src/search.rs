@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use wfms_avail::AvailBackend;
 use wfms_perf::SystemLoad;
 use wfms_statechart::{ServerTypeId, ServerTypeRegistry};
 
@@ -53,6 +54,17 @@ pub struct SearchOptions {
     /// Maximum entries of the availability-solution cache (`Y → π`);
     /// `0` disables it.
     pub solution_cache_capacity: usize,
+    /// Mass-truncation tolerance of the performability fold: with
+    /// `ε > 0` (and a factorizing repair policy) assessments use the
+    /// product-form backend and evaluate states in descending `π` order
+    /// only until the covered mass reaches `1 − ε`, reporting a sound
+    /// bound on the waiting-time error. `0.0` (the default) keeps the
+    /// exhaustive fold — bit-identical to the historical path.
+    pub epsilon: f64,
+    /// Which availability solver evaluates each candidate's chain; see
+    /// [`AvailBackend`]. The default `Auto` resolves per candidate from
+    /// the policy, state-space size, and `epsilon`.
+    pub avail_backend: AvailBackend,
 }
 
 impl Default for SearchOptions {
@@ -62,6 +74,8 @@ impl Default for SearchOptions {
             jobs: 1,
             state_cache_capacity: 65_536,
             solution_cache_capacity: 4_096,
+            epsilon: 0.0,
+            avail_backend: AvailBackend::Auto,
         }
     }
 }
@@ -107,6 +121,22 @@ impl SearchOptionsBuilder {
     #[must_use]
     pub fn solution_cache_capacity(mut self, entries: usize) -> Self {
         self.opts.solution_cache_capacity = entries;
+        self
+    }
+
+    /// Sets the performability mass-truncation tolerance (`0.0` =
+    /// exhaustive, bit-identical to the historical path). Validated by
+    /// [`AssessmentEngine::new`](crate::AssessmentEngine::new).
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.opts.epsilon = epsilon;
+        self
+    }
+
+    /// Picks the availability solver backend.
+    #[must_use]
+    pub fn avail_backend(mut self, backend: AvailBackend) -> Self {
+        self.opts.avail_backend = backend;
         self
     }
 

@@ -55,9 +55,10 @@ pub use wfms_sim as sim;
 pub use wfms_statechart as statechart;
 pub use wfms_workloads as workloads;
 
+pub use wfms_avail::AvailBackend;
 pub use wfms_config::{
     Assessment, AssessmentEngine, CacheStats, ConfigError, GoalCheck, Goals, SearchOptions,
     SearchOptionsBuilder, SearchResult,
 };
-pub use wfms_performability::{DegradedPolicy, PerformabilityReport};
+pub use wfms_performability::{DegradedPolicy, PerformabilityReport, TruncationReport};
 pub use wfms_statechart::{Configuration, ServerTypeRegistry, SystemState, WorkflowSpec};

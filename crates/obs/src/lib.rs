@@ -37,8 +37,9 @@
 //! | `steady-state` | `wfms-markov` | `states`, `method`, `iterations` |
 //! | `avail-build` | `wfms-avail` | `states`, `types`, `backend` |
 //! | `avail-steady-state` | `wfms-avail` | `states`, `backend` |
+//! | `avail-product-form` | `wfms-avail` | `states`, `types` |
 //! | `mg1-waiting` | `wfms-perf` | `types`, `evaluations` |
-//! | `performability` | `wfms-performability` | `states`, `degraded`, `serving` |
+//! | `performability` | `wfms-performability` | `states`, `degraded`, `serving`, `pruned` (ε-truncated fold only) |
 //! | `assess` | `wfms-config` | `candidate`, `w_max`, `availability` |
 //! | `search-candidate` | `wfms-config` | `candidate`, `accepted` |
 //! | `greedy-search` / `exhaustive-search` / `bnb-search` / `annealing-search` | `wfms-config` | `evaluations`, `cost` |
@@ -46,6 +47,9 @@
 //!
 //! Counters and histograms are dotted lowercase (`markov.linear-solve.iterations`,
 //! `perf.mg1.evaluations`, `sim.events`, `config.annealing.accepted`, …).
+//! The ε-truncated performability fold additionally counts the states it
+//! never evaluated under `performability.pruned-states` — `wfms profile
+//! --check` gates on it staying nonzero.
 //!
 //! The assessment engine of `wfms-config` adds three stable metric
 //! names of its own:

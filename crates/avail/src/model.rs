@@ -197,7 +197,31 @@ impl AvailabilityModel {
             states = self.space.len(),
             backend = "dense"
         );
-        Ok(self.ctmc.steady_state(method)?)
+        // Failpoint `avail.steady-state`: error injection surfaces as a
+        // solver non-convergence, NaN injection poisons the distribution.
+        let mut poison_solution = false;
+        match wfms_fault::point!("avail.steady-state") {
+            Some(wfms_fault::Injection::Error) => {
+                return Err(AvailError::Chain(wfms_markov::ChainError::Iterative(
+                    wfms_markov::linalg::IterativeError::NotConverged {
+                        iterations: 0,
+                        last_residual: f64::INFINITY,
+                    },
+                )));
+            }
+            Some(wfms_fault::Injection::Nan) => poison_solution = true,
+            None => {}
+        }
+        let mut pi = self.ctmc.steady_state(method)?;
+        if poison_solution {
+            // Poison the full-strength state (last in encoding order): it
+            // is always an up state, so the NaN reaches the availability
+            // sum rather than hiding in the all-down state's mass.
+            if let Some(last) = pi.last_mut() {
+                *last = f64::NAN;
+            }
+        }
+        Ok(pi)
     }
 
     /// Probability that the entire WFMS is available (every server type

@@ -152,10 +152,35 @@ impl SparseAvailabilityModel {
             states = self.space.len(),
             backend = "sparse"
         );
+        // Failpoint `avail.steady-state`: shared with the dense model, so
+        // a single spec covers either backend. The inner sparse sweep has
+        // its own `linalg.sparse-gs` site.
+        let mut poison_solution = false;
+        match wfms_fault::point!("avail.steady-state") {
+            Some(wfms_fault::Injection::Error) => {
+                return Err(AvailError::Chain(wfms_markov::ChainError::Iterative(
+                    wfms_markov::linalg::IterativeError::NotConverged {
+                        iterations: 0,
+                        last_residual: f64::INFINITY,
+                    },
+                )));
+            }
+            Some(wfms_fault::Injection::Nan) => poison_solution = true,
+            None => {}
+        }
         let sol = sparse_steady_state_gauss_seidel(&self.qt, &self.departure, opts)
             .map_err(wfms_markov::ChainError::Iterative)?;
         obs_span.record("iterations", sol.iterations);
-        Ok(sol.x)
+        let mut pi = sol.x;
+        if poison_solution {
+            // Poison the full-strength state (last in encoding order): it
+            // is always an up state, so the NaN reaches the availability
+            // sum rather than hiding in the all-down state's mass.
+            if let Some(last) = pi.last_mut() {
+                *last = f64::NAN;
+            }
+        }
+        Ok(pi)
     }
 
     /// WFMS availability given a stationary distribution.

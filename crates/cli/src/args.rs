@@ -147,8 +147,10 @@ pub const COMMANDS: &[CommandSpec] = &[
             "min-availability",
             "epsilon",
             "avail-backend",
+            "solver-tol",
+            "solver-max-iter",
         ],
-        flags: &["json"],
+        flags: &["strict", "json"],
     },
     CommandSpec {
         name: "recommend",
@@ -162,8 +164,10 @@ pub const COMMANDS: &[CommandSpec] = &[
             "jobs",
             "epsilon",
             "avail-backend",
+            "solver-tol",
+            "solver-max-iter",
         ],
-        flags: &["optimal", "annealing", "json"],
+        flags: &["optimal", "annealing", "strict", "json"],
     },
     CommandSpec {
         name: "simulate",
@@ -184,8 +188,10 @@ pub const COMMANDS: &[CommandSpec] = &[
             "jobs",
             "epsilon",
             "avail-backend",
+            "solver-tol",
+            "solver-max-iter",
         ],
-        flags: &["check", "json"],
+        flags: &["check", "strict", "json"],
     },
     CommandSpec {
         name: "sensitivity",

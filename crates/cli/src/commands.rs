@@ -45,6 +45,11 @@ pub const REQUIRED_STAGES: &[&str] = &[
 /// (or the product-form fast path is silently broken).
 pub const REQUIRED_COUNTERS: &[&str] = &["engine.cache-hit", "performability.pruned-states"];
 
+/// Counters `profile --check` requires to STAY zero: a clean profiling
+/// run must never take a solver-fallback escalation or quarantine a
+/// candidate — if it does, the primary solver path is silently broken.
+pub const REQUIRED_ZERO_COUNTERS: &[&str] = &["solver.fallback", "config.quarantined"];
+
 /// One workflow type plus its arrival rate, as stored in a workload file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkloadEntry {
@@ -131,13 +136,72 @@ fn parse_backend(args: &ParsedArgs) -> Result<AvailBackend, CliError> {
 }
 
 /// Evaluation options shared by `assess`, `recommend`, and `profile`:
-/// the truncation ε and the availability backend.
+/// the truncation ε, the availability backend, the iterative-solver
+/// budget (`--solver-tol`, `--solver-max-iter`), and the `--strict`
+/// fail-fast switch. Out-of-range solver values are rejected by
+/// [`wfms_core::config::AssessmentEngine::new`] as `InvalidOption`.
 fn parse_search_options(args: &ParsedArgs) -> Result<SearchOptions, CliError> {
-    let mut builder = SearchOptions::builder().avail_backend(parse_backend(args)?);
+    let mut builder = SearchOptions::builder()
+        .avail_backend(parse_backend(args)?)
+        .strict(args.flag("strict"));
     if let Some(epsilon) = args.get_f64("epsilon")? {
         builder = builder.epsilon(epsilon);
     }
+    if let Some(tolerance) = args.get_f64("solver-tol")? {
+        builder = builder.solver_tolerance(tolerance);
+    }
+    if let Some(max_iter) = args.get_u64("solver-max-iter")? {
+        builder = builder.solver_max_iterations(max_iter as usize);
+    }
     Ok(builder.build())
+}
+
+/// Renders the graceful-degradation accounting of an assessment: solver
+/// fallbacks taken and failed state evaluations charged at their
+/// pessimistic caps.
+fn write_degradation(
+    out: &mut impl Write,
+    d: &wfms_core::DegradationReport,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "  DEGRADED: {} solver fallback(s), {} failed state(s) charged at the pessimistic cap (mass {:.3e})",
+        d.solver_fallbacks, d.failed_states, d.charged_mass
+    )?;
+    for r in d.details.iter().take(3) {
+        writeln!(
+            out,
+            "    state {:?} (\u{3c0} = {:.3e}): {}",
+            r.state, r.probability, r.error
+        )?;
+    }
+    if d.details.len() > 3 {
+        writeln!(out, "    ... and {} more", d.details.len() - 3)?;
+    }
+    Ok(())
+}
+
+/// Renders the quarantine list of a search: candidates whose assessment
+/// failed irrecoverably and were skipped instead of aborting the search.
+fn write_quarantined(
+    out: &mut impl Write,
+    quarantined: &[wfms_core::QuarantinedCandidate],
+) -> Result<(), CliError> {
+    if quarantined.is_empty() {
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "  QUARANTINED: {} candidate(s) failed assessment and were skipped",
+        quarantined.len()
+    )?;
+    for q in quarantined.iter().take(3) {
+        writeln!(out, "    {:?}: {}", q.replicas, q.error)?;
+    }
+    if quarantined.len() > 3 {
+        writeln!(out, "    ... and {} more", quarantined.len() - 3)?;
+    }
+    Ok(())
 }
 
 /// Renders the ε-truncation accounting of an assessment, when the
@@ -182,6 +246,7 @@ COMMANDS
   assess       --registry <file> --workload <file> --config <y1,..>
                [--max-wait <min>] [--min-availability <a>]
                [--epsilon <e>] [--avail-backend auto|dense|sparse|product]
+               [--solver-tol <t>] [--solver-max-iter <n>] [--strict]
                [--json]
                --epsilon > 0 enables mass-pruned evaluation on the
                product-form backend: states are consumed in descending
@@ -191,20 +256,29 @@ COMMANDS
                [--max-wait <min>] [--min-availability <a>]
                [--budget <servers>] [--jobs <n>] [--epsilon <e>]
                [--avail-backend auto|dense|sparse|product]
+               [--solver-tol <t>] [--solver-max-iter <n>] [--strict]
                [--optimal | --annealing] [--json]
+               without --strict, failed availability solves escalate to a
+               dense LU fallback, failed state evaluations are charged at
+               their pessimistic waiting-time caps (reported as DEGRADED),
+               and irrecoverable candidates are quarantined rather than
+               aborting the search; --strict restores fail-fast
   simulate     --registry <file> --workload <file> --config <y1,..>
                [--duration <min>] [--warmup <min>] [--seed <n>]
                [--failures] [--json]
   profile      --registry <file> --workload <file> [--config <y1,..>]
                [--max-wait <min>] [--min-availability <a>] [--runs <n>]
-               [--jobs <n>] [--epsilon <e>] [--check] [--json]
+               [--jobs <n>] [--epsilon <e>] [--solver-tol <t>]
+               [--solver-max-iter <n>] [--strict] [--check] [--json]
                run the analysis stack N times (including an
                engine-backed greedy search and an e-truncated
                product-form pass, default epsilon 1e-4) and report
                per-stage wall time and solver iteration counts; --check
                fails when a required stage (incl. avail-product-form)
-               records no spans or a required counter (engine.cache-hit,
-               performability.pruned-states) stays zero
+               records no spans, a required counter (engine.cache-hit,
+               performability.pruned-states) stays zero, or a
+               must-stay-zero counter (solver.fallback,
+               config.quarantined) fires on the clean run
   sensitivity  --registry <file> --workload <file> --config <y1,..>
                [--step <rel>] [--json]
                log-log elasticities of the goal metrics per parameter
@@ -565,6 +639,9 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     if let Some(t) = &assessment.truncation {
         write_truncation(out, t)?;
     }
+    if let Some(d) = &assessment.degradation {
+        write_degradation(out, d)?;
+    }
     writeln!(out, "  goals met: {}", assessment.meets_goals())?;
     Ok(())
 }
@@ -574,14 +651,11 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     let goals = parse_goals(args)?;
     let budget = args.get_u64("budget")?.unwrap_or(64) as usize;
     let jobs = args.get_u64("jobs")?.unwrap_or(1) as usize;
-    let mut builder = SearchOptions::builder()
-        .max_total_servers(budget)
-        .jobs(jobs)
-        .avail_backend(parse_backend(args)?);
-    if let Some(epsilon) = args.get_f64("epsilon")? {
-        builder = builder.epsilon(epsilon);
-    }
-    let opts = builder.build();
+    let opts = SearchOptions {
+        max_total_servers: budget,
+        jobs,
+        ..parse_search_options(args)?
+    };
     let (method, result): (&str, SearchResult) = if args.flag("optimal") {
         ("exhaustive", tool.recommend_optimal(&goals, &opts)?)
     } else if args.flag("annealing") {
@@ -623,6 +697,10 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     if let Some(t) = &a.truncation {
         write_truncation(out, t)?;
     }
+    if let Some(d) = &a.degradation {
+        write_degradation(out, d)?;
+    }
+    write_quarantined(out, &result.quarantined)?;
     Ok(())
 }
 
@@ -703,7 +781,7 @@ fn profile_once(
     tool: &ConfigurationTool,
     config: &Configuration,
     goals: &Goals,
-    jobs: usize,
+    base: SearchOptions,
     epsilon: f64,
 ) -> Result<(), CliError> {
     for (spec, _) in tool.workloads() {
@@ -716,7 +794,7 @@ fn profile_once(
     // profile exercises the memoized path (and `--check` can require
     // `engine.cache-hit` > 0). Unreachable goals or unsustainable load
     // are legitimate outcomes for a profiling workload, not failures.
-    let engine = tool.engine(goals, SearchOptions::builder().jobs(jobs).build())?;
+    let engine = tool.engine(goals, base)?;
     engine.assess(config)?;
     match engine.greedy() {
         Ok(_)
@@ -732,10 +810,7 @@ fn profile_once(
     // the `performability.pruned-states` counter. With the default
     // ε = 1e-4 the all-down tail always carries less mass than ε, so at
     // least one state is pruned on any non-trivial configuration.
-    let truncated = tool.engine(
-        goals,
-        SearchOptions::builder().jobs(jobs).epsilon(epsilon).build(),
-    )?;
+    let truncated = tool.engine(goals, SearchOptions { epsilon, ..base })?;
     truncated.assess(config)?;
     Ok(())
 }
@@ -764,6 +839,13 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
 
     let jobs = args.get_u64("jobs")?.unwrap_or(1) as usize;
     let epsilon = args.get_f64("epsilon")?.unwrap_or(1e-4);
+    // The base engine keeps ε = 0 (exhaustive fold); only the dedicated
+    // truncated pass inside `profile_once` applies ε.
+    let base = SearchOptions {
+        jobs,
+        epsilon: 0.0,
+        ..parse_search_options(args)?
+    };
 
     let recorder = wfms_obs::global();
     recorder.reset();
@@ -771,7 +853,7 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
     let started = std::time::Instant::now();
     let mut outcome = Ok(());
     for _ in 0..runs {
-        outcome = profile_once(&tool, &config, &goals, jobs, epsilon);
+        outcome = profile_once(&tool, &config, &goals, base, epsilon);
         if outcome.is_err() {
             break;
         }
@@ -790,6 +872,12 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
         for &counter in REQUIRED_COUNTERS {
             if snapshot.counters.get(counter).copied().unwrap_or(0) == 0 {
                 return Err(CliError::EmptyCounter { counter });
+            }
+        }
+        for &counter in REQUIRED_ZERO_COUNTERS {
+            let value = snapshot.counters.get(counter).copied().unwrap_or(0);
+            if value != 0 {
+                return Err(CliError::NonzeroCounter { counter, value });
             }
         }
     }

@@ -49,6 +49,14 @@ pub enum CliError {
         /// The silent counter's name.
         counter: &'static str,
     },
+    /// `profile --check` found a must-stay-zero counter that fired: the
+    /// clean run degraded (solver fallback or quarantined candidate).
+    NonzeroCounter {
+        /// The counter's name.
+        counter: &'static str,
+        /// Its observed value.
+        value: u64,
+    },
     /// Writing the report failed.
     Output(std::io::Error),
 }
@@ -70,6 +78,12 @@ impl fmt::Display for CliError {
             }
             CliError::EmptyCounter { counter } => {
                 write!(f, "profile: counter {counter:?} stayed zero")
+            }
+            CliError::NonzeroCounter { counter, value } => {
+                write!(
+                    f,
+                    "profile: counter {counter:?} fired {value} time(s) on a clean run"
+                )
             }
             CliError::Output(e) => write!(f, "failed to write output: {e}"),
         }

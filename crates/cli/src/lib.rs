@@ -22,7 +22,10 @@ pub mod commands;
 pub mod error;
 
 pub use args::{ArgError, ParsedArgs};
-pub use commands::{run_command, WorkloadEntry, WorkloadFile, REQUIRED_STAGES, USAGE};
+pub use commands::{
+    run_command, WorkloadEntry, WorkloadFile, REQUIRED_COUNTERS, REQUIRED_STAGES,
+    REQUIRED_ZERO_COUNTERS, USAGE,
+};
 pub use error::CliError;
 
 /// Parses the argument list and runs the command, writing to `out`.
@@ -38,6 +41,12 @@ pub fn main_with_args(
             return 2;
         }
     };
+    // A malformed `WFMS_FAULTS` entry must not pass silently: the valid
+    // entries before the typo still apply, so the chaos run the user
+    // thinks they configured is not the one actually running.
+    if let Err(e) = wfms_core::fault::env_status() {
+        eprintln!("wfms: warning: WFMS_FAULTS: {e}");
+    }
     match run_command(&parsed, out) {
         Ok(()) => 0,
         Err(e) => {

@@ -671,3 +671,150 @@ fn export_dot_renders_both_views() {
     .unwrap_err();
     assert!(err.to_string().contains("chart"), "{err}");
 }
+
+#[test]
+fn assess_reports_solver_degradation_and_strict_restores_failfast() {
+    let dir = scenario("degrade");
+    // A one-sweep Gauss–Seidel budget cannot converge: without --strict
+    // the engine escalates to the dense LU fallback and reports it.
+    let degraded = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--max-wait",
+        "0.5",
+        "--avail-backend",
+        "sparse",
+        "--solver-max-iter",
+        "1",
+    ])
+    .unwrap();
+    assert!(degraded.contains("DEGRADED"), "missing marker: {degraded}");
+    assert!(degraded.contains("1 solver fallback(s)"));
+
+    // The fallback is numerically transparent: the degraded run reports
+    // the same availability line as a clean dense solve.
+    let clean = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--max-wait",
+        "0.5",
+    ])
+    .unwrap();
+    assert!(!clean.contains("DEGRADED"));
+    let avail_line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("availability"))
+            .expect("availability line")
+            .to_string()
+    };
+    assert_eq!(avail_line(&degraded), avail_line(&clean));
+
+    // --strict restores fail-fast: the starved solve is a hard error.
+    let err = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--max-wait",
+        "0.5",
+        "--avail-backend",
+        "sparse",
+        "--solver-max-iter",
+        "1",
+        "--strict",
+    ])
+    .unwrap_err();
+    assert!(matches!(err, CliError::Tool(_)), "got {err:?}");
+}
+
+#[test]
+fn solver_options_are_validated() {
+    let dir = scenario("solveropts");
+    let err = invoke(&[
+        "assess",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--config",
+        "2,2,2",
+        "--max-wait",
+        "0.5",
+        "--solver-tol",
+        "0",
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("solver tolerance"), "got {err:?}");
+    let err = invoke(&[
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--max-wait",
+        "0.5",
+        "--solver-max-iter",
+        "0",
+    ])
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("solver max-iterations"),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn recommend_reports_degradation_on_a_starved_sparse_solver() {
+    let dir = scenario("recdegrade");
+    let out = invoke(&[
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--max-wait",
+        "0.5",
+        "--min-availability",
+        "0.9999",
+        "--avail-backend",
+        "sparse",
+        "--solver-max-iter",
+        "1",
+    ])
+    .unwrap();
+    assert!(out.contains("DEGRADED"), "missing marker: {out}");
+
+    // The degraded search lands on the same configuration as a clean one.
+    let clean = invoke(&[
+        "recommend",
+        "--registry",
+        &dir.path("registry.json"),
+        "--workload",
+        &dir.path("workload.json"),
+        "--max-wait",
+        "0.5",
+        "--min-availability",
+        "0.9999",
+    ])
+    .unwrap();
+    let recommend_line = |s: &str| {
+        s.lines()
+            .find(|l| l.contains("recommend"))
+            .expect("recommend line")
+            .to_string()
+    };
+    assert_eq!(recommend_line(&out), recommend_line(&clean));
+}

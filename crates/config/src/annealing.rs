@@ -19,7 +19,7 @@ use crate::assess::Assessment;
 use crate::engine::AssessmentEngine;
 use crate::error::ConfigError;
 use crate::goals::Goals;
-use crate::search::{SearchOptions, SearchResult};
+use crate::search::{QuarantinedCandidate, SearchOptions, SearchResult};
 
 /// Annealing schedule and move parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -149,6 +149,8 @@ pub(crate) fn annealing_walk(
     let mut temperature = opts.initial_temperature;
     let mut accepted: u64 = 0;
     let mut rejected: u64 = 0;
+    let mut quarantined: Vec<QuarantinedCandidate> = Vec::new();
+    let strict = engine.options().strict;
     for _ in 0..opts.steps {
         // Propose: ±1 replica of a random type, within bounds.
         let x = rng.gen_range(0..k);
@@ -170,7 +172,23 @@ pub(crate) fn annealing_walk(
             replicas[x] -= 1;
         }
         let candidate = Configuration::new(registry, replicas)?;
-        let assessment = engine.assess(&candidate)?;
+        let assessment = match engine.assess(&candidate) {
+            Ok(assessment) => assessment,
+            Err(e) if !strict && e.is_candidate_local() => {
+                // Quarantine the irrecoverable candidate and treat the
+                // move as rejected: the walk stays at `current` and the
+                // RNG stream is unaffected for later steps.
+                wfms_obs::counter("config.quarantined", 1);
+                quarantined.push(QuarantinedCandidate {
+                    replicas: candidate.as_slice().to_vec(),
+                    error: e.to_string(),
+                });
+                rejected += 1;
+                temperature *= opts.cooling;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         evaluations += 1;
         let obj = objective(&assessment, goals);
 
@@ -205,6 +223,7 @@ pub(crate) fn annealing_walk(
             assessment,
             trace,
             evaluations,
+            quarantined,
         }),
         None => Err(ConfigError::GoalsUnreachable {
             budget: opts.max_total_servers,

@@ -11,6 +11,48 @@ use crate::error::ConfigError;
 use crate::goals::{GoalCheck, Goals};
 use crate::search::SearchOptions;
 
+/// Cap on the per-state failure records kept in a
+/// [`DegradationReport`]; the `failed_states` count is always exact.
+pub const DEGRADATION_DETAIL_CAP: usize = 32;
+
+/// One degraded-state evaluation that failed and was charged with its
+/// pessimistic waiting-time cap instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedStateRecord {
+    /// The system state `X` whose kernel evaluation failed.
+    pub state: Vec<usize>,
+    /// Its stationary probability `π_X` — the mass charged at the cap.
+    pub probability: f64,
+    /// Human-readable description of the failure.
+    pub error: String,
+}
+
+/// How an assessment degraded gracefully instead of failing — the
+/// robustness sibling of [`TruncationReport`]. Present **iff** something
+/// actually degraded; clean assessments carry `None` and are bit-identical
+/// to a build without the supervision layer.
+///
+/// The substituted waiting times are the sound per-type caps of
+/// [`wfms_performability::waiting_time_caps`] (the wait at the smallest
+/// stable up-count), so a degraded assessment's expected waiting is a
+/// **pessimistic** estimate: real waits in the failed states can only be
+/// lower.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Degraded-state kernel evaluations that failed and were charged
+    /// with the pessimistic cap.
+    pub failed_states: usize,
+    /// Total stationary mass of those states.
+    pub charged_mass: f64,
+    /// Availability-solver escalations taken while producing this
+    /// assessment's stationary vector (e.g. sparse Gauss–Seidel → dense
+    /// LU). Mirrors the `solver.fallback` obs counter.
+    pub solver_fallbacks: u32,
+    /// Per-state failure detail, capped at [`DEGRADATION_DETAIL_CAP`]
+    /// entries ([`DegradationReport::failed_states`] stays exact).
+    pub details: Vec<DegradedStateRecord>,
+}
+
 /// The evaluated quality of one configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Assessment {
@@ -50,6 +92,13 @@ pub struct Assessment {
     /// attached but records zero skipped states, zero skipped mass, and
     /// all-zero error bounds.
     pub truncation: Option<TruncationReport>,
+    /// Graceful-degradation accounting, present **iff** some part of the
+    /// evaluation failed and was repaired (solver fallback, pessimistic
+    /// state charging). `None` in clean runs and always `None` under
+    /// [`SearchOptions::strict`](crate::SearchOptions) (failures abort
+    /// instead).
+    #[serde(default)]
+    pub degradation: Option<DegradationReport>,
     /// Which goals the configuration meets.
     pub goals: GoalCheck,
 }

@@ -58,7 +58,7 @@ use wfms_avail::{
 };
 use wfms_markov::ctmc::SteadyStateMethod;
 use wfms_markov::linalg::GaussSeidelOptions;
-use wfms_perf::SystemLoad;
+use wfms_perf::{SystemLoad, WaitingOutcome};
 use wfms_performability::{
     evaluate_state, fold_states, fold_states_truncated, waiting_time_caps, DegradedPolicy,
     PerformabilityError, StateEvaluation, TruncationOptions,
@@ -66,13 +66,15 @@ use wfms_performability::{
 use wfms_statechart::{Configuration, ServerTypeId, ServerTypeRegistry};
 
 use crate::annealing::AnnealingOptions;
-use crate::assess::{run_preflight, Assessment};
+use crate::assess::{
+    run_preflight, Assessment, DegradationReport, DegradedStateRecord, DEGRADATION_DETAIL_CAP,
+};
 use crate::error::ConfigError;
 use crate::goals::{GoalCheck, Goals};
 use crate::search::{
     availability_critical_type, enumerate_bounded, enumerate_compositions, goal_lower_bounds,
-    minimum_stable_replicas, performability_critical_type, record_candidate, SearchOptions,
-    SearchResult,
+    highest_utilization_type, minimum_stable_replicas, performability_critical_type,
+    record_candidate, QuarantinedCandidate, SearchOptions, SearchResult,
 };
 
 /// Candidates per parallel dispatch over an exhaustive/B&B frontier.
@@ -82,18 +84,39 @@ use crate::search::{
 /// identical to the serial early-exit path.
 const CANDIDATE_BATCH: usize = 32;
 
-/// Gauss–Seidel settings of the engine's sparse backend: tight enough
-/// that the stationary vector is interchangeable with a direct solve.
-const ENGINE_GS_TOLERANCE: f64 = 1e-12;
-const ENGINE_GS_MAX_ITERATIONS: usize = 100_000;
+/// Locks a cache mutex, recovering from poisoning: the caches hold
+/// memoized values of pure functions, so a panicked worker can at worst
+/// have skipped an insert — the map itself is never left mid-update.
+fn lock_cache<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Poisons the first stable outcome of an evaluation with NaN — the
+/// engine-level effect of a `nan` fault injection on a cache-fill site.
+fn poison_first_stable(evaluation: &mut StateEvaluation) {
+    for o in evaluation.outcomes.iter_mut() {
+        if let WaitingOutcome::Stable { waiting_time, .. } = o {
+            *waiting_time = f64::NAN;
+            break;
+        }
+    }
+}
 
 /// A cached availability solve for one candidate `Y`, shaped by the
 /// backend that produced it.
 #[derive(Debug)]
 enum AvailabilitySolution {
     /// Dense LU or sparse Gauss–Seidel: the materialized stationary
-    /// vector in encoding order.
-    Explicit { pi: Vec<f64>, availability: f64 },
+    /// vector in encoding order. `fallbacks` counts solver escalations
+    /// taken to produce the vector (sparse Gauss–Seidel → dense LU), so
+    /// warm cache hits still report the degradation they were born with.
+    Explicit {
+        pi: Vec<f64>,
+        availability: f64,
+        fallbacks: u32,
+    },
     /// Product form: per-type marginals only — `π` is never
     /// materialized (that is the `O(Σ Y_x)` point of the backend);
     /// states are enumerated lazily in descending `π` order instead.
@@ -160,7 +183,8 @@ impl AssessmentEngine {
     /// * [`ConfigError::NoGoals`] / [`ConfigError::InvalidGoal`] on bad
     ///   goals.
     /// * [`ConfigError::InvalidOption`] on a truncation `ε` outside
-    ///   `[0, 1)`.
+    ///   `[0, 1)`, a non-positive solver tolerance, or a zero solver
+    ///   iteration cap.
     /// * [`ConfigError::Preflight`] when static analysis finds errors.
     pub fn new(
         registry: &ServerTypeRegistry,
@@ -175,7 +199,22 @@ impl AssessmentEngine {
                 value: options.epsilon,
             });
         }
+        if !(options.solver_tolerance.is_finite() && options.solver_tolerance > 0.0) {
+            return Err(ConfigError::InvalidOption {
+                what: "solver tolerance",
+                value: options.solver_tolerance,
+            });
+        }
+        if options.solver_max_iterations == 0 {
+            return Err(ConfigError::InvalidOption {
+                what: "solver max-iterations",
+                value: 0.0,
+            });
+        }
         run_preflight(registry, load, None)?;
+        // Infallible with the vendored rayon stand-in: `build()` only
+        // fails on resource exhaustion spawning OS threads, at which
+        // point the process is unrecoverable anyway.
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(options.jobs)
             .build()
@@ -217,9 +256,9 @@ impl AssessmentEngine {
     /// Current cache entry counts and lifetime hit/miss totals.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            state_entries: self.states.lock().expect("state cache").len(),
-            solution_entries: self.solutions.lock().expect("solution cache").len(),
-            block_entries: self.blocks.lock().expect("block cache").len(),
+            state_entries: lock_cache(&self.states).len(),
+            solution_entries: lock_cache(&self.solutions).len(),
+            block_entries: lock_cache(&self.blocks).len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
@@ -244,7 +283,7 @@ impl AssessmentEngine {
     /// The birth–death rate ladders for `replicas` servers of type `j`,
     /// from the block cache.
     fn block(&self, j: usize, replicas: usize) -> Result<Arc<BirthDeathBlock>, ConfigError> {
-        if let Some(hit) = self.blocks.lock().expect("block cache").get(&(j, replicas)) {
+        if let Some(hit) = lock_cache(&self.blocks).get(&(j, replicas)) {
             self.record_hits(1);
             return Ok(hit.clone());
         }
@@ -290,11 +329,30 @@ impl AssessmentEngine {
     ) -> Result<Arc<AvailabilitySolution>, ConfigError> {
         debug_assert_ne!(backend, AvailBackend::Auto, "resolve before solving");
         let key = (config.as_slice().to_vec(), backend);
-        if let Some(hit) = self.solutions.lock().expect("solution cache").get(&key) {
+        if let Some(hit) = lock_cache(&self.solutions).get(&key) {
             self.record_hits(1);
             return Ok(hit.clone());
         }
         self.record_misses(1);
+        // Failpoint `engine.solution-cache-fill`: error injection fails
+        // the availability solve for this candidate (non-strict searches
+        // quarantine it); NaN injection poisons the solved availability,
+        // which the non-finite guard in `assess` then rejects.
+        let mut poison_availability = false;
+        match wfms_fault::point!("engine.solution-cache-fill") {
+            Some(wfms_fault::Injection::Error) => {
+                return Err(ConfigError::Avail(wfms_avail::AvailError::Chain(
+                    wfms_markov::error::ChainError::Iterative(
+                        wfms_markov::linalg::IterativeError::NotConverged {
+                            iterations: 0,
+                            last_residual: f64::INFINITY,
+                        },
+                    ),
+                )));
+            }
+            Some(wfms_fault::Injection::Nan) => poison_availability = true,
+            None => {}
+        }
         let mut blocks = Vec::with_capacity(config.k());
         for (j, &y) in config.as_slice().iter().enumerate() {
             blocks.push(self.block(j, y)?);
@@ -305,7 +363,11 @@ impl AssessmentEngine {
                     AvailabilityModel::from_blocks(config, &blocks, RepairPolicy::Independent)?;
                 let pi = model.steady_state(SteadyStateMethod::Lu)?;
                 let availability = model.availability(&pi)?;
-                AvailabilitySolution::Explicit { pi, availability }
+                AvailabilitySolution::Explicit {
+                    pi,
+                    availability,
+                    fallbacks: 0,
+                }
             }
             AvailBackend::Sparse => {
                 let model = SparseAvailabilityModel::from_blocks(
@@ -313,20 +375,69 @@ impl AssessmentEngine {
                     &blocks,
                     RepairPolicy::Independent,
                 )?;
-                let pi = model.steady_state(GaussSeidelOptions {
-                    tolerance: ENGINE_GS_TOLERANCE,
-                    max_iterations: ENGINE_GS_MAX_ITERATIONS,
-                    relaxation: 1.0,
-                })?;
-                let availability = model.availability(&pi)?;
-                AvailabilitySolution::Explicit { pi, availability }
+                let solved = model
+                    .steady_state(GaussSeidelOptions {
+                        tolerance: self.options.solver_tolerance,
+                        max_iterations: self.options.solver_max_iterations,
+                        relaxation: 1.0,
+                    })
+                    .map_err(ConfigError::from)
+                    .and_then(|pi| {
+                        let availability = model.availability(&pi)?;
+                        Ok((pi, availability))
+                    });
+                let finite = |sol: &(Vec<f64>, f64)| {
+                    sol.1.is_finite() && sol.0.iter().all(|p| p.is_finite())
+                };
+                match solved {
+                    Ok(sol) if finite(&sol) => AvailabilitySolution::Explicit {
+                        pi: sol.0,
+                        availability: sol.1,
+                        fallbacks: 0,
+                    },
+                    other => {
+                        if self.options.strict {
+                            return match other {
+                                Err(e) => Err(e),
+                                Ok(_) => Err(ConfigError::NonFiniteAssessment {
+                                    replicas: config.as_slice().to_vec(),
+                                    what: "sparse stationary vector",
+                                }),
+                            };
+                        }
+                        // Graceful degradation: escalate the failed (or
+                        // non-finite) Gauss–Seidel solve to a dense LU
+                        // factorization of the same chain.
+                        wfms_obs::counter("solver.fallback", 1);
+                        let mut span = wfms_obs::span!("solver-fallback");
+                        span.record("from", "sparse-gauss-seidel");
+                        let model = AvailabilityModel::from_blocks(
+                            config,
+                            &blocks,
+                            RepairPolicy::Independent,
+                        )?;
+                        let pi = model.steady_state(SteadyStateMethod::Lu)?;
+                        let availability = model.availability(&pi)?;
+                        AvailabilitySolution::Explicit {
+                            pi,
+                            availability,
+                            fallbacks: 1,
+                        }
+                    }
+                }
             }
             AvailBackend::Product => {
                 AvailabilitySolution::Product(ProductFormModel::from_blocks(config, &blocks)?)
             }
         };
+        let mut solution = solution;
+        if poison_availability {
+            if let AvailabilitySolution::Explicit { availability, .. } = &mut solution {
+                *availability = f64::NAN;
+            }
+        }
         let solution = Arc::new(solution);
-        let mut cache = self.solutions.lock().expect("solution cache");
+        let mut cache = lock_cache(&self.solutions);
         if cache.len() < self.options.solution_cache_capacity {
             cache.insert(key, solution.clone());
         }
@@ -337,9 +448,14 @@ impl AssessmentEngine {
     /// computing the missing ones on the worker pool (they are
     /// independent). Misses are collected — and, on error, reported — in
     /// encoding order, so error precedence matches the serial path.
+    ///
+    /// Under [`SearchOptions::strict`] the first failed evaluation (in
+    /// encoding order) aborts the fill; otherwise failed states are
+    /// simply left uncached and the assessment's fold charges them with
+    /// their pessimistic caps.
     fn populate_state_cache(&self, space: &StateSpace) -> Result<(), PerformabilityError> {
         let missing: Vec<Vec<usize>> = {
-            let cache = self.states.lock().expect("state cache");
+            let cache = lock_cache(&self.states);
             space
                 .iter()
                 .map(|(_, x)| x)
@@ -350,6 +466,23 @@ impl AssessmentEngine {
         self.record_misses(missing.len() as u64);
         if missing.is_empty() {
             return Ok(());
+        }
+        // Failpoint `engine.state-cache-fill`: error injection abandons
+        // the batched fill (strict mode fails the assessment; otherwise
+        // states are computed inline, uncached); NaN injection poisons
+        // the first filled evaluation.
+        let mut poison_first = false;
+        match wfms_fault::point!("engine.state-cache-fill") {
+            Some(wfms_fault::Injection::Error) => {
+                if self.options.strict {
+                    return Err(PerformabilityError::FaultInjected {
+                        site: "engine.state-cache-fill",
+                    });
+                }
+                return Ok(());
+            }
+            Some(wfms_fault::Injection::Nan) => poison_first = true,
+            None => {}
         }
         let evaluations: Vec<Result<StateEvaluation, PerformabilityError>> =
             if self.jobs() > 1 && missing.len() > 1 {
@@ -365,9 +498,19 @@ impl AssessmentEngine {
                     .map(|x| evaluate_state(&self.load, &self.registry, x))
                     .collect()
             };
-        let mut cache = self.states.lock().expect("state cache");
+        let mut cache = lock_cache(&self.states);
         for (x, evaluation) in missing.into_iter().zip(evaluations) {
-            let evaluation = evaluation?;
+            let mut evaluation = match evaluation {
+                Ok(evaluation) => evaluation,
+                Err(e) if self.options.strict => return Err(e),
+                // Non-strict: leave the state uncached; the fold's
+                // degradation wrapper charges it when it is revisited.
+                Err(_) => continue,
+            };
+            if poison_first {
+                poison_first_stable(&mut evaluation);
+                poison_first = false;
+            }
             if cache.len() < self.options.state_cache_capacity {
                 cache.insert(x, Arc::new(evaluation));
             }
@@ -381,7 +524,7 @@ impl AssessmentEngine {
         &self,
         state: &[usize],
     ) -> Result<Arc<StateEvaluation>, PerformabilityError> {
-        if let Some(hit) = self.states.lock().expect("state cache").get(state) {
+        if let Some(hit) = lock_cache(&self.states).get(state) {
             return Ok(hit.clone());
         }
         evaluate_state(&self.load, &self.registry, state).map(Arc::new)
@@ -399,13 +542,28 @@ impl AssessmentEngine {
         &self,
         state: &[usize],
     ) -> Result<Arc<StateEvaluation>, PerformabilityError> {
-        if let Some(hit) = self.states.lock().expect("state cache").get(state) {
+        if let Some(hit) = lock_cache(&self.states).get(state) {
             self.record_hits(1);
             return Ok(hit.clone());
         }
         self.record_misses(1);
-        let evaluation = Arc::new(evaluate_state(&self.load, &self.registry, state)?);
-        let mut cache = self.states.lock().expect("state cache");
+        // Failpoint `engine.state-cache-fill`: shared with the batched
+        // fill of `populate_state_cache`.
+        let evaluation = match wfms_fault::point!("engine.state-cache-fill") {
+            Some(wfms_fault::Injection::Error) => {
+                return Err(PerformabilityError::FaultInjected {
+                    site: "engine.state-cache-fill",
+                });
+            }
+            Some(wfms_fault::Injection::Nan) => {
+                let mut evaluation = evaluate_state(&self.load, &self.registry, state)?;
+                poison_first_stable(&mut evaluation);
+                evaluation
+            }
+            None => evaluate_state(&self.load, &self.registry, state)?,
+        };
+        let evaluation = Arc::new(evaluation);
+        let mut cache = lock_cache(&self.states);
         if cache.len() < self.options.state_cache_capacity {
             cache.insert(state.to_vec(), evaluation.clone());
         }
@@ -429,6 +587,60 @@ impl AssessmentEngine {
         let solution = self.availability_solution(config, backend)?;
         let availability = solution.availability();
         let downtime_minutes_per_year = (1.0 - availability) * MINUTES_PER_YEAR;
+        let solver_fallbacks = match &*solution {
+            AvailabilitySolution::Explicit { fallbacks, .. } => *fallbacks,
+            AvailabilitySolution::Product(_) => 0,
+        };
+
+        // Graceful-degradation plumbing. The folds call the evaluation
+        // closure immediately after pulling each `(state, π)` pair, so
+        // `current_probability` always holds the mass of the state under
+        // evaluation; a failed state is charged at its pessimistic
+        // waiting-time cap and recorded instead of failing the whole
+        // assessment (unless `strict`). Clean runs never touch the caps
+        // cell, keeping them bit-identical to the pre-supervision path.
+        let strict = self.options.strict;
+        let current_probability = std::cell::Cell::new(0.0_f64);
+        let degraded: std::cell::RefCell<Vec<DegradedStateRecord>> =
+            std::cell::RefCell::new(Vec::new());
+        let caps_cell: std::cell::RefCell<Option<Vec<f64>>> = std::cell::RefCell::new(None);
+        let pessimistic = |state: &[usize],
+                           error: PerformabilityError|
+         -> Result<Arc<StateEvaluation>, PerformabilityError> {
+            let mut caps_ref = caps_cell.borrow_mut();
+            if caps_ref.is_none() {
+                // A caps failure is irrecoverable: there is no sound
+                // bound left to charge, so the error propagates and the
+                // candidate is quarantined by the search.
+                *caps_ref = Some(waiting_time_caps(
+                    &self.load,
+                    &self.registry,
+                    config.as_slice(),
+                )?);
+            }
+            let caps = caps_ref.as_ref().expect("caps filled above");
+            let down = state.contains(&0);
+            let outcomes = if down {
+                vec![WaitingOutcome::Down; self.registry.len()]
+            } else {
+                caps.iter()
+                    .map(|&cap| WaitingOutcome::Stable {
+                        waiting_time: cap,
+                        utilization: 1.0,
+                    })
+                    .collect()
+            };
+            degraded.borrow_mut().push(DegradedStateRecord {
+                state: state.to_vec(),
+                probability: current_probability.get(),
+                error: error.to_string(),
+            });
+            Ok(Arc::new(StateEvaluation {
+                outcomes,
+                down,
+                saturated: false,
+            }))
+        };
 
         let perf = match &*solution {
             AvailabilitySolution::Explicit { pi, .. } => {
@@ -437,11 +649,18 @@ impl AssessmentEngine {
                 let space = StateSpace::new(config);
                 self.populate_state_cache(&space).and_then(|()| {
                     fold_states(
-                        space.iter().map(|(idx, x)| (x, pi[idx])),
+                        space.iter().map(|(idx, x)| {
+                            current_probability.set(pi[idx]);
+                            (x, pi[idx])
+                        }),
                         self.registry.len(),
                         config.as_slice(),
                         DegradedPolicy::Conditional,
-                        |state| self.state_evaluation(state),
+                        |state| match self.state_evaluation(state) {
+                            Ok(evaluation) => Ok(evaluation),
+                            Err(e) if !strict => pessimistic(state, e),
+                            Err(e) => Err(e),
+                        },
                     )
                 })
             }
@@ -451,7 +670,10 @@ impl AssessmentEngine {
                 // through the shared memo).
                 waiting_time_caps(&self.load, &self.registry, config.as_slice()).and_then(|caps| {
                     fold_states_truncated(
-                        model.enumerate_descending(),
+                        model.enumerate_descending().map(|(x, p)| {
+                            current_probability.set(p);
+                            (x, p)
+                        }),
                         self.registry.len(),
                         config.as_slice(),
                         DegradedPolicy::Conditional,
@@ -460,7 +682,11 @@ impl AssessmentEngine {
                             total_states: model.state_space().len(),
                             waiting_caps: &caps,
                         },
-                        |state| self.state_evaluation_memo(state),
+                        |state| match self.state_evaluation_memo(state) {
+                            Ok(evaluation) => Ok(evaluation),
+                            Err(e) if !strict => pessimistic(state, e),
+                            Err(e) => Err(e),
+                        },
                     )
                 })
             }
@@ -506,6 +732,44 @@ impl AssessmentEngine {
         }
         wfms_obs::counter("config.assessments", 1);
 
+        // Non-finite guard: a NaN/∞ metric that survived every fallback
+        // means the candidate's numbers cannot be trusted. Searches
+        // quarantine it (the error is candidate-local).
+        if !availability.is_finite() {
+            return Err(ConfigError::NonFiniteAssessment {
+                replicas: config.as_slice().to_vec(),
+                what: "availability",
+            });
+        }
+        if let Some(waits) = &expected_waiting {
+            if waits.iter().any(|w| !w.is_finite()) {
+                return Err(ConfigError::NonFiniteAssessment {
+                    replicas: config.as_slice().to_vec(),
+                    what: "expected waiting time",
+                });
+            }
+        }
+
+        let failed = degraded.take();
+        let degradation = if failed.is_empty() && solver_fallbacks == 0 {
+            None
+        } else {
+            let failed_states = failed.len();
+            // fold, not sum: the empty f64 sum is -0.0, which would
+            // render as "-0.000e0" in fallback-only reports.
+            let charged_mass = failed.iter().map(|r| r.probability).fold(0.0, |a, p| a + p);
+            let mut details = failed;
+            details.truncate(DEGRADATION_DETAIL_CAP);
+            obs_span.record("degraded-states", failed_states as u64);
+            wfms_obs::counter("config.degraded-assessments", 1);
+            Some(DegradationReport {
+                failed_states,
+                charged_mass,
+                solver_fallbacks,
+                details,
+            })
+        };
+
         Ok(Assessment {
             replicas: config.as_slice().to_vec(),
             cost: config.total_servers(),
@@ -515,6 +779,7 @@ impl AssessmentEngine {
             max_expected_waiting,
             probability_saturated,
             truncation,
+            degradation,
             goals: GoalCheck {
                 waiting_time_met,
                 availability_met,
@@ -528,26 +793,55 @@ impl AssessmentEngine {
         self.assess(&config)
     }
 
+    /// Quarantines one failed candidate: records it (with its error) so
+    /// the search can keep going, mirroring the decision in the obs
+    /// stream.
+    fn quarantine(
+        &self,
+        quarantined: &mut Vec<QuarantinedCandidate>,
+        replicas: &[usize],
+        error: &ConfigError,
+    ) {
+        wfms_obs::counter("config.quarantined", 1);
+        quarantined.push(QuarantinedCandidate {
+            replicas: replicas.to_vec(),
+            error: error.to_string(),
+        });
+    }
+
     /// Scans frontier `candidates` in enumeration order, assessing them
     /// in fixed-size batches (in parallel when the pool has more than
     /// one worker) and returning the first goal-satisfying assessment.
     /// Surplus batch results past the winner are discarded, so `trace`
     /// and `evaluations` match the serial early-exit path exactly.
+    ///
+    /// A candidate whose assessment fails with a candidate-local error
+    /// (see [`ConfigError::is_candidate_local`]) is quarantined instead
+    /// of aborting the search, unless [`SearchOptions::strict`] is set.
     fn evaluate_frontier(
         &self,
         candidates: Vec<Vec<usize>>,
         trace: &mut Vec<Assessment>,
         evaluations: &mut usize,
+        quarantined: &mut Vec<QuarantinedCandidate>,
     ) -> Result<Option<Assessment>, ConfigError> {
         let parallel = self.jobs() > 1;
+        let strict = self.options.strict;
         for batch in candidates.chunks(CANDIDATE_BATCH) {
             if parallel && batch.len() > 1 {
                 wfms_obs::gauge("engine.parallel-candidates", batch.len() as f64);
                 let results: Vec<Result<Assessment, ConfigError>> = self
                     .pool
                     .install(|| batch.par_iter().map(|y| self.assess_replicas(y)).collect());
-                for result in results {
-                    let assessment = result?;
+                for (y, result) in batch.iter().zip(results) {
+                    let assessment = match result {
+                        Ok(assessment) => assessment,
+                        Err(e) if !strict && e.is_candidate_local() => {
+                            self.quarantine(quarantined, y, &e);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     *evaluations += 1;
                     record_candidate(&assessment, assessment.meets_goals());
                     trace.push(assessment.clone());
@@ -557,7 +851,14 @@ impl AssessmentEngine {
                 }
             } else {
                 for y in batch {
-                    let assessment = self.assess_replicas(y)?;
+                    let assessment = match self.assess_replicas(y) {
+                        Ok(assessment) => assessment,
+                        Err(e) if !strict && e.is_candidate_local() => {
+                            self.quarantine(quarantined, y, &e);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     *evaluations += 1;
                     record_candidate(&assessment, assessment.meets_goals());
                     trace.push(assessment.clone());
@@ -598,8 +899,29 @@ impl AssessmentEngine {
         let mut config = Configuration::minimal(&self.registry);
         let mut trace = Vec::new();
         let mut evaluations = 0;
+        let mut quarantined = Vec::new();
         loop {
-            let assessment = self.assess(&config)?;
+            let assessment = match self.assess(&config) {
+                Ok(assessment) => assessment,
+                Err(e) if !opts.strict && e.is_candidate_local() => {
+                    // Quarantine the irrecoverable candidate and keep
+                    // climbing: without an assessment to steer by, grow
+                    // the most utilized type (the same tie-breaker the
+                    // saturated-candidate heuristic uses).
+                    self.quarantine(&mut quarantined, config.as_slice(), &e);
+                    if config.total_servers() >= opts.max_total_servers {
+                        return Err(ConfigError::GoalsUnreachable {
+                            budget: opts.max_total_servers,
+                            last_candidate: config.as_slice().to_vec(),
+                        });
+                    }
+                    let target =
+                        highest_utilization_type(&self.registry, &self.load, config.as_slice());
+                    config = config.with_added_replica(target)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             evaluations += 1;
             record_candidate(&assessment, assessment.meets_goals());
             trace.push(assessment.clone());
@@ -610,6 +932,7 @@ impl AssessmentEngine {
                     assessment,
                     trace,
                     evaluations,
+                    quarantined,
                 });
             }
             if config.total_servers() >= opts.max_total_servers {
@@ -639,6 +962,7 @@ impl AssessmentEngine {
         let mut obs_span = wfms_obs::span!("exhaustive-search", budget = opts.max_total_servers);
         let mut trace = Vec::new();
         let mut evaluations = 0;
+        let mut quarantined = Vec::new();
         for cost in k..=opts.max_total_servers {
             let mut candidates = Vec::new();
             let mut current = vec![1usize; k];
@@ -647,7 +971,7 @@ impl AssessmentEngine {
                 Ok(())
             })?;
             if let Some(assessment) =
-                self.evaluate_frontier(candidates, &mut trace, &mut evaluations)?
+                self.evaluate_frontier(candidates, &mut trace, &mut evaluations, &mut quarantined)?
             {
                 obs_span.record("evaluations", evaluations as u64);
                 obs_span.record("cost", assessment.cost as u64);
@@ -655,6 +979,7 @@ impl AssessmentEngine {
                     assessment,
                     trace,
                     evaluations,
+                    quarantined,
                 });
             }
         }
@@ -690,6 +1015,7 @@ impl AssessmentEngine {
         let mut obs_span = wfms_obs::span!("bnb-search", budget = opts.max_total_servers);
         let mut trace = Vec::new();
         let mut evaluations = 0;
+        let mut quarantined = Vec::new();
         for cost in lower_cost..=opts.max_total_servers {
             let mut candidates = Vec::new();
             let mut current = lower.clone();
@@ -698,7 +1024,7 @@ impl AssessmentEngine {
                 Ok(())
             })?;
             if let Some(assessment) =
-                self.evaluate_frontier(candidates, &mut trace, &mut evaluations)?
+                self.evaluate_frontier(candidates, &mut trace, &mut evaluations, &mut quarantined)?
             {
                 obs_span.record("evaluations", evaluations as u64);
                 obs_span.record("cost", assessment.cost as u64);
@@ -706,6 +1032,7 @@ impl AssessmentEngine {
                     assessment,
                     trace,
                     evaluations,
+                    quarantined,
                 });
             }
         }
@@ -965,6 +1292,86 @@ mod tests {
             ),
             AvailBackend::Sparse
         );
+    }
+
+    #[test]
+    fn invalid_solver_options_are_rejected_at_construction() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        for bad in [0.0, -1e-9, f64::NAN, f64::NEG_INFINITY] {
+            let opts = SearchOptions::builder().solver_tolerance(bad).build();
+            match AssessmentEngine::new(&reg, &load, &goals, opts).unwrap_err() {
+                ConfigError::InvalidOption { what, .. } => assert_eq!(what, "solver tolerance"),
+                other => panic!("expected InvalidOption, got {other:?}"),
+            }
+        }
+        let opts = SearchOptions::builder().solver_max_iterations(0).build();
+        match AssessmentEngine::new(&reg, &load, &goals, opts).unwrap_err() {
+            ConfigError::InvalidOption { what, .. } => assert_eq!(what, "solver max-iterations"),
+            other => panic!("expected InvalidOption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_sparse_solver_degrades_to_dense_lu() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        // One Gauss–Seidel sweep cannot reach 1e-12: the solve reports
+        // NotConverged and the supervision layer escalates to dense LU.
+        let starved_opts = SearchOptions::builder()
+            .avail_backend(AvailBackend::Sparse)
+            .solver_max_iterations(1)
+            .build();
+        let starved = AssessmentEngine::new(&reg, &load, &goals, starved_opts).unwrap();
+        let config = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        let a = starved.assess(&config).unwrap();
+        let d = a.degradation.clone().expect("fallback must be reported");
+        assert_eq!(d.solver_fallbacks, 1);
+        assert_eq!(d.failed_states, 0);
+        assert_eq!(d.charged_mass, 0.0);
+        assert!(d.details.is_empty());
+        // The fallback runs the exact dense pipeline: bit-identical
+        // numbers to a Dense-backend engine, modulo the report itself.
+        let dense_opts = SearchOptions::builder()
+            .avail_backend(AvailBackend::Dense)
+            .build();
+        let dense = AssessmentEngine::new(&reg, &load, &goals, dense_opts).unwrap();
+        let mut expected = dense.assess(&config).unwrap();
+        assert!(expected.degradation.is_none());
+        expected.degradation = a.degradation.clone();
+        assert_eq!(a, expected);
+        // Warm replays of the cached solution still carry the fallback.
+        let warm = starved.assess(&config).unwrap();
+        assert_eq!(warm.degradation.unwrap().solver_fallbacks, 1);
+    }
+
+    #[test]
+    fn strict_mode_propagates_sparse_solver_failure() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.8, &reg);
+        let goals = Goals::new(0.01, 0.9999).unwrap();
+        let opts = SearchOptions::builder()
+            .avail_backend(AvailBackend::Sparse)
+            .solver_max_iterations(1)
+            .strict(true)
+            .build();
+        let engine = AssessmentEngine::new(&reg, &load, &goals, opts).unwrap();
+        let config = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        let err = engine.assess(&config).unwrap_err();
+        assert!(matches!(err, ConfigError::Avail(_)), "got {err:?}");
+        assert!(err.is_candidate_local());
+    }
+
+    #[test]
+    fn clean_searches_report_no_quarantined_candidates() {
+        let reg = paper_section52_registry();
+        let load = load_at(0.5, &reg);
+        let goals = Goals::new(0.005, 0.999).unwrap();
+        let engine = AssessmentEngine::new(&reg, &load, &goals, SearchOptions::default()).unwrap();
+        assert!(engine.greedy().unwrap().quarantined.is_empty());
+        assert!(engine.exhaustive().unwrap().quarantined.is_empty());
     }
 
     #[test]

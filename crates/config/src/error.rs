@@ -61,6 +61,33 @@ pub enum ConfigError {
     Arch(ArchError),
     /// Specification failure.
     Spec(SpecError),
+    /// An assessment produced a non-finite metric (NaN/∞ availability or
+    /// waiting time) that no fallback could repair — the candidate's
+    /// numbers cannot be trusted. Searches quarantine the candidate
+    /// unless [`strict`](crate::SearchOptions::strict) is set.
+    NonFiniteAssessment {
+        /// The candidate's replica vector.
+        replicas: Vec<usize>,
+        /// Which metric was non-finite.
+        what: &'static str,
+    },
+}
+
+impl ConfigError {
+    /// True when the failure is local to a single candidate's model
+    /// evaluation (solver breakdowns, per-state kernel failures,
+    /// non-finite metrics) rather than a structural problem with the
+    /// search inputs. Non-strict searches quarantine candidates failing
+    /// with such errors and keep going; everything else always aborts.
+    pub fn is_candidate_local(&self) -> bool {
+        matches!(
+            self,
+            ConfigError::Avail(_)
+                | ConfigError::Perf(_)
+                | ConfigError::Performability(_)
+                | ConfigError::NonFiniteAssessment { .. }
+        )
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -86,6 +113,10 @@ impl fmt::Display for ConfigError {
             ConfigError::Performability(e) => write!(f, "performability model error: {e}"),
             ConfigError::Arch(e) => write!(f, "architecture error: {e}"),
             ConfigError::Spec(e) => write!(f, "specification error: {e}"),
+            ConfigError::NonFiniteAssessment { replicas, what } => write!(
+                f,
+                "assessment of candidate {replicas:?} produced a non-finite {what}"
+            ),
         }
     }
 }

@@ -26,7 +26,9 @@ pub mod search;
 pub mod sensitivity;
 
 pub use annealing::{annealing_search, AnnealingOptions};
-pub use assess::{assess, Assessment};
+pub use assess::{
+    assess, Assessment, DegradationReport, DegradedStateRecord, DEGRADATION_DETAIL_CAP,
+};
 pub use calibrate::{
     apply_to_spec, calibrate_from_traces, ApplyOptions, ApplyReport, CalibratedChart, StateVisit,
     WorkflowTrace, TRACE_FINAL,
@@ -36,7 +38,8 @@ pub use error::ConfigError;
 pub use goals::{GoalCheck, Goals};
 pub use search::{
     branch_and_bound_search, exhaustive_search, goal_lower_bounds, greedy_search,
-    minimum_stable_replicas, SearchOptions, SearchOptionsBuilder, SearchResult,
+    minimum_stable_replicas, QuarantinedCandidate, SearchOptions, SearchOptionsBuilder,
+    SearchResult,
 };
 pub use sensitivity::{sensitivity, Parameter, SensitivityEntry, SensitivityOptions};
 pub use wfms_avail::AvailBackend;

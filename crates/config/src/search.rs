@@ -65,6 +65,37 @@ pub struct SearchOptions {
     /// [`AvailBackend`]. The default `Auto` resolves per candidate from
     /// the policy, state-space size, and `epsilon`.
     pub avail_backend: AvailBackend,
+    /// Convergence tolerance of the engine's iterative (Gauss–Seidel)
+    /// availability solves. Must be finite and positive; validated by
+    /// [`AssessmentEngine::new`](crate::AssessmentEngine::new). The
+    /// default `1e-12` makes the stationary vector interchangeable with
+    /// a direct solve.
+    #[serde(default = "default_solver_tolerance")]
+    pub solver_tolerance: f64,
+    /// Sweep cap of the engine's iterative availability solves. Must be
+    /// positive; validated by
+    /// [`AssessmentEngine::new`](crate::AssessmentEngine::new).
+    #[serde(default = "default_solver_max_iterations")]
+    pub solver_max_iterations: usize,
+    /// Fail-fast mode: when `true`, any candidate-level solver or model
+    /// failure aborts the assessment or search immediately (the
+    /// historical behaviour). When `false` (the default), the engine
+    /// degrades gracefully: failed availability solves fall back to a
+    /// dense LU solve, failed degraded-state evaluations are charged
+    /// with their sound pessimistic waiting-time cap and recorded in
+    /// [`Assessment::degradation`](crate::Assessment), and searches
+    /// quarantine irrecoverable candidates in
+    /// [`SearchResult::quarantined`] instead of aborting.
+    #[serde(default)]
+    pub strict: bool,
+}
+
+fn default_solver_tolerance() -> f64 {
+    1e-12
+}
+
+fn default_solver_max_iterations() -> usize {
+    100_000
 }
 
 impl Default for SearchOptions {
@@ -76,6 +107,9 @@ impl Default for SearchOptions {
             solution_cache_capacity: 4_096,
             epsilon: 0.0,
             avail_backend: AvailBackend::Auto,
+            solver_tolerance: default_solver_tolerance(),
+            solver_max_iterations: default_solver_max_iterations(),
+            strict: false,
         }
     }
 }
@@ -140,10 +174,43 @@ impl SearchOptionsBuilder {
         self
     }
 
+    /// Sets the iterative-solver convergence tolerance. Validated by
+    /// [`AssessmentEngine::new`](crate::AssessmentEngine::new).
+    #[must_use]
+    pub fn solver_tolerance(mut self, tolerance: f64) -> Self {
+        self.opts.solver_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iterative-solver sweep cap. Validated by
+    /// [`AssessmentEngine::new`](crate::AssessmentEngine::new).
+    #[must_use]
+    pub fn solver_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.opts.solver_max_iterations = max_iterations;
+        self
+    }
+
+    /// Enables or disables fail-fast mode (see [`SearchOptions::strict`]).
+    #[must_use]
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.opts.strict = strict;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SearchOptions {
         self.opts
     }
+}
+
+/// A candidate configuration a search set aside because its assessment
+/// failed irrecoverably (and [`SearchOptions::strict`] was off).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedCandidate {
+    /// The candidate's replica vector.
+    pub replicas: Vec<usize>,
+    /// Human-readable description of the failure.
+    pub error: String,
 }
 
 /// Outcome of a configuration search.
@@ -155,6 +222,12 @@ pub struct SearchResult {
     pub trace: Vec<Assessment>,
     /// Number of model evaluations performed.
     pub evaluations: usize,
+    /// Candidates whose assessment failed irrecoverably and were skipped
+    /// instead of aborting the search. Always empty under
+    /// [`SearchOptions::strict`] (failures abort instead) and in clean
+    /// runs.
+    #[serde(default)]
+    pub quarantined: Vec<QuarantinedCandidate>,
 }
 
 impl SearchResult {
@@ -245,11 +318,22 @@ pub(crate) fn performability_critical_type(
         return ServerTypeId(best);
     }
     // Saturated somewhere: highest utilization at the current replica count.
+    highest_utilization_type(registry, load, &assessment.replicas)
+}
+
+/// The server type with the highest per-replica utilization at the given
+/// replica counts — the saturated-candidate fallback of the greedy step,
+/// also used to keep progressing past a quarantined candidate (no
+/// assessment exists then, but the utilizations need only the load).
+pub(crate) fn highest_utilization_type(
+    registry: &ServerTypeRegistry,
+    load: &SystemLoad,
+    replicas: &[usize],
+) -> ServerTypeId {
     let mut best = 0;
     let mut best_util = f64::MIN;
     for (id, st) in registry.iter() {
-        let util =
-            load.request_rates[id.0] * st.service_time_mean / assessment.replicas[id.0] as f64;
+        let util = load.request_rates[id.0] * st.service_time_mean / replicas[id.0] as f64;
         if util > best_util {
             best_util = util;
             best = id.0;

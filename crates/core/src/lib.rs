@@ -34,6 +34,7 @@
 //! | [`avail`] | 5 | system-state CTMC, availability, downtime |
 //! | [`performability`] | 6 | degradation-aware expected waiting times |
 //! | [`config`] | 7 | goals, greedy/exhaustive search, calibration |
+//! | [`fault`] | — | failpoint registry for fault-injection testing |
 //! | [`sim`] | (validation) | discrete-event WFMS simulator |
 //! | [`workloads`] | 3.1 | EP workflow (Figs. 3–4) and enterprise mixes |
 
@@ -47,6 +48,7 @@ pub use wfms_analysis as analysis;
 pub use wfms_avail as avail;
 pub use wfms_config as config;
 pub use wfms_diag as diag;
+pub use wfms_fault as fault;
 pub use wfms_markov as markov;
 pub use wfms_perf as perf;
 pub use wfms_performability as performability;
@@ -57,8 +59,8 @@ pub use wfms_workloads as workloads;
 
 pub use wfms_avail::AvailBackend;
 pub use wfms_config::{
-    Assessment, AssessmentEngine, CacheStats, ConfigError, GoalCheck, Goals, SearchOptions,
-    SearchOptionsBuilder, SearchResult,
+    Assessment, AssessmentEngine, CacheStats, ConfigError, DegradationReport, DegradedStateRecord,
+    GoalCheck, Goals, QuarantinedCandidate, SearchOptions, SearchOptionsBuilder, SearchResult,
 };
 pub use wfms_performability::{DegradedPolicy, PerformabilityReport, TruncationReport};
 pub use wfms_statechart::{Configuration, ServerTypeRegistry, SystemState, WorkflowSpec};

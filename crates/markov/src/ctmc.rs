@@ -325,7 +325,25 @@ impl Ctmc {
                 }
                 other => ChainError::Lu(other),
             })?,
-            LinearSolver::GaussSeidel(opts) => linalg::gauss_seidel(&a, &b, opts)?.x,
+            // Supervised solve: a Gauss–Seidel breakdown escalates through
+            // SOR to dense LU instead of aborting the analysis.
+            LinearSolver::GaussSeidel(opts) => {
+                let sol = linalg::solve_resilient(&a, &b, opts, linalg::SolveBudget::default())
+                    .map_err(|e| match e {
+                        linalg::ResilientError::Iterative(it) => ChainError::Iterative(it),
+                        linalg::ResilientError::Lu(lu_err) => ChainError::Lu(lu_err),
+                        linalg::ResilientError::BudgetExhausted {
+                            iterations_spent, ..
+                        } => ChainError::Iterative(linalg::IterativeError::NotConverged {
+                            iterations: iterations_spent,
+                            last_residual: f64::INFINITY,
+                        }),
+                    })?;
+                if sol.fallbacks > 0 {
+                    obs_span.record("fallbacks", sol.fallbacks as usize);
+                }
+                sol.x
+            }
         };
         debug_assert!(
             x.iter().all(|m| m.is_finite() && *m >= -1e-9),

@@ -158,6 +158,26 @@ pub fn sor(
     };
 
     let omega = opts.relaxation;
+    // Failpoint: `linalg.gauss-seidel` when running as plain Gauss–Seidel,
+    // `linalg.sor` otherwise. Error injection surfaces as the solver's own
+    // `NotConverged` so supervision layers exercise the real escalation
+    // path; NaN injection poisons the returned solution vector.
+    let fault_site = if omega == 1.0 {
+        "linalg.gauss-seidel"
+    } else {
+        "linalg.sor"
+    };
+    let mut poison_solution = false;
+    match wfms_fault::point!(fault_site) {
+        Some(wfms_fault::Injection::Error) => {
+            return Err(IterativeError::NotConverged {
+                iterations: 0,
+                last_residual: f64::INFINITY,
+            });
+        }
+        Some(wfms_fault::Injection::Nan) => poison_solution = true,
+        None => {}
+    }
     let mut obs_span = wfms_obs::span!("linear-solve", n = n, relaxation = omega);
     let mut last_residual = f64::INFINITY;
     for sweep in 1..=opts.max_iterations {
@@ -191,6 +211,9 @@ pub fn sor(
                 obs_span.record("spectral_radius_est", rho);
                 wfms_obs::histogram("markov.linear-solve.iterations", sweep as u64);
                 wfms_obs::gauge("markov.sor.spectral-radius-estimate", rho);
+            }
+            if poison_solution && !x.is_empty() {
+                x[0] = f64::NAN;
             }
             return Ok(IterativeSolution {
                 x,
@@ -247,6 +270,18 @@ pub fn power_iteration(
         return Err(IterativeError::NotSquare { shape: p.shape() });
     }
     let n = p.rows();
+    // Failpoint: see the module table in DESIGN.md.
+    let mut poison_solution = false;
+    match wfms_fault::point!("linalg.power-iteration") {
+        Some(wfms_fault::Injection::Error) => {
+            return Err(IterativeError::NotConverged {
+                iterations: 0,
+                last_residual: f64::INFINITY,
+            });
+        }
+        Some(wfms_fault::Injection::Nan) => poison_solution = true,
+        None => {}
+    }
     let mut pi = vec![1.0 / n as f64; n];
     let mut last_residual = f64::INFINITY;
     debug_assert!(
@@ -279,6 +314,9 @@ pub fn power_iteration(
         last_residual = change;
         if change <= tolerance {
             wfms_obs::histogram("markov.power-iteration.iterations", iter as u64);
+            if poison_solution && !pi.is_empty() {
+                pi[0] = f64::NAN;
+            }
             return Ok(IterativeSolution {
                 x: pi,
                 iterations: iter,

@@ -198,7 +198,19 @@ impl LuDecomposition {
 /// # Errors
 /// See [`LuDecomposition::new`] and [`LuDecomposition::solve`].
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LuError> {
-    LuDecomposition::new(a)?.solve(b)
+    // Failpoint `linalg.dense-lu`: error injection surfaces as a singular
+    // factorization, NaN injection poisons the solution vector.
+    let mut poison_solution = false;
+    match wfms_fault::point!("linalg.dense-lu") {
+        Some(wfms_fault::Injection::Error) => return Err(LuError::Singular { column: 0 }),
+        Some(wfms_fault::Injection::Nan) => poison_solution = true,
+        None => {}
+    }
+    let mut x = LuDecomposition::new(a)?.solve(b)?;
+    if poison_solution && !x.is_empty() {
+        x[0] = f64::NAN;
+    }
+    Ok(x)
 }
 
 #[cfg(test)]

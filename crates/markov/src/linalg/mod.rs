@@ -14,10 +14,14 @@
 //! * [`iterative`] — Gauss–Seidel / SOR, the solver the paper names for
 //!   both the first-passage system (Sec. 4.1) and the steady-state
 //!   system (Sec. 5.2), plus power iteration for stochastic matrices.
+//! * [`resilient`] — a supervised Gauss–Seidel → SOR → LU escalation
+//!   ladder with a per-solve budget, for callers that must degrade
+//!   instead of aborting on solver failure.
 
 pub mod iterative;
 pub mod lu;
 pub mod matrix;
+pub mod resilient;
 pub mod sparse;
 
 pub use iterative::{
@@ -25,6 +29,7 @@ pub use iterative::{
 };
 pub use lu::{LuDecomposition, LuError};
 pub use matrix::{Matrix, MatrixError};
+pub use resilient::{solve_resilient, ResilientError, ResilientSolution, SolveBudget};
 pub use sparse::{sparse_steady_state_gauss_seidel, CsrMatrix, SparseError};
 
 /// Maximum relative difference between two vectors, `max_i |a_i - b_i| /

@@ -1,0 +1,401 @@
+//! Resilient linear solves: a supervised escalation ladder over the
+//! solvers in this module.
+//!
+//! The paper's configuration tool needs *an* answer for every candidate
+//! configuration it inspects; a single `NotConverged` from Gauss–Seidel
+//! must not abort a whole search. [`solve_resilient`] therefore escalates
+//!
+//! ```text
+//! Gauss–Seidel  →  SOR (ω = 1.2, cold start)  →  dense LU
+//! ```
+//!
+//! advancing on [`IterativeError::NotConverged`], [`IterativeError::ZeroDiagonal`],
+//! or a non-finite solution vector, under a per-solve [`SolveBudget`]
+//! capping total sweeps and wall-clock time. Structural errors
+//! (non-square matrix, wrong right-hand-side length) abort immediately —
+//! no solver in the ladder could do better.
+//!
+//! Every escalation increments the `solver.fallback` obs counter; running
+//! out of budget increments `solver.budget-exhausted`. Both names are
+//! stable identifiers (see the wfms-obs tables and DESIGN.md).
+
+use std::time::{Duration, Instant};
+
+use wfms_obs;
+
+use super::iterative::{gauss_seidel, sor, GaussSeidelOptions, IterativeError};
+use super::lu::{self, LuError};
+use super::matrix::Matrix;
+
+/// Relaxation factor used by the SOR rung of the ladder. Mild
+/// over-relaxation; chosen to differ from plain Gauss–Seidel without
+/// risking divergence on the diagonally dominant systems we solve.
+const FALLBACK_SOR_RELAXATION: f64 = 1.2;
+
+/// Per-solve resource budget for [`solve_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveBudget {
+    /// Total iterative sweeps allowed across all rungs of the ladder.
+    /// Each rung gets at most the remainder; when it reaches zero the
+    /// ladder skips straight to dense LU (which is not iterative).
+    pub max_iterations: usize,
+    /// Optional wall-clock cap checked between rungs. `None` = unlimited.
+    pub wall_clock: Option<Duration>,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget {
+            max_iterations: 200_000,
+            wall_clock: None,
+        }
+    }
+}
+
+/// Successful outcome of [`solve_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientSolution {
+    /// Solution vector.
+    pub x: Vec<f64>,
+    /// Iterative sweeps spent across all attempted rungs (0 when only
+    /// dense LU ran).
+    pub iterations: usize,
+    /// Residual of the winning iterative rung; `0.0` for dense LU.
+    pub residual: f64,
+    /// Escalations taken: 0 = Gauss–Seidel answered, 1 = SOR, 2 = LU.
+    pub fallbacks: u32,
+    /// Stable name of the rung that produced `x`:
+    /// `"gauss-seidel"`, `"sor"`, or `"dense-lu"`.
+    pub solver: &'static str,
+}
+
+/// Terminal failure of the whole ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResilientError {
+    /// A structural error no escalation can fix, or the last iterative
+    /// failure when LU also failed structurally.
+    Iterative(IterativeError),
+    /// Dense LU — the final rung — failed.
+    Lu(LuError),
+    /// The [`SolveBudget`] ran out before any rung produced a finite
+    /// solution.
+    BudgetExhausted {
+        /// Rung that was about to run when the budget expired.
+        stage: &'static str,
+        /// Iterative sweeps spent so far.
+        iterations_spent: usize,
+    },
+}
+
+impl std::fmt::Display for ResilientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientError::Iterative(e) => write!(f, "resilient solve failed: {e}"),
+            ResilientError::Lu(e) => write!(f, "resilient solve failed in dense LU: {e}"),
+            ResilientError::BudgetExhausted {
+                stage,
+                iterations_spent,
+            } => write!(
+                f,
+                "solve budget exhausted before the {stage} stage \
+                 ({iterations_spent} sweeps spent)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResilientError {}
+
+impl From<IterativeError> for ResilientError {
+    fn from(e: IterativeError) -> Self {
+        ResilientError::Iterative(e)
+    }
+}
+
+impl From<LuError> for ResilientError {
+    fn from(e: LuError) -> Self {
+        ResilientError::Lu(e)
+    }
+}
+
+/// Whether an iterative failure is worth escalating past. Structural
+/// errors (shape mismatches, bad relaxation) would fail identically on
+/// every rung and abort the ladder instead.
+fn escalatable(e: &IterativeError) -> bool {
+    matches!(
+        e,
+        IterativeError::NotConverged { .. } | IterativeError::ZeroDiagonal { .. }
+    )
+}
+
+fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Solve `A x = b` with the Gauss–Seidel → SOR → dense-LU escalation
+/// ladder described in the module docs.
+///
+/// `opts` configures the Gauss–Seidel rung (its `relaxation` is forced to
+/// `1.0`); the SOR rung reuses its tolerance with ω = 1.2 and a cold
+/// start (never the possibly NaN-poisoned previous iterate). Each rung's
+/// sweep cap is additionally clamped to the budget's remaining
+/// iterations.
+///
+/// # Errors
+/// * [`ResilientError::Iterative`] on structural errors (non-square,
+///   wrong rhs length).
+/// * [`ResilientError::BudgetExhausted`] when the budget expires before a
+///   finite solution is found.
+/// * [`ResilientError::Lu`] when the final dense-LU rung fails or yields
+///   a non-finite solution (reported as the LU error, or as the last
+///   iterative error via [`ResilientError::Iterative`] for non-finite).
+pub fn solve_resilient(
+    a: &Matrix,
+    b: &[f64],
+    opts: GaussSeidelOptions,
+    budget: SolveBudget,
+) -> Result<ResilientSolution, ResilientError> {
+    let start = Instant::now();
+    let mut spent = 0usize;
+    let mut fallbacks = 0u32;
+
+    let out_of_time = |start: &Instant| match budget.wall_clock {
+        Some(cap) => start.elapsed() >= cap,
+        None => false,
+    };
+    let check_budget =
+        |stage: &'static str, spent: usize, start: &Instant| -> Result<(), ResilientError> {
+            if spent >= budget.max_iterations || out_of_time(start) {
+                wfms_obs::counter("solver.budget-exhausted", 1);
+                return Err(ResilientError::BudgetExhausted {
+                    stage,
+                    iterations_spent: spent,
+                });
+            }
+            Ok(())
+        };
+    let escalate = |fallbacks: &mut u32, from: &'static str| {
+        *fallbacks += 1;
+        wfms_obs::counter("solver.fallback", 1);
+        let mut span = wfms_obs::span!("solver-fallback");
+        span.record("from", from);
+    };
+
+    // Rung 1: plain Gauss–Seidel.
+    check_budget("gauss-seidel", spent, &start)?;
+    let gs_opts = GaussSeidelOptions {
+        relaxation: 1.0,
+        max_iterations: opts.max_iterations.min(budget.max_iterations),
+        ..opts
+    };
+    match gauss_seidel(a, b, gs_opts) {
+        Ok(sol) => {
+            spent += sol.iterations;
+            if all_finite(&sol.x) {
+                return Ok(ResilientSolution {
+                    x: sol.x,
+                    iterations: spent,
+                    residual: sol.residual,
+                    fallbacks,
+                    solver: "gauss-seidel",
+                });
+            }
+        }
+        Err(e) if escalatable(&e) => {
+            if let IterativeError::NotConverged { iterations, .. } = e {
+                spent += iterations;
+            }
+        }
+        Err(e) => return Err(e.into()),
+    }
+    escalate(&mut fallbacks, "gauss-seidel");
+
+    // Rung 2: SOR with mild over-relaxation, cold start.
+    check_budget("sor", spent, &start)?;
+    let sor_opts = GaussSeidelOptions {
+        relaxation: FALLBACK_SOR_RELAXATION,
+        max_iterations: opts
+            .max_iterations
+            .min(budget.max_iterations.saturating_sub(spent)),
+        ..opts
+    };
+    match sor(a, b, None, sor_opts) {
+        Ok(sol) => {
+            spent += sol.iterations;
+            if all_finite(&sol.x) {
+                return Ok(ResilientSolution {
+                    x: sol.x,
+                    iterations: spent,
+                    residual: sol.residual,
+                    fallbacks,
+                    solver: "sor",
+                });
+            }
+        }
+        Err(e) if escalatable(&e) => {
+            if let IterativeError::NotConverged { iterations, .. } = e {
+                spent += iterations;
+            }
+        }
+        Err(e) => return Err(e.into()),
+    }
+    escalate(&mut fallbacks, "sor");
+
+    // Rung 3: dense LU. Not iterative, so only the wall clock can veto it.
+    if out_of_time(&start) {
+        wfms_obs::counter("solver.budget-exhausted", 1);
+        return Err(ResilientError::BudgetExhausted {
+            stage: "dense-lu",
+            iterations_spent: spent,
+        });
+    }
+    let x = lu::solve(a, b)?;
+    if !all_finite(&x) {
+        return Err(ResilientError::Iterative(IterativeError::NotConverged {
+            iterations: spent,
+            last_residual: f64::NAN,
+        }));
+    }
+    Ok(ResilientSolution {
+        x,
+        iterations: spent,
+        residual: 0.0,
+        fallbacks,
+        solver: "dense-lu",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::relative_difference;
+
+    fn system() -> (Matrix, Vec<f64>, Vec<f64>) {
+        let a = Matrix::from_nested(&[&[4.0, 1.0, 0.0], &[1.0, 5.0, 2.0], &[0.0, 2.0, 6.0]]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true).unwrap();
+        (a, b, x_true)
+    }
+
+    #[test]
+    fn clean_solve_stays_on_gauss_seidel() {
+        let (a, b, x_true) = system();
+        let sol = solve_resilient(
+            &a,
+            &b,
+            GaussSeidelOptions::default(),
+            SolveBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(sol.solver, "gauss-seidel");
+        assert_eq!(sol.fallbacks, 0);
+        assert!(relative_difference(&sol.x, &x_true) < 1e-9);
+    }
+
+    #[test]
+    fn starved_gauss_seidel_escalates_and_still_solves() {
+        let (a, b, x_true) = system();
+        // One sweep is not enough for GS or SOR, so the ladder must reach LU.
+        let opts = GaussSeidelOptions {
+            max_iterations: 1,
+            tolerance: 1e-14,
+            ..Default::default()
+        };
+        let sol = solve_resilient(&a, &b, opts, SolveBudget::default()).unwrap();
+        assert_eq!(sol.solver, "dense-lu");
+        assert_eq!(sol.fallbacks, 2);
+        assert!(relative_difference(&sol.x, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn injected_gs_failure_falls_back_to_sor() {
+        let (a, b, x_true) = system();
+        wfms_fault::configure("linalg.gauss-seidel", wfms_fault::FaultMode::Error, 1.0);
+        let sol = solve_resilient(
+            &a,
+            &b,
+            GaussSeidelOptions::default(),
+            SolveBudget::default(),
+        )
+        .unwrap();
+        wfms_fault::clear();
+        assert_eq!(sol.solver, "sor");
+        assert_eq!(sol.fallbacks, 1);
+        assert!(relative_difference(&sol.x, &x_true) < 1e-9);
+    }
+
+    #[test]
+    fn nan_poisoned_iterates_escalate_to_lu() {
+        let (a, b, x_true) = system();
+        // Both iterative rungs report success but with a poisoned vector;
+        // the finite check must push the ladder to LU.
+        wfms_fault::configure("linalg.gauss-seidel", wfms_fault::FaultMode::Nan, 1.0);
+        wfms_fault::configure("linalg.sor", wfms_fault::FaultMode::Nan, 1.0);
+        let sol = solve_resilient(
+            &a,
+            &b,
+            GaussSeidelOptions::default(),
+            SolveBudget::default(),
+        )
+        .unwrap();
+        wfms_fault::clear();
+        assert_eq!(sol.solver, "dense-lu");
+        assert_eq!(sol.fallbacks, 2);
+        assert!(relative_difference(&sol.x, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_iteration_budget_is_reported() {
+        let (a, b, _) = system();
+        let err = solve_resilient(
+            &a,
+            &b,
+            GaussSeidelOptions::default(),
+            SolveBudget {
+                max_iterations: 0,
+                wall_clock: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ResilientError::BudgetExhausted {
+                stage: "gauss-seidel",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_wall_clock_is_reported() {
+        let (a, b, _) = system();
+        let err = solve_resilient(
+            &a,
+            &b,
+            GaussSeidelOptions::default(),
+            SolveBudget {
+                max_iterations: 200_000,
+                wall_clock: Some(Duration::from_secs(0)),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResilientError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn structural_errors_do_not_escalate() {
+        let a = Matrix::zeros(2, 3);
+        let b = vec![1.0, 2.0];
+        let err = solve_resilient(
+            &a,
+            &b,
+            GaussSeidelOptions::default(),
+            SolveBudget::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ResilientError::Iterative(IterativeError::NotSquare { .. })
+        ));
+    }
+}

@@ -199,6 +199,19 @@ pub fn sparse_steady_state_gauss_seidel(
             return Err(IterativeError::ZeroDiagonal { row: i });
         }
     }
+    // Failpoint `linalg.sparse-gs`: error injection surfaces as the
+    // solver's own `NotConverged`, NaN injection poisons the solution.
+    let mut poison_solution = false;
+    match wfms_fault::point!("linalg.sparse-gs") {
+        Some(wfms_fault::Injection::Error) => {
+            return Err(IterativeError::NotConverged {
+                iterations: 0,
+                last_residual: f64::INFINITY,
+            });
+        }
+        Some(wfms_fault::Injection::Nan) => poison_solution = true,
+        None => {}
+    }
     let mut pi = vec![1.0 / n as f64; n];
     for sweep in 1..=opts.max_iterations {
         let mut max_change = 0.0f64;
@@ -221,6 +234,9 @@ pub fn sparse_steady_state_gauss_seidel(
             }
         }
         if max_change <= opts.tolerance {
+            if poison_solution && !pi.is_empty() {
+                pi[0] = f64::NAN;
+            }
             return Ok(IterativeSolution {
                 x: pi,
                 iterations: sweep,

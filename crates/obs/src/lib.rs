@@ -60,6 +60,17 @@
 //! | `engine.cache-miss` | counter | `wfms-config` | lookups that had to compute (one per first evaluation of a state, block, or candidate) |
 //! | `engine.parallel-candidates` | gauge | `wfms-config` | size of the last candidate batch dispatched to the worker pool |
 //!
+//! The graceful-degradation layer (DESIGN.md §10) adds four more; the
+//! first two must stay **zero** on a clean run, and `wfms profile
+//! --check` gates on exactly that:
+//!
+//! | metric | kind | emitted by | meaning |
+//! |---|---|---|---|
+//! | `solver.fallback` | counter | `wfms-markov` / `wfms-config` | solves that escalated down a fallback ladder (e.g. sparse Gauss–Seidel → dense LU), each paired with a `solver-fallback` span |
+//! | `config.quarantined` | counter | `wfms-config` | candidates whose assessment failed irrecoverably and were skipped by a search |
+//! | `config.degraded-assessments` | counter | `wfms-config` | assessments that carried a `DegradationReport` |
+//! | `solver.budget-exhausted` | counter | `wfms-markov` | resilient-solve stages that ran out of iterations before converging |
+//!
 //! ```
 //! wfms_obs::global().reset();
 //! wfms_obs::enable();

@@ -153,6 +153,13 @@ pub enum PerformabilityError {
         /// The offending value.
         value: f64,
     },
+    /// A `wfms-fault` failpoint fired in error mode at the named site.
+    /// Only ever produced under explicit fault injection (tests, chaos
+    /// runs); carries the stable site name for assertions.
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
 }
 
 impl std::fmt::Display for PerformabilityError {
@@ -168,6 +175,9 @@ impl std::fmt::Display for PerformabilityError {
             }
             PerformabilityError::InvalidEpsilon { value } => {
                 write!(f, "truncation epsilon {value} outside [0, 1)")
+            }
+            PerformabilityError::FaultInjected { site } => {
+                write!(f, "fault injected at failpoint `{site}`")
             }
         }
     }
@@ -272,7 +282,28 @@ pub fn evaluate_state(
     registry: &ServerTypeRegistry,
     state: &[usize],
 ) -> Result<StateEvaluation, PerformabilityError> {
-    let outcomes = waiting_times(load, registry, state)?;
+    // Failpoint `performability.evaluate-state`: error injection fails
+    // this one state's kernel (the engine charges the state with its
+    // pessimistic cap); NaN injection poisons its first stable outcome.
+    let mut poison_outcome = false;
+    match wfms_fault::point!("performability.evaluate-state") {
+        Some(wfms_fault::Injection::Error) => {
+            return Err(PerformabilityError::FaultInjected {
+                site: "performability.evaluate-state",
+            });
+        }
+        Some(wfms_fault::Injection::Nan) => poison_outcome = true,
+        None => {}
+    }
+    let mut outcomes = waiting_times(load, registry, state)?;
+    if poison_outcome {
+        for o in outcomes.iter_mut() {
+            if let WaitingOutcome::Stable { waiting_time, .. } = o {
+                *waiting_time = f64::NAN;
+                break;
+            }
+        }
+    }
     let down = outcomes.iter().any(|o| matches!(o, WaitingOutcome::Down));
     let saturated = !down
         && outcomes
@@ -314,6 +345,18 @@ where
             });
         }
     }
+    // Failpoint `performability.fold`: error injection fails the whole
+    // reward accumulation; NaN injection poisons the folded waits.
+    let mut poison_fold = false;
+    match wfms_fault::point!("performability.fold") {
+        Some(wfms_fault::Injection::Error) => {
+            return Err(PerformabilityError::FaultInjected {
+                site: "performability.fold",
+            });
+        }
+        Some(wfms_fault::Injection::Nan) => poison_fold = true,
+        None => {}
+    }
     let mut obs_span = wfms_obs::span!("performability");
     let mut details = Vec::new();
     let mut probability_down = 0.0;
@@ -350,6 +393,9 @@ where
             for d in &details {
                 if d.is_serving() {
                     for (x, o) in d.outcomes.iter().enumerate() {
+                        // Infallible: `is_serving()` means no outcome is
+                        // Down or Saturated, so every outcome is Stable
+                        // and `waiting_time()` is Some.
                         expected_waiting[x] +=
                             d.probability * o.waiting_time().expect("serving state is stable");
                     }
@@ -374,6 +420,11 @@ where
     wfms_obs::counter("performability.state-evaluations", details.len() as u64);
     wfms_obs::counter("performability.degraded-evaluations", degraded_evaluations);
 
+    if poison_fold {
+        if let Some(w) = expected_waiting.first_mut() {
+            *w = f64::NAN;
+        }
+    }
     Ok(PerformabilityReport {
         expected_waiting,
         probability_down,
@@ -500,6 +551,17 @@ where
             actual: opts.waiting_caps.len(),
         }));
     }
+    // Failpoint `performability.fold`: shared with the untruncated fold.
+    let mut poison_fold = false;
+    match wfms_fault::point!("performability.fold") {
+        Some(wfms_fault::Injection::Error) => {
+            return Err(PerformabilityError::FaultInjected {
+                site: "performability.fold",
+            });
+        }
+        Some(wfms_fault::Injection::Nan) => poison_fold = true,
+        None => {}
+    }
     let mut obs_span = wfms_obs::span!("performability");
     let mut details = Vec::new();
     let mut probability_down = 0.0;
@@ -555,6 +617,9 @@ where
             for d in &details {
                 if d.is_serving() {
                     for (x, o) in d.outcomes.iter().enumerate() {
+                        // Infallible: `is_serving()` means no outcome is
+                        // Down or Saturated, so every outcome is Stable
+                        // and `waiting_time()` is Some.
                         expected_waiting[x] +=
                             d.probability * o.waiting_time().expect("serving state is stable");
                     }
@@ -588,6 +653,11 @@ where
     wfms_obs::counter("performability.degraded-evaluations", degraded_evaluations);
     wfms_obs::counter("performability.pruned-states", states_skipped as u64);
 
+    if poison_fold {
+        if let Some(w) = expected_waiting.first_mut() {
+            *w = f64::NAN;
+        }
+    }
     Ok(PerformabilityReport {
         expected_waiting,
         probability_down,

@@ -224,6 +224,10 @@ struct Engine<'a> {
     instances: HashMap<u64, Instance>,
     next_iid: u64,
     pools: Vec<Pool>,
+    // Per-type failure/repair means, precomputed so the hot failure and
+    // repair handlers never index back into the registry.
+    mttf: Vec<f64>,
+    mttr: Vec<f64>,
     // availability accounting
     types_up: Vec<usize>,
     type_uptime: Vec<f64>,
@@ -291,7 +295,11 @@ pub fn run(
     }
 
     let mut pools = Vec::with_capacity(k);
+    let mut mttf = Vec::with_capacity(k);
+    let mut mttr = Vec::with_capacity(k);
     for (id, st) in registry.iter() {
+        mttf.push(st.mttf());
+        mttr.push(st.mttr());
         let scv = (st.service_time_second_moment - st.service_time_mean * st.service_time_mean)
             .max(0.0)
             / (st.service_time_mean * st.service_time_mean);
@@ -329,6 +337,8 @@ pub fn run(
         instances: HashMap::new(),
         next_iid: 0,
         pools,
+        mttf,
+        mttr,
         types_up: config.as_slice().to_vec(),
         type_uptime: vec![0.0; k],
         system_uptime: 0.0,
@@ -375,11 +385,7 @@ impl Engine<'_> {
         }
         if self.opts.failures_enabled {
             for x in 0..self.pools.len() {
-                let mttf = self
-                    .registry
-                    .get(wfms_statechart::ServerTypeId(x))
-                    .expect("registry index")
-                    .mttf();
+                let mttf = self.mttf[x];
                 for r in 0..self.pools[x].replicas.len() {
                     let t = sample_exponential(&mut self.rng, 1.0 / mttf);
                     if t <= self.opts.duration_minutes {
@@ -609,6 +615,8 @@ impl Engine<'_> {
             );
             let u: f64 = self.rng.gen();
             let mut acc = 0.0;
+            // Infallible: spec validation rejects non-final states with no
+            // outgoing transitions, and the debug_assert above re-checks.
             let mut chosen = outgoing.last().expect("validated chart").0;
             for &(to, p) in outgoing {
                 acc += p;
@@ -634,6 +642,8 @@ impl Engine<'_> {
         match parent {
             Some(p) => {
                 let ready = {
+                    // Infallible: the instance was present two lookups above
+                    // in this same handler and nothing removes it in between.
                     let inst = self.instances.get_mut(&iid).expect("instance exists");
                     let f = &mut inst.frames[p];
                     f.pending_children -= 1;
@@ -821,12 +831,7 @@ impl Engine<'_> {
             }
         }
         // Repair completes after an exponential repair time.
-        let mttr = self
-            .registry
-            .get(wfms_statechart::ServerTypeId(x))
-            .expect("registry index")
-            .mttr();
-        let t = self.now + sample_exponential(&mut self.rng, 1.0 / mttr);
+        let t = self.now + sample_exponential(&mut self.rng, 1.0 / self.mttr[x]);
         self.schedule(
             t,
             EventKind::Repair {
@@ -856,12 +861,7 @@ impl Engine<'_> {
         }
         self.try_start(x, r);
         // Schedule this replica's next failure.
-        let mttf = self
-            .registry
-            .get(wfms_statechart::ServerTypeId(x))
-            .expect("registry index")
-            .mttf();
-        let t = self.now + sample_exponential(&mut self.rng, 1.0 / mttf);
+        let t = self.now + sample_exponential(&mut self.rng, 1.0 / self.mttf[x]);
         if t <= self.opts.duration_minutes {
             self.schedule(
                 t,

@@ -1,0 +1,115 @@
+//! Pass 4 — API hygiene (`A011`).
+//!
+//! PR 3 replaced the free-function search API of `wfms-config`
+//! (`assess`, `greedy_search`, `exhaustive_search`,
+//! `branch_and_bound_search`, `annealing_search`) with the memoizing
+//! [`AssessmentEngine`]. The free functions remain as thin
+//! compatibility wrappers for external callers, but *internal* code —
+//! including the experiment binaries — must construct an engine, so the
+//! wrappers can eventually be retired and so every internal call site
+//! benefits from the engine's caches and preflight checks.
+//!
+//! The check is textual: a call `needle(` whose preceding character is
+//! neither an identifier character (`cmd_assess(`), a `.` (method
+//! calls like `engine.assess(`), nor part of an `fn` definition. The
+//! defining crate (`wfms-config`) and test code are exempt.
+//!
+//! [`AssessmentEngine`]: https://docs.rs/wfms-config
+
+use wfms_diag::Diagnostics;
+
+use crate::codes;
+use crate::emit;
+use crate::scan::Workspace;
+
+/// The deprecated free functions.
+const DEPRECATED: &[&str] = &[
+    "assess",
+    "greedy_search",
+    "exhaustive_search",
+    "branch_and_bound_search",
+    "annealing_search",
+];
+
+pub fn run(ws: &Workspace, diags: &mut Diagnostics) {
+    for file in &ws.files {
+        if file.rel.starts_with("crates/config/src/") || file.rel.starts_with("crates/audit/") {
+            continue;
+        }
+        for (idx, code) in file.code.iter().enumerate() {
+            let line = idx + 1;
+            for needle in DEPRECATED {
+                if !is_call_site(code, needle) {
+                    continue;
+                }
+                if file.allowed(codes::A_DEPRECATED_SEARCH_API, line) {
+                    continue;
+                }
+                emit(
+                    diags,
+                    codes::A_DEPRECATED_SEARCH_API,
+                    format!(
+                        "call to deprecated free function `{needle}`: construct an \
+                         AssessmentEngine (`ConfigurationTool::engine` or \
+                         `AssessmentEngine::new`) instead"
+                    ),
+                    &file.rel,
+                    line,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// True when `code` calls free function `needle` (not a method, not an
+/// identifier suffix, not a definition).
+fn is_call_site(code: &str, needle: &str) -> bool {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(needle) {
+        let idx = search + pos;
+        search = idx + needle.len();
+        let after = &code[idx + needle.len()..];
+        if !after.starts_with('(') {
+            continue;
+        }
+        let before = &code[..idx];
+        if before
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        {
+            continue;
+        }
+        if before.trim_end().ends_with("fn") {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::is_call_site;
+
+    #[test]
+    fn call_site_detection() {
+        assert!(is_call_site(
+            "let r = greedy_search(reg, load);",
+            "greedy_search"
+        ));
+        assert!(is_call_site(
+            "wfms_config::annealing_search(a, b)",
+            "annealing_search"
+        ));
+        assert!(!is_call_site("let r = engine.assess(config);", "assess"));
+        assert!(!is_call_site("fn assess(x: u32) {}", "assess"));
+        assert!(!is_call_site(
+            "pub fn greedy_search(a: A) {}",
+            "greedy_search"
+        ));
+        assert!(!is_call_site("cmd_assess(args)", "assess"));
+        assert!(!is_call_site("reassess(args)", "assess"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Pass 3 — panic safety (`A008`–`A010`).
+//!
+//! The robustness contract (DESIGN.md §10) says hot-path library code
+//! degrades gracefully instead of aborting: solver and orchestration
+//! crates return typed errors, and panics are reserved for provable
+//! programming errors — each of which must carry an
+//! `audit:allow(A008/A009, reason = …)` stating the proof. The
+//! experiment binaries under `src/bin/` are exempt by design: they are
+//! terminal fail-fast programs whose only caller is a human.
+//!
+//! `A010` additionally warns on direct slice indexing, but only in the
+//! CLI crate — the user-input boundary, where an out-of-range index is
+//! reachable from a command line rather than from a proven invariant.
+
+use wfms_diag::Diagnostics;
+
+use crate::codes;
+use crate::emit;
+use crate::scan::Workspace;
+
+/// Library code bound by the graceful-degradation contract.
+const HOT_SCOPES: &[&str] = &[
+    "crates/markov/src/",
+    "crates/avail/src/",
+    "crates/performability/src/",
+    "crates/config/src/",
+    "crates/perf/src/",
+    "crates/queueing/src/",
+    "crates/sim/src/",
+    "crates/cli/src/",
+    "crates/bench/src/",
+];
+
+/// Macros that abort the process.
+const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+pub fn run(ws: &Workspace, diags: &mut Diagnostics) {
+    for file in ws.sources_under(HOT_SCOPES) {
+        if file.is_bin() {
+            continue;
+        }
+        let cli_boundary = file.rel.starts_with("crates/cli/src/");
+        for (idx, code) in file.code.iter().enumerate() {
+            let line = idx + 1;
+            let unwraps = code.contains(".unwrap()");
+            let expects = code.contains(".expect(") && !code.contains(".expect_err(");
+            if (unwraps || expects) && !file.allowed(codes::A_UNWRAP, line) {
+                let which = if unwraps { ".unwrap()" } else { ".expect(…)" };
+                emit(
+                    diags,
+                    codes::A_UNWRAP,
+                    format!(
+                        "{which} in hot-path library code: return a typed error, or prove \
+                         the invariant and add `audit:allow(A008, reason = …)`"
+                    ),
+                    &file.rel,
+                    line,
+                );
+            }
+            if let Some(mac) = PANIC_MACROS.iter().find(|m| code.contains(*m)) {
+                if !file.allowed(codes::A_PANIC, line) {
+                    let name = mac.trim_end_matches('(');
+                    emit(
+                        diags,
+                        codes::A_PANIC,
+                        format!(
+                            "`{name}` in hot-path library code: degrade gracefully, or prove \
+                             unreachability and add `audit:allow(A009, reason = …)`"
+                        ),
+                        &file.rel,
+                        line,
+                    );
+                }
+            }
+            if cli_boundary && has_direct_index(code) && !file.allowed(codes::A_DIRECT_INDEX, line)
+            {
+                emit(
+                    diags,
+                    codes::A_DIRECT_INDEX,
+                    "direct slice indexing at the CLI input boundary: prefer `.get(…)` \
+                     with a real error"
+                        .to_string(),
+                    &file.rel,
+                    line,
+                );
+            }
+        }
+    }
+}
+
+/// `ident[`, `)[` or `][` — an index expression, as opposed to slice
+/// types (`&[T]`), attributes (`#[…]`), or array literals (`= […]`).
+fn has_direct_index(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    chars.windows(2).any(|w| {
+        w[1] == '[' && (w[0].is_ascii_alphanumeric() || w[0] == '_' || w[0] == ')' || w[0] == ']')
+    })
+}

@@ -1,0 +1,412 @@
+//! Pass 1 — registry consistency (`A001`–`A005`).
+//!
+//! The repo's stable-name vocabularies each live in two places: the
+//! emission sites in code and a documentation table. This pass parses
+//! both sides and errors on any drift, in both directions:
+//!
+//! * obs **span** names — `span!("…")` sites vs the span table in
+//!   `crates/obs/src/lib.rs` *and* the README Observability table;
+//! * obs **metric** names — `wfms_obs::counter/gauge/histogram("…")`
+//!   sites vs the metric tables in `crates/obs/src/lib.rs`;
+//! * the CLI `REQUIRED_STAGES` / `REQUIRED_COUNTERS` /
+//!   `REQUIRED_ZERO_COUNTERS` gates — every entry must name an emitted
+//!   span or counter;
+//! * **failpoint** sites — `point!("…")` sites vs the DESIGN.md §10
+//!   site table;
+//! * **diagnostic** codes — the `wfms-diag` `codes.rs` constants vs the
+//!   README Diagnostics tables, and every constant must be registered
+//!   in `codes::all()`.
+//!
+//! Doc checks are skipped when the corresponding file is absent, so
+//! fixture workspaces only need the files relevant to the invariant
+//! under test.
+
+use std::collections::BTreeMap;
+
+use wfms_diag::Diagnostics;
+
+use crate::codes;
+use crate::emit;
+use crate::scan::{backticked, first_cell_names, first_cell_plain, SourceFile, Workspace};
+
+/// Crates whose sources define (rather than emit) the vocabularies, and
+/// are therefore excluded from the emission scan.
+const EMISSION_EXEMPT: &[&str] = &["crates/obs/", "crates/fault/", "crates/audit/"];
+
+/// An emitted stable name and its first emission site.
+type Sites = BTreeMap<String, (String, usize)>;
+
+pub fn run(ws: &Workspace, diags: &mut Diagnostics) {
+    let mut spans = Sites::new();
+    let mut metrics = Sites::new();
+    let mut failpoints = Sites::new();
+    for file in &ws.files {
+        if EMISSION_EXEMPT.iter().any(|p| file.rel.starts_with(p)) || file.is_bin() {
+            continue;
+        }
+        collect_emissions(file, &mut spans, &mut metrics, &mut failpoints);
+    }
+    check_obs_names(ws, &spans, &metrics, diags);
+    check_required_gates(ws, &spans, &metrics, diags);
+    check_failpoints(ws, &failpoints, diags);
+    check_diag_codes(ws, diags);
+}
+
+fn collect_emissions(
+    file: &SourceFile,
+    spans: &mut Sites,
+    metrics: &mut Sites,
+    points: &mut Sites,
+) {
+    for (idx, code) in file.code.iter().enumerate() {
+        let line = idx + 1;
+        if code.contains("span!(") {
+            if let Some(name) = file.literal_near(line, 2) {
+                record(spans, name, file, line);
+            }
+        }
+        for needle in [
+            "wfms_obs::counter(",
+            "wfms_obs::gauge(",
+            "wfms_obs::histogram(",
+        ] {
+            if code.contains(needle) {
+                if let Some(name) = file.literal_near(line, 2) {
+                    record(metrics, name, file, line);
+                }
+            }
+        }
+        if code.contains("point!(") {
+            match file.literal_near(line, 1).filter(|n| is_site_name(n)) {
+                Some(name) => record(points, name, file, line),
+                // Variable-site macros (`point!(fault_site)`): the
+                // candidate site names are string literals defined a few
+                // lines earlier — collect every site-shaped literal in
+                // the surrounding window.
+                None => {
+                    let lo = idx.saturating_sub(10);
+                    let hi = (idx + 3).min(file.literals.len());
+                    for lits in &file.literals[lo..hi] {
+                        for lit in lits {
+                            if is_site_name(lit) {
+                                record(points, lit, file, line);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn record(sites: &mut Sites, name: &str, file: &SourceFile, line: usize) {
+    sites
+        .entry(name.to_string())
+        .or_insert_with(|| (file.rel.clone(), line));
+}
+
+/// A failpoint site is dotted lowercase (`linalg.sor`,
+/// `engine.state-cache-fill`).
+fn is_site_name(name: &str) -> bool {
+    name.contains('.')
+        && !name.is_empty()
+        && name.chars().all(|c| {
+            c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '-' || c == '_'
+        })
+}
+
+/// Doc table names with the line each first appeared on.
+type DocNames = BTreeMap<String, usize>;
+
+/// First-cell backticked names of every markdown table row in `lines`
+/// (optionally restricted to one `## section`).
+fn table_names(lines: &[String], section: Option<&str>) -> DocNames {
+    let mut names = DocNames::new();
+    let mut in_section = section.is_none();
+    for (idx, line) in lines.iter().enumerate() {
+        if let Some(heading) = section {
+            let trimmed = line.trim_start().trim_start_matches("//!").trim_start();
+            if let Some(title) = trimmed.strip_prefix("## ") {
+                in_section = title.trim_start().starts_with(heading);
+                continue;
+            }
+        }
+        if !in_section {
+            continue;
+        }
+        for name in first_cell_names(line) {
+            names.entry(name).or_insert(idx + 1);
+        }
+    }
+    names
+}
+
+fn check_obs_names(ws: &Workspace, spans: &Sites, metrics: &Sites, diags: &mut Diagnostics) {
+    const OBS_DOC: &str = "crates/obs/src/lib.rs";
+    let obs_table = ws
+        .file(OBS_DOC)
+        .map(|f| table_names(&f.raw, None))
+        .unwrap_or_default();
+    let readme = ws.doc_lines("README.md");
+    let readme_spans = readme
+        .as_deref()
+        .map(|lines| table_names(lines, Some("Observability")))
+        .unwrap_or_default();
+    let have_obs_doc = ws.file(OBS_DOC).is_some();
+    let have_readme = readme.is_some();
+
+    for (name, (file, line)) in spans {
+        if ws
+            .file(file)
+            .is_some_and(|f| f.allowed(codes::A_OBS_NAME_UNDOCUMENTED, *line))
+        {
+            continue;
+        }
+        if have_obs_doc && !obs_table.contains_key(name) {
+            emit(
+                diags,
+                codes::A_OBS_NAME_UNDOCUMENTED,
+                format!("span `{name}` is emitted here but missing from the {OBS_DOC} stable-name table"),
+                file,
+                *line,
+            );
+        }
+        if have_readme && !readme_spans.contains_key(name) {
+            emit(
+                diags,
+                codes::A_OBS_NAME_UNDOCUMENTED,
+                format!("span `{name}` is emitted here but missing from the README.md Observability span table"),
+                file,
+                *line,
+            );
+        }
+    }
+    for (name, (file, line)) in metrics {
+        if ws
+            .file(file)
+            .is_some_and(|f| f.allowed(codes::A_OBS_NAME_UNDOCUMENTED, *line))
+        {
+            continue;
+        }
+        if have_obs_doc && !obs_table.contains_key(name) {
+            emit(
+                diags,
+                codes::A_OBS_NAME_UNDOCUMENTED,
+                format!(
+                    "metric `{name}` is emitted here but missing from the {OBS_DOC} metric tables"
+                ),
+                file,
+                *line,
+            );
+        }
+    }
+    // Reverse direction: documented names must be emitted somewhere.
+    for (name, line) in &obs_table {
+        if !spans.contains_key(name) && !metrics.contains_key(name) {
+            emit(
+                diags,
+                codes::A_OBS_NAME_STALE,
+                format!("documented obs name `{name}` is not emitted by any instrumentation site"),
+                OBS_DOC,
+                *line,
+            );
+        }
+    }
+    for (name, line) in &readme_spans {
+        if !spans.contains_key(name) {
+            emit(
+                diags,
+                codes::A_OBS_NAME_STALE,
+                format!("README.md Observability table lists span `{name}`, which no code emits"),
+                "README.md",
+                *line,
+            );
+        }
+    }
+}
+
+fn check_required_gates(ws: &Workspace, spans: &Sites, metrics: &Sites, diags: &mut Diagnostics) {
+    const CLI: &str = "crates/cli/src/commands.rs";
+    let Some(file) = ws.file(CLI) else { return };
+    for (table, emitted, kind) in [
+        ("REQUIRED_STAGES", spans, "span"),
+        ("REQUIRED_COUNTERS", metrics, "counter"),
+        ("REQUIRED_ZERO_COUNTERS", metrics, "counter"),
+    ] {
+        for (name, line) in const_table_entries(file, table) {
+            if !emitted.contains_key(&name) {
+                emit(
+                    diags,
+                    codes::A_REQUIRED_NAME_UNEMITTED,
+                    format!("{table} entry `{name}` names a {kind} no code emits"),
+                    CLI,
+                    line,
+                );
+            }
+        }
+    }
+}
+
+/// The string entries of `pub const NAME: &[&str] = …;` with their
+/// one-based lines, spanning the declaration to its terminating `;`.
+fn const_table_entries(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let mut entries = Vec::new();
+    let Some(start) = file
+        .code
+        .iter()
+        .position(|l| l.contains(name) && l.contains("const"))
+    else {
+        return entries;
+    };
+    for idx in start..file.code.len() {
+        for lit in &file.literals[idx] {
+            entries.push((lit.clone(), idx + 1));
+        }
+        if file.code[idx].contains(';') {
+            break;
+        }
+    }
+    entries
+}
+
+fn check_failpoints(ws: &Workspace, failpoints: &Sites, diags: &mut Diagnostics) {
+    let Some(design) = ws.doc_lines("DESIGN.md") else {
+        return;
+    };
+    let documented = failpoint_table(&design);
+    for (name, (file, line)) in failpoints {
+        if ws
+            .file(file)
+            .is_some_and(|f| f.allowed(codes::A_FAILPOINT_DRIFT, *line))
+        {
+            continue;
+        }
+        if !documented.contains_key(name) {
+            emit(
+                diags,
+                codes::A_FAILPOINT_DRIFT,
+                format!("failpoint site `{name}` is planted here but missing from the DESIGN.md robustness-contract site table"),
+                file,
+                *line,
+            );
+        }
+    }
+    for (name, line) in &documented {
+        if !failpoints.contains_key(name) {
+            emit(
+                diags,
+                codes::A_FAILPOINT_DRIFT,
+                format!(
+                    "DESIGN.md documents failpoint site `{name}`, which no `point!` site plants"
+                ),
+                "DESIGN.md",
+                *line,
+            );
+        }
+    }
+}
+
+/// The site column of the DESIGN.md robustness-contract table: the
+/// first table whose rows are dotted site names.
+fn failpoint_table(lines: &[String]) -> DocNames {
+    let mut names = DocNames::new();
+    for (idx, line) in lines.iter().enumerate() {
+        for name in first_cell_names(line) {
+            if is_site_name(&name) {
+                names.entry(name).or_insert(idx + 1);
+            }
+        }
+    }
+    names
+}
+
+fn check_diag_codes(ws: &Workspace, diags: &mut Diagnostics) {
+    const DIAG: &str = "crates/diag/src/codes.rs";
+    let Some(file) = ws.file(DIAG) else { return };
+    let mut registered = DocNames::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        if !(code.contains("pub const") && code.contains("&str")) {
+            continue;
+        }
+        let Some(value) = file.literals[idx].first() else {
+            continue;
+        };
+        registered.entry(value.clone()).or_insert(idx + 1);
+        // Every registered constant must also be wired into the
+        // `codes::all()` table — count its uses beyond the declaration.
+        if let Some(const_name) = code
+            .split_whitespace()
+            .skip_while(|w| *w != "const")
+            .nth(1)
+            .map(|w| w.trim_end_matches(':'))
+        {
+            let uses: usize = file
+                .code
+                .iter()
+                .map(|l| l.matches(const_name).count())
+                .sum();
+            if uses < 2 {
+                emit(
+                    diags,
+                    codes::A_DIAG_TABLE_DRIFT,
+                    format!("diagnostic code {value} ({const_name}) is declared but never registered in codes::all()"),
+                    DIAG,
+                    idx + 1,
+                );
+            }
+        }
+    }
+    let Some(readme) = ws.doc_lines("README.md") else {
+        return;
+    };
+    let mut documented = DocNames::new();
+    let mut in_section = false;
+    for (idx, line) in readme.iter().enumerate() {
+        if let Some(title) = line.strip_prefix("## ") {
+            in_section = title.trim_start().starts_with("Diagnostics");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some(cell) = first_cell_plain(line) {
+            for code in std::iter::once(cell.clone()).chain(backticked(&cell)) {
+                if is_diag_code(&code) {
+                    documented.entry(code).or_insert(idx + 1);
+                }
+            }
+        }
+    }
+    for (code, line) in &registered {
+        if !documented.contains_key(code) {
+            emit(
+                diags,
+                codes::A_DIAG_TABLE_DRIFT,
+                format!("diagnostic code {code} is registered in wfms-diag but missing from the README.md Diagnostics tables"),
+                DIAG,
+                *line,
+            );
+        }
+    }
+    for (code, line) in &documented {
+        if !registered.contains_key(code) {
+            emit(
+                diags,
+                codes::A_DIAG_TABLE_DRIFT,
+                format!(
+                    "README.md documents diagnostic code {code}, which wfms-diag does not register"
+                ),
+                "README.md",
+                *line,
+            );
+        }
+    }
+}
+
+/// `W001`-shaped: one uppercase letter then exactly three digits.
+fn is_diag_code(token: &str) -> bool {
+    let mut chars = token.chars();
+    chars.next().is_some_and(|c| c.is_ascii_uppercase())
+        && token.len() == 4
+        && chars.all(|c| c.is_ascii_digit())
+}

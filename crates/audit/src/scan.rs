@@ -1,0 +1,613 @@
+//! Workspace loading and the per-file source model.
+//!
+//! The auditor works on a deliberately simple, line-oriented view of
+//! each Rust source file — no full parse, no type resolution. Per file
+//! it keeps four aligned layers:
+//!
+//! * `raw` — the file exactly as read (doc parsing and pragma reasons
+//!   need the original text);
+//! * `code` — comments removed, string/char-literal *contents* blanked,
+//!   and every line inside a `#[cfg(test)]` item blanked entirely, so
+//!   pattern checks (`.unwrap()`, `HashMap`, …) never fire on comments,
+//!   string payloads, or test code;
+//! * `literals` — the string literals of each non-test line, in order,
+//!   for extracting stable names out of `span!("…")` / `point!("…")` /
+//!   `wfms_obs::counter("…")` sites and `REQUIRED_*` tables;
+//! * `allows` — the parsed `audit:allow` pragmas.
+//!
+//! # Allow pragmas
+//!
+//! ```text
+//! // audit:allow(A008, reason = "why this site is sound")
+//! // audit:allow-file(A006, reason = "why the whole file is exempt")
+//! ```
+//!
+//! A line pragma applies to the code on its own line, or — when the
+//! line holds nothing but the comment — to the next line that does.
+//! A file pragma applies to every line of the file. Pragmas are part of
+//! the audited surface themselves: a malformed one (unknown code,
+//! missing reason) is an `A012` error, and one that suppresses nothing
+//! is an `A013` warning, so the allowlist can only shrink back to what
+//! is actually justified.
+
+use std::cell::Cell;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::codes;
+
+/// One parsed, well-formed `audit:allow` pragma.
+#[derive(Debug)]
+pub struct Allow {
+    /// The audit code it suppresses.
+    pub code: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// One-based line of the pragma comment itself.
+    pub line: usize,
+    /// One-based line the pragma applies to (for line pragmas).
+    pub target_line: usize,
+    /// True for `audit:allow-file` (whole-file scope).
+    pub file_scope: bool,
+    /// Set once the pragma suppresses at least one finding.
+    pub used: Cell<bool>,
+}
+
+/// A syntactically present but invalid pragma.
+#[derive(Debug)]
+pub struct MalformedAllow {
+    /// One-based line of the pragma comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// One source file, parsed into the layers described in the module docs.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// The file exactly as read, split into lines.
+    pub raw: Vec<String>,
+    /// Comment-free, string-blanked, test-blanked view (see module docs).
+    pub code: Vec<String>,
+    /// String literals per non-test line, in source order.
+    pub literals: Vec<Vec<String>>,
+    /// Well-formed allow pragmas.
+    pub allows: Vec<Allow>,
+    /// Malformed pragmas (reported as `A012`).
+    pub malformed: Vec<MalformedAllow>,
+}
+
+impl SourceFile {
+    /// Parses `text` into the layered model.
+    pub fn parse(rel: String, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut code = Vec::with_capacity(raw.len());
+        let mut literals = Vec::with_capacity(raw.len());
+        let mut comments: Vec<Option<(usize, String)>> = Vec::with_capacity(raw.len());
+        let mut state = LexState::Normal;
+        for line in &raw {
+            let (code_line, lits, comment) = strip_line(line, &mut state);
+            code.push(code_line);
+            literals.push(lits);
+            comments.push(comment.map(|c| (0, c)));
+        }
+        mask_test_items(&mut code, &mut literals);
+        let mut file = SourceFile {
+            rel,
+            raw,
+            code,
+            literals,
+            allows: Vec::new(),
+            malformed: Vec::new(),
+        };
+        for (idx, comment) in comments.iter().enumerate() {
+            if let Some((_, text)) = comment {
+                file.parse_pragma(idx, text);
+            }
+        }
+        file
+    }
+
+    /// True when the file lives under a `src/bin/` directory (terminal
+    /// experiment / entry-point binaries).
+    pub fn is_bin(&self) -> bool {
+        self.rel.contains("/src/bin/")
+    }
+
+    /// True when an allow pragma covers `code` at one-based `line`;
+    /// marks the pragma used.
+    pub fn allowed(&self, code: &str, line: usize) -> bool {
+        for allow in &self.allows {
+            if allow.code == code && (allow.file_scope || allow.target_line == line) {
+                allow.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The first string literal at or shortly after one-based `line`
+    /// (macro arguments may sit on the following line).
+    pub fn literal_near(&self, line: usize, lookahead: usize) -> Option<&str> {
+        let start = line - 1;
+        for idx in start..(start + 1 + lookahead).min(self.literals.len()) {
+            if let Some(first) = self.literals[idx].first() {
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    fn parse_pragma(&mut self, idx: usize, comment: &str) {
+        let Some(pos) = comment.find("audit:allow") else {
+            return;
+        };
+        let line = idx + 1;
+        let rest = &comment[pos + "audit:allow".len()..];
+        let (file_scope, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(body) = rest
+            .trim_start()
+            .strip_prefix('(')
+            .and_then(|r| r.rsplit_once(')'))
+            .map(|(body, _)| body)
+        else {
+            self.malformed.push(MalformedAllow {
+                line,
+                message: "expected `audit:allow(<code>, reason = \"…\")`".to_string(),
+            });
+            return;
+        };
+        let (code_part, reason_part) = match body.split_once(',') {
+            Some(parts) => parts,
+            None => {
+                self.malformed.push(MalformedAllow {
+                    line,
+                    message: "missing `, reason = \"…\"` clause".to_string(),
+                });
+                return;
+            }
+        };
+        let code = code_part.trim();
+        if !codes::is_known(code) {
+            self.malformed.push(MalformedAllow {
+                line,
+                message: format!("unknown audit code {code:?}"),
+            });
+            return;
+        }
+        let reason = reason_part
+            .trim()
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|r| r.strip_prefix('='))
+            .map(str::trim)
+            .and_then(|r| r.strip_prefix('"'))
+            .and_then(|r| r.rfind('"').map(|end| &r[..end]))
+            .unwrap_or("");
+        if reason.trim().is_empty() {
+            self.malformed.push(MalformedAllow {
+                line,
+                message: "empty or missing reason".to_string(),
+            });
+            return;
+        }
+        // A pragma on a line of its own covers the next code line.
+        let target_line = if self.code[idx].trim().is_empty() {
+            ((idx + 1)..self.code.len())
+                .find(|&j| !self.code[j].trim().is_empty())
+                .map(|j| j + 1)
+                .unwrap_or(line)
+        } else {
+            line
+        };
+        self.allows.push(Allow {
+            code: code.to_string(),
+            reason: reason.to_string(),
+            line,
+            target_line,
+            file_scope,
+            used: Cell::new(false),
+        });
+    }
+}
+
+/// Lexer state carried across lines: inside a block comment or inside
+/// a (possibly multi-line) string literal.
+enum LexState {
+    Normal,
+    Block,
+    Str {
+        raw: bool,
+        hashes: usize,
+        buf: String,
+    },
+}
+
+/// Strips one line: returns `(code, literals, comment_text)`.
+///
+/// `comment_text` is only returned for plain `//` comments — doc
+/// comments (`///`, `//!`) are documentation, not pragma carriers.
+fn strip_line(line: &str, state: &mut LexState) -> (String, Vec<String>, Option<String>) {
+    let bytes: Vec<char> = line.chars().collect();
+    let n = bytes.len();
+    let mut code = String::with_capacity(n);
+    let mut lits = Vec::new();
+    let mut comment = None;
+    let mut i = 0;
+    while i < n {
+        match state {
+            LexState::Block => {
+                if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    *state = LexState::Normal;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            LexState::Str { raw, hashes, buf } => {
+                if !*raw && bytes[i] == '\\' && i + 1 < n {
+                    buf.push(bytes[i]);
+                    buf.push(bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == '"' {
+                    if *raw && *hashes > 0 {
+                        let following = bytes[i + 1..].iter().take_while(|&&h| h == '#').count();
+                        if following < *hashes {
+                            buf.push('"');
+                            i += 1;
+                            continue;
+                        }
+                        i += *hashes;
+                    }
+                    i += 1; // closing quote
+                    code.push_str("\"\"");
+                    lits.push(std::mem::take(buf));
+                    *state = LexState::Normal;
+                } else {
+                    buf.push(bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            LexState::Normal => {}
+        }
+        let c = bytes[i];
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let is_doc = i + 2 < n && (bytes[i + 2] == '/' || bytes[i + 2] == '!');
+            if !is_doc {
+                comment = Some(bytes[i + 2..].iter().collect::<String>());
+            }
+            break;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            *state = LexState::Block;
+            i += 2;
+            continue;
+        }
+        if c == '"' {
+            // Possibly a raw string: count the `r#…#` prefix already
+            // emitted to `code` and strip it back out.
+            let mut hashes = 0;
+            let mut raw = false;
+            {
+                let emitted: Vec<char> = code.chars().collect();
+                let mut j = emitted.len();
+                while j > 0 && emitted[j - 1] == '#' {
+                    hashes += 1;
+                    j -= 1;
+                }
+                if j > 0 && emitted[j - 1] == 'r' {
+                    raw = true;
+                    code.truncate(code.len() - hashes - 1);
+                } else {
+                    hashes = 0;
+                }
+            }
+            *state = LexState::Str {
+                raw,
+                hashes,
+                buf: String::new(),
+            };
+            i += 1;
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime: a literal closes within a few
+            // chars (`'x'`, `'\n'`, `'\''`); a lifetime never closes.
+            if i + 2 < n && bytes[i + 1] == '\\' {
+                let close = (i + 2..n.min(i + 8)).find(|&j| bytes[j] == '\'');
+                if let Some(j) = close {
+                    code.push_str("' '");
+                    i = j + 1;
+                    continue;
+                }
+            } else if i + 2 < n && bytes[i + 2] == '\'' {
+                code.push_str("' '");
+                i += 3;
+                continue;
+            }
+            code.push(c);
+            i += 1;
+            continue;
+        }
+        code.push(c);
+        i += 1;
+    }
+    (code, lits, comment)
+}
+
+/// Blanks every line belonging to a `#[cfg(test)]` item (module or
+/// single item) in `code` and `literals`.
+fn mask_test_items(code: &mut [String], literals: &mut [Vec<String>]) {
+    let n = code.len();
+    let mut i = 0;
+    while i < n {
+        if !code[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find where the annotated item's body opens (or where a
+        // braceless item ends).
+        let mut open = None;
+        for j in i..n {
+            if let Some(col) = code[j].find('{') {
+                open = Some((j, col));
+                break;
+            }
+            if code[j].contains(';') {
+                open = None;
+                for k in i..=j {
+                    code[k].clear();
+                    literals[k].clear();
+                }
+                i = j + 1;
+                break;
+            }
+        }
+        let Some((start, col)) = open else {
+            if code[i].contains("#[cfg(test)]") {
+                // braceless item handled above, or nothing found: stop.
+                i += 1;
+            }
+            continue;
+        };
+        let mut depth = 0i64;
+        let mut end = n - 1;
+        'outer: for (j, line) in code.iter().enumerate().take(n).skip(start) {
+            let from = if j == start { col } else { 0 };
+            for ch in line[from..].chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for k in i..=end {
+            code[k].clear();
+            literals[k].clear();
+        }
+        i = end + 1;
+    }
+}
+
+/// The loaded workspace: every Rust source under `crates/*/src` and the
+/// root `src/`, in sorted path order, plus the root path for doc reads.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The workspace root.
+    pub root: PathBuf,
+    /// Parsed sources, sorted by relative path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads and parses the workspace under `root`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors other than missing optional
+    /// directories.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut rels = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in std::fs::read_dir(&crates_dir)? {
+                let entry = entry?;
+                let src = entry.path().join("src");
+                if src.is_dir() {
+                    collect_rs(&src, root, &mut rels)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            collect_rs(&root_src, root, &mut rels)?;
+        }
+        rels.sort();
+        let mut files = Vec::with_capacity(rels.len());
+        for rel in rels {
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            files.push(SourceFile::parse(rel_str, &text));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The parsed source at `rel`, if present.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// All sources whose relative path starts with one of `prefixes`.
+    pub fn sources_under<'a>(
+        &'a self,
+        prefixes: &'a [&'a str],
+    ) -> impl Iterator<Item = &'a SourceFile> {
+        self.files
+            .iter()
+            .filter(move |f| prefixes.iter().any(|p| f.rel.starts_with(p)))
+    }
+
+    /// Raw lines of a documentation file under the root (`README.md`,
+    /// `DESIGN.md`), or `None` when absent.
+    pub fn doc_lines(&self, rel: &str) -> Option<Vec<String>> {
+        std::fs::read_to_string(self.root.join(rel))
+            .ok()
+            .map(|t| t.lines().map(str::to_string).collect())
+    }
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the backticked tokens of the first cell of a markdown table
+/// row (`| `a`, `b` | … |` → `["a", "b"]`); empty for non-row lines.
+pub fn first_cell_names(line: &str) -> Vec<String> {
+    let trimmed = line.trim_start().trim_start_matches("//!").trim_start();
+    if !trimmed.starts_with('|') {
+        return Vec::new();
+    }
+    let Some(cell) = trimmed.trim_start_matches('|').split('|').next() else {
+        return Vec::new();
+    };
+    backticked(cell)
+}
+
+/// The plain (non-backticked) first cell of a markdown table row.
+pub fn first_cell_plain(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    if !trimmed.starts_with('|') {
+        return None;
+    }
+    trimmed
+        .trim_start_matches('|')
+        .split('|')
+        .next()
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty() && !c.starts_with('-'))
+}
+
+/// All `` `token` `` spans in `text`.
+pub fn backticked(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('`') else { break };
+        let token = &after[..end];
+        if !token.is_empty() {
+            out.push(token.to_string());
+        }
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let f = SourceFile::parse(
+            "x.rs".into(),
+            "let a = \"has .unwrap() inside\"; // comment .expect(\nlet b = x.unwrap();",
+        );
+        assert!(!f.code[0].contains(".unwrap()"));
+        assert!(!f.code[0].contains(".expect("));
+        assert!(f.code[1].contains(".unwrap()"));
+        assert_eq!(f.literals[0], vec!["has .unwrap() inside"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive() {
+        let f = SourceFile::parse(
+            "x.rs".into(),
+            "fn f<'a>(x: &'a str) -> char { let q = '\"'; x.chars().next().unwrap() }",
+        );
+        assert!(f.code[0].contains(".unwrap()"));
+        assert!(f.code[0].contains("<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_masked() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() { z.unwrap(); }";
+        let f = SourceFile::parse("x.rs".into(), src);
+        assert!(f.code[0].contains(".unwrap()"));
+        assert!(f.code[3].is_empty());
+        assert!(f.code[5].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn pragmas_parse_line_and_file_scope() {
+        let src = "// audit:allow(A008, reason = \"checked above\")\n\
+                   let x = y.unwrap();\n\
+                   let z = w.unwrap(); // audit:allow-file(A006, reason = \"lookup only\")\n";
+        let f = SourceFile::parse("x.rs".into(), src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].code, "A008");
+        assert_eq!(f.allows[0].target_line, 2);
+        assert!(!f.allows[0].file_scope);
+        assert!(f.allows[1].file_scope);
+        assert!(f.allowed("A008", 2));
+        assert!(!f.allowed("A008", 3));
+        assert!(f.allowed("A006", 999));
+        assert!(f.allows.iter().all(|a| a.used.get()));
+    }
+
+    #[test]
+    fn malformed_pragmas_are_collected() {
+        let src = "// audit:allow(A008)\n// audit:allow(Z999, reason = \"x\")\n\
+                   // audit:allow(A008, reason = \"\")\n";
+        let f = SourceFile::parse("x.rs".into(), src);
+        assert_eq!(f.malformed.len(), 3);
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn markdown_helpers_extract_cells() {
+        assert_eq!(
+            first_cell_names("//! | `uniformize` / `assess` | `wfms-markov` |"),
+            vec!["uniformize", "assess"]
+        );
+        assert_eq!(
+            first_cell_names("| span | emitted by |"),
+            Vec::<String>::new()
+        );
+        assert_eq!(first_cell_plain("| W007 | E | rule |"), Some("W007".into()));
+        assert_eq!(first_cell_plain("|---|---|"), None);
+    }
+}

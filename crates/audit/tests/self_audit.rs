@@ -1,0 +1,40 @@
+//! The self-hosting golden test: the audited tree is this repository,
+//! and HEAD must be clean. Every invariant the auditor enforces is a
+//! contract earlier PRs established; a red run here means either a real
+//! regression or a new contract that needs a justified allow.
+
+use std::path::Path;
+
+#[test]
+fn workspace_head_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = wfms_audit::run_audit(&root).expect("workspace sources readable");
+    let rendered: Vec<String> = report.iter().map(ToString::to_string).collect();
+    assert!(
+        !report.has_errors(),
+        "wfms audit found {} error(s) on HEAD:\n{}",
+        report.error_count(),
+        rendered.join("\n")
+    );
+    assert_eq!(
+        report.warning_count(),
+        0,
+        "wfms audit found warning(s) on HEAD:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn audit_report_round_trips_through_json() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = wfms_audit::run_audit(&root).expect("workspace sources readable");
+    let json = serde_json::to_string(&report).expect("serializable");
+    let back: wfms_diag::Diagnostics = serde_json::from_str(&json).expect("deserializable");
+    assert_eq!(report.len(), back.len());
+    for (a, b) in report.iter().zip(back.iter()) {
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.severity, b.severity);
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.location.to_string(), b.location.to_string());
+    }
+}

@@ -41,6 +41,7 @@
 //! [`select_backend`] routes such chains to the sparse Gauss–Seidel
 //! model instead.
 
+// audit:allow-file(A006, reason = "the best-first frontier's `seen` set is membership-only dedup; enumeration order comes from the BinaryHeap score ordering, so hash order never reaches results")
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 use std::str::FromStr;

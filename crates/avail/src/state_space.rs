@@ -119,6 +119,7 @@ impl Iterator for StateIter<'_> {
         }
         let idx = self.next;
         self.next += 1;
+        // audit:allow(A008, reason = "idx < space.len() is checked two lines above, so decode cannot be out of range")
         Some((idx, self.space.decode(idx).expect("iterating in range")))
     }
 }

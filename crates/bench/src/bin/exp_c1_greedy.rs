@@ -5,7 +5,7 @@
 //! re-evaluating in between.
 
 use wfms_bench::Table;
-use wfms_config::{assess, exhaustive_search, greedy_search, Goals, SearchOptions};
+use wfms_config::{AssessmentEngine, Goals, SearchOptions};
 use wfms_perf::{aggregate_load, analyze_workflow, AnalysisOptions, SystemLoad, WorkloadItem};
 use wfms_statechart::{paper_section52_registry, Configuration, ServerTypeRegistry};
 use wfms_workloads::{ep_workflow, EP_DEFAULT_ARRIVAL_RATE};
@@ -23,8 +23,9 @@ fn eager_non_interleaved(
     budget: usize,
 ) -> Option<(Vec<usize>, usize)> {
     let mut config = Configuration::minimal(registry);
+    let engine = AssessmentEngine::new(registry, load, goals, SearchOptions::default()).ok()?;
     loop {
-        let a = assess(registry, &config, load, goals).ok()?;
+        let a = engine.assess(&config).ok()?;
         if a.meets_goals() {
             return Some((config.as_slice().to_vec(), config.total_servers()));
         }
@@ -112,8 +113,10 @@ fn main() {
     for &w in &wait_goals {
         for &a in &avail_goals {
             let goals = Goals::new(w / 60.0, a).expect("valid goals");
-            let greedy = greedy_search(&registry, &load, &goals, &opts);
-            let optimal = exhaustive_search(&registry, &load, &goals, &opts);
+            let greedy =
+                AssessmentEngine::new(&registry, &load, &goals, opts).and_then(|e| e.greedy());
+            let optimal =
+                AssessmentEngine::new(&registry, &load, &goals, opts).and_then(|e| e.exhaustive());
             let naive = eager_non_interleaved(&registry, &load, &goals, opts.max_total_servers);
             match (greedy, optimal) {
                 (Ok(g), Ok(o)) => {

@@ -3,7 +3,7 @@
 //! its predicted metrics move with it.
 
 use wfms_bench::Table;
-use wfms_config::{greedy_search, Goals, SearchOptions};
+use wfms_config::{AssessmentEngine, Goals, SearchOptions};
 use wfms_perf::{aggregate_load, analyze_workflow, AnalysisOptions, WorkloadItem};
 use wfms_statechart::paper_section52_registry;
 use wfms_workloads::ep_workflow;
@@ -39,12 +39,14 @@ fn main() {
             &registry,
         )
         .expect("aggregates");
-        match greedy_search(
+        match AssessmentEngine::new(
             &registry,
             &load,
             &goals,
-            &SearchOptions::builder().max_total_servers(128).build(),
-        ) {
+            SearchOptions::builder().max_total_servers(128).build(),
+        )
+        .and_then(|e| e.greedy())
+        {
             Ok(rec) => {
                 let a = &rec.assessment;
                 table.row(vec![

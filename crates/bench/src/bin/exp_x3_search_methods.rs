@@ -10,10 +10,7 @@ use std::time::Instant;
 
 use wfms_avail::{closed_form_unavailability, RepairPolicy, SparseAvailabilityModel};
 use wfms_bench::Table;
-use wfms_config::{
-    annealing_search, branch_and_bound_search, exhaustive_search, greedy_search, AnnealingOptions,
-    Goals, SearchOptions,
-};
+use wfms_config::{AnnealingOptions, AssessmentEngine, Goals, SearchOptions};
 use wfms_markov::linalg::GaussSeidelOptions;
 use wfms_perf::{aggregate_load, analyze_workflow, AnalysisOptions, WorkloadItem};
 use wfms_statechart::{Configuration, ServerType, ServerTypeKind, ServerTypeRegistry};
@@ -41,7 +38,10 @@ fn main() {
 
     let mut table = Table::new(&["method", "Y", "cost", "evaluations", "wall time"]);
     let t0 = Instant::now();
-    let greedy = greedy_search(&registry, &load, &goals, &opts).expect("reachable");
+    let greedy = AssessmentEngine::new(&registry, &load, &goals, opts)
+        .expect("valid")
+        .greedy()
+        .expect("reachable");
     table.row(vec![
         "greedy (paper)".into(),
         format!("{:?}", greedy.replicas()),
@@ -50,15 +50,20 @@ fn main() {
         format!("{:.1?}", t0.elapsed()),
     ]);
     let t0 = Instant::now();
-    let annealed = annealing_search(
+    let anneal_opts = AnnealingOptions {
+        steps: 600,
+        ..AnnealingOptions::default()
+    };
+    let annealed = AssessmentEngine::new(
         &registry,
         &load,
         &goals,
-        &AnnealingOptions {
-            steps: 600,
-            ..AnnealingOptions::default()
-        },
+        SearchOptions::builder()
+            .max_total_servers(anneal_opts.max_total_servers)
+            .build(),
     )
+    .expect("valid")
+    .annealing(&anneal_opts)
     .expect("reachable");
     table.row(vec![
         "simulated annealing".into(),
@@ -68,7 +73,10 @@ fn main() {
         format!("{:.1?}", t0.elapsed()),
     ]);
     let t0 = Instant::now();
-    let bnb = branch_and_bound_search(&registry, &load, &goals, &opts).expect("reachable");
+    let bnb = AssessmentEngine::new(&registry, &load, &goals, opts)
+        .expect("valid")
+        .branch_and_bound()
+        .expect("reachable");
     table.row(vec![
         "branch & bound".into(),
         format!("{:?}", bnb.replicas()),
@@ -77,7 +85,10 @@ fn main() {
         format!("{:.1?}", t0.elapsed()),
     ]);
     let t0 = Instant::now();
-    let optimal = exhaustive_search(&registry, &load, &goals, &opts).expect("reachable");
+    let optimal = AssessmentEngine::new(&registry, &load, &goals, opts)
+        .expect("valid")
+        .exhaustive()
+        .expect("reachable");
     table.row(vec![
         "exhaustive".into(),
         format!("{:?}", optimal.replicas()),

@@ -128,6 +128,11 @@ pub const COMMANDS: &[CommandSpec] = &[
         flags: &[],
     },
     CommandSpec {
+        name: "audit",
+        options: &["root", "format"],
+        flags: &[],
+    },
+    CommandSpec {
         name: "analyze",
         options: &["registry", "workload"],
         flags: &["json"],

@@ -78,9 +78,21 @@ fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, CliError> {
 }
 
 fn write_json<T: Serialize>(path: &Path, value: &T) -> Result<(), CliError> {
-    let text = serde_json::to_string_pretty(value).expect("serializable");
+    let text = serde_json::to_string_pretty(value).map_err(|e| CliError::Json {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
     std::fs::write(path, text).map_err(|e| CliError::Io {
         path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Pretty-prints a report for stdout; serialization failures surface as
+/// [`CliError::Json`] instead of aborting the process.
+fn render_json<T: Serialize>(value: &T) -> Result<String, CliError> {
+    serde_json::to_string_pretty(value).map_err(|e| CliError::Json {
+        path: "<report>".to_string(),
         message: e.to_string(),
     })
 }
@@ -239,6 +251,11 @@ COMMANDS
                multi-pass static diagnostics: reports every finding with a
                stable code (W=spec, M=Markov, Q=queueing, C=configuration);
                exits non-zero when errors are present
+  audit        [--root <dir>] [--format text|json]
+               workspace invariant audit: scans the repository sources and
+               docs for registry drift, determinism hazards, panic-safety
+               violations, and deprecated-API callers (stable A-codes);
+               exits non-zero when errors are present
   analyze      --registry <file> --workload <file> [--json]
                per-workflow turnaround, request counts, percentiles
   availability --registry <file> --config <y1,y2,..>
@@ -341,6 +358,7 @@ fn dispatch(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         "init" => cmd_init(args, out),
         "validate" => cmd_validate(args, out),
         "lint" => cmd_lint(args, out),
+        "audit" => cmd_audit(args, out),
         "analyze" => cmd_analyze(args, out),
         "availability" => cmd_availability(args, out),
         "assess" => cmd_assess(args, out),
@@ -436,11 +454,7 @@ fn cmd_lint(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let format = args.get("format").unwrap_or("text");
     match format {
         "json" => {
-            writeln!(
-                out,
-                "{}",
-                serde_json::to_string_pretty(&findings).expect("serializable")
-            )?;
+            writeln!(out, "{}", render_json(&findings)?)?;
         }
         "text" => {
             for d in findings.iter() {
@@ -468,6 +482,48 @@ fn cmd_lint(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `wfms audit`: the workspace invariant auditor (`wfms-audit`), the
+/// implementation-side sibling of `wfms lint`. Scans the repository
+/// sources and docs under `--root` (default: the current directory) and
+/// reports every contract violation with a stable `A0xx` code.
+fn cmd_audit(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let root = args.get("root").unwrap_or(".");
+    let findings = wfms_audit::run_audit(Path::new(root)).map_err(|e| CliError::Io {
+        path: root.to_string(),
+        message: e.to_string(),
+    })?;
+
+    let format = args.get("format").unwrap_or("text");
+    match format {
+        "json" => {
+            writeln!(out, "{}", render_json(&findings)?)?;
+        }
+        "text" => {
+            for d in findings.iter() {
+                writeln!(
+                    out,
+                    "{}[{}] {}: {}",
+                    d.severity, d.code, d.location, d.message
+                )?;
+            }
+            writeln!(out, "{}", findings.summary())?;
+        }
+        other => {
+            return Err(CliError::Arg(ArgError::InvalidValue {
+                option: "format".into(),
+                value: other.into(),
+                reason: "expected `text` or `json`".into(),
+            }))
+        }
+    }
+    if findings.has_errors() {
+        return Err(CliError::Audit {
+            errors: findings.error_count(),
+        });
+    }
+    Ok(())
+}
+
 #[derive(Debug, Serialize)]
 struct AnalyzeReport {
     workflow: String,
@@ -489,7 +545,10 @@ fn cmd_analyze(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
         let requests = tool
             .registry()
             .iter()
-            .map(|(id, t)| (t.name.clone(), analysis.expected_requests[id.0]))
+            .map(|(id, t)| {
+                let requests = analysis.expected_requests.get(id.0).copied().unwrap_or(0.0);
+                (t.name.clone(), requests)
+            })
             .collect();
         reports.push(AnalyzeReport {
             workflow: spec.name.clone(),
@@ -504,11 +563,7 @@ fn cmd_analyze(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
         });
     }
     if args.flag("json") {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&reports).expect("serializable")
-        )?;
+        writeln!(out, "{}", render_json(&reports)?)?;
         return Ok(());
     }
     for r in &reports {
@@ -570,11 +625,7 @@ fn cmd_availability(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliEr
         downtime_minutes_per_year: (1.0 - availability) * MINUTES_PER_YEAR,
     };
     if args.flag("json") {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&report).expect("serializable")
-        )?;
+        writeln!(out, "{}", render_json(&report)?)?;
     } else {
         writeln!(
             out,
@@ -606,11 +657,7 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         turnarounds.push((spec.name.clone(), dist.mean(), p90));
     }
     if args.flag("json") {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&assessment).expect("serializable")
-        )?;
+        writeln!(out, "{}", render_json(&assessment)?)?;
         return Ok(());
     }
     writeln!(out, "configuration {config} ({} servers):", assessment.cost)?;
@@ -659,25 +706,21 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     let (method, result): (&str, SearchResult) = if args.flag("optimal") {
         ("exhaustive", tool.recommend_optimal(&goals, &opts)?)
     } else if args.flag("annealing") {
-        let load = tool.system_load()?;
         let annealing = AnnealingOptions {
             max_total_servers: budget,
             seed: args.get_u64("seed")?.unwrap_or(42),
             ..AnnealingOptions::default()
         };
-        (
-            "annealing",
-            wfms_core::config::annealing_search(tool.registry(), &load, &goals, &annealing)?,
-        )
+        let engine = tool.engine(
+            &goals,
+            SearchOptions::builder().max_total_servers(budget).build(),
+        )?;
+        ("annealing", engine.annealing(&annealing)?)
     } else {
         ("greedy", tool.recommend(&goals, &opts)?)
     };
     if args.flag("json") {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&result.assessment).expect("serializable")
-        )?;
+        writeln!(out, "{}", render_json(&result.assessment)?)?;
         return Ok(());
     }
     let a = &result.assessment;
@@ -722,11 +765,7 @@ fn cmd_simulate(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError>
         .collect();
     let report = simulate(&registry, &config, &mix, &opts)?;
     if args.flag("json") {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&report).expect("serializable")
-        )?;
+        writeln!(out, "{}", render_json(&report)?)?;
         return Ok(());
     }
     writeln!(
@@ -892,11 +931,7 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
         histograms: snapshot.histograms.clone(),
     };
     if args.flag("json") {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&report).expect("serializable")
-        )?;
+        writeln!(out, "{}", render_json(&report)?)?;
         return Ok(());
     }
     writeln!(
@@ -950,11 +985,7 @@ fn cmd_sensitivity(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErr
     };
     let entries = sensitivity(tool.registry(), &config, &load, &opts)?;
     if args.flag("json") {
-        writeln!(
-            out,
-            "{}",
-            serde_json::to_string_pretty(&entries).expect("serializable")
-        )?;
+        writeln!(out, "{}", render_json(&entries)?)?;
         return Ok(());
     }
     writeln!(

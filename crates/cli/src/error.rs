@@ -39,6 +39,11 @@ pub enum CliError {
         /// Number of error-severity findings.
         errors: usize,
     },
+    /// The workspace audit found errors (the report went to stdout).
+    Audit {
+        /// Number of error-severity findings.
+        errors: usize,
+    },
     /// `profile --check` found a stage that recorded no spans.
     EmptyStage {
         /// The silent stage's name.
@@ -73,6 +78,7 @@ impl fmt::Display for CliError {
             CliError::Tool(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
             CliError::Lint { errors } => write!(f, "lint found {errors} error(s)"),
+            CliError::Audit { errors } => write!(f, "audit found {errors} error(s)"),
             CliError::EmptyStage { stage } => {
                 write!(f, "profile: stage {stage:?} recorded no spans")
             }

@@ -818,3 +818,90 @@ fn recommend_reports_degradation_on_a_starved_sparse_solver() {
     };
     assert_eq!(recommend_line(&out), recommend_line(&clean));
 }
+
+/// Builds a one-file fake workspace for `wfms audit --root`.
+fn audit_root(tag: &str, rel: &str, content: &str) -> TempDir {
+    let dir = TempDir::new(tag);
+    let path = dir.0.join(rel);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(path, content).unwrap();
+    dir
+}
+
+#[test]
+fn audit_clean_root_reports_no_findings() {
+    let dir = audit_root(
+        "audit-clean",
+        "crates/perf/src/lib.rs",
+        "pub fn f(x: f64) -> f64 {\n    x + 1.0\n}\n",
+    );
+    let out = invoke(&["audit", "--root", &dir.0.display().to_string()]).unwrap();
+    assert!(out.contains("0 errors"), "{out}");
+}
+
+#[test]
+fn audit_seeded_unwrap_fails_with_a008() {
+    let dir = audit_root(
+        "audit-a008",
+        "crates/perf/src/lib.rs",
+        "pub fn f(v: Option<f64>) -> f64 {\n    v.unwrap()\n}\n",
+    );
+    let root = dir.0.display().to_string();
+    let parsed =
+        ParsedArgs::parse(["audit", "--root", &root].iter().map(|s| s.to_string())).unwrap();
+    let mut buf = Vec::new();
+    let err = run_command(&parsed, &mut buf).unwrap_err();
+    assert!(matches!(err, CliError::Audit { errors: 1 }), "{err}");
+    let out = String::from_utf8(buf).unwrap();
+    assert!(out.contains("A008"), "{out}");
+
+    // Non-zero process exit through the top-level entry point.
+    let code = wfms_cli::main_with_args(
+        ["audit".to_string(), "--root".to_string(), root],
+        &mut Vec::new(),
+    );
+    assert_ne!(code, 0);
+}
+
+#[test]
+fn audit_json_round_trips_through_serde() {
+    let dir = audit_root(
+        "audit-json",
+        "crates/markov/src/lib.rs",
+        "use std::collections::HashMap;\n\npub type Cache = HashMap<u32, f64>;\n",
+    );
+    let root = dir.0.display().to_string();
+    let parsed = ParsedArgs::parse(
+        ["audit", "--root", &root, "--format", "json"]
+            .iter()
+            .map(|s| s.to_string()),
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    let err = run_command(&parsed, &mut buf).unwrap_err();
+    assert!(matches!(err, CliError::Audit { .. }), "{err}");
+    let out = String::from_utf8(buf).unwrap();
+    let findings: wfms_core::diag::Diagnostics = serde_json::from_str(&out).expect("valid JSON");
+    assert!(findings.has_errors());
+    assert!(findings.iter().any(|d| d.code == "A006"), "{out}");
+    let back = serde_json::to_string(&findings).unwrap();
+    let reparsed: wfms_core::diag::Diagnostics = serde_json::from_str(&back).unwrap();
+    assert_eq!(findings, reparsed);
+}
+
+#[test]
+fn audit_rejects_unknown_format() {
+    let dir = audit_root("audit-format", "crates/perf/src/lib.rs", "pub fn f() {}\n");
+    let err = invoke(&[
+        "audit",
+        "--root",
+        &dir.0.display().to_string(),
+        "--format",
+        "yaml",
+    ])
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("expected `text` or `json`"),
+        "{err}"
+    );
+}

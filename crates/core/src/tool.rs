@@ -14,10 +14,9 @@
 
 use wfms_avail::{closed_form_unavailability, AvailabilityModel, MINUTES_PER_YEAR};
 use wfms_config::{
-    apply_to_spec, assess, branch_and_bound_search, calibrate_from_traces, exhaustive_search,
-    greedy_search, sensitivity, ApplyOptions, ApplyReport, Assessment, AssessmentEngine,
-    ConfigError, Goals, SearchOptions, SearchResult, SensitivityEntry, SensitivityOptions,
-    WorkflowTrace,
+    apply_to_spec, calibrate_from_traces, sensitivity, ApplyOptions, ApplyReport, Assessment,
+    AssessmentEngine, ConfigError, Goals, SearchOptions, SearchResult, SensitivityEntry,
+    SensitivityOptions, WorkflowTrace,
 };
 use wfms_markov::ctmc::SteadyStateMethod;
 use wfms_perf::{
@@ -197,8 +196,7 @@ impl ConfigurationTool {
     /// # Errors
     /// Model failures as [`ConfigError`].
     pub fn assess(&self, config: &Configuration, goals: &Goals) -> Result<Assessment, ConfigError> {
-        let load = self.system_load()?;
-        assess(&self.registry, config, &load, goals)
+        self.engine(goals, SearchOptions::default())?.assess(config)
     }
 
     /// An [`AssessmentEngine`] over this tool's registry and the
@@ -231,8 +229,7 @@ impl ConfigurationTool {
         goals: &Goals,
         opts: &SearchOptions,
     ) -> Result<SearchResult, ConfigError> {
-        let load = self.system_load()?;
-        greedy_search(&self.registry, &load, goals, opts)
+        self.engine(goals, *opts)?.greedy()
     }
 
     /// Exhaustive (provably minimum-cost) recommendation; exponential in
@@ -245,8 +242,7 @@ impl ConfigurationTool {
         goals: &Goals,
         opts: &SearchOptions,
     ) -> Result<SearchResult, ConfigError> {
-        let load = self.system_load()?;
-        exhaustive_search(&self.registry, &load, goals, opts)
+        self.engine(goals, *opts)?.exhaustive()
     }
 
     /// Branch-and-bound recommendation: provably minimum-cost like
@@ -261,8 +257,7 @@ impl ConfigurationTool {
         goals: &Goals,
         opts: &SearchOptions,
     ) -> Result<SearchResult, ConfigError> {
-        let load = self.system_load()?;
-        branch_and_bound_search(&self.registry, &load, goals, opts)
+        self.engine(goals, *opts)?.branch_and_bound()
     }
 
     /// Parameter-sensitivity elasticities of the goal metrics at `config`

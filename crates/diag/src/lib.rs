@@ -107,6 +107,14 @@ pub enum Location {
     Configuration,
     /// The goal specification.
     Goals,
+    /// A line of a repository source or documentation file (used by the
+    /// implementation audit, `wfms audit`).
+    File {
+        /// Workspace-relative path, `/`-separated.
+        path: String,
+        /// One-based line number.
+        line: usize,
+    },
     /// Anywhere else.
     Global,
 }
@@ -126,6 +134,7 @@ impl fmt::Display for Location {
                 write!(f, "{matrix}, entry ({row}, {col})")
             }
             Location::ServerType { server_type } => write!(f, "server type {server_type:?}"),
+            Location::File { path, line } => write!(f, "{path}:{line}"),
             Location::Configuration => write!(f, "configuration"),
             Location::Goals => write!(f, "goals"),
             Location::Global => write!(f, "global"),

@@ -255,6 +255,7 @@ impl Ctmc {
     /// The embedded jump chain as a [`Dtmc`].
     pub fn embedded(&self) -> Dtmc {
         Dtmc::with_labels(self.jump.clone(), self.labels.clone())
+            // audit:allow(A008, reason = "the jump matrix was validated by the Ctmc constructor and is immutable afterwards")
             .expect("jump chain was validated at construction")
     }
 
@@ -450,6 +451,7 @@ impl Ctmc {
                 ));
             }
         }
+        // audit:allow(A009, reason = "the sweep loop returns on convergence and errors on sweep == max_iterations, so the loop exit is unreachable")
         unreachable!("loop either returns or errors on the last sweep")
     }
 

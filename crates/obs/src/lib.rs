@@ -29,6 +29,7 @@
 //! | span | emitted by | key fields |
 //! |---|---|---|
 //! | `workflow-analysis` | `wfms-perf` | `chart`, `states` |
+//! | `turnaround-distribution` | `wfms-perf` | `states`, `epsilon` |
 //! | `first-passage` | `wfms-markov` | `states`, `solver` |
 //! | `uniformize` | `wfms-markov` | `states`, `rate` |
 //! | `transient-distribution` | `wfms-markov` | `terms`, `time` |
@@ -44,12 +45,28 @@
 //! | `search-candidate` | `wfms-config` | `candidate`, `accepted` |
 //! | `greedy-search` / `exhaustive-search` / `bnb-search` / `annealing-search` | `wfms-config` | `evaluations`, `cost` |
 //! | `simulate` | `wfms-sim` | `events`, `warmup_minutes`, `measured_minutes` |
+//! | `solver-fallback` | `wfms-markov` / `wfms-config` | `from` (one span per fallback-ladder escalation) |
 //!
-//! Counters and histograms are dotted lowercase (`markov.linear-solve.iterations`,
-//! `perf.mg1.evaluations`, `sim.events`, `config.annealing.accepted`, …).
-//! The ε-truncated performability fold additionally counts the states it
-//! never evaluated under `performability.pruned-states` — `wfms profile
-//! --check` gates on it staying nonzero.
+//! Counters and histograms are dotted lowercase
+//! (`<crate>.<subject>.<aspect>`). The pipeline metrics:
+//!
+//! | metric | kind | emitted by | meaning |
+//! |---|---|---|---|
+//! | `markov.linear-solve.iterations` | histogram | `wfms-markov` | Gauss–Seidel/SOR sweeps per linear solve |
+//! | `markov.sor.spectral-radius-estimate` | gauge | `wfms-markov` | last estimated iteration-matrix spectral radius |
+//! | `markov.power-iteration.iterations` | histogram | `wfms-markov` | power-iteration steps per steady-state fallback |
+//! | `markov.steady-state.iterations` | histogram | `wfms-markov` | sweeps per CTMC steady-state solve |
+//! | `markov.poisson.truncation-steps` | histogram | `wfms-markov` | uniformization truncation depth `z_max` |
+//! | `markov.poisson.terms` | histogram | `wfms-markov` | Poisson weights kept per transient solve |
+//! | `avail.state-space.size` | gauge | `wfms-avail` | `∏(Y_x+1)` states of the last availability model |
+//! | `perf.mg1.evaluations` | counter | `wfms-perf` | M/G/1 waiting-time kernel evaluations |
+//! | `performability.state-evaluations` | counter | `wfms-performability` | system states evaluated by a fold |
+//! | `performability.degraded-evaluations` | counter | `wfms-performability` | evaluated states that were degraded |
+//! | `performability.pruned-states` | counter | `wfms-performability` | states the ε-truncated fold never evaluated (`wfms profile --check` gates on it staying nonzero) |
+//! | `config.assessments` | counter | `wfms-config` | candidate assessments completed |
+//! | `config.annealing.accepted` | counter | `wfms-config` | accepted Metropolis moves per annealing run |
+//! | `config.annealing.rejected` | counter | `wfms-config` | rejected Metropolis moves per annealing run |
+//! | `sim.events` | counter | `wfms-sim` | discrete events processed per simulation run |
 //!
 //! The assessment engine of `wfms-config` adds three stable metric
 //! names of its own:

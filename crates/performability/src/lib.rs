@@ -397,6 +397,7 @@ where
                         // Down or Saturated, so every outcome is Stable
                         // and `waiting_time()` is Some.
                         expected_waiting[x] +=
+                            // audit:allow(A008, reason = "is_serving() guarantees every outcome is Stable, so waiting_time() is Some")
                             d.probability * o.waiting_time().expect("serving state is stable");
                     }
                 }
@@ -621,6 +622,7 @@ where
                         // Down or Saturated, so every outcome is Stable
                         // and `waiting_time()` is Some.
                         expected_waiting[x] +=
+                            // audit:allow(A008, reason = "is_serving() guarantees every outcome is Stable, so waiting_time() is Some")
                             d.probability * o.waiting_time().expect("serving state is stable");
                     }
                 }

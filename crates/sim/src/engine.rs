@@ -617,6 +617,7 @@ impl Engine<'_> {
             let mut acc = 0.0;
             // Infallible: spec validation rejects non-final states with no
             // outgoing transitions, and the debug_assert above re-checks.
+            // audit:allow(A008, reason = "spec validation rejects non-final states with no outgoing transitions (W008), re-checked by the debug_assert above")
             let mut chosen = outgoing.last().expect("validated chart").0;
             for &(to, p) in outgoing {
                 acc += p;
@@ -644,6 +645,7 @@ impl Engine<'_> {
                 let ready = {
                     // Infallible: the instance was present two lookups above
                     // in this same handler and nothing removes it in between.
+                    // audit:allow(A008, reason = "the instance was present two lookups above in this same handler and nothing removes it in between")
                     let inst = self.instances.get_mut(&iid).expect("instance exists");
                     let f = &mut inst.frames[p];
                     f.pending_children -= 1;

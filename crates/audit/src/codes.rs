@@ -19,7 +19,11 @@
 //! * `A011` — **API hygiene**: no internal callers of the deprecated
 //!   free-function search API;
 //! * `A012`–`A013` — the allowlist itself is machine-checked: pragmas
-//!   must be well-formed and must actually suppress something.
+//!   must be well-formed and must actually suppress something;
+//! * `A014` — **registry consistency, continued**: the decision-journal
+//!   vocabulary (`wfms-config::journal`) must agree with the DESIGN.md
+//!   §7 decision-vocabulary table and the README Explainability table
+//!   in both directions.
 //!
 //! The [`all`] table carries the default severity, a one-line summary,
 //! and the DESIGN.md section whose contract the check enforces;
@@ -83,6 +87,14 @@ pub const A_MALFORMED_ALLOW: &str = "A012";
 /// An `audit:allow` pragma that suppressed nothing — stale entries
 /// must be removed so the allowlist stays minimal.
 pub const A_UNUSED_ALLOW: &str = "A013";
+
+// --------------------------------- registry consistency (continued)
+
+/// The decision-journal vocabulary (`OUTCOME_*` / `REASON_*` /
+/// `EVENT_*` constants in `wfms-config::journal`) drifted from the
+/// DESIGN.md §7 decision-vocabulary table or the README Explainability
+/// table (either direction).
+pub const A_DECISION_VOCAB_DRIFT: &str = "A014";
 
 /// One row of the audit-code registry.
 #[derive(Debug, Clone)]
@@ -187,6 +199,12 @@ pub fn all() -> Vec<CodeInfo> {
             Warning,
             "audit:allow pragmas that suppress nothing must be removed",
             "DESIGN.md \u{a7}11",
+        ),
+        info(
+            A_DECISION_VOCAB_DRIFT,
+            Error,
+            "the decision-journal vocabulary and its doc tables must match exactly",
+            "DESIGN.md \u{a7}7",
         ),
     ]
 }

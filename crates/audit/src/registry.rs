@@ -1,4 +1,4 @@
-//! Pass 1 — registry consistency (`A001`–`A005`).
+//! Pass 1 — registry consistency (`A001`–`A005`, `A014`).
 //!
 //! The repo's stable-name vocabularies each live in two places: the
 //! emission sites in code and a documentation table. This pass parses
@@ -15,7 +15,10 @@
 //!   site table;
 //! * **diagnostic** codes — the `wfms-diag` `codes.rs` constants vs the
 //!   README Diagnostics tables, and every constant must be registered
-//!   in `codes::all()`.
+//!   in `codes::all()`;
+//! * the **decision vocabulary** — the `OUTCOME_*`/`REASON_*`/`EVENT_*`
+//!   constants of `wfms-config::journal` vs the DESIGN.md §7
+//!   decision-vocabulary table and the README Explainability table.
 //!
 //! Doc checks are skipped when the corresponding file is absent, so
 //! fixture workspaces only need the files relevant to the invariant
@@ -50,6 +53,7 @@ pub fn run(ws: &Workspace, diags: &mut Diagnostics) {
     check_required_gates(ws, &spans, &metrics, diags);
     check_failpoints(ws, &failpoints, diags);
     check_diag_codes(ws, diags);
+    check_decision_vocab(ws, diags);
 }
 
 fn collect_emissions(
@@ -399,6 +403,101 @@ fn check_diag_codes(ws: &Workspace, diags: &mut Diagnostics) {
                 "README.md",
                 *line,
             );
+        }
+    }
+}
+
+/// First-cell backticked names of every table row under headings whose
+/// title contains `heading_needle` (case-insensitive). A heading that
+/// does not match closes the section, so the scan never bleeds into
+/// neighbouring tables.
+fn heading_scoped_names(lines: &[String], heading_needle: &str) -> DocNames {
+    let mut names = DocNames::new();
+    let mut in_section = false;
+    for (idx, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with('#') {
+            in_section = line.to_lowercase().contains(heading_needle);
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        for name in first_cell_names(line) {
+            names.entry(name).or_insert(idx + 1);
+        }
+    }
+    names
+}
+
+/// The decision-journal vocabulary: `pub const OUTCOME_* / REASON_* /
+/// EVENT_*: &str` declarations in `wfms-config::journal` vs the
+/// DESIGN.md §7 decision-vocabulary table and the README Explainability
+/// table, in both directions. These names reach disk (`--journal`
+/// JSONL, timeline instants), so they carry the same stability contract
+/// as obs span names — and the same drift check.
+fn check_decision_vocab(ws: &Workspace, diags: &mut Diagnostics) {
+    const JOURNAL: &str = "crates/config/src/journal.rs";
+    let Some(file) = ws.file(JOURNAL) else { return };
+    let mut vocab = DocNames::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        if !(code.contains("pub const") && code.contains("&str")) {
+            continue;
+        }
+        let is_vocab_const = code
+            .split_whitespace()
+            .skip_while(|w| *w != "const")
+            .nth(1)
+            .is_some_and(|w| {
+                w.starts_with("OUTCOME_") || w.starts_with("REASON_") || w.starts_with("EVENT_")
+            });
+        if !is_vocab_const {
+            continue;
+        }
+        if let Some(value) = file.literals[idx].first() {
+            vocab.entry(value.clone()).or_insert(idx + 1);
+        }
+    }
+
+    for (doc, needle, what) in [
+        (
+            "DESIGN.md",
+            "decision vocabulary",
+            "DESIGN.md \u{a7}7 decision-vocabulary table",
+        ),
+        (
+            "README.md",
+            "explainability",
+            "README.md Explainability table",
+        ),
+    ] {
+        let Some(lines) = ws.doc_lines(doc) else {
+            continue;
+        };
+        let documented = heading_scoped_names(&lines, needle);
+        for (name, line) in &vocab {
+            if file.allowed(codes::A_DECISION_VOCAB_DRIFT, *line) {
+                continue;
+            }
+            if !documented.contains_key(name) {
+                emit(
+                    diags,
+                    codes::A_DECISION_VOCAB_DRIFT,
+                    format!("decision-vocabulary name `{name}` is declared here but missing from the {what}"),
+                    JOURNAL,
+                    *line,
+                );
+            }
+        }
+        for (name, line) in &documented {
+            if !vocab.contains_key(name) {
+                emit(
+                    diags,
+                    codes::A_DECISION_VOCAB_DRIFT,
+                    format!("{what} lists `{name}`, which wfms-config::journal does not declare"),
+                    doc,
+                    *line,
+                );
+            }
         }
     }
 }

@@ -302,3 +302,77 @@ fn clean_fixture_workspace_is_clean() {
     let report = fx.audit();
     assert!(report.is_empty(), "report: {}", report.summary());
 }
+
+/// A minimal DESIGN.md whose decision-vocabulary table lists exactly
+/// the given names.
+fn decision_doc(names: &[&str]) -> String {
+    let mut doc = String::from("### The decision vocabulary\n\n| name | role |\n|---|---|\n");
+    for name in names {
+        doc.push_str(&format!("| `{name}` | fixture |\n"));
+    }
+    doc
+}
+
+/// A journal module declaring exactly the given vocabulary values.
+fn journal_src(values: &[&str]) -> String {
+    let mut src = String::new();
+    for (idx, value) in values.iter().enumerate() {
+        src.push_str(&format!(
+            "pub const OUTCOME_FIXTURE{idx}: &str = \"{value}\";\n"
+        ));
+    }
+    src
+}
+
+#[test]
+fn undocumented_decision_vocab_fires_a014() {
+    let fx = Fixture::new("a014-code");
+    fx.file(
+        "crates/config/src/journal.rs",
+        &journal_src(&["documented-outcome", "mystery-outcome"]),
+    )
+    .file("DESIGN.md", &decision_doc(&["documented-outcome"]));
+    let report = fx.audit();
+    assert!(
+        report
+            .with_code("A014")
+            .any(|d| d.message.contains("mystery-outcome")),
+        "expected A014 for the undocumented vocabulary name, got: {}",
+        report.summary()
+    );
+    assert_eq!(codes(&report), vec!["A014"]);
+}
+
+#[test]
+fn stale_documented_decision_vocab_fires_a014() {
+    let fx = Fixture::new("a014-doc");
+    fx.file(
+        "crates/config/src/journal.rs",
+        &journal_src(&["documented-outcome"]),
+    )
+    .file(
+        "DESIGN.md",
+        &decision_doc(&["documented-outcome", "ghost-outcome"]),
+    );
+    let report = fx.audit();
+    assert!(
+        report
+            .with_code("A014")
+            .any(|d| d.message.contains("ghost-outcome")),
+        "expected A014 for the stale documented name, got: {}",
+        report.summary()
+    );
+    assert_eq!(codes(&report), vec!["A014"]);
+}
+
+#[test]
+fn matching_decision_vocab_is_clean() {
+    let fx = Fixture::new("a014-clean");
+    fx.file(
+        "crates/config/src/journal.rs",
+        &journal_src(&["accept-fixture"]),
+    )
+    .file("DESIGN.md", &decision_doc(&["accept-fixture"]));
+    let report = fx.audit();
+    assert!(report.is_empty(), "report: {}", report.summary());
+}

@@ -5,12 +5,17 @@
 use wfms_bench::obs;
 use wfms_core::config::Goals;
 use wfms_core::perf::TurnaroundDistribution;
-use wfms_core::{Configuration, ConfigurationTool};
+use wfms_core::{Configuration, ConfigurationTool, SearchOptions};
 use wfms_statechart::paper_section52_registry;
 use wfms_workloads::{enterprise_mix, enterprise_registry, ep_workflow, EP_SIM_ARRIVAL_RATE};
 
-/// One full pass over the analysis stack, mirroring `wfms profile`:
-/// per-workflow transient analysis plus a goal assessment.
+/// One full pass over the analysis stack, mirroring one `wfms profile`
+/// run: per-workflow transient analysis, an engine-backed assessment, a
+/// greedy search, a cache-replay re-assessment, and an ε-truncated
+/// product-form pass. Keeping the stage *mix* identical to `wfms
+/// profile` matters because `profile --baseline` gates on each stage's
+/// **share** of total stage time — a baseline recorded over a different
+/// mix would make the shares incomparable.
 fn exercise(tool: &ConfigurationTool, goals: &Goals) {
     for (spec, _) in tool.workloads() {
         let analysis = tool.workflow_analysis(&spec.name).expect("analyzable");
@@ -18,7 +23,29 @@ fn exercise(tool: &ConfigurationTool, goals: &Goals) {
         dist.percentile(0.9).expect("percentile");
     }
     let config = Configuration::uniform(tool.registry(), 2).expect("valid");
-    tool.assess(&config, goals).expect("assessable");
+    let base = SearchOptions {
+        epsilon: 0.0,
+        ..SearchOptions::default()
+    };
+    let engine = tool.engine(goals, base).expect("engine");
+    engine.assess(&config).expect("assessable");
+    match engine.greedy() {
+        Ok(_)
+        | Err(wfms_core::ConfigError::GoalsUnreachable { .. })
+        | Err(wfms_core::ConfigError::LoadUnsustainable { .. }) => {}
+        Err(e) => panic!("greedy search failed: {e}"),
+    }
+    engine.assess(&config).expect("assessable");
+    let truncated = tool
+        .engine(
+            goals,
+            SearchOptions {
+                epsilon: 1e-4,
+                ..base
+            },
+        )
+        .expect("engine");
+    truncated.assess(&config).expect("assessable");
 }
 
 fn main() {

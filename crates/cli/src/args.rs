@@ -96,9 +96,9 @@ pub struct CommandSpec {
 }
 
 /// Options every command accepts (observability controls).
-const GLOBAL_OPTIONS: &[&str] = &["trace-out"];
+const GLOBAL_OPTIONS: &[&str] = &["trace-out", "timeline", "journal"];
 /// Flags every command accepts.
-const GLOBAL_FLAGS: &[&str] = &["help"];
+const GLOBAL_FLAGS: &[&str] = &["help", "trace-out-force"];
 /// Flags with an optional inline value: `--trace` or `--trace=json`.
 const OPTIONAL_VALUE_FLAGS: &[&str] = &["trace"];
 
@@ -195,8 +195,16 @@ pub const COMMANDS: &[CommandSpec] = &[
             "avail-backend",
             "solver-tol",
             "solver-max-iter",
+            "baseline",
+            "baseline-key",
+            "gate",
         ],
         flags: &["check", "strict", "json"],
+    },
+    CommandSpec {
+        name: "explain",
+        options: &["candidate"],
+        flags: &["json"],
     },
     CommandSpec {
         name: "sensitivity",
@@ -262,6 +270,13 @@ impl ParsedArgs {
                 continue;
             }
             if GLOBAL_FLAGS.contains(&name.as_str()) {
+                if let Some(v) = inline {
+                    return Err(ArgError::InvalidValue {
+                        option: name,
+                        value: v,
+                        reason: "flag takes no value".into(),
+                    });
+                }
                 flags.push(name);
                 continue;
             }
@@ -503,6 +518,72 @@ mod tests {
         ));
         let a = parse(&["profile", "--trace-out", "t.json"]).unwrap();
         assert_eq!(a.get("trace-out"), Some("t.json"));
+    }
+
+    #[test]
+    fn observability_outputs_parse_on_every_command() {
+        // --timeline / --journal / --trace-out-force are global, like
+        // --trace-out.
+        for command in ["assess", "recommend", "simulate", "profile"] {
+            let a = parse(&[
+                command,
+                "--timeline",
+                "t.json",
+                "--journal",
+                "j.jsonl",
+                "--trace-out-force",
+            ])
+            .unwrap();
+            assert_eq!(a.get("timeline"), Some("t.json"));
+            assert_eq!(a.get("journal"), Some("j.jsonl"));
+            assert!(a.flag("trace-out-force"));
+        }
+        // The force flag carries no value.
+        assert!(matches!(
+            parse(&["assess", "--trace-out-force=yes"]).unwrap_err(),
+            ArgError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn explain_and_gate_surfaces_parse() {
+        let a = parse(&[
+            "explain",
+            "--journal",
+            "j.jsonl",
+            "--candidate",
+            "2,1,3",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "explain");
+        assert_eq!(a.get("journal"), Some("j.jsonl"));
+        assert_eq!(a.get_replicas("candidate").unwrap(), Some(vec![2, 1, 3]));
+        assert!(a.flag("json"));
+        // explain takes no spec options.
+        assert!(matches!(
+            parse(&["explain", "--registry", "r.json"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+
+        let a = parse(&[
+            "profile",
+            "--baseline",
+            "BENCH_obs.json",
+            "--baseline-key",
+            "ep",
+            "--gate",
+            "25",
+        ])
+        .unwrap();
+        assert_eq!(a.get("baseline"), Some("BENCH_obs.json"));
+        assert_eq!(a.get("baseline-key"), Some("ep"));
+        assert_eq!(a.get_f64("gate").unwrap(), Some(25.0));
+        // The gate options belong to profile only.
+        assert!(matches!(
+            parse(&["assess", "--baseline", "b.json"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
     }
 
     #[test]

@@ -23,6 +23,8 @@ use wfms_core::statechart::{paper_section52_registry, validate_spec};
 use wfms_core::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
 use wfms_core::{Configuration, ConfigurationTool, ServerTypeRegistry, WorkflowSpec};
 
+use wfms_core::config::journal;
+
 use crate::args::{ArgError, ParsedArgs, TraceMode};
 use crate::error::CliError;
 
@@ -286,7 +288,9 @@ COMMANDS
   profile      --registry <file> --workload <file> [--config <y1,..>]
                [--max-wait <min>] [--min-availability <a>] [--runs <n>]
                [--jobs <n>] [--epsilon <e>] [--solver-tol <t>]
-               [--solver-max-iter <n>] [--strict] [--check] [--json]
+               [--solver-max-iter <n>] [--strict] [--check]
+               [--baseline <file>] [--baseline-key <name>] [--gate <pct>]
+               [--json]
                run the analysis stack N times (including an
                engine-backed greedy search and an e-truncated
                product-form pass, default epsilon 1e-4) and report
@@ -295,7 +299,18 @@ COMMANDS
                records no spans, a required counter (engine.cache-hit,
                performability.pruned-states) stays zero, or a
                must-stay-zero counter (solver.fallback,
-               config.quarantined) fires on the clean run
+               config.quarantined) fires on the clean run;
+               --baseline diffs each stage's share of total stage time
+               against a committed baseline (a BENCH_obs.json map —
+               pick the experiment with --baseline-key — or a saved
+               `profile --json` report) and exits non-zero when a
+               stage's share grew more than --gate percent (default 25)
+  explain      --journal <file> [--candidate <y1,..>] [--json]
+               replay a decision journal recorded with --journal and
+               reconstruct the winner's causal chain: the binding goal
+               and each losing candidate's rejection reason and goal
+               slacks; --candidate narrows to one replica vector.
+               Output is byte-stable across identical runs
   sensitivity  --registry <file> --workload <file> --config <y1,..>
                [--step <rel>] [--json]
                log-log elasticities of the goal metrics per parameter
@@ -308,6 +323,13 @@ GLOBAL OPTIONS (every command)
   --trace[=text|json]  record an execution trace (spans, counters,
                        histograms) and print it to stderr
   --trace-out <file>   also write the trace snapshot as JSON to <file>
+  --timeline <file>    record a per-thread timeline of span begin/end
+                       and decision markers, written as Chrome Trace
+                       Format JSON (open in Perfetto / chrome://tracing)
+  --journal <file>     record the search decision journal as JSONL
+                       (replay it with `wfms explain`)
+  --trace-out-force    overwrite existing --trace-out/--timeline/
+                       --journal files instead of refusing
 ";
 
 /// Runs one CLI invocation, writing the report to `out`.
@@ -315,7 +337,15 @@ GLOBAL OPTIONS (every command)
 /// When `--trace` or `--trace-out` is given, the global observability
 /// recorder is enabled around the command and the resulting trace is
 /// rendered to stderr (`--trace`) and/or written as JSON to a file
-/// (`--trace-out`). The command's own report still goes to `out`.
+/// (`--trace-out`). `--timeline <file>` additionally enables the
+/// per-thread timeline journal and writes it as Chrome Trace Format
+/// JSON (open it in Perfetto); `--journal <file>` enables the search
+/// decision journal and writes it as JSONL (replay it with
+/// `wfms explain`). The command's own report still goes to `out`.
+///
+/// None of the three file outputs overwrite an existing file unless
+/// `--trace-out-force` is given; the refusal happens before the command
+/// runs, so no work is lost to a doomed invocation.
 ///
 /// # Errors
 /// [`CliError`] on bad arguments, unreadable files, or model failures.
@@ -326,22 +356,67 @@ pub fn run_command(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErr
     }
     let trace = args.trace_mode()?;
     let trace_out = args.get("trace-out").map(str::to_string);
-    if trace.is_none() && trace_out.is_none() {
+    let timeline_out = args.get("timeline").map(str::to_string);
+    // `wfms explain` consumes a journal file; every other command
+    // records one.
+    let journal_out = (args.command != "explain")
+        .then(|| args.get("journal").map(str::to_string))
+        .flatten();
+    if !args.flag("trace-out-force") {
+        for path in [&trace_out, &timeline_out, &journal_out]
+            .into_iter()
+            .flatten()
+        {
+            if Path::new(path).exists() {
+                return Err(CliError::Clobber { path: path.clone() });
+            }
+        }
+    }
+    let record_spans = trace.is_some() || trace_out.is_some();
+    if !record_spans && timeline_out.is_none() && journal_out.is_none() {
         return dispatch(args, out);
     }
     let recorder = wfms_obs::global();
-    recorder.reset();
-    recorder.enable();
-    let result = dispatch(args, out);
-    recorder.disable();
-    let snapshot = recorder.take();
-    match trace {
-        Some(TraceMode::Text) => eprint!("{}", wfms_obs::render_text(&snapshot)),
-        Some(TraceMode::Json) => eprintln!("{}", wfms_obs::to_json(&snapshot)),
-        None => {}
+    if record_spans {
+        recorder.reset();
+        recorder.enable();
     }
-    if let Some(path) = trace_out {
-        std::fs::write(&path, wfms_obs::to_json(&snapshot)).map_err(|e| CliError::Io {
+    if timeline_out.is_some() {
+        wfms_obs::timeline::reset();
+        wfms_obs::timeline::enable();
+    }
+    if journal_out.is_some() {
+        journal::take();
+        journal::enable();
+    }
+    let result = dispatch(args, out);
+    if record_spans {
+        recorder.disable();
+        let snapshot = recorder.take();
+        match trace {
+            Some(TraceMode::Text) => eprint!("{}", wfms_obs::render_text(&snapshot)),
+            Some(TraceMode::Json) => eprintln!("{}", wfms_obs::to_json(&snapshot)),
+            None => {}
+        }
+        if let Some(path) = trace_out {
+            std::fs::write(&path, wfms_obs::to_json(&snapshot)).map_err(|e| CliError::Io {
+                path,
+                message: e.to_string(),
+            })?;
+        }
+    }
+    if let Some(path) = timeline_out {
+        wfms_obs::timeline::disable();
+        let snapshot = wfms_obs::timeline::take();
+        std::fs::write(&path, wfms_obs::to_chrome_trace(&snapshot)).map_err(|e| CliError::Io {
+            path,
+            message: e.to_string(),
+        })?;
+    }
+    if let Some(path) = journal_out {
+        journal::disable();
+        let snapshot = journal::take();
+        std::fs::write(&path, journal::to_jsonl(&snapshot)).map_err(|e| CliError::Io {
             path,
             message: e.to_string(),
         })?;
@@ -365,6 +440,7 @@ fn dispatch(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         "recommend" => cmd_recommend(args, out),
         "simulate" => cmd_simulate(args, out),
         "profile" => cmd_profile(args, out),
+        "explain" => cmd_explain(args, out),
         "sensitivity" => cmd_sensitivity(args, out),
         "export-dot" => cmd_export_dot(args, out),
         other => Err(CliError::UnknownCommand {
@@ -807,10 +883,121 @@ struct ProfileReport {
     runs: usize,
     configuration: Vec<usize>,
     wall_ms: f64,
+    /// Spans the bounded recorder dropped (see `WFMS_OBS_SPAN_CAP`).
+    dropped_spans: u64,
+    /// Timeline events dropped (see `WFMS_OBS_EVENT_CAP`); nonzero only
+    /// when `--timeline` is active.
+    dropped_events: u64,
     stages: Vec<wfms_obs::StageSummary>,
     counters: std::collections::BTreeMap<String, u64>,
     gauges: std::collections::BTreeMap<String, f64>,
     histograms: std::collections::BTreeMap<String, wfms_obs::HistogramSnapshot>,
+    baseline: Option<Vec<GateEntry>>,
+}
+
+/// Minimum absolute share growth (in fractions of the compared total)
+/// before a stage can regress: relative growth alone would flag timer
+/// noise on stages measured in microseconds, while a genuine blow-up —
+/// even of a stage that was tiny in the baseline — moves whole
+/// percentage points of the total.
+const GATE_ABS_FLOOR: f64 = 0.01;
+
+/// One stage of the `--baseline` diff. The gate compares each stage's
+/// **share** of the compared-set total time, not its absolute wall time:
+/// shares are invariant under a uniformly faster or slower machine, so a
+/// committed baseline stays meaningful across hosts, while anything that
+/// selectively slows one stage (a perf regression, an injected delay)
+/// shifts that stage's share and trips the gate.
+#[derive(Debug, Clone, Serialize)]
+struct GateEntry {
+    stage: String,
+    baseline_total_ns: u64,
+    current_total_ns: u64,
+    baseline_share: f64,
+    current_share: f64,
+    regressed: bool,
+}
+
+/// Reads the `--baseline` file: either a `wfms profile --json` report
+/// (anything with a top-level `stages` array) or a `BENCH_obs.json`
+/// experiment map, disambiguated by `--baseline-key` when it holds more
+/// than one experiment.
+fn load_baseline_stages(
+    path: &str,
+    key: Option<&str>,
+) -> Result<Vec<wfms_obs::StageSummary>, CliError> {
+    #[derive(Deserialize)]
+    struct StagesOnly {
+        stages: Vec<wfms_obs::StageSummary>,
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    if let Ok(report) = serde_json::from_str::<StagesOnly>(&text) {
+        return Ok(report.stages);
+    }
+    let mut map: std::collections::BTreeMap<String, StagesOnly> = serde_json::from_str(&text)
+        .map_err(|e| CliError::Json {
+            path: path.to_string(),
+            message: e.to_string(),
+        })?;
+    let chosen = match key {
+        Some(k) => map.remove(k),
+        None if map.len() == 1 => map.pop_first().map(|(_, v)| v),
+        None => None,
+    };
+    match chosen {
+        Some(record) => Ok(record.stages),
+        None => Err(CliError::Arg(ArgError::InvalidValue {
+            option: "baseline-key".into(),
+            value: key.unwrap_or("<missing>").into(),
+            reason: format!(
+                "baseline holds experiments [{}]",
+                map.keys().cloned().collect::<Vec<_>>().join(", ")
+            ),
+        })),
+    }
+}
+
+/// Compares the current per-stage shares against the baseline's over
+/// the stages both runs recorded. A stage regresses when its share
+/// grew by more than `gate_pct` percent relative **and** by at least
+/// [`GATE_ABS_FLOOR`] absolute.
+fn gate_compare(
+    baseline: &[wfms_obs::StageSummary],
+    current: &[wfms_obs::StageSummary],
+    gate_pct: f64,
+) -> Vec<GateEntry> {
+    let cur: std::collections::BTreeMap<&str, u64> = current
+        .iter()
+        .map(|s| (s.name.as_str(), s.total_ns))
+        .collect();
+    let shared: Vec<(&wfms_obs::StageSummary, u64)> = baseline
+        .iter()
+        .filter_map(|b| cur.get(b.name.as_str()).map(|&c| (b, c)))
+        .collect();
+    let base_total: u64 = shared.iter().map(|(b, _)| b.total_ns).sum();
+    let cur_total: u64 = shared.iter().map(|(_, c)| *c).sum();
+    if base_total == 0 || cur_total == 0 {
+        return Vec::new();
+    }
+    shared
+        .iter()
+        .map(|(b, c)| {
+            let baseline_share = b.total_ns as f64 / base_total as f64;
+            let current_share = *c as f64 / cur_total as f64;
+            GateEntry {
+                stage: b.name.clone(),
+                baseline_total_ns: b.total_ns,
+                current_total_ns: *c,
+                baseline_share,
+                current_share,
+                regressed: current_share > baseline_share * (1.0 + gate_pct / 100.0)
+                    && current_share - baseline_share >= GATE_ABS_FLOOR,
+            }
+        })
+        .collect()
 }
 
 /// One full pass over the analysis stack: per-workflow transient
@@ -921,17 +1108,45 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
         }
     }
 
+    let stages = wfms_obs::aggregate_stages(&snapshot);
+    let gate_pct = args.get_f64("gate")?.unwrap_or(25.0);
+    let gate = match args.get("baseline") {
+        Some(bpath) => {
+            let base = load_baseline_stages(bpath, args.get("baseline-key"))?;
+            let entries = gate_compare(&base, &stages, gate_pct);
+            if entries.is_empty() {
+                return Err(CliError::Arg(ArgError::InvalidValue {
+                    option: "baseline".into(),
+                    value: bpath.into(),
+                    reason: "no stages in common with the current run".into(),
+                }));
+            }
+            Some(entries)
+        }
+        None => None,
+    };
+    let regressed = gate
+        .as_deref()
+        .map(|entries| entries.iter().filter(|e| e.regressed).count())
+        .unwrap_or(0);
+
     let report = ProfileReport {
         runs,
         configuration: config.as_slice().to_vec(),
         wall_ms,
-        stages: wfms_obs::aggregate_stages(&snapshot),
+        dropped_spans: snapshot.dropped_spans,
+        dropped_events: wfms_obs::timeline::snapshot().dropped_events(),
+        stages,
         counters: snapshot.counters.clone(),
         gauges: snapshot.gauges.clone(),
         histograms: snapshot.histograms.clone(),
+        baseline: gate,
     };
     if args.flag("json") {
         writeln!(out, "{}", render_json(&report)?)?;
+        if regressed > 0 {
+            return Err(CliError::Regression { stages: regressed });
+        }
         return Ok(());
     }
     writeln!(
@@ -972,6 +1187,213 @@ fn cmd_profile(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> 
                 h.max
             )?;
         }
+    }
+    if report.dropped_spans > 0 || report.dropped_events > 0 {
+        writeln!(
+            out,
+            "  dropped: {} span(s), {} timeline event(s) (raise WFMS_OBS_SPAN_CAP / WFMS_OBS_EVENT_CAP)",
+            report.dropped_spans, report.dropped_events
+        )?;
+    }
+    if let Some(entries) = &report.baseline {
+        writeln!(out, "  baseline gate (+{gate_pct:.0}% share):")?;
+        writeln!(
+            out,
+            "    {:<28} {:>12} {:>12} {:>11} {:>11}  verdict",
+            "stage", "base ms", "now ms", "base share", "now share"
+        )?;
+        for e in entries {
+            writeln!(
+                out,
+                "    {:<28} {:>12.3} {:>12.3} {:>10.1}% {:>10.1}%  {}",
+                e.stage,
+                e.baseline_total_ns as f64 / 1e6,
+                e.current_total_ns as f64 / 1e6,
+                e.baseline_share * 100.0,
+                e.current_share * 100.0,
+                if e.regressed { "REGRESSED" } else { "ok" }
+            )?;
+        }
+        writeln!(
+            out,
+            "    {} stage(s) compared, {} regressed",
+            entries.len(),
+            regressed
+        )?;
+    }
+    if regressed > 0 {
+        return Err(CliError::Regression { stages: regressed });
+    }
+    Ok(())
+}
+
+/// `wfms explain`: replays a decision journal recorded with
+/// `--journal <file>` and reconstructs the winner's causal chain — which
+/// goal was binding, and why every losing candidate lost. The output is
+/// a pure function of the journal bytes (events carry no timestamps), so
+/// two identical runs explain byte-identically.
+fn cmd_explain(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let path = args.require("journal")?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    let snapshot = journal::from_jsonl(&text).map_err(|message| CliError::Json {
+        path: path.to_string(),
+        message,
+    })?;
+    let filter = args.get_replicas("candidate")?;
+
+    let winner = snapshot
+        .events
+        .iter()
+        .rev()
+        .find(|e| e.outcome == journal::OUTCOME_WINNER)
+        .ok_or_else(|| CliError::Explain {
+            message: format!(
+                "{path}: no winner event among {} decision(s) — did the search succeed?",
+                snapshot.events.len()
+            ),
+        })?;
+    let search = winner.search.as_str();
+    let in_search: Vec<&journal::DecisionEvent> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.search == search)
+        .collect();
+    let selected: Vec<&journal::DecisionEvent> = match &filter {
+        Some(candidate) => {
+            let matched: Vec<_> = in_search
+                .iter()
+                .copied()
+                .filter(|e| &e.candidate == candidate)
+                .collect();
+            if matched.is_empty() {
+                return Err(CliError::Explain {
+                    message: format!("{path}: no decision about candidate {candidate:?}"),
+                });
+            }
+            matched
+        }
+        None => in_search
+            .iter()
+            .copied()
+            .filter(|e| {
+                e.outcome == journal::OUTCOME_REJECT || e.outcome == journal::OUTCOME_QUARANTINE
+            })
+            .collect(),
+    };
+
+    if args.flag("json") {
+        #[derive(Serialize)]
+        struct ExplainReport {
+            search: String,
+            decisions: usize,
+            dropped_decisions: u64,
+            binding_goal: Option<String>,
+            winner: journal::DecisionEvent,
+            losers: Vec<journal::DecisionEvent>,
+        }
+        let report = ExplainReport {
+            search: search.to_string(),
+            decisions: in_search.len(),
+            dropped_decisions: snapshot.dropped_decisions,
+            binding_goal: winner.margins.binding_goal().map(str::to_string),
+            winner: winner.clone(),
+            losers: selected.into_iter().cloned().collect(),
+        };
+        writeln!(out, "{}", render_json(&report)?)?;
+        return Ok(());
+    }
+
+    let fmt_slack = |v: Option<f64>| match v {
+        Some(v) => format!("{v:+.4}"),
+        None => "n/a".to_string(),
+    };
+    writeln!(
+        out,
+        "journal {path}: {} decision(s) in search \"{search}\"{}",
+        in_search.len(),
+        if snapshot.dropped_decisions > 0 {
+            format!(" ({} dropped)", snapshot.dropped_decisions)
+        } else {
+            String::new()
+        }
+    )?;
+    writeln!(
+        out,
+        "winner {:?} ({} servers): {}",
+        winner.candidate, winner.cost, winner.reason
+    )?;
+    if let Some(availability) = winner.availability {
+        let w_max = match winner.w_max {
+            Some(w) => format!("{w:.3e} min"),
+            None => "saturated".to_string(),
+        };
+        writeln!(
+            out,
+            "  availability {availability:.8}, worst expected wait {w_max}"
+        )?;
+    }
+    match winner.margins.binding_goal() {
+        Some(goal) => writeln!(
+            out,
+            "  binding goal: {goal} (waiting slack {}, availability slack {})",
+            fmt_slack(winner.margins.waiting),
+            fmt_slack(winner.margins.availability)
+        )?,
+        None => writeln!(out, "  no goals configured")?,
+    }
+    writeln!(
+        out,
+        "  cache: state {}h/{}m, block {}h/{}m, solution {}",
+        winner.cache.state_hits,
+        winner.cache.state_misses,
+        winner.cache.block_hits,
+        winner.cache.block_misses,
+        winner.cache.solution
+    )?;
+    if let Some(t) = &winner.truncation {
+        writeln!(
+            out,
+            "  truncation: \u{3b5} = {:e}, covered mass {:.9}, {} state(s) skipped",
+            t.epsilon, t.covered_mass, t.states_skipped
+        )?;
+    }
+    if let Some(d) = &winner.degradation {
+        writeln!(
+            out,
+            "  degradation: {} failed state(s), charged mass {:.3e}, {} solver fallback(s)",
+            d.failed_states, d.charged_mass, d.solver_fallbacks
+        )?;
+    }
+    writeln!(
+        out,
+        "{}",
+        match &filter {
+            Some(candidate) => format!("decisions about {candidate:?}:"),
+            None => "why each losing candidate lost:".to_string(),
+        }
+    )?;
+    if selected.is_empty() {
+        writeln!(out, "  (none: the first candidate assessed met the goals)")?;
+    }
+    for e in &selected {
+        let detail = match e.outcome.as_str() {
+            o if o == journal::OUTCOME_QUARANTINE => {
+                e.error.clone().unwrap_or_else(|| "unknown error".into())
+            }
+            _ => format!(
+                "waiting slack {}, availability slack {}",
+                fmt_slack(e.margins.waiting),
+                fmt_slack(e.margins.availability)
+            ),
+        };
+        writeln!(
+            out,
+            "  #{} {:?} ({} servers): {} \u{2014} {} | {detail}",
+            e.seq, e.candidate, e.cost, e.outcome, e.reason
+        )?;
     }
     Ok(())
 }

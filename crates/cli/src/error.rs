@@ -62,6 +62,26 @@ pub enum CliError {
         /// Its observed value.
         value: u64,
     },
+    /// An observability output (`--trace-out`, `--timeline`,
+    /// `--journal`) would overwrite an existing file and
+    /// `--trace-out-force` was not given.
+    Clobber {
+        /// The path that already exists.
+        path: String,
+    },
+    /// `profile --baseline --gate` found stages whose share of the
+    /// compared total regressed past the gate (the diff table itself
+    /// went to stdout).
+    Regression {
+        /// Number of regressed stages.
+        stages: usize,
+    },
+    /// `wfms explain` could not reconstruct a decision chain from the
+    /// journal.
+    Explain {
+        /// What was missing or ambiguous.
+        message: String,
+    },
     /// Writing the report failed.
     Output(std::io::Error),
 }
@@ -91,6 +111,16 @@ impl fmt::Display for CliError {
                     "profile: counter {counter:?} fired {value} time(s) on a clean run"
                 )
             }
+            CliError::Clobber { path } => {
+                write!(
+                    f,
+                    "{path} already exists (pass --trace-out-force to overwrite)"
+                )
+            }
+            CliError::Regression { stages } => {
+                write!(f, "profile: {stages} stage(s) regressed past the gate")
+            }
+            CliError::Explain { message } => write!(f, "explain: {message}"),
             CliError::Output(e) => write!(f, "failed to write output: {e}"),
         }
     }

@@ -19,6 +19,7 @@ use crate::assess::Assessment;
 use crate::engine::AssessmentEngine;
 use crate::error::ConfigError;
 use crate::goals::Goals;
+use crate::journal;
 use crate::search::{QuarantinedCandidate, SearchOptions, SearchResult};
 
 /// Annealing schedule and move parameters.
@@ -138,7 +139,14 @@ pub(crate) fn annealing_walk(
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
     let mut current = Configuration::minimal(registry);
-    let mut current_assessment = engine.assess(&current)?;
+    let (mut current_assessment, initial_provenance) = engine.assess_with_provenance(&current)?;
+    journal::record_assessed(
+        "annealing",
+        &current_assessment,
+        goals,
+        initial_provenance,
+        None,
+    );
     let mut current_obj = objective(&current_assessment, goals);
     let mut evaluations = 1;
     let mut trace = vec![current_assessment.clone()];
@@ -172,16 +180,18 @@ pub(crate) fn annealing_walk(
             replicas[x] -= 1;
         }
         let candidate = Configuration::new(registry, replicas)?;
-        let assessment = match engine.assess(&candidate) {
-            Ok(assessment) => assessment,
+        let (assessment, provenance) = match engine.assess_with_provenance(&candidate) {
+            Ok(assessed) => assessed,
             Err(e) if !strict && e.is_candidate_local() => {
                 // Quarantine the irrecoverable candidate and treat the
                 // move as rejected: the walk stays at `current` and the
                 // RNG stream is unaffected for later steps.
                 wfms_obs::counter("config.quarantined", 1);
+                let error = e.to_string();
+                journal::record_quarantined("annealing", candidate.as_slice(), &error);
                 quarantined.push(QuarantinedCandidate {
                     replicas: candidate.as_slice().to_vec(),
-                    error: e.to_string(),
+                    error,
                 });
                 rejected += 1;
                 temperature *= opts.cooling;
@@ -194,6 +204,17 @@ pub(crate) fn annealing_walk(
 
         let accept = obj <= current_obj
             || rng.gen::<f64>() < ((current_obj - obj) / temperature.max(1e-9)).exp();
+        journal::record_assessed(
+            "annealing",
+            &assessment,
+            goals,
+            provenance,
+            Some(if accept {
+                (journal::OUTCOME_ACCEPT, journal::REASON_METROPOLIS_ACCEPTED)
+            } else {
+                (journal::OUTCOME_REJECT, journal::REASON_METROPOLIS_REJECTED)
+            }),
+        );
         if accept {
             accepted += 1;
             current = candidate;
@@ -219,12 +240,15 @@ pub(crate) fn annealing_walk(
     wfms_obs::counter("config.annealing.accepted", accepted);
     wfms_obs::counter("config.annealing.rejected", rejected);
     match best_feasible {
-        Some(assessment) => Ok(SearchResult {
-            assessment,
-            trace,
-            evaluations,
-            quarantined,
-        }),
+        Some(assessment) => {
+            journal::record_winner("annealing", &assessment, goals);
+            Ok(SearchResult {
+                assessment,
+                trace,
+                evaluations,
+                quarantined,
+            })
+        }
         None => Err(ConfigError::GoalsUnreachable {
             budget: opts.max_total_servers,
             last_candidate: current.as_slice().to_vec(),

@@ -72,6 +72,8 @@ use crate::assess::{
 };
 use crate::error::ConfigError;
 use crate::goals::{GoalCheck, Goals};
+use crate::journal;
+use crate::journal::CacheProvenance;
 use crate::search::{
     availability_critical_type, enumerate_bounded, enumerate_compositions, goal_lower_bounds,
     highest_utilization_type, minimum_stable_replicas, performability_critical_type,
@@ -92,6 +94,35 @@ fn lock_cache<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Per-assessment cache-provenance tally, threaded down the cache
+/// layers by [`AssessmentEngine::assess_with_provenance`]. All counting
+/// happens on the thread running that one assessment (parallel batch
+/// workers each carry their own tally), so plain `Cell`s suffice.
+#[derive(Default)]
+struct CacheCounters {
+    state_hits: std::cell::Cell<u64>,
+    state_misses: std::cell::Cell<u64>,
+    block_hits: std::cell::Cell<u64>,
+    block_misses: std::cell::Cell<u64>,
+    solution_hit: std::cell::Cell<Option<bool>>,
+}
+
+impl CacheCounters {
+    fn provenance(&self) -> CacheProvenance {
+        CacheProvenance {
+            state_hits: self.state_hits.get(),
+            state_misses: self.state_misses.get(),
+            block_hits: self.block_hits.get(),
+            block_misses: self.block_misses.get(),
+            solution: match self.solution_hit.get() {
+                Some(true) => "hit".to_string(),
+                Some(false) => "miss".to_string(),
+                None => "unknown".to_string(),
+            },
+        }
+    }
 }
 
 /// Poisons the first stable outcome of an evaluation with NaN — the
@@ -284,12 +315,19 @@ impl AssessmentEngine {
 
     /// The birth–death rate ladders for `replicas` servers of type `j`,
     /// from the block cache.
-    fn block(&self, j: usize, replicas: usize) -> Result<Arc<BirthDeathBlock>, ConfigError> {
+    fn block(
+        &self,
+        j: usize,
+        replicas: usize,
+        counters: &CacheCounters,
+    ) -> Result<Arc<BirthDeathBlock>, ConfigError> {
         if let Some(hit) = lock_cache(&self.blocks).get(&(j, replicas)) {
             self.record_hits(1);
+            counters.block_hits.set(counters.block_hits.get() + 1);
             return Ok(hit.clone());
         }
         self.record_misses(1);
+        counters.block_misses.set(counters.block_misses.get() + 1);
         let st = self.registry.get(ServerTypeId(j))?;
         let block = Arc::new(BirthDeathBlock::for_type(
             st,
@@ -329,14 +367,17 @@ impl AssessmentEngine {
         &self,
         config: &Configuration,
         backend: AvailBackend,
+        counters: &CacheCounters,
     ) -> Result<Arc<AvailabilitySolution>, ConfigError> {
         debug_assert_ne!(backend, AvailBackend::Auto, "resolve before solving");
         let key = (config.as_slice().to_vec(), backend);
         if let Some(hit) = lock_cache(&self.solutions).get(&key) {
             self.record_hits(1);
+            counters.solution_hit.set(Some(true));
             return Ok(hit.clone());
         }
         self.record_misses(1);
+        counters.solution_hit.set(Some(false));
         // Failpoint `engine.solution-cache-fill`: error injection fails
         // the availability solve for this candidate (non-strict searches
         // quarantine it); NaN injection poisons the solved availability,
@@ -358,7 +399,7 @@ impl AssessmentEngine {
         }
         let mut blocks = Vec::with_capacity(config.k());
         for (j, &y) in config.as_slice().iter().enumerate() {
-            blocks.push(self.block(j, y)?);
+            blocks.push(self.block(j, y, counters)?);
         }
         let solution = match backend {
             AvailBackend::Auto | AvailBackend::Dense => {
@@ -456,7 +497,11 @@ impl AssessmentEngine {
     /// encoding order) aborts the fill; otherwise failed states are
     /// simply left uncached and the assessment's fold charges them with
     /// their pessimistic caps.
-    fn populate_state_cache(&self, space: &StateSpace) -> Result<(), PerformabilityError> {
+    fn populate_state_cache(
+        &self,
+        space: &StateSpace,
+        counters: &CacheCounters,
+    ) -> Result<(), PerformabilityError> {
         let missing: Vec<Vec<usize>> = {
             let cache = lock_cache(&self.states);
             space
@@ -467,6 +512,12 @@ impl AssessmentEngine {
         };
         self.record_hits((space.len() - missing.len()) as u64);
         self.record_misses(missing.len() as u64);
+        counters
+            .state_hits
+            .set(counters.state_hits.get() + (space.len() - missing.len()) as u64);
+        counters
+            .state_misses
+            .set(counters.state_misses.get() + missing.len() as u64);
         if missing.is_empty() {
             return Ok(());
         }
@@ -544,12 +595,15 @@ impl AssessmentEngine {
     fn state_evaluation_memo(
         &self,
         state: &[usize],
+        counters: &CacheCounters,
     ) -> Result<Arc<StateEvaluation>, PerformabilityError> {
         if let Some(hit) = lock_cache(&self.states).get(state) {
             self.record_hits(1);
+            counters.state_hits.set(counters.state_hits.get() + 1);
             return Ok(hit.clone());
         }
         self.record_misses(1);
+        counters.state_misses.set(counters.state_misses.get() + 1);
         // Failpoint `engine.state-cache-fill`: shared with the batched
         // fill of `populate_state_cache`.
         let evaluation = match wfms_fault::point!("engine.state-cache-fill") {
@@ -582,12 +636,30 @@ impl AssessmentEngine {
     /// # Errors
     /// Model failures as [`ConfigError`]; goal violations are reported
     /// in-band.
+    ///
+    /// When the decision journal is enabled, every direct call is
+    /// journaled as a single-shot `assess` decision; the searches use
+    /// [`assess_with_provenance`](Self::assess_with_provenance) and
+    /// journal at their own consumption points instead.
     pub fn assess(&self, config: &Configuration) -> Result<Assessment, ConfigError> {
+        let (assessment, provenance) = self.assess_with_provenance(config)?;
+        journal::record_assessed("assess", &assessment, &self.goals, provenance, None);
+        Ok(assessment)
+    }
+
+    /// As [`assess`](Self::assess), additionally reporting where each
+    /// cache layer's answers came from — and emitting no journal event,
+    /// so searches can journal the decision (not the computation).
+    pub(crate) fn assess_with_provenance(
+        &self,
+        config: &Configuration,
+    ) -> Result<(Assessment, CacheProvenance), ConfigError> {
+        let counters = CacheCounters::default();
         run_preflight(&self.registry, &self.load, Some(config.as_slice()))?;
         let mut obs_span = wfms_obs::span!("assess");
         obs_span.record("candidate", format!("{config}"));
         let backend = self.resolved_backend(config);
-        let solution = self.availability_solution(config, backend)?;
+        let solution = self.availability_solution(config, backend, &counters)?;
         let availability = solution.availability();
         let downtime_minutes_per_year = (1.0 - availability) * MINUTES_PER_YEAR;
         let solver_fallbacks = match &*solution {
@@ -651,7 +723,7 @@ impl AssessmentEngine {
                 // Exhaustive fold over the encoding order: bit-identical
                 // to the historical (pre-backend) path when dense.
                 let space = StateSpace::new(config);
-                self.populate_state_cache(&space).and_then(|()| {
+                self.populate_state_cache(&space, &counters).and_then(|()| {
                     fold_states(
                         space.iter().map(|(idx, x)| {
                             current_probability.set(pi[idx]);
@@ -686,7 +758,7 @@ impl AssessmentEngine {
                             total_states: model.state_space().len(),
                             waiting_caps: &caps,
                         },
-                        |state| match self.state_evaluation_memo(state) {
+                        |state| match self.state_evaluation_memo(state, &counters) {
                             Ok(evaluation) => Ok(evaluation),
                             Err(e) if !strict => pessimistic(state, e),
                             Err(e) => Err(e),
@@ -774,42 +846,51 @@ impl AssessmentEngine {
             })
         };
 
-        Ok(Assessment {
-            replicas: config.as_slice().to_vec(),
-            cost: config.total_servers(),
-            availability,
-            downtime_minutes_per_year,
-            expected_waiting,
-            max_expected_waiting,
-            probability_saturated,
-            truncation,
-            degradation,
-            goals: GoalCheck {
-                waiting_time_met,
-                availability_met,
+        Ok((
+            Assessment {
+                replicas: config.as_slice().to_vec(),
+                cost: config.total_servers(),
+                availability,
+                downtime_minutes_per_year,
+                expected_waiting,
+                max_expected_waiting,
+                probability_saturated,
+                truncation,
+                degradation,
+                goals: GoalCheck {
+                    waiting_time_met,
+                    availability_met,
+                },
             },
-        })
+            counters.provenance(),
+        ))
     }
 
     /// Assesses a raw replica vector.
-    fn assess_replicas(&self, replicas: &[usize]) -> Result<Assessment, ConfigError> {
+    fn assess_replicas(
+        &self,
+        replicas: &[usize],
+    ) -> Result<(Assessment, CacheProvenance), ConfigError> {
         let config = Configuration::new(&self.registry, replicas.to_vec())?;
-        self.assess(&config)
+        self.assess_with_provenance(&config)
     }
 
     /// Quarantines one failed candidate: records it (with its error) so
     /// the search can keep going, mirroring the decision in the obs
-    /// stream.
+    /// stream and the decision journal.
     fn quarantine(
         &self,
+        search: &'static str,
         quarantined: &mut Vec<QuarantinedCandidate>,
         replicas: &[usize],
         error: &ConfigError,
     ) {
         wfms_obs::counter("config.quarantined", 1);
+        let error = error.to_string();
+        journal::record_quarantined(search, replicas, &error);
         quarantined.push(QuarantinedCandidate {
             replicas: replicas.to_vec(),
-            error: error.to_string(),
+            error,
         });
     }
 
@@ -824,6 +905,7 @@ impl AssessmentEngine {
     /// of aborting the search, unless [`SearchOptions::strict`] is set.
     fn evaluate_frontier(
         &self,
+        search: &'static str,
         candidates: Vec<Vec<usize>>,
         trace: &mut Vec<Assessment>,
         evaluations: &mut usize,
@@ -834,20 +916,21 @@ impl AssessmentEngine {
         for batch in candidates.chunks(CANDIDATE_BATCH) {
             if parallel && batch.len() > 1 {
                 wfms_obs::gauge("engine.parallel-candidates", batch.len() as f64);
-                let results: Vec<Result<Assessment, ConfigError>> = self
+                let results: Vec<Result<(Assessment, CacheProvenance), ConfigError>> = self
                     .pool
                     .install(|| batch.par_iter().map(|y| self.assess_replicas(y)).collect());
                 for (y, result) in batch.iter().zip(results) {
-                    let assessment = match result {
-                        Ok(assessment) => assessment,
+                    let (assessment, provenance) = match result {
+                        Ok(assessed) => assessed,
                         Err(e) if !strict && e.is_candidate_local() => {
-                            self.quarantine(quarantined, y, &e);
+                            self.quarantine(search, quarantined, y, &e);
                             continue;
                         }
                         Err(e) => return Err(e),
                     };
                     *evaluations += 1;
                     record_candidate(&assessment, assessment.meets_goals());
+                    journal::record_assessed(search, &assessment, &self.goals, provenance, None);
                     trace.push(assessment.clone());
                     if assessment.meets_goals() {
                         return Ok(Some(assessment));
@@ -855,16 +938,17 @@ impl AssessmentEngine {
                 }
             } else {
                 for y in batch {
-                    let assessment = match self.assess_replicas(y) {
-                        Ok(assessment) => assessment,
+                    let (assessment, provenance) = match self.assess_replicas(y) {
+                        Ok(assessed) => assessed,
                         Err(e) if !strict && e.is_candidate_local() => {
-                            self.quarantine(quarantined, y, &e);
+                            self.quarantine(search, quarantined, y, &e);
                             continue;
                         }
                         Err(e) => return Err(e),
                     };
                     *evaluations += 1;
                     record_candidate(&assessment, assessment.meets_goals());
+                    journal::record_assessed(search, &assessment, &self.goals, provenance, None);
                     trace.push(assessment.clone());
                     if assessment.meets_goals() {
                         return Ok(Some(assessment));
@@ -905,14 +989,14 @@ impl AssessmentEngine {
         let mut evaluations = 0;
         let mut quarantined = Vec::new();
         loop {
-            let assessment = match self.assess(&config) {
-                Ok(assessment) => assessment,
+            let (assessment, provenance) = match self.assess_with_provenance(&config) {
+                Ok(assessed) => assessed,
                 Err(e) if !opts.strict && e.is_candidate_local() => {
                     // Quarantine the irrecoverable candidate and keep
                     // climbing: without an assessment to steer by, grow
                     // the most utilized type (the same tie-breaker the
                     // saturated-candidate heuristic uses).
-                    self.quarantine(&mut quarantined, config.as_slice(), &e);
+                    self.quarantine("greedy", &mut quarantined, config.as_slice(), &e);
                     if config.total_servers() >= opts.max_total_servers {
                         return Err(ConfigError::GoalsUnreachable {
                             budget: opts.max_total_servers,
@@ -928,10 +1012,12 @@ impl AssessmentEngine {
             };
             evaluations += 1;
             record_candidate(&assessment, assessment.meets_goals());
+            journal::record_assessed("greedy", &assessment, &self.goals, provenance, None);
             trace.push(assessment.clone());
             if assessment.meets_goals() {
                 obs_span.record("evaluations", evaluations as u64);
                 obs_span.record("cost", assessment.cost as u64);
+                journal::record_winner("greedy", &assessment, &self.goals);
                 return Ok(SearchResult {
                     assessment,
                     trace,
@@ -974,11 +1060,16 @@ impl AssessmentEngine {
                 candidates.push(replicas.to_vec());
                 Ok(())
             })?;
-            if let Some(assessment) =
-                self.evaluate_frontier(candidates, &mut trace, &mut evaluations, &mut quarantined)?
-            {
+            if let Some(assessment) = self.evaluate_frontier(
+                "exhaustive",
+                candidates,
+                &mut trace,
+                &mut evaluations,
+                &mut quarantined,
+            )? {
                 obs_span.record("evaluations", evaluations as u64);
                 obs_span.record("cost", assessment.cost as u64);
+                journal::record_winner("exhaustive", &assessment, &self.goals);
                 return Ok(SearchResult {
                     assessment,
                     trace,
@@ -1027,11 +1118,16 @@ impl AssessmentEngine {
                 candidates.push(replicas.to_vec());
                 Ok(())
             })?;
-            if let Some(assessment) =
-                self.evaluate_frontier(candidates, &mut trace, &mut evaluations, &mut quarantined)?
-            {
+            if let Some(assessment) = self.evaluate_frontier(
+                "bnb",
+                candidates,
+                &mut trace,
+                &mut evaluations,
+                &mut quarantined,
+            )? {
                 obs_span.record("evaluations", evaluations as u64);
                 obs_span.record("cost", assessment.cost as u64);
+                journal::record_winner("bnb", &assessment, &self.goals);
                 return Ok(SearchResult {
                     assessment,
                     trace,

@@ -13,6 +13,12 @@
 //!   administrator [`goals::Goals`].
 //! * **Recommendation** ([`search`]) — the greedy minimum-cost heuristic
 //!   of Sec. 7.2, plus an exhaustive baseline for validating it.
+//!
+//! A fifth, cross-cutting component is the **decision journal**
+//! ([`journal`]): every search emits a structured [`journal::DecisionEvent`]
+//! per candidate (goal margins, cache provenance, truncation/degradation
+//! summaries, accept/reject reason from a stable vocabulary), which the
+//! CLI persists as JSONL and `wfms explain` replays.
 
 #![warn(missing_docs)]
 
@@ -22,6 +28,7 @@ pub mod calibrate;
 pub mod engine;
 pub mod error;
 pub mod goals;
+pub mod journal;
 pub mod search;
 pub mod sensitivity;
 
@@ -36,6 +43,10 @@ pub use calibrate::{
 pub use engine::{AssessmentEngine, CacheStats};
 pub use error::ConfigError;
 pub use goals::{GoalCheck, Goals};
+pub use journal::{
+    CacheProvenance, DecisionEvent, DegradationSummary, GoalMargins, JournalSnapshot,
+    TruncationSummary,
+};
 pub use search::{
     branch_and_bound_search, exhaustive_search, goal_lower_bounds, greedy_search,
     minimum_stable_replicas, QuarantinedCandidate, SearchOptions, SearchOptionsBuilder,

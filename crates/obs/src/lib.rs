@@ -21,6 +21,17 @@
 //! `--trace[=text|json]` and `wfms profile`; the bench harness enables it
 //! to emit `BENCH_obs.json` stage metrics.
 //!
+//! A second, independent layer — the [`timeline`] journal — records
+//! *when* each stage ran and on *which* thread: per-thread event buffers
+//! of span begin/end plus [`instant`] markers, exportable as Chrome
+//! Trace Format JSON ([`to_chrome_trace`]) viewable in Perfetto. It is
+//! also off by default (one relaxed atomic load per emission point when
+//! disabled), bounded per track, and discloses its `dropped_events`
+//! count; the CLI enables it for `--timeline <file>`. Only the global
+//! recorder's spans feed the timeline. The stable instant-event
+//! vocabulary lives in DESIGN.md §7 next to the decision-journal
+//! reasons.
+//!
 //! ## Stable stage names
 //!
 //! Like the `W`/`M`/`Q`/`C` diagnostic codes of `wfms-diag`, span and
@@ -109,10 +120,12 @@
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
+pub mod timeline;
 
 pub use metrics::{histogram_bucket_bounds, histogram_bucket_index, HistogramSnapshot};
 pub use recorder::{FieldValue, Recorder, Span, SpanField, SpanRecord, TraceSnapshot};
 pub use sink::{aggregate_stages, from_json, render_text, to_json, StageSummary};
+pub use timeline::{to_chrome_trace, TimelineEvent, TimelinePhase, TimelineSnapshot};
 
 use std::sync::OnceLock;
 
@@ -120,7 +133,7 @@ static GLOBAL: OnceLock<Recorder> = OnceLock::new();
 
 /// The process-wide recorder used by [`span!`] and the free helpers.
 pub fn global() -> &'static Recorder {
-    GLOBAL.get_or_init(Recorder::new)
+    GLOBAL.get_or_init(Recorder::new_global)
 }
 
 /// Turns global recording on.
@@ -158,6 +171,13 @@ pub fn histogram(name: &'static str, value: u64) {
 /// also records fields.
 pub fn span_named(name: &'static str) -> Span<'static> {
     global().span(name)
+}
+
+/// Records a zero-duration marker on the current thread's timeline
+/// track (no-op while the [`timeline`] is disabled — one relaxed atomic
+/// load). Use the stable names from the DESIGN.md §7 vocabulary.
+pub fn instant(name: &'static str) {
+    timeline::instant(name);
 }
 
 /// Opens a named span on the global [`Recorder`], optionally recording

@@ -21,9 +21,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::{HistogramSnapshot, MetricsRegistry};
 
-/// Hard cap on collected spans; protects long search loops from
-/// unbounded memory growth. Spans past the cap are counted but dropped.
+/// Default cap on collected spans; protects long search loops from
+/// unbounded memory growth. Spans past the cap are counted but dropped
+/// (disclosed as `dropped_spans`). Override per process with the
+/// `WFMS_OBS_SPAN_CAP` environment variable (read once, at first use),
+/// or per recorder with [`Recorder::with_span_cap`].
 pub const SPAN_CAP: usize = 100_000;
+
+fn span_cap_from_env() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("WFMS_OBS_SPAN_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|cap| *cap > 0)
+            .unwrap_or(SPAN_CAP)
+    })
+}
 
 /// A field value attached to a span.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -240,6 +254,11 @@ fn stack_pop(recorder: usize, id: u64) {
 pub struct Recorder {
     enabled: AtomicBool,
     epoch: Instant,
+    span_cap: usize,
+    // Only the global recorder feeds the process-wide timeline journal
+    // (crate::timeline); local test recorders keep this false so their
+    // spans never leak into a concurrently recorded timeline.
+    timeline_hook: bool,
     inner: Mutex<Inner>,
 }
 
@@ -250,13 +269,38 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    /// Creates a disabled recorder.
+    /// Creates a disabled recorder. The span cap comes from
+    /// `WFMS_OBS_SPAN_CAP` when set, else [`SPAN_CAP`].
     pub fn new() -> Self {
         Recorder {
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
+            span_cap: span_cap_from_env(),
+            timeline_hook: false,
             inner: Mutex::new(Inner::new()),
         }
+    }
+
+    /// Creates a disabled recorder with an explicit span cap (test
+    /// hook; production code uses `WFMS_OBS_SPAN_CAP`).
+    pub fn with_span_cap(span_cap: usize) -> Self {
+        let mut recorder = Self::new();
+        recorder.span_cap = span_cap.max(1);
+        recorder
+    }
+
+    /// Creates the process-global recorder: identical to [`new`](Self::new)
+    /// except that its spans also emit timeline begin/end events while
+    /// [`crate::timeline`] is enabled.
+    pub(crate) fn new_global() -> Self {
+        let mut recorder = Self::new();
+        recorder.timeline_hook = true;
+        recorder
+    }
+
+    /// The span cap in effect for this recorder.
+    pub fn span_cap(&self) -> usize {
+        self.span_cap
     }
 
     /// Starts collecting.
@@ -286,10 +330,21 @@ impl Recorder {
     }
 
     /// Opens a span. The returned guard records the span when dropped;
-    /// while the recorder is disabled the guard is inert.
+    /// while the recorder is disabled the guard is inert. On the global
+    /// recorder the guard additionally emits timeline begin/end events
+    /// while [`crate::timeline`] is enabled — even when span recording
+    /// itself is off, so `--timeline` works without `--trace`.
     pub fn span(&self, name: &'static str) -> Span<'_> {
+        let timeline = self.timeline_hook && crate::timeline::is_enabled();
+        if timeline {
+            crate::timeline::emit(name, crate::timeline::TimelinePhase::Begin);
+        }
+        let timeline = timeline.then_some(name);
         if !self.is_enabled() {
-            return Span { active: None };
+            return Span {
+                active: None,
+                timeline,
+            };
         }
         let id = {
             let mut inner = self.inner.lock().unwrap();
@@ -308,6 +363,7 @@ impl Recorder {
                 opened: Instant::now(),
                 fields: Vec::new(),
             }),
+            timeline,
         }
     }
 
@@ -378,7 +434,7 @@ impl Recorder {
             fields: span.fields,
         };
         let mut inner = self.inner.lock().unwrap();
-        if inner.spans.len() < SPAN_CAP {
+        if inner.spans.len() < self.span_cap {
             inner.spans.push(record);
         } else {
             inner.dropped_spans += 1;
@@ -399,6 +455,10 @@ struct ActiveSpan<'a> {
 /// [`span!`](crate::span) macro. Dropping the guard closes the span.
 pub struct Span<'a> {
     active: Option<ActiveSpan<'a>>,
+    // Set when this span owes the timeline an End event at drop time
+    // (independent of `active`: timeline emission also runs while the
+    // span recorder itself is disabled).
+    timeline: Option<&'static str>,
 }
 
 impl Span<'_> {
@@ -429,6 +489,9 @@ impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
             active.recorder.finish_span(active);
+        }
+        if let Some(name) = self.timeline.take() {
+            crate::timeline::emit(name, crate::timeline::TimelinePhase::End);
         }
     }
 }
@@ -485,6 +548,19 @@ mod tests {
             snapshot.spans[0].field("iterations"),
             Some(&FieldValue::U64(7))
         );
+    }
+
+    #[test]
+    fn span_cap_drops_and_discloses() {
+        let recorder = Recorder::with_span_cap(2);
+        assert_eq!(recorder.span_cap(), 2);
+        recorder.enable();
+        for _ in 0..5 {
+            let _span = recorder.span("linear-solve");
+        }
+        let snapshot = recorder.take();
+        assert_eq!(snapshot.spans.len(), 2);
+        assert_eq!(snapshot.dropped_spans, 3);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   vocabulary (`wfms-config::journal`) must agree with the DESIGN.md
 //!   §7 decision-vocabulary table and the README Explainability table
 //!   in both directions.
+//! * `A015` — **registry consistency, continued**: the wire method
+//!   names (`METHOD_*` constants in `wfms-proto`) must agree with the
+//!   DESIGN.md §13 protocol method table and the README Serving table
+//!   in both directions.
 //!
 //! The [`all`] table carries the default severity, a one-line summary,
 //! and the DESIGN.md section whose contract the check enforces;
@@ -95,6 +99,13 @@ pub const A_UNUSED_ALLOW: &str = "A013";
 /// DESIGN.md §7 decision-vocabulary table or the README Explainability
 /// table (either direction).
 pub const A_DECISION_VOCAB_DRIFT: &str = "A014";
+
+/// The wire protocol's method names (`METHOD_*` constants in
+/// `wfms-proto`) drifted from the DESIGN.md §13 protocol method table
+/// or the README Serving table (either direction). Method names reach
+/// clients over TCP, so they carry the same stability contract as the
+/// journal vocabulary — and the same drift check.
+pub const A_PROTO_METHOD_DRIFT: &str = "A015";
 
 /// One row of the audit-code registry.
 #[derive(Debug, Clone)]
@@ -205,6 +216,12 @@ pub fn all() -> Vec<CodeInfo> {
             Error,
             "the decision-journal vocabulary and its doc tables must match exactly",
             "DESIGN.md \u{a7}7",
+        ),
+        info(
+            A_PROTO_METHOD_DRIFT,
+            Error,
+            "the wire method names and their doc tables must match exactly",
+            "DESIGN.md \u{a7}13",
         ),
     ]
 }

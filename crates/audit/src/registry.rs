@@ -18,7 +18,10 @@
 //!   in `codes::all()`;
 //! * the **decision vocabulary** — the `OUTCOME_*`/`REASON_*`/`EVENT_*`
 //!   constants of `wfms-config::journal` vs the DESIGN.md §7
-//!   decision-vocabulary table and the README Explainability table.
+//!   decision-vocabulary table and the README Explainability table;
+//! * the **wire method names** — the `METHOD_*` constants of
+//!   `wfms-proto` vs the DESIGN.md §13 protocol method table and the
+//!   README Serving table.
 //!
 //! Doc checks are skipped when the corresponding file is absent, so
 //! fixture workspaces only need the files relevant to the invariant
@@ -54,6 +57,7 @@ pub fn run(ws: &Workspace, diags: &mut Diagnostics) {
     check_failpoints(ws, &failpoints, diags);
     check_diag_codes(ws, diags);
     check_decision_vocab(ws, diags);
+    check_proto_methods(ws, diags);
 }
 
 fn collect_emissions(
@@ -494,6 +498,73 @@ fn check_decision_vocab(ws: &Workspace, diags: &mut Diagnostics) {
                     diags,
                     codes::A_DECISION_VOCAB_DRIFT,
                     format!("{what} lists `{name}`, which wfms-config::journal does not declare"),
+                    doc,
+                    *line,
+                );
+            }
+        }
+    }
+}
+
+/// The wire protocol's method vocabulary: `pub const METHOD_*: &str`
+/// declarations in `wfms-proto` vs the DESIGN.md §13 protocol method
+/// table and the README Serving table, in both directions. Method
+/// names reach clients over TCP (and are matched by the daemon's
+/// dispatcher), so they carry the same stability contract as the
+/// decision-journal vocabulary — and the same drift check.
+fn check_proto_methods(ws: &Workspace, diags: &mut Diagnostics) {
+    const PROTO: &str = "crates/proto/src/lib.rs";
+    let Some(file) = ws.file(PROTO) else { return };
+    let mut methods = DocNames::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        if !(code.contains("pub const") && code.contains("&str")) {
+            continue;
+        }
+        let is_method_const = code
+            .split_whitespace()
+            .skip_while(|w| *w != "const")
+            .nth(1)
+            .is_some_and(|w| w.starts_with("METHOD_"));
+        if !is_method_const {
+            continue;
+        }
+        if let Some(value) = file.literals[idx].first() {
+            methods.entry(value.clone()).or_insert(idx + 1);
+        }
+    }
+
+    for (doc, needle, what) in [
+        (
+            "DESIGN.md",
+            "serving protocol",
+            "DESIGN.md \u{a7}13 protocol method table",
+        ),
+        ("README.md", "serving", "README.md Serving table"),
+    ] {
+        let Some(lines) = ws.doc_lines(doc) else {
+            continue;
+        };
+        let documented = heading_scoped_names(&lines, needle);
+        for (name, line) in &methods {
+            if file.allowed(codes::A_PROTO_METHOD_DRIFT, *line) {
+                continue;
+            }
+            if !documented.contains_key(name) {
+                emit(
+                    diags,
+                    codes::A_PROTO_METHOD_DRIFT,
+                    format!("wire method `{name}` is declared here but missing from the {what}"),
+                    PROTO,
+                    *line,
+                );
+            }
+        }
+        for (name, line) in &documented {
+            if !methods.contains_key(name) {
+                emit(
+                    diags,
+                    codes::A_PROTO_METHOD_DRIFT,
+                    format!("{what} lists `{name}`, which wfms-proto does not declare"),
                     doc,
                     *line,
                 );

@@ -376,3 +376,74 @@ fn matching_decision_vocab_is_clean() {
     let report = fx.audit();
     assert!(report.is_empty(), "report: {}", report.summary());
 }
+
+/// A minimal DESIGN.md whose serving-protocol method table lists
+/// exactly the given method names.
+fn serving_doc(names: &[&str]) -> String {
+    let mut doc = String::from("### The serving protocol\n\n| method | role |\n|---|---|\n");
+    for name in names {
+        doc.push_str(&format!("| `{name}` | fixture |\n"));
+    }
+    doc
+}
+
+/// A proto module declaring exactly the given wire method names.
+fn proto_src(values: &[&str]) -> String {
+    let mut src = String::new();
+    for (idx, value) in values.iter().enumerate() {
+        src.push_str(&format!(
+            "pub const METHOD_FIXTURE{idx}: &str = \"{value}\";\n"
+        ));
+    }
+    src
+}
+
+#[test]
+fn undocumented_wire_method_fires_a015() {
+    let fx = Fixture::new("a015-code");
+    fx.file(
+        "crates/proto/src/lib.rs",
+        &proto_src(&["documented-method", "mystery-method"]),
+    )
+    .file("DESIGN.md", &serving_doc(&["documented-method"]));
+    let report = fx.audit();
+    assert!(
+        report
+            .with_code("A015")
+            .any(|d| d.message.contains("mystery-method")),
+        "expected A015 for the undocumented wire method, got: {}",
+        report.summary()
+    );
+    assert_eq!(codes(&report), vec!["A015"]);
+}
+
+#[test]
+fn stale_documented_wire_method_fires_a015() {
+    let fx = Fixture::new("a015-doc");
+    fx.file(
+        "crates/proto/src/lib.rs",
+        &proto_src(&["documented-method"]),
+    )
+    .file(
+        "DESIGN.md",
+        &serving_doc(&["documented-method", "ghost-method"]),
+    );
+    let report = fx.audit();
+    assert!(
+        report
+            .with_code("A015")
+            .any(|d| d.message.contains("ghost-method")),
+        "expected A015 for the stale documented method, got: {}",
+        report.summary()
+    );
+    assert_eq!(codes(&report), vec!["A015"]);
+}
+
+#[test]
+fn matching_wire_methods_are_clean() {
+    let fx = Fixture::new("a015-clean");
+    fx.file("crates/proto/src/lib.rs", &proto_src(&["fixture-method"]))
+        .file("DESIGN.md", &serving_doc(&["fixture-method"]));
+    let report = fx.audit();
+    assert!(report.is_empty(), "report: {}", report.summary());
+}

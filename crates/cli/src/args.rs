@@ -217,6 +217,11 @@ pub const COMMANDS: &[CommandSpec] = &[
         flags: &[],
     },
     CommandSpec {
+        name: "serve",
+        options: &["listen", "tenants", "queue-depth"],
+        flags: &[],
+    },
+    CommandSpec {
         name: "help",
         options: &[],
         flags: &[],
@@ -582,6 +587,43 @@ mod tests {
         // The gate options belong to profile only.
         assert!(matches!(
             parse(&["assess", "--baseline", "b.json"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+    }
+
+    #[test]
+    fn serve_options_parse_and_reject_strays() {
+        let a = parse(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--tenants",
+            "4",
+            "--queue-depth",
+            "16",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "serve");
+        assert_eq!(a.get("listen"), Some("127.0.0.1:0"));
+        assert_eq!(a.get_u64("tenants").unwrap(), Some(4));
+        assert_eq!(a.get_u64("queue-depth").unwrap(), Some(16));
+        // serve takes no spec options, no boolean flags, and its
+        // options reject the bare-flag form like every other command.
+        assert!(matches!(
+            parse(&["serve", "--registry", "r.json"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+        assert!(matches!(
+            parse(&["serve", "--json"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+        assert!(matches!(
+            parse(&["serve", "--listen"]).unwrap_err(),
+            ArgError::MissingValue { .. }
+        ));
+        // --listen is serve-only.
+        assert!(matches!(
+            parse(&["assess", "--listen", "127.0.0.1:0"]).unwrap_err(),
             ArgError::UnknownFlag { .. }
         ));
     }

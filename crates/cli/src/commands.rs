@@ -12,10 +12,7 @@ use serde::{Deserialize, Serialize};
 use wfms_core::avail::{
     AvailBackend, ProductFormModel, RepairPolicy, SparseAvailabilityModel, MINUTES_PER_YEAR,
 };
-use wfms_core::config::{
-    sensitivity, AnnealingOptions, Goals, SearchOptions, SearchResult, SensitivityOptions,
-    TruncationReport,
-};
+use wfms_core::config::{sensitivity, Goals, SearchOptions, SensitivityOptions, TruncationReport};
 use wfms_core::markov::linalg::GaussSeidelOptions;
 use wfms_core::sim::{run as simulate, SimOptions};
 use wfms_core::statechart::{chart_to_dot, map_chart, mapping_to_dot};
@@ -24,6 +21,13 @@ use wfms_core::workloads::{ep_workflow, EP_SIM_ARRIVAL_RATE};
 use wfms_core::{Configuration, ConfigurationTool, ServerTypeRegistry, WorkflowSpec};
 
 use wfms_core::config::journal;
+
+use serde_json::Value;
+use wfms_proto::{
+    AssessParams, AssessResult, RecommendParams, RecommendResult, Request, METHOD_ASSESS,
+    METHOD_RECOMMEND,
+};
+use wfms_serve::Handler;
 
 use crate::args::{ArgError, ParsedArgs, TraceMode};
 use crate::error::CliError;
@@ -52,21 +56,9 @@ pub const REQUIRED_COUNTERS: &[&str] = &["engine.cache-hit", "performability.pru
 /// candidate — if it does, the primary solver path is silently broken.
 pub const REQUIRED_ZERO_COUNTERS: &[&str] = &["solver.fallback", "config.quarantined"];
 
-/// One workflow type plus its arrival rate, as stored in a workload file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct WorkloadEntry {
-    /// Arrival rate ξ in instances per minute.
-    pub arrival_rate: f64,
-    /// The workflow specification.
-    pub spec: WorkflowSpec,
-}
-
-/// The on-disk workload file: the "workflow repository" of Sec. 7.1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct WorkloadFile {
-    /// All registered workflow types.
-    pub workflows: Vec<WorkloadEntry>,
-}
+// The workload-file types moved into `wfms-serve` (both transports
+// decode them); re-exported here so the CLI's public API is unchanged.
+pub use wfms_serve::{WorkloadEntry, WorkloadFile};
 
 fn read_json<T: for<'de> Deserialize<'de>>(path: &str) -> Result<T, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io {
@@ -101,6 +93,41 @@ fn render_json<T: Serialize>(value: &T) -> Result<String, CliError> {
 
 fn load_registry(args: &ParsedArgs) -> Result<ServerTypeRegistry, CliError> {
     read_json(args.require("registry")?)
+}
+
+/// Reads a JSON document as a raw [`Value`] for embedding in a
+/// `wfms-proto` request (the same bytes a daemon client would send).
+fn read_value(path: &str) -> Result<Value, CliError> {
+    read_json(path)
+}
+
+/// Serializes request params; serialization failures surface as
+/// [`CliError::Json`] like any other report-layer failure.
+fn encode_params<T: Serialize>(params: &T) -> Result<Value, CliError> {
+    serde_json::to_value(params).map_err(|e| CliError::Json {
+        path: "<request>".to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Unwraps a handler [`wfms_proto::Response`] into its typed result.
+/// Error payloads become [`CliError::Remote`], whose display is the
+/// carried message — the same text the pre-protocol CLI printed for the
+/// same failure.
+fn remote_result<T: for<'de> Deserialize<'de>>(
+    response: wfms_proto::Response,
+) -> Result<T, CliError> {
+    if let Some(e) = response.error {
+        return Err(CliError::Remote {
+            kind: e.kind,
+            message: e.message,
+        });
+    }
+    let value = response.result.unwrap_or(Value::Null);
+    serde_json::from_value(value).map_err(|e| CliError::Json {
+        path: "<response>".to_string(),
+        message: e.to_string(),
+    })
 }
 
 fn load_tool(args: &ParsedArgs) -> Result<ConfigurationTool, CliError> {
@@ -317,6 +344,15 @@ COMMANDS
   export-dot   --registry <file> --workload <file> --workflow <name>
                [--view chart|ctmc] [--out <file>]
                Graphviz source for the Fig. 3 chart or Fig. 4 CTMC view
+  serve        [--listen <addr>] [--tenants <n>] [--queue-depth <n>]
+               persistent multi-tenant assessment daemon: line-JSON
+               requests over TCP (one compact JSON object per line;
+               methods assess, recommend, lint, profile-snapshot,
+               metrics, shutdown), one warm assessment engine per
+               tenant id (LRU-bounded, default 8), a bounded connection
+               queue (default 64) that sheds overflow with an
+               `overloaded` response, and graceful shutdown on a
+               `shutdown` request; defaults to 127.0.0.1:7414
   help         this text
 
 GLOBAL OPTIONS (every command)
@@ -443,6 +479,7 @@ fn dispatch(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         "explain" => cmd_explain(args, out),
         "sensitivity" => cmd_sensitivity(args, out),
         "export-dot" => cmd_export_dot(args, out),
+        "serve" => cmd_serve(args, out),
         other => Err(CliError::UnknownCommand {
             command: other.to_string(),
         }),
@@ -712,31 +749,47 @@ fn cmd_availability(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliEr
     Ok(())
 }
 
+/// `wfms assess`, dispatched through the shared `wfms-serve` request
+/// handler — the exact same API layer the daemon serves over TCP, so
+/// one-shot results are bit-identical to a daemon answer. The typed
+/// CLI-side validation (registry/workload files, replica vector, goals,
+/// backend) runs first so argument and file errors keep their
+/// historical, path-labelled messages.
 fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let tool = load_tool(args)?;
     let config = parse_config(args, tool.registry())?;
-    let goals = parse_goals(args)?;
-    // Engine-backed assessment: with default options this is bit-identical
-    // to the free function, and it is the only path that understands
-    // `--epsilon` / `--avail-backend`.
-    let assessment = tool
-        .engine(&goals, parse_search_options(args)?)?
-        .assess(&config)?;
-    // Turnaround distributions per workflow type (the transient analysis
-    // of Sec. 4.1, extended to percentiles).
-    let mut turnarounds = Vec::new();
-    for (spec, _) in tool.workloads() {
-        let analysis = tool.workflow_analysis(&spec.name)?;
-        let dist = wfms_core::perf::TurnaroundDistribution::new(&analysis, 1e-9)
-            .map_err(wfms_core::ConfigError::Perf)?;
-        let p90 = dist.percentile(0.9).map_err(wfms_core::ConfigError::Perf)?;
-        turnarounds.push((spec.name.clone(), dist.mean(), p90));
-    }
+    parse_goals(args)?;
+    parse_search_options(args)?;
+    let params = AssessParams {
+        registry: read_value(args.require("registry")?)?,
+        workload: read_value(args.require("workload")?)?,
+        config: config.as_slice().to_vec(),
+        max_wait: args.get_f64("max-wait")?,
+        min_availability: args.get_f64("min-availability")?,
+        epsilon: args.get_f64("epsilon")?,
+        avail_backend: args.get("avail-backend").map(str::to_string),
+        solver_tol: args.get_f64("solver-tol")?,
+        solver_max_iter: args.get_u64("solver-max-iter")?,
+        strict: args.flag("strict").then_some(true),
+    };
+    let request = Request::new(METHOD_ASSESS, encode_params(&params)?);
+    let result: AssessResult = remote_result(Handler::new(1).handle(&request))?;
     if args.flag("json") {
-        writeln!(out, "{}", render_json(&assessment)?)?;
+        // The handler embeds the assessment as a raw JSON value, so
+        // pretty-printing it here reproduces the report byte-for-byte.
+        writeln!(out, "{}", render_json(&result.assessment)?)?;
         return Ok(());
     }
-    writeln!(out, "configuration {config} ({} servers):", assessment.cost)?;
+    let assessment: wfms_core::Assessment = serde_json::from_value(result.assessment.clone())
+        .map_err(|e| CliError::Json {
+            path: "<response>".to_string(),
+            message: e.to_string(),
+        })?;
+    writeln!(
+        out,
+        "configuration {} ({} servers):",
+        result.configuration, assessment.cost
+    )?;
     writeln!(
         out,
         "  availability {:.8} ({:.2} min downtime/year)",
@@ -744,8 +797,8 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     )?;
     match &assessment.expected_waiting {
         Some(waits) => {
-            for ((_, t), w) in tool.registry().iter().zip(waits) {
-                writeln!(out, "  expected wait @ {}: {:.2} s", t.name, w * 60.0)?;
+            for (name, w) in result.server_types.iter().zip(waits) {
+                writeln!(out, "  expected wait @ {name}: {:.2} s", w * 60.0)?;
             }
         }
         None => writeln!(
@@ -753,10 +806,11 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
             "  SATURATED: the full configuration cannot serve the load"
         )?,
     }
-    for (name, mean, p90) in &turnarounds {
+    for t in &result.turnarounds {
         writeln!(
             out,
-            "  turnaround {name:?}: mean {mean:.1} min, p90 {p90:.1} min"
+            "  turnaround {:?}: mean {:.1} min, p90 {:.1} min",
+            t.workflow, t.mean_minutes, t.p90_minutes
         )?;
     }
     if let Some(t) = &assessment.truncation {
@@ -769,41 +823,51 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `wfms recommend`, dispatched through the shared `wfms-serve` request
+/// handler (see [`cmd_assess`]). The `--optimal` / `--annealing` flags
+/// map to the protocol's `search` parameter; the wire additionally
+/// accepts `branch-and-bound`, which has no CLI flag.
 fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
-    let tool = load_tool(args)?;
-    let goals = parse_goals(args)?;
-    let budget = args.get_u64("budget")?.unwrap_or(64) as usize;
-    let jobs = args.get_u64("jobs")?.unwrap_or(1) as usize;
-    let opts = SearchOptions {
-        max_total_servers: budget,
-        jobs,
-        ..parse_search_options(args)?
-    };
-    let (method, result): (&str, SearchResult) = if args.flag("optimal") {
-        ("exhaustive", tool.recommend_optimal(&goals, &opts)?)
+    load_tool(args)?;
+    parse_goals(args)?;
+    parse_search_options(args)?;
+    let search = if args.flag("optimal") {
+        "exhaustive"
     } else if args.flag("annealing") {
-        let annealing = AnnealingOptions {
-            max_total_servers: budget,
-            seed: args.get_u64("seed")?.unwrap_or(42),
-            ..AnnealingOptions::default()
-        };
-        let engine = tool.engine(
-            &goals,
-            SearchOptions::builder().max_total_servers(budget).build(),
-        )?;
-        ("annealing", engine.annealing(&annealing)?)
+        "annealing"
     } else {
-        ("greedy", tool.recommend(&goals, &opts)?)
+        "greedy"
     };
+    let params = RecommendParams {
+        registry: read_value(args.require("registry")?)?,
+        workload: read_value(args.require("workload")?)?,
+        search: Some(search.to_string()),
+        max_wait: args.get_f64("max-wait")?,
+        min_availability: args.get_f64("min-availability")?,
+        budget: args.get_u64("budget")?,
+        jobs: args.get_u64("jobs")?,
+        seed: args.get_u64("seed")?,
+        epsilon: args.get_f64("epsilon")?,
+        avail_backend: args.get("avail-backend").map(str::to_string),
+        solver_tol: args.get_f64("solver-tol")?,
+        solver_max_iter: args.get_u64("solver-max-iter")?,
+        strict: args.flag("strict").then_some(true),
+    };
+    let request = Request::new(METHOD_RECOMMEND, encode_params(&params)?);
+    let result: RecommendResult = remote_result(Handler::new(1).handle(&request))?;
     if args.flag("json") {
         writeln!(out, "{}", render_json(&result.assessment)?)?;
         return Ok(());
     }
-    let a = &result.assessment;
+    let a: wfms_core::Assessment =
+        serde_json::from_value(result.assessment.clone()).map_err(|e| CliError::Json {
+            path: "<response>".to_string(),
+            message: e.to_string(),
+        })?;
     writeln!(
         out,
-        "method {method}: recommend {:?} ({} servers, {} evaluations)",
-        a.replicas, a.cost, result.evaluations
+        "method {}: recommend {:?} ({} servers, {} evaluations)",
+        result.search, a.replicas, a.cost, result.evaluations
     )?;
     writeln!(
         out,
@@ -819,8 +883,53 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
     if let Some(d) = &a.degradation {
         write_degradation(out, d)?;
     }
-    write_quarantined(out, &result.quarantined)?;
+    let quarantined: Vec<wfms_core::QuarantinedCandidate> =
+        serde_json::from_value(result.quarantined.clone()).map_err(|e| CliError::Json {
+            path: "<response>".to_string(),
+            message: e.to_string(),
+        })?;
+    write_quarantined(out, &quarantined)?;
     Ok(())
+}
+
+/// `wfms serve`: the persistent multi-tenant assessment daemon
+/// (`wfms-serve`). Binds the listen address, prints a ready line with
+/// the actual bound address, and serves line-JSON requests until a
+/// `shutdown` request arrives.
+fn cmd_serve(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let defaults = wfms_serve::ServeOptions::default();
+    let tenants = args.get_u64("tenants")?;
+    let queue_depth = args.get_u64("queue-depth")?;
+    for (option, value) in [("tenants", tenants), ("queue-depth", queue_depth)] {
+        if value == Some(0) {
+            return Err(CliError::Arg(ArgError::InvalidValue {
+                option: option.into(),
+                value: "0".into(),
+                reason: "need at least 1".into(),
+            }));
+        }
+    }
+    let opts = wfms_serve::ServeOptions {
+        listen: args
+            .get("listen")
+            .map(str::to_string)
+            .unwrap_or(defaults.listen),
+        tenants: tenants.map(|v| v as usize).unwrap_or(defaults.tenants),
+        queue_depth: queue_depth
+            .map(|v| v as usize)
+            .unwrap_or(defaults.queue_depth),
+        workers: defaults.workers,
+    };
+    wfms_serve::serve(&opts, out).map_err(|e| match e {
+        wfms_serve::ServeError::Bind { addr, message } => CliError::Io {
+            path: addr,
+            message,
+        },
+        wfms_serve::ServeError::Io { message } => CliError::Io {
+            path: "<serve>".to_string(),
+            message,
+        },
+    })
 }
 
 fn cmd_simulate(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {

@@ -82,6 +82,17 @@ pub enum CliError {
         /// What was missing or ambiguous.
         message: String,
     },
+    /// A typed error payload returned by the shared request handler
+    /// (`wfms-proto` `ErrorBody`). The message is the same text the
+    /// underlying failure would have printed pre-protocol, so one-shot
+    /// CLI error output is unchanged; the kind is kept for callers that
+    /// dispatch on the stable error vocabulary.
+    Remote {
+        /// Stable `wfms-proto` error kind (e.g. `tool`, `invalid-params`).
+        kind: String,
+        /// Human-readable failure text.
+        message: String,
+    },
     /// Writing the report failed.
     Output(std::io::Error),
 }
@@ -121,6 +132,7 @@ impl fmt::Display for CliError {
                 write!(f, "profile: {stages} stage(s) regressed past the gate")
             }
             CliError::Explain { message } => write!(f, "explain: {message}"),
+            CliError::Remote { message, .. } => write!(f, "{message}"),
             CliError::Output(e) => write!(f, "failed to write output: {e}"),
         }
     }

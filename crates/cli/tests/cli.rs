@@ -737,7 +737,13 @@ fn assess_reports_solver_degradation_and_strict_restores_failfast() {
         "--strict",
     ])
     .unwrap_err();
-    assert!(matches!(err, CliError::Tool(_)), "got {err:?}");
+    // Model-level failures now travel through the shared request
+    // handler as typed `tool` payloads; the printed text is unchanged.
+    assert!(
+        matches!(err, CliError::Remote { ref kind, .. } if kind == "tool"),
+        "got {err:?}"
+    );
+    assert!(err.to_string().contains("no convergence"), "got {err}");
 }
 
 #[test]

@@ -205,6 +205,16 @@ pub struct AssessmentEngine {
     misses: AtomicU64,
 }
 
+// The serving layer (`wfms-serve`) keeps one warm engine per tenant and
+// shares it across worker threads, so `Send + Sync` is a load-bearing
+// contract, not an accident of today's field types. Assert it at
+// compile time: swapping a cache for an `Rc` or a `RefCell` must fail
+// here, not in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AssessmentEngine>();
+};
+
 impl AssessmentEngine {
     /// Creates an engine owning copies of the inputs: validates the
     /// goals, runs the static preflight over `(registry, load)`, and

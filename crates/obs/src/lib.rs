@@ -151,6 +151,15 @@ pub fn is_enabled() -> bool {
     global().is_enabled()
 }
 
+/// Copies out everything the global recorder has collected so far
+/// without draining it. This is the live export long-running processes
+/// (the `wfms serve` metrics endpoint) serve repeatedly; one-shot
+/// consumers that want reset-on-read semantics use
+/// [`Recorder::take`] via [`global`] instead.
+pub fn snapshot() -> TraceSnapshot {
+    global().snapshot()
+}
+
 /// Adds `delta` to the named global counter (no-op while disabled).
 pub fn counter(name: &'static str, delta: u64) {
     global().counter(name, delta);

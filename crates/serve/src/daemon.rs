@@ -1,0 +1,252 @@
+//! The line-JSON-over-TCP transport (DESIGN.md §13).
+//!
+//! One request per line, one response line per request, deterministic
+//! key order. Admission control is a bounded queue: the accept loop
+//! `try_send`s each connection to a fixed worker pool and sheds with an
+//! `overloaded` error response when the queue is full — memory stays
+//! bounded no matter how fast clients arrive.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+
+use wfms_proto::{Request, Response, ERR_BAD_REQUEST, ERR_OVERLOADED, METHOD_SHUTDOWN};
+
+use crate::handler::Handler;
+
+/// Options of one `wfms serve` run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind, e.g. `127.0.0.1:7414`. Port `0` picks a free
+    /// port; the ready line reports the actual address.
+    pub listen: String,
+    /// Warm tenant engines kept at most (LRU-evicted beyond this).
+    pub tenants: usize,
+    /// Bounded connection-queue capacity; connections arriving while it
+    /// is full are shed with an `overloaded` response.
+    pub queue_depth: usize,
+    /// Worker threads serving admitted connections.
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            listen: "127.0.0.1:7414".to_string(),
+            tenants: 8,
+            queue_depth: 64,
+            workers: 4,
+        }
+    }
+}
+
+/// A daemon-level failure (the per-request failures travel back to the
+/// client as typed error responses instead).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound (already in use, bad
+    /// address, …). A second daemon on the same port fails here — the
+    /// duplicate-bind refusal.
+    Bind {
+        /// The requested listen address.
+        addr: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// Writing the ready line or stop line failed.
+    Io {
+        /// The OS error text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, message } => {
+                write!(f, "cannot listen on {addr}: {message}")
+            }
+            ServeError::Io { message } => write!(f, "serve i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// State shared between the accept loop and the workers.
+struct Shared {
+    handler: Handler,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Locks a mutex, riding through poisoning (a panicking worker must not
+/// wedge the daemon).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs the daemon until a `shutdown` request arrives. Writes the ready
+/// line (`wfms serve: listening on <addr> …`) to `out` once the socket
+/// is bound, and a stop line after a graceful shutdown.
+///
+/// The global `wfms-obs` recorder is reset and enabled for the process
+/// lifetime, so the `metrics` method serves live counters (notably the
+/// engine's `engine.cache-hit`).
+///
+/// # Errors
+/// [`ServeError::Bind`] when the address cannot be bound;
+/// [`ServeError::Io`] when the ready/stop lines cannot be written.
+pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), ServeError> {
+    let listener = TcpListener::bind(&opts.listen).map_err(|e| ServeError::Bind {
+        addr: opts.listen.clone(),
+        message: e.to_string(),
+    })?;
+    let addr = listener.local_addr().map_err(|e| ServeError::Bind {
+        addr: opts.listen.clone(),
+        message: e.to_string(),
+    })?;
+    let tenants = opts.tenants.max(1);
+    let queue_depth = opts.queue_depth.max(1);
+    let workers = opts.workers.max(1);
+
+    wfms_obs::global().reset();
+    wfms_obs::enable();
+
+    let shared = Arc::new(Shared {
+        handler: Handler::new(tenants),
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+    shared
+        .handler
+        .queue()
+        .configure(queue_depth as u64, workers as u64);
+
+    writeln!(
+        out,
+        "wfms serve: listening on {addr} (tenants {tenants}, queue {queue_depth}, workers {workers})"
+    )
+    .and_then(|()| out.flush())
+    .map_err(|e| ServeError::Io {
+        message: e.to_string(),
+    })?;
+
+    let (tx, rx) = sync_channel::<TcpStream>(queue_depth);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut pool = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        let rx = Arc::clone(&rx);
+        pool.push(thread::spawn(move || loop {
+            // Standard shared-receiver pattern: the lock is held only
+            // while blocked in `recv`; serving happens unlocked.
+            let conn = lock(&rx).recv();
+            match conn {
+                Ok(stream) => {
+                    shared.handler.queue().dequeued();
+                    serve_connection(&shared, stream);
+                }
+                Err(_) => break,
+            }
+        }));
+    }
+
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => shared.handler.queue().enqueued(),
+            Err(TrySendError::Full(stream)) => {
+                shared.handler.queue().shed();
+                shed(stream);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+
+    // Closing the sender lets each worker's `recv` fail once the queue
+    // drains; join so in-flight responses finish before exit.
+    drop(tx);
+    for worker in pool {
+        let _ = worker.join();
+    }
+    writeln!(out, "wfms serve: stopped")
+        .and_then(|()| out.flush())
+        .map_err(|e| ServeError::Io {
+            message: e.to_string(),
+        })?;
+    Ok(())
+}
+
+/// Serves every request line on one admitted connection.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(clone);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Request>(&line) {
+            Ok(request) => {
+                let response = shared.handler.handle(&request);
+                if request.method == METHOD_SHUTDOWN && response.ok {
+                    // Honor the stop before attempting the ack: a
+                    // client that disconnects right after asking for
+                    // shutdown must still get one.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    drop(write_line(&mut writer, &response));
+                    // The accept loop is blocked in `accept`; a
+                    // self-connection wakes it so it observes the flag.
+                    drop(TcpStream::connect(shared.addr));
+                    return;
+                }
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                let response = Response::failure_for_id(
+                    None,
+                    ERR_BAD_REQUEST,
+                    format!("malformed request line: {e}"),
+                );
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Sheds a connection the bounded queue had no room for: one
+/// `overloaded` error line, then the connection closes. The client is
+/// expected to back off and retry.
+fn shed(mut stream: TcpStream) {
+    let response = Response::failure_for_id(
+        None,
+        ERR_OVERLOADED,
+        "connection queue is full; retry later",
+    );
+    drop(write_line(&mut stream, &response));
+}
+
+/// Writes one response as a compact JSON line.
+fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let text = serde_json::to_string(response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    stream.write_all(text.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}

@@ -1,0 +1,288 @@
+//! Integration tests for the shared request handler: warm/cold
+//! byte-identity, the per-tenant LRU bound, and the typed error
+//! vocabulary — everything short of the TCP transport, which the CLI
+//! crate's lifecycle tests cover against the spawned binary.
+
+use serde_json::Value;
+use wfms_proto::{
+    AssessResult, MetricsResult, Request, Response, ShutdownResult, ERR_INVALID_PARAMS,
+    ERR_UNKNOWN_METHOD, ERR_UNSUPPORTED_VERSION, METHOD_ASSESS, METHOD_LINT, METHOD_METRICS,
+    METHOD_RECOMMEND, METHOD_SHUTDOWN, PROTOCOL_VERSION,
+};
+use wfms_serve::Handler;
+
+fn spec(scenario: &str, file: &str) -> Value {
+    let path = format!(
+        "{}/../../examples/specs/{scenario}/{file}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let raw = std::fs::read_to_string(&path).expect("read spec fixture");
+    serde_json::from_str(&raw).expect("spec fixture parses")
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut map = serde_json::Map::new();
+    for (key, value) in pairs {
+        map.insert(key.to_string(), value);
+    }
+    Value::Object(map)
+}
+
+/// Encodes a plain Rust value through the vendored serializer.
+fn json<T: serde::Serialize>(value: T) -> Value {
+    serde_json::to_value(value).expect("encode test value")
+}
+
+fn assess_params(scenario: &str, config: &[u64]) -> Value {
+    obj(vec![
+        ("registry", spec(scenario, "registry.json")),
+        ("workload", spec(scenario, "workload.json")),
+        ("config", json(config.to_vec())),
+        ("max_wait", json(0.05)),
+        ("min_availability", json(0.9999)),
+    ])
+}
+
+fn request(method: &str, tenant: &str, params: Value) -> Request {
+    Request {
+        v: PROTOCOL_VERSION,
+        id: Some(format!("{method}-{tenant}")),
+        tenant: Some(tenant.to_string()),
+        method: method.to_string(),
+        params,
+    }
+}
+
+fn error_kind(response: &Response) -> &str {
+    assert!(!response.ok, "expected a failure response");
+    response
+        .error
+        .as_ref()
+        .map(|e| e.kind.as_str())
+        .expect("failure carries an error body")
+}
+
+#[test]
+fn warm_repeat_is_byte_identical_and_hits_the_engine_cache() {
+    let handler = Handler::new(4);
+    let req = request(METHOD_ASSESS, "acme", assess_params("ep", &[2, 2, 2]));
+
+    let cold = handler.handle(&req);
+    assert!(cold.ok, "cold assess succeeds: {:?}", cold.error);
+    let warm = handler.handle(&req);
+    assert!(warm.ok, "warm assess succeeds: {:?}", warm.error);
+
+    // The serving contract: a warm repeat of the same request yields a
+    // byte-identical response line...
+    let cold_line = serde_json::to_string(&cold).expect("serialize");
+    let warm_line = serde_json::to_string(&warm).expect("serialize");
+    assert_eq!(cold_line, warm_line, "warm and cold answers must agree");
+
+    // ...while actually replaying the warm engine's memo caches.
+    let hits = handler
+        .tenant_cache_hits("acme")
+        .expect("tenant engine is warm");
+    assert!(hits > 0, "warm repeat must hit the engine cache");
+
+    let result: AssessResult =
+        serde_json::from_value(warm.result.expect("result populated")).expect("typed result");
+    assert_eq!(result.server_types.len(), 3);
+    assert!(result.configuration.starts_with("Y("));
+    assert_eq!(result.turnarounds.len(), 1);
+    assert!(result.turnarounds[0].mean_minutes > 0.0);
+    assert!(result.turnarounds[0].p90_minutes >= result.turnarounds[0].mean_minutes);
+}
+
+#[test]
+fn changed_inputs_rebuild_the_tenant_engine_cold() {
+    let handler = Handler::new(4);
+    let loose = handler.handle(&request(
+        METHOD_ASSESS,
+        "acme",
+        assess_params("ep", &[2, 2, 2]),
+    ));
+    assert!(loose.ok);
+
+    // Same tenant, different goals: the fingerprint changes, so the
+    // slot is rebuilt rather than silently answering from stale state.
+    let mut params = assess_params("ep", &[2, 2, 2]);
+    if let Value::Object(map) = &mut params {
+        map.insert("max_wait".to_string(), json(0.0001));
+    }
+    let tight = handler.handle(&request(METHOD_ASSESS, "acme", params));
+    assert!(tight.ok, "rebuilt tenant succeeds: {:?}", tight.error);
+    assert_eq!(handler.tenant_count(), 1, "rebuild replaces, not adds");
+    assert_ne!(
+        serde_json::to_string(&loose).expect("serialize"),
+        serde_json::to_string(&tight).expect("serialize"),
+        "different goals must change the goal-check surface"
+    );
+}
+
+#[test]
+fn tenant_slots_are_lru_bounded() {
+    let handler = Handler::new(2);
+    for tenant in ["t1", "t2", "t3"] {
+        let resp = handler.handle(&request(
+            METHOD_ASSESS,
+            tenant,
+            assess_params("ep", &[2, 2, 2]),
+        ));
+        assert!(resp.ok, "assess for {tenant}: {:?}", resp.error);
+    }
+    assert_eq!(handler.tenant_count(), 2, "LRU cap must bound the map");
+    // t1 was least recently used; its warm engine is gone.
+    assert_eq!(handler.tenant_cache_hits("t1"), None);
+    assert!(handler.tenant_cache_hits("t3").is_some());
+}
+
+#[test]
+fn recommend_greedy_returns_a_typed_result() {
+    let handler = Handler::new(2);
+    let params = obj(vec![
+        ("registry", spec("ep", "registry.json")),
+        ("workload", spec("ep", "workload.json")),
+        ("max_wait", json(0.05)),
+        ("min_availability", json(0.9999)),
+    ]);
+    let resp = handler.handle(&request(METHOD_RECOMMEND, "acme", params));
+    assert!(resp.ok, "greedy recommend succeeds: {:?}", resp.error);
+    let result: wfms_proto::RecommendResult =
+        serde_json::from_value(resp.result.expect("result populated")).expect("typed result");
+    assert_eq!(result.search, "greedy");
+    assert!(result.evaluations > 0);
+    assert!(result.configuration.starts_with("Y("));
+}
+
+#[test]
+fn unknown_search_strategy_is_an_invalid_params_error() {
+    let handler = Handler::new(2);
+    let params = obj(vec![
+        ("registry", spec("ep", "registry.json")),
+        ("workload", spec("ep", "workload.json")),
+        ("search", Value::String("simulated-annealing!".to_string())),
+        ("max_wait", json(0.05)),
+    ]);
+    let resp = handler.handle(&request(METHOD_RECOMMEND, "acme", params));
+    assert_eq!(error_kind(&resp), ERR_INVALID_PARAMS);
+    let message = resp.error.expect("error body").message;
+    assert!(message.contains("unknown search"), "got: {message}");
+}
+
+#[test]
+fn lint_reports_findings_for_an_inline_model() {
+    let handler = Handler::new(2);
+    let params = obj(vec![
+        ("registry", spec("ep", "registry.json")),
+        ("workload", spec("ep", "workload.json")),
+        ("max_wait", json(0.05)),
+        ("min_availability", json(0.9999)),
+    ]);
+    let resp = handler.handle(&request(METHOD_LINT, "acme", params));
+    assert!(resp.ok, "lint succeeds: {:?}", resp.error);
+    let result: wfms_proto::LintResult =
+        serde_json::from_value(resp.result.expect("result populated")).expect("typed result");
+    assert_eq!(result.errors, 0, "the shipped EP spec lints clean");
+    assert!(!result.summary.is_empty());
+}
+
+#[test]
+fn metrics_reports_tenant_and_queue_gauges() {
+    let handler = Handler::new(4);
+    handler.queue().configure(64, 4);
+    let assess = handler.handle(&request(
+        METHOD_ASSESS,
+        "acme",
+        assess_params("ep", &[2, 2, 2]),
+    ));
+    assert!(assess.ok);
+    let warm = handler.handle(&request(
+        METHOD_ASSESS,
+        "acme",
+        assess_params("ep", &[2, 2, 2]),
+    ));
+    assert!(warm.ok);
+
+    let resp = handler.handle(&request(METHOD_METRICS, "acme", Value::Null));
+    assert!(resp.ok, "metrics succeeds: {:?}", resp.error);
+    let result: MetricsResult =
+        serde_json::from_value(resp.result.expect("result populated")).expect("typed result");
+    assert_eq!(result.tenants.len(), 1);
+    assert_eq!(result.tenants[0].tenant, "acme");
+    assert!(result.tenants[0].cache_hits > 0, "warm repeat shows up");
+    assert!(result.tenants[0].state_entries > 0);
+    assert_eq!(result.queue.capacity, 64);
+    assert_eq!(result.queue.workers, 4);
+    assert_eq!(result.queue.overloaded, 0);
+}
+
+#[test]
+fn shutdown_is_acknowledged() {
+    let handler = Handler::new(1);
+    let resp = handler.handle(&request(METHOD_SHUTDOWN, "acme", Value::Null));
+    assert!(resp.ok);
+    let result: ShutdownResult =
+        serde_json::from_value(resp.result.expect("result populated")).expect("typed result");
+    assert!(result.stopping);
+}
+
+#[test]
+fn protocol_errors_use_the_stable_vocabulary() {
+    let handler = Handler::new(1);
+
+    let mut wrong_version = request(METHOD_METRICS, "acme", Value::Null);
+    wrong_version.v = 99;
+    let resp = handler.handle(&wrong_version);
+    assert_eq!(error_kind(&resp), ERR_UNSUPPORTED_VERSION);
+    assert_eq!(resp.id.as_deref(), Some("metrics-acme"), "id echoes back");
+
+    let resp = handler.handle(&request("frobnicate", "acme", Value::Null));
+    assert_eq!(error_kind(&resp), ERR_UNKNOWN_METHOD);
+    let message = resp.error.expect("error body").message;
+    assert!(message.contains("assess"), "lists the methods: {message}");
+
+    let resp = handler.handle(&request(METHOD_ASSESS, "acme", obj(vec![])));
+    assert_eq!(error_kind(&resp), ERR_INVALID_PARAMS);
+
+    // Model-level failures carry the exact tool error text under the
+    // `tool` kind: a replica vector of the wrong length is an
+    // architecture error, not a panic.
+    let resp = handler.handle(&request(METHOD_ASSESS, "acme", assess_params("ep", &[2])));
+    assert_eq!(error_kind(&resp), wfms_proto::ERR_TOOL);
+}
+
+#[test]
+fn sparse_client_json_decodes_with_defaults() {
+    // A hand-written daemon client sending only the required fields
+    // must get the same answer as one spelling out every null.
+    let handler = Handler::new(2);
+    let sparse = handler.handle(&request(
+        METHOD_ASSESS,
+        "acme",
+        obj(vec![
+            ("registry", spec("ep", "registry.json")),
+            ("workload", spec("ep", "workload.json")),
+            ("config", json(vec![2u64, 2, 2])),
+            ("max_wait", json(0.05)),
+        ]),
+    ));
+    assert!(sparse.ok, "sparse params succeed: {:?}", sparse.error);
+    let result: AssessResult =
+        serde_json::from_value(sparse.result.expect("result populated")).expect("typed result");
+    assert_eq!(result.server_types.len(), 3);
+
+    // Omitting every goal is rejected with the exact one-shot CLI
+    // message, under the `tool` kind — not a decode error.
+    let no_goals = handler.handle(&request(
+        METHOD_ASSESS,
+        "acme",
+        obj(vec![
+            ("registry", spec("ep", "registry.json")),
+            ("workload", spec("ep", "workload.json")),
+            ("config", json(vec![2u64, 2, 2])),
+        ]),
+    ));
+    assert_eq!(error_kind(&no_goals), wfms_proto::ERR_TOOL);
+    let message = no_goals.error.expect("error body").message;
+    assert_eq!(message, "no performability goal specified");
+}

@@ -26,6 +26,8 @@ pub use model::{
     MINUTES_PER_YEAR,
 };
 pub use phase::{single_repairman_type_unavailability, system_unavailability_with_repair_phases};
-pub use product_form::{select_backend, AvailBackend, BestFirstStates, ProductFormModel};
+pub use product_form::{
+    availability_gain, select_backend, AvailBackend, BestFirstStates, ProductFormModel,
+};
 pub use sparse_model::{SparseAvailabilityModel, SPARSE_STATE_CAP};
 pub use state_space::StateSpace;

@@ -221,6 +221,53 @@ impl ProductFormModel {
         })
     }
 
+    /// Builds the model directly from per-type marginals — the
+    /// assessment engine's one-coordinate *delta* path: for a move
+    /// `Y → Y ± e_x` it clones the incumbent's marginals, replaces only
+    /// type `x`'s with the freshly tabulated one, and skips the `k − 1`
+    /// untouched recurrences entirely. Because
+    /// [`BirthDeathBlock::marginal_distribution`] is a deterministic
+    /// function of `(type, replicas, policy)`, the result is
+    /// bit-identical to [`ProductFormModel::from_blocks`] over fresh
+    /// blocks for the same configuration.
+    ///
+    /// # Errors
+    /// [`AvailError::Arch`] when the marginal count or any marginal's
+    /// length (`Y_x + 1` entries for type `x`) does not match `config`.
+    pub fn from_marginals(
+        config: &Configuration,
+        marginals: Vec<Vec<f64>>,
+    ) -> Result<Self, AvailError> {
+        let space = StateSpace::new(config);
+        let k = space.k();
+        if marginals.len() != k {
+            return Err(AvailError::Arch(
+                wfms_statechart::ArchError::LengthMismatch {
+                    what: "per-type marginals",
+                    expected: k,
+                    actual: marginals.len(),
+                },
+            ));
+        }
+        for (j, m) in marginals.iter().enumerate() {
+            let expected = config.as_slice()[j] + 1;
+            if m.len() != expected {
+                return Err(AvailError::Arch(
+                    wfms_statechart::ArchError::LengthMismatch {
+                        what: "marginal up-count entries",
+                        expected,
+                        actual: m.len(),
+                    },
+                ));
+            }
+        }
+        Ok(ProductFormModel {
+            config: config.clone(),
+            space,
+            marginals,
+        })
+    }
+
     /// The underlying state space.
     pub fn state_space(&self) -> &StateSpace {
         &self.space
@@ -297,6 +344,24 @@ impl ProductFormModel {
     pub fn enumerate_descending(&self) -> BestFirstStates {
         BestFirstStates::new(&self.marginals)
     }
+}
+
+/// The multiplicative factor a one-coordinate move `Y_x → Y'_x` applies
+/// to the product-form availability: `A' = A · (1 − m'_x[0]) / (1 − m_x[0])`
+/// where `m_x[0]` / `m'_x[0]` are the all-down marginal entries before
+/// and after the move (`q_x^{Y_x}` under independent repair). This is
+/// the closed-form kernel behind `∂A/∂Y_x` move ranking: the factor
+/// exceeds `1` exactly when the move raises availability, and
+/// `A · (gain − 1)` is the availability gained.
+///
+/// Note the engine's *delta assessment* deliberately does **not** patch
+/// a cached availability with this factor — a float divide is not
+/// bitwise-invertible — it re-folds the product over the replaced
+/// marginals instead ([`ProductFormModel::from_marginals`]); the gain
+/// factor is for *ranking*, where closed-form speed matters and
+/// bit-identity does not.
+pub fn availability_gain(all_down_before: f64, all_down_after: f64) -> f64 {
+    (1.0 - all_down_after) / (1.0 - all_down_before)
 }
 
 /// Heap entry of the best-first enumeration: a rank vector into the
@@ -481,6 +546,65 @@ mod tests {
                 model.unavailability()
             );
         }
+    }
+
+    #[test]
+    fn from_marginals_replacement_is_bit_identical_to_from_blocks() {
+        // The engine's delta path: take a neighbour's marginals, replace
+        // only the moved type's, and get the exact model `from_blocks`
+        // would build for the new configuration — bit for bit.
+        let reg = paper_section52_registry();
+        let incumbent = Configuration::new(&reg, vec![2, 2, 3]).unwrap();
+        let neighbour = Configuration::new(&reg, vec![2, 3, 3]).unwrap();
+        let base = ProductFormModel::new(&reg, &incumbent).unwrap();
+        let mut marginals = base.marginals().to_vec();
+        let moved = BirthDeathBlock::for_type(
+            reg.get(ServerTypeId(1)).unwrap(),
+            3,
+            RepairPolicy::Independent,
+        );
+        marginals[1] = moved.marginal_distribution();
+        let patched = ProductFormModel::from_marginals(&neighbour, marginals).unwrap();
+        let fresh = ProductFormModel::new(&reg, &neighbour).unwrap();
+        assert_eq!(patched.marginals(), fresh.marginals());
+        assert_eq!(
+            patched.availability().to_bits(),
+            fresh.availability().to_bits()
+        );
+        let lazy_patched: Vec<(Vec<usize>, f64)> = patched.enumerate_descending().collect();
+        let lazy_fresh: Vec<(Vec<usize>, f64)> = fresh.enumerate_descending().collect();
+        assert_eq!(lazy_patched, lazy_fresh);
+    }
+
+    #[test]
+    fn from_marginals_rejects_mismatched_shapes() {
+        let reg = paper_section52_registry();
+        let config = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        let model = ProductFormModel::new(&reg, &config).unwrap();
+        // Wrong marginal count.
+        let short = model.marginals()[..2].to_vec();
+        assert!(ProductFormModel::from_marginals(&config, short).is_err());
+        // Wrong entry count for one type (Y_x + 1 expected).
+        let mut bad = model.marginals().to_vec();
+        bad[0].pop();
+        assert!(ProductFormModel::from_marginals(&config, bad).is_err());
+    }
+
+    #[test]
+    fn availability_gain_matches_the_recomputed_product() {
+        let reg = paper_section52_registry();
+        let before = Configuration::new(&reg, vec![2, 2, 2]).unwrap();
+        let after = Configuration::new(&reg, vec![2, 3, 2]).unwrap();
+        let a0 = ProductFormModel::new(&reg, &before).unwrap();
+        let a1 = ProductFormModel::new(&reg, &after).unwrap();
+        let gain = availability_gain(a0.marginals()[1][0], a1.marginals()[1][0]);
+        assert!(gain > 1.0, "adding a replica raises availability");
+        let predicted = a0.availability() * gain;
+        assert!(
+            (predicted - a1.availability()).abs() < 1e-15,
+            "patched {predicted:e} vs recomputed {:e}",
+            a1.availability()
+        );
     }
 
     #[test]

@@ -168,11 +168,19 @@ pub const COMMANDS: &[CommandSpec] = &[
             "seed",
             "jobs",
             "epsilon",
+            "screen-epsilon",
             "avail-backend",
             "solver-tol",
             "solver-max-iter",
         ],
-        flags: &["optimal", "annealing", "strict", "json"],
+        flags: &[
+            "optimal",
+            "annealing",
+            "strict",
+            "json",
+            "rank-moves",
+            "no-incremental",
+        ],
     },
     CommandSpec {
         name: "simulate",
@@ -209,7 +217,7 @@ pub const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "sensitivity",
         options: &["registry", "workload", "config", "step"],
-        flags: &["json"],
+        flags: &["json", "moves"],
     },
     CommandSpec {
         name: "export-dot",

@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 use wfms_core::avail::{
     AvailBackend, ProductFormModel, RepairPolicy, SparseAvailabilityModel, MINUTES_PER_YEAR,
 };
-use wfms_core::config::{sensitivity, Goals, SearchOptions, SensitivityOptions, TruncationReport};
+use wfms_core::config::{
+    move_sensitivities, sensitivity, Goals, SearchOptions, SensitivityOptions, TruncationReport,
+};
 use wfms_core::markov::linalg::GaussSeidelOptions;
 use wfms_core::sim::{run as simulate, SimOptions};
 use wfms_core::statechart::{chart_to_dot, map_chart, mapping_to_dot};
@@ -179,14 +181,23 @@ fn parse_backend(args: &ParsedArgs) -> Result<AvailBackend, CliError> {
 /// Evaluation options shared by `assess`, `recommend`, and `profile`:
 /// the truncation ε, the availability backend, the iterative-solver
 /// budget (`--solver-tol`, `--solver-max-iter`), and the `--strict`
-/// fail-fast switch. Out-of-range solver values are rejected by
-/// [`wfms_core::config::AssessmentEngine::new`] as `InvalidOption`.
+/// fail-fast switch. `recommend` adds the incremental-path knobs:
+/// `--screen-epsilon` (adaptive-ε screening), `--rank-moves`
+/// (sensitivity-ranked screened growth), and `--no-incremental`
+/// (disable the delta patch, for A/B timing). Out-of-range values are
+/// rejected by [`wfms_core::config::AssessmentEngine::new`] as
+/// `InvalidOption`.
 fn parse_search_options(args: &ParsedArgs) -> Result<SearchOptions, CliError> {
     let mut builder = SearchOptions::builder()
         .avail_backend(parse_backend(args)?)
-        .strict(args.flag("strict"));
+        .strict(args.flag("strict"))
+        .rank_moves(args.flag("rank-moves"))
+        .incremental(!args.flag("no-incremental"));
     if let Some(epsilon) = args.get_f64("epsilon")? {
         builder = builder.epsilon(epsilon);
+    }
+    if let Some(screen) = args.get_f64("screen-epsilon")? {
+        builder = builder.screen_epsilon(screen);
     }
     if let Some(tolerance) = args.get_f64("solver-tol")? {
         builder = builder.solver_tolerance(tolerance);
@@ -303,12 +314,19 @@ COMMANDS
                [--budget <servers>] [--jobs <n>] [--epsilon <e>]
                [--avail-backend auto|dense|sparse|product]
                [--solver-tol <t>] [--solver-max-iter <n>] [--strict]
-               [--optimal | --annealing] [--json]
+               [--optimal | --annealing] [--screen-epsilon <e>]
+               [--rank-moves] [--no-incremental] [--json]
                without --strict, failed availability solves escalate to a
                dense LU fallback, failed state evaluations are charged at
                their pessimistic waiting-time caps (reported as DEGRADED),
                and irrecoverable candidates are quarantined rather than
-               aborting the search; --strict restores fail-fast
+               aborting the search; --strict restores fail-fast.
+               one-replica neighbours reuse the incumbent's cached
+               per-type marginals (disable with --no-incremental);
+               --screen-epsilon > 0 prunes candidates the loose-e
+               truncation bounds prove infeasible; --rank-moves picks
+               growth moves by closed-form sensitivity when the exact
+               argmax is not proven
   simulate     --registry <file> --workload <file> --config <y1,..>
                [--duration <min>] [--warmup <min>] [--seed <n>]
                [--failures] [--json]
@@ -339,8 +357,10 @@ COMMANDS
                slacks; --candidate narrows to one replica vector.
                Output is byte-stable across identical runs
   sensitivity  --registry <file> --workload <file> --config <y1,..>
-               [--step <rel>] [--json]
-               log-log elasticities of the goal metrics per parameter
+               [--step <rel>] [--moves] [--json]
+               log-log elasticities of the goal metrics per parameter;
+               --moves instead ranks every one-replica growth move by
+               its closed-form availability and waiting-time deltas
   export-dot   --registry <file> --workload <file> --workflow <name>
                [--view chart|ctmc] [--out <file>]
                Graphviz source for the Fig. 3 chart or Fig. 4 CTMC view
@@ -852,6 +872,9 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
         solver_tol: args.get_f64("solver-tol")?,
         solver_max_iter: args.get_u64("solver-max-iter")?,
         strict: args.flag("strict").then_some(true),
+        screen_epsilon: args.get_f64("screen-epsilon")?,
+        rank_moves: args.flag("rank-moves").then_some(true),
+        incremental: args.flag("no-incremental").then_some(false),
     };
     let request = Request::new(METHOD_RECOMMEND, encode_params(&params)?);
     let result: RecommendResult = remote_result(Handler::new(1).handle(&request))?;
@@ -1511,6 +1534,37 @@ fn cmd_sensitivity(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliErr
     let tool = load_tool(args)?;
     let config = parse_config(args, tool.registry())?;
     let load = tool.system_load()?;
+    if args.flag("moves") {
+        // Closed-form one-replica move sensitivities (no finite
+        // differencing, no assessments): what `Y_x → Y_x + 1` buys.
+        let moves = move_sensitivities(tool.registry(), &load, &config)?;
+        if args.flag("json") {
+            writeln!(out, "{}", render_json(&moves)?)?;
+            return Ok(());
+        }
+        writeln!(out, "move sensitivities at {config} (one replica added):")?;
+        writeln!(
+            out,
+            "{:<24} {:>12} {:>14} {:>12} {:>12}",
+            "move", "avail gain", "avail factor", "wait before", "wait after"
+        )?;
+        for m in &moves {
+            let fmt_wait = |w: Option<f64>| match w {
+                Some(w) => format!("{w:.4}"),
+                None => "unstable".to_string(),
+            };
+            writeln!(
+                out,
+                "{:<24} {:>12.3e} {:>14.9} {:>12} {:>12}",
+                format!("{} +1 ({} -> {})", m.name, m.replicas, m.replicas + 1),
+                m.availability_delta,
+                m.availability_factor,
+                fmt_wait(m.waiting_before),
+                fmt_wait(m.waiting_after),
+            )?;
+        }
+        return Ok(());
+    }
     let opts = SensitivityOptions {
         relative_step: args.get_f64("step")?.unwrap_or(0.05),
     };

@@ -123,6 +123,15 @@ pub fn annealing_search(
 /// previous accept/reject), so `jobs` only parallelises the per-state
 /// kernel inside each assessment; the RNG stream — and therefore the
 /// trace — is untouched by the thread count.
+///
+/// Because the walk moves one ±1-replica coordinate at a time, every
+/// product-backend availability solve after the first is answered by
+/// the engine's incremental delta patch
+/// ([`crate::SearchOptions::incremental`]) — one fresh marginal, `k−1`
+/// reused — with no annealing-specific code. The walk is deliberately
+/// *not* reordered by the closed-form move ranking
+/// ([`crate::moves`]): proposals are RNG-pinned, and reordering them
+/// would change the trace for every seed.
 pub(crate) fn annealing_walk(
     engine: &AssessmentEngine,
     opts: &AnnealingOptions,

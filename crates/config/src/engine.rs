@@ -42,12 +42,18 @@
 //! # Observability
 //!
 //! Stable names (see `wfms-obs`): counters `engine.cache-hit` /
-//! `engine.cache-miss` aggregate over the three cache layers; gauge
-//! `engine.parallel-candidates` reports the size of the last candidate
-//! batch dispatched in parallel.
+//! `engine.cache-miss` aggregate over the three cache layers; the
+//! counter `engine.delta-assess` (with its `delta-assess` span) fires
+//! once per availability solve answered by patching a cached
+//! neighbour's marginals instead of rebuilding them; the counter
+//! `engine.screen-reject` fires once per candidate the adaptive-ε
+//! screen proves infeasible; gauge `engine.parallel-candidates`
+//! reports the size of the last candidate batch dispatched in
+//! parallel.
 
 // audit:allow-file(A006, reason = "the three caches are keyed lookups (get/insert only, never iterated), so hash order never reaches results; bit-identity is asserted by tests/engine.rs")
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -87,13 +93,124 @@ use crate::search::{
 /// identical to the serial early-exit path.
 const CANDIDATE_BATCH: usize = 32;
 
+/// Per-rung shrink factor of the adaptive-ε screening ladder: when a
+/// loose rung cannot prove a verdict, the next tries three decades
+/// tighter, stopping an order of magnitude above the engine's own ε
+/// (the bound inflation in [`AssessmentEngine::screen_waiting_at`]
+/// requires every rung to stay strictly looser than the exact fold).
+const SCREEN_LADDER_SHRINK: f64 = 1e-3;
+
+/// A greedy step proven skippable by the adaptive-ε screen: the
+/// candidate cannot meet the goals, and the search grows `growth` next.
+/// `availability` is exact (closed-form product); `w_max` is the loose
+/// fold's estimate, carried into the journal for explainability only.
+struct ScreenedStep {
+    growth: ServerTypeId,
+    availability: f64,
+    w_max: Option<f64>,
+    cache: CacheProvenance,
+}
+
+/// Verdict of the waiting-goal side of the screen at one or more
+/// ladder rungs. Only `ProvenViolation` / `ProvenMet` are sound
+/// statements about the exact (engine-ε) fold; everything else falls
+/// through to the exact assessment.
+enum WaitingScreen {
+    /// Some threshold type provably violates its waiting goal; `growth`
+    /// carries the exact path's growth argmax when it, too, is proven.
+    ProvenViolation {
+        growth: Option<ServerTypeId>,
+        w_max: f64,
+    },
+    /// Every threshold type provably meets its waiting goal.
+    ProvenMet { w_max: f64 },
+    /// The bounds straddle a threshold: no sound verdict at this rung.
+    Unproven,
+    /// The loose fold failed (fault, saturation, serving-free prefix):
+    /// terminally inconclusive — tightening cannot help.
+    Abstain,
+}
+
 /// Locks a cache mutex, recovering from poisoning: the caches hold
-/// memoized values of pure functions, so a panicked worker can at worst
+/// memoized values of pure functions, so a panicked worker can at most
 /// have skipped an insert — the map itself is never left mid-update.
 fn lock_cache<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A tick-stamped LRU map for the state and solution caches: `get`
+/// refreshes recency, and `insert` at capacity evicts the
+/// least-recently-used entry (capacity `0` disables caching entirely,
+/// preserving the historical contract). A `BTreeMap` recency index
+/// keyed by a monotonic tick makes eviction `O(log n)`, so long
+/// searches never pin a cold working set the way the old
+/// fill-until-full policy did.
+///
+/// Eviction only changes *which* pure-function results stay resident —
+/// never their values — so assessments remain bit-identical at any
+/// capacity; under capacity pressure the hit/miss cache provenance in
+/// the decision journal can legitimately differ from an unbounded run.
+#[derive(Debug)]
+struct LruCache<K, V> {
+    map: HashMap<K, (Arc<V>, u64)>,
+    recency: BTreeMap<u64, K>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    fn with_capacity(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn get<Q>(&mut self, key: &Q) -> Option<Arc<V>>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(key)?;
+        let previous = std::mem::replace(&mut entry.1, tick);
+        let value = entry.0.clone();
+        // Every resident entry has exactly one recency stamp; move it.
+        if let Some(k) = self.recency.remove(&previous) {
+            self.recency.insert(tick, k);
+        }
+        Some(value)
+    }
+
+    fn insert(&mut self, key: K, value: Arc<V>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(previous) = self.map.get(&key).map(|(_, t)| *t) {
+            self.recency.remove(&previous);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, victim)) = self.recency.pop_first() {
+                self.map.remove(&victim);
+            }
+        }
+        self.recency.insert(tick, key.clone());
+        self.map.insert(key, (value, tick));
+    }
 }
 
 /// Per-assessment cache-provenance tally, threaded down the cache
@@ -198,8 +315,8 @@ pub struct AssessmentEngine {
     goals: Goals,
     options: SearchOptions,
     pool: rayon::ThreadPool,
-    states: Mutex<HashMap<Vec<usize>, Arc<StateEvaluation>>>,
-    solutions: Mutex<HashMap<SolutionKey, Arc<AvailabilitySolution>>>,
+    states: Mutex<LruCache<Vec<usize>, StateEvaluation>>,
+    solutions: Mutex<LruCache<SolutionKey, AvailabilitySolution>>,
     blocks: Mutex<HashMap<(usize, usize), Arc<BirthDeathBlock>>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -241,6 +358,12 @@ impl AssessmentEngine {
                 value: options.epsilon,
             });
         }
+        if !(options.screen_epsilon.is_finite() && (0.0..1.0).contains(&options.screen_epsilon)) {
+            return Err(ConfigError::InvalidOption {
+                what: "screening epsilon",
+                value: options.screen_epsilon,
+            });
+        }
         if !(options.solver_tolerance.is_finite() && options.solver_tolerance > 0.0) {
             return Err(ConfigError::InvalidOption {
                 what: "solver tolerance",
@@ -268,8 +391,8 @@ impl AssessmentEngine {
             goals: goals.clone(),
             options,
             pool,
-            states: Mutex::new(HashMap::new()),
-            solutions: Mutex::new(HashMap::new()),
+            states: Mutex::new(LruCache::with_capacity(options.state_cache_capacity)),
+            solutions: Mutex::new(LruCache::with_capacity(options.solution_cache_capacity)),
             blocks: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -481,7 +604,7 @@ impl AssessmentEngine {
                 }
             }
             AvailBackend::Product => {
-                AvailabilitySolution::Product(ProductFormModel::from_blocks(config, &blocks)?)
+                AvailabilitySolution::Product(self.product_model(config, &blocks)?)
             }
         };
         let mut solution = solution;
@@ -491,11 +614,67 @@ impl AssessmentEngine {
             }
         }
         let solution = Arc::new(solution);
-        let mut cache = lock_cache(&self.solutions);
-        if cache.len() < self.options.solution_cache_capacity {
-            cache.insert(key, solution.clone());
-        }
+        lock_cache(&self.solutions).insert(key, solution.clone());
         Ok(solution)
+    }
+
+    /// The product-form model for `config`: a one-coordinate *delta*
+    /// patch of a cached neighbour when possible
+    /// ([`SearchOptions::incremental`], the default), a full
+    /// [`ProductFormModel::from_blocks`] build otherwise. The patch
+    /// clones the neighbour's marginals and replaces only the moved
+    /// type's with the fresh tabulation from its (already cached)
+    /// birth–death block — bit-identical to the from-scratch build,
+    /// because every marginal is a pure function of
+    /// `(type, replicas, policy)` and both constructors store the same
+    /// vectors (see [`ProductFormModel::from_marginals`]).
+    fn product_model(
+        &self,
+        config: &Configuration,
+        blocks: &[Arc<BirthDeathBlock>],
+    ) -> Result<ProductFormModel, ConfigError> {
+        if self.options.incremental {
+            if let Some((moved, mut marginals)) = self.neighbour_marginals(config) {
+                wfms_obs::counter("engine.delta-assess", 1);
+                let mut span = wfms_obs::span!("delta-assess");
+                span.record("candidate", format!("{config}"));
+                span.record("moved-type", moved as u64);
+                marginals[moved] = blocks[moved].marginal_distribution();
+                return Ok(ProductFormModel::from_marginals(config, marginals)?);
+            }
+        }
+        Ok(ProductFormModel::from_blocks(config, blocks)?)
+    }
+
+    /// Probes the solution cache for a one-coordinate product-form
+    /// neighbour `Y ∓ e_x` of `config`, returning the moved coordinate
+    /// and a clone of the neighbour's marginals. Any cached neighbour
+    /// yields the same patched floats, so the probe order is
+    /// immaterial; probes are not counted as cache traffic, keeping the
+    /// journal's hit/miss provenance identical to a non-incremental
+    /// run (they do refresh LRU recency, which under capacity pressure
+    /// may legitimately change *which* entries stay resident).
+    fn neighbour_marginals(&self, config: &Configuration) -> Option<(usize, Vec<Vec<f64>>)> {
+        let slice = config.as_slice();
+        let mut cache = lock_cache(&self.solutions);
+        let mut key = (slice.to_vec(), AvailBackend::Product);
+        for (x, &incumbent_y) in slice.iter().enumerate() {
+            for delta in [-1isize, 1] {
+                let y = incumbent_y as isize + delta;
+                if y < 1 {
+                    continue;
+                }
+                key.0[x] = y as usize;
+                let hit = cache.get(&key);
+                key.0[x] = incumbent_y;
+                if let Some(hit) = hit {
+                    if let AvailabilitySolution::Product(model) = &*hit {
+                        return Some((x, model.marginals().to_vec()));
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Ensures every state of `space` has a cached [`StateEvaluation`],
@@ -575,9 +754,7 @@ impl AssessmentEngine {
                 poison_first_stable(&mut evaluation);
                 poison_first = false;
             }
-            if cache.len() < self.options.state_cache_capacity {
-                cache.insert(x, Arc::new(evaluation));
-            }
+            cache.insert(x, Arc::new(evaluation));
         }
         Ok(())
     }
@@ -630,10 +807,7 @@ impl AssessmentEngine {
             None => evaluate_state(&self.load, &self.registry, state)?,
         };
         let evaluation = Arc::new(evaluation);
-        let mut cache = lock_cache(&self.states);
-        if cache.len() < self.options.state_cache_capacity {
-            cache.insert(state.to_vec(), evaluation.clone());
-        }
+        lock_cache(&self.states).insert(state.to_vec(), evaluation.clone());
         Ok(evaluation)
     }
 
@@ -653,6 +827,36 @@ impl AssessmentEngine {
     /// journal at their own consumption points instead.
     pub fn assess(&self, config: &Configuration) -> Result<Assessment, ConfigError> {
         let (assessment, provenance) = self.assess_with_provenance(config)?;
+        journal::record_assessed("assess", &assessment, &self.goals, provenance, None);
+        Ok(assessment)
+    }
+
+    /// Assesses the one-coordinate move `Y → Y + e_x` from `incumbent`
+    /// — the engine's *delta* entry point. Under the product backend
+    /// with [`SearchOptions::incremental`] the incumbent's solution is
+    /// warmed first, so the grown candidate's availability solve
+    /// reduces to recomputing type `x`'s birth–death marginal and
+    /// patching it into the incumbent's (all other marginals and every
+    /// cached [`StateEvaluation`] are reused). The result is
+    /// field-for-field identical to [`assess`](Self::assess) of the
+    /// grown configuration — the delta path changes the work, never
+    /// the floats.
+    ///
+    /// # Errors
+    /// As [`assess`](Self::assess) of the grown configuration; an
+    /// incumbent whose availability cannot be solved is not itself an
+    /// error (the grown candidate is then assessed from scratch).
+    pub fn assess_delta(
+        &self,
+        incumbent: &Configuration,
+        move_type: ServerTypeId,
+    ) -> Result<Assessment, ConfigError> {
+        if self.options.incremental && self.resolved_backend(incumbent) == AvailBackend::Product {
+            let scratch = CacheCounters::default();
+            let _ = self.availability_solution(incumbent, AvailBackend::Product, &scratch);
+        }
+        let grown = incumbent.with_added_replica(move_type)?;
+        let (assessment, provenance) = self.assess_with_provenance(&grown)?;
         journal::record_assessed("assess", &assessment, &self.goals, provenance, None);
         Ok(assessment)
     }
@@ -904,6 +1108,292 @@ impl AssessmentEngine {
         });
     }
 
+    // -- adaptive-ε screening ---------------------------------------------
+
+    /// One provably-skippable greedy step: the candidate cannot meet
+    /// the goals, and `growth` is the type the search grows next.
+    /// `availability` is exact (closed-form product); `w_max` is the
+    /// loose fold's *estimate*, reported for explainability only.
+    fn screen_waiting(
+        &self,
+        config: &Configuration,
+        model: &ProductFormModel,
+        caps: &[f64],
+        scratch: &CacheCounters,
+    ) -> WaitingScreen {
+        // Every rung must stay strictly looser than the engine's own ε:
+        // the exact fold then visits a superset of the screen's prefix,
+        // which the error-bound inflation below relies on.
+        let floor = self.options.epsilon.max(1e-12) * 10.0;
+        let mut rung = self.options.screen_epsilon;
+        let mut best = WaitingScreen::Unproven;
+        while rung > floor {
+            match self.screen_waiting_at(config, model, caps, rung, scratch) {
+                WaitingScreen::Unproven => {}
+                // Violation proven but the growth argmax is not: a
+                // tighter rung may still separate the ratios, so keep
+                // the verdict and descend.
+                v @ WaitingScreen::ProvenViolation { growth: None, .. } => best = v,
+                v => return v,
+            }
+            rung *= SCREEN_LADDER_SHRINK;
+        }
+        best
+    }
+
+    /// One rung of the screening ladder: a loose ε-truncated fold plus
+    /// sound per-type error bounds, compared against the waiting goals.
+    ///
+    /// The loose fold's `waiting_error_bounds` bound its distance from
+    /// the *untruncated* fold; the exact path folds at the engine's own
+    /// `ε`, so its value can sit another `ε · cap_x / serving` away
+    /// (its skipped mass is at most `ε` and its serving mass is at
+    /// least this prefix's, because both walk the same descending-π
+    /// enumeration and the rung is strictly looser). The sum is a sound
+    /// bound `B_x` on `|W̃_x − W_x^{exact}|`, so:
+    ///
+    /// * every threshold type with `W̃_x + B_x ≤ θ_x` provably passes;
+    /// * any type with `(W̃_x − B_x)/θ_x > 1` provably violates;
+    /// * the exact growth argmax is proven only when one violator's
+    ///   lower ratio strictly dominates every other threshold type's
+    ///   upper ratio — it is then the unique exact maximum, so the
+    ///   first-max tie-break cannot pick anything else.
+    fn screen_waiting_at(
+        &self,
+        config: &Configuration,
+        model: &ProductFormModel,
+        caps: &[f64],
+        rung: f64,
+        scratch: &CacheCounters,
+    ) -> WaitingScreen {
+        let report = match fold_states_truncated(
+            model.enumerate_descending(),
+            self.registry.len(),
+            config.as_slice(),
+            DegradedPolicy::Conditional,
+            &TruncationOptions {
+                epsilon: rung,
+                total_states: model.state_space().len(),
+                waiting_caps: caps,
+            },
+            |state| self.state_evaluation_memo(state, scratch),
+        ) {
+            Ok(report) => report,
+            // A failed or serving-free prefix proves nothing about the
+            // exact fold, and tightening cannot un-fail a fault or an
+            // unstable load: abstain terminally.
+            Err(_) => return WaitingScreen::Abstain,
+        };
+        let Some(t) = report.truncation else {
+            return WaitingScreen::Abstain;
+        };
+        let serving = report.probability_serving;
+        if serving <= 0.0 {
+            return WaitingScreen::Abstain;
+        }
+        let waits = &report.expected_waiting;
+        if waits.iter().any(|w| !w.is_finite()) {
+            return WaitingScreen::Abstain; // fault-poisoned: exact path decides
+        }
+        let w_max = waits.iter().cloned().fold(0.0, f64::max);
+        let bound = |x: usize| t.waiting_error_bounds[x] + self.options.epsilon * caps[x] / serving;
+
+        let mut proven_met = true;
+        let mut violator: Option<(usize, f64)> = None;
+        for (x, &w) in waits.iter().enumerate() {
+            let Some(threshold) = self.goals.waiting_threshold_for(x) else {
+                continue;
+            };
+            let b = bound(x);
+            if w + b > threshold {
+                proven_met = false;
+            }
+            let lower = (w - b) / threshold;
+            if lower > 1.0 && violator.is_none_or(|(_, l)| lower > l) {
+                violator = Some((x, lower));
+            }
+        }
+        if proven_met {
+            return WaitingScreen::ProvenMet { w_max };
+        }
+        let Some((candidate, candidate_lower)) = violator else {
+            return WaitingScreen::Unproven;
+        };
+        let mut provable = true;
+        for (x, &w) in waits.iter().enumerate() {
+            if x == candidate {
+                continue;
+            }
+            let Some(threshold) = self.goals.waiting_threshold_for(x) else {
+                continue;
+            };
+            if (w + bound(x)) / threshold >= candidate_lower {
+                provable = false;
+                break;
+            }
+        }
+        WaitingScreen::ProvenViolation {
+            growth: provable.then_some(ServerTypeId(candidate)),
+            w_max,
+        }
+    }
+
+    /// Screens one greedy candidate: `Some` only when the loose-fold
+    /// bounds *prove* the candidate cannot meet the goals **and** the
+    /// growth step the exact path would take is known (proven, or —
+    /// under [`SearchOptions::rank_moves`] — taken from the closed-form
+    /// move ranking, which may legally alter the trajectory). `None`
+    /// always falls through to the exact assessment, so screening can
+    /// suppress exact work but never a winner.
+    fn screen_step(&self, config: &Configuration) -> Option<ScreenedStep> {
+        let opts = &self.options;
+        if opts.screen_epsilon <= 0.0 || self.resolved_backend(config) != AvailBackend::Product {
+            return None;
+        }
+        let scratch = CacheCounters::default();
+        let solution = self
+            .availability_solution(config, AvailBackend::Product, &scratch)
+            .ok()?;
+        let AvailabilitySolution::Product(model) = &*solution else {
+            return None;
+        };
+        let availability = model.availability();
+        if !availability.is_finite() {
+            return None; // fault-poisoned: the exact path's guard decides
+        }
+        let availability_met = self
+            .goals
+            .min_availability
+            .is_none_or(|min| availability >= min);
+        let any_waiting_goal =
+            self.goals.max_waiting_time.is_some() || !self.goals.per_type_waiting.is_empty();
+        if !any_waiting_goal {
+            if availability_met {
+                return None; // potential winner: must be assessed exactly
+            }
+            // Waiting is trivially met and the closed-form availability
+            // — the very number the exact path would compare — misses
+            // the goal: skip with the availability growth rule, no fold.
+            return Some(ScreenedStep {
+                growth: availability_critical_type(&self.registry, config.as_slice()),
+                availability,
+                w_max: None,
+                cache: scratch.provenance(),
+            });
+        }
+        let caps = waiting_time_caps(&self.load, &self.registry, config.as_slice()).ok()?;
+        match self.screen_waiting(config, model, &caps, &scratch) {
+            WaitingScreen::ProvenViolation {
+                growth: Some(growth),
+                w_max,
+            } => Some(ScreenedStep {
+                growth,
+                availability,
+                w_max: Some(w_max),
+                cache: scratch.provenance(),
+            }),
+            WaitingScreen::ProvenViolation {
+                growth: None,
+                w_max,
+            } if opts.rank_moves => self.ranked_growth(config).map(|growth| ScreenedStep {
+                growth,
+                availability,
+                w_max: Some(w_max),
+                cache: scratch.provenance(),
+            }),
+            WaitingScreen::ProvenMet { w_max } if !availability_met => Some(ScreenedStep {
+                growth: availability_critical_type(&self.registry, config.as_slice()),
+                availability,
+                w_max: Some(w_max),
+                cache: scratch.provenance(),
+            }),
+            // The waiting side ran but proved nothing either way, and
+            // the exact availability already fails: the skip is sound,
+            // yet only a ranked trajectory knows what to grow. An
+            // `Abstain` (fault, saturation, serving-free prefix) never
+            // qualifies: with zero waiting signal the closed-form
+            // ranking can fixate on the single one-step-stabilizable
+            // type and climb it until the budget dies, so the exact
+            // path — whose saturated-candidate heuristic grows the most
+            // utilized type — decides instead.
+            WaitingScreen::Unproven if !availability_met && opts.rank_moves => {
+                self.ranked_growth(config).map(|growth| ScreenedStep {
+                    growth,
+                    availability,
+                    w_max: None,
+                    cache: scratch.provenance(),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The closed-form move ranking's growth pick
+    /// ([`crate::moves::move_sensitivities`]): the best waiting move
+    /// under a waiting goal, the best availability move otherwise.
+    ///
+    /// Under a waiting goal a `None` from
+    /// [`crate::moves::best_waiting_move`] means *no* move has any
+    /// waiting signal (every move leaves every type saturated). Growing
+    /// a blind availability pick there can loop on one type until the
+    /// budget dies — so no pick is returned and the step falls back to
+    /// the exact path, whose saturated-candidate heuristic grows the
+    /// most utilized type and makes progress.
+    fn ranked_growth(&self, config: &Configuration) -> Option<ServerTypeId> {
+        let moves = crate::moves::move_sensitivities(&self.registry, &self.load, config).ok()?;
+        let any_waiting_goal =
+            self.goals.max_waiting_time.is_some() || !self.goals.per_type_waiting.is_empty();
+        let pick = if any_waiting_goal {
+            crate::moves::best_waiting_move(&moves)
+        } else {
+            crate::moves::best_availability_move(&moves)
+        };
+        pick.map(ServerTypeId)
+    }
+
+    /// Screens one frontier candidate, returning `true` only when the
+    /// candidate *provably* cannot meet the goals (exact closed-form
+    /// availability below the goal, or a proven waiting violation) —
+    /// i.e. only when the exact assessment provably cannot crown it.
+    fn screen_frontier(&self, replicas: &[usize]) -> bool {
+        if self.options.screen_epsilon <= 0.0 {
+            return false;
+        }
+        let Ok(config) = Configuration::new(&self.registry, replicas.to_vec()) else {
+            return false; // the exact path owns the error report
+        };
+        if self.resolved_backend(&config) != AvailBackend::Product {
+            return false;
+        }
+        let scratch = CacheCounters::default();
+        let Ok(solution) = self.availability_solution(&config, AvailBackend::Product, &scratch)
+        else {
+            return false;
+        };
+        let AvailabilitySolution::Product(model) = &*solution else {
+            return false;
+        };
+        let availability = model.availability();
+        if !availability.is_finite() {
+            return false;
+        }
+        if let Some(min) = self.goals.min_availability {
+            if availability < min {
+                return true; // exact, not an estimate: a sound proof
+            }
+        }
+        if self.goals.max_waiting_time.is_none() && self.goals.per_type_waiting.is_empty() {
+            return false; // availability met, waiting trivially met: a winner
+        }
+        let Ok(caps) = waiting_time_caps(&self.load, &self.registry, config.as_slice()) else {
+            return false;
+        };
+        matches!(
+            self.screen_waiting(&config, model, &caps, &scratch),
+            WaitingScreen::ProvenViolation { .. }
+        )
+    }
+
     /// Scans frontier `candidates` in enumeration order, assessing them
     /// in fixed-size batches (in parallel when the pool has more than
     /// one worker) and returning the first goal-satisfying assessment.
@@ -926,10 +1416,41 @@ impl AssessmentEngine {
         for batch in candidates.chunks(CANDIDATE_BATCH) {
             if parallel && batch.len() > 1 {
                 wfms_obs::gauge("engine.parallel-candidates", batch.len() as f64);
-                let results: Vec<Result<(Assessment, CacheProvenance), ConfigError>> = self
-                    .pool
-                    .install(|| batch.par_iter().map(|y| self.assess_replicas(y)).collect());
+                // Screen before dispatching: a provably infeasible
+                // member cannot be the winner, so it is withheld from
+                // the speculative parallel map. Members the consumption
+                // loop still reaches (no earlier winner) are then
+                // assessed exactly — backfilled — so the trace, the
+                // journal, and the quarantine list stay identical to
+                // the unscreened path; only the post-winner results the
+                // baseline would have discarded are truly saved.
+                let screened: Vec<bool> = if self.options.screen_epsilon > 0.0 {
+                    batch
+                        .iter()
+                        .map(|y| {
+                            let pruned = self.screen_frontier(y);
+                            if pruned {
+                                wfms_obs::counter("engine.screen-reject", 1);
+                            }
+                            pruned
+                        })
+                        .collect()
+                } else {
+                    vec![false; batch.len()]
+                };
+                let work: Vec<(&Vec<usize>, bool)> =
+                    batch.iter().zip(&screened).map(|(y, &p)| (y, p)).collect();
+                let results: Vec<Option<Result<(Assessment, CacheProvenance), ConfigError>>> =
+                    self.pool.install(|| {
+                        work.par_iter()
+                            .map(|&(y, pruned)| (!pruned).then(|| self.assess_replicas(y)))
+                            .collect()
+                    });
                 for (y, result) in batch.iter().zip(results) {
+                    let result = match result {
+                        Some(result) => result,
+                        None => self.assess_replicas(y),
+                    };
                     let (assessment, provenance) = match result {
                         Ok(assessed) => assessed,
                         Err(e) if !strict && e.is_candidate_local() => {
@@ -999,6 +1520,30 @@ impl AssessmentEngine {
         let mut evaluations = 0;
         let mut quarantined = Vec::new();
         loop {
+            // Adaptive-ε screen: when the loose bounds *prove* the
+            // candidate infeasible and the growth step the exact path
+            // would take, skip the exact assessment entirely. Screened
+            // candidates are journaled (`reject-screened`) but neither
+            // traced nor counted as evaluations — the trace remains the
+            // subsequence of exactly assessed candidates.
+            if let Some(step) = self.screen_step(&config) {
+                wfms_obs::counter("engine.screen-reject", 1);
+                journal::record_screened(
+                    "greedy",
+                    config.as_slice(),
+                    step.availability,
+                    step.w_max,
+                    step.cache,
+                );
+                if config.total_servers() >= opts.max_total_servers {
+                    return Err(ConfigError::GoalsUnreachable {
+                        budget: opts.max_total_servers,
+                        last_candidate: config.as_slice().to_vec(),
+                    });
+                }
+                config = config.with_added_replica(step.growth)?;
+                continue;
+            }
             let (assessment, provenance) = match self.assess_with_provenance(&config) {
                 Ok(assessed) => assessed,
                 Err(e) if !opts.strict && e.is_candidate_local() => {
@@ -1044,7 +1589,7 @@ impl AssessmentEngine {
             let target = if !assessment.goals.waiting_time_met {
                 performability_critical_type(&self.registry, &self.load, &self.goals, &assessment)
             } else {
-                availability_critical_type(&self.registry, &assessment)
+                availability_critical_type(&self.registry, &assessment.replicas)
             };
             config = config.with_added_replica(target)?;
         }

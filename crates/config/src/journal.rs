@@ -78,6 +78,12 @@ pub const REASON_METROPOLIS_REJECTED: &str = "metropolis-rejected";
 /// Reason: the assessment itself failed (quarantine; the event's
 /// `error` field carries the rendered error).
 pub const REASON_ASSESSMENT_FAILED: &str = "assessment-failed";
+/// Reason: the adaptive-ε screen *proved* (via the sound truncation
+/// bounds) that the candidate violates a goal, so the exact assessment
+/// was skipped. The event's `availability` is exact (closed-form
+/// product); `w_max` is the loose screening estimate when a screening
+/// fold ran, absent when the availability proof alone sufficed.
+pub const REASON_SCREENED: &str = "reject-screened";
 
 /// Timeline instant-event name emitted with an accept decision.
 pub const EVENT_DECISION_ACCEPT: &str = "decision-accept";
@@ -87,6 +93,9 @@ pub const EVENT_DECISION_REJECT: &str = "decision-reject";
 pub const EVENT_DECISION_QUARANTINE: &str = "decision-quarantine";
 /// Timeline instant-event name emitted with the winner event.
 pub const EVENT_DECISION_WINNER: &str = "decision-winner";
+/// Timeline instant-event name emitted with a screened-out decision
+/// (proved infeasible at loose ε; exact assessment skipped).
+pub const EVENT_DECISION_SCREENED: &str = "decision-screened";
 
 /// Cap on journaled events; protects unbounded walks from unbounded
 /// memory. Events past the cap are counted in the snapshot's disclosed
@@ -428,6 +437,40 @@ pub(crate) fn record_quarantined(search: &'static str, replicas: &[usize], error
         error: Some(error.to_string()),
         margins: GoalMargins::default(),
         cache: CacheProvenance::default(),
+        truncation: None,
+        degradation: None,
+    });
+}
+
+/// Journals a candidate the adaptive-ε screen proved infeasible —
+/// rejected without an exact assessment. `availability` is the exact
+/// closed-form product value; `w_max` is the loose screening estimate
+/// (`None` when the availability proof needed no fold); `cache` is the
+/// screening fold's own provenance.
+pub(crate) fn record_screened(
+    search: &'static str,
+    replicas: &[usize],
+    availability: f64,
+    w_max: Option<f64>,
+    cache: CacheProvenance,
+) {
+    if !is_enabled() {
+        return;
+    }
+    wfms_obs::instant(EVENT_DECISION_SCREENED);
+    push(DecisionEvent {
+        seq: 0,
+        search: search.to_string(),
+        candidate: replicas.to_vec(),
+        cost: replicas.iter().sum(),
+        availability: Some(availability),
+        w_max,
+        goals_met: false,
+        outcome: OUTCOME_REJECT.to_string(),
+        reason: REASON_SCREENED.to_string(),
+        error: None,
+        margins: GoalMargins::default(),
+        cache,
         truncation: None,
         degradation: None,
     });

@@ -29,6 +29,7 @@ pub mod engine;
 pub mod error;
 pub mod goals;
 pub mod journal;
+pub mod moves;
 pub mod search;
 pub mod sensitivity;
 
@@ -47,6 +48,7 @@ pub use journal::{
     CacheProvenance, DecisionEvent, DegradationSummary, GoalMargins, JournalSnapshot,
     TruncationSummary,
 };
+pub use moves::{best_availability_move, best_waiting_move, move_sensitivities, MoveSensitivity};
 pub use search::{
     branch_and_bound_search, exhaustive_search, goal_lower_bounds, greedy_search,
     minimum_stable_replicas, QuarantinedCandidate, SearchOptions, SearchOptionsBuilder,

@@ -88,6 +88,34 @@ pub struct SearchOptions {
     /// [`SearchResult::quarantined`] instead of aborting.
     #[serde(default)]
     pub strict: bool,
+    /// Delta-aware assessment: when `true` (the default), a product-form
+    /// availability solve for a candidate one coordinate away from a
+    /// cached neighbour replaces only the moved type's marginal instead
+    /// of re-deriving all `k` — bit-identical by construction (see
+    /// `wfms_avail::ProductFormModel::from_marginals`), so results,
+    /// traces, and journals never depend on this flag.
+    #[serde(default = "default_incremental")]
+    pub incremental: bool,
+    /// Adaptive-ε screening tolerance: with `σ > 0` and the product
+    /// backend, searches first evaluate each candidate with a cheap
+    /// `ε = σ` fold and skip the exact assessment when the sound
+    /// truncation bounds *prove* the candidate violates a goal. `0.0`
+    /// (the default) disables screening. Screening never changes a
+    /// winner or its assessment; greedy traces omit the proven-infeasible
+    /// candidates (journaled as `reject-screened` instead), frontier
+    /// searches keep the trace literally identical.
+    #[serde(default)]
+    pub screen_epsilon: f64,
+    /// Sensitivity-ranked moves: when a screened greedy step proves a
+    /// waiting-goal violation but the bounds cannot *prove* which type
+    /// is most critical, `true` grows the loose-estimate argmax anyway
+    /// (a documented heuristic — the trajectory may differ from the
+    /// unscreened walk, though every skipped candidate is still provably
+    /// infeasible and the winner is verified exactly); `false` (the
+    /// default) falls back to an exact assessment, preserving the
+    /// baseline trajectory.
+    #[serde(default)]
+    pub rank_moves: bool,
 }
 
 fn default_solver_tolerance() -> f64 {
@@ -96,6 +124,10 @@ fn default_solver_tolerance() -> f64 {
 
 fn default_solver_max_iterations() -> usize {
     100_000
+}
+
+fn default_incremental() -> bool {
+    true
 }
 
 impl Default for SearchOptions {
@@ -110,6 +142,9 @@ impl Default for SearchOptions {
             solver_tolerance: default_solver_tolerance(),
             solver_max_iterations: default_solver_max_iterations(),
             strict: false,
+            incremental: default_incremental(),
+            screen_epsilon: 0.0,
+            rank_moves: false,
         }
     }
 }
@@ -194,6 +229,32 @@ impl SearchOptionsBuilder {
     #[must_use]
     pub fn strict(mut self, strict: bool) -> Self {
         self.opts.strict = strict;
+        self
+    }
+
+    /// Enables or disables the delta-aware assessment path (see
+    /// [`SearchOptions::incremental`]). Results are bit-identical either
+    /// way; `false` exists for benchmarking and bisection.
+    #[must_use]
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.opts.incremental = incremental;
+        self
+    }
+
+    /// Sets the adaptive-ε screening tolerance (`0.0` = no screening;
+    /// see [`SearchOptions::screen_epsilon`]). Validated by
+    /// [`AssessmentEngine::new`](crate::AssessmentEngine::new).
+    #[must_use]
+    pub fn screen_epsilon(mut self, screen_epsilon: f64) -> Self {
+        self.opts.screen_epsilon = screen_epsilon;
+        self
+    }
+
+    /// Enables or disables sensitivity-ranked move selection on
+    /// screened greedy steps (see [`SearchOptions::rank_moves`]).
+    #[must_use]
+    pub fn rank_moves(mut self, rank_moves: bool) -> Self {
+        self.opts.rank_moves = rank_moves;
         self
     }
 
@@ -346,13 +407,13 @@ pub(crate) fn highest_utilization_type(
 /// most to unavailability, `q_x^{Y_x}` with `q_x = λ_x / (λ_x + μ_x)`.
 pub(crate) fn availability_critical_type(
     registry: &ServerTypeRegistry,
-    assessment: &Assessment,
+    replicas: &[usize],
 ) -> ServerTypeId {
     let mut best = 0;
     let mut best_contrib = f64::MIN;
     for (id, st) in registry.iter() {
         let q = st.failure_rate / (st.failure_rate + st.repair_rate);
-        let contrib = q.powi(assessment.replicas[id.0] as i32);
+        let contrib = q.powi(replicas[id.0] as i32);
         if contrib > best_contrib {
             best_contrib = contrib;
             best = id.0;

@@ -53,6 +53,7 @@
 //! | `mg1-waiting` | `wfms-perf` | `types`, `evaluations` |
 //! | `performability` | `wfms-performability` | `states`, `degraded`, `serving`, `pruned` (ε-truncated fold only) |
 //! | `assess` | `wfms-config` | `candidate`, `w_max`, `availability` |
+//! | `delta-assess` | `wfms-config` | `candidate`, `moved-type` (one span per availability solve answered by patching a cached neighbour's marginals) |
 //! | `search-candidate` | `wfms-config` | `candidate`, `accepted` |
 //! | `greedy-search` / `exhaustive-search` / `bnb-search` / `annealing-search` | `wfms-config` | `evaluations`, `cost` |
 //! | `simulate` | `wfms-sim` | `events`, `warmup_minutes`, `measured_minutes` |
@@ -79,7 +80,7 @@
 //! | `config.annealing.rejected` | counter | `wfms-config` | rejected Metropolis moves per annealing run |
 //! | `sim.events` | counter | `wfms-sim` | discrete events processed per simulation run |
 //!
-//! The assessment engine of `wfms-config` adds three stable metric
+//! The assessment engine of `wfms-config` adds five stable metric
 //! names of its own:
 //!
 //! | metric | kind | emitted by | meaning |
@@ -87,6 +88,8 @@
 //! | `engine.cache-hit` | counter | `wfms-config` | lookups answered from the engine's degraded-state, birth–death-block, or availability-solution caches |
 //! | `engine.cache-miss` | counter | `wfms-config` | lookups that had to compute (one per first evaluation of a state, block, or candidate) |
 //! | `engine.parallel-candidates` | gauge | `wfms-config` | size of the last candidate batch dispatched to the worker pool |
+//! | `engine.delta-assess` | counter | `wfms-config` | product-form availability solves answered by patching one marginal of a cached neighbour (each paired with a `delta-assess` span) |
+//! | `engine.screen-reject` | counter | `wfms-config` | candidates the adaptive-ε screen proved infeasible without an exact assessment |
 //!
 //! The graceful-degradation layer (DESIGN.md §10) adds four more; the
 //! first two must stay **zero** on a clean run, and `wfms profile

@@ -91,6 +91,16 @@ pub struct TruncationReport {
     /// full-space fold (see [`fold_states_truncated`] for the
     /// derivation).
     pub waiting_error_bounds: Vec<f64>,
+    /// Sound bound on the error any *fold-derived* availability estimate
+    /// (visited serving + saturated mass vs. `1 − probability_down`)
+    /// can carry: the skipped tail holds at most `σ` mass, all of which
+    /// could be up or down, so `|ΔA| ≤ σ` — the availability-goal
+    /// counterpart of `waiting_error_bounds`. Product-form callers
+    /// compute availability in closed form from the marginals (error
+    /// exactly `0`); the bound is what screening uses when only the
+    /// truncated fold has been paid for. Zero when nothing was skipped.
+    #[serde(default)]
+    pub availability_bound: f64,
 }
 
 impl TruncationReport {
@@ -673,6 +683,7 @@ where
             skipped_mass,
             states_skipped,
             waiting_error_bounds,
+            availability_bound: skipped_mass,
         }),
     })
 }
@@ -965,6 +976,7 @@ mod tests {
         assert_eq!(t.states_skipped, 0);
         assert_eq!(t.skipped_mass, 0.0);
         assert_eq!(t.waiting_error_bounds, vec![0.0; 3]);
+        assert_eq!(t.availability_bound, 0.0);
     }
 
     #[test]
@@ -999,6 +1011,15 @@ mod tests {
             let t = truncated.truncation.clone().unwrap();
             assert!(t.covered_mass >= 1.0 - epsilon);
             assert!(t.skipped_mass <= epsilon);
+            // The fold-derived availability (1 − visited down mass) is
+            // within the reported availability bound of the exact value.
+            let delta_avail =
+                ((1.0 - exact.probability_down) - (1.0 - truncated.probability_down)).abs();
+            assert!(
+                delta_avail <= t.availability_bound + 1e-15,
+                "eps {epsilon}: |ΔA| {delta_avail:e} exceeds bound {:e}",
+                t.availability_bound
+            );
             for x in 0..reg.len() {
                 let delta = (exact.expected_waiting[x] - truncated.expected_waiting[x]).abs();
                 assert!(

@@ -247,6 +247,14 @@ pub struct RecommendParams {
     pub solver_max_iter: Option<u64>,
     /// `--strict` fail-fast mode.
     pub strict: Option<bool>,
+    /// `--screen-epsilon` (adaptive-e candidate screening tolerance;
+    /// absent or 0 disables screening).
+    pub screen_epsilon: Option<f64>,
+    /// `--rank-moves` (sensitivity-ranked growth moves).
+    pub rank_moves: Option<bool>,
+    /// Inverse of `--no-incremental` (absent = incremental delta
+    /// assessment on, matching the CLI default).
+    pub incremental: Option<bool>,
 }
 
 /// Parameters of [`METHOD_LINT`]; mirrors the `wfms lint` flags.

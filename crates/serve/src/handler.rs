@@ -218,9 +218,12 @@ impl Handler {
         let opts = build_search_options(
             params.avail_backend.as_deref(),
             params.strict.unwrap_or(false),
-            params.epsilon,
-            params.solver_tol,
-            params.solver_max_iter,
+            SearchKnobs {
+                epsilon: params.epsilon,
+                solver_tol: params.solver_tol,
+                solver_max_iter: params.solver_max_iter,
+                ..SearchKnobs::default()
+            },
         )?;
         let state = self.tenant_state(
             tenant_key(request),
@@ -278,9 +281,14 @@ impl Handler {
                 ..build_search_options(
                     params.avail_backend.as_deref(),
                     params.strict.unwrap_or(false),
-                    params.epsilon,
-                    params.solver_tol,
-                    params.solver_max_iter,
+                    SearchKnobs {
+                        epsilon: params.epsilon,
+                        solver_tol: params.solver_tol,
+                        solver_max_iter: params.solver_max_iter,
+                        screen_epsilon: params.screen_epsilon,
+                        rank_moves: params.rank_moves,
+                        incremental: params.incremental,
+                    },
                 )?
             }
         };
@@ -502,16 +510,35 @@ fn build_goals(max_wait: Option<f64>, min_availability: Option<f64>) -> Result<G
     Ok(goals)
 }
 
+/// The optional engine-tuning knobs of the assess/recommend payloads;
+/// `None` everywhere (the [`Default`]) leaves the engine defaults
+/// untouched.
+#[derive(Debug, Default)]
+struct SearchKnobs {
+    epsilon: Option<f64>,
+    solver_tol: Option<f64>,
+    solver_max_iter: Option<u64>,
+    screen_epsilon: Option<f64>,
+    rank_moves: Option<bool>,
+    incremental: Option<bool>,
+}
+
 /// Mirrors the CLI's `parse_search_options` exactly: backend + strict
 /// always, the optional knobs only when supplied (so defaults stay
 /// identical to the one-shot path).
 fn build_search_options(
     avail_backend: Option<&str>,
     strict: bool,
-    epsilon: Option<f64>,
-    solver_tol: Option<f64>,
-    solver_max_iter: Option<u64>,
+    knobs: SearchKnobs,
 ) -> Result<SearchOptions, Failure> {
+    let SearchKnobs {
+        epsilon,
+        solver_tol,
+        solver_max_iter,
+        screen_epsilon,
+        rank_moves,
+        incremental,
+    } = knobs;
     let backend = match avail_backend {
         None => AvailBackend::default(),
         Some(raw) => raw.parse().map_err(|reason| {
@@ -532,6 +559,15 @@ fn build_search_options(
     }
     if let Some(max_iter) = solver_max_iter {
         builder = builder.solver_max_iterations(max_iter as usize);
+    }
+    if let Some(screen) = screen_epsilon {
+        builder = builder.screen_epsilon(screen);
+    }
+    if let Some(rank) = rank_moves {
+        builder = builder.rank_moves(rank);
+    }
+    if let Some(incremental) = incremental {
+        builder = builder.incremental(incremental);
     }
     Ok(builder.build())
 }

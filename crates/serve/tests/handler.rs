@@ -286,3 +286,58 @@ fn sparse_client_json_decodes_with_defaults() {
     let message = no_goals.error.expect("error body").message;
     assert_eq!(message, "no performability goal specified");
 }
+
+#[test]
+fn recommend_incremental_and_screened_match_the_baseline_winner() {
+    // Satellite contract: the incremental delta-assessment path must be
+    // byte-identical to the from-scratch path on the wire, and the
+    // adaptive-e screen may change how much work the search pays but
+    // never which winner it returns. The CLI inherits this for free —
+    // `wfms recommend` dispatches through this same shared handler.
+    let handler = Handler::new(4);
+    let recommend = |tenant: &str, extra: Vec<(&str, Value)>| {
+        let mut pairs = vec![
+            ("registry", spec("ep", "registry.json")),
+            ("workload", spec("ep", "workload.json")),
+            ("max_wait", json(0.05)),
+            ("min_availability", json(0.9999)),
+            ("avail_backend", Value::String("product".to_string())),
+            ("epsilon", json(1e-9)),
+        ];
+        pairs.extend(extra);
+        handler.handle(&request(METHOD_RECOMMEND, tenant, obj(pairs)))
+    };
+
+    let baseline = recommend("t-baseline", vec![("incremental", json(false))]);
+    assert!(baseline.ok, "baseline recommend: {:?}", baseline.error);
+    let incremental = recommend("t-incremental", vec![("incremental", json(true))]);
+    assert!(
+        incremental.ok,
+        "incremental recommend: {:?}",
+        incremental.error
+    );
+
+    // The no-screen incremental leg is bit-identical end to end.
+    let baseline_bytes =
+        serde_json::to_string(&baseline.result).expect("serialize baseline result");
+    let incremental_bytes =
+        serde_json::to_string(&incremental.result).expect("serialize incremental result");
+    assert_eq!(baseline_bytes, incremental_bytes);
+
+    // The screened leg may skip exact assessments but must land on the
+    // same winner with a bitwise-equal winning assessment.
+    let screened = recommend(
+        "t-screened",
+        vec![("screen_epsilon", json(1e-2)), ("rank_moves", json(false))],
+    );
+    assert!(screened.ok, "screened recommend: {:?}", screened.error);
+    let base: wfms_proto::RecommendResult =
+        serde_json::from_value(baseline.result.expect("baseline result")).expect("typed baseline");
+    let scr: wfms_proto::RecommendResult =
+        serde_json::from_value(screened.result.expect("screened result")).expect("typed screened");
+    assert_eq!(base.configuration, scr.configuration);
+    assert_eq!(
+        serde_json::to_string(&base.assessment).expect("baseline assessment"),
+        serde_json::to_string(&scr.assessment).expect("screened assessment"),
+    );
+}

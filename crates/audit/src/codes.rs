@@ -28,6 +28,10 @@
 //!   names (`METHOD_*` constants in `wfms-proto`) must agree with the
 //!   DESIGN.md §13 protocol method table and the README Serving table
 //!   in both directions.
+//! * `A016` — **registry consistency, continued**: the wire error
+//!   vocabulary (`ERR_*` constants in `wfms-proto`) must agree with the
+//!   DESIGN.md §13 error-vocabulary table and the README error
+//!   vocabulary table in both directions.
 //!
 //! The [`all`] table carries the default severity, a one-line summary,
 //! and the DESIGN.md section whose contract the check enforces;
@@ -106,6 +110,14 @@ pub const A_DECISION_VOCAB_DRIFT: &str = "A014";
 /// clients over TCP, so they carry the same stability contract as the
 /// journal vocabulary — and the same drift check.
 pub const A_PROTO_METHOD_DRIFT: &str = "A015";
+
+/// The wire protocol's error vocabulary (`ERR_*` constants in
+/// `wfms-proto`) drifted from the DESIGN.md §13 error-vocabulary table
+/// or the README error vocabulary table (either direction). Error kinds
+/// drive client retry policy (`wfms call` retries `overloaded`,
+/// `unavailable`, and `deadline-exceeded`), so they carry the same
+/// stability contract as the method names — and the same drift check.
+pub const A_PROTO_ERROR_DRIFT: &str = "A016";
 
 /// One row of the audit-code registry.
 #[derive(Debug, Clone)]
@@ -221,6 +233,12 @@ pub fn all() -> Vec<CodeInfo> {
             A_PROTO_METHOD_DRIFT,
             Error,
             "the wire method names and their doc tables must match exactly",
+            "DESIGN.md \u{a7}13",
+        ),
+        info(
+            A_PROTO_ERROR_DRIFT,
+            Error,
+            "the wire error vocabulary and its doc tables must match exactly",
             "DESIGN.md \u{a7}13",
         ),
     ]

@@ -1,4 +1,4 @@
-//! Pass 1 — registry consistency (`A001`–`A005`, `A014`).
+//! Pass 1 — registry consistency (`A001`–`A005`, `A014`–`A016`).
 //!
 //! The repo's stable-name vocabularies each live in two places: the
 //! emission sites in code and a documentation table. This pass parses
@@ -21,7 +21,10 @@
 //!   decision-vocabulary table and the README Explainability table;
 //! * the **wire method names** — the `METHOD_*` constants of
 //!   `wfms-proto` vs the DESIGN.md §13 protocol method table and the
-//!   README Serving table.
+//!   README Serving table;
+//! * the **wire error vocabulary** — the `ERR_*` constants of
+//!   `wfms-proto` vs the DESIGN.md §13 error-vocabulary table and the
+//!   README error vocabulary table.
 //!
 //! Doc checks are skipped when the corresponding file is absent, so
 //! fixture workspaces only need the files relevant to the invariant
@@ -58,6 +61,7 @@ pub fn run(ws: &Workspace, diags: &mut Diagnostics) {
     check_diag_codes(ws, diags);
     check_decision_vocab(ws, diags);
     check_proto_methods(ws, diags);
+    check_proto_errors(ws, diags);
 }
 
 fn collect_emissions(
@@ -564,6 +568,72 @@ fn check_proto_methods(ws: &Workspace, diags: &mut Diagnostics) {
                 emit(
                     diags,
                     codes::A_PROTO_METHOD_DRIFT,
+                    format!("{what} lists `{name}`, which wfms-proto does not declare"),
+                    doc,
+                    *line,
+                );
+            }
+        }
+    }
+}
+
+/// The wire protocol's error vocabulary: `pub const ERR_*: &str`
+/// declarations in `wfms-proto` vs the DESIGN.md §13 error-vocabulary
+/// table and the README error vocabulary table, in both directions.
+/// Error kinds drive client retry policy (the retry client retries
+/// exactly the kinds `wfms_proto::is_retryable` blesses), so they carry
+/// the same stability contract as the method names — and the same
+/// drift check.
+fn check_proto_errors(ws: &Workspace, diags: &mut Diagnostics) {
+    const PROTO: &str = "crates/proto/src/lib.rs";
+    let Some(file) = ws.file(PROTO) else { return };
+    let mut errors = DocNames::new();
+    for (idx, code) in file.code.iter().enumerate() {
+        if !(code.contains("pub const") && code.contains("&str")) {
+            continue;
+        }
+        let is_error_const = code
+            .split_whitespace()
+            .skip_while(|w| *w != "const")
+            .nth(1)
+            .is_some_and(|w| w.starts_with("ERR_"));
+        if !is_error_const {
+            continue;
+        }
+        if let Some(value) = file.literals[idx].first() {
+            errors.entry(value.clone()).or_insert(idx + 1);
+        }
+    }
+
+    for (doc, what) in [
+        ("DESIGN.md", "DESIGN.md \u{a7}13 error-vocabulary table"),
+        ("README.md", "README.md error vocabulary table"),
+    ] {
+        let Some(lines) = ws.doc_lines(doc) else {
+            continue;
+        };
+        let documented = heading_scoped_names(&lines, "error vocabulary");
+        for (name, line) in &errors {
+            if file.allowed(codes::A_PROTO_ERROR_DRIFT, *line) {
+                continue;
+            }
+            if !documented.contains_key(name) {
+                emit(
+                    diags,
+                    codes::A_PROTO_ERROR_DRIFT,
+                    format!(
+                        "wire error kind `{name}` is declared here but missing from the {what}"
+                    ),
+                    PROTO,
+                    *line,
+                );
+            }
+        }
+        for (name, line) in &documented {
+            if !errors.contains_key(name) {
+                emit(
+                    diags,
+                    codes::A_PROTO_ERROR_DRIFT,
                     format!("{what} lists `{name}`, which wfms-proto does not declare"),
                     doc,
                     *line,

@@ -447,3 +447,77 @@ fn matching_wire_methods_are_clean() {
     let report = fx.audit();
     assert!(report.is_empty(), "report: {}", report.summary());
 }
+
+/// A minimal DESIGN.md whose error-vocabulary table lists exactly the
+/// given error kinds.
+fn error_doc(names: &[&str]) -> String {
+    let mut doc = String::from("### Error vocabulary\n\n| kind | meaning |\n|---|---|\n");
+    for name in names {
+        doc.push_str(&format!("| `{name}` | fixture |\n"));
+    }
+    doc
+}
+
+/// A proto module declaring exactly the given wire error kinds.
+fn proto_err_src(values: &[&str]) -> String {
+    let mut src = String::new();
+    for (idx, value) in values.iter().enumerate() {
+        src.push_str(&format!(
+            "pub const ERR_FIXTURE{idx}: &str = \"{value}\";\n"
+        ));
+    }
+    src
+}
+
+#[test]
+fn undocumented_wire_error_fires_a016() {
+    let fx = Fixture::new("a016-code");
+    fx.file(
+        "crates/proto/src/lib.rs",
+        &proto_err_src(&["documented-error", "mystery-error"]),
+    )
+    .file("DESIGN.md", &error_doc(&["documented-error"]));
+    let report = fx.audit();
+    assert!(
+        report
+            .with_code("A016")
+            .any(|d| d.message.contains("mystery-error")),
+        "expected A016 for the undocumented wire error kind, got: {}",
+        report.summary()
+    );
+    assert_eq!(codes(&report), vec!["A016"]);
+}
+
+#[test]
+fn stale_documented_wire_error_fires_a016() {
+    let fx = Fixture::new("a016-doc");
+    fx.file(
+        "crates/proto/src/lib.rs",
+        &proto_err_src(&["documented-error"]),
+    )
+    .file(
+        "DESIGN.md",
+        &error_doc(&["documented-error", "ghost-error"]),
+    );
+    let report = fx.audit();
+    assert!(
+        report
+            .with_code("A016")
+            .any(|d| d.message.contains("ghost-error")),
+        "expected A016 for the stale documented error kind, got: {}",
+        report.summary()
+    );
+    assert_eq!(codes(&report), vec!["A016"]);
+}
+
+#[test]
+fn matching_wire_errors_are_clean() {
+    let fx = Fixture::new("a016-clean");
+    fx.file(
+        "crates/proto/src/lib.rs",
+        &proto_err_src(&["fixture-error"]),
+    )
+    .file("DESIGN.md", &error_doc(&["fixture-error"]));
+    let report = fx.audit();
+    assert!(report.is_empty(), "report: {}", report.summary());
+}

@@ -149,6 +149,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "workload",
             "config",
             "max-wait",
+            "max-wait-type",
             "min-availability",
             "epsilon",
             "avail-backend",
@@ -163,6 +164,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             "registry",
             "workload",
             "max-wait",
+            "max-wait-type",
             "min-availability",
             "budget",
             "seed",
@@ -226,7 +228,33 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "serve",
-        options: &["listen", "tenants", "queue-depth"],
+        options: &[
+            "listen",
+            "tenants",
+            "queue-depth",
+            "workers",
+            "io-timeout",
+            "line-timeout",
+            "max-line-bytes",
+            "request-deadline",
+            "breaker-threshold",
+            "breaker-cooldown",
+            "drain-timeout",
+        ],
+        flags: &[],
+    },
+    CommandSpec {
+        name: "call",
+        options: &[
+            "addr",
+            "method",
+            "params",
+            "tenant",
+            "id",
+            "retries",
+            "backoff-ms",
+            "seed",
+        ],
         flags: &[],
     },
     CommandSpec {
@@ -632,6 +660,89 @@ mod tests {
         // --listen is serve-only.
         assert!(matches!(
             parse(&["assess", "--listen", "127.0.0.1:0"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+    }
+
+    #[test]
+    fn serve_resilience_options_parse() {
+        let a = parse(&[
+            "serve",
+            "--workers",
+            "2",
+            "--io-timeout",
+            "5000",
+            "--line-timeout",
+            "8000",
+            "--max-line-bytes",
+            "4096",
+            "--request-deadline",
+            "1500",
+            "--breaker-threshold",
+            "3",
+            "--breaker-cooldown",
+            "250",
+            "--drain-timeout",
+            "2000",
+        ])
+        .unwrap();
+        assert_eq!(a.get_u64("workers").unwrap(), Some(2));
+        assert_eq!(a.get_u64("io-timeout").unwrap(), Some(5000));
+        assert_eq!(a.get_u64("line-timeout").unwrap(), Some(8000));
+        assert_eq!(a.get_u64("max-line-bytes").unwrap(), Some(4096));
+        assert_eq!(a.get_u64("request-deadline").unwrap(), Some(1500));
+        assert_eq!(a.get_u64("breaker-threshold").unwrap(), Some(3));
+        assert_eq!(a.get_u64("breaker-cooldown").unwrap(), Some(250));
+        assert_eq!(a.get_u64("drain-timeout").unwrap(), Some(2000));
+        // The resilience knobs are serve-only.
+        assert!(matches!(
+            parse(&["assess", "--drain-timeout", "2000"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+    }
+
+    #[test]
+    fn call_options_parse_and_reject_strays() {
+        let a = parse(&[
+            "call",
+            "--addr",
+            "127.0.0.1:7414",
+            "--method",
+            "assess",
+            "--params",
+            "params.json",
+            "--tenant",
+            "acme",
+            "--retries",
+            "5",
+            "--backoff-ms",
+            "20",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(a.command, "call");
+        assert_eq!(a.get("addr"), Some("127.0.0.1:7414"));
+        assert_eq!(a.get("method"), Some("assess"));
+        assert_eq!(a.get("params"), Some("params.json"));
+        assert_eq!(a.get("tenant"), Some("acme"));
+        assert_eq!(a.get_u64("retries").unwrap(), Some(5));
+        assert_eq!(a.get_u64("backoff-ms").unwrap(), Some(20));
+        assert_eq!(a.get_u64("seed").unwrap(), Some(7));
+        assert!(matches!(
+            parse(&["call", "--registry", "r.json"]).unwrap_err(),
+            ArgError::UnknownFlag { .. }
+        ));
+    }
+
+    #[test]
+    fn per_type_waiting_goal_parses_on_assess_and_recommend() {
+        for command in ["assess", "recommend"] {
+            let a = parse(&[command, "--max-wait-type", "AS=0.05,DBS=0.02"]).unwrap();
+            assert_eq!(a.get("max-wait-type"), Some("AS=0.05,DBS=0.02"));
+        }
+        assert!(matches!(
+            parse(&["simulate", "--max-wait-type", "AS=0.05"]).unwrap_err(),
             ArgError::UnknownFlag { .. }
         ));
     }

@@ -6,6 +6,7 @@
 
 use std::io::Write;
 use std::path::Path;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -26,8 +27,8 @@ use wfms_core::config::journal;
 
 use serde_json::Value;
 use wfms_proto::{
-    AssessParams, AssessResult, RecommendParams, RecommendResult, Request, METHOD_ASSESS,
-    METHOD_RECOMMEND,
+    AssessParams, AssessResult, PerTypeWait, RecommendParams, RecommendResult, Request, Response,
+    METHOD_ASSESS, METHOD_RECOMMEND, PROTOCOL_VERSION,
 };
 use wfms_serve::Handler;
 
@@ -145,13 +146,69 @@ fn load_tool(args: &ParsedArgs) -> Result<ConfigurationTool, CliError> {
 fn parse_goals(args: &ParsedArgs) -> Result<Goals, CliError> {
     let max_wait = args.get_f64("max-wait")?;
     let min_availability = args.get_f64("min-availability")?;
+    // Named per-type goals (`--max-wait-type`) count toward "some goal
+    // was specified"; their names are resolved against the registry by
+    // the request handler, so placeholder indices suffice here.
+    let per_type_waiting = parse_per_type_waits(args)?
+        .map(|entries| {
+            entries
+                .iter()
+                .enumerate()
+                .map(|(index, entry)| (index, entry.max_wait))
+                .collect()
+        })
+        .unwrap_or_default();
     let goals = Goals {
         max_waiting_time: max_wait,
         min_availability,
-        per_type_waiting: Vec::new(),
+        per_type_waiting,
     };
     goals.validate()?;
     Ok(goals)
+}
+
+/// Parses `--max-wait-type NAME=minutes[,NAME=minutes..]` into the wire
+/// form. Server-type names are resolved against the registry by the
+/// request handler, so the CLI and a remote daemon client report the
+/// same `invalid-params` message for an unknown name.
+fn parse_per_type_waits(args: &ParsedArgs) -> Result<Option<Vec<PerTypeWait>>, CliError> {
+    let Some(raw) = args.get("max-wait-type") else {
+        return Ok(None);
+    };
+    let invalid = |reason: String| {
+        CliError::Arg(ArgError::InvalidValue {
+            option: "max-wait-type".into(),
+            value: raw.into(),
+            reason,
+        })
+    };
+    let mut waits = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = part.split_once('=') else {
+            return Err(invalid(format!("expected NAME=minutes, got {part:?}")));
+        };
+        let max_wait = value
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| invalid(format!("bad minutes for {name:?}: {e}")))?;
+        if !max_wait.is_finite() || max_wait <= 0.0 {
+            return Err(invalid(format!(
+                "minutes for {name:?} must be finite and positive"
+            )));
+        }
+        waits.push(PerTypeWait {
+            server_type: name.trim().to_string(),
+            max_wait,
+        });
+    }
+    if waits.is_empty() {
+        return Err(invalid("no NAME=minutes entries given".to_string()));
+    }
+    Ok(Some(waits))
 }
 
 fn parse_config(
@@ -301,7 +358,8 @@ COMMANDS
   availability --registry <file> --config <y1,y2,..>
                [--avail-backend auto|dense|sparse|product] [--json]
   assess       --registry <file> --workload <file> --config <y1,..>
-               [--max-wait <min>] [--min-availability <a>]
+               [--max-wait <min>] [--max-wait-type <NAME=min,..>]
+               [--min-availability <a>]
                [--epsilon <e>] [--avail-backend auto|dense|sparse|product]
                [--solver-tol <t>] [--solver-max-iter <n>] [--strict]
                [--json]
@@ -310,7 +368,8 @@ COMMANDS
                probability until mass >= 1-e; the report carries the
                covered mass and a sound waiting-time error bound
   recommend    --registry <file> --workload <file>
-               [--max-wait <min>] [--min-availability <a>]
+               [--max-wait <min>] [--max-wait-type <NAME=min,..>]
+               [--min-availability <a>]
                [--budget <servers>] [--jobs <n>] [--epsilon <e>]
                [--avail-backend auto|dense|sparse|product]
                [--solver-tol <t>] [--solver-max-iter <n>] [--strict]
@@ -365,14 +424,41 @@ COMMANDS
                [--view chart|ctmc] [--out <file>]
                Graphviz source for the Fig. 3 chart or Fig. 4 CTMC view
   serve        [--listen <addr>] [--tenants <n>] [--queue-depth <n>]
+               [--workers <n>] [--io-timeout <ms>] [--line-timeout <ms>]
+               [--max-line-bytes <n>] [--request-deadline <ms>]
+               [--breaker-threshold <n>] [--breaker-cooldown <ms>]
+               [--drain-timeout <ms>]
                persistent multi-tenant assessment daemon: line-JSON
                requests over TCP (one compact JSON object per line;
                methods assess, recommend, lint, profile-snapshot,
-               metrics, shutdown), one warm assessment engine per
-               tenant id (LRU-bounded, default 8), a bounded connection
-               queue (default 64) that sheds overflow with an
+               metrics, health, shutdown), one warm assessment engine
+               per tenant id (LRU-bounded, default 8), a bounded
+               connection queue (default 64) that sheds overflow with an
                `overloaded` response, and graceful shutdown on a
-               `shutdown` request; defaults to 127.0.0.1:7414
+               `shutdown` request; defaults to 127.0.0.1:7414.
+               Resilience: per-connection read/write deadlines
+               (--io-timeout, default 30000) with a slow-loris line
+               deadline (--line-timeout, default 60000) and a bounded
+               request-line length (--max-line-bytes, default 16 MiB);
+               an optional per-request compute deadline answering
+               `deadline-exceeded` (--request-deadline, default off);
+               per-tenant circuit breakers that shed a failing tenant
+               fast with `unavailable` + a retry-after hint
+               (--breaker-threshold consecutive failures open one,
+               0 disables; --breaker-cooldown before the half-open
+               probe, default 1000); graceful drain finishing in-flight
+               work for up to --drain-timeout ms (default 5000) after
+               shutdown; panicking requests are contained, counted, and
+               the worker pool stays at full strength
+  call         --method <name> [--addr <host:port>] [--params <file>]
+               [--tenant <id>] [--id <s>] [--retries <n>]
+               [--backoff-ms <ms>] [--seed <n>]
+               one-shot line-JSON client for a running daemon: sends the
+               request and prints the response line verbatim; connection
+               failures and retryable error kinds (overloaded,
+               unavailable, deadline-exceeded) are retried with
+               seeded-jittered exponential backoff (deterministic for a
+               fixed --seed), honoring any `retry after <n>ms` hint
   help         this text
 
 GLOBAL OPTIONS (every command)
@@ -500,6 +586,7 @@ fn dispatch(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         "sensitivity" => cmd_sensitivity(args, out),
         "export-dot" => cmd_export_dot(args, out),
         "serve" => cmd_serve(args, out),
+        "call" => cmd_call(args, out),
         other => Err(CliError::UnknownCommand {
             command: other.to_string(),
         }),
@@ -791,6 +878,7 @@ fn cmd_assess(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         solver_tol: args.get_f64("solver-tol")?,
         solver_max_iter: args.get_u64("solver-max-iter")?,
         strict: args.flag("strict").then_some(true),
+        per_type_max_wait: parse_per_type_waits(args)?,
     };
     let request = Request::new(METHOD_ASSESS, encode_params(&params)?);
     let result: AssessResult = remote_result(Handler::new(1).handle(&request))?;
@@ -875,6 +963,7 @@ fn cmd_recommend(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError
         screen_epsilon: args.get_f64("screen-epsilon")?,
         rank_moves: args.flag("rank-moves").then_some(true),
         incremental: args.flag("no-incremental").then_some(false),
+        per_type_max_wait: parse_per_type_waits(args)?,
     };
     let request = Request::new(METHOD_RECOMMEND, encode_params(&params)?);
     let result: RecommendResult = remote_result(Handler::new(1).handle(&request))?;
@@ -923,7 +1012,21 @@ fn cmd_serve(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
     let defaults = wfms_serve::ServeOptions::default();
     let tenants = args.get_u64("tenants")?;
     let queue_depth = args.get_u64("queue-depth")?;
-    for (option, value) in [("tenants", tenants), ("queue-depth", queue_depth)] {
+    let workers = args.get_u64("workers")?;
+    let io_timeout = args.get_u64("io-timeout")?;
+    let line_timeout = args.get_u64("line-timeout")?;
+    let max_line_bytes = args.get_u64("max-line-bytes")?;
+    let request_deadline = args.get_u64("request-deadline")?;
+    let drain_timeout = args.get_u64("drain-timeout")?;
+    for (option, value) in [
+        ("tenants", tenants),
+        ("queue-depth", queue_depth),
+        ("workers", workers),
+        ("io-timeout", io_timeout),
+        ("line-timeout", line_timeout),
+        ("max-line-bytes", max_line_bytes),
+        ("request-deadline", request_deadline),
+    ] {
         if value == Some(0) {
             return Err(CliError::Arg(ArgError::InvalidValue {
                 option: option.into(),
@@ -932,6 +1035,7 @@ fn cmd_serve(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
             }));
         }
     }
+    let ms = Duration::from_millis;
     let opts = wfms_serve::ServeOptions {
         listen: args
             .get("listen")
@@ -941,7 +1045,26 @@ fn cmd_serve(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
         queue_depth: queue_depth
             .map(|v| v as usize)
             .unwrap_or(defaults.queue_depth),
-        workers: defaults.workers,
+        workers: workers.map(|v| v as usize).unwrap_or(defaults.workers),
+        io_timeout: io_timeout.map(ms).unwrap_or(defaults.io_timeout),
+        line_timeout: line_timeout.map(ms).unwrap_or(defaults.line_timeout),
+        max_line_bytes: max_line_bytes
+            .map(|v| v as usize)
+            .unwrap_or(defaults.max_line_bytes),
+        request_deadline: request_deadline.map(ms).or(defaults.request_deadline),
+        // 0 is meaningful for both breaker knobs: threshold 0 disables
+        // breakers, cooldown 0 probes immediately.
+        breaker_threshold: args
+            .get_u64("breaker-threshold")?
+            .map(|v| v as u32)
+            .unwrap_or(defaults.breaker_threshold),
+        breaker_cooldown: args
+            .get_u64("breaker-cooldown")?
+            .map(ms)
+            .unwrap_or(defaults.breaker_cooldown),
+        // 0 is meaningful here too: shed everything still queued at
+        // shutdown instead of finishing it.
+        drain_timeout: drain_timeout.map(ms).unwrap_or(defaults.drain_timeout),
     };
     wfms_serve::serve(&opts, out).map_err(|e| match e {
         wfms_serve::ServeError::Bind { addr, message } => CliError::Io {
@@ -952,6 +1075,136 @@ fn cmd_serve(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
             path: "<serve>".to_string(),
             message,
         },
+    })
+}
+
+/// Caps the retry client's exponential backoff so a long retry budget
+/// cannot sleep for minutes between attempts.
+const CALL_BACKOFF_CAP_MS: u64 = 10_000;
+
+/// Per-attempt socket deadline of the retry client (connect, write,
+/// and read each get this long).
+const CALL_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The splitmix64 mixer — the same generator the simulator seeds
+/// streams with; here it derives the deterministic retry jitter from
+/// `--seed` and the attempt number.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Extracts the `retry after <n>ms` hint a breaker-open `unavailable`
+/// response carries, if any.
+fn retry_after_hint(message: &str) -> Option<u64> {
+    let (_, rest) = message.split_once("retry after ")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    let tail = rest.get(digits.len()..)?;
+    if digits.is_empty() || !tail.starts_with("ms") {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// One attempt of the retry client: connect, send the request line,
+/// read one response line. I/O failures come back as a displayable
+/// string so the retry loop can keep the last one for its report.
+fn call_once(addr: &str, line: &str) -> Result<String, String> {
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(CALL_IO_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(CALL_IO_TIMEOUT)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut reader = std::io::BufReader::new(stream);
+    let mut response = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut response).map_err(|e| e.to_string())?;
+    if response.is_empty() {
+        return Err("connection closed before a response line arrived".to_string());
+    }
+    Ok(response.trim_end_matches(['\r', '\n']).to_string())
+}
+
+/// `wfms call`: a retrying line-JSON client for a running daemon.
+/// Sends one request and prints the response line verbatim (so piping
+/// `wfms call` output compares byte-for-byte with any other client).
+/// Connection failures and the retryable error kinds (`overloaded`,
+/// `unavailable`, `deadline-exceeded`) are retried under seeded-jittered
+/// exponential backoff, honoring a `retry after <n>ms` hint when the
+/// response carries one; every other response is final.
+fn cmd_call(args: &ParsedArgs, out: &mut impl Write) -> Result<(), CliError> {
+    let defaults = wfms_serve::ServeOptions::default();
+    let addr = args
+        .get("addr")
+        .map(str::to_string)
+        .unwrap_or(defaults.listen);
+    let method = args.require("method")?.to_string();
+    let params = match args.get("params") {
+        Some(path) => read_value(path)?,
+        None => Value::Null,
+    };
+    let request = Request {
+        v: PROTOCOL_VERSION,
+        id: args.get("id").map(str::to_string),
+        tenant: args.get("tenant").map(str::to_string),
+        method,
+        params,
+    };
+    let line = serde_json::to_string(&request).map_err(|e| CliError::Json {
+        path: "<request>".to_string(),
+        message: e.to_string(),
+    })?;
+    let retries = args.get_u64("retries")?.unwrap_or(5);
+    let base_backoff = args.get_u64("backoff-ms")?.unwrap_or(100).max(1);
+    let seed = args.get_u64("seed")?.unwrap_or(42);
+
+    let mut last_error = String::new();
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            // Exponential base with deterministic jitter in [0, base/2],
+            // stretched to any retry-after hint the server gave us.
+            let exp = base_backoff.saturating_mul(1u64 << attempt.min(10).saturating_sub(1));
+            let capped = exp.min(CALL_BACKOFF_CAP_MS);
+            let jitter = splitmix64(seed ^ attempt) % (capped / 2 + 1);
+            let mut delay = capped + jitter;
+            if let Some(hint) = retry_after_hint(&last_error) {
+                delay = delay.max(hint);
+            }
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        match call_once(&addr, &line) {
+            Ok(response_line) => {
+                let parsed: Result<Response, _> = serde_json::from_str(&response_line);
+                let retryable_kind = parsed
+                    .ok()
+                    .filter(|r| !r.ok)
+                    .and_then(|r| r.error)
+                    .filter(|e| wfms_proto::is_retryable(&e.kind));
+                match retryable_kind {
+                    Some(e) if attempt < retries => {
+                        last_error = e.message;
+                    }
+                    _ => {
+                        // Final answer (success, non-retryable failure,
+                        // or retries exhausted): print it verbatim.
+                        writeln!(out, "{response_line}")?;
+                        return Ok(());
+                    }
+                }
+            }
+            Err(message) => last_error = message,
+        }
+    }
+    Err(CliError::Io {
+        path: addr,
+        message: format!("no response after {retries} retries: {last_error}"),
     })
 }
 

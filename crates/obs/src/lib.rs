@@ -102,6 +102,19 @@
 //! | `config.degraded-assessments` | counter | `wfms-config` | assessments that carried a `DegradationReport` |
 //! | `solver.budget-exhausted` | counter | `wfms-markov` | resilient-solve stages that ran out of iterations before converging |
 //!
+//! The serving resilience layer (DESIGN.md §13) adds five more. The
+//! first two must stay **zero** on a clean daemon run — a nonzero
+//! value means a request panicked or a tenant's circuit breaker
+//! opened — and the CI chaos job gates on exactly that:
+//!
+//! | metric | kind | emitted by | meaning |
+//! |---|---|---|---|
+//! | `serve.worker-panic` | counter | `wfms-serve` | requests whose handler panicked and was contained by the worker watchdog (the pool stays at full strength) |
+//! | `serve.breaker-open` | counter | `wfms-serve` | open (or re-open) edges of a per-tenant circuit breaker |
+//! | `serve.accept-error` | counter | `wfms-serve` | transient accept-loop failures, retried under bounded backoff |
+//! | `serve.deadline-exceeded` | counter | `wfms-serve` | requests abandoned at the per-request compute deadline |
+//! | `serve.shed-undelivered` | counter | `wfms-serve` | shed connections whose `overloaded` response could not be delivered (client never read, or the shed lane was saturated) |
+//!
 //! ```
 //! wfms_obs::global().reset();
 //! wfms_obs::enable();

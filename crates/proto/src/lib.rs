@@ -57,11 +57,16 @@ pub const METHOD_PROFILE_SNAPSHOT: &str = "profile-snapshot";
 /// queue gauges.
 pub const METHOD_METRICS: &str = "metrics";
 /// Graceful shutdown (the SIGTERM-equivalent request): the server
-/// acknowledges, stops accepting, and exits cleanly.
+/// acknowledges, stops accepting, drains in-flight work up to the drain
+/// deadline, and exits cleanly.
 pub const METHOD_SHUTDOWN: &str = "shutdown";
+/// Serving-layer liveness: ready/draining state, queue gauges, breaker
+/// states, and the worker-panic tally (the probe a load balancer or
+/// retry client polls).
+pub const METHOD_HEALTH: &str = "health";
 
 /// Every method name the protocol defines, in table order.
-pub fn methods() -> [&'static str; 6] {
+pub fn methods() -> [&'static str; 7] {
     [
         METHOD_ASSESS,
         METHOD_RECOMMEND,
@@ -69,6 +74,7 @@ pub fn methods() -> [&'static str; 6] {
         METHOD_PROFILE_SNAPSHOT,
         METHOD_METRICS,
         METHOD_SHUTDOWN,
+        METHOD_HEALTH,
     ]
 }
 
@@ -91,6 +97,35 @@ pub const ERR_LINT: &str = "lint";
 /// The bounded work queue is full; retry later (the `429` of this
 /// protocol — the server sheds load instead of growing memory).
 pub const ERR_OVERLOADED: &str = "overloaded";
+/// The handler overran the per-request compute deadline; the work was
+/// abandoned and the request must be retried (or the deadline raised).
+pub const ERR_DEADLINE_EXCEEDED: &str = "deadline-exceeded";
+/// The server cannot serve this request right now — the tenant's
+/// circuit breaker is open or the daemon is draining. Retryable; the
+/// message carries a `retry after <n>ms` hint when one is known.
+pub const ERR_UNAVAILABLE: &str = "unavailable";
+
+/// Every error kind the protocol defines, in table order.
+pub fn errors() -> [&'static str; 9] {
+    [
+        ERR_BAD_REQUEST,
+        ERR_UNSUPPORTED_VERSION,
+        ERR_UNKNOWN_METHOD,
+        ERR_INVALID_PARAMS,
+        ERR_TOOL,
+        ERR_LINT,
+        ERR_OVERLOADED,
+        ERR_DEADLINE_EXCEEDED,
+        ERR_UNAVAILABLE,
+    ]
+}
+
+/// True when a client should retry the same request after backing off:
+/// the failure is a serving-layer condition (shed, open breaker,
+/// draining, or an overrun deadline), not a property of the request.
+pub fn is_retryable(kind: &str) -> bool {
+    kind == ERR_OVERLOADED || kind == ERR_UNAVAILABLE || kind == ERR_DEADLINE_EXCEEDED
+}
 
 // ------------------------------------------------------------ envelope
 
@@ -186,6 +221,18 @@ impl Response {
 
 // -------------------------------------------------------------- params
 
+/// One per-server-type waiting-time goal (Sec. 7.1's refinement of the
+/// global threshold), carried in [`AssessParams`] /
+/// [`RecommendParams`]. The type is named, not indexed, so a client
+/// does not need to know registry order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerTypeWait {
+    /// The server type's name as registered in the registry document.
+    pub server_type: String,
+    /// Maximum acceptable mean waiting time for that type, in minutes.
+    pub max_wait: f64,
+}
+
 /// Parameters of [`METHOD_ASSESS`]. The registry and workload ride as
 /// the same JSON values the on-disk `registry.json` / `workload.json`
 /// files hold; the remaining fields mirror the `wfms assess` flags
@@ -212,6 +259,10 @@ pub struct AssessParams {
     pub solver_max_iter: Option<u64>,
     /// `--strict` fail-fast mode (absent = graceful degradation).
     pub strict: Option<bool>,
+    /// Per-server-type waiting-time goals (`--max-wait-type`),
+    /// refining — and overriding, for the named types — the global
+    /// `max_wait`.
+    pub per_type_max_wait: Option<Vec<PerTypeWait>>,
 }
 
 /// Parameters of [`METHOD_RECOMMEND`]; mirrors the `wfms recommend`
@@ -255,6 +306,10 @@ pub struct RecommendParams {
     /// Inverse of `--no-incremental` (absent = incremental delta
     /// assessment on, matching the CLI default).
     pub incremental: Option<bool>,
+    /// Per-server-type waiting-time goals (`--max-wait-type`),
+    /// refining — and overriding, for the named types — the global
+    /// `max_wait`.
+    pub per_type_max_wait: Option<Vec<PerTypeWait>>,
 }
 
 /// Parameters of [`METHOD_LINT`]; mirrors the `wfms lint` flags.
@@ -400,6 +455,35 @@ pub struct ShutdownResult {
     pub stopping: bool,
 }
 
+/// One tenant's circuit-breaker state carried in [`HealthResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerStatus {
+    /// The tenant key the breaker guards.
+    pub tenant: String,
+    /// `closed`, `open`, or `half-open`.
+    pub state: String,
+    /// Consecutive handler failures observed (resets on success).
+    pub consecutive_failures: u64,
+    /// Milliseconds until an open breaker admits its half-open probe
+    /// (`0` when closed or already probing).
+    pub retry_after_ms: u64,
+}
+
+/// Result of [`METHOD_HEALTH`]: the serving layer's own availability
+/// surface, reported without touching any tenant engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthResult {
+    /// `ready` while accepting work, `draining` once shutdown started.
+    pub state: String,
+    /// Bounded-queue gauges (same values as under `metrics`).
+    pub queue: QueueGauges,
+    /// Per-tenant circuit-breaker states, in tenant order. Empty when
+    /// breakers are disabled (the one-shot in-process handler).
+    pub breakers: Vec<BreakerStatus>,
+    /// Worker panics contained by the watchdog since startup.
+    pub worker_panics: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +506,7 @@ mod tests {
                 solver_tol: None,
                 solver_max_iter: None,
                 strict: None,
+                per_type_max_wait: None,
             })
             .expect("params serialize"),
         };
@@ -470,12 +555,45 @@ mod tests {
     #[test]
     fn method_registry_is_stable() {
         let names = methods();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         for name in names {
             assert!(
                 name.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
                 "method names are stable kebab-case: {name}"
             );
         }
+    }
+
+    #[test]
+    fn error_registry_is_stable() {
+        let kinds = errors();
+        assert_eq!(kinds.len(), 9);
+        for kind in kinds {
+            assert!(
+                kind.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "error kinds are stable kebab-case: {kind}"
+            );
+        }
+        // Exactly the serving-layer conditions are retryable.
+        let retryable: Vec<&str> = kinds.into_iter().filter(|k| is_retryable(k)).collect();
+        assert_eq!(
+            retryable,
+            [ERR_OVERLOADED, ERR_DEADLINE_EXCEEDED, ERR_UNAVAILABLE]
+        );
+    }
+
+    #[test]
+    fn per_type_goals_ride_the_params() {
+        let sparse = "{\"registry\": {}, \"workload\": {}, \"config\": [1]}";
+        let params: AssessParams = serde_json::from_str(sparse).expect("sparse params parse");
+        assert_eq!(params.per_type_max_wait, None);
+
+        let full = "{\"registry\": {}, \"workload\": {}, \"config\": [1], \
+                    \"per_type_max_wait\": [{\"server_type\": \"WFMS\", \"max_wait\": 0.02}]}";
+        let params: AssessParams = serde_json::from_str(full).expect("full params parse");
+        let goals = params.per_type_max_wait.expect("goals present");
+        assert_eq!(goals.len(), 1);
+        assert_eq!(goals[0].server_type, "WFMS");
+        assert!((goals[0].max_wait - 0.02).abs() < 1e-12);
     }
 }

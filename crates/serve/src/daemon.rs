@@ -5,17 +5,51 @@
 //! `try_send`s each connection to a fixed worker pool and sheds with an
 //! `overloaded` error response when the queue is full — memory stays
 //! bounded no matter how fast clients arrive.
+//!
+//! On top of that sits the resilience layer (DESIGN.md §13, resilience
+//! contract):
+//!
+//! * **I/O deadlines** — every connection reads and writes under
+//!   timeouts, request lines are length-bounded (typed `bad-request`
+//!   beyond the cap), and a slow-loris client dribbling a line is timed
+//!   out by an overall per-line deadline, so no client can pin a worker.
+//! * **A worker watchdog** — each connection is served inside
+//!   `catch_unwind`; a panicking request is contained, counted
+//!   (`serve.worker-panic`), and the worker rejoins the pool at full
+//!   strength. An optional per-request compute deadline abandons an
+//!   overrunning handler and answers `deadline-exceeded`.
+//! * **Off-thread shedding** — `overloaded` responses are written by a
+//!   dedicated shed thread under a short write timeout, so a shed
+//!   client that never reads cannot stall admission
+//!   (`serve.shed-undelivered` counts the ones that never got the
+//!   response).
+//! * **Accept-error backoff** — transient accept failures are counted
+//!   (`serve.accept-error`) and retried under bounded exponential
+//!   backoff instead of being silently swallowed.
+//! * **Graceful drain** — shutdown stops accepting, finishes in-flight
+//!   work up to `--drain-timeout`, and sheds the rest with a typed
+//!   `unavailable` response.
+//!
+//! All of it is off the clean path: with no fault injected and no
+//! deadline tripped, responses and the ready/stop lines are
+//! byte-identical to the pre-resilience daemon.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
+use std::time::{Duration, Instant};
 
-use wfms_proto::{Request, Response, ERR_BAD_REQUEST, ERR_OVERLOADED, METHOD_SHUTDOWN};
+use wfms_proto::{
+    Request, Response, ERR_BAD_REQUEST, ERR_DEADLINE_EXCEEDED, ERR_OVERLOADED, ERR_UNAVAILABLE,
+    METHOD_SHUTDOWN,
+};
 
 use crate::handler::Handler;
+use crate::resilience::BreakerPolicy;
 
 /// Options of one `wfms serve` run.
 #[derive(Debug, Clone)]
@@ -30,6 +64,28 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Worker threads serving admitted connections.
     pub workers: usize,
+    /// Idle-connection limit: a connection quiet for longer is closed.
+    /// Also the per-syscall write timeout.
+    pub io_timeout: Duration,
+    /// Overall deadline to receive one full request line once its first
+    /// byte arrived (the slow-loris guard).
+    pub line_timeout: Duration,
+    /// Maximum request-line length; longer lines are rejected with a
+    /// typed `bad-request` and the connection closes.
+    pub max_line_bytes: usize,
+    /// Per-request compute deadline: an overrunning handler is
+    /// abandoned and answered with `deadline-exceeded`. `None` (the
+    /// default) disables the deadline — the clean path spawns no
+    /// per-request thread.
+    pub request_deadline: Option<Duration>,
+    /// Consecutive handler failures that open a tenant's circuit
+    /// breaker; `0` disables breakers.
+    pub breaker_threshold: u32,
+    /// Open-breaker cooldown before the half-open probe is admitted.
+    pub breaker_cooldown: Duration,
+    /// After shutdown, in-flight work may finish for at most this long;
+    /// connections still queued past the deadline are shed typed.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServeOptions {
@@ -39,6 +95,13 @@ impl Default for ServeOptions {
             tenants: 8,
             queue_depth: 64,
             workers: 4,
+            io_timeout: Duration::from_secs(30),
+            line_timeout: Duration::from_secs(60),
+            max_line_bytes: 16 * 1024 * 1024,
+            request_deadline: None,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(1000),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -76,11 +139,52 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// How long the shed thread will wait on a client that never reads its
+/// `overloaded` response before giving up on it.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(1000);
+
+/// Pending sheds the shed thread will buffer; beyond this, shed
+/// connections are dropped undelivered (and counted).
+const SHED_QUEUE_DEPTH: usize = 32;
+
+/// Per-syscall read-poll granularity: short enough that drain and
+/// deadline checks stay responsive, invisible to well-behaved clients.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Consecutive accept failures tolerated before the daemon gives up
+/// (a persistent accept error means the socket is gone).
+const MAX_ACCEPT_FAILURES: u32 = 100;
+
 /// State shared between the accept loop and the workers.
 struct Shared {
     handler: Handler,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    io_timeout: Duration,
+    line_timeout: Duration,
+    max_line_bytes: usize,
+    request_deadline: Option<Duration>,
+    drain_timeout: Duration,
+    drain_deadline: Mutex<Option<Instant>>,
+}
+
+impl Shared {
+    /// Begins the drain phase (idempotent): the handler reports
+    /// `draining` and in-flight work gets until the deadline.
+    fn start_drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handler.set_draining(true);
+        let mut deadline = lock(&self.drain_deadline);
+        if deadline.is_none() {
+            *deadline = Some(Instant::now() + self.drain_timeout);
+        }
+    }
+
+    /// True once the drain deadline has passed (never true before the
+    /// drain started).
+    fn past_drain_deadline(&self) -> bool {
+        lock(&self.drain_deadline).is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// Locks a mutex, riding through poisoning (a panicking worker must not
@@ -118,10 +222,21 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), ServeError
     wfms_obs::global().reset();
     wfms_obs::enable();
 
+    let handler = Handler::new(tenants);
+    handler.set_breaker_policy(BreakerPolicy {
+        threshold: opts.breaker_threshold,
+        cooldown: opts.breaker_cooldown,
+    });
     let shared = Arc::new(Shared {
-        handler: Handler::new(tenants),
+        handler,
         shutdown: AtomicBool::new(false),
         addr,
+        io_timeout: opts.io_timeout,
+        line_timeout: opts.line_timeout,
+        max_line_bytes: opts.max_line_bytes.max(1),
+        request_deadline: opts.request_deadline,
+        drain_timeout: opts.drain_timeout,
+        drain_deadline: Mutex::new(None),
     });
     shared
         .handler
@@ -137,6 +252,18 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), ServeError
         message: e.to_string(),
     })?;
 
+    // The shed lane: `overloaded` responses are written off the accept
+    // thread under a short write timeout, so a shed client that never
+    // reads cannot stall admission for everyone else.
+    let (shed_tx, shed_rx) = sync_channel::<TcpStream>(SHED_QUEUE_DEPTH);
+    let shed_thread = thread::spawn(move || {
+        while let Ok(stream) = shed_rx.recv() {
+            if shed(stream).is_err() {
+                wfms_obs::counter("serve.shed-undelivered", 1);
+            }
+        }
+    });
+
     let (tx, rx) = sync_channel::<TcpStream>(queue_depth);
     let rx = Arc::new(Mutex::new(rx));
     let mut pool = Vec::with_capacity(workers);
@@ -150,34 +277,70 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), ServeError
             match conn {
                 Ok(stream) => {
                     shared.handler.queue().dequeued();
-                    serve_connection(&shared, stream);
+                    // The watchdog: a panicking request (e.g. the
+                    // `serve.handle` error fault) is contained here, so
+                    // the pool never shrinks — the worker rejoins at
+                    // full strength for the next connection.
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| serve_connection(&shared, stream)));
+                    if outcome.is_err() {
+                        shared.handler.note_worker_panic();
+                    }
                 }
                 Err(_) => break,
             }
         }));
     }
 
+    let mut accept_failures: u32 = 0;
     for conn in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = conn else { continue };
+        let stream = match conn {
+            Ok(stream) => {
+                accept_failures = 0;
+                stream
+            }
+            Err(_) => {
+                // Transient accept failures (EMFILE, ECONNABORTED, …)
+                // are counted and retried under bounded backoff instead
+                // of being silently swallowed; a persistent run means
+                // the socket is gone and the daemon drains.
+                wfms_obs::counter("serve.accept-error", 1);
+                accept_failures += 1;
+                if accept_failures >= MAX_ACCEPT_FAILURES {
+                    break;
+                }
+                let shift = accept_failures.min(7);
+                thread::sleep(Duration::from_millis(1u64 << shift));
+                continue;
+            }
+        };
         match tx.try_send(stream) {
             Ok(()) => shared.handler.queue().enqueued(),
             Err(TrySendError::Full(stream)) => {
                 shared.handler.queue().shed();
-                shed(stream);
+                if shed_tx.try_send(stream).is_err() {
+                    // The shed lane itself is saturated: close the
+                    // connection without a response rather than block.
+                    wfms_obs::counter("serve.shed-undelivered", 1);
+                }
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
     }
 
-    // Closing the sender lets each worker's `recv` fail once the queue
-    // drains; join so in-flight responses finish before exit.
+    // Drain: stop accepting, let in-flight work finish up to the drain
+    // deadline (workers shed connections they pick up past it), then
+    // join so every delivered response is flushed before exit.
+    shared.start_drain();
     drop(tx);
+    drop(shed_tx);
     for worker in pool {
         let _ = worker.join();
     }
+    let _ = shed_thread.join();
     writeln!(out, "wfms serve: stopped")
         .and_then(|()| out.flush())
         .map_err(|e| ServeError::Io {
@@ -186,26 +349,188 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), ServeError
     Ok(())
 }
 
+/// Outcome of reading one request line under the I/O deadlines.
+enum ReadOutcome {
+    /// A complete line (without its terminator).
+    Line(String),
+    /// Clean end of stream, a connection error, or an injected
+    /// `serve.read` fault — close without a response.
+    Closed,
+    /// The line exceeded `max_line_bytes`.
+    TooLong,
+    /// The idle or per-line deadline expired.
+    TimedOut {
+        /// Which deadline fired, for the diagnostic message.
+        what: &'static str,
+        /// The deadline that was exceeded.
+        limit: Duration,
+    },
+    /// The daemon is draining and no request is in flight on this
+    /// connection — close quietly.
+    Draining,
+}
+
+/// A length-bounded, deadline-aware line reader. Reads with a short
+/// poll timeout so drain and deadline checks stay responsive; carries
+/// leftover bytes across calls so pipelined requests are preserved.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_line_bytes: usize,
+    /// When the first byte of the pending line arrived (the slow-loris
+    /// clock); `None` while the buffer is empty.
+    line_start: Option<Instant>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream, max_line_bytes: usize) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            max_line_bytes,
+            line_start: None,
+        }
+    }
+
+    /// Pops a complete line off the buffer, if one is there.
+    fn pop_line(&mut self) -> Option<String> {
+        let nl = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=nl).collect();
+        line.pop(); // the \n
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        self.line_start = if self.buf.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Reads the next request line under the connection's deadlines.
+    fn read_line(&mut self, shared: &Shared) -> ReadOutcome {
+        if wfms_fault::point!("serve.read").is_some() {
+            // An injected read fault behaves like a torn connection.
+            return ReadOutcome::Closed;
+        }
+        if let Some(line) = self.pop_line() {
+            return ReadOutcome::Line(line);
+        }
+        let idle_start = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if shared.handler.is_draining() {
+                if self.buf.is_empty() {
+                    // Idle between requests: nothing in flight to finish.
+                    return ReadOutcome::Draining;
+                }
+                if shared.past_drain_deadline() {
+                    return ReadOutcome::Draining;
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => {
+                    if self.buf.is_empty() {
+                        self.line_start = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if let Some(line) = self.pop_line() {
+                        return ReadOutcome::Line(line);
+                    }
+                    if self.buf.len() > self.max_line_bytes {
+                        return ReadOutcome::TooLong;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.buf.is_empty() {
+                        if idle_start.elapsed() >= shared.io_timeout {
+                            return ReadOutcome::TimedOut {
+                                what: "idle connection",
+                                limit: shared.io_timeout,
+                            };
+                        }
+                    } else if self
+                        .line_start
+                        .is_some_and(|s| s.elapsed() >= shared.line_timeout)
+                    {
+                        return ReadOutcome::TimedOut {
+                            what: "request line",
+                            limit: shared.line_timeout,
+                        };
+                    }
+                }
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
 /// Serves every request line on one admitted connection.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    if shared.handler.is_draining() && shared.past_drain_deadline() {
+        // Queued behind the drain deadline: shed typed instead of
+        // serving work the shutdown no longer has time for.
+        let mut writer = stream;
+        let _ = writer.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+        let response = Response::failure_for_id(
+            None,
+            ERR_UNAVAILABLE,
+            "server is draining; connection shed past the drain deadline",
+        );
+        drop(write_line(&mut writer, &response));
+        return;
+    }
     let Ok(clone) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(clone);
+    // I/O deadlines: short read polls (the reader enforces the real
+    // idle/line deadlines), bounded writes.
+    drop(clone.set_read_timeout(Some(READ_POLL)));
     let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    drop(writer.set_write_timeout(Some(shared.io_timeout)));
+    let mut reader = LineReader::new(clone, shared.max_line_bytes);
+    loop {
+        let line = match reader.read_line(shared) {
+            ReadOutcome::Line(line) => line,
+            ReadOutcome::Closed | ReadOutcome::Draining => return,
+            ReadOutcome::TooLong => {
+                let response = Response::failure_for_id(
+                    None,
+                    ERR_BAD_REQUEST,
+                    format!(
+                        "request line exceeds {} bytes; the connection is closed",
+                        shared.max_line_bytes
+                    ),
+                );
+                drop(write_line(&mut writer, &response));
+                return;
+            }
+            ReadOutcome::TimedOut { what, limit } => {
+                let response = Response::failure_for_id(
+                    None,
+                    ERR_BAD_REQUEST,
+                    format!("{what} timed out after {}ms", limit.as_millis()),
+                );
+                drop(write_line(&mut writer, &response));
+                return;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
         match serde_json::from_str::<Request>(&line) {
             Ok(request) => {
-                let response = shared.handler.handle(&request);
+                let response = handle_request(shared, &request);
                 if request.method == METHOD_SHUTDOWN && response.ok {
                     // Honor the stop before attempting the ack: a
                     // client that disconnects right after asking for
                     // shutdown must still get one.
-                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.start_drain();
                     drop(write_line(&mut writer, &response));
                     // The accept loop is blocked in `accept`; a
                     // self-connection wakes it so it observes the flag.
@@ -230,20 +555,70 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
+/// Dispatches one request, honoring the `serve.handle` fault site and
+/// the optional per-request compute deadline.
+fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
+    // The error mode of `serve.handle` panics on purpose: it is the
+    // deterministic trigger for the worker watchdog (delay mode simply
+    // slows the handler, which is what trips the compute deadline).
+    if wfms_fault::point!("serve.handle").is_some() {
+        panic!("injected handler panic (serve.handle)");
+    }
+    let Some(deadline) = shared.request_deadline else {
+        return shared.handler.handle(request);
+    };
+    let (tx, rx) = channel();
+    let worker_shared = Arc::clone(shared);
+    let worker_request = request.clone();
+    let spawned = thread::Builder::new()
+        .name("wfms-serve-deadline".to_string())
+        .spawn(move || {
+            let response = worker_shared.handler.handle(&worker_request);
+            let _ = tx.send(response);
+        });
+    if spawned.is_err() {
+        // Thread exhaustion: serve inline rather than fail the request.
+        return shared.handler.handle(request);
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(response) => response,
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            wfms_obs::counter("serve.deadline-exceeded", 1);
+            let tenant = request.tenant.as_deref().unwrap_or("default");
+            shared.handler.charge_breaker_failure(tenant);
+            Response::failure(
+                request,
+                ERR_DEADLINE_EXCEEDED,
+                format!(
+                    "request exceeded the {}ms compute deadline",
+                    deadline.as_millis()
+                ),
+            )
+        }
+    }
+}
+
 /// Sheds a connection the bounded queue had no room for: one
-/// `overloaded` error line, then the connection closes. The client is
-/// expected to back off and retry.
-fn shed(mut stream: TcpStream) {
+/// `overloaded` error line under a short write timeout, then the
+/// connection closes. The client is expected to back off and retry.
+fn shed(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT))?;
     let response = Response::failure_for_id(
         None,
         ERR_OVERLOADED,
         "connection queue is full; retry later",
     );
-    drop(write_line(&mut stream, &response));
+    write_line(&mut stream, &response)
 }
 
 /// Writes one response as a compact JSON line.
 fn write_line(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    if wfms_fault::point!("serve.write").is_some() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "injected write fault (serve.write)",
+        ));
+    }
     let text = serde_json::to_string(response)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     stream.write_all(text.as_bytes())?;

@@ -18,12 +18,15 @@ use wfms_core::avail::AvailBackend;
 use wfms_core::config::{AnnealingOptions, Goals, SearchOptions, SearchResult};
 use wfms_core::{Configuration, ConfigurationTool, ServerTypeRegistry, WorkflowSpec};
 use wfms_proto::{
-    AssessParams, AssessResult, LintParams, LintResult, MetricsResult, ProfileSnapshotResult,
-    QueueGauges, RecommendParams, RecommendResult, Request, Response, ShutdownResult, TenantGauges,
-    TurnaroundSummary, ERR_INVALID_PARAMS, ERR_TOOL, ERR_UNKNOWN_METHOD, ERR_UNSUPPORTED_VERSION,
-    METHOD_ASSESS, METHOD_LINT, METHOD_METRICS, METHOD_PROFILE_SNAPSHOT, METHOD_RECOMMEND,
-    METHOD_SHUTDOWN, PROTOCOL_VERSION,
+    AssessParams, AssessResult, HealthResult, LintParams, LintResult, MetricsResult, PerTypeWait,
+    ProfileSnapshotResult, QueueGauges, RecommendParams, RecommendResult, Request, Response,
+    ShutdownResult, TenantGauges, TurnaroundSummary, ERR_INVALID_PARAMS, ERR_LINT, ERR_TOOL,
+    ERR_UNAVAILABLE, ERR_UNKNOWN_METHOD, ERR_UNSUPPORTED_VERSION, METHOD_ASSESS, METHOD_HEALTH,
+    METHOD_LINT, METHOD_METRICS, METHOD_PROFILE_SNAPSHOT, METHOD_RECOMMEND, METHOD_SHUTDOWN,
+    PROTOCOL_VERSION,
 };
+
+use crate::resilience::{Admission, BreakerPolicy, BreakerRegistry};
 
 /// One workflow type plus its arrival rate, as stored in a workload
 /// file (and carried inline in `assess` / `recommend` / `lint` params).
@@ -135,6 +138,9 @@ pub struct Handler {
     tenants: Mutex<BTreeMap<String, TenantSlot>>,
     clock: AtomicU64,
     queue: QueueTelemetry,
+    breakers: BreakerRegistry,
+    draining: std::sync::atomic::AtomicBool,
+    worker_panics: AtomicU64,
 }
 
 /// Locks a handler mutex, riding through poisoning: tenant state is
@@ -155,6 +161,9 @@ impl Handler {
             tenants: Mutex::new(BTreeMap::new()),
             clock: AtomicU64::new(0),
             queue: QueueTelemetry::default(),
+            breakers: BreakerRegistry::default(),
+            draining: std::sync::atomic::AtomicBool::new(false),
+            worker_panics: AtomicU64::new(0),
         }
     }
 
@@ -162,6 +171,45 @@ impl Handler {
     /// updates it from its accept loop.
     pub fn queue(&self) -> &QueueTelemetry {
         &self.queue
+    }
+
+    /// Installs the per-tenant circuit-breaker policy. A threshold of
+    /// `0` (the [`Handler::new`] default) disables breakers, which is
+    /// what keeps the one-shot in-process CLI path byte-identical.
+    pub fn set_breaker_policy(&self, policy: BreakerPolicy) {
+        self.breakers.set_policy(policy);
+    }
+
+    /// Records a handler failure against `tenant`'s breaker from
+    /// outside the dispatch path (the daemon charges an overrun compute
+    /// deadline here). Emits `serve.breaker-open` on the open edge.
+    pub fn charge_breaker_failure(&self, tenant: &str) {
+        if self.breakers.note_failure(tenant) {
+            wfms_obs::counter("serve.breaker-open", 1);
+        }
+    }
+
+    /// Flips the daemon into (or out of) draining state; reported by
+    /// the `health` method.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining
+            .store(draining, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// True once shutdown started and the daemon is draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Records one worker panic contained by the daemon's watchdog.
+    pub fn note_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        wfms_obs::counter("serve.worker-panic", 1);
+    }
+
+    /// Worker panics contained since startup.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
     }
 
     /// Number of warm tenant engines currently held.
@@ -189,12 +237,32 @@ impl Handler {
                 ),
             );
         }
+        let tenant = tenant_key(request);
+        // Only the engine-touching methods are breaker-guarded: the
+        // cheap introspection methods (`metrics`, `health`, …) must
+        // stay reachable while a tenant's breaker is open.
+        let guarded = matches!(
+            request.method.as_str(),
+            METHOD_ASSESS | METHOD_RECOMMEND | METHOD_LINT
+        );
+        if guarded {
+            if let Admission::Shed { retry_after_ms } = self.breakers.admit(tenant) {
+                return Response::failure(
+                    request,
+                    ERR_UNAVAILABLE,
+                    format!(
+                        "tenant {tenant:?}: circuit breaker open; retry after {retry_after_ms}ms"
+                    ),
+                );
+            }
+        }
         let outcome = match request.method.as_str() {
             METHOD_ASSESS => self.assess(request),
             METHOD_RECOMMEND => self.recommend(request),
             METHOD_LINT => self.lint(request),
             METHOD_PROFILE_SNAPSHOT => profile_snapshot(),
             METHOD_METRICS => self.metrics(),
+            METHOD_HEALTH => self.health(),
             METHOD_SHUTDOWN => encode(&ShutdownResult { stopping: true }),
             other => Err(Failure::new(
                 ERR_UNKNOWN_METHOD,
@@ -204,6 +272,20 @@ impl Handler {
                 ),
             )),
         };
+        if guarded {
+            match &outcome {
+                Ok(_) => self.breakers.note_success(tenant),
+                // Only handler-work failures trip the breaker; envelope
+                // problems (unknown method, bad version) never reach
+                // here for guarded methods.
+                Err(failure)
+                    if matches!(failure.kind, ERR_TOOL | ERR_INVALID_PARAMS | ERR_LINT) =>
+                {
+                    self.charge_breaker_failure(tenant);
+                }
+                Err(_) => {}
+            }
+        }
         match outcome {
             Ok(result) => Response::success(request, result),
             Err(failure) => Response::failure(request, failure.kind, failure.message),
@@ -214,7 +296,9 @@ impl Handler {
 
     fn assess(&self, request: &Request) -> Result<Value, Failure> {
         let params: AssessParams = decode_params(&request.params)?;
-        let goals = build_goals(params.max_wait, params.min_availability)?;
+        let per_type =
+            resolve_per_type_goals(&params.registry, params.per_type_max_wait.as_deref())?;
+        let goals = build_goals(params.max_wait, params.min_availability, per_type)?;
         let opts = build_search_options(
             params.avail_backend.as_deref(),
             params.strict.unwrap_or(false),
@@ -264,7 +348,9 @@ impl Handler {
 
     fn recommend(&self, request: &Request) -> Result<Value, Failure> {
         let params: RecommendParams = decode_params(&request.params)?;
-        let goals = build_goals(params.max_wait, params.min_availability)?;
+        let per_type =
+            resolve_per_type_goals(&params.registry, params.per_type_max_wait.as_deref())?;
+        let goals = build_goals(params.max_wait, params.min_availability, per_type)?;
         let budget = params.budget.unwrap_or(64) as usize;
         let jobs = params.jobs.unwrap_or(1) as usize;
         let search = params.search.as_deref().unwrap_or("greedy");
@@ -386,6 +472,22 @@ impl Handler {
         })
     }
 
+    /// The `health` method: serving-layer state only — no tenant engine
+    /// is touched, so the probe stays cheap and always answers, even
+    /// with every breaker open.
+    fn health(&self) -> Result<Value, Failure> {
+        encode(&HealthResult {
+            state: if self.is_draining() {
+                "draining".to_string()
+            } else {
+                "ready".to_string()
+            },
+            queue: self.queue.gauges(),
+            breakers: self.breakers.statuses(),
+            worker_panics: self.worker_panics(),
+        })
+    }
+
     // ------------------------------------------------- tenant engines
 
     /// Returns the tenant's warm state, rebuilding it when the request
@@ -500,14 +602,51 @@ fn server_type_names(registry: &ServerTypeRegistry) -> Vec<String> {
     registry.iter().map(|(_, t)| t.name.clone()).collect()
 }
 
-fn build_goals(max_wait: Option<f64>, min_availability: Option<f64>) -> Result<Goals, Failure> {
+fn build_goals(
+    max_wait: Option<f64>,
+    min_availability: Option<f64>,
+    per_type_waiting: Vec<(usize, f64)>,
+) -> Result<Goals, Failure> {
     let goals = Goals {
         max_waiting_time: max_wait,
         min_availability,
-        per_type_waiting: Vec::new(),
+        per_type_waiting,
     };
     goals.validate().map_err(Failure::tool)?;
     Ok(goals)
+}
+
+/// Resolves named per-type waiting goals (`per_type_max_wait`) against
+/// the registry document into the index-keyed form [`Goals`] carries.
+/// Later entries for the same type override earlier ones; the result is
+/// index-sorted so equal goal sets fingerprint identically regardless
+/// of client-supplied order. Returns an empty vector — and decodes
+/// nothing — when no per-type goals ride the request, keeping the
+/// historical clean path untouched.
+fn resolve_per_type_goals(
+    registry: &Value,
+    per_type: Option<&[PerTypeWait]>,
+) -> Result<Vec<(usize, f64)>, Failure> {
+    let Some(entries) = per_type.filter(|e| !e.is_empty()) else {
+        return Ok(Vec::new());
+    };
+    let registry: ServerTypeRegistry = decode_doc("registry", registry)?;
+    let mut resolved: BTreeMap<usize, f64> = BTreeMap::new();
+    for entry in entries {
+        let id = registry.find_by_name(&entry.server_type).ok_or_else(|| {
+            let known: Vec<String> = registry.iter().map(|(_, t)| t.name.clone()).collect();
+            Failure::new(
+                ERR_INVALID_PARAMS,
+                format!(
+                    "per_type_max_wait names unknown server type {:?} (registered: {})",
+                    entry.server_type,
+                    known.join(", ")
+                ),
+            )
+        })?;
+        resolved.insert(id.0, entry.max_wait);
+    }
+    Ok(resolved.into_iter().collect())
 }
 
 /// The optional engine-tuning knobs of the assess/recommend payloads;

@@ -29,6 +29,8 @@
 
 mod daemon;
 mod handler;
+mod resilience;
 
 pub use daemon::{serve, ServeError, ServeOptions};
 pub use handler::{Handler, QueueTelemetry, WorkloadEntry, WorkloadFile};
+pub use resilience::{Admission, BreakerPolicy, BreakerRegistry};

@@ -3,13 +3,16 @@
 //! vocabulary — everything short of the TCP transport, which the CLI
 //! crate's lifecycle tests cover against the spawned binary.
 
+use std::time::{Duration, Instant};
+
 use serde_json::Value;
 use wfms_proto::{
-    AssessResult, MetricsResult, Request, Response, ShutdownResult, ERR_INVALID_PARAMS,
-    ERR_UNKNOWN_METHOD, ERR_UNSUPPORTED_VERSION, METHOD_ASSESS, METHOD_LINT, METHOD_METRICS,
-    METHOD_RECOMMEND, METHOD_SHUTDOWN, PROTOCOL_VERSION,
+    AssessResult, HealthResult, MetricsResult, PerTypeWait, Request, Response, ShutdownResult,
+    ERR_INVALID_PARAMS, ERR_UNAVAILABLE, ERR_UNKNOWN_METHOD, ERR_UNSUPPORTED_VERSION,
+    METHOD_ASSESS, METHOD_HEALTH, METHOD_LINT, METHOD_METRICS, METHOD_RECOMMEND, METHOD_SHUTDOWN,
+    PROTOCOL_VERSION,
 };
-use wfms_serve::Handler;
+use wfms_serve::{BreakerPolicy, Handler};
 
 fn spec(scenario: &str, file: &str) -> Value {
     let path = format!(
@@ -285,6 +288,171 @@ fn sparse_client_json_decodes_with_defaults() {
     assert_eq!(error_kind(&no_goals), wfms_proto::ERR_TOOL);
     let message = no_goals.error.expect("error body").message;
     assert_eq!(message, "no performability goal specified");
+}
+
+/// Per-type goal entries for the wire payload (`per_type_max_wait`).
+fn per_type(entries: &[(&str, f64)]) -> Value {
+    json(
+        entries
+            .iter()
+            .map(|(name, max_wait)| PerTypeWait {
+                server_type: name.to_string(),
+                max_wait: *max_wait,
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn per_type_waiting_goal_names_resolve_against_the_registry() {
+    let handler = Handler::new(4);
+
+    // An unknown server-type name is an invalid-params error listing
+    // the registered names, so clients can self-correct.
+    let mut params = assess_params("ep", &[2, 2, 2]);
+    if let Value::Object(map) = &mut params {
+        map.insert(
+            "per_type_max_wait".to_string(),
+            per_type(&[("frobnicator", 0.05)]),
+        );
+    }
+    let resp = handler.handle(&request(METHOD_ASSESS, "acme", params));
+    assert_eq!(error_kind(&resp), ERR_INVALID_PARAMS);
+    let message = resp.error.expect("error body").message;
+    assert!(
+        message.contains("frobnicator") && message.contains("registered:"),
+        "lists the registered names: {message}"
+    );
+    assert!(
+        message.contains("workflow-engine"),
+        "names come from the registry document: {message}"
+    );
+}
+
+#[test]
+fn per_type_waiting_goal_changes_the_goal_check_deterministically() {
+    let handler = Handler::new(4);
+
+    let with_goal = |max_wait: f64| {
+        let mut params = assess_params("ep", &[2, 2, 2]);
+        if let Value::Object(map) = &mut params {
+            map.insert(
+                "per_type_max_wait".to_string(),
+                per_type(&[("workflow-engine", max_wait)]),
+            );
+        }
+        handler.handle(&request(METHOD_ASSESS, "acme", params))
+    };
+
+    // A generous per-type bound and an impossible one must both
+    // succeed as assessments but disagree on the goal surface.
+    let generous = with_goal(10.0);
+    assert!(generous.ok, "generous per-type goal: {:?}", generous.error);
+    let impossible = with_goal(1e-9);
+    assert!(
+        impossible.ok,
+        "impossible per-type goal still assesses: {:?}",
+        impossible.error
+    );
+    assert_ne!(
+        serde_json::to_string(&generous).expect("serialize"),
+        serde_json::to_string(&impossible).expect("serialize"),
+        "the per-type bound must reach the goal check"
+    );
+
+    // Determinism carries over: a warm repeat with the same per-type
+    // goal is byte-identical.
+    let repeat = with_goal(10.0);
+    assert_eq!(
+        serde_json::to_string(&generous).expect("serialize"),
+        serde_json::to_string(&repeat).expect("serialize"),
+    );
+}
+
+#[test]
+fn open_breaker_sheds_fast_and_recovers_through_the_half_open_probe() {
+    let handler = Handler::new(4);
+    handler.set_breaker_policy(BreakerPolicy {
+        threshold: 1,
+        cooldown: Duration::from_millis(100),
+    });
+
+    // One guarded failure opens the threshold-1 breaker.
+    let resp = handler.handle(&request(METHOD_ASSESS, "flaky", obj(vec![])));
+    assert_eq!(error_kind(&resp), ERR_INVALID_PARAMS);
+
+    // The shed path never touches an engine: the acceptance budget is
+    // 10ms for the typed answer (in practice it is microseconds).
+    let valid = request(METHOD_ASSESS, "flaky", assess_params("ep", &[2, 2, 2]));
+    let started = Instant::now();
+    let shed = handler.handle(&valid);
+    let elapsed = started.elapsed();
+    assert_eq!(error_kind(&shed), ERR_UNAVAILABLE);
+    assert!(
+        error_message_of(&shed).contains("retry after"),
+        "carries the retry hint: {shed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(10),
+        "open-breaker shed must answer fast, took {elapsed:?}"
+    );
+
+    // Another tenant is admitted normally while "flaky" is open.
+    let other = handler.handle(&request(
+        METHOD_ASSESS,
+        "steady",
+        assess_params("ep", &[2, 2, 2]),
+    ));
+    assert!(other.ok, "other tenants unaffected: {:?}", other.error);
+
+    // After the cooldown, the half-open probe is admitted and its
+    // success closes the breaker again.
+    std::thread::sleep(Duration::from_millis(150));
+    let probe = handler.handle(&valid);
+    assert!(probe.ok, "half-open probe served: {:?}", probe.error);
+    let after = handler.handle(&valid);
+    assert!(
+        after.ok,
+        "breaker closed after the probe: {:?}",
+        after.error
+    );
+}
+
+fn error_message_of(response: &Response) -> String {
+    response
+        .error
+        .as_ref()
+        .map(|e| e.message.clone())
+        .expect("failure carries an error body")
+}
+
+#[test]
+fn health_reports_serving_state_without_touching_engines() {
+    let handler = Handler::new(2);
+    handler.queue().configure(16, 2);
+
+    let resp = handler.handle(&request(METHOD_HEALTH, "acme", Value::Null));
+    assert!(resp.ok, "health succeeds: {:?}", resp.error);
+    let health: HealthResult =
+        serde_json::from_value(resp.result.expect("result populated")).expect("typed result");
+    assert_eq!(health.state, "ready");
+    assert_eq!(health.queue.capacity, 16);
+    assert_eq!(health.worker_panics, 0);
+    assert!(
+        health.breakers.is_empty(),
+        "breakers disabled by default: {:?}",
+        health.breakers
+    );
+    assert_eq!(handler.tenant_count(), 0, "health builds no engine");
+
+    // Watchdog and drain state surface through the same probe.
+    handler.note_worker_panic();
+    handler.set_draining(true);
+    let resp = handler.handle(&request(METHOD_HEALTH, "acme", Value::Null));
+    let health: HealthResult =
+        serde_json::from_value(resp.result.expect("result populated")).expect("typed result");
+    assert_eq!(health.state, "draining");
+    assert_eq!(health.worker_panics, 1);
 }
 
 #[test]
